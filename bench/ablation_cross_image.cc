@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation of cross-image reuse — Figure 4's pattern-3, realized by the
+ * Fig 6(e) row reorder: the PixelMajor row order interleaves a batch so
+ * consecutive im2col rows hold the same output pixel of different
+ * images, and a 2-row neuron block then spans two images.
+ *
+ * On a video-like stream (consecutive frames nearly identical), a
+ * cross-image block's two halves are near-duplicates *by construction*,
+ * so clustering 2-row blocks behaves like clustering single rows of one
+ * frame — at half the clustering invocations. Same-image blocks (the
+ * default row order) only enjoy this when the content happens to be
+ * spatially smooth. Note also that for 1-row units the row order is
+ * immaterial (clustering is invariant to row permutations); pattern-3
+ * is inherently a *block*-level pattern.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/latency_model.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+int
+main()
+{
+    std::printf("=== Ablation: cross-image reuse (pattern-3 via row "
+                "reorder + 2-row blocks) ===\n\n");
+
+    ConvGeometry geom;
+    geom.batch = 2;
+    geom.inChannels = 3;
+    geom.inHeight = 32;
+    geom.inWidth = 32;
+    geom.outChannels = 32;
+    geom.kernelH = 5;
+    geom.kernelW = 5;
+    geom.stride = 1;
+    geom.pad = 2;
+
+    // Two "video frames": frame 2 = frame 1 + small sensor noise.
+    SyntheticConfig cfg;
+    cfg.numSamples = 1;
+    cfg.noiseStddev = 0.0f;
+    Dataset base = makeSyntheticCifar(cfg);
+    Tensor frames({2, 3, 32, 32});
+    Rng jitter(91);
+    const size_t frame_elems = 3 * 32 * 32;
+    for (size_t i = 0; i < frame_elems; ++i) {
+        frames[i] = base.images[i];
+        frames[frame_elems + i] =
+            base.images[i] + static_cast<float>(jitter.normal(0, 0.01));
+    }
+    Tensor x = im2col(frames, geom);
+    Rng rng(92);
+    Tensor w = Tensor::randomNormal({geom.cols(), 32}, rng, 0.0f, 0.1f);
+    Tensor exact = matmul(x, w);
+
+    struct Config
+    {
+        const char *name;
+        RowOrder order;
+        size_t blockRows;
+    };
+    const Config configs[] = {
+        {"1-row units (any order)", RowOrder::BatchMajor, 1},
+        {"R1 blocks (same image)", RowOrder::BatchMajor, 2},
+        {"R2 blocks (cross image)", RowOrder::PixelMajor, 2},
+    };
+
+    TextTable t;
+    t.setHeader({"config", "H", "r_t", "rel. error", "cluster invocations"});
+    for (size_t h : {4, 6}) {
+        for (const Config &c : configs) {
+            ReusePattern p;
+            p.rowOrder = c.order;
+            p.granularity = 25;
+            p.blockRows = c.blockRows;
+            p.numHashes = h;
+            ReuseConvAlgo algo(p, HashMode::Learned, 7);
+            algo.fit(x, geom);
+            CostLedger ledger;
+            Tensor approx = algo.multiply(x, w, geom, &ledger);
+            t.addRow({c.name, std::to_string(h),
+                      formatDouble(algo.lastStats().redundancyRatio(), 3),
+                      formatDouble(relativeError(exact, approx), 4),
+                      std::to_string(
+                          ledger.stage(Stage::Clustering).tableOps)});
+        }
+        t.addSeparator();
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape: R2's cross-image blocks match the 1-row "
+                "baseline's error with half the clustering invocations — "
+                "the pattern-3 opportunity on temporally redundant "
+                "streams. R1's same-image blocks reach similar numbers "
+                "here only because the frames are also spatially smooth; "
+                "R2's guarantee comes from temporal duplication alone.\n");
+    return 0;
+}

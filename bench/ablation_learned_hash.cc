@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation of learned vs random hashing (§3.1 footnote 1): random
+ * hashing makes the reuse-optimized model's accuracy fluctuate run to
+ * run (the paper cites 0.73-0.76 on CifarNet), while learned hash
+ * vectors give a stable, better value. Runs CifarNet Conv2 reuse with
+ * several random-hash seeds versus the deterministic learned family.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/math_util.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+int
+main()
+{
+    std::printf("=== Ablation: learned vs random LSH hash vectors "
+                "(CifarNet Conv2) ===\n\n");
+    CostModel model(McuSpec::stm32f469i());
+    Workbench wb = makeWorkbench(ModelKind::CifarNet);
+    Conv2D *layer = wb.net.findConv("conv2");
+    std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+
+    ReusePattern p;
+    p.granularity = 25;
+    p.numHashes = 4;
+
+    std::vector<double> random_accs;
+    Dataset fit = wb.train.slice(0, 4);
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        fitAndInstall(wb.net, *layer, p, fit, HashMode::Random, seed);
+        Measurement m = measureNetwork(wb.net, wb.test, model, 48);
+        resetAllConvs(wb.net);
+        random_accs.push_back(m.accuracy);
+    }
+    fitAndInstall(wb.net, *layer, p, fit, HashMode::Learned, 1);
+    Measurement learned = measureNetwork(wb.net, wb.test, model, 48);
+    resetAllConvs(wb.net);
+
+    TextTable t;
+    t.setHeader({"hash vectors", "accuracy (min)", "accuracy (max)",
+                 "accuracy (mean)", "stddev"});
+    t.addRow({"random (5 seeds)",
+              formatDouble(*std::min_element(random_accs.begin(),
+                                             random_accs.end()), 4),
+              formatDouble(*std::max_element(random_accs.begin(),
+                                             random_accs.end()), 4),
+              formatDouble(mean(random_accs), 4),
+              formatDouble(stddev(random_accs), 4)});
+    t.addRow({"learned (deterministic)", formatDouble(learned.accuracy, 4),
+              formatDouble(learned.accuracy, 4),
+              formatDouble(learned.accuracy, 4), "0.0000"});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape (paper footnote 1): random hashing "
+                "fluctuates across seeds; learned hashing is stable and "
+                "at least as accurate as the random mean.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation of the space-efficient streaming pipeline: SRAM scratch of
+ * the dense (im2col-materializing) reuse pipeline versus the streaming
+ * one, for the paper's convolution layers, plus an output-equivalence
+ * check. On MCUs the im2col matrix is the dominant SRAM consumer; the
+ * streaming path (following the space-efficient TREC lineage the paper
+ * builds on) replaces it with a one-row buffer plus centroid state.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/streaming.h"
+#include "tensor/tensor_ops.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+namespace {
+
+struct LayerCase
+{
+    const char *name;
+    size_t channels, hw, filters, kernel, stride, pad;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: streaming (space-efficient) reuse vs dense "
+                "im2col pipeline ===\n\n");
+    const LayerCase cases[] = {
+        {"CifarNet.conv1", 3, 32, 64, 5, 1, 2},
+        {"CifarNet.conv2", 64, 16, 64, 5, 1, 2},
+        {"ZfNet.conv2", 96, 8, 256, 5, 1, 2},
+        {"SqueezeNet.Fire2.expand3x3", 16, 16, 64, 3, 1, 1},
+    };
+
+    TextTable t;
+    t.setHeader({"layer", "im2col KB", "streaming KB", "saving",
+                 "r_t", "output match"});
+    for (const LayerCase &c : cases) {
+        ConvGeometry geom;
+        geom.batch = 1;
+        geom.inChannels = c.channels;
+        geom.inHeight = c.hw;
+        geom.inWidth = c.hw;
+        geom.outChannels = c.filters;
+        geom.kernelH = c.kernel;
+        geom.kernelW = c.kernel;
+        geom.stride = c.stride;
+        geom.pad = c.pad;
+
+        // A redundant input activation.
+        Rng rng(31);
+        Tensor protos = Tensor::randomNormal({4, c.channels}, rng);
+        Tensor input({1, c.channels, c.hw, c.hw});
+        // Prototypes repeat in 4x4 blocks, like textured activations.
+        Rng pick(32);
+        const size_t blocks = c.hw / 4;
+        std::vector<size_t> block_proto(blocks * blocks);
+        for (auto &b : block_proto)
+            b = pick.uniformInt(4);
+        for (size_t y = 0; y < c.hw; ++y)
+            for (size_t x = 0; x < c.hw; ++x) {
+                size_t p = block_proto[(y / 4) * blocks + x / 4];
+                for (size_t ch = 0; ch < c.channels; ++ch)
+                    input.at4(0, ch, y, x) = protos.at2(p, ch);
+            }
+        Tensor kernel = Tensor::randomNormal(
+            {c.filters, c.channels, c.kernel, c.kernel}, rng, 0.0f, 0.1f);
+        Tensor bias({c.filters});
+
+        VerticalSlicing slicing = VerticalSlicing::plan(
+            geom.cols(), c.kernel * c.kernel, 1);
+        Rng frng(33);
+        auto families =
+            randomVerticalFamilies(slicing, geom.cols(), 4, frng);
+
+        StreamingReuseResult res = streamingReuseConv(
+            input, kernel, bias, geom, {}, slicing, families);
+
+        // Dense reference for the equivalence column.
+        Tensor cols = im2col(input, geom);
+        Tensor y = verticalReuseMultiply(cols, kernelToMatrix(kernel),
+                                         slicing, families, nullptr,
+                                         nullptr);
+        Tensor act = gemmOutputToActivation(y, geom);
+        bool match = maxAbsDiff(act, res.activation) < 1e-3f;
+
+        t.addRow({c.name, formatDouble(res.im2colBytes / 1024.0, 1),
+                  formatDouble(res.peakScratchBytes / 1024.0, 1),
+                  formatSpeedup(static_cast<double>(res.im2colBytes) /
+                                res.peakScratchBytes),
+                  formatDouble(res.stats.redundancyRatio(), 3),
+                  match ? "yes" : "NO"});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape: streaming cuts the reuse pipeline's "
+                "activation-scratch by several x when r_t is high (few "
+                "centroids to keep); the saving shrinks as r_t drops, "
+                "since the centroid state approaches the matrix it "
+                "replaces. Clustering decisions are identical to the "
+                "dense pipeline (output match = yes).\n");
+    return 0;
+}

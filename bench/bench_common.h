@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction benches: trained-
+ * network fixtures on the synthetic datasets, pattern application,
+ * end-to-end measurement series, and paper-style reporting.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation (§5); see DESIGN.md's experiment index. Scales (training
+ * set sizes, epochs) are reduced to CPU-friendly values — EXPERIMENTS.md
+ * records how the measured shapes compare with the paper's.
+ */
+
+#ifndef GENREUSE_BENCH_BENCH_COMMON_H
+#define GENREUSE_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/measurement.h"
+#include "core/pattern_space.h"
+#include "core/selection.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/trainer.h"
+
+namespace genreuse::bench {
+
+/** A trained network plus its data splits. */
+struct Workbench
+{
+    Network net;
+    Dataset train;
+    Dataset test;
+    double baselineAccuracy = 0.0; //!< exact-inference test accuracy
+
+    explicit Workbench(Network n) : net(std::move(n)) {}
+};
+
+/** Which model to build. */
+enum class ModelKind
+{
+    CifarNet,
+    ZfNet,
+    SqueezeNet,
+    SqueezeNetBypass,
+    ResNet18,
+};
+
+const char *modelName(ModelKind kind);
+
+/**
+ * Build, train and evaluate a model on the synthetic dataset sized for
+ * bench budgets. Deterministic for a given seed.
+ *
+ * @param train_samples training set size (0 = model-specific default)
+ * @param epochs training epochs (0 = model-specific default)
+ */
+Workbench makeWorkbench(ModelKind kind, uint64_t seed = 1000,
+                        size_t train_samples = 0, size_t test_samples = 96,
+                        size_t epochs = 0);
+
+/** One measured configuration for a figure series. */
+struct SeriesPoint
+{
+    std::string label;
+    double accuracy = 0.0;
+    double latencyMs = 0.0;
+    double redundancy = 0.0;
+};
+
+/**
+ * The convolution layers a model's reuse optimization targets
+ * (paper: all convs for CifarNet/ZfNet, the Fire expand_3x3 convs for
+ * SqueezeNet, the block convs for ResNet-18).
+ */
+std::vector<Conv2D *> reuseTargets(Network &net, ModelKind kind);
+
+/**
+ * Install @p pattern on every target layer (fitting hash families from
+ * training data) and measure end-to-end accuracy + latency. The
+ * network's algorithms are restored to exact afterwards.
+ */
+SeriesPoint measurePatternEverywhere(Workbench &wb, ModelKind kind,
+                                     const ReusePattern &base_pattern,
+                                     const CostModel &model,
+                                     size_t eval_images,
+                                     HashMode mode = HashMode::Learned);
+
+/**
+ * The SOTA (conventional deep reuse / TREC) accuracy-latency spectrum:
+ * the conventional pattern swept over H.
+ */
+std::vector<SeriesPoint> sotaSpectrum(Workbench &wb, ModelKind kind,
+                                      const CostModel &model,
+                                      size_t eval_images);
+
+/**
+ * The generalized-reuse spectrum: for each H, per-layer patterns are
+ * chosen by the analytic models (Figure 8's workflow, pruned to one
+ * winner per layer) from a generalized candidate scope.
+ */
+std::vector<SeriesPoint> generalizedSpectrum(Workbench &wb, ModelKind kind,
+                                             const CostModel &model,
+                                             size_t eval_images);
+
+/** Print a series as an aligned table. */
+void printSeries(const std::string &title,
+                 const std::vector<SeriesPoint> &series);
+
+/**
+ * The paper's two headline comparisons between spectra: best speedup
+ * at matched accuracy (within @p accuracy_slack) and best accuracy
+ * gain at matched latency (within @p latency_slack_ratio).
+ */
+struct SpectrumComparison
+{
+    double speedupAtMatchedAccuracy = 1.0;
+    double accuracyGainAtMatchedLatency = 0.0;
+};
+
+SpectrumComparison compareSpectra(const std::vector<SeriesPoint> &sota,
+                                  const std::vector<SeriesPoint> &ours,
+                                  double accuracy_slack = 0.02,
+                                  double latency_slack_ratio = 1.10);
+
+/** Per-layer pattern choice used by generalizedSpectrum (exposed for
+ *  the single-layer benches). */
+ReusePattern pickPatternAnalytically(Network &net, Conv2D &layer,
+                                     const Dataset &train, size_t num_hashes,
+                                     const CostModel &model);
+
+/** One single-layer measurement (Table 1 rows). */
+struct SingleLayerResult
+{
+    ReusePattern pattern;
+    double redundancy = 0.0;   //!< r_t on this layer
+    double accuracy = 0.0;     //!< end-to-end accuracy with this layer
+                               //!< reuse-optimized (others exact)
+    double layerReuseMs = 0.0; //!< per-image latency of this layer
+    double layerExactMs = 0.0; //!< per-image exact (CMSIS-NN) latency
+
+    /** Speedup vs the exact convolution ("vs CMSIS-NN"). */
+    double
+    speedupVsExact() const
+    {
+        return layerReuseMs > 0.0 ? layerExactMs / layerReuseMs : 1.0;
+    }
+};
+
+/**
+ * Install @p pattern on @p layer only, evaluate end-to-end accuracy
+ * and measure this layer's per-image latency. Exact algos restored.
+ */
+SingleLayerResult measureSingleLayer(Workbench &wb, Conv2D &layer,
+                                     const ReusePattern &pattern,
+                                     const CostModel &model,
+                                     size_t eval_images,
+                                     HashMode mode = HashMode::Learned);
+
+} // namespace genreuse::bench
+
+#endif // GENREUSE_BENCH_BENCH_COMMON_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10 reproduction: the Figure 9 experiment on the STM32F7
+ * (Cortex-M7) model. The paper's observations: total inference time is
+ * less than half of the F4's (dual-issue + 20% faster clock), and the
+ * generalized-reuse benefits persist across boards.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 10: end-to-end accuracy vs latency, "
+                "STM32F767ZI (Cortex-M7) ===\n\n");
+    CostModel f7(McuSpec::stm32f767zi());
+    CostModel f4(McuSpec::stm32f469i());
+
+    const ModelKind kinds[] = {ModelKind::CifarNet, ModelKind::ZfNet,
+                               ModelKind::SqueezeNet,
+                               ModelKind::SqueezeNetBypass};
+    for (ModelKind kind : kinds) {
+        Workbench wb = makeWorkbench(kind);
+        std::printf("--- %s (baseline exact accuracy %.4f) ---\n",
+                    modelName(kind), wb.baselineAccuracy);
+
+        auto sota = sotaSpectrum(wb, kind, f7, 32);
+        auto ours = generalizedSpectrum(wb, kind, f7, 32);
+        printSeries("SOTA (conventional reuse):", sota);
+        printSeries("Generalized reuse (ours):", ours);
+
+        SpectrumComparison cmp = compareSpectra(sota, ours);
+        std::printf("headline: %.2fx speedup at matched accuracy, "
+                    "+%.1f%% accuracy at matched latency\n",
+                    cmp.speedupAtMatchedAccuracy,
+                    100.0 * cmp.accuracyGainAtMatchedLatency);
+
+        // Cross-board check (paper §5.2 third observation): F7 total
+        // latency is less than half of the F4's for the same config.
+        Measurement m4 = measureNetwork(wb.net, wb.test, f4, 8);
+        Measurement m7 = measureNetwork(wb.net, wb.test, f7, 8);
+        std::printf("cross-board: exact inference %.1f ms (F4) vs "
+                    "%.1f ms (F7) -> F4/F7 = %.2fx\n\n",
+                    m4.perImageMs, m7.perImageMs,
+                    m4.perImageMs / m7.perImageMs);
+    }
+    return 0;
+}

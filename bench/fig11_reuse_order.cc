@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11 reproduction: the effect of the reuse *order* on CifarNet.
+ * C1 = channel-last (Fig 6(b) default order: a neuron vector stays
+ * within one channel), C2 = channel-first (Fig 6(d) moveaxis order: a
+ * neuron vector spans all channels of one kernel position). The paper
+ * finds C1 better on Conv1 (raw RGB channels carry distinct features)
+ * and C2 better on Conv2 (post-conv activation channels are a joint
+ * representation of a position).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 11: reuse order (C1 channel-last vs C2 "
+                "channel-first), CifarNet ===\n\n");
+    CostModel model(McuSpec::stm32f469i());
+    Workbench wb = makeWorkbench(ModelKind::CifarNet);
+    std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+
+    for (const char *layer_name : {"conv1", "conv2"}) {
+        Conv2D *layer = wb.net.findConv(layer_name);
+        TextTable t;
+        t.setHeader({"order", "L", "H", "accuracy", "layer ms", "r_t"});
+        for (size_t h : {2, 4, 6}) {
+            // C1: neuron vectors within one channel (granularity = one
+            // kernel tile); C2: all channels of a few positions.
+            ReusePattern c1;
+            c1.columnOrder = ColumnOrder::ChannelMajor;
+            c1.granularity = layer->kernelSize() * layer->kernelSize();
+            c1.numHashes = h;
+
+            ReusePattern c2;
+            c2.columnOrder = ColumnOrder::PixelMajor;
+            c2.granularity = layer->inChannels() *
+                             std::max<size_t>(1,
+                                              layer->kernelSize() *
+                                                  layer->kernelSize() /
+                                                  5);
+            c2.numHashes = h;
+
+            for (auto [label, p] :
+                 {std::pair<const char *, ReusePattern>{"C1", c1},
+                  std::pair<const char *, ReusePattern>{"C2", c2}}) {
+                SingleLayerResult r =
+                    measureSingleLayer(wb, *layer, p, model, 40);
+                t.addRow({label, std::to_string(p.granularity),
+                          std::to_string(h), formatDouble(r.accuracy, 4),
+                          formatDouble(r.layerReuseMs, 2),
+                          formatDouble(r.redundancy, 3)});
+            }
+        }
+        std::printf("--- CifarNet %s ---\n%s\n", layer_name,
+                    t.render().c_str());
+    }
+    std::printf("Paper's finding: C1 (channel-last) wins on Conv1, C2 "
+                "(channel-first) wins on Conv2.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 13 reproduction: five distinct reuse patterns on CifarNet
+ * Conv1, showing how the pattern choice moves a layer around the
+ * accuracy-latency plane and which choices are Pareto-optimal.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/pareto.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 13: five reuse patterns on CifarNet Conv1 "
+                "===\n\n");
+    CostModel model(McuSpec::stm32f469i());
+    Workbench wb = makeWorkbench(ModelKind::CifarNet);
+    Conv2D *layer = wb.net.findConv("conv1");
+    std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+
+    // Five hand-picked, structurally different patterns.
+    std::vector<ReusePattern> patterns(5);
+    patterns[0].granularity = 25; // conventional: tile-in-channel, M-1
+    patterns[0].numHashes = 4;
+    patterns[1].columnOrder = ColumnOrder::PixelMajor; // channel-first
+    patterns[1].granularity = 15;
+    patterns[1].numHashes = 4;
+    patterns[2].granularity = 75; // whole-row vectors, few hashes
+    patterns[2].numHashes = 2;
+    patterns[3].direction = ReuseDirection::Horizontal; // new direction
+    patterns[3].granularity = 0;
+    patterns[3].numHashes = 4;
+    patterns[4].granularity = 75; // 2-D neuron blocks
+    patterns[4].blockRows = 2;
+    patterns[4].numHashes = 3;
+
+    TextTable t;
+    t.setHeader({"pattern", "accuracy", "layer ms", "r_t", "Pareto"});
+    std::vector<ParetoPoint> points;
+    std::vector<SingleLayerResult> results;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+        SingleLayerResult r =
+            measureSingleLayer(wb, *layer, patterns[i], model, 48);
+        points.push_back({r.layerReuseMs, r.accuracy, i});
+        results.push_back(r);
+    }
+    auto front = paretoFront(points);
+    for (size_t i = 0; i < patterns.size(); ++i) {
+        bool on_front =
+            std::find(front.begin(), front.end(), i) != front.end();
+        t.addRow({patterns[i].describe(),
+                  formatDouble(results[i].accuracy, 4),
+                  formatDouble(results[i].layerReuseMs, 2),
+                  formatDouble(results[i].redundancy, 3),
+                  on_front ? "*" : ""});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Patterns marked * are Pareto-optimal; users pick from "
+                "them per their accuracy/latency needs (§5.3.2).\n");
+    return 0;
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels underneath the
+ * paper reproduction: blocked GEMM, im2col, im2col reordering, LSH
+ * signatures/clustering, and the vertical/horizontal reuse GEMMs
+ * against the exact GEMM on redundant inputs. These are wall-clock
+ * numbers of this host library (the MCU latencies in the table/figure
+ * benches come from the cycle cost model instead).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/horizontal_reuse.h"
+#include "core/reorder.h"
+#include "core/vertical_reuse.h"
+#include "data/synthetic.h"
+#include "lsh/clustering.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+using namespace genreuse;
+
+namespace {
+
+Tensor
+redundantMatrix(size_t rows, size_t cols, size_t protos, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor prototypes = Tensor::randomNormal({protos, cols}, rng);
+    Tensor out({rows, cols});
+    for (size_t r = 0; r < rows; ++r) {
+        size_t p = rng.uniformInt(protos);
+        std::copy(prototypes.data() + p * cols,
+                  prototypes.data() + (p + 1) * cols,
+                  out.data() + r * cols);
+    }
+    return out;
+}
+
+void
+BM_GemmCifarNetConv2(benchmark::State &state)
+{
+    // The N x Din x Dout of CifarNet Conv2 (256 x 1600 x 64).
+    Rng rng(1);
+    Tensor a = Tensor::randomNormal({256, 1600}, rng);
+    Tensor b = Tensor::randomNormal({1600, 64}, rng);
+    Tensor c({256, 64});
+    for (auto _ : state) {
+        gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 256 * 1600 * 64);
+}
+BENCHMARK(BM_GemmCifarNetConv2);
+
+void
+BM_Im2colCifar(benchmark::State &state)
+{
+    ConvGeometry geom;
+    geom.inChannels = 3;
+    geom.inHeight = 32;
+    geom.inWidth = 32;
+    geom.outChannels = 64;
+    geom.kernelH = 5;
+    geom.kernelW = 5;
+    geom.pad = 2;
+    Rng rng(2);
+    Tensor x = Tensor::randomNormal({1, 3, 32, 32}, rng);
+    for (auto _ : state) {
+        Tensor cols = im2col(x, geom);
+        benchmark::DoNotOptimize(cols.data());
+    }
+}
+BENCHMARK(BM_Im2colCifar);
+
+void
+BM_ColumnReorderPixelMajor(benchmark::State &state)
+{
+    ConvGeometry geom;
+    geom.inChannels = 3;
+    geom.inHeight = 32;
+    geom.inWidth = 32;
+    geom.outChannels = 64;
+    geom.kernelH = 5;
+    geom.kernelW = 5;
+    geom.pad = 2;
+    Rng rng(3);
+    Tensor x = Tensor::randomNormal({geom.rows(), geom.cols()}, rng);
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::PixelMajor;
+    auto col_perm = columnPermutation(p, geom);
+    std::vector<uint32_t> id(geom.rows());
+    for (size_t i = 0; i < id.size(); ++i)
+        id[i] = static_cast<uint32_t>(i);
+    for (auto _ : state) {
+        Tensor xr = reorderMatrix(x, id, col_perm);
+        benchmark::DoNotOptimize(xr.data());
+    }
+}
+BENCHMARK(BM_ColumnReorderPixelMajor);
+
+void
+BM_LshSignatures(benchmark::State &state)
+{
+    const size_t h = static_cast<size_t>(state.range(0));
+    Rng rng(4);
+    Tensor x = redundantMatrix(1024, 25, 16, 5);
+    HashFamily family = HashFamily::random(h, 25, rng);
+    StridedItems items{x.data(), 1024, 25, 25, 1};
+    for (auto _ : state) {
+        auto sigs = family.signatures(items);
+        benchmark::DoNotOptimize(sigs.data());
+    }
+}
+BENCHMARK(BM_LshSignatures)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_ClusterBySignature(benchmark::State &state)
+{
+    Rng rng(5);
+    Tensor x = redundantMatrix(1024, 25, 16, 6);
+    HashFamily family = HashFamily::random(4, 25, rng);
+    StridedItems items{x.data(), 1024, 25, 25, 1};
+    for (auto _ : state) {
+        ClusterResult res = clusterBySignature(items, family);
+        benchmark::DoNotOptimize(res.assignments.data());
+    }
+}
+BENCHMARK(BM_ClusterBySignature);
+
+void
+BM_ExactGemmRedundant(benchmark::State &state)
+{
+    Tensor x = redundantMatrix(1024, 75, 8, 7);
+    Rng rng(7);
+    Tensor w = Tensor::randomNormal({75, 64}, rng);
+    Tensor y({1024, 64});
+    for (auto _ : state) {
+        gemm(x, w, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_ExactGemmRedundant);
+
+void
+BM_VerticalReuseRedundant(benchmark::State &state)
+{
+    Tensor x = redundantMatrix(1024, 75, 8, 7);
+    Rng rng(7);
+    Tensor w = Tensor::randomNormal({75, 64}, rng);
+    VerticalSlicing s = VerticalSlicing::plan(75, 25, 1);
+    Rng frng(8);
+    auto fams = randomVerticalFamilies(s, 75, 4, frng);
+    for (auto _ : state) {
+        Tensor y = verticalReuseMultiply(x, w, s, fams, nullptr, nullptr);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_VerticalReuseRedundant);
+
+void
+BM_HorizontalReuseRedundant(benchmark::State &state)
+{
+    // Column-redundant input for the horizontal direction.
+    Rng rng(9);
+    Tensor protos = Tensor::randomNormal({8, 1024}, rng);
+    Tensor x({1024, 75});
+    for (size_t c = 0; c < 75; ++c) {
+        size_t p = rng.uniformInt(8);
+        for (size_t r = 0; r < 1024; ++r)
+            x.at2(r, c) = protos.at2(p, r);
+    }
+    Tensor w = Tensor::randomNormal({75, 64}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(1024, 256);
+    Rng frng(10);
+    auto fams = randomHorizontalFamilies(s, 1024, 4, frng);
+    for (auto _ : state) {
+        Tensor y = horizontalReuseMultiply(x, w, s, fams, nullptr, nullptr);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_HorizontalReuseRedundant);
+
+void
+BM_SyntheticCifarGeneration(benchmark::State &state)
+{
+    SyntheticConfig cfg;
+    cfg.numSamples = 16;
+    for (auto _ : state) {
+        Dataset d = makeSyntheticCifar(cfg);
+        benchmark::DoNotOptimize(d.images.data());
+    }
+}
+BENCHMARK(BM_SyntheticCifarGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 1 reproduction: single-layer performance of generalized reuse
+ * on the STM32F469I. For every targeted convolution of CifarNet, ZfNet
+ * and SqueezeNet, three configurations (L, H, D) are evaluated: the
+ * layer's analytically selected generalized patterns at different hash
+ * counts. Reported per row, as in the paper: r_t, speedup vs CMSIS-NN
+ * (the exact convolution), speedup vs conventional reuse, and the
+ * accuracy delta vs conventional reuse.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+namespace {
+
+void
+runModel(ModelKind kind, const CostModel &model)
+{
+    Workbench wb = makeWorkbench(kind);
+    std::printf("--- Table 1: %s (baseline exact accuracy %.4f) ---\n",
+                modelName(kind), wb.baselineAccuracy);
+
+    TextTable t;
+    t.setHeader({"ConvLayer", "K", "M", "L", "H", "D", "r_t",
+                 "speedup vs CMSIS-NN", "speedup vs Reuse",
+                 "dAcc vs Reuse"});
+
+    for (Conv2D *layer : reuseTargets(wb.net, kind)) {
+        // Conventional-reuse baseline for this layer (H = 4).
+        ReusePattern conv_pattern;
+        conv_pattern.granularity =
+            layer->kernelSize() * layer->kernelSize();
+        conv_pattern.numHashes = 4;
+        SingleLayerResult base =
+            measureSingleLayer(wb, *layer, conv_pattern, model, 32);
+
+        const size_t din = layer->inChannels() * layer->kernelSize() *
+                           layer->kernelSize();
+        bool first = true;
+        for (size_t h : {5, 3, 2}) {
+            ReusePattern p =
+                pickPatternAnalytically(wb.net, *layer, wb.train, h, model);
+            SingleLayerResult r =
+                measureSingleLayer(wb, *layer, p, model, 32);
+            t.addRow({first ? layer->name() : "",
+                      first ? std::to_string(din) : "",
+                      first ? std::to_string(layer->outChannels()) : "",
+                      std::to_string(p.effectiveGranularity(
+                          layer->lastGeometry())),
+                      std::to_string(p.numHashes), toString(p.direction),
+                      formatDouble(r.redundancy, 3),
+                      formatSpeedup(r.speedupVsExact()),
+                      formatSpeedup(base.layerReuseMs / r.layerReuseMs),
+                      formatDouble(r.accuracy - base.accuracy, 4)});
+            first = false;
+        }
+        t.addSeparator();
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 1: single-layer performance benefits "
+                "(STM32F469I) ===\n");
+    std::printf("D: M-1 = vertical reuse, M-2 = horizontal reuse\n\n");
+    CostModel model(McuSpec::stm32f469i());
+    runModel(ModelKind::CifarNet, model);
+    runModel(ModelKind::ZfNet, model);
+    runModel(ModelKind::SqueezeNet, model);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 4 reproduction: out-of-distribution behaviour (§5.3.6). A
+ * CifarNet trained on the in-distribution (CIFAR-like) set is tested
+ * on an OOD (SVHN-like) set: accuracy collapses to near chance, and
+ * the max-softmax detector (threshold 0.7) flags OOD samples. The
+ * paper finds the reuse-optimized model keeps ID accuracy, stays
+ * appropriately bad on OOD, and detects OOD markedly better
+ * (0.363 -> 0.674) because reuse regularizes overconfident outputs.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "nn/loss.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+
+int
+main()
+{
+    std::printf("=== Table 4: OOD data performance (CifarNet, max-softmax "
+                "detector, threshold 0.7) ===\n\n");
+    Workbench wb = makeWorkbench(ModelKind::CifarNet);
+    Dataset ood = makeSyntheticSvhn(96, 777);
+
+    auto evalRow = [&](const char *name) {
+        Tensor id_logits = evaluateLogits(wb.net, wb.test, 16);
+        Tensor ood_logits = evaluateLogits(wb.net, ood, 16);
+        double id_acc = accuracy(id_logits, wb.test.labels);
+        double ood_acc = accuracy(ood_logits, ood.labels);
+        double detect = oodDetectionRate(ood_logits, 0.7);
+        return std::vector<std::string>{
+            name, "synthetic-cifar", "synthetic-svhn",
+            formatDouble(id_acc, 4), formatDouble(ood_acc, 4),
+            formatDouble(detect, 3)};
+    };
+
+    TextTable t;
+    t.setHeader({"Model", "ID data", "OOD data", "Acc (ID)", "Acc (OOD)",
+                 "Detection rate"});
+    t.addRow(evalRow("Traditional CNN"));
+
+    // Install generalized reuse on both convolutions.
+    CostModel model(McuSpec::stm32f469i());
+    Dataset fit = wb.train.slice(0, 4);
+    for (Conv2D *layer : reuseTargets(wb.net, ModelKind::CifarNet)) {
+        // A moderate configuration (H = 5): the paper's point is that
+        // reuse keeps ID accuracy close while the OOD detector improves.
+        ReusePattern p =
+            pickPatternAnalytically(wb.net, *layer, wb.train, 5, model);
+        fitAndInstall(wb.net, *layer, p, fit);
+    }
+    t.addRow(evalRow("CNN with reuse"));
+
+    // And after a brief reuse-in-the-loop fine-tune (the paper's
+    // models are trained with reuse active): ID accuracy recovers,
+    // while part of the detector gain is traded back as the network
+    // re-learns confidence under the approximation.
+    TrainConfig ft;
+    ft.epochs = 1;
+    ft.batchSize = 16;
+    ft.sgd.learningRate = 0.005;
+    ft.sgd.momentum = 0.9;
+    train(wb.net, wb.train, ft);
+    t.addRow(evalRow("CNN with reuse + fine-tune"));
+    resetAllConvs(wb.net);
+
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape (paper): OOD accuracy near chance for "
+                "all rows; reuse raises the max-softmax OOD detection "
+                "rate (approximation regularizes overconfidence). "
+                "Fine-tuning trades part of that regularization back "
+                "for ID accuracy.\n");
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * genreuse_explore — a configurable command-line front end to the
+ * pattern-selection workflow, the kind of tool a team would actually
+ * run before deploying a model:
+ *
+ *   genreuse_explore --model cifarnet --layer conv2 --board f7 \
+ *       --train 192 --test 64 --epochs 3 --promising 4 \
+ *       --hashes 2,4 --save-weights /tmp/model.bin
+ *
+ * Trains the chosen model on the synthetic dataset, runs the
+ * analytical-empirical selection workflow on the chosen convolution,
+ * prints every candidate's analytic profile plus the empirically
+ * checked Pareto front, and optionally saves the trained weights.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/scope_file.h"
+#include "core/selection.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+
+using namespace genreuse;
+
+namespace {
+
+Network
+buildModel(const std::string &name, Rng &rng)
+{
+    if (name == "cifarnet")
+        return makeCifarNet(rng);
+    if (name == "zfnet")
+        return makeZfNet(rng);
+    if (name == "squeezenet")
+        return makeSqueezeNet(rng, false);
+    if (name == "squeezenet-bypass")
+        return makeSqueezeNet(rng, true);
+    if (name == "tiny")
+        return makeTinyNet(rng);
+    fatal("unknown --model '", name,
+          "' (cifarnet|zfnet|squeezenet|squeezenet-bypass|tiny)");
+}
+
+std::vector<size_t>
+parseSizeList(const std::string &csv)
+{
+    std::vector<size_t> out;
+    size_t pos = 0;
+    while (pos < csv.size()) {
+        size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        out.push_back(static_cast<size_t>(
+            std::stoul(csv.substr(pos, comma - pos))));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --model NAME      cifarnet|zfnet|squeezenet|squeezenet-bypass|"
+        "tiny (default cifarnet)\n"
+        "  --layer NAME      convolution to optimize (default conv2)\n"
+        "  --board NAME      f4|f7 (default f4)\n"
+        "  --train N         training samples (default 160)\n"
+        "  --test N          test samples (default 64)\n"
+        "  --epochs N        training epochs (default 3)\n"
+        "  --lr X            learning rate (default 0.01)\n"
+        "  --promising N     patterns to fully check (default 4)\n"
+        "  --hashes CSV      hash counts to explore (default 2,4)\n"
+        "  --scope FILE      load a pattern scope file (see "
+        "configs/default_scope.txt)\n"
+        "  --seed N          experiment seed (default 1)\n"
+        "  --save-weights F  save trained parameters to F\n"
+        "  --help            this text\n",
+        prog);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    if (args.has("help")) {
+        usage(argv[0]);
+        return 0;
+    }
+    const std::string model_name = args.getString("model", "cifarnet");
+    const std::string layer_name = args.getString("layer", "conv2");
+    const std::string board_name = args.getString("board", "f4");
+    const uint64_t seed = static_cast<uint64_t>(args.getInt("seed", 1));
+
+    McuSpec board = board_name == "f7" ? McuSpec::stm32f767zi()
+                                       : McuSpec::stm32f469i();
+
+    // --- data + training --------------------------------------------
+    Rng rng(seed);
+    Network net = buildModel(model_name, rng);
+    SyntheticConfig cfg;
+    cfg.numSamples = static_cast<size_t>(args.getInt("train", 160));
+    cfg.noiseStddev = 0.15f;
+    cfg.seed = seed + 1;
+    Dataset train_data = makeSyntheticCifar(cfg);
+    cfg.numSamples = static_cast<size_t>(args.getInt("test", 64));
+    cfg.seed = seed + 2;
+    Dataset test_data = makeSyntheticCifar(cfg);
+
+    std::printf("training %s (%ld epochs, %zu samples)...\n",
+                model_name.c_str(), args.getInt("epochs", 3),
+                train_data.size());
+    TrainConfig tcfg;
+    tcfg.epochs = static_cast<size_t>(args.getInt("epochs", 3));
+    tcfg.batchSize = 16;
+    tcfg.sgd.learningRate = args.getDouble("lr", 0.01);
+    tcfg.sgd.momentum = 0.9;
+    train(net, train_data, tcfg);
+    std::printf("baseline test accuracy: %.4f (board: %s)\n\n",
+                evaluate(net, test_data, 16), board.name.c_str());
+
+    // --- selection ----------------------------------------------------
+    Conv2D *layer = net.findConv(layer_name);
+    if (!layer) {
+        std::printf("available convolutions:\n");
+        for (auto *c : net.convLayers())
+            std::printf("  %s\n", c->name().c_str());
+        fatal("layer '", layer_name, "' not found in ", model_name);
+    }
+    layer->resetAlgo();
+    net.forward(test_data.gatherImages({0}), false);
+    ConvGeometry geom = layer->lastGeometry();
+
+    PatternScope scope = PatternScope::defaultScope(geom);
+    if (args.has("scope"))
+        scope = loadScopeFile(args.getString("scope"), scope);
+    if (args.has("hashes") || !args.has("scope"))
+        scope.hashCounts = parseSizeList(args.getString("hashes", "2,4"));
+    SelectionConfig scfg;
+    scfg.promisingCount =
+        static_cast<size_t>(args.getInt("promising", 4));
+    scfg.evalImages = std::min<size_t>(48, test_data.size());
+    scfg.board = board;
+
+    std::printf("exploring %s (Din=%zu, Dout=%zu)...\n",
+                layer->name().c_str(), geom.cols(), geom.outChannels);
+    SelectionResult result = selectReusePattern(
+        net, *layer, train_data, test_data, scope, scfg);
+
+    std::printf("candidates: %zu, profiling %.1f s, prune %.3f s, full "
+                "check %.1f s\n\n",
+                result.profiles.size(), result.profilingSeconds,
+                result.pruneSeconds, result.fullCheckSeconds);
+
+    TextTable t;
+    t.setHeader({"pattern", "accuracy", "latency(ms)", "r_t", "Pareto"});
+    for (size_t i = 0; i < result.checked.size(); ++i) {
+        const CheckedPattern &c = result.checked[i];
+        bool on_front = std::find(result.paretoFront.begin(),
+                                  result.paretoFront.end(),
+                                  i) != result.paretoFront.end();
+        t.addRow({c.pattern.describe(), formatDouble(c.accuracy, 4),
+                  formatDouble(c.latencyMs, 2),
+                  formatDouble(c.redundancyRatio, 3),
+                  on_front ? "*" : ""});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    if (args.has("save-weights")) {
+        std::string path = args.getString("save-weights");
+        saveParameters(net, path);
+        std::printf("saved trained parameters to %s\n", path.c_str());
+    }
+    return 0;
+}

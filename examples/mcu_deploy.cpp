@@ -1,0 +1,115 @@
+/**
+ * @file
+ * MCU deployment walkthrough: take SqueezeNet, quantize it to 8-bit
+ * fixed point (the paper's deployment format), check that it fits the
+ * STM32F469I's flash and SRAM, install generalized reuse on its
+ * expand convolutions, and report the per-layer latency budget on both
+ * boards — everything an engineer would check before flashing.
+ *
+ * Run: ./build/examples/mcu_deploy
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/measurement.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/trainer.h"
+#include "quant/fixed_point.h"
+
+using namespace genreuse;
+
+int
+main()
+{
+    // --- model + data ----------------------------------------------
+    Rng rng(21);
+    Network net = makeSqueezeNet(rng, /*bypass=*/false);
+    SyntheticConfig cfg;
+    cfg.numSamples = 96;
+    cfg.seed = 22;
+    Dataset train_data = makeSyntheticCifar(cfg);
+    cfg.numSamples = 32;
+    cfg.seed = 23;
+    Dataset test_data = makeSyntheticCifar(cfg);
+    TrainConfig tcfg;
+    tcfg.epochs = 2;
+    tcfg.batchSize = 16;
+    tcfg.sgd.learningRate = 0.01;
+    tcfg.sgd.momentum = 0.9;
+    train(net, train_data, tcfg);
+
+    // --- quantize weights to 8-bit fixed point -----------------------
+    for (auto *conv : net.convLayers()) {
+        conv->kernel().value = fakeQuantizeFixedPoint(conv->kernel().value);
+        conv->bias().value = fakeQuantizeFixedPoint(conv->bias().value);
+    }
+    std::printf("quantized %zu convolutions to Q-format int8\n",
+                net.convLayers().size());
+
+    // --- memory feasibility on the target board -----------------------
+    McuSpec f4 = McuSpec::stm32f469i();
+    MemoryEstimate mem = net.memoryEstimate({1, 3, 32, 32});
+    std::printf("flash: %.0f KB of %.0f KB | SRAM peak: %.0f KB of %.0f "
+                "KB (at layer '%s') -> %s\n\n",
+                mem.flashBytes() / 1024.0, f4.flashBytes / 1024.0,
+                mem.sramPeakBytes() / 1024.0, f4.sramBytes / 1024.0,
+                mem.sramPeakLayer().c_str(),
+                mem.fits(f4) ? "FITS" : "DOES NOT FIT");
+
+    // --- install reuse on the expand_3x3 convolutions ------------------
+    Dataset fit = train_data.slice(0, 4);
+    size_t installed = 0;
+    for (auto *conv : net.convLayers()) {
+        if (conv->name().find("expand_3x3") == std::string::npos)
+            continue;
+        ReusePattern p;
+        p.granularity = conv->kernelSize() * conv->kernelSize();
+        p.numHashes = 3;
+        fitAndInstall(net, *conv, p, fit);
+        installed++;
+    }
+    std::printf("installed reuse on %zu expand_3x3 convolutions\n\n",
+                installed);
+
+    // --- per-board latency budget ----------------------------------------
+    TextTable t;
+    t.setHeader({"board", "accuracy", "per-image ms", "conv ms"});
+    for (const McuSpec &board : {f4, McuSpec::stm32f767zi()}) {
+        CostModel model(board);
+        Measurement m = measureNetwork(net, test_data, model, 16);
+        t.addRow({board.name, formatDouble(m.accuracy, 4),
+                  formatDouble(m.perImageMs, 1),
+                  formatDouble(m.convMs, 1)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    // --- per-layer budget on the F4 --------------------------------------
+    CostModel model(f4);
+    std::printf("\nper-layer reuse-stage breakdown (F4, ms/image):\n");
+    TextTable lt;
+    lt.setHeader({"layer", "total", "transform", "cluster", "gemm",
+                  "recover"});
+    for (auto *conv : net.convLayers()) {
+        if (conv->name().find("expand_3x3") == std::string::npos)
+            continue;
+        CostLedger ledger;
+        conv->setLedger(&ledger);
+        const size_t n = 8;
+        for (size_t i = 0; i < n; ++i)
+            net.forward(test_data.gatherImages({i}), false);
+        conv->setLedger(nullptr);
+        lt.addRow({conv->name(),
+                   formatDouble(ledger.totalMs(model) / n, 2),
+                   formatDouble(
+                       ledger.stageMs(Stage::Transformation, model) / n, 2),
+                   formatDouble(
+                       ledger.stageMs(Stage::Clustering, model) / n, 2),
+                   formatDouble(ledger.stageMs(Stage::Gemm, model) / n, 2),
+                   formatDouble(
+                       ledger.stageMs(Stage::Recovering, model) / n, 2)});
+    }
+    std::printf("%s", lt.render().c_str());
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * OOD monitoring demo (paper §5.3.6): a deployed smart-camera model
+ * should notice when the world stops looking like its training data.
+ * Trains CifarNet on the in-distribution synthetic set, streams a mix
+ * of ID and OOD (SVHN-like) frames through it, and uses the
+ * max-softmax score (threshold 0.7) to flag OOD frames — with and
+ * without reuse, showing reuse's regularizing effect on the detector.
+ *
+ * Run: ./build/examples/ood_monitor
+ */
+
+#include <cstdio>
+
+#include "core/measurement.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+
+using namespace genreuse;
+
+namespace {
+
+struct MonitorStats
+{
+    size_t frames = 0;
+    size_t flagged = 0;
+    size_t trueOod = 0;
+    size_t caughtOod = 0;
+};
+
+MonitorStats
+streamFrames(Network &net, const Dataset &id, const Dataset &ood,
+             double threshold)
+{
+    MonitorStats stats;
+    Rng order(31);
+    const size_t n = std::min(id.size(), ood.size());
+    for (size_t i = 0; i < 2 * n; ++i) {
+        const bool is_ood = order.bernoulli(0.5);
+        const Dataset &src = is_ood ? ood : id;
+        Tensor x = src.gatherImages({i % n});
+        Tensor logits = net.forward(x, false);
+        double score = maxSoftmax(logits)[0];
+        stats.frames++;
+        if (is_ood)
+            stats.trueOod++;
+        if (score < threshold) {
+            stats.flagged++;
+            if (is_ood)
+                stats.caughtOod++;
+        }
+    }
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("training the in-distribution model...\n");
+    Rng rng(30);
+    Network net = makeCifarNet(rng);
+    SyntheticConfig cfg;
+    cfg.numSamples = 192;
+    cfg.noiseStddev = 0.15f;
+    cfg.seed = 32;
+    Dataset train_data = makeSyntheticCifar(cfg);
+    cfg.numSamples = 48;
+    cfg.seed = 33;
+    Dataset id_test = makeSyntheticCifar(cfg);
+    Dataset ood_test = makeSyntheticSvhn(48, 34);
+
+    TrainConfig tcfg;
+    tcfg.epochs = 3;
+    tcfg.batchSize = 16;
+    tcfg.sgd.learningRate = 0.01;
+    tcfg.sgd.momentum = 0.9;
+    train(net, train_data, tcfg);
+    std::printf("ID test accuracy: %.4f | OOD 'accuracy' (should be near "
+                "chance): %.4f\n\n",
+                evaluate(net, id_test, 16), evaluate(net, ood_test, 16));
+
+    const double threshold = 0.7;
+    MonitorStats plain = streamFrames(net, id_test, ood_test, threshold);
+    std::printf("monitor WITHOUT reuse: %zu/%zu frames flagged, OOD "
+                "detection rate %.3f\n",
+                plain.flagged, plain.frames,
+                static_cast<double>(plain.caughtOod) /
+                    std::max<size_t>(1, plain.trueOod));
+
+    // Install generalized reuse on both convolutions and re-run.
+    Dataset fit = train_data.slice(0, 4);
+    for (auto *conv : net.convLayers()) {
+        ReusePattern p;
+        p.granularity = conv->kernelSize() * conv->kernelSize();
+        p.numHashes = 3;
+        fitAndInstall(net, *conv, p, fit);
+    }
+    MonitorStats reuse = streamFrames(net, id_test, ood_test, threshold);
+    std::printf("monitor WITH reuse:    %zu/%zu frames flagged, OOD "
+                "detection rate %.3f\n",
+                reuse.flagged, reuse.frames,
+                static_cast<double>(reuse.caughtOod) /
+                    std::max<size_t>(1, reuse.trueOod));
+    std::printf("\nExpected (paper): the reuse-optimized model flags OOD "
+                "frames at a higher rate (0.363 -> 0.674 in the paper) "
+                "because approximation discourages overconfident "
+                "predictions.\n");
+    return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Final deliverable runs: full test suite then every bench binary.
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+echo "TESTS_DONE rc=${PIPESTATUS[0]}" >> /root/repo/final_run_status.txt
+(for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        "$b"
+    fi
+done) 2>&1 | tee /root/repo/bench_output.txt
+echo "BENCHES_DONE rc=$?" >> /root/repo/final_run_status.txt

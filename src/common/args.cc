@@ -1,0 +1,74 @@
+#include "args.h"
+
+#include <cstdlib>
+
+#include "logging.h"
+
+namespace genreuse {
+
+ArgParser::ArgParser(int argc, const char *const argv[])
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string tok = argv[i];
+        if (tok.rfind("--", 0) == 0) {
+            std::string key = tok.substr(2);
+            std::string value;
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            }
+            options_.emplace_back(std::move(key), std::move(value));
+        } else {
+            positional_.push_back(std::move(tok));
+        }
+    }
+}
+
+bool
+ArgParser::has(const std::string &key) const
+{
+    for (const auto &[k, v] : options_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+std::string
+ArgParser::getString(const std::string &key,
+                     const std::string &fallback) const
+{
+    for (const auto &[k, v] : options_)
+        if (k == key)
+            return v;
+    return fallback;
+}
+
+long
+ArgParser::getInt(const std::string &key, long fallback) const
+{
+    if (!has(key))
+        return fallback;
+    std::string v = getString(key);
+    char *end = nullptr;
+    long out = std::strtol(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v.empty())
+        fatal("--", key, " expects an integer, got '", v, "'");
+    return out;
+}
+
+double
+ArgParser::getDouble(const std::string &key, double fallback) const
+{
+    if (!has(key))
+        return fallback;
+    std::string v = getString(key);
+    char *end = nullptr;
+    double out = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0' || v.empty())
+        fatal("--", key, " expects a number, got '", v, "'");
+    return out;
+}
+
+} // namespace genreuse

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for the tools: --key value and
+ * --flag forms, typed accessors with defaults, and usage rendering.
+ * Deliberately tiny — no external dependency, no subcommands.
+ */
+
+#ifndef GENREUSE_COMMON_ARGS_H
+#define GENREUSE_COMMON_ARGS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace genreuse {
+
+/** Parsed `--key value` / `--flag` command line. */
+class ArgParser
+{
+  public:
+    /**
+     * Parse argv. Tokens starting with "--" become keys; a following
+     * token not starting with "--" becomes that key's value, otherwise
+     * the key is a boolean flag. Other tokens are positional.
+     */
+    ArgParser(int argc, const char *const argv[]);
+
+    /** True when --key was present (with or without a value). */
+    bool has(const std::string &key) const;
+
+    /** String value of --key, or @p fallback when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+
+    /** Integer value of --key; fatal on non-numeric input. */
+    long getInt(const std::string &key, long fallback) const;
+
+    /** Double value of --key; fatal on non-numeric input. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Positional (non --key) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::vector<std::pair<std::string, std::string>> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_ARGS_H

@@ -1,0 +1,25 @@
+#include "logging.h"
+
+#include <cstdio>
+
+namespace genreuse {
+namespace detail {
+
+void
+exitWithMessage(const char *kind, const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+    std::fflush(stderr);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+void
+printMessage(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+} // namespace genreuse

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers, in the spirit of gem5's
+ * base/logging.hh: fatal() for user errors, panic() for internal bugs,
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef GENREUSE_COMMON_LOGGING_H
+#define GENREUSE_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace genreuse {
+
+namespace detail {
+
+/** Compose a log line from stream-style arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void exitWithMessage(const char *kind, const std::string &msg,
+                                  bool abort_process);
+void printMessage(const char *kind, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Terminate because the *user* supplied an impossible configuration
+ * (bad shape, invalid parameter). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::exitWithMessage("fatal",
+                            detail::composeMessage(std::forward<Args>(args)...),
+                            false);
+}
+
+/**
+ * Terminate because an internal invariant was violated (a library bug).
+ * Calls abort() so a core dump / debugger can catch it.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::exitWithMessage("panic",
+                            detail::composeMessage(std::forward<Args>(args)...),
+                            true);
+}
+
+/** Non-fatal warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::printMessage("warn",
+                         detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::printMessage("info",
+                         detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Check a condition that must hold regardless of user input; panic with
+ * the given message otherwise. Used instead of assert() so the check
+ * survives release builds.
+ */
+#define GENREUSE_REQUIRE(cond, ...)                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::genreuse::panic("requirement failed: ", #cond, " — ",         \
+                              ::genreuse::detail::composeMessage(           \
+                                  __VA_ARGS__),                             \
+                              " (", __FILE__, ":", __LINE__, ")");          \
+        }                                                                   \
+    } while (0)
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_LOGGING_H

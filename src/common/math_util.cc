@@ -1,0 +1,81 @@
+#include "math_util.h"
+
+#include <cmath>
+
+#include "logging.h"
+
+namespace genreuse {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+variance(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double s = 0.0;
+    for (double x : v)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    return std::sqrt(variance(v));
+}
+
+namespace {
+
+template <typename T>
+size_t
+argmaxImpl(const std::vector<T> &v)
+{
+    GENREUSE_REQUIRE(!v.empty(), "argmax of empty vector");
+    size_t best = 0;
+    for (size_t i = 1; i < v.size(); ++i) {
+        if (v[i] > v[best])
+            best = i;
+    }
+    return best;
+}
+
+} // namespace
+
+size_t
+argmax(const std::vector<double> &v)
+{
+    return argmaxImpl(v);
+}
+
+size_t
+argmax(const std::vector<float> &v)
+{
+    return argmaxImpl(v);
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            return 0.0;
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace genreuse

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules: summary statistics,
+ * argmax, clamping, and integer ceiling division.
+ */
+
+#ifndef GENREUSE_COMMON_MATH_UTIL_H
+#define GENREUSE_COMMON_MATH_UTIL_H
+
+#include <cstddef>
+#include <vector>
+
+namespace genreuse {
+
+/** Integer ceiling division. @pre b > 0 */
+constexpr size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Clamp v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Population variance; 0 for vectors with fewer than 2 elements. */
+double variance(const std::vector<double> &v);
+
+/** Standard deviation (sqrt of population variance). */
+double stddev(const std::vector<double> &v);
+
+/** Index of the maximum element. @pre non-empty */
+size_t argmax(const std::vector<double> &v);
+size_t argmax(const std::vector<float> &v);
+
+/** Geometric mean; 0 if the vector is empty or any element <= 0. */
+double geomean(const std::vector<double> &v);
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_MATH_UTIL_H

@@ -1,0 +1,132 @@
+#include "rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "logging.h"
+
+namespace genreuse {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits → [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+float
+Rng::uniformFloat(float lo, float hi)
+{
+    return static_cast<float>(uniform(lo, hi));
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    GENREUSE_REQUIRE(n > 0, "uniformInt needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -n % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard the log() against an exact zero.
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * std::numbers::pi * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::vector<size_t>
+Rng::permutation(size_t n)
+{
+    std::vector<size_t> p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = i;
+    shuffle(p);
+    return p;
+}
+
+Rng
+Rng::fork(uint64_t stream)
+{
+    // Mix the stream id into fresh state derived from this generator.
+    uint64_t seed = next() ^ (stream * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+    return Rng(seed);
+}
+
+} // namespace genreuse

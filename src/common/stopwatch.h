@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the exploration-time accounting
+ * (Table 2) and by benchmark harnesses.
+ */
+
+#ifndef GENREUSE_COMMON_STOPWATCH_H
+#define GENREUSE_COMMON_STOPWATCH_H
+
+#include <chrono>
+
+namespace genreuse {
+
+/** A simple monotonic stopwatch. Starts running on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from zero. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_STOPWATCH_H

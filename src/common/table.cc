@@ -1,0 +1,95 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace genreuse {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths over the header and all rows.
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto renderRow = [&](const std::vector<std::string> &r,
+                         std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < ncols; ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            os << " " << cell << std::string(width[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+    };
+    auto renderSep = [&](std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < ncols; ++c)
+            os << std::string(width[c] + 2, '-') << "|";
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    if (!header_.empty()) {
+        renderRow(header_, os);
+        renderSep(os);
+    }
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        if (std::find(separators_.begin(), separators_.end(), i) !=
+            separators_.end()) {
+            renderSep(os);
+        }
+        renderRow(rows_[i], os);
+    }
+    return os.str();
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatSpeedup(double v, int decimals)
+{
+    return formatDouble(v, decimals) + "x";
+}
+
+std::string
+formatPercent(double v, int decimals)
+{
+    return formatDouble(v * 100.0, decimals) + "%";
+}
+
+} // namespace genreuse

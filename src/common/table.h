@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table rendering used by the benchmark harnesses to print
+ * paper-style tables (Table 1, Table 3, ...) with aligned columns.
+ */
+
+#ifndef GENREUSE_COMMON_TABLE_H
+#define GENREUSE_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace genreuse {
+
+/**
+ * Accumulates rows of strings and renders them with per-column widths.
+ * Numeric formatting is the caller's job (use formatDouble() helpers).
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; it may have fewer cells than the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator at the current position. */
+    void addSeparator();
+
+    /** Render the table to a string, ready to print. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_; // row indices before which to draw
+};
+
+/** Format a double with the given number of decimals. */
+std::string formatDouble(double v, int decimals = 3);
+
+/** Format a ratio like "2.04x". */
+std::string formatSpeedup(double v, int decimals = 2);
+
+/** Format a fraction as a percentage like "96.1%". */
+std::string formatPercent(double v, int decimals = 1);
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_TABLE_H

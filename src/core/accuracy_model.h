@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The analytic accuracy model (§4.1): an upper bound on the squared
+ * Frobenius error of a reuse approximation,
+ *
+ *   ||Y - Ŷ||_F^2  <=  Σ_k ||W_k||_F^2 Σ_i λmax^(i_k) m_(i_k)
+ *
+ * where k ranges over panels (vertical slices / horizontal bands),
+ * i over the panel's clusters, λmax is the largest eigenvalue of the
+ * cluster's covariance and m the cluster size. The m_i and λmax come
+ * from lightweight profiling: random-hash clustering on a sample
+ * (fast, runs "on servers" — here, plain CPU code without training).
+ *
+ * A subtlety the paper's formula leaves implicit: the total error is
+ * ||Σ_k E_k||_F^2 while the formula bounds Σ_k ||E_k||_F^2. The two
+ * coincide per panel, but across K panels the cross terms can add
+ * constructively, so the *rigorous* guarantee (by Cauchy-Schwarz) is
+ * ||Y - Ŷ||_F^2 <= K x bound. In practice the panel errors are close
+ * to uncorrelated and the unscaled bound holds almost always — it is
+ * a ranking indicator (Fig 14), not a certified bound — and the
+ * property tests assert the rigorous K-scaled inequality.
+ */
+
+#ifndef GENREUSE_CORE_ACCURACY_MODEL_H
+#define GENREUSE_CORE_ACCURACY_MODEL_H
+
+#include <cstdint>
+
+#include "reuse_pattern.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** Decomposed bound, useful for reports and tests. */
+struct AccuracyBound
+{
+    double bound = 0.0;        //!< the full §4.1 upper bound
+    double scatterTerm = 0.0;  //!< Σ_k Σ_i λmax m (weights factored out)
+    double weightTerm = 0.0;   //!< Σ_k ||W_k||_F^2 (or ||W||_F^2 horiz.)
+    double measuredError = -1; //!< optional: actual ||Y - Ŷ||_F^2
+};
+
+/**
+ * Evaluate the bound for @p pattern on a sample.
+ *
+ * @param sample_default_x im2col sample in the default layout
+ * @param w Din x M weight matrix in the default layout
+ * @param geom layer geometry
+ * @param seed RNG seed for the lightweight random hash families
+ * @param measure when true, also run the reuse approximation on the
+ *        sample and record the exact squared Frobenius error (used by
+ *        tests to verify the bound really is an upper bound)
+ */
+AccuracyBound accuracyBound(const Tensor &sample_default_x, const Tensor &w,
+                            const ReusePattern &pattern,
+                            const ConvGeometry &geom, uint64_t seed = 7,
+                            bool measure = false);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_ACCURACY_MODEL_H

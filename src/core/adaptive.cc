@@ -1,0 +1,85 @@
+#include "adaptive.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "lsh/clustering.h"
+
+namespace genreuse {
+
+AdaptiveReuseConvAlgo::AdaptiveReuseConvAlgo(
+    std::shared_ptr<ReuseConvAlgo> aggressive,
+    std::shared_ptr<ReuseConvAlgo> conservative, double rt_threshold,
+    size_t probe_rows, size_t probe_hashes, uint64_t seed)
+    : aggressive_(std::move(aggressive)),
+      conservative_(std::move(conservative)),
+      rtThreshold_(rt_threshold),
+      probeRows_(probe_rows),
+      probeHashes_(probe_hashes),
+      seed_(seed)
+{
+    GENREUSE_REQUIRE(aggressive_ != nullptr,
+                     "adaptive algo needs an aggressive strategy");
+    GENREUSE_REQUIRE(aggressive_->fitted(),
+                     "aggressive strategy must be fitted");
+    GENREUSE_REQUIRE(!conservative_ || conservative_->fitted(),
+                     "conservative strategy must be fitted");
+}
+
+double
+AdaptiveReuseConvAlgo::probeRedundancy(const Tensor &x,
+                                       const ConvGeometry &geom,
+                                       CostLedger *ledger) const
+{
+    const size_t tile = geom.kernelH * geom.kernelW;
+    const size_t n = x.shape().rows();
+    const size_t rows = std::min(probeRows_, n);
+    const size_t stride = std::max<size_t>(1, n / rows);
+
+    // Subsample rows; probe the first tile-width panel (one channel's
+    // kernel window) — enough signal to rank inputs by redundancy.
+    Tensor probe({rows, tile});
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = x.data() + (r * stride) * x.shape().cols();
+        std::copy(src, src + tile, probe.data() + r * tile);
+    }
+    Rng rng(seed_);
+    HashFamily family = HashFamily::random(probeHashes_, tile, rng);
+    StridedItems items{probe.data(), rows, tile, tile, 1};
+    ClusterResult clusters = clusterBySignature(items, family);
+
+    if (ledger) {
+        OpCounts ops;
+        ops.macs = family.hashMacs(rows);
+        ops.tableOps = rows;
+        ops.elemMoves = rows * tile;
+        ledger->add(Stage::Clustering, ops);
+    }
+    return clusters.redundancyRatio();
+}
+
+Tensor
+AdaptiveReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
+                                const ConvGeometry &geom,
+                                CostLedger *ledger)
+{
+    lastProbeRt_ = probeRedundancy(x, geom, ledger);
+    lastAggressive_ = lastProbeRt_ >= rtThreshold_;
+    if (lastAggressive_)
+        return aggressive_->multiply(x, w, geom, ledger);
+    if (conservative_)
+        return conservative_->multiply(x, w, geom, ledger);
+    return exact_.multiply(x, w, geom, ledger);
+}
+
+std::string
+AdaptiveReuseConvAlgo::describe() const
+{
+    std::string fallback =
+        conservative_ ? conservative_->describe() : "exact";
+    return "adaptive[rt>=" + formatDouble(rtThreshold_, 2) + " -> " +
+           aggressive_->describe() + ", else " + fallback + "]";
+}
+
+} // namespace genreuse

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Adaptive per-input pattern switching — the "ideal" strategy the
+ * paper discusses in §4(i): reuse pattern selection should happen per
+ * input, but full selection is too slow at runtime, so the practical
+ * system selects per dataset. This module implements a lightweight
+ * middle ground (a natural extension of the paper): a cheap redundancy
+ * probe on each incoming input picks among a few pre-fitted patterns —
+ * an aggressive one for redundant inputs, a conservative fallback (or
+ * the exact convolution) otherwise. The probe hashes a row subsample
+ * and measures r̂_t; its cost is charged to the Clustering stage.
+ */
+
+#ifndef GENREUSE_CORE_ADAPTIVE_H
+#define GENREUSE_CORE_ADAPTIVE_H
+
+#include <memory>
+
+#include "reuse_conv.h"
+
+namespace genreuse {
+
+/** Per-input dispatching convolution strategy. */
+class AdaptiveReuseConvAlgo : public ConvAlgo
+{
+  public:
+    /**
+     * @param aggressive fitted reuse strategy for redundant inputs
+     * @param conservative fitted fallback strategy; nullptr means fall
+     *        back to the exact convolution
+     * @param rt_threshold probe redundancy above which the aggressive
+     *        strategy runs
+     * @param probe_rows rows subsampled by the probe
+     * @param probe_hashes probe hash count; it must be large enough
+     *        that unstructured inputs spread across many buckets
+     *        (2^H >> probe_rows), or every input looks redundant
+     * @param seed probe hash family seed
+     */
+    AdaptiveReuseConvAlgo(std::shared_ptr<ReuseConvAlgo> aggressive,
+                          std::shared_ptr<ReuseConvAlgo> conservative,
+                          double rt_threshold, size_t probe_rows = 96,
+                          size_t probe_hashes = 12, uint64_t seed = 1234);
+
+    Tensor multiply(const Tensor &x, const Tensor &w,
+                    const ConvGeometry &geom, CostLedger *ledger) override;
+
+    std::string describe() const override;
+
+    /** Probe redundancy measured on the last multiply(). */
+    double lastProbeRedundancy() const { return lastProbeRt_; }
+
+    /** True when the last multiply() took the aggressive path. */
+    bool lastUsedAggressive() const { return lastAggressive_; }
+
+    /**
+     * Estimate the redundancy of an im2col matrix by clustering a row
+     * subsample of tile-length vectors. Exposed for tests and tools.
+     */
+    double probeRedundancy(const Tensor &x, const ConvGeometry &geom,
+                           CostLedger *ledger) const;
+
+  private:
+    std::shared_ptr<ReuseConvAlgo> aggressive_;
+    std::shared_ptr<ReuseConvAlgo> conservative_; // may be null
+    ExactConvAlgo exact_;
+    double rtThreshold_;
+    size_t probeRows_;
+    size_t probeHashes_;
+    uint64_t seed_;
+
+    double lastProbeRt_ = 0.0;
+    bool lastAggressive_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_ADAPTIVE_H

@@ -1,0 +1,123 @@
+#include "fc_reuse.h"
+
+#include "common/logging.h"
+#include "lsh/clustering.h"
+#include "tensor/gemm.h"
+
+namespace genreuse {
+
+Tensor
+fcExactForward(const Tensor &x, const Tensor &w, const Tensor &bias)
+{
+    Tensor y = matmul(x, w);
+    if (bias.size() == y.shape().cols()) {
+        for (size_t r = 0; r < y.shape().rows(); ++r)
+            for (size_t c = 0; c < y.shape().cols(); ++c)
+                y.at2(r, c) += bias[c];
+    }
+    return y;
+}
+
+Tensor
+fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
+               size_t segment_len, const HashFamily &family,
+               CostLedger *ledger, ReuseStats *stats)
+{
+    GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
+                     "fcReuseForward expects matrices");
+    const size_t n = x.shape().rows(), f = x.shape().cols();
+    GENREUSE_REQUIRE(w.shape().rows() == f, "x/w inner dim mismatch");
+    const size_t o = w.shape().cols();
+    GENREUSE_REQUIRE(segment_len >= 1 && segment_len <= f,
+                     "segment length out of range");
+    GENREUSE_REQUIRE(family.vectorLength() == segment_len,
+                     "hash family length mismatches segment length");
+
+    const size_t full_segments = f / segment_len;
+    const size_t rem = f - full_segments * segment_len;
+
+    Tensor y({n, o});
+    ReuseStats local;
+    local.exactMacs = n * f * o;
+
+    for (size_t row = 0; row < n; ++row) {
+        const float *xr = x.data() + row * f;
+        float *yr = y.data() + row * o;
+
+        // Cluster this sample's segments.
+        StridedItems items;
+        items.base = xr;
+        items.count = full_segments;
+        items.length = segment_len;
+        items.itemStride = segment_len;
+        items.elemStride = 1;
+        ClusterResult clusters = clusterBySignature(items, family);
+        const size_t nc = clusters.numClusters();
+        local.totalVectors += full_segments;
+        local.totalCentroids += nc;
+        local.numPanels += 1;
+
+        const size_t hash_macs = family.hashMacs(full_segments);
+        local.reuseMacs += hash_macs;
+        if (ledger) {
+            OpCounts cl;
+            cl.macs = hash_macs;
+            cl.tableOps = full_segments;
+            cl.aluOps = full_segments * segment_len;
+            ledger->add(Stage::Clustering, cl);
+        }
+
+        // Sum-reduce weight blocks per cluster, then multiply by the
+        // centroids: y = Σ_c centroid_c x Wsum_c.
+        Tensor wsum({nc * segment_len, o});
+        for (size_t k = 0; k < full_segments; ++k) {
+            const float *wk = w.data() + k * segment_len * o;
+            float *dst =
+                wsum.data() + clusters.assignments[k] * segment_len * o;
+            for (size_t i = 0; i < segment_len * o; ++i)
+                dst[i] += wk[i];
+        }
+        if (ledger) {
+            OpCounts rc;
+            rc.aluOps = full_segments * segment_len * o; // = F x O adds
+            ledger->add(Stage::Recovering, rc);
+        }
+
+        for (size_t c = 0; c < nc; ++c) {
+            gemmRaw(clusters.centroids.data() + c * segment_len,
+                    wsum.data() + c * segment_len * o, yr, 1, o,
+                    segment_len, segment_len, o, o, /*accumulate=*/true);
+        }
+        const size_t gemm_macs = nc * segment_len * o;
+        local.reuseMacs += gemm_macs;
+        if (ledger) {
+            OpCounts mm;
+            mm.macs = gemm_macs;
+            ledger->add(Stage::Gemm, mm);
+        }
+
+        // Trailing partial segment: exact.
+        if (rem > 0) {
+            gemmRaw(xr + full_segments * segment_len,
+                    w.data() + full_segments * segment_len * o, yr, 1, o,
+                    rem, rem, o, o, true);
+            local.reuseMacs += rem * o;
+            if (ledger) {
+                OpCounts mm;
+                mm.macs = rem * o;
+                ledger->add(Stage::Gemm, mm);
+            }
+        }
+
+        if (bias.size() == o) {
+            for (size_t c = 0; c < o; ++c)
+                yr[c] += bias[c];
+        }
+    }
+
+    if (stats)
+        *stats += local;
+    return y;
+}
+
+} // namespace genreuse

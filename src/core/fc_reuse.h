@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reuse for fully connected layers. The paper (§3.1) notes reuse
+ * "can also apply to fully connected layers" but is less useful there;
+ * this module makes that concrete. A sample's input vector x (length
+ * F) is segmented into S = F/L pieces; similar segments cluster, and
+ * by distributivity x_i W_i + x_j W_j ≈ c (W_i + W_j), so the output
+ * is Σ_clusters centroid_c x (sum of the cluster's weight blocks).
+ *
+ * The economics differ from convolution: the weight-block reduction
+ * costs F x O adds per sample — the same order as the exact product —
+ * because a batch-1 FC has no rows to amortize it over. The
+ * ablation_fc_reuse bench quantifies exactly this, reproducing the
+ * paper's observation.
+ */
+
+#ifndef GENREUSE_CORE_FC_REUSE_H
+#define GENREUSE_CORE_FC_REUSE_H
+
+#include "lsh/lsh.h"
+#include "mcu/cost_model.h"
+#include "reuse_stats.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/**
+ * y = x W (+ bias) approximated by segment reuse, per sample.
+ *
+ * @param x N x F input (each sample clusters its own segments)
+ * @param w F x O weight matrix
+ * @param bias length-O bias (empty tensor for none)
+ * @param segment_len L; must satisfy 1 <= L <= F. A trailing segment
+ *        shorter than L is computed exactly.
+ * @param family hash family over length-L vectors
+ */
+Tensor fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
+                      size_t segment_len, const HashFamily &family,
+                      CostLedger *ledger = nullptr,
+                      ReuseStats *stats = nullptr);
+
+/** Exact reference with identical bias handling. */
+Tensor fcExactForward(const Tensor &x, const Tensor &w, const Tensor &bias);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_FC_REUSE_H

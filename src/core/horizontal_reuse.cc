@@ -1,0 +1,163 @@
+#include "horizontal_reuse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "lsh/clustering.h"
+#include "lsh/learned_hash.h"
+#include "tensor/gemm.h"
+
+namespace genreuse {
+
+size_t
+HorizontalSlicing::height(size_t i, size_t n) const
+{
+    const size_t start = i * bandHeight;
+    return std::min(bandHeight, n - start);
+}
+
+HorizontalSlicing
+HorizontalSlicing::plan(size_t n, size_t band_height)
+{
+    GENREUSE_REQUIRE(n > 0, "empty matrix");
+    HorizontalSlicing s;
+    s.bandHeight = band_height == 0 ? n : std::min(band_height, n);
+    s.numBands = (n + s.bandHeight - 1) / s.bandHeight;
+    return s;
+}
+
+Tensor
+horizontalReuseMultiply(const Tensor &x, const Tensor &w,
+                        const HorizontalSlicing &slicing,
+                        const std::vector<HashFamily> &families,
+                        CostLedger *ledger, ReuseStats *stats)
+{
+    GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
+                     "reuse multiply expects matrices");
+    const size_t n = x.shape().rows(), din = x.shape().cols();
+    GENREUSE_REQUIRE(w.shape().rows() == din, "X/W inner dim mismatch");
+    const size_t m = w.shape().cols();
+    const bool shared_family = families.size() == 1;
+    GENREUSE_REQUIRE(shared_family || families.size() == slicing.numBands,
+                     "need 1 shared or per-band hash families");
+
+    Tensor y({n, m});
+    ReuseStats local;
+    local.exactMacs = n * din * m;
+
+    for (size_t i = 0; i < slicing.numBands; ++i) {
+        const size_t row0 = i * slicing.bandHeight;
+        const size_t l = slicing.height(i, n);
+        const HashFamily &family =
+            shared_family ? families[0] : families[i];
+
+        if (family.vectorLength() != l) {
+            // Short trailing band (or mismatched family): exact GEMM.
+            gemmRaw(x.data() + row0 * din, w.data(), y.data() + row0 * m,
+                    l, m, din, din, m, m, false);
+            local.reuseMacs += l * din * m;
+            if (ledger) {
+                OpCounts mm;
+                mm.macs = l * din * m;
+                ledger->add(Stage::Gemm, mm);
+            }
+            continue;
+        }
+
+        // ---- cluster the band's columns ----------------------------
+        StridedItems items;
+        items.base = x.data() + row0 * din;
+        items.count = din;
+        items.length = l;
+        items.itemStride = 1;
+        items.elemStride = din;
+        ClusterResult clusters = clusterBySignature(items, family);
+        const size_t nc = clusters.numClusters();
+        local.totalVectors += din;
+        local.totalCentroids += nc;
+        local.numPanels += 1;
+
+        const size_t hash_macs = family.hashMacs(din);
+        local.reuseMacs += hash_macs;
+        if (ledger) {
+            OpCounts cl;
+            cl.macs = hash_macs;
+            cl.tableOps = din;
+            cl.aluOps = din * l; // centroid accumulation
+            ledger->add(Stage::Clustering, cl);
+        }
+
+        // ---- build X_i^c (l x nc) and W_i^c (nc x m) ----------------
+        Tensor xc({l, nc});
+        for (size_t c = 0; c < nc; ++c)
+            for (size_t j = 0; j < l; ++j)
+                xc.at2(j, c) = clusters.centroids.at2(c, j);
+
+        Tensor wc({nc, m});
+        for (size_t col = 0; col < din; ++col) {
+            const float *wr = w.data() + col * m;
+            float *dst = wc.data() + clusters.assignments[col] * m;
+            for (size_t c = 0; c < m; ++c)
+                dst[c] += wr[c];
+        }
+        if (ledger) {
+            OpCounts rc;
+            rc.aluOps = din * m;    // weight sum-reduction
+            rc.elemMoves = l * nc;  // centroid transpose
+            ledger->add(Stage::Recovering, rc);
+        }
+
+        // ---- band GEMM ----------------------------------------------
+        gemmRaw(xc.data(), wc.data(), y.data() + row0 * m, l, m, nc, nc, m,
+                m, false);
+        const size_t gemm_macs = l * nc * m;
+        local.reuseMacs += gemm_macs;
+        if (ledger) {
+            OpCounts mm;
+            mm.macs = gemm_macs;
+            ledger->add(Stage::Gemm, mm);
+        }
+    }
+
+    if (stats)
+        *stats += local;
+    return y;
+}
+
+std::vector<HashFamily>
+randomHorizontalFamilies(const HorizontalSlicing &slicing, size_t n,
+                         size_t num_hashes, Rng &rng)
+{
+    std::vector<HashFamily> families;
+    families.reserve(slicing.numBands);
+    for (size_t i = 0; i < slicing.numBands; ++i) {
+        families.push_back(
+            HashFamily::random(num_hashes, slicing.height(i, n), rng));
+    }
+    return families;
+}
+
+std::vector<HashFamily>
+learnedHorizontalFamilies(const Tensor &sample_x,
+                          const HorizontalSlicing &slicing,
+                          size_t num_hashes)
+{
+    const size_t n = sample_x.shape().rows();
+    const size_t din = sample_x.shape().cols();
+    std::vector<HashFamily> families;
+    families.reserve(slicing.numBands);
+    for (size_t i = 0; i < slicing.numBands; ++i) {
+        const size_t row0 = i * slicing.bandHeight;
+        const size_t l = slicing.height(i, n);
+        StridedItems items;
+        items.base = sample_x.data() + row0 * din;
+        items.count = din;
+        items.length = l;
+        items.itemStride = 1;
+        items.elemStride = din;
+        families.push_back(learnHashFamilyPca(items, num_hashes));
+    }
+    return families;
+}
+
+} // namespace genreuse

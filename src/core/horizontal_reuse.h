@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Horizontal reuse GEMM (§3.4, Figure 7) — the new reuse direction this
+ * paper introduces. Slice the *rows* of X into bands of height l;
+ * within each band, cluster the Din *columns*; by distributivity,
+ * similar columns a, b with weight rows w_j, w_k satisfy
+ * a w_j + b w_k ≈ c (w_j + w_k) with c = (a + b) / 2, so the band's
+ * output is (column centroids) x (sum-reduced weight rows). Band
+ * outputs concatenate vertically.
+ */
+
+#ifndef GENREUSE_CORE_HORIZONTAL_REUSE_H
+#define GENREUSE_CORE_HORIZONTAL_REUSE_H
+
+#include <vector>
+
+#include "lsh/lsh.h"
+#include "mcu/cost_model.h"
+#include "reuse_stats.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** Row banding plan for horizontal reuse. */
+struct HorizontalSlicing
+{
+    size_t bandHeight = 0; //!< l
+    size_t numBands = 0;
+
+    /** Height of band i (the last band may be shorter). */
+    size_t height(size_t i, size_t n) const;
+
+    static HorizontalSlicing plan(size_t n, size_t band_height);
+};
+
+/**
+ * Y = X x W approximated by horizontal reuse.
+ *
+ * @param x N x Din input matrix (already in the pattern's order)
+ * @param w Din x M weight matrix (rows already matching x's columns)
+ * @param slicing row banding plan
+ * @param families one hash family per band; family i must accept
+ *                 vectors of length height(i)
+ * @param ledger optional cost accounting
+ * @param stats optional reuse statistics output
+ */
+Tensor horizontalReuseMultiply(const Tensor &x, const Tensor &w,
+                               const HorizontalSlicing &slicing,
+                               const std::vector<HashFamily> &families,
+                               CostLedger *ledger, ReuseStats *stats);
+
+/** Random hash families for a banding plan (lightweight profiling). */
+std::vector<HashFamily> randomHorizontalFamilies(
+    const HorizontalSlicing &slicing, size_t n, size_t num_hashes, Rng &rng);
+
+/** PCA-learned hash families from a sample matrix. */
+std::vector<HashFamily> learnedHorizontalFamilies(
+    const Tensor &sample_x, const HorizontalSlicing &slicing,
+    size_t num_hashes);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_HORIZONTAL_REUSE_H

@@ -1,0 +1,82 @@
+#include "latency_model.h"
+
+#include "common/logging.h"
+#include "reuse_conv.h"
+
+namespace genreuse {
+
+double
+LatencyEstimate::flopRatio(const ConvGeometry &geom) const
+{
+    const double h = static_cast<double>(pattern.numHashes);
+    const double dout = static_cast<double>(geom.outChannels);
+    return h / dout + (1.0 - redundancyRatio());
+}
+
+bool
+LatencyEstimate::keyConditionHolds(const ConvGeometry &geom) const
+{
+    const double h = static_cast<double>(pattern.numHashes);
+    const double dout = static_cast<double>(geom.outChannels);
+    return h / dout < redundancyRatio();
+}
+
+double
+LatencyEstimate::milliseconds(const CostModel &model) const
+{
+    return reuseLedger.totalMs(model);
+}
+
+double
+LatencyEstimate::speedup(const CostModel &model) const
+{
+    const double reuse_ms = reuseLedger.totalMs(model);
+    if (reuse_ms <= 0.0)
+        return 1.0;
+    return exactLedger.totalMs(model) / reuse_ms;
+}
+
+CostLedger
+exactConvLedger(const ConvGeometry &geom)
+{
+    CostLedger ledger;
+    OpCounts tf;
+    tf.elemMoves = geom.rows() * geom.cols();
+    ledger.add(Stage::Transformation, tf);
+    OpCounts mm;
+    mm.macs = geom.macs();
+    ledger.add(Stage::Gemm, mm);
+    OpCounts rc;
+    rc.aluOps = geom.rows() * geom.outChannels;   // bias
+    rc.elemMoves = geom.rows() * geom.outChannels; // fold to activation
+    ledger.add(Stage::Recovering, rc);
+    return ledger;
+}
+
+LatencyEstimate
+estimateLatency(const Tensor &sample_default_x, const Tensor &w,
+                const ReusePattern &pattern, const ConvGeometry &geom,
+                uint64_t seed)
+{
+    GENREUSE_REQUIRE(pattern.validFor(geom), "invalid pattern ",
+                     pattern.describe());
+    GENREUSE_REQUIRE(sample_default_x.shape().rows() == geom.rows(),
+                     "profiling sample must match the geometry (use a "
+                     "batch-1 im2col matrix)");
+    LatencyEstimate est;
+    est.pattern = pattern;
+    est.exactLedger = exactConvLedger(geom);
+    // The exact path's im2col move cost also applies before reuse's
+    // reorder; charge it so reuse and exact latencies are comparable.
+    OpCounts im2col_ops;
+    im2col_ops.elemMoves = sample_default_x.size();
+    est.reuseLedger.add(Stage::Transformation, im2col_ops);
+
+    ReuseConvAlgo algo(pattern, HashMode::Random, seed);
+    algo.fit(sample_default_x, geom);
+    algo.multiply(sample_default_x, w, geom, &est.reuseLedger);
+    est.stats = algo.lastStats();
+    return est;
+}
+
+} // namespace genreuse

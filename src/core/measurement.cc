@@ -1,0 +1,93 @@
+#include "measurement.h"
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace genreuse {
+
+Measurement
+measureNetwork(Network &net, const Dataset &eval, const CostModel &model,
+               size_t max_images)
+{
+    const size_t n =
+        max_images == 0 ? eval.size() : std::min(max_images, eval.size());
+    GENREUSE_REQUIRE(n > 0, "empty evaluation set");
+
+    CostLedger conv_ledger;
+    net.setConvLedger(&conv_ledger);
+
+    size_t correct = 0;
+    ReuseStats last_stats;
+    for (size_t i = 0; i < n; ++i) {
+        Tensor x = eval.gatherImages({i});
+        Tensor logits = net.forward(x, /*training=*/false);
+        size_t best = 0;
+        for (size_t c = 1; c < logits.shape().cols(); ++c)
+            if (logits.at2(0, c) > logits.at2(0, best))
+                best = c;
+        if (eval.labels[i] >= 0 &&
+            best == static_cast<size_t>(eval.labels[i])) {
+            correct++;
+        }
+        // Keep the last conv's reuse stats if one is installed.
+        for (auto *conv : net.convLayers()) {
+            auto *reuse = dynamic_cast<ReuseConvAlgo *>(&conv->algo());
+            if (reuse)
+                last_stats = reuse->lastStats();
+        }
+    }
+    net.setConvLedger(nullptr);
+
+    Measurement m;
+    m.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+    m.stats = last_stats;
+
+    // Average the conv ledger over images. OpCounts are integral;
+    // divide at the milliseconds level to avoid rounding.
+    m.convMs = conv_ledger.totalMs(model) / static_cast<double>(n);
+    CostLedger aux = net.staticAuxCost(eval.sampleShape());
+    m.perImageMs = m.convMs + aux.totalMs(model);
+
+    // Scale a copy of the ledger to per-image op counts for reporting.
+    m.perImageConvLedger = CostLedger{};
+    for (size_t s = 0; s < static_cast<size_t>(Stage::NumStages); ++s) {
+        Stage stage = static_cast<Stage>(s);
+        OpCounts ops = conv_ledger.stage(stage);
+        ops.macs /= n;
+        ops.elemMoves /= n;
+        ops.aluOps /= n;
+        ops.tableOps /= n;
+        m.perImageConvLedger.add(stage, ops);
+    }
+    return m;
+}
+
+std::shared_ptr<ReuseConvAlgo>
+fitAndInstall(Network &net, Conv2D &layer, const ReusePattern &pattern,
+              const Dataset &fit_sample, HashMode mode, uint64_t seed)
+{
+    GENREUSE_REQUIRE(fit_sample.size() > 0, "empty fitting sample");
+    // Make sure the layer runs its exact path while capturing im2col.
+    layer.resetAlgo();
+    Tensor x = fit_sample.gatherImages([&] {
+        std::vector<size_t> idx(fit_sample.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        return idx;
+    }());
+    net.forward(x, /*training=*/false);
+
+    auto algo = std::make_shared<ReuseConvAlgo>(pattern, mode, seed);
+    algo->fit(layer.lastIm2col(), layer.lastGeometry());
+    layer.setAlgo(algo);
+    return algo;
+}
+
+void
+resetAllConvs(Network &net)
+{
+    for (auto *conv : net.convLayers())
+        conv->resetAlgo();
+}
+
+} // namespace genreuse

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Empirical measurement harness: run a network (with whatever reuse
+ * strategies are installed on its convolutions) over an evaluation set
+ * and report accuracy plus per-image MCU latency. This is the "full
+ * check" / "measuring on MCU" stage of the selection workflow
+ * (Figure 8, Table 2) and the engine behind every end-to-end number in
+ * the benches.
+ */
+
+#ifndef GENREUSE_CORE_MEASUREMENT_H
+#define GENREUSE_CORE_MEASUREMENT_H
+
+#include "data/dataset.h"
+#include "mcu/cost_model.h"
+#include "nn/network.h"
+#include "reuse_conv.h"
+#include "reuse_pattern.h"
+
+namespace genreuse {
+
+/** Accuracy + latency of one configuration. */
+struct Measurement
+{
+    double accuracy = 0.0;
+    double perImageMs = 0.0;       //!< convs (runtime) + aux (static)
+    double convMs = 0.0;           //!< conv-only portion
+    CostLedger perImageConvLedger; //!< averaged over images
+    ReuseStats stats;              //!< last conv-layer reuse statistics
+};
+
+/**
+ * Evaluate @p net on @p eval with batch-1 forwards (the MCU executes
+ * one image at a time), measuring per-image conv cost via ledgers.
+ *
+ * @param max_images cap on evaluation images (0 = all)
+ */
+Measurement measureNetwork(Network &net, const Dataset &eval,
+                           const CostModel &model, size_t max_images = 0);
+
+/**
+ * Fit a reuse pattern on one conv layer from sample data and install
+ * it. Runs a forward pass over @p fit_sample to capture the layer's
+ * im2col matrix, fits the hash families, and swaps the layer's algo.
+ *
+ * @return the installed algorithm
+ */
+std::shared_ptr<ReuseConvAlgo> fitAndInstall(Network &net, Conv2D &layer,
+                                             const ReusePattern &pattern,
+                                             const Dataset &fit_sample,
+                                             HashMode mode = HashMode::Learned,
+                                             uint64_t seed = 99);
+
+/** Reset every conv in the network to the exact algorithm. */
+void resetAllConvs(Network &net);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_MEASUREMENT_H

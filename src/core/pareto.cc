@@ -1,0 +1,87 @@
+#include "pareto.h"
+
+#include <algorithm>
+
+namespace genreuse {
+
+namespace {
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    const bool no_worse = a.cost <= b.cost && a.benefit >= b.benefit;
+    const bool better = a.cost < b.cost || a.benefit > b.benefit;
+    return no_worse && better;
+}
+
+} // namespace
+
+std::vector<size_t>
+paretoFront(const std::vector<ParetoPoint> &points)
+{
+    std::vector<size_t> front;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j)
+            if (j != i && dominates(points[j], points[i]))
+                dominated = true;
+        if (!dominated)
+            front.push_back(i);
+    }
+    std::sort(front.begin(), front.end(), [&](size_t a, size_t b) {
+        return points[a].cost < points[b].cost;
+    });
+    return front;
+}
+
+std::vector<size_t>
+paretoRank(const std::vector<ParetoPoint> &points)
+{
+    std::vector<size_t> rank(points.size(), 0);
+    std::vector<bool> assigned(points.size(), false);
+    size_t remaining = points.size();
+    size_t level = 0;
+    while (remaining > 0) {
+        // Points not dominated by any other unassigned point.
+        std::vector<size_t> this_front;
+        for (size_t i = 0; i < points.size(); ++i) {
+            if (assigned[i])
+                continue;
+            bool dominated = false;
+            for (size_t j = 0; j < points.size() && !dominated; ++j) {
+                if (j == i || assigned[j])
+                    continue;
+                if (dominates(points[j], points[i]))
+                    dominated = true;
+            }
+            if (!dominated)
+                this_front.push_back(i);
+        }
+        for (size_t i : this_front) {
+            rank[i] = level;
+            assigned[i] = true;
+        }
+        remaining -= this_front.size();
+        level++;
+    }
+    return rank;
+}
+
+std::vector<size_t>
+selectByParetoRank(const std::vector<ParetoPoint> &points, size_t count)
+{
+    std::vector<size_t> rank = paretoRank(points);
+    std::vector<size_t> order(points.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (rank[a] != rank[b])
+            return rank[a] < rank[b];
+        return points[a].cost < points[b].cost;
+    });
+    if (order.size() > count)
+        order.resize(count);
+    return order;
+}
+
+} // namespace genreuse

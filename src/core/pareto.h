@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pareto-front helpers for the (accuracy up, latency down) bi-objective
+ * pattern selection (§3.6, §4.3).
+ */
+
+#ifndef GENREUSE_CORE_PARETO_H
+#define GENREUSE_CORE_PARETO_H
+
+#include <cstddef>
+#include <vector>
+
+namespace genreuse {
+
+/** One candidate in objective space. */
+struct ParetoPoint
+{
+    double cost = 0.0;    //!< minimize (latency, error bound, ...)
+    double benefit = 0.0; //!< maximize (accuracy, r_t, ...)
+    size_t index = 0;     //!< caller's identifier
+};
+
+/**
+ * Indices of the non-dominated points. A point dominates another when
+ * it is no worse in both objectives and strictly better in at least
+ * one. The result is sorted by ascending cost.
+ */
+std::vector<size_t> paretoFront(const std::vector<ParetoPoint> &points);
+
+/**
+ * Rank all points by domination depth: front 0 is the Pareto front,
+ * front 1 the front after removing front 0, and so on. Returns the
+ * front id per point. Used to pick the "promising set" of a given
+ * size in the selection workflow.
+ */
+std::vector<size_t> paretoRank(const std::vector<ParetoPoint> &points);
+
+/**
+ * Pick up to @p count point indices by ascending Pareto rank (ties
+ * broken by cost). This is the analytic pruning step of Figure 8.
+ */
+std::vector<size_t> selectByParetoRank(const std::vector<ParetoPoint> &points,
+                                       size_t count);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_PARETO_H

@@ -1,0 +1,124 @@
+#include "pattern_space.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+namespace {
+
+/** Divisors of n no smaller than lo, capped to at most max_count. */
+std::vector<size_t>
+divisorsAtLeast(size_t n, size_t lo, size_t max_count)
+{
+    std::vector<size_t> out;
+    for (size_t d = lo; d <= n && out.size() < max_count; ++d)
+        if (n % d == 0)
+            out.push_back(d);
+    return out;
+}
+
+} // namespace
+
+std::vector<size_t>
+verticalGranularities(const ConvGeometry &geom)
+{
+    const size_t din = geom.cols();
+    const size_t tile = geom.kernelH * geom.kernelW;
+    std::vector<size_t> out;
+    // The conventional unit: one kernel tile in one channel.
+    out.push_back(std::min(tile, din));
+    // Whole-pixel unit: all channels of one kernel position (C2 order).
+    if (geom.inChannels > 1 && geom.inChannels <= din)
+        out.push_back(geom.inChannels);
+    // Fractions of Din.
+    for (size_t frac : {8, 4, 2}) {
+        size_t l = din / frac;
+        if (l >= 4)
+            out.push_back(l);
+    }
+    out.push_back(din); // single slice
+    // Deduplicate, keep sorted.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<size_t>
+horizontalGranularities(const ConvGeometry &geom)
+{
+    // Bands aligned to whole output rows keep memory views coherent.
+    const size_t pix = geom.outHeight() * geom.outWidth();
+    std::vector<size_t> out;
+    for (size_t d : divisorsAtLeast(pix, std::max<size_t>(4, pix / 16), 3))
+        out.push_back(d);
+    out.push_back(pix);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+PatternScope
+PatternScope::defaultScope(const ConvGeometry &geom)
+{
+    PatternScope s;
+    s.columnOrders = {ColumnOrder::ChannelMajor, ColumnOrder::PixelMajor};
+    s.rowOrders = {RowOrder::BatchMajor};
+    s.directions = {ReuseDirection::Vertical, ReuseDirection::Horizontal};
+    s.granularities = verticalGranularities(geom);
+    for (size_t g : horizontalGranularities(geom))
+        s.granularities.push_back(g);
+    std::sort(s.granularities.begin(), s.granularities.end());
+    s.granularities.erase(
+        std::unique(s.granularities.begin(), s.granularities.end()),
+        s.granularities.end());
+    s.blockRows = {1, 2};
+    s.hashCounts = {2, 3, 4, 6};
+    return s;
+}
+
+PatternScope
+PatternScope::smallScope(const ConvGeometry &geom)
+{
+    PatternScope s;
+    s.columnOrders = {ColumnOrder::ChannelMajor, ColumnOrder::PixelMajor};
+    s.rowOrders = {RowOrder::BatchMajor};
+    s.directions = {ReuseDirection::Vertical, ReuseDirection::Horizontal};
+    s.granularities = {geom.kernelH * geom.kernelW, geom.cols()};
+    s.blockRows = {1};
+    s.hashCounts = {3};
+    return s;
+}
+
+std::vector<ReusePattern>
+enumeratePatterns(const PatternScope &scope, const ConvGeometry &geom)
+{
+    std::vector<ReusePattern> out;
+    for (ColumnOrder co : scope.columnOrders) {
+        for (RowOrder ro : scope.rowOrders) {
+            for (ReuseDirection dir : scope.directions) {
+                for (size_t l : scope.granularities) {
+                    for (size_t br : scope.blockRows) {
+                        if (dir == ReuseDirection::Horizontal && br != 1)
+                            continue; // blocks are vertical-only
+                        for (size_t h : scope.hashCounts) {
+                            ReusePattern p;
+                            p.columnOrder = co;
+                            p.rowOrder = ro;
+                            p.direction = dir;
+                            p.granularity = l;
+                            p.blockRows = br;
+                            p.numHashes = h;
+                            if (p.validFor(geom))
+                                out.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace genreuse

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Pattern-space enumeration (§4.3): a configurable *scope* lists the
+ * reorders, directions, granularities, block shapes and hash counts to
+ * consider; enumeration takes their cross product and keeps the
+ * patterns valid for a given layer geometry. The default scope mirrors
+ * the "most common options" the paper's framework ships with.
+ */
+
+#ifndef GENREUSE_CORE_PATTERN_SPACE_H
+#define GENREUSE_CORE_PATTERN_SPACE_H
+
+#include <vector>
+
+#include "reuse_pattern.h"
+
+namespace genreuse {
+
+/** The configurable scope of reuse patterns (Figure 8's input). */
+struct PatternScope
+{
+    std::vector<ColumnOrder> columnOrders;
+    std::vector<RowOrder> rowOrders;
+    std::vector<ReuseDirection> directions;
+    std::vector<size_t> granularities; //!< L values (0 = whole extent)
+    std::vector<size_t> blockRows;     //!< 2-D block row counts
+    std::vector<size_t> hashCounts;    //!< H values
+
+    /**
+     * A sensible default for a geometry: channel-major and pixel-major
+     * orders, both directions, granularities derived from the kernel
+     * tile and channel counts, block rows {1, 2}, H in {2..6}.
+     */
+    static PatternScope defaultScope(const ConvGeometry &geom);
+
+    /** A small scope for tests (a handful of candidates). */
+    static PatternScope smallScope(const ConvGeometry &geom);
+};
+
+/**
+ * Cross product of the scope, filtered to patterns valid for @p geom.
+ * Duplicate-equivalent combinations (e.g. block rows > 1 with a
+ * horizontal direction) are skipped.
+ */
+std::vector<ReusePattern> enumeratePatterns(const PatternScope &scope,
+                                            const ConvGeometry &geom);
+
+/**
+ * Granularity candidates for vertical reuse on a geometry: divisors
+ * and tile-aligned fractions of Din (e.g. the paper's Table 1 uses
+ * L in {15, 20, 32, ...} for Din = 75 or 1600).
+ */
+std::vector<size_t> verticalGranularities(const ConvGeometry &geom);
+
+/** Granularity candidates (band heights) for horizontal reuse. */
+std::vector<size_t> horizontalGranularities(const ConvGeometry &geom);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_PATTERN_SPACE_H

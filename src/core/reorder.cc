@@ -1,0 +1,165 @@
+#include "reorder.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+std::vector<uint32_t>
+columnPermutation(const ReusePattern &pattern, const ConvGeometry &geom)
+{
+    const size_t c = geom.inChannels, kh = geom.kernelH, kw = geom.kernelW;
+    const size_t din = geom.cols();
+    std::vector<uint32_t> perm(din);
+
+    switch (pattern.columnOrder) {
+      case ColumnOrder::ChannelMajor:
+        std::iota(perm.begin(), perm.end(), 0u);
+        break;
+      case ColumnOrder::PixelMajor: {
+        // new layout [kh*kw][c]: new = pix * C + ch, old = ch*KH*KW + pix
+        size_t idx = 0;
+        for (size_t pix = 0; pix < kh * kw; ++pix)
+            for (size_t ch = 0; ch < c; ++ch, ++idx)
+                perm[idx] = static_cast<uint32_t>(ch * kh * kw + pix);
+        break;
+      }
+      case ColumnOrder::KwMajor: {
+        // new layout [kw][c][kh]
+        size_t idx = 0;
+        for (size_t x = 0; x < kw; ++x)
+            for (size_t ch = 0; ch < c; ++ch)
+                for (size_t y = 0; y < kh; ++y, ++idx)
+                    perm[idx] =
+                        static_cast<uint32_t>((ch * kh + y) * kw + x);
+        break;
+      }
+      case ColumnOrder::Custom:
+        GENREUSE_REQUIRE(isPermutation(pattern.customColumnPerm, din),
+                         "custom column order is not a permutation of ",
+                         din);
+        perm = pattern.customColumnPerm;
+        break;
+    }
+    return perm;
+}
+
+std::vector<uint32_t>
+rowPermutation(const ReusePattern &pattern, const ConvGeometry &geom)
+{
+    const size_t b = geom.batch;
+    const size_t pix = geom.outHeight() * geom.outWidth();
+    const size_t n = geom.rows();
+    std::vector<uint32_t> perm(n);
+
+    switch (pattern.rowOrder) {
+      case RowOrder::BatchMajor:
+        std::iota(perm.begin(), perm.end(), 0u);
+        break;
+      case RowOrder::PixelMajor: {
+        // new = p * B + bi, old = bi * pix + p — Fig 6(e)'s image
+        // interleave, so a neuron block can span two images (pattern-3).
+        size_t idx = 0;
+        for (size_t p = 0; p < pix; ++p)
+            for (size_t bi = 0; bi < b; ++bi, ++idx)
+                perm[idx] = static_cast<uint32_t>(bi * pix + p);
+        break;
+      }
+      case RowOrder::Custom:
+        GENREUSE_REQUIRE(isPermutation(pattern.customRowPerm, n),
+                         "custom row order is not a permutation of ", n);
+        perm = pattern.customRowPerm;
+        break;
+    }
+    return perm;
+}
+
+bool
+isIdentity(const std::vector<uint32_t> &perm)
+{
+    for (size_t i = 0; i < perm.size(); ++i)
+        if (perm[i] != i)
+            return false;
+    return true;
+}
+
+Tensor
+reorderMatrix(const Tensor &in, const std::vector<uint32_t> &row_perm,
+              const std::vector<uint32_t> &col_perm)
+{
+    GENREUSE_REQUIRE(in.shape().rank() == 2, "reorderMatrix expects rank-2");
+    const size_t rows = in.shape().rows(), cols = in.shape().cols();
+    GENREUSE_REQUIRE(row_perm.size() == rows && col_perm.size() == cols,
+                     "permutation sizes mismatch matrix ",
+                     in.shape().toString());
+    Tensor out({rows, cols});
+    if (isIdentity(col_perm)) {
+        for (size_t r = 0; r < rows; ++r) {
+            const float *src = in.data() + row_perm[r] * cols;
+            float *dst = out.data() + r * cols;
+            std::copy(src, src + cols, dst);
+        }
+        return out;
+    }
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = in.data() + row_perm[r] * cols;
+        float *dst = out.data() + r * cols;
+        for (size_t c = 0; c < cols; ++c)
+            dst[c] = src[col_perm[c]];
+    }
+    return out;
+}
+
+Tensor
+permuteRows(const Tensor &in, const std::vector<uint32_t> &perm)
+{
+    GENREUSE_REQUIRE(in.shape().rank() == 2, "permuteRows expects rank-2");
+    const size_t rows = in.shape().rows(), cols = in.shape().cols();
+    GENREUSE_REQUIRE(perm.size() == rows, "row permutation size mismatch");
+    Tensor out({rows, cols});
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = in.data() + perm[r] * cols;
+        std::copy(src, src + cols, out.data() + r * cols);
+    }
+    return out;
+}
+
+Tensor
+unpermuteRows(const Tensor &in, const std::vector<uint32_t> &perm)
+{
+    GENREUSE_REQUIRE(in.shape().rank() == 2, "unpermuteRows expects rank-2");
+    const size_t rows = in.shape().rows(), cols = in.shape().cols();
+    GENREUSE_REQUIRE(perm.size() == rows, "row permutation size mismatch");
+    Tensor out({rows, cols});
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = in.data() + r * cols;
+        std::copy(src, src + cols, out.data() + perm[r] * cols);
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+invertPermutation(const std::vector<uint32_t> &perm)
+{
+    std::vector<uint32_t> inv(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        inv[perm[i]] = static_cast<uint32_t>(i);
+    return inv;
+}
+
+bool
+isPermutation(const std::vector<uint32_t> &perm, size_t n)
+{
+    if (perm.size() != n)
+        return false;
+    std::vector<bool> seen(n, false);
+    for (uint32_t p : perm) {
+        if (p >= n || seen[p])
+            return false;
+        seen[p] = true;
+    }
+    return true;
+}
+
+} // namespace genreuse

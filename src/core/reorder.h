@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The reorder engine (§3.3, Insight-2): reuse-unit definitions are
+ * materialized as row/column permutations of the im2col matrix, with a
+ * coordinated adjustment of the weight matrix (a column reorder of X
+ * must permute the rows of W identically so X x W is unchanged) and of
+ * the output (a row reorder of X permutes the rows of Y, undone after
+ * the multiplication).
+ *
+ * Permutations are stored as perm[new_index] = old_index.
+ */
+
+#ifndef GENREUSE_CORE_REORDER_H
+#define GENREUSE_CORE_REORDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "reuse_pattern.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** Column permutation realizing the pattern's column order. */
+std::vector<uint32_t> columnPermutation(const ReusePattern &pattern,
+                                        const ConvGeometry &geom);
+
+/** Row permutation realizing the pattern's row order. */
+std::vector<uint32_t> rowPermutation(const ReusePattern &pattern,
+                                     const ConvGeometry &geom);
+
+/** Identity check, used to skip no-op gathers. */
+bool isIdentity(const std::vector<uint32_t> &perm);
+
+/** Gather rows and columns: out[r, c] = in[rowPerm[r], colPerm[c]]. */
+Tensor reorderMatrix(const Tensor &in,
+                     const std::vector<uint32_t> &row_perm,
+                     const std::vector<uint32_t> &col_perm);
+
+/** Permute only rows of a matrix: out[r, :] = in[perm[r], :]. */
+Tensor permuteRows(const Tensor &in, const std::vector<uint32_t> &perm);
+
+/** Inverse row permutation: out[perm[r], :] = in[r, :]. */
+Tensor unpermuteRows(const Tensor &in, const std::vector<uint32_t> &perm);
+
+/** Inverse of a permutation. */
+std::vector<uint32_t> invertPermutation(const std::vector<uint32_t> &perm);
+
+/** True when @p perm is a valid permutation of [0, n). */
+bool isPermutation(const std::vector<uint32_t> &perm, size_t n);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_REORDER_H

@@ -1,0 +1,147 @@
+#include "reuse_conv.h"
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+ReuseConvAlgo::ReuseConvAlgo(ReusePattern pattern, HashMode mode,
+                             uint64_t seed)
+    : pattern_(std::move(pattern)), mode_(mode), seed_(seed)
+{
+}
+
+void
+ReuseConvAlgo::fit(const Tensor &sample_default_x, const ConvGeometry &geom)
+{
+    GENREUSE_REQUIRE(pattern_.validFor(geom), "pattern ",
+                     pattern_.describe(), " invalid for this geometry");
+    GENREUSE_REQUIRE(sample_default_x.shape().rank() == 2 &&
+                     sample_default_x.shape().cols() == geom.cols(),
+                     "sample im2col shape mismatch");
+
+    colPerm_ = columnPermutation(pattern_, geom);
+    const size_t din = geom.cols();
+    const size_t l = pattern_.effectiveGranularity(geom);
+
+    // Reorder the sample the same way multiply() will reorder inputs
+    // (the sample's rows keep their order: the clustering statistics
+    // are permutation-invariant over rows of the sample).
+    Tensor sample = sample_default_x;
+    if (!isIdentity(colPerm_)) {
+        std::vector<uint32_t> id(sample.shape().rows());
+        for (size_t i = 0; i < id.size(); ++i)
+            id[i] = static_cast<uint32_t>(i);
+        sample = reorderMatrix(sample, id, colPerm_);
+    }
+
+    Rng rng(seed_);
+    if (pattern_.direction == ReuseDirection::Vertical) {
+        vslice_ = VerticalSlicing::plan(din, l, pattern_.blockRows);
+        families_ =
+            mode_ == HashMode::Random
+                ? randomVerticalFamilies(vslice_, din, pattern_.numHashes,
+                                         rng)
+                : learnedVerticalFamilies(sample, vslice_,
+                                          pattern_.numHashes);
+    } else {
+        hslice_ = HorizontalSlicing::plan(sample.shape().rows(), l);
+        families_ =
+            mode_ == HashMode::Random
+                ? randomHorizontalFamilies(hslice_, sample.shape().rows(),
+                                           pattern_.numHashes, rng)
+                : learnedHorizontalFamilies(sample, hslice_,
+                                            pattern_.numHashes);
+    }
+    fittedDin_ = din;
+    fitted_ = true;
+}
+
+Tensor
+ReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
+                        const ConvGeometry &geom, CostLedger *ledger)
+{
+    GENREUSE_REQUIRE(fitted_, "ReuseConvAlgo::multiply before fit()");
+    GENREUSE_REQUIRE(geom.cols() == fittedDin_,
+                     "geometry changed since fit: Din ", geom.cols(),
+                     " vs ", fittedDin_);
+
+    const std::vector<uint32_t> row_perm = rowPermutation(pattern_, geom);
+    const bool reorder_rows = !isIdentity(row_perm);
+    const bool reorder_cols = !isIdentity(colPerm_);
+
+    // Layout transformation of the input matrix. (The paper includes
+    // reorder cost in all reported latencies; weight-row reordering is
+    // free at runtime because weights are pre-permuted offline.)
+    Tensor xr = x;
+    if (reorder_rows || reorder_cols) {
+        if (reorder_rows && reorder_cols) {
+            xr = reorderMatrix(x, row_perm, colPerm_);
+        } else if (reorder_rows) {
+            xr = permuteRows(x, row_perm);
+        } else {
+            std::vector<uint32_t> id(x.shape().rows());
+            for (size_t i = 0; i < id.size(); ++i)
+                id[i] = static_cast<uint32_t>(i);
+            xr = reorderMatrix(x, id, colPerm_);
+        }
+        if (ledger) {
+            OpCounts tf;
+            tf.elemMoves = x.size();
+            ledger->add(Stage::Transformation, tf);
+        }
+    }
+    Tensor wr = reorder_cols ? permuteRows(w, colPerm_) : w;
+
+    lastStats_ = ReuseStats{};
+    Tensor yr;
+    if (pattern_.direction == ReuseDirection::Vertical) {
+        yr = verticalReuseMultiply(xr, wr, vslice_, families_, ledger,
+                                   &lastStats_);
+    } else {
+        HorizontalSlicing plan = HorizontalSlicing::plan(
+            xr.shape().rows(), pattern_.effectiveGranularity(geom));
+        if (families_.size() == plan.numBands) {
+            yr = horizontalReuseMultiply(xr, wr, plan, families_, ledger,
+                                         &lastStats_);
+        } else {
+            // Batch size differs from the fitting sample: all full
+            // bands share the same height, so the first family covers
+            // them (a short trailing band falls back to exact GEMM).
+            std::vector<HashFamily> shared = {families_.front()};
+            yr = horizontalReuseMultiply(xr, wr, plan, shared, ledger,
+                                         &lastStats_);
+        }
+    }
+
+    if (reorder_rows) {
+        yr = unpermuteRows(yr, row_perm);
+        if (ledger) {
+            OpCounts rc;
+            rc.elemMoves = yr.size();
+            ledger->add(Stage::Recovering, rc);
+        }
+    }
+    return yr;
+}
+
+std::string
+ReuseConvAlgo::describe() const
+{
+    return std::string("reuse[") + pattern_.describe() + "|" +
+           (mode_ == HashMode::Random ? "random" : "learned") + "]";
+}
+
+std::shared_ptr<ReuseConvAlgo>
+applyReusePattern(Conv2D &layer, const ReusePattern &pattern,
+                  const Tensor &sample_default_x, const ConvGeometry &geom,
+                  HashMode mode, uint64_t seed)
+{
+    GENREUSE_REQUIRE(sample_default_x.shape().cols() == geom.cols(),
+                     "sample does not match layer ", layer.name());
+    auto algo = std::make_shared<ReuseConvAlgo>(pattern, mode, seed);
+    algo->fit(sample_default_x, geom);
+    layer.setAlgo(algo);
+    return algo;
+}
+
+} // namespace genreuse

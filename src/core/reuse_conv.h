@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ReuseConvAlgo — a ConvAlgo strategy that executes a convolution's
+ * GEMM under a generalized reuse pattern: reorder the im2col matrix
+ * (and the weight rows) per the pattern, run vertical or horizontal
+ * reuse with the fitted LSH families, and undo the row reorder on the
+ * output. Drop-in for Conv2D::setAlgo(), so any model in src/models
+ * can be reuse-optimized layer by layer.
+ */
+
+#ifndef GENREUSE_CORE_REUSE_CONV_H
+#define GENREUSE_CORE_REUSE_CONV_H
+
+#include <memory>
+
+#include "horizontal_reuse.h"
+#include "nn/conv2d.h"
+#include "reorder.h"
+#include "reuse_pattern.h"
+#include "reuse_stats.h"
+#include "vertical_reuse.h"
+
+namespace genreuse {
+
+/** How the LSH hash vectors are obtained. */
+enum class HashMode
+{
+    Random,  //!< random hyperplanes (lightweight profiling mode)
+    Learned, //!< PCA-learned hyperplanes (TREC-equivalent; see DESIGN.md)
+};
+
+/** Convolution multiplication under a generalized reuse pattern. */
+class ReuseConvAlgo : public ConvAlgo
+{
+  public:
+    /**
+     * @param pattern the reuse pattern to execute
+     * @param mode hash-vector source; Learned requires fit()
+     * @param seed RNG seed for Random mode hash vectors
+     */
+    explicit ReuseConvAlgo(ReusePattern pattern,
+                           HashMode mode = HashMode::Learned,
+                           uint64_t seed = 99);
+
+    /**
+     * Fit the hash families. @p sample_default_x is an im2col matrix
+     * in the *default* layout (as produced by im2col()) from sample
+     * data, e.g. a training batch; @p geom the layer geometry.
+     * Random mode ignores the sample values but uses the shapes.
+     */
+    void fit(const Tensor &sample_default_x, const ConvGeometry &geom);
+
+    Tensor multiply(const Tensor &x, const Tensor &w,
+                    const ConvGeometry &geom, CostLedger *ledger) override;
+
+    std::string describe() const override;
+
+    const ReusePattern &pattern() const { return pattern_; }
+    bool fitted() const { return fitted_; }
+
+    /** Statistics of the most recent multiply(). */
+    const ReuseStats &lastStats() const { return lastStats_; }
+
+  private:
+    ReusePattern pattern_;
+    HashMode mode_;
+    uint64_t seed_;
+
+    std::vector<uint32_t> colPerm_;
+    VerticalSlicing vslice_;
+    HorizontalSlicing hslice_;
+    std::vector<HashFamily> families_;
+    bool fitted_ = false;
+    size_t fittedDin_ = 0;
+
+    ReuseStats lastStats_;
+};
+
+/**
+ * Convenience: build, fit and install a ReuseConvAlgo on a conv layer.
+ * The sample im2col matrix comes from running @p sample_input through
+ * the owning network up to this layer beforehand (the layer caches its
+ * last im2col matrix); callers that already forwarded sample data can
+ * pass Conv2D::lastIm2col().
+ *
+ * @return the installed algorithm (owned jointly with the layer)
+ */
+std::shared_ptr<ReuseConvAlgo> applyReusePattern(
+    Conv2D &layer, const ReusePattern &pattern,
+    const Tensor &sample_default_x, const ConvGeometry &geom,
+    HashMode mode = HashMode::Learned, uint64_t seed = 99);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_REUSE_CONV_H

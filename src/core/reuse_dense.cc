@@ -1,0 +1,81 @@
+#include "reuse_dense.h"
+
+#include "common/logging.h"
+#include "lsh/learned_hash.h"
+
+namespace genreuse {
+
+ReuseDense::ReuseDense(std::string name, size_t in_features,
+                       size_t out_features, Rng &rng)
+    : Layer(name), dense_(name + ".dense", in_features, out_features, rng)
+{
+}
+
+void
+ReuseDense::fitReuse(const Tensor &sample, size_t segment_len,
+                     size_t num_hashes)
+{
+    GENREUSE_REQUIRE(sample.shape().rank() == 2 &&
+                     sample.shape().cols() == dense_.inFeatures(),
+                     "sample must be N x inFeatures");
+    GENREUSE_REQUIRE(segment_len >= 1 &&
+                     segment_len <= dense_.inFeatures(),
+                     "segment length out of range");
+    // Learn from the segment population across all sample rows.
+    const size_t n = sample.shape().rows();
+    const size_t f = dense_.inFeatures();
+    const size_t segs = f / segment_len;
+    GENREUSE_REQUIRE(segs * n >= 2, "not enough segments to learn from");
+
+    // Segments are contiguous length-L pieces of each row: viewing the
+    // sample buffer as (n * segs) rows of length L covers exactly the
+    // full segments when L divides F; otherwise build a packed copy.
+    if (f % segment_len == 0) {
+        StridedItems items{sample.data(), n * segs, segment_len,
+                           segment_len, 1};
+        family_ = std::make_unique<HashFamily>(
+            learnHashFamilyPca(items, num_hashes));
+    } else {
+        Tensor packed({n * segs, segment_len});
+        for (size_t r = 0; r < n; ++r)
+            for (size_t s = 0; s < segs; ++s)
+                for (size_t j = 0; j < segment_len; ++j)
+                    packed.at2(r * segs + s, j) =
+                        sample.at2(r, s * segment_len + j);
+        StridedItems items{packed.data(), n * segs, segment_len,
+                           segment_len, 1};
+        family_ = std::make_unique<HashFamily>(
+            learnHashFamilyPca(items, num_hashes));
+    }
+    segmentLen_ = segment_len;
+    reuseEnabled_ = true;
+}
+
+Tensor
+ReuseDense::forward(const Tensor &x, bool training)
+{
+    if (training || !reuseEnabled_)
+        return dense_.forward(x, training);
+
+    // Flatten per sample (same convention as Dense).
+    const size_t n = x.shape().dim(0);
+    Tensor flat = x.reshaped({n, x.size() / n});
+    lastStats_ = ReuseStats{};
+    return fcReuseForward(flat, dense_.weight().value,
+                          dense_.bias().value, segmentLen_, *family_,
+                          ledger_, &lastStats_);
+}
+
+Tensor
+ReuseDense::backward(const Tensor &grad_out)
+{
+    return dense_.backward(grad_out);
+}
+
+void
+ReuseDense::appendCost(const Shape &in, CostLedger &ledger) const
+{
+    dense_.appendCost(in, ledger);
+}
+
+} // namespace genreuse

@@ -1,0 +1,107 @@
+#include "reuse_pattern.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+const char *
+toString(ReuseDirection d)
+{
+    return d == ReuseDirection::Vertical ? "M-1" : "M-2";
+}
+
+const char *
+toString(ColumnOrder o)
+{
+    switch (o) {
+      case ColumnOrder::ChannelMajor:
+        return "C1";
+      case ColumnOrder::PixelMajor:
+        return "C2";
+      case ColumnOrder::KwMajor:
+        return "C3";
+      default:
+        return "Ccustom";
+    }
+}
+
+const char *
+toString(RowOrder o)
+{
+    switch (o) {
+      case RowOrder::BatchMajor:
+        return "R1";
+      case RowOrder::PixelMajor:
+        return "R2";
+      default:
+        return "Rcustom";
+    }
+}
+
+ReusePattern
+ReusePattern::conventional(const ConvGeometry &geom, size_t num_hashes)
+{
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::ChannelMajor;
+    p.rowOrder = RowOrder::BatchMajor;
+    p.direction = ReuseDirection::Vertical;
+    p.granularity = geom.kernelH * geom.kernelW; // one tile in one channel
+    p.blockRows = 1;
+    p.numHashes = num_hashes;
+    return p;
+}
+
+std::string
+ReusePattern::describe() const
+{
+    std::ostringstream os;
+    os << toString(columnOrder) << "/" << toString(rowOrder) << "/"
+       << toString(direction) << " L=" << granularity
+       << " H=" << numHashes;
+    if (blockRows != 1)
+        os << " r=" << blockRows;
+    return os.str();
+}
+
+bool
+ReusePattern::validFor(const ConvGeometry &geom) const
+{
+    if (!geom.valid())
+        return false;
+    if (numHashes < 1 || numHashes > 64)
+        return false;
+    if (blockRows < 1)
+        return false;
+    if (columnOrder == ColumnOrder::Custom &&
+        customColumnPerm.size() != geom.cols()) {
+        return false;
+    }
+    if (rowOrder == RowOrder::Custom &&
+        customRowPerm.size() != geom.rows()) {
+        return false;
+    }
+    if (direction == ReuseDirection::Vertical) {
+        if (granularity > geom.cols())
+            return false;
+        if (blockRows > geom.rows())
+            return false;
+    } else {
+        if (granularity > geom.rows())
+            return false;
+        if (blockRows != 1)
+            return false; // blocks are a vertical-direction concept
+    }
+    return true;
+}
+
+size_t
+ReusePattern::effectiveGranularity(const ConvGeometry &geom) const
+{
+    if (granularity != 0)
+        return granularity;
+    return direction == ReuseDirection::Vertical ? geom.cols() : geom.rows();
+}
+
+} // namespace genreuse

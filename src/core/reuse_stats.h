@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Statistics reported by one reuse multiplication — the quantities the
+ * paper's analytic latency model consumes (§4.2): neuron vector count
+ * n, centroid count n_c, and the resulting redundancy ratio r_t.
+ */
+
+#ifndef GENREUSE_CORE_REUSE_STATS_H
+#define GENREUSE_CORE_REUSE_STATS_H
+
+#include <cstddef>
+
+namespace genreuse {
+
+/** Aggregated over all panels of one reuse GEMM. */
+struct ReuseStats
+{
+    size_t totalVectors = 0;   //!< n = N x K (vectors across panels)
+    size_t totalCentroids = 0; //!< n_c
+    size_t numPanels = 0;      //!< K (vertical slices or row bands)
+    size_t exactMacs = 0;      //!< N * Din * Dout of the exact GEMM
+    size_t reuseMacs = 0;      //!< hashing + centroid GEMM MACs
+
+    /** r_t = 1 - n_c / n. */
+    double
+    redundancyRatio() const
+    {
+        if (totalVectors == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(totalCentroids) /
+                     static_cast<double>(totalVectors);
+    }
+
+    /** MAC reduction factor of reuse over the exact GEMM. */
+    double
+    macReduction() const
+    {
+        if (reuseMacs == 0)
+            return 1.0;
+        return static_cast<double>(exactMacs) /
+               static_cast<double>(reuseMacs);
+    }
+
+    ReuseStats &
+    operator+=(const ReuseStats &o)
+    {
+        totalVectors += o.totalVectors;
+        totalCentroids += o.totalCentroids;
+        numPanels += o.numPanels;
+        exactMacs += o.exactMacs;
+        reuseMacs += o.reuseMacs;
+        return *this;
+    }
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_REUSE_STATS_H

@@ -1,0 +1,185 @@
+#include "scope_file.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+namespace {
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::string tok = trim(s.substr(pos, comma - pos));
+        if (!tok.empty())
+            out.push_back(tok);
+        pos = comma + 1;
+    }
+    return out;
+}
+
+size_t
+parseCount(const std::string &tok, const char *what)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    GENREUSE_REQUIRE(end != nullptr && *end == '\0' && !tok.empty(),
+                     "bad ", what, " value '", tok, "' in scope file");
+    return static_cast<size_t>(v);
+}
+
+ColumnOrder
+parseColumnOrder(const std::string &tok)
+{
+    if (tok == "C1")
+        return ColumnOrder::ChannelMajor;
+    if (tok == "C2")
+        return ColumnOrder::PixelMajor;
+    if (tok == "C3")
+        return ColumnOrder::KwMajor;
+    fatal("unknown column order '", tok, "' in scope file (C1|C2|C3)");
+}
+
+RowOrder
+parseRowOrder(const std::string &tok)
+{
+    if (tok == "R1")
+        return RowOrder::BatchMajor;
+    if (tok == "R2")
+        return RowOrder::PixelMajor;
+    fatal("unknown row order '", tok, "' in scope file (R1|R2)");
+}
+
+ReuseDirection
+parseDirection(const std::string &tok)
+{
+    if (tok == "M-1")
+        return ReuseDirection::Vertical;
+    if (tok == "M-2")
+        return ReuseDirection::Horizontal;
+    fatal("unknown direction '", tok, "' in scope file (M-1|M-2)");
+}
+
+} // namespace
+
+PatternScope
+parseScope(std::istream &is, const PatternScope &base)
+{
+    PatternScope scope = base;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(is, line)) {
+        line_no++;
+        // Strip comments.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        size_t eq = line.find('=');
+        GENREUSE_REQUIRE(eq != std::string::npos,
+                         "scope file line ", line_no,
+                         ": expected 'key = values'");
+        std::string key = trim(line.substr(0, eq));
+        std::vector<std::string> values = splitCsv(line.substr(eq + 1));
+        GENREUSE_REQUIRE(!values.empty(), "scope file line ", line_no,
+                         ": no values for '", key, "'");
+
+        if (key == "orders") {
+            scope.columnOrders.clear();
+            for (const auto &v : values)
+                scope.columnOrders.push_back(parseColumnOrder(v));
+        } else if (key == "row_orders") {
+            scope.rowOrders.clear();
+            for (const auto &v : values)
+                scope.rowOrders.push_back(parseRowOrder(v));
+        } else if (key == "directions") {
+            scope.directions.clear();
+            for (const auto &v : values)
+                scope.directions.push_back(parseDirection(v));
+        } else if (key == "granularities") {
+            scope.granularities.clear();
+            for (const auto &v : values)
+                scope.granularities.push_back(
+                    parseCount(v, "granularity"));
+        } else if (key == "block_rows") {
+            scope.blockRows.clear();
+            for (const auto &v : values)
+                scope.blockRows.push_back(parseCount(v, "block_rows"));
+        } else if (key == "hashes") {
+            scope.hashCounts.clear();
+            for (const auto &v : values)
+                scope.hashCounts.push_back(parseCount(v, "hash count"));
+        } else {
+            fatal("scope file line ", line_no, ": unknown key '", key,
+                  "'");
+        }
+    }
+    return scope;
+}
+
+PatternScope
+loadScopeFile(const std::string &path, const PatternScope &base)
+{
+    std::ifstream is(path);
+    GENREUSE_REQUIRE(is.is_open(), "cannot open scope file ", path);
+    return parseScope(is, base);
+}
+
+std::string
+renderScope(const PatternScope &scope)
+{
+    std::ostringstream os;
+    os << "# genreuse pattern scope (see §4.3 of the paper)\n";
+    os << "orders = ";
+    for (size_t i = 0; i < scope.columnOrders.size(); ++i)
+        os << (i ? ", " : "") << toString(scope.columnOrders[i]);
+    os << "\nrow_orders = ";
+    for (size_t i = 0; i < scope.rowOrders.size(); ++i)
+        os << (i ? ", " : "") << toString(scope.rowOrders[i]);
+    os << "\ndirections = ";
+    for (size_t i = 0; i < scope.directions.size(); ++i)
+        os << (i ? ", " : "") << toString(scope.directions[i]);
+    os << "\ngranularities = ";
+    for (size_t i = 0; i < scope.granularities.size(); ++i)
+        os << (i ? ", " : "") << scope.granularities[i];
+    os << "\nblock_rows = ";
+    for (size_t i = 0; i < scope.blockRows.size(); ++i)
+        os << (i ? ", " : "") << scope.blockRows[i];
+    os << "\nhashes = ";
+    for (size_t i = 0; i < scope.hashCounts.size(); ++i)
+        os << (i ? ", " : "") << scope.hashCounts[i];
+    os << "\n";
+    return os.str();
+}
+
+void
+saveScopeFile(const std::string &path, const PatternScope &scope)
+{
+    std::ofstream os(path);
+    GENREUSE_REQUIRE(os.is_open(), "cannot write scope file ", path);
+    os << renderScope(scope);
+    GENREUSE_REQUIRE(os.good(), "write failure on ", path);
+}
+
+} // namespace genreuse

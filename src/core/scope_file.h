@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Scope files (§4.3: "Our implemented framework has a default scope
+ * file that includes the most common options; that file is
+ * reconfigurable by users.") — a plain-text format describing a
+ * PatternScope:
+ *
+ *   # comments and blank lines are ignored
+ *   orders      = C1, C2, C3       # column orders
+ *   row_orders  = R1, R2
+ *   directions  = M-1, M-2
+ *   granularities = 25, 75, 400    # L values (0 = whole extent)
+ *   block_rows  = 1, 2
+ *   hashes      = 2, 3, 4, 6
+ *
+ * Unknown keys are fatal (catching typos beats silently ignoring a
+ * user's constraint); missing keys keep the default-scope values for
+ * that dimension.
+ */
+
+#ifndef GENREUSE_CORE_SCOPE_FILE_H
+#define GENREUSE_CORE_SCOPE_FILE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "pattern_space.h"
+
+namespace genreuse {
+
+/** Parse a scope from a stream. @p base supplies defaults. */
+PatternScope parseScope(std::istream &is, const PatternScope &base);
+
+/** Parse a scope file from disk. Fatal on missing file or bad syntax. */
+PatternScope loadScopeFile(const std::string &path,
+                           const PatternScope &base);
+
+/** Render a scope in the file format (round-trips via parseScope). */
+std::string renderScope(const PatternScope &scope);
+
+/** Write a scope file to disk. */
+void saveScopeFile(const std::string &path, const PatternScope &scope);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_SCOPE_FILE_H

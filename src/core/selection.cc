@@ -1,0 +1,135 @@
+#include "selection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "pareto.h"
+#include "tensor/im2col.h"
+
+namespace genreuse {
+
+const CheckedPattern &
+SelectionResult::bestAccuracy() const
+{
+    GENREUSE_REQUIRE(!checked.empty(), "no checked patterns");
+    size_t best = 0;
+    for (size_t i = 1; i < checked.size(); ++i)
+        if (checked[i].accuracy > checked[best].accuracy)
+            best = i;
+    return checked[best];
+}
+
+const CheckedPattern &
+SelectionResult::bestLatency() const
+{
+    GENREUSE_REQUIRE(!checked.empty(), "no checked patterns");
+    size_t best = 0;
+    for (size_t i = 1; i < checked.size(); ++i)
+        if (checked[i].latencyMs < checked[best].latencyMs)
+            best = i;
+    return checked[best];
+}
+
+SelectionResult
+selectReusePattern(Network &net, Conv2D &layer, const Dataset &train_data,
+                   const Dataset &test_data, const PatternScope &scope,
+                   const SelectionConfig &config)
+{
+    SelectionResult result;
+    CostModel model(config.board);
+
+    // ---- capture a batch-1 profiling sample of the layer's im2col --
+    Stopwatch watch;
+    layer.resetAlgo();
+    Dataset profile_sample =
+        train_data.slice(0, std::min(config.profileImages,
+                                     train_data.size()));
+    // Forward one image to learn the layer's geometry; profile on the
+    // first image so ledgers are per-image.
+    Tensor one = profile_sample.gatherImages({0});
+    net.forward(one, /*training=*/false);
+    Tensor sample_x = layer.lastIm2col();
+    ConvGeometry geom = layer.lastGeometry();
+    Tensor w = layer.weightMatrix();
+
+    // ---- enumerate candidates and profile them ---------------------
+    std::vector<ReusePattern> candidates = enumeratePatterns(scope, geom);
+    GENREUSE_REQUIRE(!candidates.empty(),
+                     "scope produced no valid patterns for ",
+                     layer.name());
+    for (const ReusePattern &p : candidates) {
+        CandidateProfile prof;
+        prof.pattern = p;
+        prof.accuracy = accuracyBound(sample_x, w, p, geom, config.seed);
+        prof.latency = estimateLatency(sample_x, w, p, geom, config.seed);
+        result.profiles.push_back(std::move(prof));
+    }
+    result.profilingSeconds = watch.seconds();
+
+    // ---- analytic prune (Pareto over bound x predicted latency) ----
+    watch.reset();
+    result.promising =
+        rankByAnalyticModel(result.profiles, model);
+    if (result.promising.size() > config.promisingCount)
+        result.promising.resize(config.promisingCount);
+    result.pruneSeconds = watch.seconds();
+
+    // ---- full empirical check on the promising set ------------------
+    watch.reset();
+    Dataset fit_sample = train_data.slice(
+        0, std::min(config.fitImages, train_data.size()));
+    Dataset eval = test_data.slice(
+        0, std::min(config.evalImages, test_data.size()));
+    for (size_t idx : result.promising) {
+        const ReusePattern &p = result.profiles[idx].pattern;
+        fitAndInstall(net, layer, p, fit_sample, HashMode::Learned,
+                      config.seed);
+        Measurement m = measureNetwork(net, eval, model);
+        CheckedPattern cp;
+        cp.pattern = p;
+        cp.accuracy = m.accuracy;
+        cp.latencyMs = m.perImageMs;
+        cp.redundancyRatio = m.stats.redundancyRatio();
+        result.checked.push_back(cp);
+        layer.resetAlgo();
+    }
+    result.fullCheckSeconds = watch.seconds();
+
+    // ---- final Pareto front over the empirical results --------------
+    std::vector<ParetoPoint> points;
+    for (size_t i = 0; i < result.checked.size(); ++i) {
+        points.push_back({result.checked[i].latencyMs,
+                          result.checked[i].accuracy, i});
+    }
+    result.paretoFront = paretoFront(points);
+    return result;
+}
+
+std::vector<size_t>
+rankByAnalyticModel(const std::vector<CandidateProfile> &profiles,
+                    const CostModel &model)
+{
+    std::vector<ParetoPoint> points;
+    points.reserve(profiles.size());
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        points.push_back({profiles[i].accuracy.bound,
+                          profiles[i].latency.speedup(model), i});
+    }
+    return selectByParetoRank(points, profiles.size());
+}
+
+std::vector<size_t>
+rankByRedundancyHeuristic(const std::vector<CandidateProfile> &profiles)
+{
+    std::vector<size_t> order(profiles.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return profiles[a].latency.stats.redundancyRatio() >
+               profiles[b].latency.stats.redundancyRatio();
+    });
+    return order;
+}
+
+} // namespace genreuse

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The analytical-empirical pattern-selection workflow of Figure 8:
+ *
+ *   scope -> candidate patterns -> lightweight profiling (random-hash
+ *   clustering on a sample) -> analytic accuracy bound + latency
+ *   estimate -> Pareto prune to a promising set -> full empirical
+ *   check (learned hashes + accuracy/latency measurement) -> final
+ *   Pareto-optimal patterns.
+ *
+ * Wall-clock time of every stage is recorded so Table 2's exploration-
+ * time breakdown can be regenerated.
+ */
+
+#ifndef GENREUSE_CORE_SELECTION_H
+#define GENREUSE_CORE_SELECTION_H
+
+#include <string>
+#include <vector>
+
+#include "accuracy_model.h"
+#include "data/dataset.h"
+#include "latency_model.h"
+#include "measurement.h"
+#include "pattern_space.h"
+
+namespace genreuse {
+
+/** Analytic profile of one candidate (stage 2 of the workflow). */
+struct CandidateProfile
+{
+    ReusePattern pattern;
+    AccuracyBound accuracy;
+    LatencyEstimate latency;
+};
+
+/** Empirical result of one fully checked candidate (stage 4). */
+struct CheckedPattern
+{
+    ReusePattern pattern;
+    double accuracy = 0.0;
+    double latencyMs = 0.0;
+    double redundancyRatio = 0.0;
+};
+
+/** Workflow configuration. */
+struct SelectionConfig
+{
+    size_t promisingCount = 5;  //!< analytic prune keeps this many
+    size_t profileImages = 2;   //!< images in the lightweight sample
+    size_t fitImages = 4;       //!< images for learned-hash fitting
+    size_t evalImages = 64;     //!< test subset for the full check
+    McuSpec board = McuSpec::stm32f469i();
+    uint64_t seed = 7;
+};
+
+/** Full workflow output, including the Table 2 time breakdown. */
+struct SelectionResult
+{
+    std::vector<CandidateProfile> profiles; //!< all candidates
+    std::vector<size_t> promising;          //!< indices into profiles
+    std::vector<CheckedPattern> checked;    //!< empirical results
+    std::vector<size_t> paretoFront;        //!< indices into checked
+
+    double profilingSeconds = 0.0;
+    double pruneSeconds = 0.0;
+    double fullCheckSeconds = 0.0;
+
+    /** The checked pattern with the best accuracy. */
+    const CheckedPattern &bestAccuracy() const;
+
+    /** The checked pattern with the lowest latency. */
+    const CheckedPattern &bestLatency() const;
+};
+
+/**
+ * Run the workflow for one convolution layer of a network.
+ *
+ * @param net trained network (exact algos restored on return; the
+ *            winning pattern is *not* auto-installed)
+ * @param layer the convolution to optimize
+ * @param train_data pattern selection data (paper: the training set)
+ * @param test_data evaluation data for the full check
+ */
+SelectionResult selectReusePattern(Network &net, Conv2D &layer,
+                                   const Dataset &train_data,
+                                   const Dataset &test_data,
+                                   const PatternScope &scope,
+                                   const SelectionConfig &config);
+
+/**
+ * Analytic-only ranking of candidates (no empirical check): the
+ * scoring used by the Fig 14 top-k comparison. Returns candidate
+ * indices ordered best-first by Pareto rank over (accuracy bound,
+ * predicted speedup).
+ */
+std::vector<size_t> rankByAnalyticModel(
+    const std::vector<CandidateProfile> &profiles, const CostModel &model);
+
+/** Heuristic ranking by redundancy ratio only (Fig 14's grey line). */
+std::vector<size_t> rankByRedundancyHeuristic(
+    const std::vector<CandidateProfile> &profiles);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_SELECTION_H

@@ -1,0 +1,214 @@
+#include "streaming.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "reorder.h"
+#include "tensor/gemm.h"
+
+namespace genreuse {
+
+namespace {
+
+/** Per-slice clustering state grown while streaming rows. */
+struct SliceState
+{
+    std::unordered_map<uint64_t, uint32_t> ids; //!< signature -> cluster
+    std::vector<float> centroidSums;            //!< nc x width, row-major
+    std::vector<size_t> sizes;
+    std::vector<uint32_t> assignments;          //!< one per row
+
+    size_t numClusters() const { return sizes.size(); }
+};
+
+/** Extract one im2col row (output pixel @p row) into @p dst. */
+void
+extractRow(const Tensor &input, const ConvGeometry &geom, size_t row,
+           float *dst)
+{
+    const size_t ow = geom.outWidth();
+    const size_t oh = geom.outHeight();
+    const size_t pix = oh * ow;
+    const size_t b = row / pix;
+    const size_t y = (row % pix) / ow;
+    const size_t x = row % ow;
+    size_t col = 0;
+    for (size_t c = 0; c < geom.inChannels; ++c) {
+        for (size_t kh = 0; kh < geom.kernelH; ++kh) {
+            long sy = static_cast<long>(y * geom.stride + kh) -
+                      static_cast<long>(geom.pad);
+            for (size_t kw = 0; kw < geom.kernelW; ++kw, ++col) {
+                long sx = static_cast<long>(x * geom.stride + kw) -
+                          static_cast<long>(geom.pad);
+                if (sy < 0 || sx < 0 ||
+                    sy >= static_cast<long>(geom.inHeight) ||
+                    sx >= static_cast<long>(geom.inWidth)) {
+                    dst[col] = 0.0f;
+                } else {
+                    dst[col] = input.at4(b, c, sy, sx);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+StreamingReuseResult
+streamingReuseConv(const Tensor &input, const Tensor &kernel,
+                   const Tensor &bias, const ConvGeometry &geom,
+                   const std::vector<uint32_t> &col_perm,
+                   const VerticalSlicing &slicing,
+                   const std::vector<HashFamily> &families,
+                   CostLedger *ledger)
+{
+    GENREUSE_REQUIRE(slicing.blockRows == 1,
+                     "streaming reuse supports 1-row units only");
+    GENREUSE_REQUIRE(families.size() == slicing.numSlices,
+                     "need one hash family per slice");
+    const size_t n = geom.rows(), din = geom.cols();
+    const size_t m = geom.outChannels;
+    GENREUSE_REQUIRE(col_perm.empty() || col_perm.size() == din,
+                     "bad column permutation");
+    const bool permute = !col_perm.empty() && !isIdentity(col_perm);
+
+    // ---- pass 1: stream rows, cluster slices ------------------------
+    std::vector<float> raw_row(din), row_buf(permute ? din : 0);
+    std::vector<SliceState> slices(slicing.numSlices);
+    for (auto &s : slices)
+        s.assignments.reserve(n);
+
+    ReuseStats stats;
+    stats.exactMacs = n * din * m;
+    OpCounts pass1;
+
+    for (size_t row = 0; row < n; ++row) {
+        extractRow(input, geom, row, raw_row.data());
+        pass1.elemMoves += din;
+        const float *r = raw_row.data();
+        if (permute) {
+            for (size_t c = 0; c < din; ++c)
+                row_buf[c] = raw_row[col_perm[c]];
+            pass1.elemMoves += din;
+            r = row_buf.data();
+        }
+        for (size_t k = 0; k < slicing.numSlices; ++k) {
+            const size_t col0 = k * slicing.sliceWidth;
+            const size_t width = slicing.width(k, din);
+            StridedItems one{r + col0, 1, width, width, 1};
+            uint64_t sig = families[k].signature(one, 0);
+            pass1.macs += families[k].hashMacs(1);
+            pass1.tableOps += 1;
+
+            SliceState &s = slices[k];
+            auto [it, inserted] =
+                s.ids.emplace(sig, static_cast<uint32_t>(s.ids.size()));
+            if (inserted) {
+                s.centroidSums.insert(s.centroidSums.end(), width, 0.0f);
+                s.sizes.push_back(0);
+            }
+            uint32_t cid = it->second;
+            s.assignments.push_back(cid);
+            s.sizes[cid]++;
+            float *sum = s.centroidSums.data() + cid * width;
+            for (size_t j = 0; j < width; ++j)
+                sum[j] += r[col0 + j];
+            pass1.aluOps += width;
+        }
+    }
+    if (ledger) {
+        OpCounts tf;
+        tf.elemMoves = pass1.elemMoves;
+        ledger->add(Stage::Transformation, tf);
+        OpCounts cl;
+        cl.macs = pass1.macs;
+        cl.tableOps = pass1.tableOps;
+        cl.aluOps = pass1.aluOps;
+        ledger->add(Stage::Clustering, cl);
+    }
+
+    // ---- per-slice centroid GEMM, accumulated into an N x M buffer.
+    // Each slice is processed and released before the next, so the
+    // peak holds only the largest single slice's centroid state plus
+    // the output accumulator — never the full im2col matrix.
+    Tensor w = kernelToMatrix(kernel);
+    Tensor wr = permute ? permuteRows(w, col_perm) : std::move(w);
+    Tensor y_acc({n, m});
+    size_t max_slice_bytes = 0;
+    OpCounts recover;
+    for (size_t k = 0; k < slicing.numSlices; ++k) {
+        const size_t col0 = k * slicing.sliceWidth;
+        const size_t width = slicing.width(k, din);
+        SliceState &s = slices[k];
+        const size_t nc = s.numClusters();
+        stats.totalVectors += n;
+        stats.totalCentroids += nc;
+        stats.numPanels += 1;
+        stats.reuseMacs += families[k].hashMacs(n);
+        max_slice_bytes = std::max(
+            max_slice_bytes, nc * (width + m) * sizeof(float));
+
+        // Finalize centroids in place.
+        for (size_t c = 0; c < nc; ++c) {
+            float inv = 1.0f / static_cast<float>(s.sizes[c]);
+            float *sum = s.centroidSums.data() + c * width;
+            for (size_t j = 0; j < width; ++j)
+                sum[j] *= inv;
+        }
+        std::vector<float> yc(nc * m, 0.0f);
+        gemmRaw(s.centroidSums.data(), wr.data() + col0 * m, yc.data(),
+                nc, m, width, width, m, m, false);
+        stats.reuseMacs += nc * width * m;
+        if (ledger) {
+            OpCounts mm;
+            mm.macs = nc * width * m;
+            ledger->add(Stage::Gemm, mm);
+        }
+
+        // Scatter-add the slice's centroid results into the output
+        // accumulator, then drop the slice's state.
+        for (size_t row = 0; row < n; ++row) {
+            const float *src = yc.data() + s.assignments[row] * m;
+            float *dst = y_acc.data() + row * m;
+            for (size_t c = 0; c < m; ++c)
+                dst[c] += src[c];
+        }
+        recover.aluOps += n * m;
+        s.centroidSums.clear();
+        s.centroidSums.shrink_to_fit();
+    }
+
+    // ---- emit the activation -------------------------------------------
+    const size_t oh = geom.outHeight(), ow = geom.outWidth();
+    StreamingReuseResult out;
+    out.activation = Tensor({geom.batch, m, oh, ow});
+    const size_t pix = oh * ow;
+    const bool has_bias = bias.size() == m;
+    for (size_t row = 0; row < n; ++row) {
+        const size_t b = row / pix;
+        const size_t y = (row % pix) / ow;
+        const size_t x = row % ow;
+        const float *src = y_acc.data() + row * m;
+        for (size_t c = 0; c < m; ++c) {
+            out.activation.at4(b, c, y, x) =
+                src[c] + (has_bias ? bias[c] : 0.0f);
+        }
+        recover.elemMoves += m;
+    }
+    if (ledger)
+        ledger->add(Stage::Recovering, recover);
+
+    out.stats = stats;
+    out.im2colBytes = n * din * sizeof(float);
+    // The N x M accumulator is output-sized and exists in any conv
+    // pipeline (it *is* the output); scratch counts only what this
+    // pipeline adds beyond input and output buffers.
+    out.peakScratchBytes = din * sizeof(float) *
+                               (permute ? 2 : 1) + // row buffers
+                           max_slice_bytes +
+                           slicing.numSlices * n * sizeof(uint32_t);
+    return out;
+}
+
+} // namespace genreuse

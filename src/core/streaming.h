@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Space-efficient streaming reuse convolution. The plain pipeline
+ * materializes the full im2col matrix (N x Din floats) — the dominant
+ * SRAM consumer on an MCU. This module runs vertical reuse without it,
+ * in the spirit of the space-efficient TREC system the paper builds on
+ * (Liu et al., ASPLOS 2023 [37]):
+ *
+ *   pass 1: stream each output pixel's im2col row through a Din-sized
+ *           buffer, hash each slice, grow cluster centroids in place
+ *           and record the per-slice cluster assignment;
+ *   between: finalize centroids and multiply them by the weight slices;
+ *   pass 2: emit each output row as the sum of its clusters' centroid
+ *           results, plus bias, directly into the activation layout.
+ *
+ * Peak scratch becomes O(Din + Σ n_c (L + M) + N K ids) instead of
+ * O(N Din) — reported per run so memory-model comparisons are easy.
+ *
+ * Supported scope (documented limits): vertical direction, 1-row
+ * units, default channel-major column order. Other patterns reorder
+ * columns, which streaming supports too (the row buffer is permuted),
+ * but row reorders and 2-D blocks need multi-row windows and fall
+ * outside this fast path.
+ */
+
+#ifndef GENREUSE_CORE_STREAMING_H
+#define GENREUSE_CORE_STREAMING_H
+
+#include <vector>
+
+#include "lsh/lsh.h"
+#include "mcu/cost_model.h"
+#include "reuse_pattern.h"
+#include "reuse_stats.h"
+#include "vertical_reuse.h"
+
+namespace genreuse {
+
+/** Output of a streaming reuse convolution. */
+struct StreamingReuseResult
+{
+    Tensor activation;        //!< (B, M, OH, OW)
+    ReuseStats stats;
+    size_t peakScratchBytes = 0; //!< streaming pipeline scratch
+    size_t im2colBytes = 0;      //!< what the dense pipeline would use
+};
+
+/**
+ * Run a convolution under vertical reuse without materializing the
+ * im2col matrix.
+ *
+ * @param input (B, C, H, W) activation
+ * @param kernel (M, C, KH, KW) weights
+ * @param bias length-M bias (empty tensor for none)
+ * @param geom convolution geometry (must match input/kernel)
+ * @param col_perm column permutation from the reuse pattern's order
+ *        (empty or identity for the default layout)
+ * @param slicing vertical slicing plan (blockRows must be 1)
+ * @param families one fitted hash family per slice
+ * @param ledger optional cost accounting
+ */
+StreamingReuseResult streamingReuseConv(
+    const Tensor &input, const Tensor &kernel, const Tensor &bias,
+    const ConvGeometry &geom, const std::vector<uint32_t> &col_perm,
+    const VerticalSlicing &slicing,
+    const std::vector<HashFamily> &families, CostLedger *ledger = nullptr);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_STREAMING_H

@@ -1,0 +1,241 @@
+#include "vertical_reuse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "lsh/clustering.h"
+#include "lsh/learned_hash.h"
+#include "tensor/gemm.h"
+
+namespace genreuse {
+
+size_t
+VerticalSlicing::width(size_t k, size_t din) const
+{
+    const size_t start = k * sliceWidth;
+    return std::min(sliceWidth, din - start);
+}
+
+VerticalSlicing
+VerticalSlicing::plan(size_t din, size_t slice_width, size_t block_rows)
+{
+    GENREUSE_REQUIRE(din > 0, "empty matrix");
+    VerticalSlicing s;
+    s.sliceWidth = slice_width == 0 ? din : std::min(slice_width, din);
+    s.blockRows = std::max<size_t>(1, block_rows);
+    s.numSlices = (din + s.sliceWidth - 1) / s.sliceWidth;
+    return s;
+}
+
+namespace {
+
+/**
+ * Copy blockRows x width neuron blocks of one slice into contiguous
+ * rows so they can be hashed and averaged as single items.
+ */
+Tensor
+materializeBlocks(const Tensor &x, size_t col0, size_t width,
+                  size_t block_rows, size_t num_blocks)
+{
+    const size_t din = x.shape().cols();
+    Tensor blocks({num_blocks, block_rows * width});
+    for (size_t b = 0; b < num_blocks; ++b) {
+        float *dst = blocks.data() + b * block_rows * width;
+        for (size_t i = 0; i < block_rows; ++i) {
+            const float *src =
+                x.data() + (b * block_rows + i) * din + col0;
+            std::copy(src, src + width, dst + i * width);
+        }
+    }
+    return blocks;
+}
+
+} // namespace
+
+Tensor
+verticalReuseMultiply(const Tensor &x, const Tensor &w,
+                      const VerticalSlicing &slicing,
+                      const std::vector<HashFamily> &families,
+                      CostLedger *ledger, ReuseStats *stats)
+{
+    GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
+                     "reuse multiply expects matrices");
+    const size_t n = x.shape().rows(), din = x.shape().cols();
+    GENREUSE_REQUIRE(w.shape().rows() == din, "X/W inner dim mismatch");
+    const size_t m = w.shape().cols();
+    GENREUSE_REQUIRE(families.size() == slicing.numSlices,
+                     "need one hash family per slice: ", slicing.numSlices,
+                     " slices, ", families.size(), " families");
+
+    Tensor y({n, m});
+    ReuseStats local;
+    local.exactMacs = n * din * m;
+
+    const size_t r = slicing.blockRows;
+    const size_t full_blocks = n / r;
+    const size_t rem_rows = n - full_blocks * r;
+
+    for (size_t k = 0; k < slicing.numSlices; ++k) {
+        const size_t col0 = k * slicing.sliceWidth;
+        const size_t width = slicing.width(k, din);
+        const float *w_slice = w.data() + col0 * m;
+
+        // ---- clustering -------------------------------------------
+        ClusterResult clusters;
+        Tensor blocks; // keeps block storage alive for r > 1
+        if (r == 1) {
+            StridedItems items;
+            items.base = x.data() + col0;
+            items.count = n;
+            items.length = width;
+            items.itemStride = din;
+            items.elemStride = 1;
+            clusters = clusterBySignature(items, families[k]);
+        } else {
+            blocks = materializeBlocks(x, col0, width, r, full_blocks);
+            if (ledger) {
+                OpCounts tf;
+                tf.elemMoves = blocks.size();
+                ledger->add(Stage::Transformation, tf);
+            }
+            StridedItems items;
+            items.base = blocks.data();
+            items.count = full_blocks;
+            items.length = r * width;
+            items.itemStride = r * width;
+            items.elemStride = 1;
+            clusters = clusterBySignature(items, families[k]);
+        }
+        const size_t num_items = clusters.numItems();
+        const size_t nc = clusters.numClusters();
+        local.totalVectors += num_items;
+        local.totalCentroids += nc;
+        local.numPanels += 1;
+
+        const size_t hash_macs = families[k].hashMacs(num_items);
+        local.reuseMacs += hash_macs;
+        if (ledger) {
+            OpCounts cl;
+            cl.macs = hash_macs;
+            cl.tableOps = num_items;
+            cl.aluOps = num_items * r * width; // centroid accumulation
+            ledger->add(Stage::Clustering, cl);
+        }
+
+        // ---- centroid GEMM -----------------------------------------
+        // The centroid matrix of r-row blocks is (nc x r*width)
+        // row-major, which is exactly (nc*r x width) row-major.
+        Tensor yc({nc * r, m});
+        gemmRaw(clusters.centroids.data(), w_slice, yc.data(), nc * r, m,
+                width, width, m, m, false);
+        const size_t gemm_macs = nc * r * width * m;
+        local.reuseMacs += gemm_macs;
+        if (ledger) {
+            OpCounts mm;
+            mm.macs = gemm_macs;
+            ledger->add(Stage::Gemm, mm);
+        }
+
+        // ---- recover ------------------------------------------------
+        if (r == 1) {
+            for (size_t row = 0; row < n; ++row) {
+                const float *src =
+                    yc.data() + clusters.assignments[row] * m;
+                float *dst = y.data() + row * m;
+                for (size_t c = 0; c < m; ++c)
+                    dst[c] += src[c];
+            }
+        } else {
+            for (size_t b = 0; b < full_blocks; ++b) {
+                const float *src =
+                    yc.data() + clusters.assignments[b] * r * m;
+                float *dst = y.data() + b * r * m;
+                for (size_t c = 0; c < r * m; ++c)
+                    dst[c] += src[c];
+            }
+            // Remainder rows that do not fill a block: exact GEMM.
+            if (rem_rows > 0) {
+                gemmRaw(x.data() + full_blocks * r * din + col0, w_slice,
+                        y.data() + full_blocks * r * m, rem_rows, m, width,
+                        din, m, m, true);
+                local.reuseMacs += rem_rows * width * m;
+                if (ledger) {
+                    OpCounts mm;
+                    mm.macs = rem_rows * width * m;
+                    ledger->add(Stage::Gemm, mm);
+                }
+            }
+        }
+        if (ledger) {
+            // Duplicating centroid results: one streaming accumulate
+            // over Y per slice (the final writeback to the activation
+            // layout is charged by the convolution layer itself).
+            OpCounts rc;
+            rc.aluOps = n * m;
+            ledger->add(Stage::Recovering, rc);
+        }
+    }
+    if (ledger) {
+        OpCounts rc;
+        rc.elemMoves = n * m; // gather Y once after summing slices
+        ledger->add(Stage::Recovering, rc);
+    }
+
+    if (stats)
+        *stats += local;
+    return y;
+}
+
+std::vector<HashFamily>
+randomVerticalFamilies(const VerticalSlicing &slicing, size_t din,
+                       size_t num_hashes, Rng &rng)
+{
+    std::vector<HashFamily> families;
+    families.reserve(slicing.numSlices);
+    for (size_t k = 0; k < slicing.numSlices; ++k) {
+        const size_t len = slicing.blockRows * slicing.width(k, din);
+        families.push_back(HashFamily::random(num_hashes, len, rng));
+    }
+    return families;
+}
+
+std::vector<HashFamily>
+learnedVerticalFamilies(const Tensor &sample_x,
+                        const VerticalSlicing &slicing, size_t num_hashes)
+{
+    const size_t n = sample_x.shape().rows();
+    const size_t din = sample_x.shape().cols();
+    const size_t r = slicing.blockRows;
+    const size_t full_blocks = n / r;
+    GENREUSE_REQUIRE(full_blocks >= 2,
+                     "need at least 2 sample blocks to learn hashes");
+
+    std::vector<HashFamily> families;
+    families.reserve(slicing.numSlices);
+    for (size_t k = 0; k < slicing.numSlices; ++k) {
+        const size_t col0 = k * slicing.sliceWidth;
+        const size_t width = slicing.width(k, din);
+        if (r == 1) {
+            StridedItems items;
+            items.base = sample_x.data() + col0;
+            items.count = n;
+            items.length = width;
+            items.itemStride = din;
+            items.elemStride = 1;
+            families.push_back(learnHashFamilyPca(items, num_hashes));
+        } else {
+            Tensor blocks =
+                materializeBlocks(sample_x, col0, width, r, full_blocks);
+            StridedItems items;
+            items.base = blocks.data();
+            items.count = full_blocks;
+            items.length = r * width;
+            items.itemStride = r * width;
+            items.elemStride = 1;
+            families.push_back(learnHashFamilyPca(items, num_hashes));
+        }
+    }
+    return families;
+}
+
+} // namespace genreuse

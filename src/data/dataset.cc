@@ -1,0 +1,90 @@
+#include "dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+size_t
+Dataset::numClasses() const
+{
+    int mx = -1;
+    for (int l : labels)
+        mx = std::max(mx, l);
+    return static_cast<size_t>(mx + 1);
+}
+
+Shape
+Dataset::sampleShape() const
+{
+    const Shape &s = images.shape();
+    GENREUSE_REQUIRE(s.rank() == 4, "dataset images must be NCHW");
+    return Shape({1, s.channels(), s.height(), s.width()});
+}
+
+Dataset
+Dataset::slice(size_t from, size_t count) const
+{
+    GENREUSE_REQUIRE(from + count <= size(), "slice out of range");
+    std::vector<size_t> idx(count);
+    for (size_t i = 0; i < count; ++i)
+        idx[i] = from + i;
+    Dataset out;
+    out.images = gatherImages(idx);
+    out.labels = gatherLabels(idx);
+    return out;
+}
+
+Tensor
+Dataset::gatherImages(const std::vector<size_t> &indices) const
+{
+    const Shape &s = images.shape();
+    const size_t sample = s.channels() * s.height() * s.width();
+    Tensor out({indices.size(), s.channels(), s.height(), s.width()});
+    for (size_t i = 0; i < indices.size(); ++i) {
+        GENREUSE_REQUIRE(indices[i] < size(), "sample index out of range");
+        const float *src = images.data() + indices[i] * sample;
+        std::copy(src, src + sample, out.data() + i * sample);
+    }
+    return out;
+}
+
+std::vector<int>
+Dataset::gatherLabels(const std::vector<size_t> &indices) const
+{
+    std::vector<int> out(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i)
+        out[i] = labels[indices[i]];
+    return out;
+}
+
+std::vector<std::vector<size_t>>
+makeBatches(size_t n, size_t batch_size, Rng &rng)
+{
+    GENREUSE_REQUIRE(batch_size > 0, "batch size must be positive");
+    std::vector<size_t> order = rng.permutation(n);
+    std::vector<std::vector<size_t>> batches;
+    for (size_t i = 0; i < n; i += batch_size) {
+        size_t count = std::min(batch_size, n - i);
+        batches.emplace_back(order.begin() + i, order.begin() + i + count);
+    }
+    return batches;
+}
+
+std::vector<std::vector<size_t>>
+makeSequentialBatches(size_t n, size_t batch_size)
+{
+    GENREUSE_REQUIRE(batch_size > 0, "batch size must be positive");
+    std::vector<std::vector<size_t>> batches;
+    for (size_t i = 0; i < n; i += batch_size) {
+        size_t count = std::min(batch_size, n - i);
+        std::vector<size_t> b(count);
+        for (size_t j = 0; j < count; ++j)
+            b[j] = i + j;
+        batches.push_back(std::move(b));
+    }
+    return batches;
+}
+
+} // namespace genreuse

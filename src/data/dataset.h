@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Labeled image dataset container plus batching helpers used by the
+ * trainer and evaluation harnesses.
+ */
+
+#ifndef GENREUSE_DATA_DATASET_H
+#define GENREUSE_DATA_DATASET_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** A set of images (N, C, H, W) with integer class labels. */
+struct Dataset
+{
+    Tensor images;
+    std::vector<int> labels;
+
+    size_t size() const { return labels.size(); }
+    size_t numClasses() const;
+
+    /** Shape of a single sample as a batch-1 NCHW shape. */
+    Shape sampleShape() const;
+
+    /** Copy samples [from, from+count) into a new dataset. */
+    Dataset slice(size_t from, size_t count) const;
+
+    /** Gather the given sample indices into a batch tensor. */
+    Tensor gatherImages(const std::vector<size_t> &indices) const;
+
+    /** Gather the labels for the given sample indices. */
+    std::vector<int> gatherLabels(const std::vector<size_t> &indices) const;
+};
+
+/**
+ * Split [0, n) into shuffled batches of at most batch_size indices.
+ */
+std::vector<std::vector<size_t>> makeBatches(size_t n, size_t batch_size,
+                                             Rng &rng);
+
+/** Sequential (unshuffled) batches, for deterministic evaluation. */
+std::vector<std::vector<size_t>> makeSequentialBatches(size_t n,
+                                                       size_t batch_size);
+
+} // namespace genreuse
+
+#endif // GENREUSE_DATA_DATASET_H

@@ -1,0 +1,209 @@
+#include "synthetic.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+#include "lsh/clustering.h"
+#include "lsh/lsh.h"
+#include "tensor/im2col.h"
+
+namespace genreuse {
+
+namespace {
+
+/**
+ * Deterministic texture atom value at (channel, y, x). Atoms are
+ * oriented sinusoidal stripes whose angle, frequency and per-channel
+ * phase depend on the atom id; thresholding makes them piecewise
+ * constant so tiles repeat almost exactly.
+ */
+float
+atomValue(size_t atom, size_t channel, size_t y, size_t x)
+{
+    const double angle =
+        (static_cast<double>(atom) * 37.0 + 13.0) * std::numbers::pi / 180.0;
+    const double freq = 0.5 + 0.17 * static_cast<double>(atom % 7);
+    const double phase = 0.9 * static_cast<double>(channel) +
+                         0.31 * static_cast<double>(atom);
+    double t = std::sin(freq * (std::cos(angle) * x + std::sin(angle) * y) +
+                        phase);
+    // Three-level quantization: strongly repetitive tiles.
+    if (t > 0.33)
+        return 0.8f;
+    if (t < -0.33)
+        return -0.8f;
+    return 0.0f;
+}
+
+/** Class-dependent per-channel base color in [-0.5, 0.5]. */
+float
+classBase(size_t cls, size_t channel)
+{
+    double v = std::sin(1.7 * static_cast<double>(cls) +
+                        2.1 * static_cast<double>(channel));
+    return static_cast<float>(0.4 * v);
+}
+
+} // namespace
+
+Dataset
+makeSyntheticCifar(const SyntheticConfig &config)
+{
+    GENREUSE_REQUIRE(config.imageSize % config.blockSize == 0,
+                     "blockSize must divide imageSize");
+    GENREUSE_REQUIRE(config.numClasses >= 2, "need at least 2 classes");
+
+    Rng rng(config.seed);
+    const size_t n = config.numSamples, c = config.channels;
+    const size_t hw = config.imageSize;
+    const size_t blocks = hw / config.blockSize;
+
+    Dataset data;
+    data.images = Tensor({n, c, hw, hw});
+    data.labels.resize(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        const size_t cls = rng.uniformInt(config.numClasses);
+        data.labels[i] = static_cast<int>(cls);
+        // Blocks mostly repeat the class's primary atom; the rest use
+        // the *next* class's primary atom, so classes overlap and the
+        // task is not trivially separable (like natural images, where
+        // backgrounds are shared across classes).
+        const size_t atom_primary = 2 * cls;
+        const size_t atom_secondary = 2 * ((cls + 1) % config.numClasses);
+
+        // Choose the atom of each block.
+        std::vector<size_t> block_atom(blocks * blocks);
+        for (auto &a : block_atom) {
+            a = rng.bernoulli(config.redundancy) ? atom_primary
+                                                 : atom_secondary;
+        }
+
+        for (size_t ch = 0; ch < c; ++ch) {
+            const float base = classBase(cls, ch);
+            for (size_t y = 0; y < hw; ++y) {
+                for (size_t x = 0; x < hw; ++x) {
+                    const size_t by = y / config.blockSize;
+                    const size_t bx = x / config.blockSize;
+                    const size_t atom = block_atom[by * blocks + bx];
+                    // Atom coordinates are block-local so equal atoms
+                    // produce exactly equal blocks (before noise).
+                    float v = base +
+                              0.5f * atomValue(atom, ch,
+                                               y % config.blockSize,
+                                               x % config.blockSize);
+                    v += static_cast<float>(
+                        rng.normal(0.0, config.noiseStddev));
+                    data.images.at4(i, ch, y, x) = v;
+                }
+            }
+        }
+    }
+    return data;
+}
+
+Dataset
+makeSyntheticSvhn(size_t num_samples, uint64_t seed)
+{
+    Rng rng(seed);
+    const size_t c = 3, hw = 32;
+    Dataset data;
+    data.images = Tensor({num_samples, c, hw, hw});
+    data.labels.resize(num_samples);
+
+    for (size_t i = 0; i < num_samples; ++i) {
+        data.labels[i] = static_cast<int>(rng.uniformInt(10));
+        // Saturated random background color.
+        float bg[3];
+        for (auto &b : bg)
+            b = rng.uniformFloat(-1.0f, 1.0f);
+        for (size_t ch = 0; ch < c; ++ch)
+            for (size_t y = 0; y < hw; ++y)
+                for (size_t x = 0; x < hw; ++x)
+                    data.images.at4(i, ch, y, x) =
+                        bg[ch] +
+                        static_cast<float>(rng.normal(0.0, 0.08));
+        // A handful of high-contrast strokes (digit-ish bars).
+        const size_t strokes = 2 + rng.uniformInt(4);
+        for (size_t s = 0; s < strokes; ++s) {
+            const bool vertical = rng.bernoulli(0.5);
+            const size_t pos = 4 + rng.uniformInt(hw - 8);
+            const size_t start = rng.uniformInt(hw / 2);
+            const size_t len = 8 + rng.uniformInt(hw / 2 - 4);
+            float fg[3];
+            for (auto &f : fg)
+                f = rng.uniformFloat(-1.0f, 1.0f);
+            for (size_t t = start; t < std::min(start + len, hw); ++t) {
+                for (size_t w = 0; w < 2; ++w) {
+                    size_t y = vertical ? t : pos + w;
+                    size_t x = vertical ? pos + w : t;
+                    for (size_t ch = 0; ch < c; ++ch)
+                        data.images.at4(i, ch, y, x) = fg[ch];
+                }
+            }
+        }
+    }
+    return data;
+}
+
+Dataset
+makeSyntheticImagenet64(size_t num_samples, uint64_t seed, float noise,
+                        float redundancy)
+{
+    SyntheticConfig cfg;
+    cfg.numSamples = num_samples;
+    cfg.imageSize = 64;
+    cfg.blockSize = 8;
+    cfg.seed = seed;
+    cfg.noiseStddev = noise;
+    cfg.redundancy = redundancy;
+    return makeSyntheticCifar(cfg);
+}
+
+double
+datasetTileRedundancy(const Dataset &data, size_t kernel, size_t num_hashes,
+                      size_t max_images, uint64_t seed)
+{
+    const Shape &s = data.images.shape();
+    const size_t n_img = std::min(max_images, s.batch());
+    if (n_img == 0)
+        return 0.0;
+    Rng rng(seed);
+    const size_t l = kernel * kernel; // single-channel tile vectors
+    HashFamily family = HashFamily::random(num_hashes, l, rng);
+
+    double total = 0.0;
+    size_t panels = 0;
+    for (size_t i = 0; i < n_img; ++i) {
+        ConvGeometry geom;
+        geom.batch = 1;
+        geom.inChannels = s.channels();
+        geom.inHeight = s.height();
+        geom.inWidth = s.width();
+        geom.outChannels = 1;
+        geom.kernelH = kernel;
+        geom.kernelW = kernel;
+        geom.stride = 1;
+        geom.pad = 0;
+        Tensor img({1, s.channels(), s.height(), s.width()});
+        const float *src = data.images.data() +
+                           i * s.channels() * s.height() * s.width();
+        std::copy(src, src + img.size(), img.data());
+        Tensor cols = im2col(img, geom);
+        // One vertical panel per channel tile segment.
+        for (size_t k = 0; k < geom.cols() / l; ++k) {
+            StridedItems items;
+            items.base = cols.data() + k * l;
+            items.count = cols.shape().rows();
+            items.length = l;
+            items.itemStride = cols.shape().cols();
+            items.elemStride = 1;
+            total += clusterBySignature(items, family).redundancyRatio();
+            panels++;
+        }
+    }
+    return panels == 0 ? 0.0 : total / static_cast<double>(panels);
+}
+
+} // namespace genreuse

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic datasets — this reproduction's substitute for CIFAR-10,
+ * SVHN and downsampled ImageNet (see DESIGN.md).
+ *
+ * The generators are built around "texture atoms": small deterministic
+ * micro-patterns (oriented stripes, checkers, blobs) tiled across the
+ * image in blocks. Each class draws its blocks from a class-specific
+ * pair of atoms, so (a) a small CNN can classify by detecting atoms,
+ * and (b) many image tiles are near-identical — the intra-image
+ * redundancy that reuse-based inference exploits. A `redundancy` knob
+ * controls how often blocks repeat atoms; noise controls how "near"
+ * near-identical is.
+ *
+ * The OOD generator draws from a disjoint family (high-contrast digit-
+ * like strokes on saturated backgrounds) so a model trained on the
+ * CIFAR-like set performs near chance on it, as in §5.3.6.
+ */
+
+#ifndef GENREUSE_DATA_SYNTHETIC_H
+#define GENREUSE_DATA_SYNTHETIC_H
+
+#include "dataset.h"
+
+namespace genreuse {
+
+/** Knobs for the texture-atom generator. */
+struct SyntheticConfig
+{
+    size_t numSamples = 256;
+    size_t numClasses = 10;
+    size_t channels = 3;
+    size_t imageSize = 32;   //!< square images
+    size_t blockSize = 8;    //!< atom tile size (divides imageSize)
+    float noiseStddev = 0.03f;
+    /**
+     * Probability that a block repeats the class's primary atom;
+     * higher means more intra-image redundancy (paper-like images are
+     * highly redundant; 0 would make every block an independent atom).
+     */
+    float redundancy = 0.8f;
+    uint64_t seed = 42;
+};
+
+/** CIFAR-10-like: 32x32x3 class-textured images. */
+Dataset makeSyntheticCifar(const SyntheticConfig &config);
+
+/**
+ * SVHN-like out-of-distribution set: same shape as the CIFAR-like set
+ * but a disjoint generative family (strokes + saturated backgrounds).
+ * Labels are drawn uniformly and carry no mutual information with the
+ * pixels of the ID classes.
+ */
+Dataset makeSyntheticSvhn(size_t num_samples, uint64_t seed = 43);
+
+/** ImageNet-64x64-like: the CIFAR-like generator at 64x64. */
+Dataset makeSyntheticImagenet64(size_t num_samples, uint64_t seed = 44,
+                                float noise = 0.03f,
+                                float redundancy = 0.8f);
+
+/**
+ * Mean redundancy ratio that random-hyperplane clustering (H hash
+ * functions, neuron vectors of length l from a k x k kernel sweep)
+ * finds in a dataset's images — a quick dataset-quality check used in
+ * tests to validate that the generators actually produce redundant
+ * tiles.
+ */
+double datasetTileRedundancy(const Dataset &data, size_t kernel = 5,
+                             size_t num_hashes = 6, size_t max_images = 8,
+                             uint64_t seed = 7);
+
+} // namespace genreuse
+
+#endif // GENREUSE_DATA_SYNTHETIC_H

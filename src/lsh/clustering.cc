@@ -1,0 +1,154 @@
+#include "clustering.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+double
+ClusterResult::redundancyRatio() const
+{
+    if (numItems() == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(numClusters()) /
+                 static_cast<double>(numItems());
+}
+
+ClusterResult
+clusterBySignature(const StridedItems &items, const HashFamily &family)
+{
+    return clusterSignatures(items, family.signatures(items));
+}
+
+ClusterResult
+clusterSignatures(const StridedItems &items,
+                  const std::vector<uint64_t> &sigs)
+{
+    GENREUSE_REQUIRE(sigs.size() == items.count,
+                     "signature count mismatches item count");
+    ClusterResult result;
+    result.assignments.resize(items.count);
+
+    std::unordered_map<uint64_t, uint32_t> ids;
+    ids.reserve(items.count);
+    for (size_t i = 0; i < items.count; ++i) {
+        auto [it, inserted] =
+            ids.emplace(sigs[i], static_cast<uint32_t>(ids.size()));
+        result.assignments[i] = it->second;
+        (void)inserted;
+    }
+
+    const size_t nc = ids.size();
+    result.sizes.assign(nc, 0);
+    result.centroids = Tensor({nc == 0 ? 1 : nc, items.length});
+    result.centroids.zero();
+    for (size_t i = 0; i < items.count; ++i) {
+        uint32_t c = result.assignments[i];
+        result.sizes[c]++;
+        float *dst = result.centroids.data() + c * items.length;
+        for (size_t j = 0; j < items.length; ++j)
+            dst[j] += items.at(i, j);
+    }
+    for (size_t c = 0; c < nc; ++c) {
+        float inv = 1.0f / static_cast<float>(result.sizes[c]);
+        float *dst = result.centroids.data() + c * items.length;
+        for (size_t j = 0; j < items.length; ++j)
+            dst[j] *= inv;
+    }
+    if (nc == 0)
+        result.centroids = Tensor({0, items.length}, std::vector<float>{});
+    return result;
+}
+
+namespace {
+
+/**
+ * Largest eigenvalue of the covariance matrix of one cluster's items,
+ * via power iteration performed implicitly (never materializing the
+ * L x L covariance): Cov * v = (1/m) Σ_i d_i (d_i . v), d_i = x_i - μ.
+ */
+double
+clusterLambdaMax(const StridedItems &items, const ClusterResult &clusters,
+                 uint32_t cluster, size_t max_iters)
+{
+    const size_t l = items.length;
+    const size_t m = clusters.sizes[cluster];
+    if (m <= 1)
+        return 0.0;
+
+    const float *mu = clusters.centroids.data() + cluster * l;
+
+    // Deterministic start vector; re-seeded from the cluster id so
+    // different clusters don't share a degenerate start.
+    std::vector<double> v(l);
+    for (size_t j = 0; j < l; ++j)
+        v[j] = 1.0 + 0.01 * static_cast<double>((j * 2654435761u + cluster) % 97);
+    double norm = 0.0;
+    for (double x : v)
+        norm += x * x;
+    norm = std::sqrt(norm);
+    for (double &x : v)
+        x /= norm;
+
+    double lambda = 0.0;
+    std::vector<double> av(l);
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+        std::fill(av.begin(), av.end(), 0.0);
+        for (size_t i = 0; i < items.count; ++i) {
+            if (clusters.assignments[i] != cluster)
+                continue;
+            double dot = 0.0;
+            for (size_t j = 0; j < l; ++j)
+                dot += (items.at(i, j) - mu[j]) * v[j];
+            for (size_t j = 0; j < l; ++j)
+                av[j] += (items.at(i, j) - mu[j]) * dot;
+        }
+        for (size_t j = 0; j < l; ++j)
+            av[j] /= static_cast<double>(m);
+
+        double av_norm = 0.0;
+        for (double x : av)
+            av_norm += x * x;
+        av_norm = std::sqrt(av_norm);
+        if (av_norm < 1e-12)
+            return 0.0; // all points equal the centroid
+        lambda = av_norm;
+        for (size_t j = 0; j < l; ++j)
+            v[j] = av[j] / av_norm;
+    }
+    return lambda;
+}
+
+} // namespace
+
+double
+clusterScatterBound(const StridedItems &items, const ClusterResult &clusters,
+                    size_t max_iters)
+{
+    double total = 0.0;
+    for (uint32_t c = 0; c < clusters.numClusters(); ++c) {
+        total += clusterLambdaMax(items, clusters, c, max_iters) *
+                 static_cast<double>(clusters.sizes[c]);
+    }
+    return total;
+}
+
+double
+withinClusterScatter(const StridedItems &items, const ClusterResult &clusters)
+{
+    double total = 0.0;
+    const size_t l = items.length;
+    for (size_t i = 0; i < items.count; ++i) {
+        const float *mu =
+            clusters.centroids.data() + clusters.assignments[i] * l;
+        for (size_t j = 0; j < l; ++j) {
+            double d = items.at(i, j) - mu[j];
+            total += d * d;
+        }
+    }
+    return total;
+}
+
+} // namespace genreuse

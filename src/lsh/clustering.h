@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Signature-based online clustering of neuron vectors/blocks: items
+ * with identical H-bit LSH signatures form one cluster; the cluster's
+ * centroid result is reused for every member (§3.1 step 1).
+ */
+
+#ifndef GENREUSE_LSH_CLUSTERING_H
+#define GENREUSE_LSH_CLUSTERING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh.h"
+#include "tensor/matrix_view.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** Output of clustering one panel of neuron vectors. */
+struct ClusterResult
+{
+    /** Cluster id of each item, in [0, numClusters). */
+    std::vector<uint32_t> assignments;
+
+    /** numClusters x length matrix of cluster means. */
+    Tensor centroids;
+
+    /** Item count per cluster. */
+    std::vector<size_t> sizes;
+
+    size_t numClusters() const { return sizes.size(); }
+    size_t numItems() const { return assignments.size(); }
+
+    /**
+     * The paper's redundancy ratio for this panel:
+     * r_t = 1 - n_c / n (§4.2). 0 when the panel is empty.
+     */
+    double redundancyRatio() const;
+};
+
+/**
+ * Cluster the given items by their LSH signatures under @p family and
+ * compute mean centroids.
+ */
+ClusterResult clusterBySignature(const StridedItems &items,
+                                 const HashFamily &family);
+
+/**
+ * Cluster pre-computed signatures (used when the caller already hashed,
+ * e.g. to reuse signatures across reuse-direction variants).
+ */
+ClusterResult clusterSignatures(const StridedItems &items,
+                                const std::vector<uint64_t> &sigs);
+
+/**
+ * Sum of per-cluster (largest covariance eigenvalue x cluster size),
+ * the Σ λmax * m term of the paper's accuracy bound (§4.1). Eigenvalues
+ * come from power iteration on each cluster's covariance matrix.
+ *
+ * @param max_iters power-iteration steps per cluster
+ */
+double clusterScatterBound(const StridedItems &items,
+                           const ClusterResult &clusters,
+                           size_t max_iters = 30);
+
+/**
+ * Total within-cluster sum of squared deviations from the centroid —
+ * the exact (not bounded) counterpart of the scatter term; cheap and
+ * used as an alternative accuracy indicator in tests.
+ */
+double withinClusterScatter(const StridedItems &items,
+                            const ClusterResult &clusters);
+
+} // namespace genreuse
+
+#endif // GENREUSE_LSH_CLUSTERING_H

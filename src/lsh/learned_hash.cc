@@ -1,0 +1,154 @@
+#include "learned_hash.h"
+
+#include <cmath>
+#include <vector>
+
+#include "clustering.h"
+#include "common/logging.h"
+
+namespace genreuse {
+
+namespace {
+
+/** Dense symmetric matrix-vector product y = A x (A is l x l). */
+void
+symMatVec(const std::vector<double> &a, const std::vector<double> &x,
+          std::vector<double> &y, size_t l)
+{
+    for (size_t i = 0; i < l; ++i) {
+        double s = 0.0;
+        const double *row = a.data() + i * l;
+        for (size_t j = 0; j < l; ++j)
+            s += row[j] * x[j];
+        y[i] = s;
+    }
+}
+
+double
+norm2(const std::vector<double> &v)
+{
+    double s = 0.0;
+    for (double x : v)
+        s += x * x;
+    return std::sqrt(s);
+}
+
+} // namespace
+
+HashFamily
+learnHashFamilyPca(const StridedItems &items, size_t num_functions,
+                   size_t iters)
+{
+    GENREUSE_REQUIRE(items.count >= 2, "need at least 2 sample vectors");
+    GENREUSE_REQUIRE(num_functions >= 1 && num_functions <= 64,
+                     "H must be in [1, 64]");
+    const size_t l = items.length;
+    const size_t n = items.count;
+
+    // Sample mean.
+    std::vector<double> mu(l, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < l; ++j)
+            mu[j] += items.at(i, j);
+    for (double &x : mu)
+        x /= static_cast<double>(n);
+
+    // Sample covariance (l x l). L is a reuse granularity, typically
+    // tens to a few hundred, so the dense matrix is small.
+    std::vector<double> cov(l * l, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < l; ++j) {
+            double dj = items.at(i, j) - mu[j];
+            double *row = cov.data() + j * l;
+            for (size_t k = j; k < l; ++k)
+                row[k] += dj * (items.at(i, k) - mu[k]);
+        }
+    }
+    for (size_t j = 0; j < l; ++j)
+        for (size_t k = j; k < l; ++k) {
+            cov[j * l + k] /= static_cast<double>(n);
+            cov[k * l + j] = cov[j * l + k];
+        }
+
+    // Orthogonal power iteration with deflation for the top components.
+    const size_t h = std::min(num_functions, l);
+    Tensor vectors({num_functions, l});
+    std::vector<float> biases(num_functions, 0.0f);
+    std::vector<std::vector<double>> components;
+
+    for (size_t comp = 0; comp < h; ++comp) {
+        std::vector<double> v(l);
+        for (size_t j = 0; j < l; ++j)
+            v[j] = 1.0 + 0.01 * static_cast<double>((j * 40503u + comp) % 89);
+        // Orthogonalize the start against found components.
+        for (const auto &u : components) {
+            double dot = 0.0;
+            for (size_t j = 0; j < l; ++j)
+                dot += v[j] * u[j];
+            for (size_t j = 0; j < l; ++j)
+                v[j] -= dot * u[j];
+        }
+        double nv = norm2(v);
+        if (nv < 1e-12)
+            v[comp % l] = 1.0, nv = 1.0;
+        for (double &x : v)
+            x /= nv;
+
+        std::vector<double> av(l);
+        for (size_t iter = 0; iter < iters; ++iter) {
+            symMatVec(cov, v, av, l);
+            // Deflate: remove projections onto earlier components.
+            for (const auto &u : components) {
+                double dot = 0.0;
+                for (size_t j = 0; j < l; ++j)
+                    dot += av[j] * u[j];
+                for (size_t j = 0; j < l; ++j)
+                    av[j] -= dot * u[j];
+            }
+            double na = norm2(av);
+            if (na < 1e-14)
+                break;
+            for (size_t j = 0; j < l; ++j)
+                v[j] = av[j] / na;
+        }
+        components.push_back(v);
+
+        for (size_t j = 0; j < l; ++j)
+            vectors.at2(comp, j) = static_cast<float>(v[j]);
+        // Centering bias: hyperplane passes through the sample mean so
+        // the split is balanced.
+        double b = 0.0;
+        for (size_t j = 0; j < l; ++j)
+            b -= v[j] * mu[j];
+        biases[comp] = static_cast<float>(b);
+    }
+
+    // If H > L (more hash functions than dimensions), the extra
+    // hyperplanes repeat the leading components with offset biases so
+    // they still partition the population meaningfully.
+    for (size_t comp = h; comp < num_functions; ++comp) {
+        const auto &u = components[comp % h];
+        for (size_t j = 0; j < l; ++j)
+            vectors.at2(comp, j) = static_cast<float>(u[j]);
+        double b = 0.0;
+        for (size_t j = 0; j < l; ++j)
+            b -= u[j] * mu[j];
+        // Offset by a fraction of the component scale to cut elsewhere.
+        double shift = 0.25 * (1.0 + static_cast<double>(comp - h));
+        biases[comp] = static_cast<float>(b + shift);
+    }
+
+    return HashFamily(std::move(vectors), std::move(biases));
+}
+
+double
+familyScatterOnSample(const HashFamily &family, const StridedItems &items)
+{
+    ClusterResult clusters = clusterBySignature(items, family);
+    if (items.count == 0)
+        return 0.0;
+    return withinClusterScatter(items, clusters) /
+           static_cast<double>(items.count);
+}
+
+} // namespace genreuse

@@ -1,0 +1,84 @@
+#include "lsh.h"
+
+#include "common/logging.h"
+#include "tensor/gemm.h"
+
+namespace genreuse {
+
+HashFamily::HashFamily(Tensor vectors, std::vector<float> biases)
+    : vectors_(std::move(vectors)), biases_(std::move(biases))
+{
+    GENREUSE_REQUIRE(vectors_.shape().rank() == 2,
+                     "hash vectors must form an H x L matrix");
+    GENREUSE_REQUIRE(vectors_.shape().rows() >= 1 &&
+                     vectors_.shape().rows() <= 64,
+                     "need 1..64 hash functions, got ",
+                     vectors_.shape().rows());
+    if (biases_.empty())
+        biases_.assign(vectors_.shape().rows(), 0.0f);
+    GENREUSE_REQUIRE(biases_.size() == vectors_.shape().rows(),
+                     "bias count mismatches hash function count");
+}
+
+HashFamily
+HashFamily::random(size_t num_functions, size_t length, Rng &rng)
+{
+    return HashFamily(
+        Tensor::randomNormal({num_functions, length}, rng, 0.0f, 1.0f));
+}
+
+uint64_t
+HashFamily::signature(const StridedItems &items, size_t index) const
+{
+    GENREUSE_REQUIRE(items.length == vectorLength(),
+                     "item length ", items.length,
+                     " != hash vector length ", vectorLength());
+    const size_t h = numFunctions(), l = vectorLength();
+    uint64_t sig = 0;
+    for (size_t f = 0; f < h; ++f) {
+        const float *v = vectors_.data() + f * l;
+        double dot = biases_[f];
+        for (size_t j = 0; j < l; ++j)
+            dot += static_cast<double>(v[j]) * items.at(index, j);
+        if (dot > 0.0)
+            sig |= uint64_t{1} << f;
+    }
+    return sig;
+}
+
+std::vector<uint64_t>
+HashFamily::signatures(const StridedItems &items) const
+{
+    GENREUSE_REQUIRE(items.length == vectorLength(),
+                     "item length ", items.length,
+                     " != hash vector length ", vectorLength());
+    const size_t h = numFunctions(), l = vectorLength();
+    std::vector<uint64_t> sigs(items.count, 0);
+
+    if (items.contiguousRows() && items.count > 0) {
+        // Fast path: S = X x V^T via the blocked GEMM, then sign.
+        // V is H x L so we multiply rows of X against rows of V.
+        Tensor vt({l, h});
+        for (size_t f = 0; f < h; ++f)
+            for (size_t j = 0; j < l; ++j)
+                vt.at2(j, f) = vectors_.at2(f, j);
+        Tensor proj({items.count, h});
+        gemmRaw(items.base, vt.data(), proj.data(), items.count, h, l,
+                items.itemStride, h, h, false);
+        for (size_t i = 0; i < items.count; ++i) {
+            uint64_t sig = 0;
+            for (size_t f = 0; f < h; ++f) {
+                if (proj.at2(i, f) + biases_[f] > 0.0f)
+                    sig |= uint64_t{1} << f;
+            }
+            sigs[i] = sig;
+        }
+        return sigs;
+    }
+
+    for (size_t i = 0; i < items.count; ++i)
+        sigs[i] = signature(items, i);
+    return sigs;
+}
+
+} // namespace genreuse

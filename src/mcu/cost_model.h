@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Operation-count based latency model. Kernels report exactly what work
+ * they did (MACs, element moves, scalar ALU ops, hash-table probes);
+ * the cost model prices those counts in cycles for a given board and
+ * converts to milliseconds. This substitutes for running on the real
+ * STM32 boards while preserving every quantity the paper's latency
+ * claims depend on (see DESIGN.md).
+ */
+
+#ifndef GENREUSE_MCU_COST_MODEL_H
+#define GENREUSE_MCU_COST_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcu_spec.h"
+
+namespace genreuse {
+
+/** Abstract operation counts reported by a kernel. */
+struct OpCounts
+{
+    uint64_t macs = 0;      //!< 8/16-bit SIMD-able multiply-accumulates
+    uint64_t elemMoves = 0; //!< element loads+stores (im2col, reorder, ...)
+    uint64_t aluOps = 0;    //!< scalar adds/compares outside the MAC path
+    uint64_t tableOps = 0;  //!< hash-table probes/updates in clustering
+
+    OpCounts &operator+=(const OpCounts &o);
+    OpCounts operator+(const OpCounts &o) const;
+    bool isZero() const;
+};
+
+/** The reuse pipeline stages of the paper's Table 3 breakdown. */
+enum class Stage
+{
+    Transformation, //!< im2col + reuse-order layout transformation
+    Clustering,     //!< LSH hashing + signature grouping + centroids
+    Gemm,           //!< centroid x weight multiplication
+    Recovering,     //!< duplicating centroid results / summing partials
+    NumStages,
+};
+
+/** Human-readable stage name. */
+const char *stageName(Stage s);
+
+/**
+ * Prices OpCounts on a board. All kernels in this library are
+ * deterministic in their op counts, so latency is exactly reproducible.
+ */
+class CostModel
+{
+  public:
+    explicit CostModel(McuSpec spec) : spec_(std::move(spec)) {}
+
+    const McuSpec &spec() const { return spec_; }
+
+    /** Cycle count for the given op mix. */
+    double cycles(const OpCounts &ops) const;
+
+    /** Milliseconds for the given op mix. */
+    double milliseconds(const OpCounts &ops) const;
+
+  private:
+    McuSpec spec_;
+};
+
+/**
+ * Per-stage accounting for one layer (or one network) execution: the
+ * unit that Table 3 rows and all latency numbers are computed from.
+ */
+class CostLedger
+{
+  public:
+    /** Add op counts to a stage. */
+    void add(Stage stage, const OpCounts &ops);
+
+    /** Merge another ledger stage-by-stage. */
+    void merge(const CostLedger &other);
+
+    const OpCounts &stage(Stage s) const;
+
+    /** Sum over all stages. */
+    OpCounts total() const;
+
+    /** Milliseconds of one stage on a board. */
+    double stageMs(Stage s, const CostModel &model) const;
+
+    /** Total milliseconds on a board. */
+    double totalMs(const CostModel &model) const;
+
+    void clear();
+
+  private:
+    OpCounts stages_[static_cast<size_t>(Stage::NumStages)];
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_MCU_COST_MODEL_H

@@ -1,0 +1,39 @@
+#include "mcu_spec.h"
+
+namespace genreuse {
+
+McuSpec
+McuSpec::stm32f469i()
+{
+    McuSpec s;
+    s.name = "STM32F469I";
+    s.core = "Cortex-M4";
+    s.clockMhz = 180.0;
+    s.sramBytes = 324 * 1024;
+    s.flashBytes = 2048 * 1024;
+    s.simdMacsPerCycle = 2.0;
+    s.issueFactor = 1.0;
+    s.copyCyclesPerElem = 3.0;
+    s.aluCyclesPerOp = 1.0;
+    s.tableCyclesPerOp = 8.0;
+    return s;
+}
+
+McuSpec
+McuSpec::stm32f767zi()
+{
+    McuSpec s;
+    s.name = "STM32F767ZI";
+    s.core = "Cortex-M7";
+    s.clockMhz = 216.0; // 20% faster than the F469I (paper §5.1)
+    s.sramBytes = 512 * 1024;
+    s.flashBytes = 2048 * 1024;
+    s.simdMacsPerCycle = 2.0;
+    s.issueFactor = 1.7; // dual issue of load and ALU instructions
+    s.copyCyclesPerElem = 3.0;
+    s.aluCyclesPerOp = 1.0;
+    s.tableCyclesPerOp = 8.0;
+    return s;
+}
+
+} // namespace genreuse

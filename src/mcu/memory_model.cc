@@ -1,0 +1,46 @@
+#include "memory_model.h"
+
+#include <algorithm>
+
+namespace genreuse {
+
+size_t
+MemoryEstimate::flashBytes(size_t code_allowance) const
+{
+    size_t total = code_allowance;
+    for (const auto &l : layers)
+        total += l.weightBytes;
+    return total;
+}
+
+size_t
+MemoryEstimate::sramPeakBytes() const
+{
+    size_t peak = 0;
+    for (const auto &l : layers)
+        peak = std::max(peak, l.sramPeak());
+    return peak;
+}
+
+std::string
+MemoryEstimate::sramPeakLayer() const
+{
+    size_t peak = 0;
+    std::string name;
+    for (const auto &l : layers) {
+        if (l.sramPeak() >= peak) {
+            peak = l.sramPeak();
+            name = l.name;
+        }
+    }
+    return name;
+}
+
+bool
+MemoryEstimate::fits(const McuSpec &spec) const
+{
+    return flashBytes() <= spec.flashBytes &&
+           sramPeakBytes() <= spec.sramBytes;
+}
+
+} // namespace genreuse

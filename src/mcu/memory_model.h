@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static memory footprint model: does a deployed network fit the
+ * board's flash (weights) and SRAM (activations + im2col scratch +
+ * reuse bookkeeping)? Mirrors the constraint that forced the paper onto
+ * CIFAR-scale inputs ("ImageNet would run out of MCU memory", §5.1).
+ */
+
+#ifndef GENREUSE_MCU_MEMORY_MODEL_H
+#define GENREUSE_MCU_MEMORY_MODEL_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mcu_spec.h"
+
+namespace genreuse {
+
+/** Footprint of one layer during execution. */
+struct LayerFootprint
+{
+    std::string name;
+    size_t weightBytes = 0;   //!< resident in flash (int8 weights)
+    size_t inputBytes = 0;    //!< live input activation
+    size_t outputBytes = 0;   //!< live output activation
+    size_t scratchBytes = 0;  //!< im2col buffer, centroids, signatures
+
+    /** SRAM needed while this layer runs. */
+    size_t sramPeak() const { return inputBytes + outputBytes + scratchBytes; }
+};
+
+/** Whole-network deployment estimate. */
+struct MemoryEstimate
+{
+    std::vector<LayerFootprint> layers;
+
+    /** Total flash use (sum of weights plus a fixed code allowance). */
+    size_t flashBytes(size_t code_allowance = 128 * 1024) const;
+
+    /** Peak SRAM over all layers. */
+    size_t sramPeakBytes() const;
+
+    /** Name of the layer with the largest SRAM footprint. */
+    std::string sramPeakLayer() const;
+
+    /** True when both flash and SRAM fit the given board. */
+    bool fits(const McuSpec &spec) const;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_MCU_MEMORY_MODEL_H

@@ -1,0 +1,100 @@
+#include "models.h"
+
+#include "nn/activation.h"
+#include "nn/composite.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+
+namespace genreuse {
+
+Network
+makeCifarNet(Rng &rng, size_t num_classes, size_t width)
+{
+    Network net("CifarNet");
+    net.emplace<Conv2D>("conv1", 3, width, 5, 1, 2, rng);
+    net.emplace<ReLU>("relu1");
+    net.emplace<MaxPool2D>("pool1", 2, 2); // 32 -> 16
+    net.emplace<Conv2D>("conv2", width, width, 5, 1, 2, rng);
+    net.emplace<ReLU>("relu2");
+    net.emplace<MaxPool2D>("pool2", 2, 2); // 16 -> 8
+    net.emplace<Dense>("fc3", width * 8 * 8, 192, rng);
+    net.emplace<ReLU>("relu3");
+    net.emplace<Dense>("fc4", 192, num_classes, rng);
+    return net;
+}
+
+Network
+makeZfNet(Rng &rng, size_t num_classes)
+{
+    Network net("ZfNet");
+    net.emplace<Conv2D>("conv1", 3, 96, 7, 2, 3, rng); // 32 -> 16
+    net.emplace<ReLU>("relu1");
+    net.emplace<MaxPool2D>("pool1", 2, 2); // 16 -> 8
+    net.emplace<Conv2D>("conv2", 96, 256, 5, 1, 2, rng);
+    net.emplace<ReLU>("relu2");
+    net.emplace<MaxPool2D>("pool2", 2, 2); // 8 -> 4
+    net.emplace<Dense>("fc3", 256 * 4 * 4, 256, rng);
+    net.emplace<ReLU>("relu3");
+    net.emplace<Dense>("fc4", 256, num_classes, rng);
+    return net;
+}
+
+Network
+makeSqueezeNet(Rng &rng, bool bypass, size_t num_classes)
+{
+    Network net(bypass ? "SqueezeNet-bypass" : "SqueezeNet");
+    net.emplace<Conv2D>("conv1", 3, 64, 3, 1, 1, rng);
+    net.emplace<ReLU>("relu1");
+    net.emplace<MaxPool2D>("pool1", 2, 2); // 32 -> 16
+    net.emplace<FireModule>("Fire2", 64, 16, 64, 64, false, rng);
+    net.emplace<FireModule>("Fire3", 128, 16, 64, 64, bypass, rng);
+    net.emplace<MaxPool2D>("pool3", 2, 2); // 16 -> 8
+    net.emplace<FireModule>("Fire4", 128, 32, 128, 128, false, rng);
+    net.emplace<FireModule>("Fire5", 256, 32, 128, 128, bypass, rng);
+    net.emplace<MaxPool2D>("pool5", 2, 2); // 8 -> 4
+    net.emplace<FireModule>("Fire6", 256, 48, 192, 192, false, rng);
+    net.emplace<FireModule>("Fire7", 384, 48, 192, 192, bypass, rng);
+    net.emplace<FireModule>("Fire8", 384, 64, 256, 256, false, rng);
+    net.emplace<GlobalAvgPool2D>("gap");
+    net.emplace<Dense>("fc", 512, num_classes, rng);
+    return net;
+}
+
+Network
+makeResNet18(Rng &rng, size_t num_classes, size_t base_width)
+{
+    const size_t w1 = base_width, w2 = 2 * base_width, w3 = 4 * base_width,
+                 w4 = 8 * base_width;
+    Network net("ResNet-18");
+    net.emplace<Conv2D>("conv1", 3, w1, 3, 1, 1, rng);
+    net.emplace<ReLU>("relu1");
+    net.emplace<ResidualBlock>("Conv2-1", w1, w1, 1, rng);
+    net.emplace<ResidualBlock>("Conv2-2", w1, w1, 1, rng);
+    net.emplace<ResidualBlock>("Conv3-1", w1, w2, 2, rng); // 64 -> 32
+    net.emplace<ResidualBlock>("Conv3-2", w2, w2, 1, rng);
+    net.emplace<ResidualBlock>("Conv4-1", w2, w3, 2, rng); // 32 -> 16
+    net.emplace<ResidualBlock>("Conv4-2", w3, w3, 1, rng);
+    net.emplace<ResidualBlock>("Conv5-1", w3, w4, 2, rng); // 16 -> 8
+    net.emplace<ResidualBlock>("Conv5-2", w4, w4, 1, rng);
+    net.emplace<GlobalAvgPool2D>("gap");
+    net.emplace<Dense>("fc", w4, num_classes, rng);
+    return net;
+}
+
+Network
+makeTinyNet(Rng &rng, size_t num_classes, size_t image_size)
+{
+    Network net("TinyNet");
+    net.emplace<Conv2D>("conv1", 3, 8, 3, 1, 1, rng);
+    net.emplace<ReLU>("relu1");
+    net.emplace<MaxPool2D>("pool1", 2, 2);
+    net.emplace<Conv2D>("conv2", 8, 16, 3, 1, 1, rng);
+    net.emplace<ReLU>("relu2");
+    net.emplace<MaxPool2D>("pool2", 2, 2);
+    const size_t spatial = image_size / 4;
+    net.emplace<Dense>("fc", 16 * spatial * spatial, num_classes, rng);
+    return net;
+}
+
+} // namespace genreuse

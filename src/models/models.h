@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The paper's model zoo (§5.1): CifarNet, ZfNet (a 32x32 variant with
+ * the paper's layer dimensions), SqueezeNet with and without bypass,
+ * and ResNet-18 for the 64x64 experiments (§5.3.7).
+ *
+ * Layer dimensions follow Table 1 of the paper where it specifies
+ * them: CifarNet Conv1 has Din=75 (5x5x3) and M=64, Conv2 Din=1600
+ * (5x5x64) and M=64; ZfNet Conv1 Din=147 (7x7x3) M=96, Conv2 Din=2400
+ * (5x5x96) M=256; SqueezeNet Fire expand_3x3 convs match the standard
+ * squeeze/expand channel plan (16/64, 32/128, 48/192, 64/256).
+ * ResNet-18 keeps the standard topology with a configurable base width
+ * (default 32) so the full pipeline fits this reproduction's CPU-only
+ * training budget; see DESIGN.md.
+ */
+
+#ifndef GENREUSE_MODELS_MODELS_H
+#define GENREUSE_MODELS_MODELS_H
+
+#include "nn/network.h"
+
+namespace genreuse {
+
+/**
+ * CifarNet: conv5x5(w) - pool - conv5x5(w) - pool - fc192 - fc10.
+ * @p width (default 64, the paper's M) is exposed so the channel-
+ * pruning experiment (Table 5) can build structurally pruned variants.
+ */
+Network makeCifarNet(Rng &rng, size_t num_classes = 10, size_t width = 64);
+
+/**
+ * ZfNet scaled to 32x32 inputs: conv7x7/2(96) - pool - conv5x5(256) -
+ * pool - fc256 - fc10. Conv Din/M match the paper's Table 1b.
+ */
+Network makeZfNet(Rng &rng, size_t num_classes = 10);
+
+/**
+ * SqueezeNet for 32x32 inputs: conv3x3(64) - pool - fire2..fire8 -
+ * global average pool - fc. @p bypass enables the residual bypass on
+ * fire3/5/7 (the paper's "w/ bypass" variant).
+ */
+Network makeSqueezeNet(Rng &rng, bool bypass, size_t num_classes = 10);
+
+/**
+ * ResNet-18 topology for 64x64 inputs with configurable base width.
+ */
+Network makeResNet18(Rng &rng, size_t num_classes = 10,
+                     size_t base_width = 32);
+
+/**
+ * A tiny two-conv network for fast tests: conv3x3(8) - pool -
+ * conv3x3(16) - pool - fc. Not part of the paper; test infrastructure.
+ */
+Network makeTinyNet(Rng &rng, size_t num_classes = 10,
+                    size_t image_size = 32);
+
+} // namespace genreuse
+
+#endif // GENREUSE_MODELS_MODELS_H

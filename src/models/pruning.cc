@@ -1,0 +1,133 @@
+#include "pruning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "models.h"
+#include "nn/dense.h"
+
+namespace genreuse {
+
+std::vector<double>
+filterL1Norms(const Conv2D &conv)
+{
+    const Tensor &k = const_cast<Conv2D &>(conv).kernel().value;
+    const size_t m = k.shape().dim(0);
+    const size_t per_filter = k.size() / m;
+    std::vector<double> norms(m, 0.0);
+    for (size_t f = 0; f < m; ++f) {
+        const float *w = k.data() + f * per_filter;
+        for (size_t i = 0; i < per_filter; ++i)
+            norms[f] += std::fabs(w[i]);
+    }
+    return norms;
+}
+
+std::vector<size_t>
+selectFiltersByNorm(const std::vector<double> &norms, size_t keep)
+{
+    GENREUSE_REQUIRE(keep >= 1 && keep <= norms.size(),
+                     "keep count out of range");
+    std::vector<size_t> order(norms.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return norms[a] > norms[b];
+    });
+    order.resize(keep);
+    std::sort(order.begin(), order.end());
+    return order;
+}
+
+namespace {
+
+/** Copy selected filters (and input-channel subset) between kernels. */
+void
+transferConvWeights(Conv2D &dst, Conv2D &src,
+                    const std::vector<size_t> &out_keep,
+                    const std::vector<size_t> &in_keep)
+{
+    Tensor &dk = dst.kernel().value;
+    Tensor &sk = src.kernel().value;
+    const size_t kh = src.kernelSize(), kw = src.kernelSize();
+    for (size_t fo = 0; fo < out_keep.size(); ++fo) {
+        for (size_t ci = 0; ci < in_keep.size(); ++ci) {
+            for (size_t y = 0; y < kh; ++y) {
+                for (size_t x = 0; x < kw; ++x) {
+                    dk[((fo * in_keep.size() + ci) * kh + y) * kw + x] =
+                        sk[((out_keep[fo] * src.inChannels() +
+                             in_keep[ci]) * kh + y) * kw + x];
+                }
+            }
+        }
+        dst.bias().value[fo] = src.bias().value[out_keep[fo]];
+    }
+}
+
+} // namespace
+
+Network
+pruneCifarNet(Network &trained, double keep_fraction, Rng &rng)
+{
+    GENREUSE_REQUIRE(keep_fraction > 0.0 && keep_fraction <= 1.0,
+                     "keep fraction must be in (0, 1]");
+    Conv2D *conv1 = trained.findConv("conv1");
+    Conv2D *conv2 = trained.findConv("conv2");
+    GENREUSE_REQUIRE(conv1 && conv2,
+                     "pruneCifarNet expects a CifarNet-shaped network");
+    const size_t w_old = conv1->outChannels();
+    const size_t w_new = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(w_old * keep_fraction)));
+
+    // Rank filters.
+    std::vector<size_t> keep1 =
+        selectFiltersByNorm(filterL1Norms(*conv1), w_new);
+    std::vector<size_t> keep2 =
+        selectFiltersByNorm(filterL1Norms(*conv2), w_new);
+    std::vector<size_t> all_in(3);
+    for (size_t i = 0; i < 3; ++i)
+        all_in[i] = i;
+
+    // Build the narrow network and transfer weights.
+    Network pruned = makeCifarNet(rng, 10, w_new);
+    Conv2D *p1 = pruned.findConv("conv1");
+    Conv2D *p2 = pruned.findConv("conv2");
+    transferConvWeights(*p1, *conv1, keep1, all_in);
+    transferConvWeights(*p2, *conv2, keep2, keep1);
+
+    // FC weights: input rows follow the (C, H, W) flatten of conv2's
+    // pooled output; keep the rows of surviving channels.
+    auto *fc3_old = dynamic_cast<Dense *>(&trained.layer(6));
+    auto *fc3_new = dynamic_cast<Dense *>(&pruned.layer(6));
+    auto *fc4_old = dynamic_cast<Dense *>(&trained.layer(8));
+    auto *fc4_new = dynamic_cast<Dense *>(&pruned.layer(8));
+    GENREUSE_REQUIRE(fc3_old && fc3_new && fc4_old && fc4_new,
+                     "unexpected CifarNet layer layout");
+    const size_t spatial = fc3_old->inFeatures() / w_old;
+    for (size_t c = 0; c < keep2.size(); ++c) {
+        for (size_t s = 0; s < spatial; ++s) {
+            const size_t src_row = keep2[c] * spatial + s;
+            const size_t dst_row = c * spatial + s;
+            for (size_t o = 0; o < fc3_old->outFeatures(); ++o) {
+                fc3_new->weight().value.at2(dst_row, o) =
+                    fc3_old->weight().value.at2(src_row, o);
+            }
+        }
+    }
+    fc3_new->bias().value = fc3_old->bias().value;
+    fc4_new->weight().value = fc4_old->weight().value;
+    fc4_new->bias().value = fc4_old->bias().value;
+    return pruned;
+}
+
+size_t
+parameterCount(Network &net)
+{
+    size_t total = 0;
+    for (auto *p : net.params())
+        total += p->value.size();
+    return total;
+}
+
+} // namespace genreuse

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Structured (channel) pruning — the "CP" of the paper's Table 5
+ * tradeoff study. Filters are ranked by L1 norm (the standard
+ * magnitude criterion); a pruned network is *structurally* narrower
+ * (fewer output channels), with the surviving filters' weights
+ * transferred, so the FLOP and latency savings are real rather than
+ * simulated by zeroing.
+ */
+
+#ifndef GENREUSE_MODELS_PRUNING_H
+#define GENREUSE_MODELS_PRUNING_H
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/network.h"
+
+namespace genreuse {
+
+/** L1 norm of each filter (output channel) of a convolution. */
+std::vector<double> filterL1Norms(const Conv2D &conv);
+
+/**
+ * Indices of the @p keep largest-norm filters, in ascending index
+ * order (so weight transfer preserves relative channel order).
+ */
+std::vector<size_t> selectFiltersByNorm(const std::vector<double> &norms,
+                                        size_t keep);
+
+/**
+ * Build a channel-pruned copy of a *CifarNet-shaped* network
+ * (conv-relu-pool-conv-relu-pool-fc-relu-fc): both convolutions keep
+ * a @p keep_fraction of their filters (at least 1), the second conv's
+ * input channels and the first FC's input rows are sliced to match,
+ * and all surviving weights are copied from @p trained.
+ *
+ * @param trained a network produced by makeCifarNet() (any width)
+ * @param keep_fraction fraction of filters to keep in (0, 1]
+ * @param rng initializer for the (none remaining) fresh parameters
+ */
+Network pruneCifarNet(Network &trained, double keep_fraction, Rng &rng);
+
+/** Total trainable parameter count of a network. */
+size_t parameterCount(Network &net);
+
+} // namespace genreuse
+
+#endif // GENREUSE_MODELS_PRUNING_H

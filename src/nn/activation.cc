@@ -1,0 +1,46 @@
+#include "activation.h"
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+Tensor
+ReLU::forward(const Tensor &x, bool training)
+{
+    Tensor y(x.shape());
+    if (training) {
+        mask_.assign(x.size(), 0);
+        cachedShape_ = x.shape();
+        haveCache_ = true;
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+        bool pos = x[i] > 0.0f;
+        y[i] = pos ? x[i] : 0.0f;
+        if (training && pos)
+            mask_[i] = 1;
+    }
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    GENREUSE_REQUIRE(haveCache_, "ReLU::backward without training forward");
+    GENREUSE_REQUIRE(grad_out.size() == mask_.size(),
+                     "ReLU gradient size mismatch");
+    Tensor gx(cachedShape_);
+    for (size_t i = 0; i < gx.size(); ++i)
+        gx[i] = mask_[i] ? grad_out[i] : 0.0f;
+    haveCache_ = false;
+    return gx;
+}
+
+void
+ReLU::appendCost(const Shape &in, CostLedger &ledger) const
+{
+    OpCounts ops;
+    ops.aluOps = in.elems();
+    ledger.add(Stage::Recovering, ops);
+}
+
+} // namespace genreuse

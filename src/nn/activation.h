@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Activation layers. ReLU is the only nonlinearity used by the paper's
+ * networks.
+ */
+
+#ifndef GENREUSE_NN_ACTIVATION_H
+#define GENREUSE_NN_ACTIVATION_H
+
+#include "layer.h"
+
+namespace genreuse {
+
+/** Elementwise max(x, 0). */
+class ReLU : public Layer
+{
+  public:
+    explicit ReLU(std::string name) : Layer(std::move(name)) {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape outputShape(const Shape &in) const override { return in; }
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+
+  private:
+    std::vector<uint8_t> mask_;
+    Shape cachedShape_;
+    bool haveCache_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_ACTIVATION_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-channel batch normalization for NCHW activations. At deployment
+ * the paper folds BN into the preceding convolution; foldInto() does
+ * exactly that transformation.
+ */
+
+#ifndef GENREUSE_NN_BATCHNORM_H
+#define GENREUSE_NN_BATCHNORM_H
+
+#include "conv2d.h"
+#include "layer.h"
+
+namespace genreuse {
+
+/** y = gamma * (x - mean) / sqrt(var + eps) + beta, per channel. */
+class BatchNorm2D : public Layer
+{
+  public:
+    BatchNorm2D(std::string name, size_t channels, float momentum = 0.9f,
+                float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    Shape outputShape(const Shape &in) const override { return in; }
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+
+    Param &gamma() { return gamma_; }
+    Param &beta() { return beta_; }
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
+
+    /**
+     * Fold this BN's running statistics into a convolution that feeds
+     * it: w' = w * gamma/sqrt(var+eps), b' = (b - mean) * gamma/
+     * sqrt(var+eps) + beta. After folding, this layer can be dropped
+     * (it becomes the identity for the folded conv's outputs).
+     */
+    void foldInto(Conv2D &conv) const;
+
+  private:
+    size_t channels_;
+    float momentum_, eps_;
+    Param gamma_;
+    Param beta_;
+    Tensor runningMean_;
+    Tensor runningVar_;
+
+    // Backward caches.
+    Tensor cachedXHat_;
+    Tensor cachedInvStd_;
+    Shape cachedShape_;
+    bool haveCache_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_BATCHNORM_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Composite blocks: SqueezeNet Fire modules (with and without the
+ * "complex bypass" variant the paper evaluates) and ResNet basic
+ * residual blocks. Composites keep the Network strictly sequential
+ * while still expressing fan-out/fan-in topologies.
+ */
+
+#ifndef GENREUSE_NN_COMPOSITE_H
+#define GENREUSE_NN_COMPOSITE_H
+
+#include <memory>
+
+#include "activation.h"
+#include "batchnorm.h"
+#include "conv2d.h"
+#include "layer.h"
+
+namespace genreuse {
+
+/**
+ * SqueezeNet Fire module: a 1x1 squeeze conv followed by parallel 1x1
+ * and 3x3 expand convs whose outputs concatenate along channels.
+ * With bypass enabled, the module input is added to the output
+ * (requires inChannels == expand1x1 + expand3x3).
+ *
+ * Each conv is followed by batch normalization (foldable into the
+ * conv at deployment — the paper applies conv+BN fusion, §5.1); pass
+ * batch_norm = false for the strictly BN-free original topology.
+ */
+class FireModule : public Layer
+{
+  public:
+    FireModule(std::string name, size_t in_channels, size_t squeeze,
+               size_t expand1x1, size_t expand3x3, bool bypass, Rng &rng,
+               bool batch_norm = true);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    Shape outputShape(const Shape &in) const override;
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+    void appendAuxCost(const Shape &in, CostLedger &ledger) const override;
+    LayerFootprint footprint(const Shape &in) const override;
+    void collectConvs(std::vector<Conv2D *> &out) override;
+
+    Conv2D &squeezeConv() { return *squeeze_; }
+    Conv2D &expand1x1Conv() { return *expand1_; }
+    Conv2D &expand3x3Conv() { return *expand3_; }
+    bool hasBypass() const { return bypass_; }
+
+  private:
+    bool bypass_;
+    std::unique_ptr<Conv2D> squeeze_;
+    std::unique_ptr<BatchNorm2D> squeezeBn_; // nullptr when disabled
+    std::unique_ptr<ReLU> squeezeRelu_;
+    std::unique_ptr<Conv2D> expand1_;
+    std::unique_ptr<BatchNorm2D> expand1Bn_;
+    std::unique_ptr<ReLU> expand1Relu_;
+    std::unique_ptr<Conv2D> expand3_;
+    std::unique_ptr<BatchNorm2D> expand3Bn_;
+    std::unique_ptr<ReLU> expand3Relu_;
+};
+
+/**
+ * ResNet-18 basic block: two 3x3 convs with BN and ReLU, plus an
+ * identity or 1x1-projection shortcut.
+ */
+class ResidualBlock : public Layer
+{
+  public:
+    ResidualBlock(std::string name, size_t in_channels, size_t out_channels,
+                  size_t stride, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    Shape outputShape(const Shape &in) const override;
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+    void appendAuxCost(const Shape &in, CostLedger &ledger) const override;
+    LayerFootprint footprint(const Shape &in) const override;
+    void collectConvs(std::vector<Conv2D *> &out) override;
+
+    Conv2D &conv1() { return *conv1_; }
+    Conv2D &conv2() { return *conv2_; }
+    bool hasProjection() const { return proj_ != nullptr; }
+
+  private:
+    std::unique_ptr<Conv2D> conv1_;
+    std::unique_ptr<BatchNorm2D> bn1_;
+    std::unique_ptr<ReLU> relu1_;
+    std::unique_ptr<Conv2D> conv2_;
+    std::unique_ptr<BatchNorm2D> bn2_;
+    std::unique_ptr<Conv2D> proj_;     // nullptr for identity shortcut
+    std::unique_ptr<BatchNorm2D> projBn_;
+
+    // Backward caches.
+    Tensor cachedSum_; // pre-final-ReLU sum, for the ReLU mask
+    bool haveCache_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_COMPOSITE_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fully connected layer. Accepts rank-2 (N, F) input or rank-4
+ * activations, which it flattens per sample.
+ */
+
+#ifndef GENREUSE_NN_DENSE_H
+#define GENREUSE_NN_DENSE_H
+
+#include "layer.h"
+
+namespace genreuse {
+
+/** y = x W + b with W of shape (inFeatures, outFeatures). */
+class Dense : public Layer
+{
+  public:
+    Dense(std::string name, size_t in_features, size_t out_features,
+          Rng &rng);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Param *> params() override;
+    Shape outputShape(const Shape &in) const override;
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+
+    Param &weight() { return weight_; }
+    Param &bias() { return bias_; }
+
+    size_t inFeatures() const { return inFeatures_; }
+    size_t outFeatures() const { return outFeatures_; }
+
+  private:
+    size_t inFeatures_, outFeatures_;
+    Param weight_;
+    Param bias_;
+
+    Tensor cachedX_; // flattened input
+    Shape cachedInShape_;
+    bool haveCache_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_DENSE_H

@@ -1,0 +1,18 @@
+#include "layer.h"
+
+namespace genreuse {
+
+LayerFootprint
+Layer::footprint(const Shape &in) const
+{
+    LayerFootprint fp;
+    fp.name = name();
+    fp.inputBytes = in.elems(); // int8 activations: 1 byte per element
+    fp.outputBytes = outputShape(in).elems();
+    // Parameter bytes (int8 deployment).
+    for (auto *p : const_cast<Layer *>(this)->params())
+        fp.weightBytes += p->value.size();
+    return fp;
+}
+
+} // namespace genreuse

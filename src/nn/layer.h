@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The Layer interface of the training/inference framework. Layers are
+ * stateful (they cache what backward() needs), own their parameters,
+ * and can report both their output shape and their MCU op-count cost
+ * for a given input shape.
+ */
+
+#ifndef GENREUSE_NN_LAYER_H
+#define GENREUSE_NN_LAYER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcu/cost_model.h"
+#include "mcu/memory_model.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** A trainable parameter: value plus accumulated gradient. */
+struct Param
+{
+    Tensor value;
+    Tensor grad;
+
+    explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+
+    /** Zero the gradient buffer. */
+    void zeroGrad() { grad.zero(); }
+};
+
+/**
+ * Base class of every network layer. forward() may cache activations;
+ * backward() consumes those caches and must be called after the
+ * matching forward(). Layers without parameters return an empty params
+ * list.
+ */
+class Layer
+{
+  public:
+    explicit Layer(std::string name) : name_(std::move(name)) {}
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Compute the layer output.
+     * @param x input activation
+     * @param training true during training (affects BN statistics and
+     *                 cache retention)
+     */
+    virtual Tensor forward(const Tensor &x, bool training) = 0;
+
+    /**
+     * Backpropagate: given dLoss/dOutput, accumulate parameter
+     * gradients and return dLoss/dInput.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Trainable parameters (empty by default). */
+    virtual std::vector<Param *> params() { return {}; }
+
+    /** Shape of the output for a given input shape. */
+    virtual Shape outputShape(const Shape &in) const = 0;
+
+    /**
+     * Account this layer's inference work for the MCU cost model.
+     * The default is free (shape-only layers).
+     */
+    virtual void
+    appendCost(const Shape &in, CostLedger &ledger) const
+    {
+        (void)in;
+        (void)ledger;
+    }
+
+    /**
+     * Like appendCost() but *excluding* convolution work. End-to-end
+     * latency measurements combine the convolutions' actual runtime
+     * ledgers (which reflect installed reuse strategies) with this
+     * static cost of everything else; the default forwards to
+     * appendCost(), Conv2D overrides it to a no-op, and composite
+     * blocks recurse into their non-conv children.
+     */
+    virtual void
+    appendAuxCost(const Shape &in, CostLedger &ledger) const
+    {
+        appendCost(in, ledger);
+    }
+
+    /** Memory footprint when deployed with int8 weights. */
+    virtual LayerFootprint footprint(const Shape &in) const;
+
+    /**
+     * Append every convolution layer reachable from this one (itself
+     * for Conv2D, children for composite blocks). Used by the reuse
+     * pattern selection to enumerate optimizable layers.
+     */
+    virtual void
+    collectConvs(std::vector<class Conv2D *> &out)
+    {
+        (void)out;
+    }
+
+  private:
+    std::string name_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_LAYER_H

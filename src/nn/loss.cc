@@ -1,0 +1,90 @@
+#include "loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace genreuse {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    GENREUSE_REQUIRE(logits.shape().rank() == 2, "logits must be rank-2");
+    const size_t n = logits.shape().rows(), k = logits.shape().cols();
+    GENREUSE_REQUIRE(labels.size() == n, "label count ", labels.size(),
+                     " != batch ", n);
+
+    Tensor probs = softmaxRows(logits);
+    LossResult res;
+    res.gradLogits = Tensor(logits.shape());
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+        int y = labels[r];
+        GENREUSE_REQUIRE(y >= 0 && static_cast<size_t>(y) < k,
+                         "label out of range: ", y);
+        double p = std::max(1e-12, static_cast<double>(probs.at2(r, y)));
+        total -= std::log(p);
+
+        size_t best = 0;
+        for (size_t c = 0; c < k; ++c) {
+            float g = probs.at2(r, c);
+            if (g > probs.at2(r, best))
+                best = c;
+            res.gradLogits.at2(r, c) =
+                (g - (static_cast<size_t>(y) == c ? 1.0f : 0.0f)) /
+                static_cast<float>(n);
+        }
+        if (best == static_cast<size_t>(y))
+            res.correct++;
+    }
+    res.loss = total / static_cast<double>(n);
+    return res;
+}
+
+double
+accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const size_t n = logits.shape().rows(), k = logits.shape().cols();
+    GENREUSE_REQUIRE(labels.size() == n, "label count mismatch");
+    size_t correct = 0;
+    for (size_t r = 0; r < n; ++r) {
+        size_t best = 0;
+        for (size_t c = 1; c < k; ++c)
+            if (logits.at2(r, c) > logits.at2(r, best))
+                best = c;
+        if (labels[r] >= 0 && best == static_cast<size_t>(labels[r]))
+            correct++;
+    }
+    return n == 0 ? 0.0 : static_cast<double>(correct) / n;
+}
+
+std::vector<double>
+maxSoftmax(const Tensor &logits)
+{
+    Tensor probs = softmaxRows(logits);
+    const size_t n = probs.shape().rows(), k = probs.shape().cols();
+    std::vector<double> out(n, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        float m = probs.at2(r, 0);
+        for (size_t c = 1; c < k; ++c)
+            m = std::max(m, probs.at2(r, c));
+        out[r] = m;
+    }
+    return out;
+}
+
+double
+oodDetectionRate(const Tensor &logits, double threshold)
+{
+    auto scores = maxSoftmax(logits);
+    if (scores.empty())
+        return 0.0;
+    size_t flagged = 0;
+    for (double s : scores)
+        if (s < threshold)
+            flagged++;
+    return static_cast<double>(flagged) / scores.size();
+}
+
+} // namespace genreuse

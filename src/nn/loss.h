@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Softmax cross-entropy loss and classification metrics, including the
+ * max-softmax statistic used for OOD detection (§5.3.6).
+ */
+
+#ifndef GENREUSE_NN_LOSS_H
+#define GENREUSE_NN_LOSS_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** Result of a softmax cross-entropy evaluation on one batch. */
+struct LossResult
+{
+    double loss = 0.0;       //!< mean cross-entropy
+    Tensor gradLogits;       //!< dLoss/dLogits, same shape as logits
+    size_t correct = 0;      //!< argmax matches label
+};
+
+/**
+ * Mean softmax cross-entropy over a batch of logits (N x classes) with
+ * integer labels.
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+/** Fraction of rows whose argmax equals the label. */
+double accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+/**
+ * Per-row maximum softmax probabilities — the OOD detection score.
+ * A row is flagged OOD when its max probability falls below the
+ * threshold (the paper uses 0.7).
+ */
+std::vector<double> maxSoftmax(const Tensor &logits);
+
+/** Fraction of rows flagged OOD under the threshold rule. */
+double oodDetectionRate(const Tensor &logits, double threshold = 0.7);
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_LOSS_H

@@ -1,0 +1,112 @@
+#include "network.h"
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+Layer &
+Network::add(std::unique_ptr<Layer> layer)
+{
+    GENREUSE_REQUIRE(layer != nullptr, "cannot add a null layer");
+    layers_.push_back(std::move(layer));
+    return *layers_.back();
+}
+
+Tensor
+Network::forward(const Tensor &x, bool training)
+{
+    Tensor cur = x;
+    for (auto &l : layers_)
+        cur = l->forward(cur, training);
+    return cur;
+}
+
+Tensor
+Network::backward(const Tensor &grad_logits)
+{
+    Tensor g = grad_logits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+std::vector<Param *>
+Network::params()
+{
+    std::vector<Param *> out;
+    for (auto &l : layers_) {
+        auto p = l->params();
+        out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+}
+
+void
+Network::zeroGrads()
+{
+    for (auto *p : params())
+        p->zeroGrad();
+}
+
+std::vector<Conv2D *>
+Network::convLayers()
+{
+    std::vector<Conv2D *> out;
+    for (auto &l : layers_)
+        l->collectConvs(out);
+    return out;
+}
+
+Conv2D *
+Network::findConv(const std::string &name)
+{
+    for (auto *c : convLayers())
+        if (c->name() == name)
+            return c;
+    return nullptr;
+}
+
+CostLedger
+Network::staticCost(const Shape &input) const
+{
+    CostLedger ledger;
+    Shape cur = input;
+    for (const auto &l : layers_) {
+        l->appendCost(cur, ledger);
+        cur = l->outputShape(cur);
+    }
+    return ledger;
+}
+
+CostLedger
+Network::staticAuxCost(const Shape &input) const
+{
+    CostLedger ledger;
+    Shape cur = input;
+    for (const auto &l : layers_) {
+        l->appendAuxCost(cur, ledger);
+        cur = l->outputShape(cur);
+    }
+    return ledger;
+}
+
+MemoryEstimate
+Network::memoryEstimate(const Shape &input) const
+{
+    MemoryEstimate est;
+    Shape cur = input;
+    for (const auto &l : layers_) {
+        est.layers.push_back(l->footprint(cur));
+        cur = l->outputShape(cur);
+    }
+    return est;
+}
+
+void
+Network::setConvLedger(CostLedger *ledger)
+{
+    for (auto *c : convLayers())
+        c->setLedger(ledger);
+}
+
+} // namespace genreuse

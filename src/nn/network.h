@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Network — an ordered stack of layers with whole-model forward,
+ * backward, parameter enumeration, cost accounting and memory
+ * estimation.
+ */
+
+#ifndef GENREUSE_NN_NETWORK_H
+#define GENREUSE_NN_NETWORK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conv2d.h"
+#include "layer.h"
+
+namespace genreuse {
+
+/** A sequential network (fan-out lives inside composite layers). */
+class Network
+{
+  public:
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append a layer; returns a reference for chaining configuration. */
+    Layer &add(std::unique_ptr<Layer> layer);
+
+    /** Convenience: construct a layer in place. */
+    template <typename L, typename... Args>
+    L &
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L &ref = *layer;
+        add(std::move(layer));
+        return ref;
+    }
+
+    size_t numLayers() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_[i]; }
+
+    /** Run the whole network. */
+    Tensor forward(const Tensor &x, bool training = false);
+
+    /** Backpropagate from dLoss/dLogits; returns dLoss/dInput. */
+    Tensor backward(const Tensor &grad_logits);
+
+    /** All trainable parameters. */
+    std::vector<Param *> params();
+
+    /** Zero every parameter gradient. */
+    void zeroGrads();
+
+    /** Every convolution in the network, in execution order. */
+    std::vector<Conv2D *> convLayers();
+
+    /** Find a convolution by name; nullptr when absent. */
+    Conv2D *findConv(const std::string &name);
+
+    /**
+     * Total inference cost for the given input shape, summed across
+     * layers using each layer's static appendCost().
+     */
+    CostLedger staticCost(const Shape &input) const;
+
+    /**
+     * Static cost of everything *except* convolutions (pooling, ReLU,
+     * BN, dense, concat/bypass glue). Combine with the convolutions'
+     * runtime ledgers for end-to-end latency under installed reuse
+     * strategies.
+     */
+    CostLedger staticAuxCost(const Shape &input) const;
+
+    /** Per-layer deployment memory estimate. */
+    MemoryEstimate memoryEstimate(const Shape &input) const;
+
+    /** Attach/detach a ledger on every convolution layer. */
+    void setConvLedger(CostLedger *ledger);
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_NETWORK_H

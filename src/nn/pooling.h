@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Spatial pooling layers: max, average, and global average pooling.
+ */
+
+#ifndef GENREUSE_NN_POOLING_H
+#define GENREUSE_NN_POOLING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "layer.h"
+
+namespace genreuse {
+
+/** Max pooling over windows of size x size with the given stride. */
+class MaxPool2D : public Layer
+{
+  public:
+    MaxPool2D(std::string name, size_t size, size_t stride);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape outputShape(const Shape &in) const override;
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+
+  private:
+    size_t size_, stride_;
+    std::vector<uint32_t> argmax_; // flat input index per output element
+    Shape cachedInShape_;
+    bool haveCache_ = false;
+};
+
+/** Average pooling over windows of size x size with the given stride. */
+class AvgPool2D : public Layer
+{
+  public:
+    AvgPool2D(std::string name, size_t size, size_t stride);
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape outputShape(const Shape &in) const override;
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+
+  private:
+    size_t size_, stride_;
+    Shape cachedInShape_;
+    bool haveCache_ = false;
+};
+
+/** Pool each channel down to a single value (SqueezeNet/ResNet head). */
+class GlobalAvgPool2D : public Layer
+{
+  public:
+    explicit GlobalAvgPool2D(std::string name) : Layer(std::move(name)) {}
+
+    Tensor forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &grad_out) override;
+    Shape outputShape(const Shape &in) const override;
+    void appendCost(const Shape &in, CostLedger &ledger) const override;
+
+  private:
+    Shape cachedInShape_;
+    bool haveCache_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_POOLING_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Binary serialization for trained parameters and fitted reuse state.
+ * A deployment pipeline trains on the server (paper §5.1), selects
+ * reuse patterns, then ships weights + learned hash families to the
+ * MCU; these routines implement the interchange format.
+ *
+ * Format (little-endian):
+ *   magic "GRSZ", u32 version, u64 blob count,
+ *   then per blob: u64 element count, that many f32 values.
+ * Tensors serialize shape-first (u64 rank, u64 dims...).
+ */
+
+#ifndef GENREUSE_NN_SERIALIZE_H
+#define GENREUSE_NN_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "lsh/lsh.h"
+#include "network.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** Write one tensor (shape + data) to a stream. */
+void writeTensor(std::ostream &os, const Tensor &t);
+
+/** Read one tensor; fails fatally on malformed input. */
+Tensor readTensor(std::istream &is);
+
+/**
+ * Save every trainable parameter of @p net, in parameter order.
+ * The architecture itself is code; only values are stored, so loading
+ * requires an identically constructed network.
+ */
+void saveParameters(Network &net, const std::string &path);
+
+/**
+ * Load parameters saved by saveParameters() into an identically
+ * structured network. Fails fatally on count/shape mismatch.
+ */
+void loadParameters(Network &net, const std::string &path);
+
+/** Save a fitted hash family (vectors + biases). */
+void writeHashFamily(std::ostream &os, const HashFamily &family);
+
+/** Read a hash family written by writeHashFamily(). */
+HashFamily readHashFamily(std::istream &is);
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_SERIALIZE_H

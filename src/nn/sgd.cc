@@ -1,0 +1,45 @@
+#include "sgd.h"
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+Sgd::Sgd(std::vector<Param *> params, SgdConfig config)
+    : params_(std::move(params)), config_(config),
+      lr_(config.learningRate)
+{
+    GENREUSE_REQUIRE(!params_.empty(), "optimizer needs parameters");
+    velocity_.reserve(params_.size());
+    for (auto *p : params_)
+        velocity_.emplace_back(p->value.shape());
+}
+
+void
+Sgd::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Param *p = params_[i];
+        Tensor &v = velocity_[i];
+        const float mu = static_cast<float>(config_.momentum);
+        const float wd = static_cast<float>(config_.weightDecay);
+        const float lr = static_cast<float>(lr_);
+        for (size_t j = 0; j < p->value.size(); ++j) {
+            float g = p->grad[j] + wd * p->value[j];
+            v[j] = mu * v[j] + g;
+            p->value[j] -= lr * v[j];
+        }
+        p->zeroGrad();
+    }
+}
+
+void
+Sgd::endEpoch()
+{
+    epoch_++;
+    if (config_.lrDecayEveryEpochs > 0 &&
+        epoch_ % config_.lrDecayEveryEpochs == 0) {
+        lr_ *= config_.lrDecayFactor;
+    }
+}
+
+} // namespace genreuse

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SGD with momentum, weight decay, and step learning-rate decay — the
+ * optimizer configuration of §5.1 (lr 0.001, x0.1 every 15 epochs,
+ * weight decay 1e-4, momentum 0.95).
+ */
+
+#ifndef GENREUSE_NN_SGD_H
+#define GENREUSE_NN_SGD_H
+
+#include <vector>
+
+#include "layer.h"
+
+namespace genreuse {
+
+/** Optimizer hyperparameters. */
+struct SgdConfig
+{
+    double learningRate = 0.001;
+    double momentum = 0.95;
+    double weightDecay = 1e-4;
+    double lrDecayFactor = 0.1;
+    size_t lrDecayEveryEpochs = 15;
+};
+
+/** Stateful SGD over a fixed parameter set. */
+class Sgd
+{
+  public:
+    Sgd(std::vector<Param *> params, SgdConfig config);
+
+    /** Apply one update from the accumulated gradients, then zero them. */
+    void step();
+
+    /** Advance the epoch counter (applies LR decay on schedule). */
+    void endEpoch();
+
+    double currentLearningRate() const { return lr_; }
+    size_t epoch() const { return epoch_; }
+
+  private:
+    std::vector<Param *> params_;
+    SgdConfig config_;
+    std::vector<Tensor> velocity_;
+    double lr_;
+    size_t epoch_ = 0;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_SGD_H

@@ -1,0 +1,80 @@
+#include "trainer.h"
+
+#include "common/logging.h"
+#include "loss.h"
+
+namespace genreuse {
+
+TrainReport
+train(Network &net, const Dataset &data, const TrainConfig &config)
+{
+    GENREUSE_REQUIRE(data.size() > 0, "empty training set");
+    Sgd optimizer(net.params(), config.sgd);
+    Rng rng(config.shuffleSeed);
+
+    TrainReport report;
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        double loss_sum = 0.0;
+        size_t correct = 0, seen = 0;
+        for (const auto &batch :
+             makeBatches(data.size(), config.batchSize, rng)) {
+            Tensor x = data.gatherImages(batch);
+            std::vector<int> y = data.gatherLabels(batch);
+
+            Tensor logits = net.forward(x, /*training=*/true);
+            LossResult res = softmaxCrossEntropy(logits, y);
+            net.backward(res.gradLogits);
+            optimizer.step();
+
+            loss_sum += res.loss * static_cast<double>(batch.size());
+            correct += res.correct;
+            seen += batch.size();
+        }
+        optimizer.endEpoch();
+        report.epochLoss.push_back(loss_sum / static_cast<double>(seen));
+        report.epochAccuracy.push_back(static_cast<double>(correct) /
+                                       static_cast<double>(seen));
+    }
+    report.finalTrainAccuracy =
+        report.epochAccuracy.empty() ? 0.0 : report.epochAccuracy.back();
+    return report;
+}
+
+double
+evaluate(Network &net, const Dataset &data, size_t batch_size)
+{
+    size_t correct = 0;
+    for (const auto &batch : makeSequentialBatches(data.size(), batch_size)) {
+        Tensor x = data.gatherImages(batch);
+        std::vector<int> y = data.gatherLabels(batch);
+        Tensor logits = net.forward(x, /*training=*/false);
+        correct += static_cast<size_t>(
+            accuracy(logits, y) * static_cast<double>(batch.size()) + 0.5);
+    }
+    return data.size() == 0
+               ? 0.0
+               : static_cast<double>(correct) / data.size();
+}
+
+Tensor
+evaluateLogits(Network &net, const Dataset &data, size_t batch_size)
+{
+    GENREUSE_REQUIRE(data.size() > 0, "empty dataset");
+    Tensor all;
+    bool first = true;
+    size_t row = 0;
+    for (const auto &batch : makeSequentialBatches(data.size(), batch_size)) {
+        Tensor x = data.gatherImages(batch);
+        Tensor logits = net.forward(x, /*training=*/false);
+        if (first) {
+            all = Tensor({data.size(), logits.shape().cols()});
+            first = false;
+        }
+        for (size_t r = 0; r < logits.shape().rows(); ++r, ++row)
+            for (size_t c = 0; c < logits.shape().cols(); ++c)
+                all.at2(row, c) = logits.at2(r, c);
+    }
+    return all;
+}
+
+} // namespace genreuse

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Training and evaluation driver: epoch loops, batched evaluation, and
+ * the fine-tuning entry point used after a reuse pattern is applied.
+ */
+
+#ifndef GENREUSE_NN_TRAINER_H
+#define GENREUSE_NN_TRAINER_H
+
+#include "data/dataset.h"
+#include "network.h"
+#include "sgd.h"
+
+namespace genreuse {
+
+/** Result of one training run. */
+struct TrainReport
+{
+    std::vector<double> epochLoss;
+    std::vector<double> epochAccuracy; //!< on the training set
+    double finalTrainAccuracy = 0.0;
+};
+
+/** Training hyperparameters beyond the optimizer's. */
+struct TrainConfig
+{
+    size_t epochs = 5;
+    size_t batchSize = 10; //!< the paper's batch size
+    SgdConfig sgd;
+    uint64_t shuffleSeed = 1234;
+};
+
+/** Train @p net on @p data with softmax cross-entropy. */
+TrainReport train(Network &net, const Dataset &data,
+                  const TrainConfig &config);
+
+/** Classification accuracy of @p net on @p data (batched, eval mode). */
+double evaluate(Network &net, const Dataset &data, size_t batch_size = 32);
+
+/** Forward the whole dataset and return the stacked logits. */
+Tensor evaluateLogits(Network &net, const Dataset &data,
+                      size_t batch_size = 32);
+
+} // namespace genreuse
+
+#endif // GENREUSE_NN_TRAINER_H

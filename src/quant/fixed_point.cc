@@ -1,0 +1,93 @@
+#include "fixed_point.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "tensor/tensor_ops.h"
+
+namespace genreuse {
+
+int
+chooseFracBits(const Tensor &t)
+{
+    float m = maxAbs(t);
+    // With n fractional bits, representable magnitude is < 2^(7-n).
+    int n = 7;
+    while (n > 0 && m >= static_cast<float>(1 << (7 - n)))
+        --n;
+    return n;
+}
+
+FixedPointTensor
+quantizeFixedPoint(const Tensor &t, int frac_bits)
+{
+    GENREUSE_REQUIRE(frac_bits >= 0 && frac_bits <= 7,
+                     "fracBits must be in [0, 7], got ", frac_bits);
+    FixedPointTensor q;
+    q.shape = t.shape();
+    q.fracBits = frac_bits;
+    q.data.resize(t.size());
+    const float s = static_cast<float>(1 << frac_bits);
+    for (size_t i = 0; i < t.size(); ++i) {
+        long v = std::lround(t[i] * s);
+        q.data[i] = static_cast<int8_t>(clamp<long>(v, -128, 127));
+    }
+    return q;
+}
+
+FixedPointTensor
+quantizeFixedPoint(const Tensor &t)
+{
+    return quantizeFixedPoint(t, chooseFracBits(t));
+}
+
+Tensor
+dequantize(const FixedPointTensor &q)
+{
+    Tensor t(q.shape);
+    const float inv = 1.0f / static_cast<float>(1 << q.fracBits);
+    for (size_t i = 0; i < q.size(); ++i)
+        t[i] = static_cast<float>(q.data[i]) * inv;
+    return t;
+}
+
+Tensor
+fakeQuantizeFixedPoint(const Tensor &t)
+{
+    return dequantize(quantizeFixedPoint(t));
+}
+
+double
+fixedPointError(const Tensor &t)
+{
+    return meanSquaredError(t, fakeQuantizeFixedPoint(t));
+}
+
+Tensor
+fixedPointMatmul(const FixedPointTensor &a, const FixedPointTensor &b)
+{
+    GENREUSE_REQUIRE(a.shape.rank() == 2 && b.shape.rank() == 2,
+                     "fixedPointMatmul expects rank-2 operands");
+    const size_t m = a.shape.rows(), k = a.shape.cols();
+    GENREUSE_REQUIRE(b.shape.rows() == k, "inner dimension mismatch");
+    const size_t n = b.shape.cols();
+
+    Tensor out({m, n});
+    const float inv =
+        1.0f / static_cast<float>(1ll << (a.fracBits + b.fracBits));
+    for (size_t i = 0; i < m; ++i) {
+        const int8_t *ai = a.data.data() + i * k;
+        for (size_t j = 0; j < n; ++j) {
+            int32_t acc = 0;
+            for (size_t p = 0; p < k; ++p) {
+                acc += static_cast<int32_t>(ai[p]) *
+                       static_cast<int32_t>(b.data[p * n + j]);
+            }
+            out.at2(i, j) = static_cast<float>(acc) * inv;
+        }
+    }
+    return out;
+}
+
+} // namespace genreuse

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CMSIS-NN-style fixed-point (Q-format) quantization. The paper's main
+ * experiments deploy 8-bit fixed-point weights ("fixed-point format is
+ * especially useful for Cortex-M CPUs without floating-point units",
+ * §5.1); this module reproduces that numeric path.
+ */
+
+#ifndef GENREUSE_QUANT_FIXED_POINT_H
+#define GENREUSE_QUANT_FIXED_POINT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/**
+ * A tensor quantized to int8 in Qm.n format: value = raw * 2^-fracBits.
+ * fracBits is chosen per tensor so the largest magnitude still fits.
+ */
+struct FixedPointTensor
+{
+    Shape shape;
+    std::vector<int8_t> data;
+    int fracBits = 7;
+
+    size_t size() const { return data.size(); }
+
+    /** Dequantized value at flat index i. */
+    float
+    value(size_t i) const
+    {
+        return static_cast<float>(data[i]) /
+               static_cast<float>(1 << fracBits);
+    }
+};
+
+/**
+ * Pick the number of fractional bits so that max|x| fits in int8:
+ * the largest n in [0, 7] with max|x| < 2^(7-n).
+ */
+int chooseFracBits(const Tensor &t);
+
+/** Quantize with saturation to [-128, 127]. */
+FixedPointTensor quantizeFixedPoint(const Tensor &t, int frac_bits);
+
+/** Quantize with automatically chosen fracBits. */
+FixedPointTensor quantizeFixedPoint(const Tensor &t);
+
+/** Dequantize back to float. */
+Tensor dequantize(const FixedPointTensor &q);
+
+/**
+ * Round-trip quantization: quantize to Q-format and immediately
+ * dequantize. This is how the training/eval pipeline simulates
+ * fixed-point deployment while keeping float arithmetic.
+ */
+Tensor fakeQuantizeFixedPoint(const Tensor &t);
+
+/** Mean squared quantization error of the round trip. */
+double fixedPointError(const Tensor &t);
+
+/**
+ * Fixed-point GEMM: c = a x b where both operands are Q-format int8 and
+ * accumulation is int32, as in CMSIS-NN arm_nn_mat_mult kernels.
+ * The result is returned dequantized to float.
+ *
+ * @pre a is M x K, b is K x N (shapes stored in the quantized tensors)
+ */
+Tensor fixedPointMatmul(const FixedPointTensor &a, const FixedPointTensor &b);
+
+} // namespace genreuse
+
+#endif // GENREUSE_QUANT_FIXED_POINT_H

@@ -1,0 +1,105 @@
+#include "int8_quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace genreuse {
+
+QuantParams
+chooseQuantParams(const Tensor &t)
+{
+    float lo = 0.0f, hi = 0.0f; // always include zero in the range
+    for (size_t i = 0; i < t.size(); ++i) {
+        lo = std::min(lo, t[i]);
+        hi = std::max(hi, t[i]);
+    }
+    QuantParams p;
+    if (hi == lo) {
+        p.scale = 1.0f;
+        p.zeroPoint = 0;
+        return p;
+    }
+    p.scale = (hi - lo) / 255.0f;
+    // Zero point such that real 0 maps to an integer in [-128, 127].
+    double zp = -128.0 - lo / p.scale;
+    p.zeroPoint = static_cast<int32_t>(clamp<long>(std::lround(zp), -128, 127));
+    return p;
+}
+
+Int8Tensor
+quantizeInt8(const Tensor &t, const QuantParams &params)
+{
+    Int8Tensor q;
+    q.shape = t.shape();
+    q.params = params;
+    q.data.resize(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        long v = std::lround(t[i] / params.scale) + params.zeroPoint;
+        q.data[i] = static_cast<int8_t>(clamp<long>(v, -128, 127));
+    }
+    return q;
+}
+
+Int8Tensor
+quantizeInt8(const Tensor &t)
+{
+    return quantizeInt8(t, chooseQuantParams(t));
+}
+
+Tensor
+dequantize(const Int8Tensor &q)
+{
+    Tensor t(q.shape);
+    for (size_t i = 0; i < q.size(); ++i)
+        t[i] = q.value(i);
+    return t;
+}
+
+Tensor
+fakeQuantizeInt8(const Tensor &t)
+{
+    return dequantize(quantizeInt8(t));
+}
+
+Tensor
+int8Matmul(const Int8Tensor &a, const Int8Tensor &b)
+{
+    GENREUSE_REQUIRE(a.shape.rank() == 2 && b.shape.rank() == 2,
+                     "int8Matmul expects rank-2 operands");
+    const size_t m = a.shape.rows(), k = a.shape.cols();
+    GENREUSE_REQUIRE(b.shape.rows() == k, "inner dimension mismatch");
+    const size_t n = b.shape.cols();
+
+    const int32_t za = a.params.zeroPoint, zb = b.params.zeroPoint;
+    Tensor out({m, n});
+    // Precompute per-column sums of b for the zero-point correction.
+    std::vector<int32_t> col_sum(n, 0);
+    for (size_t p = 0; p < k; ++p)
+        for (size_t j = 0; j < n; ++j)
+            col_sum[j] += b.data[p * n + j];
+
+    const float s = a.params.scale * b.params.scale;
+    for (size_t i = 0; i < m; ++i) {
+        const int8_t *ai = a.data.data() + i * k;
+        int32_t row_sum = 0;
+        for (size_t p = 0; p < k; ++p)
+            row_sum += ai[p];
+        for (size_t j = 0; j < n; ++j) {
+            int32_t acc = 0;
+            for (size_t p = 0; p < k; ++p) {
+                acc += static_cast<int32_t>(ai[p]) *
+                       static_cast<int32_t>(b.data[p * n + j]);
+            }
+            // (a - za)(b - zb) expanded: ab - za*b - zb*a + za*zb*k
+            int32_t corrected = acc - za * col_sum[j] - zb * row_sum +
+                                za * zb * static_cast<int32_t>(k);
+            out.at2(i, j) = s * static_cast<float>(corrected);
+        }
+    }
+    return out;
+}
+
+} // namespace genreuse

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * INT8 affine ("linear") quantization — the alternative scheme the
+ * paper evaluates in §5.3.8 (Figure 16), applied to both weights and
+ * activations: value = scale * (raw - zeroPoint).
+ */
+
+#ifndef GENREUSE_QUANT_INT8_QUANT_H
+#define GENREUSE_QUANT_INT8_QUANT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace genreuse {
+
+/** Affine quantization parameters for one tensor. */
+struct QuantParams
+{
+    float scale = 1.0f;
+    int32_t zeroPoint = 0;
+};
+
+/** An int8 affine-quantized tensor. */
+struct Int8Tensor
+{
+    Shape shape;
+    std::vector<int8_t> data;
+    QuantParams params;
+
+    size_t size() const { return data.size(); }
+
+    float
+    value(size_t i) const
+    {
+        return params.scale *
+               (static_cast<int32_t>(data[i]) - params.zeroPoint);
+    }
+};
+
+/**
+ * Choose scale/zero-point so that [min(t), max(t)] maps onto
+ * [-128, 127], always keeping 0 exactly representable (required so that
+ * zero padding quantizes exactly, as in TFLite).
+ */
+QuantParams chooseQuantParams(const Tensor &t);
+
+/** Quantize with the given parameters (values saturate). */
+Int8Tensor quantizeInt8(const Tensor &t, const QuantParams &params);
+
+/** Quantize with automatically chosen parameters. */
+Int8Tensor quantizeInt8(const Tensor &t);
+
+/** Dequantize back to float. */
+Tensor dequantize(const Int8Tensor &q);
+
+/** Round-trip quantize + dequantize (deployment simulation). */
+Tensor fakeQuantizeInt8(const Tensor &t);
+
+/**
+ * INT8 affine GEMM with int32 accumulation and zero-point correction,
+ * returning the dequantized float result.
+ */
+Tensor int8Matmul(const Int8Tensor &a, const Int8Tensor &b);
+
+} // namespace genreuse
+
+#endif // GENREUSE_QUANT_INT8_QUANT_H

@@ -1,0 +1,157 @@
+#include "gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+namespace {
+
+// Cache-blocking parameters tuned for typical L1/L2 sizes; exactness is
+// unaffected by these, only speed.
+constexpr size_t kBlockM = 64;
+constexpr size_t kBlockN = 256;
+constexpr size_t kBlockK = 256;
+
+/**
+ * Inner kernel: accumulates a (rows x cols) tile of C using 1x8
+ * register tiling over the k-panel.
+ */
+void
+microKernel(const float *a, const float *b, float *c, size_t rows,
+            size_t cols, size_t kc, size_t lda, size_t ldb, size_t ldc)
+{
+    for (size_t i = 0; i < rows; ++i) {
+        const float *ai = a + i * lda;
+        float *ci = c + i * ldc;
+        size_t j = 0;
+        for (; j + 8 <= cols; j += 8) {
+            float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+            float acc4 = 0, acc5 = 0, acc6 = 0, acc7 = 0;
+            const float *bj = b + j;
+            for (size_t p = 0; p < kc; ++p) {
+                float av = ai[p];
+                const float *bp = bj + p * ldb;
+                acc0 += av * bp[0];
+                acc1 += av * bp[1];
+                acc2 += av * bp[2];
+                acc3 += av * bp[3];
+                acc4 += av * bp[4];
+                acc5 += av * bp[5];
+                acc6 += av * bp[6];
+                acc7 += av * bp[7];
+            }
+            ci[j + 0] += acc0;
+            ci[j + 1] += acc1;
+            ci[j + 2] += acc2;
+            ci[j + 3] += acc3;
+            ci[j + 4] += acc4;
+            ci[j + 5] += acc5;
+            ci[j + 6] += acc6;
+            ci[j + 7] += acc7;
+        }
+        for (; j < cols; ++j) {
+            float acc = 0;
+            for (size_t p = 0; p < kc; ++p)
+                acc += ai[p] * b[p * ldb + j];
+            ci[j] += acc;
+        }
+    }
+}
+
+} // namespace
+
+void
+gemmRaw(const float *a, const float *b, float *c, size_t m, size_t n,
+        size_t k, size_t lda, size_t ldb, size_t ldc, bool accumulate)
+{
+    if (!accumulate) {
+        for (size_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    for (size_t i0 = 0; i0 < m; i0 += kBlockM) {
+        size_t mi = std::min(kBlockM, m - i0);
+        for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
+            size_t kp = std::min(kBlockK, k - p0);
+            for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
+                size_t nj = std::min(kBlockN, n - j0);
+                microKernel(a + i0 * lda + p0, b + p0 * ldb + j0,
+                            c + i0 * ldc + j0, mi, nj, kp, lda, ldb, ldc);
+            }
+        }
+    }
+}
+
+namespace {
+
+void
+checkGemmShapes(const Tensor &a, const Tensor &b, const Tensor &c, size_t m,
+                size_t n, size_t k)
+{
+    GENREUSE_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+                     c.shape().rank() == 2, "gemm operands must be rank-2");
+    GENREUSE_REQUIRE(c.shape().rows() == m && c.shape().cols() == n,
+                     "gemm output shape ", c.shape().toString(),
+                     " != expected [", m, ", ", n, "]");
+    (void)k;
+}
+
+} // namespace
+
+void
+gemm(const Tensor &a, const Tensor &b, Tensor &c, float alpha, float beta)
+{
+    size_t m = a.shape().rows(), k = a.shape().cols();
+    GENREUSE_REQUIRE(b.shape().rows() == k, "gemm inner dims mismatch: ",
+                     a.shape().toString(), " x ", b.shape().toString());
+    size_t n = b.shape().cols();
+    checkGemmShapes(a, b, c, m, n, k);
+
+    if (beta == 0.0f && alpha == 1.0f) {
+        gemmRaw(a.data(), b.data(), c.data(), m, n, k, k, n, n, false);
+        return;
+    }
+    // General path: compute into a scratch buffer, then blend.
+    Tensor scratch({m, n});
+    gemmRaw(a.data(), b.data(), scratch.data(), m, n, k, k, n, n, false);
+    for (size_t i = 0; i < m * n; ++i)
+        c[i] = alpha * scratch[i] + beta * c[i];
+}
+
+void
+gemmTransA(const Tensor &a, const Tensor &b, Tensor &c, float alpha,
+           float beta)
+{
+    // A is K x M; we materialize A^T once (backprop path, not hot).
+    size_t k = a.shape().rows(), m = a.shape().cols();
+    Tensor at({m, k});
+    for (size_t p = 0; p < k; ++p)
+        for (size_t i = 0; i < m; ++i)
+            at.at2(i, p) = a.at2(p, i);
+    gemm(at, b, c, alpha, beta);
+}
+
+void
+gemmTransB(const Tensor &a, const Tensor &b, Tensor &c, float alpha,
+           float beta)
+{
+    // B is N x K; materialize B^T (backprop path).
+    size_t n = b.shape().rows(), k = b.shape().cols();
+    Tensor bt({k, n});
+    for (size_t j = 0; j < n; ++j)
+        for (size_t p = 0; p < k; ++p)
+            bt.at2(p, j) = b.at2(j, p);
+    gemm(a, bt, c, alpha, beta);
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    Tensor c({a.shape().rows(), b.shape().cols()});
+    gemm(a, b, c);
+    return c;
+}
+
+} // namespace genreuse

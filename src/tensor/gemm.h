@@ -1,0 +1,50 @@
+/**
+ * @file
+ * General matrix multiplication kernels. The reuse engine expresses
+ * convolutions and clustering as GEMMs, so this is the hot path of the
+ * whole reproduction: a cache-blocked, register-tiled single-precision
+ * kernel plus transpose variants needed by backprop.
+ */
+
+#ifndef GENREUSE_TENSOR_GEMM_H
+#define GENREUSE_TENSOR_GEMM_H
+
+#include <cstddef>
+
+#include "tensor.h"
+
+namespace genreuse {
+
+/**
+ * C = alpha * A x B + beta * C.
+ *
+ * @param a M x K matrix
+ * @param b K x N matrix
+ * @param c M x N output, accumulated into when beta != 0
+ */
+void gemm(const Tensor &a, const Tensor &b, Tensor &c, float alpha = 1.0f,
+          float beta = 0.0f);
+
+/** C = alpha * A^T x B + beta * C, with A of shape K x M. */
+void gemmTransA(const Tensor &a, const Tensor &b, Tensor &c,
+                float alpha = 1.0f, float beta = 0.0f);
+
+/** C = alpha * A x B^T + beta * C, with B of shape N x K. */
+void gemmTransB(const Tensor &a, const Tensor &b, Tensor &c,
+                float alpha = 1.0f, float beta = 0.0f);
+
+/** Returns A x B as a fresh M x N tensor. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * Raw-pointer GEMM core: C[MxN] (+)= A[MxK] * B[KxN], all row-major with
+ * the given leading dimensions. Exposed so reuse kernels can multiply
+ * sub-matrices in place without copying slices out.
+ */
+void gemmRaw(const float *a, const float *b, float *c, size_t m, size_t n,
+             size_t k, size_t lda, size_t ldb, size_t ldc,
+             bool accumulate = false);
+
+} // namespace genreuse
+
+#endif // GENREUSE_TENSOR_GEMM_H

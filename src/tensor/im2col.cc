@@ -1,0 +1,179 @@
+#include "im2col.h"
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+bool
+ConvGeometry::valid() const
+{
+    if (batch == 0 || inChannels == 0 || inHeight == 0 || inWidth == 0 ||
+        outChannels == 0 || kernelH == 0 || kernelW == 0 || stride == 0) {
+        return false;
+    }
+    return inHeight + 2 * pad >= kernelH && inWidth + 2 * pad >= kernelW;
+}
+
+namespace {
+
+void
+checkGeometry(const ConvGeometry &geom)
+{
+    GENREUSE_REQUIRE(geom.valid(), "invalid convolution geometry");
+}
+
+} // namespace
+
+Tensor
+im2col(const Tensor &input, const ConvGeometry &geom)
+{
+    checkGeometry(geom);
+    GENREUSE_REQUIRE(input.shape() ==
+                     Shape({geom.batch, geom.inChannels, geom.inHeight,
+                            geom.inWidth}),
+                     "im2col input shape ", input.shape().toString(),
+                     " mismatches geometry");
+
+    const size_t oh = geom.outHeight(), ow = geom.outWidth();
+    Tensor out({geom.rows(), geom.cols()});
+    size_t row = 0;
+    for (size_t b = 0; b < geom.batch; ++b) {
+        for (size_t y = 0; y < oh; ++y) {
+            for (size_t x = 0; x < ow; ++x, ++row) {
+                float *dst = out.data() + row * geom.cols();
+                size_t col = 0;
+                for (size_t c = 0; c < geom.inChannels; ++c) {
+                    for (size_t kh = 0; kh < geom.kernelH; ++kh) {
+                        // Signed source row; padding yields zeros.
+                        long sy = static_cast<long>(y * geom.stride + kh) -
+                                  static_cast<long>(geom.pad);
+                        for (size_t kw = 0; kw < geom.kernelW; ++kw, ++col) {
+                            long sx =
+                                static_cast<long>(x * geom.stride + kw) -
+                                static_cast<long>(geom.pad);
+                            if (sy < 0 || sx < 0 ||
+                                sy >= static_cast<long>(geom.inHeight) ||
+                                sx >= static_cast<long>(geom.inWidth)) {
+                                dst[col] = 0.0f;
+                            } else {
+                                dst[col] = input.at4(b, c, sy, sx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+col2im(const Tensor &cols, const ConvGeometry &geom)
+{
+    checkGeometry(geom);
+    GENREUSE_REQUIRE(cols.shape() == Shape({geom.rows(), geom.cols()}),
+                     "col2im input shape ", cols.shape().toString(),
+                     " mismatches geometry");
+
+    const size_t oh = geom.outHeight(), ow = geom.outWidth();
+    Tensor out({geom.batch, geom.inChannels, geom.inHeight, geom.inWidth});
+    size_t row = 0;
+    for (size_t b = 0; b < geom.batch; ++b) {
+        for (size_t y = 0; y < oh; ++y) {
+            for (size_t x = 0; x < ow; ++x, ++row) {
+                const float *src = cols.data() + row * geom.cols();
+                size_t col = 0;
+                for (size_t c = 0; c < geom.inChannels; ++c) {
+                    for (size_t kh = 0; kh < geom.kernelH; ++kh) {
+                        long sy = static_cast<long>(y * geom.stride + kh) -
+                                  static_cast<long>(geom.pad);
+                        for (size_t kw = 0; kw < geom.kernelW; ++kw, ++col) {
+                            long sx =
+                                static_cast<long>(x * geom.stride + kw) -
+                                static_cast<long>(geom.pad);
+                            if (sy >= 0 && sx >= 0 &&
+                                sy < static_cast<long>(geom.inHeight) &&
+                                sx < static_cast<long>(geom.inWidth)) {
+                                out.at4(b, c, sy, sx) += src[col];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+kernelToMatrix(const Tensor &kernel)
+{
+    GENREUSE_REQUIRE(kernel.shape().rank() == 4,
+                     "kernel must be rank-4 (M, C, KH, KW)");
+    const size_t m = kernel.shape().dim(0);
+    const size_t din = kernel.shape().dim(1) * kernel.shape().dim(2) *
+                       kernel.shape().dim(3);
+    Tensor w({din, m});
+    // Kernel storage is already [c][kh][kw]-major per filter; copy each
+    // filter into a column.
+    for (size_t f = 0; f < m; ++f) {
+        const float *src = kernel.data() + f * din;
+        for (size_t d = 0; d < din; ++d)
+            w.at2(d, f) = src[d];
+    }
+    return w;
+}
+
+Tensor
+matrixToKernel(const Tensor &mat, const ConvGeometry &geom)
+{
+    const size_t din = geom.cols(), m = geom.outChannels;
+    GENREUSE_REQUIRE(mat.shape() == Shape({din, m}),
+                     "weight matrix shape ", mat.shape().toString(),
+                     " mismatches geometry");
+    Tensor kernel({m, geom.inChannels, geom.kernelH, geom.kernelW});
+    for (size_t f = 0; f < m; ++f) {
+        float *dst = kernel.data() + f * din;
+        for (size_t d = 0; d < din; ++d)
+            dst[d] = mat.at2(d, f);
+    }
+    return kernel;
+}
+
+Tensor
+gemmOutputToActivation(const Tensor &y, const ConvGeometry &geom)
+{
+    const size_t oh = geom.outHeight(), ow = geom.outWidth();
+    const size_t m = geom.outChannels;
+    GENREUSE_REQUIRE(y.shape() == Shape({geom.rows(), m}),
+                     "GEMM output shape ", y.shape().toString(),
+                     " mismatches geometry");
+    Tensor act({geom.batch, m, oh, ow});
+    size_t row = 0;
+    for (size_t b = 0; b < geom.batch; ++b)
+        for (size_t yy = 0; yy < oh; ++yy)
+            for (size_t xx = 0; xx < ow; ++xx, ++row)
+                for (size_t c = 0; c < m; ++c)
+                    act.at4(b, c, yy, xx) = y.at2(row, c);
+    return act;
+}
+
+Tensor
+activationToGemmOutput(const Tensor &act, const ConvGeometry &geom)
+{
+    const size_t oh = geom.outHeight(), ow = geom.outWidth();
+    const size_t m = geom.outChannels;
+    GENREUSE_REQUIRE(act.shape() == Shape({geom.batch, m, oh, ow}),
+                     "activation shape ", act.shape().toString(),
+                     " mismatches geometry");
+    Tensor y({geom.rows(), m});
+    size_t row = 0;
+    for (size_t b = 0; b < geom.batch; ++b)
+        for (size_t yy = 0; yy < oh; ++yy)
+            for (size_t xx = 0; xx < ow; ++xx, ++row)
+                for (size_t c = 0; c < m; ++c)
+                    y.at2(row, c) = act.at4(b, c, yy, xx);
+    return y;
+}
+
+} // namespace genreuse

@@ -1,0 +1,40 @@
+#include "shape.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+size_t
+Shape::dim(size_t i) const
+{
+    GENREUSE_REQUIRE(i < dims_.size(), "dim index ", i, " out of rank ",
+                     dims_.size());
+    return dims_[i];
+}
+
+size_t
+Shape::elems() const
+{
+    size_t n = 1;
+    for (size_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << dims_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace genreuse

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shape — the dimension vector of a Tensor, with the usual algebra
+ * (element counts, equality, pretty printing, flattening).
+ */
+
+#ifndef GENREUSE_TENSOR_SHAPE_H
+#define GENREUSE_TENSOR_SHAPE_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace genreuse {
+
+/**
+ * An immutable-ish list of dimensions. Rank-4 shapes follow the NCHW
+ * convention (batch, channels, height, width) throughout the library.
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<size_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<size_t> dims) : dims_(std::move(dims)) {}
+
+    /** Number of dimensions. */
+    size_t rank() const { return dims_.size(); }
+
+    /** Size of dimension i. @pre i < rank() */
+    size_t dim(size_t i) const;
+
+    /** Alias accessors for the NCHW convention. @pre rank() == 4 */
+    size_t batch() const { return dim(0); }
+    size_t channels() const { return dim(1); }
+    size_t height() const { return dim(2); }
+    size_t width() const { return dim(3); }
+
+    /** Rank-2 accessors. @pre rank() == 2 */
+    size_t rows() const { return dim(0); }
+    size_t cols() const { return dim(1); }
+
+    /** Total number of elements (product of dims; 1 for rank 0). */
+    size_t elems() const;
+
+    /** All dimensions. */
+    const std::vector<size_t> &dims() const { return dims_; }
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Render like "[2, 3, 32, 32]". */
+    std::string toString() const;
+
+  private:
+    std::vector<size_t> dims_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_TENSOR_SHAPE_H

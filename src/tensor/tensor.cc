@@ -1,0 +1,95 @@
+#include "tensor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.elems(), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(shape_.elems(), value)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    GENREUSE_REQUIRE(data_.size() == shape_.elems(),
+                     "data size ", data_.size(), " != shape elems ",
+                     shape_.elems());
+}
+
+float &
+Tensor::at2(size_t r, size_t c)
+{
+    return data_[r * shape_.cols() + c];
+}
+
+float
+Tensor::at2(size_t r, size_t c) const
+{
+    return data_[r * shape_.cols() + c];
+}
+
+float &
+Tensor::at4(size_t n, size_t c, size_t h, size_t w)
+{
+    const auto &s = shape_;
+    return data_[((n * s.channels() + c) * s.height() + h) * s.width() + w];
+}
+
+float
+Tensor::at4(size_t n, size_t c, size_t h, size_t w) const
+{
+    const auto &s = shape_;
+    return data_[((n * s.channels() + c) * s.height() + h) * s.width() + w];
+}
+
+Tensor
+Tensor::reshaped(Shape new_shape) const
+{
+    GENREUSE_REQUIRE(new_shape.elems() == shape_.elems(),
+                     "reshape ", shape_.toString(), " -> ",
+                     new_shape.toString(), " changes element count");
+    return Tensor(std::move(new_shape), data_);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor
+Tensor::randomNormal(Shape shape, Rng &rng, float mean, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.normal(mean, stddev));
+    return t;
+}
+
+Tensor
+Tensor::randomUniform(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = rng.uniformFloat(lo, hi);
+    return t;
+}
+
+Tensor
+Tensor::iota(Shape shape)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(i);
+    return t;
+}
+
+} // namespace genreuse

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tensor — a dense, row-major, float32 n-dimensional array. This is the
+ * numeric substrate for the whole reproduction: the NN framework, the
+ * reuse engine and the analytic models all operate on Tensors.
+ */
+
+#ifndef GENREUSE_TENSOR_TENSOR_H
+#define GENREUSE_TENSOR_TENSOR_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "shape.h"
+
+namespace genreuse {
+
+/**
+ * Dense float tensor with contiguous row-major storage. Rank-4 tensors
+ * are NCHW. Copying is deep; moves are cheap.
+ */
+class Tensor
+{
+  public:
+    /** An empty (rank-0, single element) tensor. */
+    Tensor() : shape_({}), data_(1, 0.0f) {}
+
+    /** A zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** A tensor of the given shape filled with @p value. */
+    Tensor(Shape shape, float value);
+
+    /** A tensor wrapping a copy of existing data. @pre sizes match */
+    Tensor(Shape shape, std::vector<float> data);
+
+    const Shape &shape() const { return shape_; }
+    size_t size() const { return data_.size(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access. */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** Rank-2 element access. @pre rank() == 2 */
+    float &at2(size_t r, size_t c);
+    float at2(size_t r, size_t c) const;
+
+    /** Rank-4 (NCHW) element access. @pre rank() == 4 */
+    float &at4(size_t n, size_t c, size_t h, size_t w);
+    float at4(size_t n, size_t c, size_t h, size_t w) const;
+
+    /**
+     * Reinterpret as a different shape with the same element count.
+     * Returns a copy (storage is row-major so this is a plain relabel).
+     */
+    Tensor reshaped(Shape new_shape) const;
+
+    /** Fill every element with @p value. */
+    void fill(float value);
+
+    /** Set all elements to zero. */
+    void zero() { fill(0.0f); }
+
+    // ---- factories -------------------------------------------------
+
+    static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+    static Tensor full(Shape shape, float v) { return {std::move(shape), v}; }
+
+    /** I.i.d. N(mean, stddev) entries. */
+    static Tensor randomNormal(Shape shape, Rng &rng, float mean = 0.0f,
+                               float stddev = 1.0f);
+
+    /** I.i.d. uniform [lo, hi) entries. */
+    static Tensor randomUniform(Shape shape, Rng &rng, float lo = 0.0f,
+                                float hi = 1.0f);
+
+    /** Elements 0, 1, 2, ... in row-major order (handy in tests). */
+    static Tensor iota(Shape shape);
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_TENSOR_TENSOR_H

@@ -1,0 +1,175 @@
+#include "tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace genreuse {
+
+namespace {
+
+void
+requireSameSize(const Tensor &a, const Tensor &b, const char *op)
+{
+    GENREUSE_REQUIRE(a.size() == b.size(), op, ": size mismatch ", a.size(),
+                     " vs ", b.size());
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    requireSameSize(a, b, "add");
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    requireSameSize(a, b, "sub");
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+void
+axpy(float alpha, const Tensor &b, Tensor &a)
+{
+    requireSameSize(a, b, "axpy");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] += alpha * b[i];
+}
+
+void
+scale(Tensor &a, float alpha)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] *= alpha;
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    Tensor out(a.shape());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+    return out;
+}
+
+double
+squaredFrobeniusNorm(const Tensor &a)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        s += static_cast<double>(a[i]) * a[i];
+    return s;
+}
+
+double
+frobeniusNorm(const Tensor &a)
+{
+    return std::sqrt(squaredFrobeniusNorm(a));
+}
+
+float
+maxAbs(const Tensor &a)
+{
+    float m = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a[i]));
+    return m;
+}
+
+double
+meanValue(const Tensor &a)
+{
+    if (a.size() == 0)
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        s += a[i];
+    return s / static_cast<double>(a.size());
+}
+
+double
+meanSquaredError(const Tensor &a, const Tensor &b)
+{
+    requireSameSize(a, b, "meanSquaredError");
+    if (a.size() == 0)
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return s / static_cast<double>(a.size());
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    requireSameSize(a, b, "maxAbsDiff");
+    float m = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+double
+relativeError(const Tensor &exact, const Tensor &approx)
+{
+    requireSameSize(exact, approx, "relativeError");
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < exact.size(); ++i) {
+        double d = static_cast<double>(exact[i]) - approx[i];
+        num += d * d;
+        den += static_cast<double>(exact[i]) * exact[i];
+    }
+    if (den == 0.0)
+        return num == 0.0 ? 0.0 : 1.0;
+    return std::sqrt(num / den);
+}
+
+Tensor
+softmaxRows(const Tensor &logits)
+{
+    GENREUSE_REQUIRE(logits.shape().rank() == 2,
+                     "softmaxRows expects rank-2 input");
+    size_t rows = logits.shape().rows(), cols = logits.shape().cols();
+    Tensor out(logits.shape());
+    for (size_t r = 0; r < rows; ++r) {
+        float mx = logits.at2(r, 0);
+        for (size_t c = 1; c < cols; ++c)
+            mx = std::max(mx, logits.at2(r, c));
+        double sum = 0.0;
+        for (size_t c = 0; c < cols; ++c) {
+            float e = std::exp(logits.at2(r, c) - mx);
+            out.at2(r, c) = e;
+            sum += e;
+        }
+        float inv = static_cast<float>(1.0 / sum);
+        for (size_t c = 0; c < cols; ++c)
+            out.at2(r, c) *= inv;
+    }
+    return out;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    GENREUSE_REQUIRE(a.shape().rank() == 2, "transpose expects rank-2");
+    size_t rows = a.shape().rows(), cols = a.shape().cols();
+    Tensor out({cols, rows});
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            out.at2(c, r) = a.at2(r, c);
+    return out;
+}
+
+} // namespace genreuse

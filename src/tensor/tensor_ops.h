@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Elementwise operations and reductions on Tensors, including the
+ * squared Frobenius norm that powers the paper's accuracy model (§4.1).
+ */
+
+#ifndef GENREUSE_TENSOR_TENSOR_OPS_H
+#define GENREUSE_TENSOR_TENSOR_OPS_H
+
+#include "tensor.h"
+
+namespace genreuse {
+
+/** out[i] = a[i] + b[i]. @pre identical element counts */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** out[i] = a[i] - b[i]. @pre identical element counts */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** In-place a[i] += alpha * b[i]. @pre identical element counts */
+void axpy(float alpha, const Tensor &b, Tensor &a);
+
+/** In-place a[i] *= alpha. */
+void scale(Tensor &a, float alpha);
+
+/** out[i] = max(a[i], 0). */
+Tensor relu(const Tensor &a);
+
+/** Squared Frobenius norm: sum of squared elements. */
+double squaredFrobeniusNorm(const Tensor &a);
+
+/** Frobenius norm. */
+double frobeniusNorm(const Tensor &a);
+
+/** max_i |a[i]|. */
+float maxAbs(const Tensor &a);
+
+/** Mean of all elements. */
+double meanValue(const Tensor &a);
+
+/** Mean of squared differences between two tensors of the same size. */
+double meanSquaredError(const Tensor &a, const Tensor &b);
+
+/** max_i |a[i] - b[i]|. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/**
+ * Relative Frobenius error ||a - b||_F / ||a||_F (0 when both are
+ * zero). Used everywhere we compare a reuse approximation against the
+ * exact convolution output.
+ */
+double relativeError(const Tensor &exact, const Tensor &approx);
+
+/** Row-wise softmax of a rank-2 tensor (numerically stabilized). */
+Tensor softmaxRows(const Tensor &logits);
+
+/** Transpose of a rank-2 tensor. */
+Tensor transpose(const Tensor &a);
+
+} // namespace genreuse
+
+#endif // GENREUSE_TENSOR_TENSOR_OPS_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the command-line argument parser used by the tools.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/args.h"
+
+namespace genreuse {
+namespace {
+
+ArgParser
+parse(std::initializer_list<const char *> tokens)
+{
+    std::vector<const char *> argv(tokens);
+    return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, KeyValuePairs)
+{
+    ArgParser a = parse({"prog", "--model", "cifarnet", "--epochs", "5"});
+    EXPECT_TRUE(a.has("model"));
+    EXPECT_EQ(a.getString("model"), "cifarnet");
+    EXPECT_EQ(a.getInt("epochs", 0), 5);
+    EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(Args, BooleanFlags)
+{
+    ArgParser a = parse({"prog", "--verbose", "--model", "tiny"});
+    EXPECT_TRUE(a.has("verbose"));
+    EXPECT_EQ(a.getString("verbose"), "");
+    EXPECT_EQ(a.getString("model"), "tiny");
+}
+
+TEST(Args, FlagFollowedByFlag)
+{
+    ArgParser a = parse({"prog", "--a", "--b", "value"});
+    EXPECT_TRUE(a.has("a"));
+    EXPECT_EQ(a.getString("a"), "");
+    EXPECT_EQ(a.getString("b"), "value");
+}
+
+TEST(Args, Defaults)
+{
+    ArgParser a = parse({"prog"});
+    EXPECT_FALSE(a.has("missing"));
+    EXPECT_EQ(a.getString("missing", "dflt"), "dflt");
+    EXPECT_EQ(a.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(a.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(Args, Positional)
+{
+    ArgParser a = parse({"prog", "input.bin", "--k", "v", "output.bin"});
+    ASSERT_EQ(a.positional().size(), 2u);
+    EXPECT_EQ(a.positional()[0], "input.bin");
+    EXPECT_EQ(a.positional()[1], "output.bin");
+}
+
+TEST(Args, NumericParsing)
+{
+    ArgParser a = parse({"prog", "--lr", "0.05", "--n", "-3"});
+    EXPECT_DOUBLE_EQ(a.getDouble("lr", 0.0), 0.05);
+    EXPECT_EQ(a.getInt("n", 0), -3);
+}
+
+TEST(Args, BadNumberDies)
+{
+    ArgParser a = parse({"prog", "--n", "abc"});
+    ASSERT_DEATH_IF_SUPPORTED(a.getInt("n", 0), "expects an integer");
+}
+
+} // namespace
+} // namespace genreuse

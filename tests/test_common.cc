@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for src/common: deterministic RNG, text tables, math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace genreuse {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntRespectsRange)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    const int n = 40000;
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(13);
+    auto p = rng.permutation(50);
+    std::set<size_t> s(p.begin(), p.end());
+    EXPECT_EQ(s.size(), 50u);
+    EXPECT_EQ(*s.begin(), 0u);
+    EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(5);
+    Rng f = a.fork(1);
+    // The fork differs from a fresh copy of the parent.
+    Rng b(5);
+    bool differs = false;
+    for (int i = 0; i < 8; ++i)
+        differs |= f.next() != b.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"x"});
+    EXPECT_NO_THROW(t.render());
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatSpeedup(2.0), "2.00x");
+    EXPECT_EQ(formatPercent(0.961), "96.1%");
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+}
+
+TEST(MathUtil, MeanVariance)
+{
+    std::vector<double> v = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(variance(v), 1.25);
+    EXPECT_NEAR(stddev(v), 1.1180, 1e-3);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(MathUtil, Argmax)
+{
+    std::vector<double> v = {1.0, 5.0, 3.0};
+    EXPECT_EQ(argmax(v), 1u);
+    std::vector<float> vf = {-2.0f, -1.0f, -3.0f};
+    EXPECT_EQ(argmax(vf), 1u);
+}
+
+TEST(MathUtil, Geomean)
+{
+    std::vector<double> v = {1.0, 4.0};
+    EXPECT_NEAR(geomean(v), 2.0, 1e-9);
+    EXPECT_EQ(geomean({2.0, 0.0}), 0.0);
+}
+
+TEST(MathUtil, Clamp)
+{
+    EXPECT_EQ(clamp(5, 0, 3), 3);
+    EXPECT_EQ(clamp(-1, 0, 3), 0);
+    EXPECT_EQ(clamp(2, 0, 3), 2);
+}
+
+} // namespace
+} // namespace genreuse

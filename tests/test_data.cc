@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for src/data: dataset plumbing and the synthetic generators'
+ * key properties (determinism, class structure, tile redundancy, OOD
+ * distributional shift).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+#include "tensor/tensor_ops.h"
+
+namespace genreuse {
+namespace {
+
+TEST(Dataset, SliceAndGather)
+{
+    SyntheticConfig cfg;
+    cfg.numSamples = 20;
+    Dataset data = makeSyntheticCifar(cfg);
+    Dataset part = data.slice(5, 10);
+    EXPECT_EQ(part.size(), 10u);
+    EXPECT_EQ(part.labels[0], data.labels[5]);
+    Tensor img = data.gatherImages({5});
+    for (size_t i = 0; i < img.size(); ++i)
+        EXPECT_EQ(img[i], part.images[i]);
+}
+
+TEST(Dataset, BatchingCoversAllIndicesOnce)
+{
+    Rng rng(1);
+    auto batches = makeBatches(23, 5, rng);
+    std::set<size_t> seen;
+    for (const auto &b : batches)
+        for (size_t i : b)
+            EXPECT_TRUE(seen.insert(i).second);
+    EXPECT_EQ(seen.size(), 23u);
+    EXPECT_EQ(batches.back().size(), 3u);
+}
+
+TEST(Dataset, SequentialBatchesOrdered)
+{
+    auto batches = makeSequentialBatches(7, 3);
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0], (std::vector<size_t>{0, 1, 2}));
+    EXPECT_EQ(batches[2], (std::vector<size_t>{6}));
+}
+
+TEST(SyntheticCifar, DeterministicForSameSeed)
+{
+    SyntheticConfig cfg;
+    cfg.numSamples = 8;
+    Dataset a = makeSyntheticCifar(cfg);
+    Dataset b = makeSyntheticCifar(cfg);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_LT(maxAbsDiff(a.images, b.images), 1e-9f);
+}
+
+TEST(SyntheticCifar, ShapeAndLabelRange)
+{
+    SyntheticConfig cfg;
+    cfg.numSamples = 64;
+    Dataset data = makeSyntheticCifar(cfg);
+    EXPECT_EQ(data.images.shape(), Shape({64, 3, 32, 32}));
+    for (int l : data.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 10);
+    }
+    EXPECT_EQ(data.numClasses(), 10u);
+}
+
+TEST(SyntheticCifar, AllClassesAppear)
+{
+    SyntheticConfig cfg;
+    cfg.numSamples = 300;
+    Dataset data = makeSyntheticCifar(cfg);
+    std::set<int> classes(data.labels.begin(), data.labels.end());
+    EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(SyntheticCifar, HighTileRedundancy)
+{
+    // The whole premise of reuse: the images must contain many
+    // near-identical tiles. Random-hash profiling should find a high
+    // redundancy ratio.
+    SyntheticConfig cfg;
+    cfg.numSamples = 6;
+    cfg.redundancy = 0.85f;
+    Dataset data = makeSyntheticCifar(cfg);
+    double rt = datasetTileRedundancy(data);
+    EXPECT_GT(rt, 0.5);
+}
+
+TEST(SyntheticCifar, RedundancyKnobMonotone)
+{
+    SyntheticConfig low;
+    low.numSamples = 6;
+    low.redundancy = 0.0f;
+    low.noiseStddev = 0.08f;
+    SyntheticConfig high = low;
+    high.redundancy = 0.97f;
+    high.noiseStddev = 0.0f;
+    double rt_low = datasetTileRedundancy(makeSyntheticCifar(low));
+    double rt_high = datasetTileRedundancy(makeSyntheticCifar(high));
+    EXPECT_GT(rt_high, rt_low);
+}
+
+TEST(SyntheticCifar, ClassesAreSeparable)
+{
+    // Images of the same class must be more alike than images of
+    // different classes (nearest-centroid in pixel space beats chance).
+    SyntheticConfig cfg;
+    cfg.numSamples = 200;
+    Dataset data = makeSyntheticCifar(cfg);
+    const size_t dim = 3 * 32 * 32;
+    std::vector<std::vector<double>> centroid(10,
+                                              std::vector<double>(dim, 0.0));
+    std::vector<size_t> count(10, 0);
+    for (size_t i = 0; i < 100; ++i) { // "train" half
+        int c = data.labels[i];
+        count[c]++;
+        for (size_t j = 0; j < dim; ++j)
+            centroid[c][j] += data.images[i * dim + j];
+    }
+    for (int c = 0; c < 10; ++c)
+        if (count[c])
+            for (size_t j = 0; j < dim; ++j)
+                centroid[c][j] /= count[c];
+    size_t correct = 0, total = 0;
+    for (size_t i = 100; i < 200; ++i) { // "test" half
+        double best = 1e30;
+        int best_c = -1;
+        for (int c = 0; c < 10; ++c) {
+            if (!count[c])
+                continue;
+            double d = 0.0;
+            for (size_t j = 0; j < dim; ++j) {
+                double diff = data.images[i * dim + j] - centroid[c][j];
+                d += diff * diff;
+            }
+            if (d < best) {
+                best = d;
+                best_c = c;
+            }
+        }
+        total++;
+        if (best_c == data.labels[i])
+            correct++;
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.6);
+}
+
+TEST(SyntheticSvhn, ShapeMatchesCifar)
+{
+    Dataset ood = makeSyntheticSvhn(16);
+    EXPECT_EQ(ood.images.shape(), Shape({16, 3, 32, 32}));
+}
+
+TEST(SyntheticSvhn, DistributionDiffersFromCifar)
+{
+    // OOD images should not match the CIFAR-like class centroids:
+    // their pixel statistics differ (much wider dynamic range).
+    SyntheticConfig cfg;
+    cfg.numSamples = 32;
+    Dataset id = makeSyntheticCifar(cfg);
+    Dataset ood = makeSyntheticSvhn(32);
+    double id_spread = 0.0, ood_spread = 0.0;
+    for (size_t i = 0; i < id.images.size(); ++i)
+        id_spread += std::abs(id.images[i]);
+    for (size_t i = 0; i < ood.images.size(); ++i)
+        ood_spread += std::abs(ood.images[i]);
+    id_spread /= id.images.size();
+    ood_spread /= ood.images.size();
+    EXPECT_GT(ood_spread, id_spread * 1.15);
+}
+
+TEST(SyntheticImagenet64, ShapeIs64)
+{
+    Dataset data = makeSyntheticImagenet64(4);
+    EXPECT_EQ(data.images.shape(), Shape({4, 3, 64, 64}));
+}
+
+} // namespace
+} // namespace genreuse

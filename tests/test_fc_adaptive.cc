@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the FC-layer reuse kernel and the adaptive per-input
+ * pattern dispatcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "core/fc_reuse.h"
+#include "data/synthetic.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+TEST(FcReuse, ExactWhenSegmentsIdentical)
+{
+    // x built from repeated identical segments: reuse is exact.
+    Rng rng(1);
+    const size_t l = 8, segs = 6, f = l * segs, o = 5;
+    Tensor seg = Tensor::randomNormal({1, l}, rng);
+    Tensor x({2, f});
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t s = 0; s < segs; ++s)
+            for (size_t j = 0; j < l; ++j)
+                x.at2(r, s * l + j) = seg.at2(0, j);
+    Tensor w = Tensor::randomNormal({f, o}, rng);
+    Tensor bias = Tensor::randomNormal({o}, rng);
+    HashFamily fam = HashFamily::random(6, l, rng);
+    ReuseStats stats;
+    Tensor y = fcReuseForward(x, w, bias, l, fam, nullptr, &stats);
+    Tensor ref = fcExactForward(x, w, bias);
+    EXPECT_LT(maxAbsDiff(y, ref), 1e-3f);
+    EXPECT_EQ(stats.totalCentroids, 2u); // one cluster per sample
+}
+
+TEST(FcReuse, TrailingSegmentExact)
+{
+    Rng rng(2);
+    const size_t f = 20, l = 8, o = 3; // 2 full segments + 4 trailing
+    Tensor x = Tensor::randomNormal({1, f}, rng);
+    Tensor w = Tensor::randomNormal({f, o}, rng);
+    HashFamily fam = HashFamily::random(12, l, rng);
+    Tensor y = fcReuseForward(x, w, Tensor({0}, std::vector<float>{}), l,
+                              fam);
+    // With 12 hashes the 2 segments are almost surely distinct
+    // clusters -> whole result exact.
+    Tensor ref = matmul(x, w);
+    EXPECT_LT(maxAbsDiff(y, ref), 1e-3f);
+}
+
+TEST(FcReuse, StatsAndLedgerEconomics)
+{
+    // The headline property: weight reduction costs F x O ALU ops per
+    // sample — reuse saves GEMM MACs but pays an O(F x O) add bill.
+    Rng rng(3);
+    const size_t f = 64, l = 16, o = 10;
+    Tensor x = test::redundantRows(1, 64, 1, rng); // arbitrary sample
+    Tensor w = Tensor::randomNormal({f, o}, rng);
+    HashFamily fam = HashFamily::random(4, l, rng);
+    CostLedger ledger;
+    ReuseStats stats;
+    fcReuseForward(x, w, Tensor({0}, std::vector<float>{}), l, fam,
+                   &ledger, &stats);
+    EXPECT_EQ(ledger.stage(Stage::Recovering).aluOps, f * o);
+    EXPECT_EQ(stats.exactMacs, f * o);
+    EXPECT_EQ(stats.totalVectors, 4u); // 64/16 segments
+}
+
+TEST(FcReuse, BatchRowsIndependent)
+{
+    Rng rng(4);
+    const size_t f = 32, l = 8, o = 4;
+    Tensor x = Tensor::randomNormal({3, f}, rng);
+    Tensor w = Tensor::randomNormal({f, o}, rng);
+    HashFamily fam = HashFamily::random(10, l, rng);
+    Tensor y_all = fcReuseForward(x, w, Tensor({0}, std::vector<float>{}),
+                                  l, fam);
+    // Row 1 alone must match row 1 of the batch result.
+    Tensor x1({1, f});
+    for (size_t j = 0; j < f; ++j)
+        x1.at2(0, j) = x.at2(1, j);
+    Tensor y1 = fcReuseForward(x1, w, Tensor({0}, std::vector<float>{}),
+                               l, fam);
+    for (size_t c = 0; c < o; ++c)
+        EXPECT_NEAR(y_all.at2(1, c), y1.at2(0, c), 1e-5f);
+}
+
+/** Fixture with fitted aggressive/conservative strategies. */
+struct AdaptiveFixture
+{
+    Rng rng{5};
+    Conv2D conv{"c", 3, 16, 5, 1, 2, rng};
+    ConvGeometry geom;
+    Tensor sample;
+    std::shared_ptr<ReuseConvAlgo> aggressive;
+    std::shared_ptr<ReuseConvAlgo> conservative;
+
+    AdaptiveFixture()
+    {
+        SyntheticConfig cfg;
+        cfg.numSamples = 2;
+        Dataset data = makeSyntheticCifar(cfg);
+        conv.forward(data.gatherImages({0, 1}), false);
+        sample = conv.lastIm2col();
+        geom = conv.lastGeometry();
+        geom.batch = 1; // tests run single images through the algo
+
+        ReusePattern fast;
+        fast.granularity = 25;
+        fast.numHashes = 2;
+        aggressive = std::make_shared<ReuseConvAlgo>(fast,
+                                                     HashMode::Learned, 1);
+        aggressive->fit(sample, geom);
+
+        ReusePattern safe;
+        safe.granularity = 25;
+        safe.numHashes = 10;
+        conservative = std::make_shared<ReuseConvAlgo>(safe,
+                                                       HashMode::Learned,
+                                                       2);
+        conservative->fit(sample, geom);
+    }
+};
+
+TEST(Adaptive, RedundantInputTakesAggressivePath)
+{
+    AdaptiveFixture f;
+    AdaptiveReuseConvAlgo adaptive(f.aggressive, f.conservative, 0.5);
+    SyntheticConfig cfg;
+    cfg.numSamples = 1;
+    cfg.noiseStddev = 0.0f;
+    Dataset data = makeSyntheticCifar(cfg);
+    Tensor x = im2col(data.gatherImages({0}), f.geom);
+    Tensor w = f.conv.weightMatrix();
+    adaptive.multiply(x, w, f.geom, nullptr);
+    EXPECT_GT(adaptive.lastProbeRedundancy(), 0.5);
+    EXPECT_TRUE(adaptive.lastUsedAggressive());
+}
+
+TEST(Adaptive, NoiseInputTakesConservativePath)
+{
+    AdaptiveFixture f;
+    AdaptiveReuseConvAlgo adaptive(f.aggressive, f.conservative, 0.5);
+    Rng noise_rng(6);
+    Tensor noise =
+        Tensor::randomNormal({1, 3, 32, 32}, noise_rng, 0.0f, 1.0f);
+    Tensor x = im2col(noise, f.geom);
+    Tensor w = f.conv.weightMatrix();
+    adaptive.multiply(x, w, f.geom, nullptr);
+    EXPECT_LT(adaptive.lastProbeRedundancy(), 0.5);
+    EXPECT_FALSE(adaptive.lastUsedAggressive());
+}
+
+TEST(Adaptive, ExactFallbackWhenNoConservative)
+{
+    AdaptiveFixture f;
+    AdaptiveReuseConvAlgo adaptive(f.aggressive, nullptr, 0.99999);
+    Rng noise_rng(7);
+    Tensor noise =
+        Tensor::randomNormal({1, 3, 32, 32}, noise_rng, 0.0f, 1.0f);
+    Tensor x = im2col(noise, f.geom);
+    Tensor w = f.conv.weightMatrix();
+    Tensor y = adaptive.multiply(x, w, f.geom, nullptr);
+    // Fallback is the exact GEMM.
+    EXPECT_LT(maxAbsDiff(y, matmul(x, w)), 1e-3f);
+}
+
+TEST(Adaptive, ProbeCostCharged)
+{
+    AdaptiveFixture f;
+    AdaptiveReuseConvAlgo adaptive(f.aggressive, f.conservative, 0.5);
+    SyntheticConfig cfg;
+    cfg.numSamples = 1;
+    Dataset data = makeSyntheticCifar(cfg);
+    Tensor x = im2col(data.gatherImages({0}), f.geom);
+    CostLedger with_probe;
+    adaptive.multiply(x, f.conv.weightMatrix(), f.geom, &with_probe);
+    CostLedger direct;
+    f.aggressive->multiply(x, f.conv.weightMatrix(), f.geom, &direct);
+    EXPECT_GT(with_probe.stage(Stage::Clustering).macs,
+              direct.stage(Stage::Clustering).macs);
+}
+
+TEST(Adaptive, DescribeNamesBothPaths)
+{
+    AdaptiveFixture f;
+    AdaptiveReuseConvAlgo adaptive(f.aggressive, f.conservative, 0.5);
+    std::string d = adaptive.describe();
+    EXPECT_NE(d.find("adaptive["), std::string::npos);
+    EXPECT_NE(d.find("H=2"), std::string::npos);
+    EXPECT_NE(d.find("H=10"), std::string::npos);
+}
+
+TEST(Adaptive, InstallableOnConv2D)
+{
+    AdaptiveFixture f;
+    auto adaptive = std::make_shared<AdaptiveReuseConvAlgo>(
+        f.aggressive, f.conservative, 0.5);
+    f.conv.setAlgo(adaptive);
+    SyntheticConfig cfg;
+    cfg.numSamples = 1;
+    Dataset data = makeSyntheticCifar(cfg);
+    Tensor y = f.conv.forward(data.gatherImages({0}), false);
+    EXPECT_EQ(y.shape(), Shape({1, 16, 32, 32}));
+}
+
+} // namespace
+} // namespace genreuse

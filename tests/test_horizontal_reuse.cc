@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the horizontal reuse GEMM (the paper's new direction):
+ * the distributivity identity, exactness on column-redundant inputs,
+ * band plans, shared-family operation, short-band fallback, and cost
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/horizontal_reuse.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+TEST(HorizontalSlicing, PlanMath)
+{
+    HorizontalSlicing s = HorizontalSlicing::plan(64, 16);
+    EXPECT_EQ(s.numBands, 4u);
+    EXPECT_EQ(s.height(0, 64), 16u);
+
+    HorizontalSlicing ragged = HorizontalSlicing::plan(70, 16);
+    EXPECT_EQ(ragged.numBands, 5u);
+    EXPECT_EQ(ragged.height(4, 70), 6u);
+
+    HorizontalSlicing whole = HorizontalSlicing::plan(50, 0);
+    EXPECT_EQ(whole.numBands, 1u);
+    EXPECT_EQ(whole.height(0, 50), 50u);
+}
+
+TEST(HorizontalReuse, DistributivityIdentityExactCase)
+{
+    // Two identical columns a == b with weight rows w_j, w_k:
+    // a w_j + b w_k == c (w_j + w_k) with c = (a + b)/2 == a.
+    Rng rng(1);
+    Tensor x({4, 2});
+    for (size_t r = 0; r < 4; ++r) {
+        float v = rng.uniformFloat(-1, 1);
+        x.at2(r, 0) = v;
+        x.at2(r, 1) = v;
+    }
+    Tensor w = Tensor::randomNormal({2, 3}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(4, 4);
+    auto fams = randomHorizontalFamilies(s, 4, 6, rng);
+    ReuseStats stats;
+    Tensor y = horizontalReuseMultiply(x, w, s, fams, nullptr, &stats);
+    EXPECT_LT(maxAbsDiff(y, matmul(x, w)), 1e-4f);
+    EXPECT_EQ(stats.totalCentroids, 1u); // both columns merged
+}
+
+TEST(HorizontalReuse, ExactOnColumnRedundantMatrix)
+{
+    Rng rng(2);
+    Tensor x = test::redundantCols(24, 60, 5, rng, 0.0f);
+    Tensor w = Tensor::randomNormal({60, 8}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(24, 12);
+    auto fams = randomHorizontalFamilies(s, 24, 16, rng);
+    ReuseStats stats;
+    Tensor y = horizontalReuseMultiply(x, w, s, fams, nullptr, &stats);
+    EXPECT_LT(maxAbsDiff(y, matmul(x, w)), 2e-3f);
+    EXPECT_GE(stats.redundancyRatio(), 0.8);
+}
+
+TEST(HorizontalReuse, SmallErrorOnNoisyColumns)
+{
+    Rng rng(3);
+    Tensor x = test::redundantCols(32, 48, 4, rng, 0.02f);
+    Tensor w = Tensor::randomNormal({48, 6}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(32, 16);
+    auto fams = randomHorizontalFamilies(s, 32, 6, rng);
+    Tensor y = horizontalReuseMultiply(x, w, s, fams, nullptr, nullptr);
+    EXPECT_LT(relativeError(matmul(x, w), y), 0.12);
+}
+
+TEST(HorizontalReuse, BandsAreIndependent)
+{
+    // Different bands may cluster columns differently; output is the
+    // vertical concatenation. Verify band 0 output only depends on
+    // band 0 rows (change other rows, band 0 output fixed).
+    Rng rng(4);
+    Tensor x = test::redundantCols(16, 20, 3, rng, 0.0f);
+    Tensor w = Tensor::randomNormal({20, 4}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(16, 8);
+    auto fams = randomHorizontalFamilies(s, 16, 6, rng);
+    Tensor y1 = horizontalReuseMultiply(x, w, s, fams, nullptr, nullptr);
+
+    Tensor x2 = x;
+    for (size_t r = 8; r < 16; ++r)
+        for (size_t c = 0; c < 20; ++c)
+            x2.at2(r, c) += 1.0f;
+    Tensor y2 = horizontalReuseMultiply(x2, w, s, fams, nullptr, nullptr);
+    for (size_t r = 0; r < 8; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            EXPECT_NEAR(y1.at2(r, c), y2.at2(r, c), 1e-5f);
+}
+
+TEST(HorizontalReuse, SharedFamilyAcrossBands)
+{
+    Rng rng(5);
+    Tensor x = test::redundantCols(32, 30, 4, rng, 0.0f);
+    Tensor w = Tensor::randomNormal({30, 5}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(32, 16);
+    // Single family used by both bands.
+    std::vector<HashFamily> shared = {HashFamily::random(8, 16, rng)};
+    Tensor y = horizontalReuseMultiply(x, w, s, shared, nullptr, nullptr);
+    EXPECT_LT(maxAbsDiff(y, matmul(x, w)), 2e-3f);
+}
+
+TEST(HorizontalReuse, ShortBandFallsBackToExact)
+{
+    // 20 rows with band height 16: the 4-row trailing band has no
+    // matching family and must be computed exactly.
+    Rng rng(6);
+    Tensor x = Tensor::randomNormal({20, 10}, rng);
+    Tensor w = Tensor::randomNormal({10, 3}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(20, 16);
+    std::vector<HashFamily> shared = {HashFamily::random(4, 16, rng)};
+    Tensor y = horizontalReuseMultiply(x, w, s, shared, nullptr, nullptr);
+    Tensor ref = matmul(x, w);
+    for (size_t r = 16; r < 20; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_NEAR(y.at2(r, c), ref.at2(r, c), 1e-4f);
+}
+
+TEST(HorizontalReuse, StatsAndLedger)
+{
+    Rng rng(7);
+    Tensor x = test::redundantCols(32, 40, 4, rng, 0.0f);
+    Tensor w = Tensor::randomNormal({40, 6}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(32, 32);
+    auto fams = randomHorizontalFamilies(s, 32, 5, rng);
+    CostLedger ledger;
+    ReuseStats stats;
+    horizontalReuseMultiply(x, w, s, fams, &ledger, &stats);
+
+    EXPECT_EQ(stats.numPanels, 1u);
+    EXPECT_EQ(stats.totalVectors, 40u); // Din columns
+    // Hashing: Din * H * l.
+    EXPECT_EQ(ledger.stage(Stage::Clustering).macs, 40u * 5u * 32u);
+    // GEMM: l * nc * M.
+    EXPECT_EQ(ledger.stage(Stage::Gemm).macs,
+              32u * stats.totalCentroids * 6u);
+    // Weight reduction counted as Recovering ALU ops.
+    EXPECT_GE(ledger.stage(Stage::Recovering).aluOps, 40u * 6u);
+}
+
+TEST(HorizontalReuse, LearnedFamiliesWork)
+{
+    Rng rng(8);
+    Tensor x = test::redundantCols(24, 36, 4, rng, 0.05f);
+    Tensor w = Tensor::randomNormal({36, 4}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(24, 12);
+    auto fams = learnedHorizontalFamilies(x, s, 4);
+    ASSERT_EQ(fams.size(), 2u);
+    Tensor y = horizontalReuseMultiply(x, w, s, fams, nullptr, nullptr);
+    EXPECT_LT(relativeError(matmul(x, w), y), 0.15);
+}
+
+class HorizontalBandSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(HorizontalBandSweep, BoundedErrorAcrossBandHeights)
+{
+    const size_t l = GetParam();
+    Rng rng(20 + l);
+    Tensor x = test::redundantCols(48, 30, 3, rng, 0.0f);
+    Tensor w = Tensor::randomNormal({30, 4}, rng);
+    HorizontalSlicing s = HorizontalSlicing::plan(48, l);
+    auto fams = randomHorizontalFamilies(s, 48, 16, rng);
+    Tensor y = horizontalReuseMultiply(x, w, s, fams, nullptr, nullptr);
+    EXPECT_LT(maxAbsDiff(y, matmul(x, w)), 2e-3f) << "l=" << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(BandHeights, HorizontalBandSweep,
+                         ::testing::Values(6, 8, 12, 16, 24, 48));
+
+} // namespace
+} // namespace genreuse

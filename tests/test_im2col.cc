@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for im2col/col2im: geometry math, explicit small cases, the
+ * adjoint property linking im2col and col2im, kernel flattening, and
+ * the full GEMM-convolution equivalence against a naive convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+ConvGeometry
+makeGeom(size_t b, size_t c, size_t hw, size_t m, size_t k, size_t stride,
+         size_t pad)
+{
+    ConvGeometry g;
+    g.batch = b;
+    g.inChannels = c;
+    g.inHeight = hw;
+    g.inWidth = hw;
+    g.outChannels = m;
+    g.kernelH = k;
+    g.kernelW = k;
+    g.stride = stride;
+    g.pad = pad;
+    return g;
+}
+
+/** Naive direct convolution for reference. */
+Tensor
+naiveConv(const Tensor &input, const Tensor &kernel, const ConvGeometry &g)
+{
+    Tensor out({g.batch, g.outChannels, g.outHeight(), g.outWidth()});
+    for (size_t b = 0; b < g.batch; ++b)
+        for (size_t f = 0; f < g.outChannels; ++f)
+            for (size_t y = 0; y < g.outHeight(); ++y)
+                for (size_t x = 0; x < g.outWidth(); ++x) {
+                    float acc = 0.0f;
+                    for (size_t c = 0; c < g.inChannels; ++c)
+                        for (size_t kh = 0; kh < g.kernelH; ++kh)
+                            for (size_t kw = 0; kw < g.kernelW; ++kw) {
+                                long sy = static_cast<long>(y * g.stride +
+                                                            kh) -
+                                          static_cast<long>(g.pad);
+                                long sx = static_cast<long>(x * g.stride +
+                                                            kw) -
+                                          static_cast<long>(g.pad);
+                                if (sy < 0 || sx < 0 ||
+                                    sy >= static_cast<long>(g.inHeight) ||
+                                    sx >= static_cast<long>(g.inWidth))
+                                    continue;
+                                acc += input.at4(b, c, sy, sx) *
+                                       kernel.at4(f, c, kh, kw);
+                            }
+                    out.at4(b, f, y, x) = acc;
+                }
+    return out;
+}
+
+TEST(ConvGeometry, OutputDims)
+{
+    ConvGeometry g = makeGeom(1, 3, 32, 64, 5, 1, 2);
+    EXPECT_EQ(g.outHeight(), 32u);
+    EXPECT_EQ(g.outWidth(), 32u);
+    EXPECT_EQ(g.rows(), 1024u);
+    EXPECT_EQ(g.cols(), 75u); // the paper's CifarNet Conv1 Din
+    EXPECT_EQ(g.macs(), 1024u * 75u * 64u);
+}
+
+TEST(ConvGeometry, StridedOutput)
+{
+    ConvGeometry g = makeGeom(2, 3, 32, 96, 7, 2, 3);
+    EXPECT_EQ(g.outHeight(), 16u);
+    EXPECT_EQ(g.cols(), 147u); // ZfNet Conv1 Din
+    EXPECT_EQ(g.rows(), 2u * 16u * 16u);
+}
+
+TEST(ConvGeometry, Validity)
+{
+    EXPECT_TRUE(makeGeom(1, 1, 8, 1, 3, 1, 0).valid());
+    EXPECT_FALSE(makeGeom(1, 1, 2, 1, 5, 1, 0).valid()); // kernel too big
+    ConvGeometry g = makeGeom(1, 1, 8, 1, 3, 1, 0);
+    g.stride = 0;
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(Im2col, SingleChannelNoPad)
+{
+    // 1x1x3x3 input, 2x2 kernel sweep -> 4 rows of 4 values.
+    Tensor in = Tensor::iota({1, 1, 3, 3});
+    ConvGeometry g = makeGeom(1, 1, 3, 1, 2, 1, 0);
+    Tensor cols = im2col(in, g);
+    EXPECT_EQ(cols.shape(), Shape({4, 4}));
+    // Top-left window: 0 1 / 3 4.
+    EXPECT_EQ(cols.at2(0, 0), 0.0f);
+    EXPECT_EQ(cols.at2(0, 1), 1.0f);
+    EXPECT_EQ(cols.at2(0, 2), 3.0f);
+    EXPECT_EQ(cols.at2(0, 3), 4.0f);
+    // Bottom-right window: 4 5 / 7 8.
+    EXPECT_EQ(cols.at2(3, 0), 4.0f);
+    EXPECT_EQ(cols.at2(3, 3), 8.0f);
+}
+
+TEST(Im2col, PaddingProducesZeros)
+{
+    Tensor in = Tensor::full({1, 1, 2, 2}, 5.0f);
+    ConvGeometry g = makeGeom(1, 1, 2, 1, 3, 1, 1);
+    Tensor cols = im2col(in, g);
+    EXPECT_EQ(cols.shape(), Shape({4, 9}));
+    // First row's first element comes from the (-1,-1) padded corner.
+    EXPECT_EQ(cols.at2(0, 0), 0.0f);
+    // Center of the first window is in-bounds.
+    EXPECT_EQ(cols.at2(0, 4), 5.0f);
+}
+
+TEST(Im2col, ChannelMajorColumnLayout)
+{
+    // Column index must be (c * KH + kh) * KW + kw.
+    Tensor in = Tensor::iota({1, 2, 2, 2});
+    ConvGeometry g = makeGeom(1, 2, 2, 1, 2, 1, 0);
+    Tensor cols = im2col(in, g);
+    EXPECT_EQ(cols.shape(), Shape({1, 8}));
+    // First 4 entries are channel 0 (values 0..3), next 4 channel 1.
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(cols.at2(0, i), static_cast<float>(i));
+}
+
+TEST(Im2col, Col2ImAdjoint)
+{
+    // <im2col(x), y> == <x, col2im(y)> for all x, y (adjoint pair).
+    Rng rng(8);
+    ConvGeometry g = makeGeom(2, 3, 6, 4, 3, 2, 1);
+    Tensor x = Tensor::randomNormal(
+        {g.batch, g.inChannels, g.inHeight, g.inWidth}, rng);
+    Tensor y = Tensor::randomNormal({g.rows(), g.cols()}, rng);
+    Tensor ix = im2col(x, g);
+    Tensor cy = col2im(y, g);
+    double lhs = 0.0, rhs = 0.0;
+    for (size_t i = 0; i < ix.size(); ++i)
+        lhs += static_cast<double>(ix[i]) * y[i];
+    for (size_t i = 0; i < x.size(); ++i)
+        rhs += static_cast<double>(x[i]) * cy[i];
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST(Im2col, KernelMatrixRoundTrip)
+{
+    Rng rng(9);
+    Tensor kernel = Tensor::randomNormal({4, 3, 5, 5}, rng);
+    ConvGeometry g = makeGeom(1, 3, 8, 4, 5, 1, 2);
+    Tensor w = kernelToMatrix(kernel);
+    EXPECT_EQ(w.shape(), Shape({75, 4}));
+    Tensor back = matrixToKernel(w, g);
+    EXPECT_LT(maxAbsDiff(kernel, back), 1e-7f);
+}
+
+class ConvEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t,
+                                                 size_t, size_t>>
+{
+};
+
+TEST_P(ConvEquivalence, GemmEqualsDirectConvolution)
+{
+    auto [c, hw, m, k, stride] = GetParam();
+    size_t pad = k / 2;
+    Rng rng(10 + c + hw + m + k);
+    ConvGeometry g = makeGeom(2, c, hw, m, k, stride, pad);
+    Tensor input = Tensor::randomNormal(
+        {g.batch, g.inChannels, g.inHeight, g.inWidth}, rng);
+    Tensor kernel =
+        Tensor::randomNormal({m, c, k, k}, rng);
+
+    Tensor cols = im2col(input, g);
+    Tensor w = kernelToMatrix(kernel);
+    Tensor y = matmul(cols, w);
+    Tensor act = gemmOutputToActivation(y, g);
+
+    Tensor ref = naiveConv(input, kernel, g);
+    EXPECT_LT(maxAbsDiff(act, ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvEquivalence,
+    ::testing::Values(std::make_tuple(1, 6, 2, 3, 1),
+                      std::make_tuple(3, 8, 4, 5, 1),
+                      std::make_tuple(3, 9, 2, 3, 2),
+                      std::make_tuple(2, 7, 3, 1, 1),
+                      std::make_tuple(4, 6, 8, 3, 1)));
+
+TEST(Im2col, ActivationFoldRoundTrip)
+{
+    Rng rng(11);
+    ConvGeometry g = makeGeom(2, 1, 4, 3, 3, 1, 1);
+    Tensor y = Tensor::randomNormal({g.rows(), g.outChannels}, rng);
+    Tensor act = gemmOutputToActivation(y, g);
+    Tensor back = activationToGemmOutput(act, g);
+    EXPECT_LT(maxAbsDiff(y, back), 1e-7f);
+}
+
+} // namespace
+} // namespace genreuse

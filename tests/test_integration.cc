@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Integration tests: the full paper pipeline on a small scale —
+ * train a network on synthetic data, apply generalized reuse to its
+ * convolutions, and verify the headline behaviours (accuracy retained,
+ * MACs slashed, generalized patterns beating the conventional one on
+ * at least one axis).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/measurement.h"
+#include "core/pattern_space.h"
+#include "core/selection.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+#include "quant/fixed_point.h"
+#include "tensor/tensor_ops.h"
+
+namespace genreuse {
+namespace {
+
+/** One trained TinyNet + data shared across integration tests. */
+class Pipeline : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        rng_ = new Rng(70);
+        net_ = new Network(makeTinyNet(*rng_));
+        SyntheticConfig cfg;
+        cfg.numSamples = 120;
+        cfg.seed = 71;
+        cfg.noiseStddev = 0.02f;
+        train_ = new Dataset(makeSyntheticCifar(cfg));
+        cfg.seed = 72;
+        cfg.numSamples = 48;
+        test_ = new Dataset(makeSyntheticCifar(cfg));
+
+        TrainConfig tcfg;
+        tcfg.epochs = 5;
+        tcfg.batchSize = 12;
+        tcfg.sgd.learningRate = 0.01;
+        tcfg.sgd.momentum = 0.9;
+        train(*net_, *train_, tcfg);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete net_;
+        delete train_;
+        delete test_;
+        delete rng_;
+        net_ = nullptr;
+        train_ = nullptr;
+        test_ = nullptr;
+        rng_ = nullptr;
+    }
+
+    void
+    TearDown() override
+    {
+        resetAllConvs(*net_);
+    }
+
+    static Network *net_;
+    static Dataset *train_, *test_;
+    static Rng *rng_;
+};
+
+Network *Pipeline::net_ = nullptr;
+Dataset *Pipeline::train_ = nullptr;
+Dataset *Pipeline::test_ = nullptr;
+Rng *Pipeline::rng_ = nullptr;
+
+TEST_F(Pipeline, BaselineLearnsTask)
+{
+    double acc = evaluate(*net_, *test_, 16);
+    EXPECT_GT(acc, 0.5); // 10-class chance is 0.1
+}
+
+TEST_F(Pipeline, ConventionalReuseKeepsAccuracyAndCutsMacs)
+{
+    CostModel model(McuSpec::stm32f469i());
+    Measurement exact = measureNetwork(*net_, *test_, model, 24);
+
+    Conv2D *conv = net_->findConv("conv2");
+    ASSERT_NE(conv, nullptr);
+    ConvGeometry geom = conv->geometry({1, 8, 16, 16});
+    ReusePattern conventional = ReusePattern::conventional(geom, 4);
+    fitAndInstall(*net_, *conv, conventional, train_->slice(0, 6));
+    Measurement reuse = measureNetwork(*net_, *test_, model, 24);
+
+    EXPECT_GT(reuse.accuracy, exact.accuracy - 0.15);
+    EXPECT_GT(reuse.stats.redundancyRatio(), 0.3);
+    EXPECT_LT(reuse.perImageConvLedger.stage(Stage::Gemm).macs,
+              exact.perImageConvLedger.stage(Stage::Gemm).macs);
+}
+
+TEST_F(Pipeline, GeneralizedPatternBeatsConventionalSomewhere)
+{
+    // The paper's core claim at small scale: among a handful of
+    // generalized patterns there is one that beats the conventional
+    // pattern on latency or accuracy.
+    CostModel model(McuSpec::stm32f469i());
+    Conv2D *conv = net_->findConv("conv2");
+    ASSERT_NE(conv, nullptr);
+    ConvGeometry geom = conv->geometry({1, 8, 16, 16});
+
+    ReusePattern conventional = ReusePattern::conventional(geom, 4);
+    fitAndInstall(*net_, *conv, conventional, train_->slice(0, 6));
+    Measurement base = measureNetwork(*net_, *test_, model, 24);
+    resetAllConvs(*net_);
+
+    std::vector<ReusePattern> generalized;
+    {
+        ReusePattern p; // channel-first (pixel-major) order
+        p.columnOrder = ColumnOrder::PixelMajor;
+        p.granularity = 8;
+        p.numHashes = 4;
+        generalized.push_back(p);
+    }
+    {
+        ReusePattern p; // wide slices, fewer hashes
+        p.granularity = geom.cols() / 2;
+        p.numHashes = 2;
+        generalized.push_back(p);
+    }
+    {
+        ReusePattern p; // 2-D neuron blocks
+        p.granularity = geom.cols();
+        p.blockRows = 2;
+        p.numHashes = 3;
+        generalized.push_back(p);
+    }
+    {
+        ReusePattern p; // whole-row vectors, fewer hashes
+        p.granularity = geom.cols();
+        p.numHashes = 2;
+        generalized.push_back(p);
+    }
+    {
+        ReusePattern p; // one-third-row vectors
+        p.granularity = geom.cols() / 3;
+        p.numHashes = 3;
+        generalized.push_back(p);
+    }
+
+    bool any_better = false;
+    for (const ReusePattern &p : generalized) {
+        ASSERT_TRUE(p.validFor(geom)) << p.describe();
+        fitAndInstall(*net_, *conv, p, train_->slice(0, 6));
+        Measurement m = measureNetwork(*net_, *test_, model, 24);
+        resetAllConvs(*net_);
+        if ((m.perImageMs < base.perImageMs &&
+             m.accuracy >= base.accuracy - 0.05) ||
+            (m.accuracy > base.accuracy &&
+             m.perImageMs <= base.perImageMs * 1.05)) {
+            any_better = true;
+        }
+    }
+    EXPECT_TRUE(any_better);
+}
+
+TEST_F(Pipeline, QuantizedNetworkStillWorksWithReuse)
+{
+    // Fixed-point weights (the paper's deployment format) + reuse.
+    for (auto *conv : net_->convLayers()) {
+        conv->kernel().value =
+            fakeQuantizeFixedPoint(conv->kernel().value);
+    }
+    Conv2D *conv = net_->findConv("conv2");
+    ConvGeometry geom = conv->geometry({1, 8, 16, 16});
+    fitAndInstall(*net_, *conv, ReusePattern::conventional(geom, 4),
+                  train_->slice(0, 6));
+    CostModel model(McuSpec::stm32f469i());
+    Measurement m = measureNetwork(*net_, *test_, model, 24);
+    EXPECT_GT(m.accuracy, 0.3);
+}
+
+TEST_F(Pipeline, ReuseImprovesOodDetection)
+{
+    // §5.3.6-style check: reuse keeps ID behaviour and softens
+    // overconfident OOD predictions (detection rate not worse).
+    Dataset ood = makeSyntheticSvhn(32, 73);
+    Tensor id_logits = evaluateLogits(*net_, *test_, 16);
+    Tensor ood_logits = evaluateLogits(*net_, ood, 16);
+    double ood_acc = accuracy(ood_logits, ood.labels);
+    EXPECT_LT(ood_acc, 0.35); // OOD data near chance
+
+    Conv2D *conv = net_->findConv("conv2");
+    ConvGeometry geom = conv->geometry({1, 8, 16, 16});
+    ReusePattern p = ReusePattern::conventional(geom, 3);
+    fitAndInstall(*net_, *conv, p, train_->slice(0, 6));
+    Tensor id_logits_reuse = evaluateLogits(*net_, *test_, 16);
+    EXPECT_GT(accuracy(id_logits_reuse, test_->labels),
+              accuracy(id_logits, test_->labels) - 0.3);
+}
+
+TEST_F(Pipeline, EndToEndF7FasterThanF4)
+{
+    CostModel f4(McuSpec::stm32f469i());
+    CostModel f7(McuSpec::stm32f767zi());
+    Measurement m4 = measureNetwork(*net_, *test_, f4, 8);
+    Measurement m7 = measureNetwork(*net_, *test_, f7, 8);
+    EXPECT_GT(m4.perImageMs / m7.perImageMs, 1.5);
+    EXPECT_EQ(m4.accuracy, m7.accuracy); // same arithmetic
+}
+
+} // namespace
+} // namespace genreuse

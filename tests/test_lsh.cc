@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for src/lsh: hash-family signatures, signature clustering,
+ * centroid math, the scatter bound, and PCA-learned hash vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lsh/clustering.h"
+#include "lsh/learned_hash.h"
+#include "lsh/lsh.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+StridedItems
+rowsOf(const Tensor &m)
+{
+    StridedItems items;
+    items.base = m.data();
+    items.count = m.shape().rows();
+    items.length = m.shape().cols();
+    items.itemStride = m.shape().cols();
+    items.elemStride = 1;
+    return items;
+}
+
+TEST(HashFamily, SignatureDeterministic)
+{
+    Rng rng(1);
+    HashFamily f = HashFamily::random(8, 16, rng);
+    Tensor m = Tensor::randomNormal({4, 16}, rng);
+    auto s1 = f.signatures(rowsOf(m));
+    auto s2 = f.signatures(rowsOf(m));
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(HashFamily, EqualVectorsEqualSignatures)
+{
+    Rng rng(2);
+    HashFamily f = HashFamily::random(6, 8, rng);
+    Tensor m({3, 8});
+    Rng vals(3);
+    for (size_t c = 0; c < 8; ++c) {
+        float v = vals.uniformFloat(-1, 1);
+        m.at2(0, c) = v;
+        m.at2(2, c) = v; // row 2 duplicates row 0
+        m.at2(1, c) = vals.uniformFloat(-1, 1);
+    }
+    auto sigs = f.signatures(rowsOf(m));
+    EXPECT_EQ(sigs[0], sigs[2]);
+}
+
+TEST(HashFamily, OppositeVectorsOppositeSignature)
+{
+    Rng rng(4);
+    HashFamily f = HashFamily::random(8, 8, rng);
+    Tensor m({2, 8});
+    for (size_t c = 0; c < 8; ++c) {
+        m.at2(0, c) = rng.uniformFloat(0.5f, 1.0f);
+        m.at2(1, c) = -m.at2(0, c);
+    }
+    auto sigs = f.signatures(rowsOf(m));
+    // With zero bias, h(-x) = 1 - h(x) (measure-zero ties aside).
+    EXPECT_EQ(sigs[0] ^ sigs[1], (uint64_t{1} << 8) - 1);
+}
+
+TEST(HashFamily, GemmFastPathMatchesScalarPath)
+{
+    Rng rng(5);
+    HashFamily f = HashFamily::random(10, 12, rng);
+    Tensor m = Tensor::randomNormal({30, 12}, rng);
+    StridedItems items = rowsOf(m);
+    auto fast = f.signatures(items);
+    for (size_t i = 0; i < items.count; ++i)
+        EXPECT_EQ(fast[i], f.signature(items, i)) << "row " << i;
+}
+
+TEST(HashFamily, StridedColumnsHashable)
+{
+    Rng rng(6);
+    Tensor m = Tensor::randomNormal({8, 5}, rng);
+    // Hash columns (items strided by 1, elements by ld).
+    StridedItems cols;
+    cols.base = m.data();
+    cols.count = 5;
+    cols.length = 8;
+    cols.itemStride = 1;
+    cols.elemStride = 5;
+    HashFamily f = HashFamily::random(4, 8, rng);
+    auto sigs = f.signatures(cols);
+    EXPECT_EQ(sigs.size(), 5u);
+    // Compare one column against a materialized copy.
+    Tensor col0({1, 8});
+    for (size_t r = 0; r < 8; ++r)
+        col0.at2(0, r) = m.at2(r, 0);
+    EXPECT_EQ(sigs[0], f.signatures(rowsOf(col0))[0]);
+}
+
+TEST(HashFamily, HashMacsFormula)
+{
+    Rng rng(7);
+    HashFamily f = HashFamily::random(5, 20, rng);
+    EXPECT_EQ(f.hashMacs(100), 100u * 5u * 20u);
+}
+
+TEST(Clustering, IdenticalRowsFormOneCluster)
+{
+    Rng rng(8);
+    Tensor m({10, 6});
+    for (size_t r = 0; r < 10; ++r)
+        for (size_t c = 0; c < 6; ++c)
+            m.at2(r, c) = static_cast<float>(c) + 1.0f;
+    HashFamily f = HashFamily::random(8, 6, rng);
+    ClusterResult res = clusterBySignature(rowsOf(m), f);
+    EXPECT_EQ(res.numClusters(), 1u);
+    EXPECT_EQ(res.sizes[0], 10u);
+    EXPECT_NEAR(res.redundancyRatio(), 0.9, 1e-9);
+    for (size_t c = 0; c < 6; ++c)
+        EXPECT_NEAR(res.centroids.at2(0, c), c + 1.0f, 1e-6f);
+}
+
+TEST(Clustering, PrototypesRecovered)
+{
+    // Rows drawn from well-separated prototypes should cluster into at
+    // most a few clusters and at least the prototype count is an upper
+    // bound only when hashes split them; check redundancy is high.
+    Rng rng(9);
+    Tensor m = test::redundantRows(200, 16, 4, rng, 0.0f);
+    HashFamily f = HashFamily::random(10, 16, rng);
+    ClusterResult res = clusterBySignature(rowsOf(m), f);
+    EXPECT_LE(res.numClusters(), 4u);
+    EXPECT_GE(res.redundancyRatio(), 0.97);
+}
+
+TEST(Clustering, CentroidIsMeanOfMembers)
+{
+    Rng rng(10);
+    Tensor m = Tensor::randomNormal({40, 8}, rng);
+    HashFamily f = HashFamily::random(3, 8, rng);
+    ClusterResult res = clusterBySignature(rowsOf(m), f);
+    // Recompute means per cluster and compare.
+    for (uint32_t c = 0; c < res.numClusters(); ++c) {
+        std::vector<double> mean(8, 0.0);
+        size_t count = 0;
+        for (size_t r = 0; r < 40; ++r) {
+            if (res.assignments[r] != c)
+                continue;
+            count++;
+            for (size_t j = 0; j < 8; ++j)
+                mean[j] += m.at2(r, j);
+        }
+        ASSERT_EQ(count, res.sizes[c]);
+        for (size_t j = 0; j < 8; ++j)
+            EXPECT_NEAR(res.centroids.at2(c, j), mean[j] / count, 1e-4);
+    }
+}
+
+TEST(Clustering, AssignmentsInRange)
+{
+    Rng rng(11);
+    Tensor m = Tensor::randomNormal({25, 5}, rng);
+    HashFamily f = HashFamily::random(2, 5, rng);
+    ClusterResult res = clusterBySignature(rowsOf(m), f);
+    for (uint32_t a : res.assignments)
+        EXPECT_LT(a, res.numClusters());
+    size_t total = 0;
+    for (size_t s : res.sizes)
+        total += s;
+    EXPECT_EQ(total, 25u);
+}
+
+TEST(Clustering, ScatterZeroForIdenticalMembers)
+{
+    Rng rng(12);
+    Tensor m({6, 4});
+    for (size_t r = 0; r < 6; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            m.at2(r, c) = 1.0f;
+    HashFamily f = HashFamily::random(4, 4, rng);
+    ClusterResult res = clusterBySignature(rowsOf(m), f);
+    EXPECT_NEAR(withinClusterScatter(rowsOf(m), res), 0.0, 1e-9);
+    EXPECT_NEAR(clusterScatterBound(rowsOf(m), res), 0.0, 1e-9);
+}
+
+TEST(Clustering, LambdaMaxBoundBelowTotalScatter)
+{
+    // Per cluster, λmax * m <= trace(Σ) * m = within-cluster scatter,
+    // so the scatter bound is between scatter/L and scatter.
+    Rng rng(13);
+    Tensor m = test::redundantRows(100, 10, 5, rng, 0.2f);
+    HashFamily f = HashFamily::random(6, 10, rng);
+    ClusterResult res = clusterBySignature(rowsOf(m), f);
+    double scatter = withinClusterScatter(rowsOf(m), res);
+    double bound = clusterScatterBound(rowsOf(m), res);
+    EXPECT_LE(bound, scatter + 1e-6);
+    EXPECT_GE(bound, scatter / 10.0 - 1e-6);
+}
+
+TEST(LearnedHash, BeatsRandomOnStructuredData)
+{
+    // PCA hashing should produce lower mean within-cluster scatter
+    // than random hashing on prototype-structured data — the paper's
+    // learned-vs-random hashing gap (footnote 1).
+    Rng rng(14);
+    Tensor m = test::redundantRows(300, 12, 6, rng, 0.15f);
+    StridedItems items = rowsOf(m);
+    HashFamily learned = learnHashFamilyPca(items, 5);
+    double learned_scatter = familyScatterOnSample(learned, items);
+
+    double random_scatter_sum = 0.0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+        Rng r2(100 + t);
+        HashFamily random = HashFamily::random(5, 12, r2);
+        random_scatter_sum += familyScatterOnSample(random, items);
+    }
+    EXPECT_LT(learned_scatter, random_scatter_sum / trials);
+}
+
+TEST(LearnedHash, StableAcrossCalls)
+{
+    Rng rng(15);
+    Tensor m = test::redundantRows(50, 8, 3, rng, 0.1f);
+    HashFamily a = learnHashFamilyPca(rowsOf(m), 4);
+    HashFamily b = learnHashFamilyPca(rowsOf(m), 4);
+    // Deterministic: identical vectors.
+    for (size_t i = 0; i < a.vectors().size(); ++i)
+        EXPECT_EQ(a.vectors()[i], b.vectors()[i]);
+}
+
+TEST(LearnedHash, MoreFunctionsThanDimensions)
+{
+    Rng rng(16);
+    Tensor m = test::redundantRows(40, 3, 2, rng, 0.05f);
+    HashFamily f = learnHashFamilyPca(rowsOf(m), 8);
+    EXPECT_EQ(f.numFunctions(), 8u);
+    EXPECT_EQ(f.vectorLength(), 3u);
+    // Must still hash without error.
+    auto sigs = f.signatures(rowsOf(m));
+    EXPECT_EQ(sigs.size(), 40u);
+}
+
+TEST(LearnedHash, FirstComponentIsTopVarianceDirection)
+{
+    // Data varying only along one axis: the first learned hyperplane
+    // must align with that axis.
+    Tensor m({20, 4});
+    for (size_t r = 0; r < 20; ++r)
+        m.at2(r, 1) = static_cast<float>(r) - 10.0f; // variance on dim 1
+    HashFamily f = learnHashFamilyPca(rowsOf(m), 1);
+    float on_axis = std::fabs(f.vectors().at2(0, 1));
+    for (size_t c = 0; c < 4; ++c) {
+        if (c == 1)
+            continue;
+        EXPECT_GT(on_axis, std::fabs(f.vectors().at2(0, c)) * 10.0f);
+    }
+}
+
+} // namespace
+} // namespace genreuse

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for Network, composite blocks (Fire, ResidualBlock), SGD, the
+ * trainer, and the model factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/composite.h"
+#include "nn/loss.h"
+#include "nn/trainer.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+TEST(Network, ForwardShapesThroughCifarNet)
+{
+    Rng rng(1);
+    Network net = makeCifarNet(rng);
+    Tensor x = Tensor::randomNormal({2, 3, 32, 32}, rng);
+    Tensor y = net.forward(x, false);
+    EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST(Network, ForwardShapesThroughZfNet)
+{
+    Rng rng(2);
+    Network net = makeZfNet(rng);
+    Tensor x = Tensor::randomNormal({1, 3, 32, 32}, rng);
+    EXPECT_EQ(net.forward(x, false).shape(), Shape({1, 10}));
+}
+
+TEST(Network, ForwardShapesThroughSqueezeNetBothVariants)
+{
+    for (bool bypass : {false, true}) {
+        Rng rng(3);
+        Network net = makeSqueezeNet(rng, bypass);
+        Tensor x = Tensor::randomNormal({1, 3, 32, 32}, rng);
+        EXPECT_EQ(net.forward(x, false).shape(), Shape({1, 10}))
+            << "bypass=" << bypass;
+    }
+}
+
+TEST(Network, ForwardShapesThroughResNet18)
+{
+    Rng rng(4);
+    Network net = makeResNet18(rng, 10, 16);
+    Tensor x = Tensor::randomNormal({1, 3, 64, 64}, rng);
+    EXPECT_EQ(net.forward(x, false).shape(), Shape({1, 10}));
+}
+
+TEST(Network, ConvLayerEnumeration)
+{
+    Rng rng(5);
+    Network cifarnet = makeCifarNet(rng);
+    EXPECT_EQ(cifarnet.convLayers().size(), 2u);
+    EXPECT_NE(cifarnet.findConv("conv2"), nullptr);
+    EXPECT_EQ(cifarnet.findConv("nope"), nullptr);
+
+    Network squeezenet = makeSqueezeNet(rng, false);
+    // conv1 + 7 fire modules x 3 convs each.
+    EXPECT_EQ(squeezenet.convLayers().size(), 1u + 7u * 3u);
+    EXPECT_NE(squeezenet.findConv("Fire2.expand_3x3.conv"), nullptr);
+
+    Network resnet = makeResNet18(rng, 10, 8);
+    // conv1 + 8 blocks x 2 convs + 3 projection convs.
+    EXPECT_EQ(resnet.convLayers().size(), 1u + 16u + 3u);
+}
+
+TEST(Network, StaticCostPositive)
+{
+    Rng rng(6);
+    Network net = makeCifarNet(rng);
+    CostLedger cost = net.staticCost({1, 3, 32, 32});
+    // Conv1: 1024*75*64 + Conv2: 256*1600*64 + FC MACs.
+    EXPECT_GT(cost.stage(Stage::Gemm).macs,
+              1024u * 75u * 64u + 256u * 1600u * 64u);
+    CostLedger aux = net.staticAuxCost({1, 3, 32, 32});
+    // Aux excludes all convolution MACs but includes the FC ones.
+    EXPECT_LT(aux.stage(Stage::Gemm).macs, cost.stage(Stage::Gemm).macs);
+}
+
+TEST(Network, MemoryEstimateFitsF4ForCifarNet)
+{
+    Rng rng(7);
+    Network net = makeCifarNet(rng);
+    MemoryEstimate est = net.memoryEstimate({1, 3, 32, 32});
+    EXPECT_TRUE(est.fits(McuSpec::stm32f469i()));
+    EXPECT_GT(est.flashBytes(), 128u * 1024u);
+    EXPECT_GT(est.sramPeakBytes(), 0u);
+}
+
+TEST(Fire, OutputConcatenatesExpands)
+{
+    Rng rng(8);
+    FireModule fire("f", 8, 4, 6, 10, false, rng);
+    Tensor x = Tensor::randomNormal({2, 8, 5, 5}, rng);
+    Tensor y = fire.forward(x, false);
+    EXPECT_EQ(y.shape(), Shape({2, 16, 5, 5}));
+    EXPECT_EQ(fire.outputShape(x.shape()), y.shape());
+}
+
+TEST(Fire, BypassAddsInput)
+{
+    Rng rng(9);
+    FireModule fire("f", 16, 4, 8, 8, true, rng);
+    // Zero all conv weights/biases: output must equal the input.
+    std::vector<Param *> params = fire.params();
+    for (auto *p : params)
+        p->value.zero();
+    Tensor x = Tensor::randomNormal({1, 16, 4, 4}, rng);
+    Tensor y = fire.forward(x, false);
+    EXPECT_LT(maxAbsDiff(x, y), 1e-6f);
+}
+
+TEST(Fire, GradientCheckThroughModule)
+{
+    Rng rng(10);
+    FireModule fire("f", 6, 3, 3, 3, true, rng);
+    Tensor x = Tensor::randomNormal({1, 6, 4, 4}, rng);
+    Rng loss_rng(556);
+    Tensor lw = Tensor::randomNormal(fire.outputShape(x.shape()), loss_rng);
+    auto f = [&]() {
+        // Training mode: BN uses batch statistics, matching backward.
+        Tensor y = fire.forward(x, true);
+        double s = 0.0;
+        for (size_t i = 0; i < y.size(); ++i)
+            s += static_cast<double>(lw[i]) * y[i];
+        return s;
+    };
+    fire.forward(x, true);
+    Tensor gx = fire.backward(lw);
+    EXPECT_LT(test::gradientCheck(f, x, gx, rng, 10, 1e-3), 0.05);
+}
+
+TEST(Residual, IdentityShortcutWhenShapesMatch)
+{
+    Rng rng(11);
+    ResidualBlock block("r", 8, 8, 1, rng);
+    EXPECT_FALSE(block.hasProjection());
+    ResidualBlock strided("r2", 8, 16, 2, rng);
+    EXPECT_TRUE(strided.hasProjection());
+}
+
+TEST(Residual, OutputShape)
+{
+    Rng rng(12);
+    ResidualBlock block("r", 8, 16, 2, rng);
+    EXPECT_EQ(block.outputShape({1, 8, 8, 8}), Shape({1, 16, 4, 4}));
+}
+
+TEST(Residual, GradientCheckThroughBlock)
+{
+    Rng rng(13);
+    ResidualBlock block("r", 4, 4, 1, rng);
+    Tensor x = Tensor::randomNormal({2, 4, 4, 4}, rng);
+    Rng loss_rng(557);
+    Tensor lw = Tensor::randomNormal(block.outputShape(x.shape()),
+                                     loss_rng);
+    auto f = [&]() {
+        Tensor y = block.forward(x, true);
+        double s = 0.0;
+        for (size_t i = 0; i < y.size(); ++i)
+            s += static_cast<double>(lw[i]) * y[i];
+        return s;
+    };
+    block.forward(x, true);
+    Tensor gx = block.backward(lw);
+    // BN in train mode makes this a composite, slightly noisy check.
+    EXPECT_LT(test::gradientCheck(f, x, gx, rng, 8, 1e-3), 0.08);
+}
+
+TEST(Sgd, DecreasesQuadraticLoss)
+{
+    // Minimize ||w - target||^2 with SGD: loss must fall.
+    Rng rng(14);
+    Param w(Tensor::randomNormal({10}, rng));
+    Tensor target = Tensor::randomNormal({10}, rng);
+    SgdConfig cfg;
+    cfg.learningRate = 0.1;
+    cfg.momentum = 0.5;
+    cfg.weightDecay = 0.0;
+    Sgd opt({&w}, cfg);
+    auto loss = [&]() {
+        double s = 0.0;
+        for (size_t i = 0; i < 10; ++i)
+            s += (w.value[i] - target[i]) * (w.value[i] - target[i]);
+        return s;
+    };
+    double initial = loss();
+    for (int step = 0; step < 50; ++step) {
+        for (size_t i = 0; i < 10; ++i)
+            w.grad[i] = 2.0f * (w.value[i] - target[i]);
+        opt.step();
+    }
+    EXPECT_LT(loss(), initial * 0.01);
+}
+
+TEST(Sgd, LearningRateDecay)
+{
+    Rng rng(15);
+    Param w(Tensor::randomNormal({2}, rng));
+    SgdConfig cfg;
+    cfg.learningRate = 0.1;
+    cfg.lrDecayFactor = 0.1;
+    cfg.lrDecayEveryEpochs = 2;
+    Sgd opt({&w}, cfg);
+    EXPECT_DOUBLE_EQ(opt.currentLearningRate(), 0.1);
+    opt.endEpoch();
+    EXPECT_DOUBLE_EQ(opt.currentLearningRate(), 0.1);
+    opt.endEpoch();
+    EXPECT_NEAR(opt.currentLearningRate(), 0.01, 1e-12);
+}
+
+TEST(Trainer, TinyNetLearnsSyntheticData)
+{
+    Rng rng(16);
+    Network net = makeTinyNet(rng);
+    SyntheticConfig cfg;
+    cfg.numSamples = 160;
+    cfg.numClasses = 4;
+    cfg.seed = 21;
+    Dataset data = makeSyntheticCifar(cfg);
+
+    TrainConfig tcfg;
+    tcfg.epochs = 6;
+    tcfg.batchSize = 16;
+    tcfg.sgd.learningRate = 0.01;
+    tcfg.sgd.momentum = 0.9;
+    TrainReport report = train(net, data, tcfg);
+    // Must far exceed the 25% chance level on the training set.
+    EXPECT_GT(report.finalTrainAccuracy, 0.6);
+    // Loss must drop from the first epoch to the last.
+    EXPECT_LT(report.epochLoss.back(), report.epochLoss.front());
+}
+
+TEST(Trainer, EvaluateMatchesManualCount)
+{
+    Rng rng(17);
+    Network net = makeTinyNet(rng);
+    SyntheticConfig cfg;
+    cfg.numSamples = 32;
+    cfg.seed = 22;
+    Dataset data = makeSyntheticCifar(cfg);
+    double acc = evaluate(net, data, 8);
+    Tensor logits = evaluateLogits(net, data, 8);
+    EXPECT_NEAR(acc, accuracy(logits, data.labels), 1e-9);
+}
+
+} // namespace
+} // namespace genreuse

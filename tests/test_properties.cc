@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Randomized property tests, parameterized over seeds: broad
+ * invariants of the reuse machinery that must hold for *any* valid
+ * pattern and input, not just the curated fixtures —
+ *
+ *   P1 reorder invariance: X W == reorder(X) permute(W) for any order
+ *   P2 permutation round trips
+ *   P3 reuse exactness whenever every item is a singleton cluster
+ *   P4 the §4.1 bound holds for randomly drawn patterns
+ *   P5 stats/ledger consistency across random configurations
+ *   P6 more hashes never reduce the cluster count
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_model.h"
+#include "core/pattern_space.h"
+#include "core/reorder.h"
+#include "core/reuse_conv.h"
+#include "lsh/clustering.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+ConvGeometry
+randomGeometry(Rng &rng)
+{
+    ConvGeometry g;
+    g.batch = 1 + rng.uniformInt(2);
+    g.inChannels = 1 + rng.uniformInt(4);
+    g.inHeight = 8 + rng.uniformInt(9);
+    g.inWidth = g.inHeight;
+    g.outChannels = 4 + rng.uniformInt(12);
+    g.kernelH = g.kernelW = 1 + 2 * rng.uniformInt(3); // 1, 3, 5
+    g.stride = 1 + rng.uniformInt(2);
+    g.pad = g.kernelH / 2;
+    return g;
+}
+
+/** Draw a random valid pattern for a geometry. */
+ReusePattern
+randomPattern(Rng &rng, const ConvGeometry &geom)
+{
+    const ColumnOrder orders[] = {ColumnOrder::ChannelMajor,
+                                  ColumnOrder::PixelMajor,
+                                  ColumnOrder::KwMajor};
+    const RowOrder rows[] = {RowOrder::BatchMajor, RowOrder::PixelMajor};
+    for (;;) {
+        ReusePattern p;
+        p.columnOrder = orders[rng.uniformInt(3)];
+        p.rowOrder = rows[rng.uniformInt(2)];
+        p.direction = rng.bernoulli(0.7) ? ReuseDirection::Vertical
+                                         : ReuseDirection::Horizontal;
+        if (p.direction == ReuseDirection::Vertical) {
+            p.granularity = 1 + rng.uniformInt(geom.cols());
+            p.blockRows =
+                rng.bernoulli(0.3) ? 1 + rng.uniformInt(3) : 1;
+        } else {
+            p.granularity = 1 + rng.uniformInt(geom.rows());
+        }
+        p.numHashes = 1 + rng.uniformInt(10);
+        if (p.validFor(geom))
+            return p;
+    }
+}
+
+class PropertySweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PropertySweep, P1ReorderInvariance)
+{
+    Rng rng(GetParam());
+    ConvGeometry geom = randomGeometry(rng);
+    Tensor x = Tensor::randomNormal({geom.rows(), geom.cols()}, rng);
+    Tensor w = Tensor::randomNormal({geom.cols(), geom.outChannels}, rng);
+    Tensor ref = matmul(x, w);
+
+    ReusePattern p = randomPattern(rng, geom);
+    auto col_perm = columnPermutation(p, geom);
+    auto row_perm = rowPermutation(p, geom);
+    Tensor xr = reorderMatrix(x, row_perm, col_perm);
+    Tensor wr = permuteRows(w, col_perm);
+    Tensor y = unpermuteRows(matmul(xr, wr), row_perm);
+    EXPECT_LT(maxAbsDiff(ref, y), 1e-3f) << p.describe();
+}
+
+TEST_P(PropertySweep, P2PermutationRoundTrip)
+{
+    Rng rng(GetParam() + 1000);
+    const size_t n = 5 + rng.uniformInt(60);
+    Tensor x = Tensor::randomNormal({n, 3 + rng.uniformInt(10)}, rng);
+    std::vector<uint32_t> perm(n);
+    for (size_t i = 0; i < n; ++i)
+        perm[i] = static_cast<uint32_t>(i);
+    Rng shuffle_rng(GetParam() + 2000);
+    for (size_t i = n; i > 1; --i)
+        std::swap(perm[i - 1], perm[shuffle_rng.uniformInt(i)]);
+    ASSERT_TRUE(isPermutation(perm, n));
+    EXPECT_LT(maxAbsDiff(unpermuteRows(permuteRows(x, perm), perm), x),
+              1e-9f);
+    auto inv = invertPermutation(perm);
+    EXPECT_LT(maxAbsDiff(permuteRows(permuteRows(x, perm), inv), x),
+              1e-9f);
+}
+
+TEST_P(PropertySweep, P3SingletonClustersAreExact)
+{
+    // When every clustering item lands in its own cluster, reuse is a
+    // plain reassociation of the exact GEMM. Force it with H large and
+    // pure-noise data.
+    Rng rng(GetParam() + 3000);
+    ConvGeometry geom = randomGeometry(rng);
+    Tensor x = Tensor::randomNormal({geom.rows(), geom.cols()}, rng);
+    Tensor w = Tensor::randomNormal({geom.cols(), geom.outChannels}, rng);
+
+    ReusePattern p = randomPattern(rng, geom);
+    p.numHashes = 30;
+    p.blockRows = 1;
+    ReuseConvAlgo algo(p, HashMode::Random, GetParam());
+    algo.fit(x, geom);
+    Tensor y = algo.multiply(x, w, geom, nullptr);
+    const ReuseStats &stats = algo.lastStats();
+    if (stats.totalCentroids == stats.totalVectors)
+        EXPECT_LT(relativeError(matmul(x, w), y), 1e-3) << p.describe();
+}
+
+TEST_P(PropertySweep, P4AccuracyBoundHolds)
+{
+    Rng rng(GetParam() + 4000);
+    ConvGeometry geom = randomGeometry(rng);
+    // Redundant inputs make clusters non-trivial so the bound is
+    // exercised (pure noise gives singletons and zero error).
+    Tensor x = test::redundantRows(geom.rows(), geom.cols(),
+                                   2 + rng.uniformInt(5), rng, 0.05f);
+    Tensor w = Tensor::randomNormal({geom.cols(), geom.outChannels}, rng,
+                                    0.0f, 0.2f);
+    ReusePattern p = randomPattern(rng, geom);
+    AccuracyBound b = accuracyBound(x, w, p, geom, GetParam(), true);
+    EXPECT_GE(b.measuredError, 0.0);
+    // The rigorous inequality carries a Cauchy-Schwarz factor of the
+    // panel count K (see accuracy_model.h); per-panel the bound is
+    // tight, across panels cross terms may add.
+    const size_t l = p.effectiveGranularity(geom);
+    const size_t k = p.direction == ReuseDirection::Vertical
+                         ? (geom.cols() + l - 1) / l
+                         : (x.shape().rows() + l - 1) / l;
+    EXPECT_LE(b.measuredError,
+              static_cast<double>(k) * b.bound * (1.0 + 1e-3) + 1e-5)
+        << p.describe();
+    if (k == 1) {
+        EXPECT_LE(b.measuredError, b.bound * (1.0 + 1e-3) + 1e-5)
+            << p.describe();
+    }
+}
+
+TEST_P(PropertySweep, P5StatsLedgerConsistency)
+{
+    Rng rng(GetParam() + 5000);
+    ConvGeometry geom = randomGeometry(rng);
+    Tensor x = test::redundantRows(geom.rows(), geom.cols(), 4, rng);
+    Tensor w = Tensor::randomNormal({geom.cols(), geom.outChannels}, rng);
+    ReusePattern p = randomPattern(rng, geom);
+    p.blockRows = 1; // keep the MAC identity simple
+    ReuseConvAlgo algo(p, HashMode::Random, GetParam());
+    algo.fit(x, geom);
+    CostLedger ledger;
+    algo.multiply(x, w, geom, &ledger);
+    const ReuseStats &stats = algo.lastStats();
+    EXPECT_EQ(stats.exactMacs,
+              geom.rows() * geom.cols() * geom.outChannels);
+    // All reuse MACs are clustering or GEMM MACs.
+    EXPECT_EQ(stats.reuseMacs, ledger.stage(Stage::Clustering).macs +
+                                   ledger.stage(Stage::Gemm).macs)
+        << p.describe();
+    EXPECT_LE(stats.totalCentroids, stats.totalVectors);
+}
+
+TEST_P(PropertySweep, P6MoreHashesNeverMergeClusters)
+{
+    // Adding hash functions refines the partition: cluster count is
+    // monotonically non-decreasing in H on the same data.
+    Rng rng(GetParam() + 6000);
+    const size_t n = 40 + rng.uniformInt(60);
+    const size_t l = 4 + rng.uniformInt(12);
+    Tensor x = test::redundantRows(n, l, 3 + rng.uniformInt(4), rng,
+                                   0.05f);
+    StridedItems items{x.data(), n, l, l, 1};
+
+    // Build nested families: family with h functions is a prefix of
+    // the family with h+1 (same hyperplanes).
+    Rng hash_rng(GetParam() + 7000);
+    Tensor all = Tensor::randomNormal({12, l}, hash_rng);
+    size_t prev = 0;
+    for (size_t h = 1; h <= 12; h += 3) {
+        Tensor sub({h, l});
+        for (size_t i = 0; i < h * l; ++i)
+            sub[i] = all[i];
+        HashFamily family{std::move(sub)};
+        size_t nc = clusterBySignature(items, family).numClusters();
+        EXPECT_GE(nc, prev) << "H=" << h;
+        prev = nc;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+} // namespace
+} // namespace genreuse

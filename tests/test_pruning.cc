@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for structured channel pruning: norm ranking, weight transfer
+ * correctness, parameter-count reduction, and accuracy retention after
+ * pruning a trained network.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "models/pruning.h"
+#include "nn/trainer.h"
+
+namespace genreuse {
+namespace {
+
+TEST(Pruning, FilterNormsMatchManual)
+{
+    Rng rng(1);
+    Conv2D conv("c", 2, 3, 2, 1, 0, rng);
+    conv.kernel().value.fill(0.0f);
+    // Filter 1 gets all the mass.
+    for (size_t i = 0; i < 8; ++i)
+        conv.kernel().value[8 + i] = 0.5f;
+    auto norms = filterL1Norms(conv);
+    ASSERT_EQ(norms.size(), 3u);
+    EXPECT_DOUBLE_EQ(norms[0], 0.0);
+    EXPECT_NEAR(norms[1], 4.0, 1e-6);
+    EXPECT_DOUBLE_EQ(norms[2], 0.0);
+}
+
+TEST(Pruning, SelectionKeepsLargestInOrder)
+{
+    std::vector<double> norms = {3.0, 1.0, 5.0, 4.0};
+    auto keep = selectFiltersByNorm(norms, 2);
+    EXPECT_EQ(keep, (std::vector<size_t>{2, 3})); // sorted indices
+}
+
+TEST(Pruning, PrunedNetworkShapes)
+{
+    Rng rng(2);
+    Network net = makeCifarNet(rng);
+    Network pruned = pruneCifarNet(net, 0.5, rng);
+    Conv2D *p1 = pruned.findConv("conv1");
+    Conv2D *p2 = pruned.findConv("conv2");
+    EXPECT_EQ(p1->outChannels(), 32u);
+    EXPECT_EQ(p2->inChannels(), 32u);
+    EXPECT_EQ(p2->outChannels(), 32u);
+    Tensor x = Tensor::randomNormal({1, 3, 32, 32}, rng);
+    EXPECT_EQ(pruned.forward(x, false).shape(), Shape({1, 10}));
+}
+
+TEST(Pruning, ParameterCountReduced)
+{
+    Rng rng(3);
+    Network net = makeCifarNet(rng);
+    Network pruned = pruneCifarNet(net, 0.5, rng);
+    EXPECT_LT(parameterCount(pruned), parameterCount(net) / 2 + 100000);
+    EXPECT_GT(parameterCount(pruned), 0u);
+}
+
+TEST(Pruning, KeepAllIsLossless)
+{
+    // keep_fraction = 1: the pruned network is a weight-exact copy.
+    Rng rng(4);
+    Network net = makeCifarNet(rng);
+    Network pruned = pruneCifarNet(net, 1.0, rng);
+    Tensor x = Tensor::randomNormal({2, 3, 32, 32}, rng);
+    Tensor ya = net.forward(x, false);
+    Tensor yb = pruned.forward(x, false);
+    for (size_t i = 0; i < ya.size(); ++i)
+        EXPECT_NEAR(ya[i], yb[i], 1e-4f);
+}
+
+TEST(Pruning, TrainedAccuracySurvivesModeratePruning)
+{
+    Rng rng(5);
+    Network net = makeCifarNet(rng, 10, 32); // narrow for test speed
+    SyntheticConfig cfg;
+    cfg.numSamples = 96;
+    cfg.seed = 6;
+    Dataset train_data = makeSyntheticCifar(cfg);
+    cfg.numSamples = 48;
+    cfg.seed = 7;
+    Dataset test_data = makeSyntheticCifar(cfg);
+    TrainConfig tcfg;
+    tcfg.epochs = 3;
+    tcfg.batchSize = 16;
+    tcfg.sgd.learningRate = 0.01;
+    tcfg.sgd.momentum = 0.9;
+    train(net, train_data, tcfg);
+    double base = evaluate(net, test_data, 16);
+
+    Network pruned = pruneCifarNet(net, 0.75, rng);
+    double pruned_acc = evaluate(pruned, test_data, 16);
+    // A brief fine-tune recovers most of it.
+    TrainConfig ft = tcfg;
+    ft.epochs = 1;
+    train(pruned, train_data, ft);
+    double tuned = evaluate(pruned, test_data, 16);
+    EXPECT_GT(tuned, base - 0.25);
+    EXPECT_GE(tuned, pruned_acc - 0.05);
+}
+
+TEST(Pruning, InvalidFractionDies)
+{
+    Rng rng(8);
+    Network net = makeCifarNet(rng);
+    ASSERT_DEATH_IF_SUPPORTED(pruneCifarNet(net, 0.0, rng), "fraction");
+    ASSERT_DEATH_IF_SUPPORTED(pruneCifarNet(net, 1.5, rng), "fraction");
+}
+
+} // namespace
+} // namespace genreuse

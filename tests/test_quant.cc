@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for src/quant: Q-format fixed point and INT8 affine
+ * quantization, saturation behaviour, and the quantized GEMMs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "quant/fixed_point.h"
+#include "quant/int8_quant.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+TEST(FixedPoint, ChooseFracBits)
+{
+    // max|x| < 1 -> full 7 fractional bits.
+    Tensor small({2}, std::vector<float>{0.5f, -0.9f});
+    EXPECT_EQ(chooseFracBits(small), 7);
+    // max|x| in [1, 2) -> 6 bits.
+    Tensor mid({1}, std::vector<float>{1.5f});
+    EXPECT_EQ(chooseFracBits(mid), 6);
+    // Large values -> 0 bits.
+    Tensor big({1}, std::vector<float>{100.0f});
+    EXPECT_EQ(chooseFracBits(big), 0);
+}
+
+TEST(FixedPoint, RoundTripErrorBounded)
+{
+    Rng rng(1);
+    Tensor t = Tensor::randomUniform({1000}, rng, -0.99f, 0.99f);
+    Tensor q = fakeQuantizeFixedPoint(t);
+    // Q0.7 step is 1/128; rounding error at most half a step.
+    EXPECT_LE(maxAbsDiff(t, q), 0.5f / 128.0f + 1e-6f);
+}
+
+TEST(FixedPoint, Saturates)
+{
+    Tensor t({2}, std::vector<float>{10.0f, -10.0f});
+    FixedPointTensor q = quantizeFixedPoint(t, 7);
+    EXPECT_EQ(q.data[0], 127);
+    EXPECT_EQ(q.data[1], -128);
+}
+
+TEST(FixedPoint, ValueAccessor)
+{
+    Tensor t({1}, std::vector<float>{0.5f});
+    FixedPointTensor q = quantizeFixedPoint(t, 7);
+    EXPECT_NEAR(q.value(0), 0.5f, 1e-2f);
+}
+
+TEST(FixedPoint, MatmulCloseToFloat)
+{
+    Rng rng(2);
+    Tensor a = Tensor::randomUniform({8, 16}, rng, -0.9f, 0.9f);
+    Tensor b = Tensor::randomUniform({16, 4}, rng, -0.9f, 0.9f);
+    Tensor ref = matmul(a, b);
+    Tensor q = fixedPointMatmul(quantizeFixedPoint(a), quantizeFixedPoint(b));
+    EXPECT_LT(relativeError(ref, q), 0.05);
+}
+
+TEST(FixedPoint, ErrorMetricPositiveForLossyInput)
+{
+    Rng rng(3);
+    Tensor t = Tensor::randomNormal({100}, rng, 0.0f, 0.3f);
+    EXPECT_GT(fixedPointError(t), 0.0);
+    EXPECT_LT(fixedPointError(t), 1e-4);
+}
+
+TEST(Int8, ZeroExactlyRepresentable)
+{
+    Rng rng(4);
+    Tensor t = Tensor::randomUniform({64}, rng, -3.0f, 1.0f);
+    QuantParams p = chooseQuantParams(t);
+    // Real zero maps to an integer within range.
+    float zero_back = p.scale * (static_cast<float>(p.zeroPoint) -
+                                 static_cast<float>(p.zeroPoint));
+    EXPECT_EQ(zero_back, 0.0f);
+    Int8Tensor q = quantizeInt8(Tensor({1}, std::vector<float>{0.0f}), p);
+    EXPECT_NEAR(q.value(0), 0.0f, 1e-6f);
+}
+
+TEST(Int8, RoundTripErrorBounded)
+{
+    Rng rng(5);
+    Tensor t = Tensor::randomUniform({1000}, rng, -2.0f, 3.0f);
+    Tensor q = fakeQuantizeInt8(t);
+    // One quantization step is (max-min)/255 ≈ 0.0196.
+    EXPECT_LE(maxAbsDiff(t, q), 5.0f / 255.0f * 0.51f + 1e-5f);
+}
+
+TEST(Int8, ConstantTensor)
+{
+    Tensor t = Tensor::full({8}, 0.0f);
+    Tensor q = fakeQuantizeInt8(t);
+    EXPECT_LT(maxAbsDiff(t, q), 1e-6f);
+}
+
+TEST(Int8, MatmulZeroPointCorrection)
+{
+    // Asymmetric ranges force nonzero zero-points; the corrected GEMM
+    // must still match the float product.
+    Rng rng(6);
+    Tensor a = Tensor::randomUniform({6, 12}, rng, 0.0f, 2.0f);
+    Tensor b = Tensor::randomUniform({12, 5}, rng, -1.0f, 0.2f);
+    Int8Tensor qa = quantizeInt8(a), qb = quantizeInt8(b);
+    EXPECT_NE(qa.params.zeroPoint, 0);
+    Tensor ref = matmul(a, b);
+    Tensor out = int8Matmul(qa, qb);
+    EXPECT_LT(relativeError(ref, out), 0.06);
+}
+
+TEST(Int8, QuantizeDequantizeShapePreserved)
+{
+    Tensor t = Tensor::iota({2, 3, 4, 5});
+    Tensor q = fakeQuantizeInt8(t);
+    EXPECT_EQ(q.shape(), t.shape());
+}
+
+class QuantErrorSweep : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(QuantErrorSweep, FixedPointErrorScalesWithRange)
+{
+    // Property: quantization error grows (weakly) with the value range,
+    // because fewer fractional bits remain.
+    float range = GetParam();
+    Rng rng(7);
+    Tensor t = Tensor::randomUniform({2000}, rng, -range, range);
+    double err = fixedPointError(t);
+    // Error must stay below the worst-case step for this range.
+    int bits = chooseFracBits(t);
+    double step = 1.0 / static_cast<double>(1 << bits);
+    EXPECT_LE(err, step * step); // MSE <= step^2 (loose bound)
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, QuantErrorSweep,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 8.0f, 32.0f));
+
+} // namespace
+} // namespace genreuse

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the reorder engine: the central Insight-2 invariant that a
+ * simultaneous column reorder of X and row reorder of W leaves X x W
+ * unchanged, the concrete Fig 6(d)/6(e) permutations, and pattern
+ * descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reorder.h"
+#include "core/reuse_pattern.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+ConvGeometry
+geomFor(size_t b, size_t c, size_t hw, size_t m, size_t k)
+{
+    ConvGeometry g;
+    g.batch = b;
+    g.inChannels = c;
+    g.inHeight = hw;
+    g.inWidth = hw;
+    g.outChannels = m;
+    g.kernelH = k;
+    g.kernelW = k;
+    g.stride = 1;
+    g.pad = k / 2;
+    return g;
+}
+
+TEST(Reorder, PermutationHelpers)
+{
+    std::vector<uint32_t> p = {2, 0, 1};
+    EXPECT_TRUE(isPermutation(p, 3));
+    EXPECT_FALSE(isPermutation(p, 4));
+    EXPECT_FALSE(isPermutation({0, 0, 1}, 3));
+    auto inv = invertPermutation(p);
+    EXPECT_EQ(inv, (std::vector<uint32_t>{1, 2, 0}));
+    EXPECT_FALSE(isIdentity(p));
+    EXPECT_TRUE(isIdentity({0, 1, 2}));
+}
+
+TEST(Reorder, ChannelMajorIsIdentity)
+{
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::ChannelMajor;
+    ConvGeometry g = geomFor(1, 3, 8, 4, 3);
+    EXPECT_TRUE(isIdentity(columnPermutation(p, g)));
+}
+
+TEST(Reorder, PixelMajorMatchesMoveaxisFormula)
+{
+    // Fig 6(d): new column pix*C + ch maps to old ch*KH*KW + pix —
+    // the numpy moveaxis example in §3.3.
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::PixelMajor;
+    ConvGeometry g = geomFor(1, 3, 8, 4, 3);
+    auto perm = columnPermutation(p, g);
+    ASSERT_EQ(perm.size(), 27u);
+    EXPECT_TRUE(isPermutation(perm, 27));
+    for (size_t pix = 0; pix < 9; ++pix)
+        for (size_t ch = 0; ch < 3; ++ch)
+            EXPECT_EQ(perm[pix * 3 + ch], ch * 9 + pix);
+}
+
+TEST(Reorder, KwMajorIsValidPermutation)
+{
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::KwMajor;
+    ConvGeometry g = geomFor(1, 2, 6, 4, 5);
+    auto perm = columnPermutation(p, g);
+    EXPECT_TRUE(isPermutation(perm, g.cols()));
+    EXPECT_FALSE(isIdentity(perm));
+}
+
+TEST(Reorder, RowPixelMajorInterleavesImages)
+{
+    // Fig 6(e): rows become (pixel, batch)-major so consecutive rows
+    // hold the same pixel position of different images (pattern-3).
+    ReusePattern p;
+    p.rowOrder = RowOrder::PixelMajor;
+    ConvGeometry g = geomFor(3, 1, 4, 2, 3);
+    auto perm = rowPermutation(p, g);
+    const size_t pix = 16;
+    ASSERT_EQ(perm.size(), 48u);
+    EXPECT_TRUE(isPermutation(perm, 48));
+    // First three new rows: pixel 0 of images 0, 1, 2.
+    EXPECT_EQ(perm[0], 0u * pix + 0u);
+    EXPECT_EQ(perm[1], 1u * pix + 0u);
+    EXPECT_EQ(perm[2], 2u * pix + 0u);
+}
+
+TEST(Reorder, GemmInvariantUnderColumnReorder)
+{
+    // The Insight-2 workhorse: X x W == reorder_cols(X) x permute_rows(W).
+    Rng rng(1);
+    ConvGeometry g = geomFor(1, 3, 6, 5, 3);
+    Tensor x = Tensor::randomNormal({g.rows(), g.cols()}, rng);
+    Tensor w = Tensor::randomNormal({g.cols(), g.outChannels}, rng);
+    Tensor ref = matmul(x, w);
+
+    for (ColumnOrder order : {ColumnOrder::PixelMajor, ColumnOrder::KwMajor}) {
+        ReusePattern p;
+        p.columnOrder = order;
+        auto col_perm = columnPermutation(p, g);
+        std::vector<uint32_t> id(g.rows());
+        for (size_t i = 0; i < id.size(); ++i)
+            id[i] = static_cast<uint32_t>(i);
+        Tensor xr = reorderMatrix(x, id, col_perm);
+        Tensor wr = permuteRows(w, col_perm);
+        Tensor y = matmul(xr, wr);
+        EXPECT_LT(maxAbsDiff(ref, y), 1e-4f) << toString(order);
+    }
+}
+
+TEST(Reorder, RowReorderUndoneByUnpermute)
+{
+    Rng rng(2);
+    ConvGeometry g = geomFor(2, 2, 4, 3, 3);
+    Tensor x = Tensor::randomNormal({g.rows(), g.cols()}, rng);
+    Tensor w = Tensor::randomNormal({g.cols(), g.outChannels}, rng);
+    Tensor ref = matmul(x, w);
+
+    ReusePattern p;
+    p.rowOrder = RowOrder::PixelMajor;
+    auto row_perm = rowPermutation(p, g);
+    Tensor xr = permuteRows(x, row_perm);
+    Tensor yr = matmul(xr, w);
+    Tensor y = unpermuteRows(yr, row_perm);
+    EXPECT_LT(maxAbsDiff(ref, y), 1e-4f);
+}
+
+TEST(Reorder, PermuteUnpermuteRoundTrip)
+{
+    Rng rng(3);
+    Tensor x = Tensor::randomNormal({10, 4}, rng);
+    std::vector<uint32_t> perm(10);
+    Rng shuffle_rng(4);
+    for (size_t i = 0; i < 10; ++i)
+        perm[i] = static_cast<uint32_t>(i);
+    // Manual shuffle.
+    for (size_t i = 10; i > 1; --i)
+        std::swap(perm[i - 1], perm[shuffle_rng.uniformInt(i)]);
+    Tensor p = permuteRows(x, perm);
+    Tensor back = unpermuteRows(p, perm);
+    EXPECT_LT(maxAbsDiff(x, back), 1e-9f);
+}
+
+TEST(Reorder, CustomColumnPermutation)
+{
+    ConvGeometry g = geomFor(1, 1, 4, 2, 2);
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::Custom;
+    p.customColumnPerm = {3, 2, 1, 0};
+    auto perm = columnPermutation(p, g);
+    EXPECT_EQ(perm, p.customColumnPerm);
+}
+
+TEST(ReusePattern, ConventionalMatchesDeepReuse)
+{
+    ConvGeometry g = geomFor(1, 3, 32, 64, 5);
+    ReusePattern p = ReusePattern::conventional(g);
+    EXPECT_EQ(p.columnOrder, ColumnOrder::ChannelMajor);
+    EXPECT_EQ(p.direction, ReuseDirection::Vertical);
+    EXPECT_EQ(p.granularity, 25u); // one 5x5 tile within one channel
+    EXPECT_EQ(p.blockRows, 1u);
+    EXPECT_TRUE(p.validFor(g));
+}
+
+TEST(ReusePattern, ValidityChecks)
+{
+    ConvGeometry g = geomFor(1, 3, 8, 4, 3);
+    ReusePattern p;
+    p.granularity = g.cols() + 1; // too wide
+    EXPECT_FALSE(p.validFor(g));
+
+    ReusePattern h;
+    h.direction = ReuseDirection::Horizontal;
+    h.blockRows = 2; // blocks are vertical-only
+    h.granularity = 4;
+    EXPECT_FALSE(h.validFor(g));
+    h.blockRows = 1;
+    EXPECT_TRUE(h.validFor(g));
+
+    ReusePattern bad_hash;
+    bad_hash.numHashes = 0;
+    EXPECT_FALSE(bad_hash.validFor(g));
+}
+
+TEST(ReusePattern, DescribeContainsConfig)
+{
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::PixelMajor;
+    p.direction = ReuseDirection::Horizontal;
+    p.granularity = 20;
+    p.numHashes = 3;
+    std::string d = p.describe();
+    EXPECT_NE(d.find("C2"), std::string::npos);
+    EXPECT_NE(d.find("M-2"), std::string::npos);
+    EXPECT_NE(d.find("L=20"), std::string::npos);
+    EXPECT_NE(d.find("H=3"), std::string::npos);
+}
+
+TEST(ReusePattern, EffectiveGranularityResolvesZero)
+{
+    ConvGeometry g = geomFor(1, 3, 8, 4, 3);
+    ReusePattern p;
+    p.granularity = 0;
+    EXPECT_EQ(p.effectiveGranularity(g), g.cols());
+    p.direction = ReuseDirection::Horizontal;
+    EXPECT_EQ(p.effectiveGranularity(g), g.rows());
+}
+
+} // namespace
+} // namespace genreuse

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the ReuseDense layer: exact path equivalence, reuse-mode
+ * approximation quality on segment-redundant inputs, training
+ * delegation, and ledger accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reuse_dense.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+/** Inputs whose length-L segments repeat from a small pool. */
+Tensor
+segmentRedundantInputs(size_t n, size_t f, size_t l, size_t pool,
+                       Rng &rng, float noise = 0.0f)
+{
+    Tensor protos = Tensor::randomNormal({pool, l}, rng);
+    Tensor x({n, f});
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t s = 0; s < f / l; ++s) {
+            size_t p = rng.uniformInt(pool);
+            for (size_t j = 0; j < l; ++j)
+                x.at2(r, s * l + j) =
+                    protos.at2(p, j) +
+                    (noise > 0 ? static_cast<float>(rng.normal(0, noise))
+                               : 0.0f);
+        }
+    }
+    return x;
+}
+
+TEST(ReuseDense, ExactPathWhenNotFitted)
+{
+    Rng rng(1);
+    ReuseDense layer("fc", 24, 5, rng);
+    Dense ref("fc2", 24, 5, rng);
+    // Copy weights so outputs are comparable.
+    ref.weight().value = layer.dense().weight().value;
+    ref.bias().value = layer.dense().bias().value;
+
+    Tensor x = Tensor::randomNormal({3, 24}, rng);
+    Tensor a = layer.forward(x, false);
+    Tensor b = ref.forward(x, false);
+    EXPECT_LT(maxAbsDiff(a, b), 1e-6f);
+}
+
+TEST(ReuseDense, ReuseModeCloseOnRedundantSegments)
+{
+    Rng rng(2);
+    ReuseDense layer("fc", 64, 8, rng);
+    Tensor sample = segmentRedundantInputs(6, 64, 8, 3, rng, 0.0f);
+    layer.fitReuse(sample, 8, 8);
+    EXPECT_TRUE(layer.reuseEnabled());
+
+    Rng rng2(3);
+    Tensor x = segmentRedundantInputs(2, 64, 8, 3, rng, 0.0f);
+    Tensor exact = layer.dense().forward(x, false);
+    Tensor approx = layer.forward(x, false);
+    EXPECT_LT(relativeError(exact, approx), 0.35);
+    EXPECT_GT(layer.lastStats().redundancyRatio(), 0.3);
+}
+
+TEST(ReuseDense, TrainingUsesExactPath)
+{
+    Rng rng(4);
+    ReuseDense layer("fc", 16, 4, rng);
+    Tensor sample = segmentRedundantInputs(4, 16, 4, 2, rng);
+    layer.fitReuse(sample, 4, 6);
+
+    // Even with reuse fitted, training-mode forward must be exact so
+    // gradients stay consistent.
+    Tensor x = Tensor::randomNormal({2, 16}, rng);
+    Tensor y_train = layer.forward(x, true);
+    Tensor y_exact = layer.dense().forward(x, false);
+    EXPECT_LT(maxAbsDiff(y_train, y_exact), 1e-6f);
+
+    // Backward flows through the inner dense layer.
+    Tensor g = Tensor::randomNormal({2, 4}, rng);
+    layer.forward(x, true);
+    Tensor gx = layer.backward(g);
+    EXPECT_EQ(gx.shape(), x.shape());
+    EXPECT_EQ(layer.params().size(), 2u);
+}
+
+TEST(ReuseDense, DisableRestoresExact)
+{
+    Rng rng(5);
+    ReuseDense layer("fc", 32, 4, rng);
+    Tensor sample = segmentRedundantInputs(4, 32, 8, 2, rng);
+    layer.fitReuse(sample, 8, 4);
+    layer.disableReuse();
+    Tensor x = Tensor::randomNormal({1, 32}, rng);
+    Tensor a = layer.forward(x, false);
+    Tensor b = layer.dense().forward(x, false);
+    EXPECT_LT(maxAbsDiff(a, b), 1e-6f);
+}
+
+TEST(ReuseDense, LedgerFilledInReuseMode)
+{
+    Rng rng(6);
+    ReuseDense layer("fc", 32, 4, rng);
+    Tensor sample = segmentRedundantInputs(4, 32, 8, 2, rng);
+    layer.fitReuse(sample, 8, 4);
+    CostLedger ledger;
+    layer.setLedger(&ledger);
+    layer.forward(segmentRedundantInputs(1, 32, 8, 2, rng), false);
+    layer.setLedger(nullptr);
+    EXPECT_GT(ledger.stage(Stage::Clustering).macs, 0u);
+    EXPECT_GT(ledger.stage(Stage::Gemm).macs, 0u);
+}
+
+TEST(ReuseDense, NonDivisibleSegmentLength)
+{
+    Rng rng(7);
+    ReuseDense layer("fc", 20, 3, rng);
+    Tensor sample = Tensor::randomNormal({4, 20}, rng);
+    layer.fitReuse(sample, 8, 12); // 2 full segments + 4 trailing
+    Tensor x = Tensor::randomNormal({1, 20}, rng);
+    Tensor exact = layer.dense().forward(x, false);
+    Tensor approx = layer.forward(x, false);
+    // With 12 hashes, random segments are singletons -> near exact.
+    EXPECT_LT(relativeError(exact, approx), 0.05);
+}
+
+} // namespace
+} // namespace genreuse

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the §4.3 scope-file format: parsing, defaults, comments,
+ * error handling, and render/parse round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/scope_file.h"
+
+namespace genreuse {
+namespace {
+
+ConvGeometry
+geomFixture()
+{
+    ConvGeometry g;
+    g.inChannels = 3;
+    g.inHeight = 32;
+    g.inWidth = 32;
+    g.outChannels = 64;
+    g.kernelH = 5;
+    g.kernelW = 5;
+    g.pad = 2;
+    return g;
+}
+
+TEST(ScopeFile, ParsesAllKeys)
+{
+    std::istringstream is(R"(
+# a user scope
+orders = C1, C2
+row_orders = R1, R2
+directions = M-1
+granularities = 25, 75
+block_rows = 1
+hashes = 3, 5
+)");
+    PatternScope scope =
+        parseScope(is, PatternScope::defaultScope(geomFixture()));
+    EXPECT_EQ(scope.columnOrders.size(), 2u);
+    EXPECT_EQ(scope.rowOrders.size(), 2u);
+    ASSERT_EQ(scope.directions.size(), 1u);
+    EXPECT_EQ(scope.directions[0], ReuseDirection::Vertical);
+    EXPECT_EQ(scope.granularities, (std::vector<size_t>{25, 75}));
+    EXPECT_EQ(scope.hashCounts, (std::vector<size_t>{3, 5}));
+}
+
+TEST(ScopeFile, MissingKeysKeepDefaults)
+{
+    PatternScope base = PatternScope::defaultScope(geomFixture());
+    std::istringstream is("hashes = 7\n");
+    PatternScope scope = parseScope(is, base);
+    EXPECT_EQ(scope.hashCounts, (std::vector<size_t>{7}));
+    EXPECT_EQ(scope.columnOrders, base.columnOrders);
+    EXPECT_EQ(scope.granularities, base.granularities);
+}
+
+TEST(ScopeFile, CommentsAndWhitespaceIgnored)
+{
+    std::istringstream is(
+        "  # full-line comment\n\n  hashes =  2 ,4  # trailing\n");
+    PatternScope scope =
+        parseScope(is, PatternScope::defaultScope(geomFixture()));
+    EXPECT_EQ(scope.hashCounts, (std::vector<size_t>{2, 4}));
+}
+
+TEST(ScopeFile, RoundTrip)
+{
+    PatternScope base = PatternScope::defaultScope(geomFixture());
+    std::string text = renderScope(base);
+    std::istringstream is(text);
+    PatternScope back = parseScope(is, PatternScope{});
+    EXPECT_EQ(back.columnOrders, base.columnOrders);
+    EXPECT_EQ(back.rowOrders, base.rowOrders);
+    EXPECT_EQ(back.directions, base.directions);
+    EXPECT_EQ(back.granularities, base.granularities);
+    EXPECT_EQ(back.blockRows, base.blockRows);
+    EXPECT_EQ(back.hashCounts, base.hashCounts);
+}
+
+TEST(ScopeFile, FileRoundTrip)
+{
+    PatternScope base = PatternScope::defaultScope(geomFixture());
+    std::string path = "/tmp/genreuse_test_scope.txt";
+    saveScopeFile(path, base);
+    PatternScope back = loadScopeFile(path, PatternScope{});
+    EXPECT_EQ(back.hashCounts, base.hashCounts);
+    EXPECT_EQ(back.granularities, base.granularities);
+    std::remove(path.c_str());
+}
+
+TEST(ScopeFile, ParsedScopeEnumerates)
+{
+    std::istringstream is(
+        "orders = C2\ndirections = M-1\ngranularities = 15\n"
+        "block_rows = 1\nhashes = 4\nrow_orders = R1\n");
+    PatternScope scope = parseScope(is, PatternScope{});
+    auto patterns = enumeratePatterns(scope, geomFixture());
+    ASSERT_EQ(patterns.size(), 1u);
+    EXPECT_EQ(patterns[0].columnOrder, ColumnOrder::PixelMajor);
+    EXPECT_EQ(patterns[0].granularity, 15u);
+}
+
+TEST(ScopeFile, UnknownKeyDies)
+{
+    PatternScope base;
+    ASSERT_DEATH_IF_SUPPORTED(
+        {
+            std::istringstream is("typo_key = 1\n");
+            parseScope(is, base);
+        },
+        "unknown key");
+}
+
+TEST(ScopeFile, BadOrderDies)
+{
+    PatternScope base;
+    ASSERT_DEATH_IF_SUPPORTED(
+        {
+            std::istringstream is("orders = C9\n");
+            parseScope(is, base);
+        },
+        "unknown column order");
+}
+
+TEST(ScopeFile, MissingEqualsDies)
+{
+    PatternScope base;
+    ASSERT_DEATH_IF_SUPPORTED(
+        {
+            std::istringstream is("orders C1\n");
+            parseScope(is, base);
+        },
+        "expected 'key = values'");
+}
+
+TEST(ScopeFile, MissingFileDies)
+{
+    ASSERT_DEATH_IF_SUPPORTED(
+        loadScopeFile("/nonexistent/scope.txt", PatternScope{}),
+        "cannot open");
+}
+
+} // namespace
+} // namespace genreuse

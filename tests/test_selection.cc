@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for Pareto utilities, pattern-space enumeration, and the full
+ * analytical-empirical selection workflow (Figure 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/pareto.h"
+#include "core/pattern_space.h"
+#include "core/selection.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/trainer.h"
+
+namespace genreuse {
+namespace {
+
+TEST(Pareto, FrontExcludesDominated)
+{
+    // (cost, benefit): (1, 1), (2, 2) are on the front; (2, 0.5) is
+    // dominated by (1, 1).
+    std::vector<ParetoPoint> pts = {
+        {1.0, 1.0, 0}, {2.0, 2.0, 1}, {2.0, 0.5, 2}};
+    auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0], 0u);
+    EXPECT_EQ(front[1], 1u);
+}
+
+TEST(Pareto, AllIncomparableAllOnFront)
+{
+    std::vector<ParetoPoint> pts = {
+        {1.0, 1.0, 0}, {2.0, 2.0, 1}, {3.0, 3.0, 2}};
+    EXPECT_EQ(paretoFront(pts).size(), 3u);
+}
+
+TEST(Pareto, RanksPeelFronts)
+{
+    std::vector<ParetoPoint> pts = {
+        {1.0, 2.0, 0}, // front 0: dominates everything
+        {2.0, 1.0, 1}, // dominated by 0 only -> front 1
+        {3.0, 0.5, 2}, // dominated by 0 and 1 -> front 2
+    };
+    auto ranks = paretoRank(pts);
+    EXPECT_EQ(ranks[0], 0u);
+    EXPECT_EQ(ranks[1], 1u);
+    EXPECT_EQ(ranks[2], 2u);
+}
+
+TEST(Pareto, SelectByRankPrefersFrontThenCost)
+{
+    std::vector<ParetoPoint> pts = {
+        {5.0, 5.0, 0}, {1.0, 1.0, 1}, {6.0, 4.0, 2}};
+    auto picked = selectByParetoRank(pts, 2);
+    ASSERT_EQ(picked.size(), 2u);
+    // Front 0 = {0, 1}; ordering by cost puts 1 first.
+    EXPECT_EQ(picked[0], 1u);
+    EXPECT_EQ(picked[1], 0u);
+}
+
+TEST(Pareto, EmptyInput)
+{
+    EXPECT_TRUE(paretoFront({}).empty());
+    EXPECT_TRUE(selectByParetoRank({}, 3).empty());
+}
+
+TEST(PatternSpace, EnumerationAllValid)
+{
+    ConvGeometry geom;
+    geom.batch = 1;
+    geom.inChannels = 3;
+    geom.inHeight = 32;
+    geom.inWidth = 32;
+    geom.outChannels = 64;
+    geom.kernelH = 5;
+    geom.kernelW = 5;
+    geom.stride = 1;
+    geom.pad = 2;
+    auto patterns = enumeratePatterns(PatternScope::defaultScope(geom), geom);
+    EXPECT_GT(patterns.size(), 20u);
+    for (const auto &p : patterns)
+        EXPECT_TRUE(p.validFor(geom)) << p.describe();
+}
+
+TEST(PatternSpace, HorizontalNeverHasBlocks)
+{
+    ConvGeometry geom;
+    geom.inChannels = 3;
+    geom.inHeight = 16;
+    geom.inWidth = 16;
+    geom.outChannels = 8;
+    geom.kernelH = 3;
+    geom.kernelW = 3;
+    geom.pad = 1;
+    auto patterns = enumeratePatterns(PatternScope::defaultScope(geom), geom);
+    for (const auto &p : patterns) {
+        if (p.direction == ReuseDirection::Horizontal)
+            EXPECT_EQ(p.blockRows, 1u);
+    }
+}
+
+TEST(PatternSpace, GranularityHelpersContainPaperValues)
+{
+    // CifarNet Conv1 geometry: Din = 75 — the conventional unit 25 and
+    // the channel count 3 must be offered.
+    ConvGeometry geom;
+    geom.inChannels = 3;
+    geom.inHeight = 32;
+    geom.inWidth = 32;
+    geom.outChannels = 64;
+    geom.kernelH = 5;
+    geom.kernelW = 5;
+    geom.pad = 2;
+    auto gran = verticalGranularities(geom);
+    EXPECT_NE(std::find(gran.begin(), gran.end(), 25u), gran.end());
+    EXPECT_NE(std::find(gran.begin(), gran.end(), 3u), gran.end());
+    EXPECT_NE(std::find(gran.begin(), gran.end(), 75u), gran.end());
+}
+
+TEST(PatternSpace, SmallScopeIsSmall)
+{
+    ConvGeometry geom;
+    geom.inChannels = 3;
+    geom.inHeight = 16;
+    geom.inWidth = 16;
+    geom.outChannels = 8;
+    geom.kernelH = 3;
+    geom.kernelW = 3;
+    geom.pad = 1;
+    auto patterns = enumeratePatterns(PatternScope::smallScope(geom), geom);
+    EXPECT_GE(patterns.size(), 4u);
+    EXPECT_LE(patterns.size(), 16u);
+}
+
+class SelectionWorkflow : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(60);
+        net_ = std::make_unique<Network>(makeTinyNet(rng));
+        SyntheticConfig cfg;
+        cfg.numSamples = 48;
+        cfg.seed = 61;
+        train_ = makeSyntheticCifar(cfg);
+        cfg.seed = 62;
+        cfg.numSamples = 24;
+        test_ = makeSyntheticCifar(cfg);
+        // Brief training so accuracy is meaningful.
+        TrainConfig tcfg;
+        tcfg.epochs = 3;
+        tcfg.batchSize = 12;
+        tcfg.sgd.learningRate = 0.01;
+        tcfg.sgd.momentum = 0.9;
+        train(*net_, train_, tcfg);
+    }
+
+    std::unique_ptr<Network> net_;
+    Dataset train_, test_;
+};
+
+TEST_F(SelectionWorkflow, EndToEndProducesParetoFront)
+{
+    Conv2D *conv = net_->findConv("conv2");
+    ASSERT_NE(conv, nullptr);
+    // Geometry of conv2 for 32x32 input: in 8ch 16x16.
+    ConvGeometry geom = conv->geometry({1, 8, 16, 16});
+    PatternScope scope = PatternScope::smallScope(geom);
+    SelectionConfig cfg;
+    cfg.promisingCount = 3;
+    cfg.evalImages = 12;
+    SelectionResult result =
+        selectReusePattern(*net_, *conv, train_, test_, scope, cfg);
+
+    EXPECT_GT(result.profiles.size(), 0u);
+    EXPECT_LE(result.promising.size(), 3u);
+    EXPECT_EQ(result.checked.size(), result.promising.size());
+    EXPECT_FALSE(result.paretoFront.empty());
+    EXPECT_GT(result.profilingSeconds, 0.0);
+    EXPECT_GE(result.fullCheckSeconds, 0.0);
+
+    // Accessors.
+    const CheckedPattern &best_acc = result.bestAccuracy();
+    const CheckedPattern &best_lat = result.bestLatency();
+    EXPECT_GE(best_acc.accuracy, best_lat.accuracy - 1e-9);
+    EXPECT_LE(best_lat.latencyMs, best_acc.latencyMs + 1e-9);
+
+    // The layer must be back on the exact algorithm afterwards.
+    EXPECT_EQ(conv->algo().describe(), "exact");
+}
+
+TEST_F(SelectionWorkflow, AnalyticRankingCoversAllCandidates)
+{
+    Conv2D *conv = net_->findConv("conv2");
+    ConvGeometry geom = conv->geometry({1, 8, 16, 16});
+    PatternScope scope = PatternScope::smallScope(geom);
+    SelectionConfig cfg;
+    cfg.promisingCount = 2;
+    cfg.evalImages = 8;
+    SelectionResult result =
+        selectReusePattern(*net_, *conv, train_, test_, scope, cfg);
+
+    CostModel model(McuSpec::stm32f469i());
+    auto analytic = rankByAnalyticModel(result.profiles, model);
+    auto heuristic = rankByRedundancyHeuristic(result.profiles);
+    EXPECT_EQ(analytic.size(), result.profiles.size());
+    EXPECT_EQ(heuristic.size(), result.profiles.size());
+    // Both are permutations of the candidate indices.
+    std::set<size_t> sa(analytic.begin(), analytic.end());
+    EXPECT_EQ(sa.size(), analytic.size());
+}
+
+} // namespace
+} // namespace genreuse

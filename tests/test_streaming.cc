@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the space-efficient streaming reuse convolution: output
+ * equivalence with the dense (im2col-materializing) pipeline under the
+ * same hash families, memory savings, column-order support, and cost
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reorder.h"
+#include "core/reuse_conv.h"
+#include "core/streaming.h"
+#include "data/synthetic.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+struct StreamFixture
+{
+    ConvGeometry geom;
+    Tensor input;
+    Tensor kernel;
+    Tensor bias;
+    Tensor cols; // dense im2col reference
+
+    explicit StreamFixture(size_t batch = 1)
+    {
+        geom.batch = batch;
+        geom.inChannels = 3;
+        geom.inHeight = 16;
+        geom.inWidth = 16;
+        geom.outChannels = 8;
+        geom.kernelH = 3;
+        geom.kernelW = 3;
+        geom.stride = 1;
+        geom.pad = 1;
+        SyntheticConfig cfg;
+        cfg.numSamples = batch;
+        cfg.imageSize = 16;
+        cfg.blockSize = 8;
+        cfg.noiseStddev = 0.01f;
+        Dataset data = makeSyntheticCifar(cfg);
+        input = data.images;
+        Rng rng(9);
+        kernel = Tensor::randomNormal({8, 3, 3, 3}, rng, 0.0f, 0.2f);
+        bias = Tensor::randomNormal({8}, rng);
+        cols = im2col(input, geom);
+    }
+};
+
+TEST(Streaming, MatchesDensePipelineDefaultOrder)
+{
+    StreamFixture f;
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 9, 1);
+    Rng rng(1);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 6, rng);
+
+    // Dense path: vertical reuse on the materialized matrix.
+    Tensor w = kernelToMatrix(f.kernel);
+    Tensor y_dense = verticalReuseMultiply(f.cols, w, slicing, families,
+                                           nullptr, nullptr);
+    for (size_t r = 0; r < y_dense.shape().rows(); ++r)
+        for (size_t c = 0; c < 8; ++c)
+            y_dense.at2(r, c) += f.bias[c];
+    Tensor act_dense = gemmOutputToActivation(y_dense, f.geom);
+
+    StreamingReuseResult res = streamingReuseConv(
+        f.input, f.kernel, f.bias, f.geom, {}, slicing, families);
+    EXPECT_LT(maxAbsDiff(res.activation, act_dense), 1e-4f);
+}
+
+TEST(Streaming, MatchesDensePipelineWithColumnReorder)
+{
+    StreamFixture f;
+    ReusePattern p;
+    p.columnOrder = ColumnOrder::PixelMajor;
+    auto col_perm = columnPermutation(p, f.geom);
+
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 6, 1);
+    Rng rng(2);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 6, rng);
+
+    // Dense path on the reordered matrix.
+    std::vector<uint32_t> id(f.geom.rows());
+    for (size_t i = 0; i < id.size(); ++i)
+        id[i] = static_cast<uint32_t>(i);
+    Tensor xr = reorderMatrix(f.cols, id, col_perm);
+    Tensor wr = permuteRows(kernelToMatrix(f.kernel), col_perm);
+    Tensor y_dense =
+        verticalReuseMultiply(xr, wr, slicing, families, nullptr, nullptr);
+    for (size_t r = 0; r < y_dense.shape().rows(); ++r)
+        for (size_t c = 0; c < 8; ++c)
+            y_dense.at2(r, c) += f.bias[c];
+    Tensor act_dense = gemmOutputToActivation(y_dense, f.geom);
+
+    StreamingReuseResult res = streamingReuseConv(
+        f.input, f.kernel, f.bias, f.geom, col_perm, slicing, families);
+    EXPECT_LT(maxAbsDiff(res.activation, act_dense), 1e-4f);
+}
+
+TEST(Streaming, ExactOnLosslessClustering)
+{
+    // Constant input *without padding*: every im2col row is identical,
+    // so all rows share one cluster whose centroid equals the row, and
+    // streaming reuse equals the exact convolution no matter how the
+    // hash functions fall.
+    StreamFixture f;
+    f.geom.pad = 0; // 16 -> 14 output, no zero borders
+    f.input.fill(0.5f);
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 9, 1);
+    Rng rng(3);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 4, rng);
+    StreamingReuseResult res = streamingReuseConv(
+        f.input, f.kernel, f.bias, f.geom, {}, slicing, families);
+
+    Tensor cols = im2col(f.input, f.geom);
+    Tensor y = matmul(cols, kernelToMatrix(f.kernel));
+    for (size_t r = 0; r < y.shape().rows(); ++r)
+        for (size_t c = 0; c < 8; ++c)
+            y.at2(r, c) += f.bias[c];
+    Tensor ref = gemmOutputToActivation(y, f.geom);
+    EXPECT_LT(maxAbsDiff(res.activation, ref), 1e-4f);
+}
+
+TEST(Streaming, ScratchFarBelowIm2col)
+{
+    StreamFixture f;
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 9, 1);
+    Rng rng(4);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 4, rng);
+    StreamingReuseResult res = streamingReuseConv(
+        f.input, f.kernel, f.bias, f.geom, {}, slicing, families);
+    EXPECT_EQ(res.im2colBytes,
+              f.geom.rows() * f.geom.cols() * sizeof(float));
+    EXPECT_LT(res.peakScratchBytes, res.im2colBytes / 2);
+}
+
+TEST(Streaming, StatsMatchDensePath)
+{
+    StreamFixture f;
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 9, 1);
+    Rng rng(5);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 5, rng);
+    StreamingReuseResult res = streamingReuseConv(
+        f.input, f.kernel, f.bias, f.geom, {}, slicing, families);
+    ReuseStats dense_stats;
+    verticalReuseMultiply(f.cols, kernelToMatrix(f.kernel), slicing,
+                          families, nullptr, &dense_stats);
+    EXPECT_EQ(res.stats.totalVectors, dense_stats.totalVectors);
+    EXPECT_EQ(res.stats.totalCentroids, dense_stats.totalCentroids);
+    EXPECT_EQ(res.stats.reuseMacs, dense_stats.reuseMacs);
+}
+
+TEST(Streaming, LedgerCoversAllStages)
+{
+    StreamFixture f;
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 9, 1);
+    Rng rng(6);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 4, rng);
+    CostLedger ledger;
+    streamingReuseConv(f.input, f.kernel, f.bias, f.geom, {}, slicing,
+                       families, &ledger);
+    EXPECT_GT(ledger.stage(Stage::Transformation).elemMoves, 0u);
+    EXPECT_GT(ledger.stage(Stage::Clustering).macs, 0u);
+    EXPECT_GT(ledger.stage(Stage::Gemm).macs, 0u);
+    EXPECT_GT(ledger.stage(Stage::Recovering).aluOps, 0u);
+}
+
+TEST(Streaming, MultiImageBatch)
+{
+    StreamFixture f(3);
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 9, 1);
+    Rng rng(7);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 6, rng);
+    StreamingReuseResult res = streamingReuseConv(
+        f.input, f.kernel, f.bias, f.geom, {}, slicing, families);
+    EXPECT_EQ(res.activation.shape(), Shape({3, 8, 16, 16}));
+}
+
+TEST(Streaming, RejectsBlockRows)
+{
+    StreamFixture f;
+    VerticalSlicing slicing = VerticalSlicing::plan(f.geom.cols(), 9, 2);
+    Rng rng(8);
+    auto families =
+        randomVerticalFamilies(slicing, f.geom.cols(), 4, rng);
+    ASSERT_DEATH_IF_SUPPORTED(
+        streamingReuseConv(f.input, f.kernel, f.bias, f.geom, {}, slicing,
+                           families),
+        "1-row units");
+}
+
+} // namespace
+} // namespace genreuse

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for src/tensor: Shape, Tensor, elementwise ops and reductions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace genreuse {
+namespace {
+
+TEST(Shape, BasicAccessors)
+{
+    Shape s({2, 3, 4, 5});
+    EXPECT_EQ(s.rank(), 4u);
+    EXPECT_EQ(s.batch(), 2u);
+    EXPECT_EQ(s.channels(), 3u);
+    EXPECT_EQ(s.height(), 4u);
+    EXPECT_EQ(s.width(), 5u);
+    EXPECT_EQ(s.elems(), 120u);
+    EXPECT_EQ(s.toString(), "[2, 3, 4, 5]");
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    EXPECT_NE(Shape({2}), Shape({2, 1}));
+}
+
+TEST(Shape, EmptyShapeHasOneElement)
+{
+    Shape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.elems(), 1u);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({3, 4});
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, At2RowMajor)
+{
+    Tensor t = Tensor::iota({2, 3});
+    EXPECT_EQ(t.at2(0, 0), 0.0f);
+    EXPECT_EQ(t.at2(0, 2), 2.0f);
+    EXPECT_EQ(t.at2(1, 0), 3.0f);
+}
+
+TEST(Tensor, At4Nchw)
+{
+    Tensor t = Tensor::iota({2, 3, 4, 5});
+    EXPECT_EQ(t.at4(0, 0, 0, 0), 0.0f);
+    EXPECT_EQ(t.at4(0, 0, 0, 1), 1.0f);
+    EXPECT_EQ(t.at4(0, 0, 1, 0), 5.0f);
+    EXPECT_EQ(t.at4(0, 1, 0, 0), 20.0f);
+    EXPECT_EQ(t.at4(1, 0, 0, 0), 60.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t = Tensor::iota({2, 6});
+    Tensor r = t.reshaped({3, 4});
+    EXPECT_EQ(r.shape(), Shape({3, 4}));
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], r[i]);
+}
+
+TEST(Tensor, RandomNormalStats)
+{
+    Rng rng(3);
+    Tensor t = Tensor::randomNormal({100, 100}, rng, 1.0f, 2.0f);
+    EXPECT_NEAR(meanValue(t), 1.0, 0.1);
+}
+
+TEST(Tensor, RandomUniformRange)
+{
+    Rng rng(4);
+    Tensor t = Tensor::randomUniform({1000}, rng, -1.0f, 1.0f);
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], -1.0f);
+        EXPECT_LT(t[i], 1.0f);
+    }
+}
+
+TEST(TensorOps, AddSub)
+{
+    Tensor a = Tensor::iota({4});
+    Tensor b = Tensor::full({4}, 2.0f);
+    Tensor s = add(a, b);
+    Tensor d = sub(s, b);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(s[i], a[i] + 2.0f);
+        EXPECT_EQ(d[i], a[i]);
+    }
+}
+
+TEST(TensorOps, AxpyScale)
+{
+    Tensor a = Tensor::full({3}, 1.0f);
+    Tensor b = Tensor::iota({3});
+    axpy(2.0f, b, a);
+    EXPECT_EQ(a[0], 1.0f);
+    EXPECT_EQ(a[2], 5.0f);
+    scale(a, 0.5f);
+    EXPECT_EQ(a[2], 2.5f);
+}
+
+TEST(TensorOps, Relu)
+{
+    Tensor a({4}, std::vector<float>{-1.0f, 0.0f, 2.0f, -3.0f});
+    Tensor r = relu(a);
+    EXPECT_EQ(r[0], 0.0f);
+    EXPECT_EQ(r[1], 0.0f);
+    EXPECT_EQ(r[2], 2.0f);
+    EXPECT_EQ(r[3], 0.0f);
+}
+
+TEST(TensorOps, FrobeniusNorm)
+{
+    Tensor a({2, 2}, std::vector<float>{3.0f, 0.0f, 0.0f, 4.0f});
+    EXPECT_DOUBLE_EQ(squaredFrobeniusNorm(a), 25.0);
+    EXPECT_DOUBLE_EQ(frobeniusNorm(a), 5.0);
+}
+
+TEST(TensorOps, RelativeError)
+{
+    Tensor a({2}, std::vector<float>{3.0f, 4.0f});
+    Tensor b = a;
+    EXPECT_DOUBLE_EQ(relativeError(a, b), 0.0);
+    b[0] = 0.0f;
+    EXPECT_NEAR(relativeError(a, b), 3.0 / 5.0, 1e-6);
+    Tensor z({2});
+    EXPECT_DOUBLE_EQ(relativeError(z, z), 0.0);
+}
+
+TEST(TensorOps, MaxAbsDiff)
+{
+    Tensor a({3}, std::vector<float>{1.0f, -5.0f, 2.0f});
+    Tensor b({3}, std::vector<float>{1.5f, -5.0f, 0.0f});
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 2.0f);
+    EXPECT_FLOAT_EQ(maxAbs(a), 5.0f);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne)
+{
+    Rng rng(5);
+    Tensor logits = Tensor::randomNormal({6, 10}, rng, 0.0f, 3.0f);
+    Tensor p = softmaxRows(logits);
+    for (size_t r = 0; r < 6; ++r) {
+        double sum = 0.0;
+        for (size_t c = 0; c < 10; ++c) {
+            EXPECT_GT(p.at2(r, c), 0.0f);
+            sum += p.at2(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(TensorOps, SoftmaxNumericallyStable)
+{
+    Tensor logits({1, 3}, std::vector<float>{1000.0f, 999.0f, 0.0f});
+    Tensor p = softmaxRows(logits);
+    EXPECT_TRUE(std::isfinite(p.at2(0, 0)));
+    EXPECT_GT(p.at2(0, 0), p.at2(0, 1));
+}
+
+TEST(TensorOps, Transpose)
+{
+    Tensor a = Tensor::iota({2, 3});
+    Tensor t = transpose(a);
+    EXPECT_EQ(t.shape(), Shape({3, 2}));
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(a.at2(r, c), t.at2(c, r));
+}
+
+TEST(TensorOps, MeanSquaredError)
+{
+    Tensor a({2}, std::vector<float>{0.0f, 2.0f});
+    Tensor b({2}, std::vector<float>{0.0f, 0.0f});
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, b), 2.0);
+}
+
+} // namespace
+} // namespace genreuse
