@@ -13,6 +13,9 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/args.h"
+#include "common/thread_pool.h"
+#include "core/explorer.h"
 
 using namespace genreuse;
 using namespace genreuse::bench;
@@ -33,8 +36,9 @@ topK(const std::vector<size_t> &order, const std::vector<double> &acc,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args(argc, argv);
     std::printf("=== Figure 14: analytic-model pattern selection, "
                 "CifarNet Conv2, 25 candidates ===\n\n");
     CostModel model(McuSpec::stm32f469i());
@@ -53,17 +57,13 @@ main()
         candidates.resize(25);
     std::printf("candidate patterns: %zu\n", candidates.size());
 
-    // Analytic profiles for ranking.
-    Tensor sample = layer->lastIm2col();
-    Tensor w = layer->weightMatrix();
-    std::vector<CandidateProfile> profiles;
-    for (const auto &p : candidates) {
-        CandidateProfile prof;
-        prof.pattern = p;
-        prof.accuracy = accuracyBound(sample, w, p, geom, 7);
-        prof.latency = estimateLatency(sample, w, p, geom, 7);
-        profiles.push_back(std::move(prof));
-    }
+    // Analytic profiles for ranking, via the exploration engine
+    // (bit-identical to the serial loop for any --threads value).
+    ThreadPool pool(static_cast<size_t>(args.getInt("threads", 0)));
+    ExplorationCache cache(layer->lastIm2col(), layer->weightMatrix(),
+                           geom);
+    std::vector<CandidateProfile> profiles =
+        profileCandidates(candidates, cache, 7, pool);
 
     // Empirical accuracy of every candidate (the upper-bound oracle).
     std::vector<double> acc(candidates.size(), 0.0);

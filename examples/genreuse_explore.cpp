@@ -81,6 +81,10 @@ usage(const char *prog)
         "  --hashes CSV      hash counts to explore (default 2,4)\n"
         "  --scope FILE      load a pattern scope file (see "
         "configs/default_scope.txt)\n"
+        "  --threads N       profiling threads; 0 = hardware "
+        "concurrency, 1 = serial,\n"
+        "                    results identical for every value "
+        "(default 0)\n"
         "  --seed N          experiment seed (default 1)\n"
         "  --save-weights F  save trained parameters to F\n"
         "  --help            this text\n",
@@ -151,6 +155,7 @@ main(int argc, char **argv)
         static_cast<size_t>(args.getInt("promising", 4));
     scfg.evalImages = std::min<size_t>(48, test_data.size());
     scfg.board = board;
+    scfg.threads = static_cast<size_t>(args.getInt("threads", 0));
 
     std::printf("exploring %s (Din=%zu, Dout=%zu)...\n",
                 layer->name().c_str(), geom.cols(), geom.outChannels);

@@ -7,13 +7,17 @@
  * promising set, fully checks those, and prints the final Pareto-
  * optimal patterns a user would deploy.
  *
- * Run: ./build/examples/pattern_explorer
+ * Run: ./build/examples/pattern_explorer [--threads N]
+ *   --threads N  profiling threads; 0 = hardware concurrency,
+ *                1 = serial. Results are identical for every value.
  */
 
 #include <algorithm>
 #include <cstdio>
 
+#include "common/args.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "core/selection.h"
 #include "data/synthetic.h"
 #include "models/models.h"
@@ -22,8 +26,9 @@
 using namespace genreuse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args(argc, argv);
     // --- train a model ------------------------------------------------
     std::printf("training CifarNet on the synthetic dataset...\n");
     Rng rng(11);
@@ -55,8 +60,12 @@ main()
     SelectionConfig scfg;
     scfg.promisingCount = 4;
     scfg.evalImages = 48;
-    std::printf("running the selection workflow on %s...\n",
-                conv2->name().c_str());
+    scfg.threads = static_cast<size_t>(args.getInt("threads", 0));
+    std::printf("running the selection workflow on %s "
+                "(%zu profiling threads)...\n",
+                conv2->name().c_str(),
+                scfg.threads == 0 ? ThreadPool::hardwareThreads()
+                                  : scfg.threads);
     SelectionResult result = selectReusePattern(
         net, *conv2, train_data, test_data, scope, scfg);
 

@@ -1,0 +1,124 @@
+#include "thread_pool.h"
+
+#include <atomic>
+
+#include "logging.h"
+
+namespace genreuse {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    // A negative CLI value cast to size_t lands here as an absurd
+    // count; fail with a clear message instead of std::length_error.
+    constexpr size_t kMaxThreads = 512;
+    GENREUSE_REQUIRE(threads <= kMaxThreads, "unreasonable thread count ",
+                     threads, " (was a negative --threads cast?)");
+    size_t n = threads == 0 ? hardwareThreads() : threads;
+    if (n <= 1)
+        return; // inline mode: no workers, submit() runs on the caller
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // One task per worker, each draining a shared atomic index; a
+    // per-call completion latch so concurrent parallelFor() calls (or
+    // unrelated submit()s) cannot wake this one early.
+    std::atomic<size_t> next{0};
+    const size_t span = std::min(workers_.size(), n);
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    size_t done = 0;
+    for (size_t t = 0; t < span; ++t) {
+        submit([&] {
+            for (size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1))
+                fn(i);
+            // Notify under the lock: the waiter owns done_cv on its
+            // stack and may destroy it the moment it observes
+            // done == span, which it cannot do before this worker
+            // releases done_mutex.
+            std::lock_guard<std::mutex> lock(done_mutex);
+            ++done;
+            done_cv.notify_one();
+        });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == span; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock,
+                            [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop requested and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+size_t
+ThreadPool::hardwareThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+} // namespace genreuse

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A fixed-size worker-thread pool for the exploration engine.
+ *
+ * Deliberately minimal (no futures, no work stealing): callers either
+ * submit() fire-and-forget tasks and wait(), or use parallelFor() for
+ * the common "independent evaluations over an index range" shape.
+ * Constructed with 0 or 1 threads the pool spawns no workers and runs
+ * everything inline on the calling thread, so a --threads 1 run is
+ * exactly the serial code path.
+ */
+
+#ifndef GENREUSE_COMMON_THREAD_POOL_H
+#define GENREUSE_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace genreuse {
+
+/** Fixed worker pool with dynamic (atomic-counter) loop scheduling. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means one per hardware thread,
+     *        1 means inline execution (no workers are spawned)
+     */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads spawned (0 when the pool runs inline). */
+    size_t size() const { return workers_.size(); }
+
+    /** Degree of parallelism: max(1, size()). */
+    size_t concurrency() const { return workers_.empty() ? 1 : workers_.size(); }
+
+    /** Enqueue a task; runs inline immediately when there are no workers. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run fn(i) for every i in [0, n). Iterations are distributed
+     * dynamically over the workers; the call returns when all are done.
+     * Iteration *order* depends on the pool size but callers that write
+     * index-addressed outputs get identical results at any size.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static size_t hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    size_t inFlight_ = 0; //!< queued + running tasks
+    bool stop_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_THREAD_POOL_H

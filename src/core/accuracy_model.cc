@@ -27,6 +27,24 @@ weightSliceNormSq(const Tensor &w, size_t row0, size_t count)
 
 } // namespace
 
+Tensor
+profileRowSubsample(const Tensor &x)
+{
+    constexpr size_t kMaxProfileRows = 1024;
+    const size_t full = x.shape().rows();
+    if (full <= kMaxProfileRows)
+        return x;
+    const size_t din = x.shape().cols();
+    const size_t stride = (full + kMaxProfileRows - 1) / kMaxProfileRows;
+    const size_t rows = (full + stride - 1) / stride;
+    Tensor subsampled({rows, din});
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = x.data() + r * stride * din;
+        std::copy(src, src + din, subsampled.data() + r * din);
+    }
+    return subsampled;
+}
+
 AccuracyBound
 accuracyBound(const Tensor &sample_default_x, const Tensor &w,
               const ReusePattern &pattern, const ConvGeometry &geom,
@@ -41,21 +59,8 @@ accuracyBound(const Tensor &sample_default_x, const Tensor &w,
     // cluster statistics (λmax, m_i proportions) converge long before
     // the full im2col matrix is needed, and the bound only has to rank
     // patterns. Disabled when the caller wants the measured error.
-    Tensor subsampled;
-    const Tensor *sample_ptr = &sample_default_x;
-    constexpr size_t kMaxProfileRows = 1024;
-    if (!measure && sample_default_x.shape().rows() > kMaxProfileRows) {
-        const size_t full = sample_default_x.shape().rows();
-        const size_t stride = (full + kMaxProfileRows - 1) / kMaxProfileRows;
-        const size_t rows = (full + stride - 1) / stride;
-        subsampled = Tensor({rows, din});
-        for (size_t r = 0; r < rows; ++r) {
-            const float *src = sample_default_x.data() + r * stride * din;
-            std::copy(src, src + din, subsampled.data() + r * din);
-        }
-        sample_ptr = &subsampled;
-    }
-    const Tensor &sample_x = *sample_ptr;
+    Tensor sample_x =
+        measure ? sample_default_x : profileRowSubsample(sample_default_x);
     const size_t n = sample_x.shape().rows();
 
     // Reorder sample and weights per the pattern (rows of the sample
@@ -71,6 +76,19 @@ accuracyBound(const Tensor &sample_default_x, const Tensor &w,
         xr = reorderMatrix(sample_x, id, col_perm);
         wr = permuteRows(w, col_perm);
     }
+    return accuracyBoundReordered(xr, wr, pattern, geom, seed, measure);
+}
+
+AccuracyBound
+accuracyBoundReordered(const Tensor &xr, const Tensor &wr,
+                       const ReusePattern &pattern, const ConvGeometry &geom,
+                       uint64_t seed, bool measure)
+{
+    GENREUSE_REQUIRE(pattern.validFor(geom), "invalid pattern ",
+                     pattern.describe());
+    const size_t din = xr.shape().cols();
+    GENREUSE_REQUIRE(wr.shape().rows() == din, "weight shape mismatch");
+    const size_t n = xr.shape().rows();
 
     Rng rng(seed);
     AccuracyBound out;

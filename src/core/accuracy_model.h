@@ -56,6 +56,27 @@ AccuracyBound accuracyBound(const Tensor &sample_default_x, const Tensor &w,
                             const ConvGeometry &geom, uint64_t seed = 7,
                             bool measure = false);
 
+/**
+ * The same bound evaluated on inputs already in the pattern's layout:
+ * @p xr a (possibly row-subsampled) sample with columns permuted per
+ * the pattern, @p wr the weight matrix with rows permuted identically.
+ * accuracyBound() delegates here after reordering; the exploration
+ * engine calls this directly with memoized reorders so candidates
+ * sharing a column order share the transformation work. Results are
+ * bit-identical to accuracyBound() on the default layout.
+ */
+AccuracyBound accuracyBoundReordered(const Tensor &xr, const Tensor &wr,
+                                     const ReusePattern &pattern,
+                                     const ConvGeometry &geom,
+                                     uint64_t seed = 7, bool measure = false);
+
+/**
+ * The strided row subsample lightweight profiling uses for large
+ * populations (cap 1024 rows); returns the input unchanged when it is
+ * already small enough.
+ */
+Tensor profileRowSubsample(const Tensor &x);
+
 } // namespace genreuse
 
 #endif // GENREUSE_CORE_ACCURACY_MODEL_H

@@ -1,0 +1,264 @@
+#include "explorer.h"
+
+#include "common/logging.h"
+#include "reorder.h"
+
+namespace genreuse {
+
+namespace {
+
+int
+orderKey(ColumnOrder o)
+{
+    return static_cast<int>(o);
+}
+
+int
+orderKey(RowOrder o)
+{
+    return static_cast<int>(o);
+}
+
+} // namespace
+
+bool
+usesCustomOrder(const ReusePattern &pattern)
+{
+    return pattern.columnOrder == ColumnOrder::Custom ||
+           pattern.rowOrder == RowOrder::Custom;
+}
+
+ExplorationCache::ExplorationCache(Tensor sample_default_x, Tensor w,
+                                   ConvGeometry geom)
+    : sample_(std::move(sample_default_x)),
+      profileBase_(profileRowSubsample(sample_)), w_(std::move(w)),
+      geom_(geom)
+{
+}
+
+const std::vector<uint32_t> &
+ExplorationCache::columnPerm(const ReusePattern &p)
+{
+    GENREUSE_REQUIRE(!usesCustomOrder(p),
+                     "custom orders cannot be memoized by order enum");
+    const int key = orderKey(p.columnOrder);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = colPerms_.find(key);
+    if (it == colPerms_.end())
+        it = colPerms_.emplace(key, columnPermutation(p, geom_)).first;
+    return it->second;
+}
+
+const Tensor &
+ExplorationCache::profileSample(const ReusePattern &p)
+{
+    GENREUSE_REQUIRE(!usesCustomOrder(p),
+                     "custom orders cannot be memoized by order enum");
+    const int key = orderKey(p.columnOrder);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = profiles_.find(key);
+    if (it == profiles_.end()) {
+        const std::vector<uint32_t> col_perm = columnPermutation(p, geom_);
+        Tensor xr = profileBase_;
+        if (!isIdentity(col_perm)) {
+            std::vector<uint32_t> id(profileBase_.shape().rows());
+            for (size_t i = 0; i < id.size(); ++i)
+                id[i] = static_cast<uint32_t>(i);
+            xr = reorderMatrix(profileBase_, id, col_perm);
+        }
+        it = profiles_.emplace(key, std::move(xr)).first;
+    }
+    return it->second;
+}
+
+const Tensor &
+ExplorationCache::fitSample(const ReusePattern &p)
+{
+    GENREUSE_REQUIRE(!usesCustomOrder(p),
+                     "custom orders cannot be memoized by order enum");
+    const int key = orderKey(p.columnOrder);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fits_.find(key);
+    if (it == fits_.end()) {
+        const std::vector<uint32_t> col_perm = columnPermutation(p, geom_);
+        Tensor xr = sample_;
+        if (!isIdentity(col_perm)) {
+            std::vector<uint32_t> id(sample_.shape().rows());
+            for (size_t i = 0; i < id.size(); ++i)
+                id[i] = static_cast<uint32_t>(i);
+            xr = reorderMatrix(sample_, id, col_perm);
+        }
+        it = fits_.emplace(key, std::move(xr)).first;
+    }
+    return it->second;
+}
+
+const Tensor &
+ExplorationCache::reorderedInput(const ReusePattern &p)
+{
+    GENREUSE_REQUIRE(!usesCustomOrder(p),
+                     "custom orders cannot be memoized by order enum");
+    const std::pair<int, int> key = {orderKey(p.columnOrder),
+                                     orderKey(p.rowOrder)};
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inputs_.find(key);
+    if (it == inputs_.end()) {
+        // Exactly the reorder ReuseConvAlgo::multiply() performs, so
+        // multiplyReordered() on the cached view is bit-identical.
+        const std::vector<uint32_t> col_perm = columnPermutation(p, geom_);
+        const std::vector<uint32_t> row_perm = rowPermutation(p, geom_);
+        const bool reorder_rows = !isIdentity(row_perm);
+        const bool reorder_cols = !isIdentity(col_perm);
+        Tensor xr = sample_;
+        if (reorder_rows && reorder_cols) {
+            xr = reorderMatrix(sample_, row_perm, col_perm);
+        } else if (reorder_rows) {
+            xr = permuteRows(sample_, row_perm);
+        } else if (reorder_cols) {
+            std::vector<uint32_t> id(sample_.shape().rows());
+            for (size_t i = 0; i < id.size(); ++i)
+                id[i] = static_cast<uint32_t>(i);
+            xr = reorderMatrix(sample_, id, col_perm);
+        }
+        it = inputs_.emplace(key, std::move(xr)).first;
+    }
+    return it->second;
+}
+
+const Tensor &
+ExplorationCache::reorderedWeights(const ReusePattern &p)
+{
+    GENREUSE_REQUIRE(!usesCustomOrder(p),
+                     "custom orders cannot be memoized by order enum");
+    const int key = orderKey(p.columnOrder);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = weights_.find(key);
+    if (it == weights_.end()) {
+        const std::vector<uint32_t> col_perm = columnPermutation(p, geom_);
+        Tensor wr =
+            isIdentity(col_perm) ? w_ : permuteRows(w_, col_perm);
+        it = weights_.emplace(key, std::move(wr)).first;
+    }
+    return it->second;
+}
+
+size_t
+ExplorationCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return colPerms_.size() + profiles_.size() + fits_.size() +
+           weights_.size() + inputs_.size();
+}
+
+CandidateProfile
+profileCandidate(const ReusePattern &pattern, ExplorationCache &cache,
+                 uint64_t seed)
+{
+    CandidateProfile prof;
+    prof.pattern = pattern;
+    if (usesCustomOrder(pattern)) {
+        // Per-pattern permutations: evaluate through the uncached path.
+        prof.accuracy =
+            accuracyBound(cache.defaultSample(), cache.defaultWeights(),
+                          pattern, cache.geometry(), seed);
+        prof.latency =
+            estimateLatency(cache.defaultSample(), cache.defaultWeights(),
+                            pattern, cache.geometry(), seed);
+        return prof;
+    }
+    prof.accuracy =
+        accuracyBoundReordered(cache.profileSample(pattern),
+                               cache.reorderedWeights(pattern), pattern,
+                               cache.geometry(), seed);
+    prof.latency =
+        estimateLatencyReordered(cache.reorderedInput(pattern),
+                                 cache.reorderedWeights(pattern), pattern,
+                                 cache.geometry(), seed);
+    return prof;
+}
+
+std::vector<CandidateProfile>
+profileCandidates(const std::vector<ReusePattern> &candidates,
+                  ExplorationCache &cache, uint64_t seed, ThreadPool &pool)
+{
+    std::vector<CandidateProfile> out(candidates.size());
+    pool.parallelFor(candidates.size(), [&](size_t i) {
+        out[i] = profileCandidate(candidates[i], cache, seed);
+    });
+    return out;
+}
+
+namespace {
+
+bool
+samePattern(const ReusePattern &a, const ReusePattern &b)
+{
+    return a.columnOrder == b.columnOrder && a.rowOrder == b.rowOrder &&
+           a.direction == b.direction && a.granularity == b.granularity &&
+           a.blockRows == b.blockRows && a.numHashes == b.numHashes &&
+           a.customColumnPerm == b.customColumnPerm &&
+           a.customRowPerm == b.customRowPerm;
+}
+
+bool
+sameOps(const OpCounts &a, const OpCounts &b)
+{
+    return a.macs == b.macs && a.elemMoves == b.elemMoves &&
+           a.aluOps == b.aluOps && a.tableOps == b.tableOps;
+}
+
+bool
+sameLedger(const CostLedger &a, const CostLedger &b)
+{
+    for (size_t s = 0; s < static_cast<size_t>(Stage::NumStages); ++s)
+        if (!sameOps(a.stage(static_cast<Stage>(s)),
+                     b.stage(static_cast<Stage>(s))))
+            return false;
+    return true;
+}
+
+bool
+sameStats(const ReuseStats &a, const ReuseStats &b)
+{
+    return a.totalVectors == b.totalVectors &&
+           a.totalCentroids == b.totalCentroids &&
+           a.numPanels == b.numPanels && a.exactMacs == b.exactMacs &&
+           a.reuseMacs == b.reuseMacs;
+}
+
+} // namespace
+
+bool
+identicalResults(const SelectionResult &a, const SelectionResult &b)
+{
+    if (a.profiles.size() != b.profiles.size() ||
+        a.promising != b.promising || a.paretoFront != b.paretoFront ||
+        a.checked.size() != b.checked.size())
+        return false;
+    for (size_t i = 0; i < a.profiles.size(); ++i) {
+        const CandidateProfile &pa = a.profiles[i];
+        const CandidateProfile &pb = b.profiles[i];
+        if (!samePattern(pa.pattern, pb.pattern))
+            return false;
+        if (pa.accuracy.bound != pb.accuracy.bound ||
+            pa.accuracy.scatterTerm != pb.accuracy.scatterTerm ||
+            pa.accuracy.weightTerm != pb.accuracy.weightTerm ||
+            pa.accuracy.measuredError != pb.accuracy.measuredError)
+            return false;
+        if (!sameStats(pa.latency.stats, pb.latency.stats) ||
+            !sameLedger(pa.latency.reuseLedger, pb.latency.reuseLedger) ||
+            !sameLedger(pa.latency.exactLedger, pb.latency.exactLedger))
+            return false;
+    }
+    for (size_t i = 0; i < a.checked.size(); ++i) {
+        const CheckedPattern &ca = a.checked[i];
+        const CheckedPattern &cb = b.checked[i];
+        if (!samePattern(ca.pattern, cb.pattern) ||
+            ca.accuracy != cb.accuracy || ca.latencyMs != cb.latencyMs ||
+            ca.redundancyRatio != cb.redundancyRatio)
+            return false;
+    }
+    return true;
+}
+
+} // namespace genreuse

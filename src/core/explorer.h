@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The parallel pattern-space exploration engine.
+ *
+ * The Table 2 claim of the paper is that generalized-reuse pattern
+ * selection is *tractable*; exploration wall-clock is a first-class
+ * result. Candidate evaluations (accuracy bound + latency estimate per
+ * pattern) are independent of each other, so the engine evaluates them
+ * concurrently on a ThreadPool. Three properties make the parallel
+ * path trustworthy:
+ *
+ *  - **Per-candidate seeded RNG.** Every evaluation constructs its own
+ *    Rng from the experiment seed (exactly as the serial loop did), so
+ *    no random stream is shared across threads.
+ *  - **Memoized shared work.** Candidates that share a column/row
+ *    order also share the im2col sample reorders, the row-subsampled
+ *    profiling view, and the permuted weight matrix; the
+ *    ExplorationCache computes each of those once. Cached values are
+ *    pure functions of the constructor inputs, so cached evaluation is
+ *    bit-identical to uncached evaluation.
+ *  - **Ordered reduction.** Results are written into a pre-sized
+ *    vector at the candidate's index; the output never depends on
+ *    completion order.
+ *
+ * Together these guarantee that the engine's output is bit-identical
+ * for any thread count: --threads 1 reproduces the serial workflow
+ * exactly, --threads N reproduces --threads 1.
+ */
+
+#ifndef GENREUSE_CORE_EXPLORER_H
+#define GENREUSE_CORE_EXPLORER_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "selection.h"
+
+namespace genreuse {
+
+/** True when the pattern carries a custom (per-pattern) permutation,
+ *  which cannot be memoized by order enum. Such candidates are
+ *  evaluated through the uncached legacy path. */
+bool usesCustomOrder(const ReusePattern &pattern);
+
+/**
+ * Memoizes the per-(column-order, row-order) work shared by candidate
+ * evaluations: column permutations, reordered samples and weights for
+ * the accuracy and latency paths, and the column-reordered fitting
+ * sample for learned-hash fits. Thread-safe; entries are computed at
+ * most once.
+ */
+class ExplorationCache
+{
+  public:
+    /**
+     * @param sample_default_x im2col sample in the default layout
+     * @param w Din x M weight matrix in the default layout
+     * @param geom the layer geometry the sample was captured from
+     */
+    ExplorationCache(Tensor sample_default_x, Tensor w, ConvGeometry geom);
+
+    /** Column permutation of the pattern's (non-custom) column order. */
+    const std::vector<uint32_t> &columnPerm(const ReusePattern &p);
+
+    /** Row-subsampled, column-reordered profiling view (accuracy path). */
+    const Tensor &profileSample(const ReusePattern &p);
+
+    /** Full sample in the pattern's row+column order (latency path). */
+    const Tensor &reorderedInput(const ReusePattern &p);
+
+    /** Full sample, column-reordered only (learned-hash fitting). */
+    const Tensor &fitSample(const ReusePattern &p);
+
+    /** Weight matrix with rows permuted to match the column order. */
+    const Tensor &reorderedWeights(const ReusePattern &p);
+
+    const ConvGeometry &geometry() const { return geom_; }
+    const Tensor &defaultSample() const { return sample_; }
+    const Tensor &defaultWeights() const { return w_; }
+
+    /** Distinct memoized tensors/permutations held (diagnostics). */
+    size_t entries() const;
+
+  private:
+    Tensor sample_;      //!< default-layout sample
+    Tensor profileBase_; //!< row-subsampled default-layout sample
+    Tensor w_;
+    ConvGeometry geom_;
+
+    mutable std::mutex mutex_;
+    std::map<int, std::vector<uint32_t>> colPerms_;
+    std::map<int, Tensor> profiles_;
+    std::map<int, Tensor> fits_;
+    std::map<int, Tensor> weights_;
+    std::map<std::pair<int, int>, Tensor> inputs_;
+};
+
+/**
+ * Analytic profile of one candidate through the cache: the same
+ * accuracy bound and latency estimate as the serial loop in
+ * selectReusePattern() computed, sharing reorder work via @p cache.
+ */
+CandidateProfile profileCandidate(const ReusePattern &pattern,
+                                  ExplorationCache &cache, uint64_t seed);
+
+/**
+ * Evaluate every candidate's analytic profile on the pool. The result
+ * vector is index-aligned with @p candidates and bit-identical for any
+ * pool size (see the file comment for why).
+ */
+std::vector<CandidateProfile> profileCandidates(
+    const std::vector<ReusePattern> &candidates, ExplorationCache &cache,
+    uint64_t seed, ThreadPool &pool);
+
+/**
+ * True when two workflow results are bit-identical in everything but
+ * wall-clock stage timings: same profiles (bounds, ledgers, stats),
+ * same promising set, same checked patterns (accuracy, latency,
+ * redundancy), same Pareto front. The serial/parallel equivalence
+ * check of the determinism tests and the Table 2 bench.
+ */
+bool identicalResults(const SelectionResult &a, const SelectionResult &b);
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_EXPLORER_H

@@ -30,9 +30,15 @@ LatencyEstimate::milliseconds(const CostModel &model) const
 double
 LatencyEstimate::speedup(const CostModel &model) const
 {
+    // A zero-cost reuse ledger means this estimate never executed (a
+    // default-constructed or corrupted LatencyEstimate): any real
+    // estimate charges at least the im2col move cost. Returning a
+    // neutral 1.0 here would let selection rank a broken candidate as
+    // "no speedup" — surface the bug instead.
     const double reuse_ms = reuseLedger.totalMs(model);
-    if (reuse_ms <= 0.0)
-        return 1.0;
+    GENREUSE_REQUIRE(reuse_ms > 0.0,
+                     "degenerate reuse ledger (0 ms) for pattern ",
+                     pattern.describe(), ": speedup undefined");
     return exactLedger.totalMs(model) / reuse_ms;
 }
 
@@ -75,6 +81,34 @@ estimateLatency(const Tensor &sample_default_x, const Tensor &w,
     ReuseConvAlgo algo(pattern, HashMode::Random, seed);
     algo.fit(sample_default_x, geom);
     algo.multiply(sample_default_x, w, geom, &est.reuseLedger);
+    est.stats = algo.lastStats();
+    return est;
+}
+
+LatencyEstimate
+estimateLatencyReordered(const Tensor &xr, const Tensor &wr,
+                         const ReusePattern &pattern,
+                         const ConvGeometry &geom, uint64_t seed)
+{
+    GENREUSE_REQUIRE(pattern.validFor(geom), "invalid pattern ",
+                     pattern.describe());
+    GENREUSE_REQUIRE(xr.shape().rows() == geom.rows(),
+                     "profiling sample must match the geometry (use a "
+                     "batch-1 im2col matrix)");
+    LatencyEstimate est;
+    est.pattern = pattern;
+    est.exactLedger = exactConvLedger(geom);
+    OpCounts im2col_ops;
+    im2col_ops.elemMoves = xr.size();
+    est.reuseLedger.add(Stage::Transformation, im2col_ops);
+
+    // Random-mode fitting uses only the sample's shape, which the
+    // reorder preserves, so fitting on the reordered sample yields the
+    // same families (and multiplyReordered the same ledger and stats)
+    // as estimateLatency() on the default layout.
+    ReuseConvAlgo algo(pattern, HashMode::Random, seed);
+    algo.fit(xr, geom);
+    algo.multiplyReordered(xr, wr, geom, &est.reuseLedger);
     est.stats = algo.lastStats();
     return est;
 }

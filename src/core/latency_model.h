@@ -59,6 +59,17 @@ LatencyEstimate estimateLatency(const Tensor &sample_default_x,
                                 const Tensor &w, const ReusePattern &pattern,
                                 const ConvGeometry &geom, uint64_t seed = 7);
 
+/**
+ * estimateLatency() for a sample already in the pattern's row/column
+ * order with matching pre-permuted weights. The exploration engine
+ * calls this with memoized reorders; ledgers, stats, and therefore all
+ * predictions are bit-identical to the default-layout entry point.
+ */
+LatencyEstimate estimateLatencyReordered(const Tensor &xr, const Tensor &wr,
+                                         const ReusePattern &pattern,
+                                         const ConvGeometry &geom,
+                                         uint64_t seed = 7);
+
 } // namespace genreuse
 
 #endif // GENREUSE_CORE_LATENCY_MODEL_H

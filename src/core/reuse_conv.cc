@@ -20,19 +20,39 @@ ReuseConvAlgo::fit(const Tensor &sample_default_x, const ConvGeometry &geom)
                      "sample im2col shape mismatch");
 
     colPerm_ = columnPermutation(pattern_, geom);
-    const size_t din = geom.cols();
-    const size_t l = pattern_.effectiveGranularity(geom);
 
     // Reorder the sample the same way multiply() will reorder inputs
     // (the sample's rows keep their order: the clustering statistics
-    // are permutation-invariant over rows of the sample).
+    // are permutation-invariant over rows of the sample). Random mode
+    // only uses the sample's shape, so the reorder is skipped there.
     Tensor sample = sample_default_x;
-    if (!isIdentity(colPerm_)) {
+    if (mode_ == HashMode::Learned && !isIdentity(colPerm_)) {
         std::vector<uint32_t> id(sample.shape().rows());
         for (size_t i = 0; i < id.size(); ++i)
             id[i] = static_cast<uint32_t>(i);
         sample = reorderMatrix(sample, id, colPerm_);
     }
+    fitFamilies(sample, geom);
+}
+
+void
+ReuseConvAlgo::fitReordered(const Tensor &sample_reordered_x,
+                            const ConvGeometry &geom)
+{
+    GENREUSE_REQUIRE(pattern_.validFor(geom), "pattern ",
+                     pattern_.describe(), " invalid for this geometry");
+    GENREUSE_REQUIRE(sample_reordered_x.shape().rank() == 2 &&
+                     sample_reordered_x.shape().cols() == geom.cols(),
+                     "sample im2col shape mismatch");
+    colPerm_ = columnPermutation(pattern_, geom);
+    fitFamilies(sample_reordered_x, geom);
+}
+
+void
+ReuseConvAlgo::fitFamilies(const Tensor &sample, const ConvGeometry &geom)
+{
+    const size_t din = geom.cols();
+    const size_t l = pattern_.effectiveGranularity(geom);
 
     Rng rng(seed_);
     if (pattern_.direction == ReuseDirection::Vertical) {
@@ -91,7 +111,39 @@ ReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
         }
     }
     Tensor wr = reorder_cols ? permuteRows(w, colPerm_) : w;
+    return reuseCore(xr, wr, row_perm, reorder_rows, geom, ledger);
+}
 
+Tensor
+ReuseConvAlgo::multiplyReordered(const Tensor &xr, const Tensor &wr,
+                                 const ConvGeometry &geom,
+                                 CostLedger *ledger)
+{
+    GENREUSE_REQUIRE(fitted_, "ReuseConvAlgo::multiplyReordered before "
+                              "fit()");
+    GENREUSE_REQUIRE(geom.cols() == fittedDin_,
+                     "geometry changed since fit: Din ", geom.cols(),
+                     " vs ", fittedDin_);
+    const std::vector<uint32_t> row_perm = rowPermutation(pattern_, geom);
+    const bool reorder_rows = !isIdentity(row_perm);
+    const bool reorder_cols = !isIdentity(colPerm_);
+    // The caller supplied pre-reordered inputs; the transformation is
+    // still charged (the paper includes reorder cost in every reported
+    // latency), keeping ledgers identical to multiply().
+    if ((reorder_rows || reorder_cols) && ledger) {
+        OpCounts tf;
+        tf.elemMoves = xr.size();
+        ledger->add(Stage::Transformation, tf);
+    }
+    return reuseCore(xr, wr, row_perm, reorder_rows, geom, ledger);
+}
+
+Tensor
+ReuseConvAlgo::reuseCore(const Tensor &xr, const Tensor &wr,
+                         const std::vector<uint32_t> &row_perm,
+                         bool reorder_rows, const ConvGeometry &geom,
+                         CostLedger *ledger)
+{
     lastStats_ = ReuseStats{};
     Tensor yr;
     if (pattern_.direction == ReuseDirection::Vertical) {
@@ -104,11 +156,8 @@ ReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
             yr = horizontalReuseMultiply(xr, wr, plan, families_, ledger,
                                          &lastStats_);
         } else {
-            // Batch size differs from the fitting sample: all full
-            // bands share the same height, so the first family covers
-            // them (a short trailing band falls back to exact GEMM).
-            std::vector<HashFamily> shared = {families_.front()};
-            yr = horizontalReuseMultiply(xr, wr, plan, shared, ledger,
+            yr = horizontalReuseMultiply(xr, wr, plan,
+                                         remapFamilies(plan), ledger,
                                          &lastStats_);
         }
     }
@@ -122,6 +171,48 @@ ReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
         }
     }
     return yr;
+}
+
+std::vector<HashFamily>
+ReuseConvAlgo::remapFamilies(const HorizontalSlicing &plan)
+{
+    // Batch size differs from the fitting sample, so the fitted band
+    // count does not match the run's banding plan. All full bands
+    // share the band height, so every fitted full-height family is
+    // applicable: cycle them across the run's bands instead of
+    // collapsing onto the first (which silently discarded the other
+    // per-band fits). Bands with no matching family — the short
+    // trailing band, or every band when the fit batch was smaller than
+    // the granularity — fall back to exact GEMM inside
+    // horizontalReuseMultiply.
+    std::vector<const HashFamily *> full;
+    for (const HashFamily &f : families_)
+        if (f.vectorLength() == plan.bandHeight)
+            full.push_back(&f);
+
+    if (!warnedBandMismatch_) {
+        warnedBandMismatch_ = true;
+        if (full.empty()) {
+            warn("horizontal reuse ", pattern_.describe(), ": fitted ",
+                 families_.size(), " band(s) of height ",
+                 families_.front().vectorLength(),
+                 " but the run needs height ", plan.bandHeight,
+                 "; all bands fall back to exact GEMM");
+        } else {
+            warn("horizontal reuse ", pattern_.describe(),
+                 ": batch mismatch (fit ", families_.size(),
+                 " bands, run ", plan.numBands, "); cycling ",
+                 full.size(), " fitted full-height families");
+        }
+    }
+
+    std::vector<HashFamily> mapped;
+    mapped.reserve(plan.numBands);
+    for (size_t i = 0; i < plan.numBands; ++i) {
+        mapped.push_back(full.empty() ? families_.front()
+                                      : *full[i % full.size()]);
+    }
+    return mapped;
 }
 
 std::string

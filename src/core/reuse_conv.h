@@ -50,8 +50,28 @@ class ReuseConvAlgo : public ConvAlgo
      */
     void fit(const Tensor &sample_default_x, const ConvGeometry &geom);
 
+    /**
+     * Fit from a sample whose columns are *already* permuted into the
+     * pattern's order. The exploration engine memoizes that reorder
+     * across candidates sharing a column order; results are identical
+     * to fit() on the default layout.
+     */
+    void fitReordered(const Tensor &sample_reordered_x,
+                      const ConvGeometry &geom);
+
     Tensor multiply(const Tensor &x, const Tensor &w,
                     const ConvGeometry &geom, CostLedger *ledger) override;
+
+    /**
+     * multiply() for inputs already in the pattern's row/column order
+     * (weights pre-permuted to match). The transformation cost is
+     * charged exactly as multiply() would, so ledgers — and therefore
+     * latency estimates — are bit-identical; only the redundant
+     * per-candidate reorder work is skipped. Used by the exploration
+     * engine with memoized reorders.
+     */
+    Tensor multiplyReordered(const Tensor &xr, const Tensor &wr,
+                             const ConvGeometry &geom, CostLedger *ledger);
 
     std::string describe() const override;
 
@@ -62,6 +82,13 @@ class ReuseConvAlgo : public ConvAlgo
     const ReuseStats &lastStats() const { return lastStats_; }
 
   private:
+    void fitFamilies(const Tensor &sample, const ConvGeometry &geom);
+    Tensor reuseCore(const Tensor &xr, const Tensor &wr,
+                     const std::vector<uint32_t> &row_perm,
+                     bool reorder_rows, const ConvGeometry &geom,
+                     CostLedger *ledger);
+    std::vector<HashFamily> remapFamilies(const HorizontalSlicing &plan);
+
     ReusePattern pattern_;
     HashMode mode_;
     uint64_t seed_;
@@ -72,6 +99,7 @@ class ReuseConvAlgo : public ConvAlgo
     std::vector<HashFamily> families_;
     bool fitted_ = false;
     size_t fittedDin_ = 0;
+    bool warnedBandMismatch_ = false;
 
     ReuseStats lastStats_;
 };

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "explorer.h"
 #include "pareto.h"
 #include "tensor/im2col.h"
 
@@ -58,13 +59,10 @@ selectReusePattern(Network &net, Conv2D &layer, const Dataset &train_data,
     GENREUSE_REQUIRE(!candidates.empty(),
                      "scope produced no valid patterns for ",
                      layer.name());
-    for (const ReusePattern &p : candidates) {
-        CandidateProfile prof;
-        prof.pattern = p;
-        prof.accuracy = accuracyBound(sample_x, w, p, geom, config.seed);
-        prof.latency = estimateLatency(sample_x, w, p, geom, config.seed);
-        result.profiles.push_back(std::move(prof));
-    }
+    ThreadPool pool(config.threads);
+    ExplorationCache cache(sample_x, w, geom);
+    result.profiles =
+        profileCandidates(candidates, cache, config.seed, pool);
     result.profilingSeconds = watch.seconds();
 
     // ---- analytic prune (Pareto over bound x predicted latency) ----
@@ -81,18 +79,41 @@ selectReusePattern(Network &net, Conv2D &layer, const Dataset &train_data,
         0, std::min(config.fitImages, train_data.size()));
     Dataset eval = test_data.slice(
         0, std::min(config.evalImages, test_data.size()));
-    for (size_t idx : result.promising) {
-        const ReusePattern &p = result.profiles[idx].pattern;
-        fitAndInstall(net, layer, p, fit_sample, HashMode::Learned,
-                      config.seed);
-        Measurement m = measureNetwork(net, eval, model);
-        CheckedPattern cp;
-        cp.pattern = p;
-        cp.accuracy = m.accuracy;
-        cp.latencyMs = m.perImageMs;
-        cp.redundancyRatio = m.stats.redundancyRatio();
-        result.checked.push_back(cp);
+    if (!result.promising.empty()) {
+        // Forward the fitting batch once and memoize its im2col; each
+        // promising candidate then fits from the cached column-reordered
+        // view instead of re-running the network (what fitAndInstall()
+        // would do per candidate). Learned fits on the reordered sample
+        // are identical to fit() on the default layout.
         layer.resetAlgo();
+        Tensor fit_x_imgs = fit_sample.gatherImages([&] {
+            std::vector<size_t> idx(fit_sample.size());
+            for (size_t i = 0; i < idx.size(); ++i)
+                idx[i] = i;
+            return idx;
+        }());
+        net.forward(fit_x_imgs, /*training=*/false);
+        ExplorationCache fit_cache(layer.lastIm2col(), w,
+                                   layer.lastGeometry());
+        for (size_t idx : result.promising) {
+            const ReusePattern &p = result.profiles[idx].pattern;
+            auto algo = std::make_shared<ReuseConvAlgo>(
+                p, HashMode::Learned, config.seed);
+            if (usesCustomOrder(p))
+                algo->fit(fit_cache.defaultSample(), fit_cache.geometry());
+            else
+                algo->fitReordered(fit_cache.fitSample(p),
+                                   fit_cache.geometry());
+            layer.setAlgo(algo);
+            Measurement m = measureNetwork(net, eval, model);
+            CheckedPattern cp;
+            cp.pattern = p;
+            cp.accuracy = m.accuracy;
+            cp.latencyMs = m.perImageMs;
+            cp.redundancyRatio = m.stats.redundancyRatio();
+            result.checked.push_back(cp);
+            layer.resetAlgo();
+        }
     }
     result.fullCheckSeconds = watch.seconds();
 

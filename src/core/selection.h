@@ -52,6 +52,13 @@ struct SelectionConfig
     size_t evalImages = 64;     //!< test subset for the full check
     McuSpec board = McuSpec::stm32f469i();
     uint64_t seed = 7;
+
+    /**
+     * Worker threads for candidate profiling (0 = hardware
+     * concurrency). The result is bit-identical for every value; 1
+     * reproduces the serial workflow exactly (see explorer.h).
+     */
+    size_t threads = 0;
 };
 
 /** Full workflow output, including the Table 2 time breakdown. */

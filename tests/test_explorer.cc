@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the parallel exploration engine: ThreadPool behavior, the
+ * ExplorationCache's bit-identity with the uncached serial path, and
+ * the engine's determinism guarantee (identical SelectionResult for
+ * every thread count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "core/explorer.h"
+#include "core/selection.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "nn/trainer.h"
+
+namespace genreuse {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    const size_t n = 500;
+    std::vector<int> hits(n, 0);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(n, [&](size_t i) {
+        hits[i] += 1; // index-addressed: no race
+        total.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), n);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineWithoutWorkers)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.concurrency(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    bool all_inline = true;
+    pool.parallelFor(32, [&](size_t) {
+        if (std::this_thread::get_id() != caller)
+            all_inline = false;
+    });
+    EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPool, SubmitAndWaitCompletesAllTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForZeroIterations)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, MoreIterationsThanWorkers)
+{
+    ThreadPool pool(2);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(97, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 97u);
+}
+
+// --------------------------------------------------------------- cache
+
+TEST(Explorer, CustomOrderDetection)
+{
+    ReusePattern p;
+    EXPECT_FALSE(usesCustomOrder(p));
+    p.columnOrder = ColumnOrder::Custom;
+    EXPECT_TRUE(usesCustomOrder(p));
+    p.columnOrder = ColumnOrder::ChannelMajor;
+    p.rowOrder = RowOrder::Custom;
+    EXPECT_TRUE(usesCustomOrder(p));
+}
+
+/** A conv layer with a batch-1 im2col sample for profiling. */
+struct ExplorerFixture
+{
+    Rng rng{42};
+    Conv2D conv{"conv", 3, 8, 5, 1, 2, rng};
+    Dataset data;
+    Tensor sample; // batch-1 im2col (geom.rows() x Din)
+    Tensor w;
+    ConvGeometry geom;
+
+    ExplorerFixture()
+    {
+        SyntheticConfig cfg;
+        cfg.numSamples = 4;
+        cfg.noiseStddev = 0.0f;
+        cfg.redundancy = 0.9f;
+        data = makeSyntheticCifar(cfg);
+        conv.forward(data.gatherImages({0}), false);
+        sample = conv.lastIm2col();
+        geom = conv.lastGeometry();
+        w = conv.weightMatrix();
+    }
+
+    std::vector<ReusePattern>
+    candidates(size_t cap = 16)
+    {
+        auto all =
+            enumeratePatterns(PatternScope::defaultScope(geom), geom);
+        if (all.size() > cap)
+            all.resize(cap);
+        return all;
+    }
+};
+
+/** Wrap profile vectors so identicalResults can compare them. */
+SelectionResult
+asResult(std::vector<CandidateProfile> profiles)
+{
+    SelectionResult r;
+    r.profiles = std::move(profiles);
+    return r;
+}
+
+TEST(Explorer, CachedProfilesMatchUncachedSerialLoop)
+{
+    ExplorerFixture f;
+    const uint64_t seed = 7;
+    std::vector<ReusePattern> cands = f.candidates();
+
+    // The pre-engine serial loop, verbatim.
+    std::vector<CandidateProfile> reference;
+    for (const ReusePattern &p : cands) {
+        CandidateProfile prof;
+        prof.pattern = p;
+        prof.accuracy = accuracyBound(f.sample, f.w, p, f.geom, seed);
+        prof.latency = estimateLatency(f.sample, f.w, p, f.geom, seed);
+        reference.push_back(std::move(prof));
+    }
+
+    ExplorationCache cache(f.sample, f.w, f.geom);
+    std::vector<CandidateProfile> cached;
+    for (const ReusePattern &p : cands)
+        cached.push_back(profileCandidate(p, cache, seed));
+
+    EXPECT_GT(cache.entries(), 0u);
+    EXPECT_TRUE(identicalResults(asResult(std::move(reference)),
+                                 asResult(std::move(cached))));
+}
+
+TEST(Explorer, ProfilesIdenticalAcrossThreadCounts)
+{
+    ExplorerFixture f;
+    std::vector<ReusePattern> cands = f.candidates();
+
+    ThreadPool serial(1), wide(8);
+    ExplorationCache cache1(f.sample, f.w, f.geom);
+    ExplorationCache cache8(f.sample, f.w, f.geom);
+    auto p1 = profileCandidates(cands, cache1, 7, serial);
+    auto p8 = profileCandidates(cands, cache8, 7, wide);
+
+    ASSERT_EQ(p1.size(), cands.size());
+    EXPECT_TRUE(identicalResults(asResult(std::move(p1)),
+                                 asResult(std::move(p8))));
+}
+
+TEST(Explorer, IdenticalResultsDetectsDifferences)
+{
+    ExplorerFixture f;
+    std::vector<ReusePattern> cands = f.candidates(4);
+    ExplorationCache cache(f.sample, f.w, f.geom);
+    std::vector<CandidateProfile> a, b;
+    for (const ReusePattern &p : cands) {
+        a.push_back(profileCandidate(p, cache, 7));
+        b.push_back(a.back());
+    }
+    b[1].accuracy.bound += 1e-9;
+    EXPECT_FALSE(identicalResults(asResult(std::move(a)),
+                                  asResult(std::move(b))));
+}
+
+// ---------------------------------------------- workflow determinism
+
+class ExplorerWorkflow : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(60);
+        net_ = std::make_unique<Network>(makeTinyNet(rng));
+        SyntheticConfig cfg;
+        cfg.numSamples = 48;
+        cfg.seed = 61;
+        train_ = makeSyntheticCifar(cfg);
+        cfg.seed = 62;
+        cfg.numSamples = 24;
+        test_ = makeSyntheticCifar(cfg);
+        TrainConfig tcfg;
+        tcfg.epochs = 3;
+        tcfg.batchSize = 12;
+        tcfg.sgd.learningRate = 0.01;
+        tcfg.sgd.momentum = 0.9;
+        train(*net_, train_, tcfg);
+    }
+
+    SelectionResult
+    run(size_t threads)
+    {
+        Conv2D *conv = net_->findConv("conv2");
+        ConvGeometry geom = conv->geometry({1, 8, 16, 16});
+        PatternScope scope = PatternScope::smallScope(geom);
+        SelectionConfig cfg;
+        cfg.promisingCount = 3;
+        cfg.evalImages = 12;
+        cfg.threads = threads;
+        return selectReusePattern(*net_, *conv, train_, test_, scope,
+                                  cfg);
+    }
+
+    std::unique_ptr<Network> net_;
+    Dataset train_, test_;
+};
+
+TEST_F(ExplorerWorkflow, SelectionBitIdenticalThreads1Vs8)
+{
+    SelectionResult serial = run(1);
+    SelectionResult parallel = run(8);
+    EXPECT_FALSE(serial.profiles.empty());
+    EXPECT_FALSE(serial.checked.empty());
+    EXPECT_TRUE(identicalResults(serial, parallel));
+}
+
+// -------------------------------------------------- degenerate speedup
+
+TEST(LatencyModelDeath, SpeedupPanicsOnDegenerateLedger)
+{
+    // A default-constructed estimate has an all-zero reuse ledger; the
+    // old code silently reported "no speedup" (1.0) for it, which let
+    // broken candidates survive Pareto ranking.
+    CostModel model(McuSpec::stm32f469i());
+    LatencyEstimate est;
+    ASSERT_DEATH_IF_SUPPORTED((void)est.speedup(model), "degenerate");
+}
+
+} // namespace
+} // namespace genreuse

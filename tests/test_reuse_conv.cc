@@ -176,6 +176,94 @@ TEST(ReuseConvAlgo, InstalledInConv2DKeepsAccuracy)
     EXPECT_LT(maxAbsDiff(exact_out, back), 1e-5f);
 }
 
+TEST(ReuseConvAlgo, HorizontalBatchMismatchCyclesFittedFamilies)
+{
+    // Regression: with a horizontal pattern fitted on a 2-image sample
+    // (8 bands of 256 rows) and run on a 1-image input (4 bands), the
+    // fallback used to collapse every band onto families_.front(),
+    // discarding the other per-band fits. The fix cycles the fitted
+    // full-height families, so bands 0..3 use families 0..3 — exactly
+    // what a fit on the first image alone would produce.
+    ConvFixture f;
+    Tensor x2 = f.sampleX(); // images {0,1}: 2048 x 75
+    f.conv.forward(f.data.gatherImages({0}), false);
+    Tensor x1 = f.conv.lastIm2col(); // image {0}: 1024 x 75
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    ReusePattern p;
+    p.direction = ReuseDirection::Horizontal;
+    p.granularity = 256;
+    p.numHashes = 8;
+
+    ReuseConvAlgo fit_big(p, HashMode::Learned, 4);
+    fit_big.fit(x2, geom);
+    Tensor mismatched = fit_big.multiply(x1, w, geom, nullptr);
+    EXPECT_EQ(fit_big.lastStats().numPanels, 4u);
+
+    ReuseConvAlgo fit_ref(p, HashMode::Learned, 4);
+    fit_ref.fit(x1, geom);
+    Tensor reference = fit_ref.multiply(x1, w, geom, nullptr);
+    EXPECT_EQ(fit_ref.lastStats().numPanels, 4u);
+
+    // Learned families for bands 0..3 are fitted from the same rows in
+    // both samples, so the cycled result matches the reference run.
+    EXPECT_LT(maxAbsDiff(reference, mismatched), 1e-6f);
+}
+
+TEST(ReuseConvAlgo, HorizontalSmallerFitBatchStillReusesAllBands)
+{
+    // The reverse mismatch: fit on 1 image (4 bands), run on 2 images
+    // (8 bands). The 4 fitted families cycle across all 8 bands, so
+    // every band executes reuse (no exact-GEMM fallback).
+    ConvFixture f;
+    f.conv.forward(f.data.gatherImages({0}), false);
+    Tensor x1 = f.conv.lastIm2col();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor x2 = f.sampleX();
+    Tensor w = f.conv.weightMatrix();
+
+    ReusePattern p;
+    p.direction = ReuseDirection::Horizontal;
+    p.granularity = 256;
+    p.numHashes = 8;
+
+    ReuseConvAlgo algo(p, HashMode::Learned, 4);
+    algo.fit(x1, geom);
+    Tensor approx = algo.multiply(x2, w, geom, nullptr);
+    EXPECT_EQ(approx.shape(), Shape({x2.shape().rows(), 8u}));
+    EXPECT_EQ(algo.lastStats().numPanels, 8u);
+    EXPECT_LT(relativeError(matmul(x2, w), approx), 0.5);
+}
+
+TEST(ReuseConvAlgo, HorizontalBandHeightMismatchFallsBackToExact)
+{
+    // A fit sample smaller than the band height fits a single short
+    // family (height 300) that matches no full run band (height 512):
+    // no fitted family applies and every band runs the exact GEMM.
+    ConvFixture f;
+    f.conv.forward(f.data.gatherImages({0}), false);
+    Tensor x1 = f.conv.lastIm2col();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    const size_t din = x1.shape().cols();
+    Tensor small({300, din});
+    std::copy(x1.data(), x1.data() + 300 * din, small.data());
+
+    ReusePattern p;
+    p.direction = ReuseDirection::Horizontal;
+    p.granularity = 512;
+    p.numHashes = 8;
+
+    ReuseConvAlgo algo(p, HashMode::Learned, 4);
+    algo.fit(small, geom);
+    Tensor approx = algo.multiply(x1, w, geom, nullptr);
+    EXPECT_EQ(algo.lastStats().numPanels, 0u);
+    EXPECT_EQ(algo.lastStats().totalVectors, 0u);
+    EXPECT_LT(maxAbsDiff(matmul(x1, w), approx), 1e-4f);
+}
+
 TEST(Measurement, FitAndInstallOnNetwork)
 {
     Rng rng(50);
