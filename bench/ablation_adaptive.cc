@@ -85,12 +85,16 @@ main()
     struct Policy
     {
         const char *name;
+        const char *key;
         ConvAlgo *algo;
     };
-    Policy policies[] = {{"static aggressive (H=2)", aggressive.get()},
-                         {"static conservative (H=8)", conservative.get()},
-                         {"adaptive (probe)", &adaptive}};
+    Policy policies[] = {
+        {"static aggressive (H=2)", "aggressive", aggressive.get()},
+        {"static conservative (H=8)", "conservative", conservative.get()},
+        {"adaptive (probe)", "adaptive", &adaptive}};
 
+    BenchJson bj("ablation_adaptive");
+    bj.meta("frames", static_cast<double>(frames));
     TextTable t;
     t.setHeader({"policy", "mean rel. error", "worst rel. error",
                  "mean ms/frame", "aggressive used"});
@@ -115,6 +119,10 @@ main()
                       ? std::to_string(aggressive_used) + "/" +
                             std::to_string(frames)
                       : "-"});
+        bj.record(std::string(pol.key) + "/meanRelError", err_sum / frames);
+        bj.record(std::string(pol.key) + "/worstRelError", err_worst);
+        bj.record(std::string(pol.key) + "/meanMsPerFrame",
+                  ms_sum / frames);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Expected shape: adaptive matches the aggressive policy's "

@@ -72,6 +72,7 @@ main()
         {"R2 blocks (cross image)", RowOrder::PixelMajor, 2},
     };
 
+    BenchJson bj("ablation_cross_image");
     TextTable t;
     t.setHeader({"config", "H", "r_t", "rel. error", "cluster invocations"});
     for (size_t h : {4, 6}) {
@@ -90,6 +91,12 @@ main()
                       formatDouble(relativeError(exact, approx), 4),
                       std::to_string(
                           ledger.stage(Stage::Clustering).tableOps)});
+            const std::string key =
+                std::string(c.name) + "/H" + std::to_string(h);
+            bj.record(key + "/relError", relativeError(exact, approx));
+            bj.record(key + "/clusterInvocations",
+                      static_cast<double>(
+                          ledger.stage(Stage::Clustering).tableOps));
         }
         t.addSeparator();
     }

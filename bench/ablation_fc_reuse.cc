@@ -40,6 +40,7 @@ main()
     Tensor w = Tensor::randomNormal({f, o}, rng, 0.0f, 0.05f);
     Tensor exact = matmul(x, w);
 
+    BenchJson bj("ablation_fc_reuse");
     TextTable t;
     t.setHeader({"H", "r_t", "rel. error", "reuse MACs", "exact MACs",
                  "FC latency ratio", "conv-equivalent ratio"});
@@ -75,6 +76,12 @@ main()
                                exact_ledger.totalMs(model), 3),
                   formatDouble(conv_like.totalMs(model) /
                                exact_ledger.totalMs(model), 3)});
+        const std::string key = "H" + std::to_string(h);
+        bj.record(key + "/relError", relativeError(exact, y));
+        bj.record(key + "/fcLatencyRatio",
+                  ledger.totalMs(model) / exact_ledger.totalMs(model));
+        bj.record(key + "/convEquivalentRatio",
+                  conv_like.totalMs(model) / exact_ledger.totalMs(model));
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Expected shape: FC latency ratio stays near or above 1 "

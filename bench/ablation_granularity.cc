@@ -55,6 +55,7 @@ main()
     Tensor w = Tensor::randomNormal({geom.cols(), 64}, rng, 0.0f, 0.05f);
     Tensor exact = matmul(fit_x, w);
 
+    BenchJson bj("ablation_granularity");
     TextTable t;
     t.setHeader({"L", "slices K", "r_t", "rel. error", "latency(ms)",
                  "speedup vs exact"});
@@ -76,6 +77,9 @@ main()
                   formatDouble(algo.lastStats().redundancyRatio(), 3),
                   formatDouble(relativeError(exact, approx), 4),
                   formatDouble(ms, 2), formatSpeedup(exact_ms / ms)});
+        const std::string key = "L" + std::to_string(l);
+        bj.record(key + "/relError", relativeError(exact, approx));
+        bj.record(key + "/speedupVsExact", exact_ms / ms);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Expected shape (§5.3.1): speedup grows with L (fewer "

@@ -25,6 +25,8 @@ main()
     cfg.noiseStddev = 0.01f;
     Dataset data = makeSyntheticCifar(cfg);
 
+    BenchJson bj("ablation_key_condition");
+    size_t agree = 0, total = 0;
     TextTable t;
     t.setHeader({"Dout", "H", "r_t", "H/Dout", "key condition",
                  "FLOP ratio", "MACs saved"});
@@ -55,11 +57,20 @@ main()
                       est.keyConditionHolds(geom) ? "holds" : "violated",
                       formatDouble(est.flopRatio(geom), 3),
                       saved ? "yes" : "no"});
+            const std::string key = "Dout" + std::to_string(dout) + "/H" +
+                                    std::to_string(h);
+            bj.record(key + "/flopRatio", est.flopRatio(geom));
+            bj.record(key + "/keyConditionHolds",
+                      est.keyConditionHolds(geom) ? 1.0 : 0.0);
+            total++;
+            if (saved == est.keyConditionHolds(geom))
+                agree++;
         }
         t.addSeparator();
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Expected: 'MACs saved' agrees with the key condition "
                 "column (FLOP ratio < 1 iff H/Dout < r_t).\n");
+    bj.record("agreementRate", static_cast<double>(agree) / total);
     return 0;
 }

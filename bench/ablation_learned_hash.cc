@@ -22,9 +22,11 @@ main()
     std::printf("=== Ablation: learned vs random LSH hash vectors "
                 "(CifarNet Conv2) ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("ablation_learned_hash");
     Workbench wb = makeWorkbench(ModelKind::CifarNet);
     Conv2D *layer = wb.net.findConv("conv2");
     std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+    bj.record("baselineAccuracy", wb.baselineAccuracy);
 
     ReusePattern p;
     p.granularity = 25;
@@ -32,26 +34,36 @@ main()
 
     std::vector<double> random_accs;
     Dataset fit = wb.train.slice(0, 4);
-    for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const uint64_t seeds = smokeMode() ? 2 : 5;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
         fitAndInstall(wb.net, *layer, p, fit, HashMode::Random, seed);
-        Measurement m = measureNetwork(wb.net, wb.test, model, 48);
+        Measurement m =
+            measureNetwork(wb.net, wb.test, model, evalImages(48));
         resetAllConvs(wb.net);
         random_accs.push_back(m.accuracy);
     }
     fitAndInstall(wb.net, *layer, p, fit, HashMode::Learned, 1);
-    Measurement learned = measureNetwork(wb.net, wb.test, model, 48);
+    Measurement learned =
+        measureNetwork(wb.net, wb.test, model, evalImages(48));
     resetAllConvs(wb.net);
 
     TextTable t;
     t.setHeader({"hash vectors", "accuracy (min)", "accuracy (max)",
                  "accuracy (mean)", "stddev"});
-    t.addRow({"random (5 seeds)",
+    t.addRow({"random (" + std::to_string(seeds) + " seeds)",
               formatDouble(*std::min_element(random_accs.begin(),
                                              random_accs.end()), 4),
               formatDouble(*std::max_element(random_accs.begin(),
                                              random_accs.end()), 4),
               formatDouble(mean(random_accs), 4),
               formatDouble(stddev(random_accs), 4)});
+    bj.record("random/minAccuracy",
+              *std::min_element(random_accs.begin(), random_accs.end()));
+    bj.record("random/maxAccuracy",
+              *std::max_element(random_accs.begin(), random_accs.end()));
+    bj.record("random/meanAccuracy", mean(random_accs));
+    bj.record("random/stddev", stddev(random_accs));
+    bj.record("learned/accuracy", learned.accuracy);
     t.addRow({"learned (deterministic)", formatDouble(learned.accuracy, 4),
               formatDouble(learned.accuracy, 4),
               formatDouble(learned.accuracy, 4), "0.0000"});

@@ -45,6 +45,7 @@ main()
                                     0.0f, 0.1f);
     Tensor exact = matmul(run_x, w);
 
+    BenchJson bj("ablation_neuron_blocks");
     TextTable t;
     t.setHeader({"blockRows", "H", "r_t", "rel. error", "latency(ms)",
                  "vs r=1"});
@@ -70,6 +71,10 @@ main()
                       formatDouble(relativeError(exact, approx), 4),
                       formatDouble(ms, 2),
                       formatSpeedup(r1_ms / ms)});
+            const std::string key = "r" + std::to_string(r) + "/H" +
+                                    std::to_string(h);
+            bj.record(key + "/relError", relativeError(exact, approx));
+            bj.record(key + "/latencyMs", ms);
         }
         t.addSeparator();
     }

@@ -39,6 +39,7 @@ main()
         {"SqueezeNet.Fire2.expand3x3", 16, 16, 64, 3, 1, 1},
     };
 
+    BenchJson bj("ablation_streaming");
     TextTable t;
     t.setHeader({"layer", "im2col KB", "streaming KB", "saving",
                  "r_t", "output match"});
@@ -97,6 +98,11 @@ main()
                                 res.peakScratchBytes),
                   formatDouble(res.stats.redundancyRatio(), 3),
                   match ? "yes" : "NO"});
+        bj.record(std::string(c.name) + "/im2colKB",
+                  res.im2colBytes / 1024.0);
+        bj.record(std::string(c.name) + "/streamingKB",
+                  res.peakScratchBytes / 1024.0);
+        bj.record(std::string(c.name) + "/outputMatch", match ? 1.0 : 0.0);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Expected shape: streaming cuts the reuse pipeline's "

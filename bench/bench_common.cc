@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 #include "core/accuracy_model.h"
@@ -9,6 +11,137 @@
 #include "core/pareto.h"
 
 namespace genreuse::bench {
+
+bool
+smokeMode()
+{
+    const char *v = std::getenv("GENREUSE_BENCH_SMOKE");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+size_t
+evalImages(size_t full)
+{
+    return smokeMode() ? std::min<size_t>(full, 4) : full;
+}
+
+BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name))
+{
+    const char *dir = std::getenv("GENREUSE_BENCH_JSON_DIR");
+    std::string d = (dir && *dir) ? dir : ".";
+    if (d.back() != '/')
+        d += '/';
+    path_ = d + "BENCH_" + name_ + ".json";
+}
+
+BenchJson::~BenchJson()
+{
+    write();
+}
+
+void
+BenchJson::meta(const std::string &key, const std::string &value)
+{
+    meta_.push_back({key, true, value, 0.0});
+}
+
+void
+BenchJson::meta(const std::string &key, double value)
+{
+    meta_.push_back({key, false, {}, value});
+}
+
+void
+BenchJson::record(const std::string &key, double value)
+{
+    results_.push_back({key, false, {}, value});
+}
+
+void
+BenchJson::addSeries(const std::string &name,
+                     const std::vector<SeriesPoint> &series)
+{
+    series_.emplace_back(name, series);
+}
+
+void
+BenchJson::extra(const std::string &key, const std::string &raw_json)
+{
+    extra_.emplace_back(key, raw_json);
+}
+
+namespace {
+
+void
+writeScalars(JsonWriter &w, const std::vector<BenchJson::Scalar> &items);
+
+} // namespace
+
+void
+BenchJson::write()
+{
+    if (written_)
+        return;
+    written_ = true;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("genreuse.bench/1");
+    w.key("bench").value(name_);
+    w.key("smoke").value(smokeMode());
+    w.key("meta");
+    writeScalars(w, meta_);
+    w.key("results");
+    writeScalars(w, results_);
+    w.key("series").beginObject();
+    for (const auto &[name, series] : series_) {
+        w.key(name).beginArray();
+        for (const SeriesPoint &p : series) {
+            w.beginObject();
+            w.key("label").value(p.label);
+            w.key("accuracy").value(p.accuracy);
+            w.key("latencyMs").value(p.latencyMs);
+            w.key("redundancy").value(p.redundancy);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    w.key("extra").beginObject();
+    for (const auto &[key, raw] : extra_)
+        w.key(key).raw(raw);
+    w.endObject();
+    w.endObject();
+
+    std::string doc = w.str();
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        warn("cannot write bench JSON to ", path_);
+        return;
+    }
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("[bench-json] wrote %s\n", path_.c_str());
+}
+
+namespace {
+
+void
+writeScalars(JsonWriter &w, const std::vector<BenchJson::Scalar> &items)
+{
+    w.beginObject();
+    for (const auto &it : items) {
+        w.key(it.key);
+        if (it.isString)
+            w.value(it.s);
+        else
+            w.value(it.d);
+    }
+    w.endObject();
+}
+
+} // namespace
 
 const char *
 modelName(ModelKind kind)
@@ -104,6 +237,12 @@ makeWorkbench(ModelKind kind, uint64_t seed, size_t train_samples,
         train_samples = defaultTrainSamples(kind);
     if (epochs == 0)
         epochs = defaultEpochs(kind);
+    if (smokeMode()) {
+        // Same pipeline, CI-friendly sizes; records are tagged smoke.
+        train_samples = std::min<size_t>(train_samples, 48);
+        test_samples = std::min<size_t>(test_samples, 24);
+        epochs = 1;
+    }
     // Noisier, less redundant images than the unit-test defaults so
     // accuracies land below 1.0 and the accuracy axis of the spectra
     // is informative (paper figures span ~0.70-0.85).

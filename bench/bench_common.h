@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/table.h"
 #include "core/measurement.h"
 #include "core/pattern_space.h"
@@ -25,6 +26,77 @@
 #include "nn/trainer.h"
 
 namespace genreuse::bench {
+
+/**
+ * True when the GENREUSE_BENCH_SMOKE environment variable is set (and
+ * not "0"): benches shrink training/eval sizes so the whole suite runs
+ * in CI seconds while still exercising every code path and emitting
+ * the same JSON records (tagged "smoke": true).
+ */
+bool smokeMode();
+
+/** @return @p full, reduced to a small count in smoke mode. */
+size_t evalImages(size_t full);
+
+struct SeriesPoint;
+
+/**
+ * Schema-versioned machine-readable bench record
+ * (schema "genreuse.bench/1"). Every bench binary creates one, fills
+ * metadata/results/series while printing its human tables as before,
+ * and the destructor writes BENCH_<name>.json into
+ * $GENREUSE_BENCH_JSON_DIR (default: the working directory). Key order
+ * is insertion order and doubles print with stable precision, so
+ * records from two runs can be diffed textually.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string bench_name);
+    ~BenchJson(); //!< writes the record (unless write() already ran)
+
+    BenchJson(const BenchJson &) = delete;
+    BenchJson &operator=(const BenchJson &) = delete;
+
+    /** Free-form metadata (model name, board, H sweep, ...). */
+    void meta(const std::string &key, const std::string &value);
+    void meta(const std::string &key, double value);
+
+    /** A scalar result (speedup, accuracy drop, ...). */
+    void record(const std::string &key, double value);
+
+    /** A measured accuracy/latency series (figure data). */
+    void addSeries(const std::string &name,
+                   const std::vector<SeriesPoint> &series);
+
+    /** Splice an arbitrary pre-serialized JSON value under @p key in
+     *  the "extra" section (stage breakdowns, trace snapshots, ...). */
+    void extra(const std::string &key, const std::string &raw_json);
+
+    /** Destination path (dir from $GENREUSE_BENCH_JSON_DIR). */
+    const std::string &path() const { return path_; }
+
+    /** Serialize + write now; later calls to write() are no-ops. */
+    void write();
+
+    /** One scalar meta/result entry (string- or double-valued). */
+    struct Scalar
+    {
+        std::string key;
+        bool isString = false;
+        std::string s;
+        double d = 0.0;
+    };
+
+  private:
+    std::string name_;
+    std::string path_;
+    std::vector<Scalar> meta_;
+    std::vector<Scalar> results_;
+    std::vector<std::pair<std::string, std::vector<SeriesPoint>>> series_;
+    std::vector<std::pair<std::string, std::string>> extra_;
+    bool written_ = false;
+};
 
 /** A trained network plus its data splits. */
 struct Workbench

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Merges the per-bench BENCH_*.json artifacts of one run directory
+ * into a single suite document ("genreuse.bench-suite/1"), so a whole
+ * run can be archived or diffed as one file. Usage:
+ *
+ *     bench_json_merge [dir] [out]
+ *
+ * `dir` defaults to $GENREUSE_BENCH_JSON_DIR (or "."), `out` defaults
+ * to <dir>/BENCH_suite.json. Each input document is spliced verbatim
+ * under "benches" in filename order; the output file itself is skipped
+ * when rescanning, so the tool is idempotent.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Trim trailing whitespace/newlines so splices stay tight. */
+std::string
+rtrim(std::string s)
+{
+    while (!s.empty() &&
+           (s.back() == '\n' || s.back() == '\r' || s.back() == ' '))
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *env_dir = std::getenv("GENREUSE_BENCH_JSON_DIR");
+    fs::path dir = argc > 1 ? argv[1] : (env_dir ? env_dir : ".");
+    fs::path out = argc > 2 ? fs::path(argv[2]) : dir / "BENCH_suite.json";
+
+    if (!fs::is_directory(dir)) {
+        std::fprintf(stderr, "bench_json_merge: not a directory: %s\n",
+                     dir.string().c_str());
+        return 1;
+    }
+
+    std::vector<fs::path> inputs;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) != 0 ||
+            entry.path().extension() != ".json")
+            continue;
+        if (fs::weakly_canonical(entry.path()) ==
+            fs::weakly_canonical(out))
+            continue;
+        inputs.push_back(entry.path());
+    }
+    std::sort(inputs.begin(), inputs.end());
+
+    if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "bench_json_merge: no BENCH_*.json files in %s\n",
+                     dir.string().c_str());
+        return 1;
+    }
+
+    genreuse::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("genreuse.bench-suite/1");
+    w.key("count").value(static_cast<uint64_t>(inputs.size()));
+    w.key("benches").beginArray();
+    for (const fs::path &p : inputs)
+        w.raw(rtrim(readFile(p)));
+    w.endArray();
+    w.endObject();
+
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "bench_json_merge: cannot write %s\n",
+                     out.string().c_str());
+        return 1;
+    }
+    os << w.str() << "\n";
+    std::printf("[bench-json] merged %zu files -> %s\n", inputs.size(),
+                out.string().c_str());
+    return 0;
+}

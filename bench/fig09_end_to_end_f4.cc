@@ -20,6 +20,8 @@ main()
     std::printf("=== Figure 9: end-to-end accuracy vs latency, "
                 "STM32F469I (Cortex-M4) ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("fig09_end_to_end_f4");
+    bj.meta("board", model.spec().name);
 
     const ModelKind kinds[] = {ModelKind::CifarNet, ModelKind::ZfNet,
                                ModelKind::SqueezeNet,
@@ -29,8 +31,8 @@ main()
         std::printf("--- %s (baseline exact accuracy %.4f) ---\n",
                     modelName(kind), wb.baselineAccuracy);
 
-        auto sota = sotaSpectrum(wb, kind, model, 32);
-        auto ours = generalizedSpectrum(wb, kind, model, 32);
+        auto sota = sotaSpectrum(wb, kind, model, evalImages(32));
+        auto ours = generalizedSpectrum(wb, kind, model, evalImages(32));
         printSeries("SOTA (conventional reuse):", sota);
         printSeries("Generalized reuse (ours):", ours);
 
@@ -39,6 +41,15 @@ main()
                     "+%.1f%% accuracy at matched latency\n\n",
                     cmp.speedupAtMatchedAccuracy,
                     100.0 * cmp.accuracyGainAtMatchedLatency);
+
+        const std::string name = modelName(kind);
+        bj.record(name + "/baselineAccuracy", wb.baselineAccuracy);
+        bj.record(name + "/speedupAtMatchedAccuracy",
+                  cmp.speedupAtMatchedAccuracy);
+        bj.record(name + "/accuracyGainAtMatchedLatency",
+                  cmp.accuracyGainAtMatchedLatency);
+        bj.addSeries(name + "/sota", sota);
+        bj.addSeries(name + "/ours", ours);
     }
     return 0;
 }

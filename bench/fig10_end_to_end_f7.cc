@@ -20,6 +20,8 @@ main()
                 "STM32F767ZI (Cortex-M7) ===\n\n");
     CostModel f7(McuSpec::stm32f767zi());
     CostModel f4(McuSpec::stm32f469i());
+    BenchJson bj("fig10_end_to_end_f7");
+    bj.meta("board", f7.spec().name);
 
     const ModelKind kinds[] = {ModelKind::CifarNet, ModelKind::ZfNet,
                                ModelKind::SqueezeNet,
@@ -29,8 +31,8 @@ main()
         std::printf("--- %s (baseline exact accuracy %.4f) ---\n",
                     modelName(kind), wb.baselineAccuracy);
 
-        auto sota = sotaSpectrum(wb, kind, f7, 32);
-        auto ours = generalizedSpectrum(wb, kind, f7, 32);
+        auto sota = sotaSpectrum(wb, kind, f7, evalImages(32));
+        auto ours = generalizedSpectrum(wb, kind, f7, evalImages(32));
         printSeries("SOTA (conventional reuse):", sota);
         printSeries("Generalized reuse (ours):", ours);
 
@@ -48,6 +50,16 @@ main()
                     "%.1f ms (F7) -> F4/F7 = %.2fx\n\n",
                     m4.perImageMs, m7.perImageMs,
                     m4.perImageMs / m7.perImageMs);
+
+        const std::string name = modelName(kind);
+        bj.record(name + "/speedupAtMatchedAccuracy",
+                  cmp.speedupAtMatchedAccuracy);
+        bj.record(name + "/accuracyGainAtMatchedLatency",
+                  cmp.accuracyGainAtMatchedLatency);
+        bj.record(name + "/crossBoardF4overF7",
+                  m4.perImageMs / m7.perImageMs);
+        bj.addSeries(name + "/sota", sota);
+        bj.addSeries(name + "/ours", ours);
     }
     return 0;
 }

@@ -22,8 +22,11 @@ main()
     std::printf("=== Figure 11: reuse order (C1 channel-last vs C2 "
                 "channel-first), CifarNet ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("fig11_reuse_order");
+    bj.meta("board", model.spec().name);
     Workbench wb = makeWorkbench(ModelKind::CifarNet);
     std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+    bj.record("baselineAccuracy", wb.baselineAccuracy);
 
     for (const char *layer_name : {"conv1", "conv2"}) {
         Conv2D *layer = wb.net.findConv(layer_name);
@@ -50,11 +53,16 @@ main()
                  {std::pair<const char *, ReusePattern>{"C1", c1},
                   std::pair<const char *, ReusePattern>{"C2", c2}}) {
                 SingleLayerResult r =
-                    measureSingleLayer(wb, *layer, p, model, 40);
+                    measureSingleLayer(wb, *layer, p, model,
+                                       evalImages(40));
                 t.addRow({label, std::to_string(p.granularity),
                           std::to_string(h), formatDouble(r.accuracy, 4),
                           formatDouble(r.layerReuseMs, 2),
                           formatDouble(r.redundancy, 3)});
+                const std::string key = std::string(layer_name) + "/" +
+                                        label + "/H" + std::to_string(h);
+                bj.record(key + "/accuracy", r.accuracy);
+                bj.record(key + "/layerMs", r.layerReuseMs);
             }
         }
         std::printf("--- CifarNet %s ---\n%s\n", layer_name,

@@ -19,8 +19,11 @@ main()
     std::printf("=== Figure 12: reuse direction (M1 vertical vs M2 "
                 "horizontal), CifarNet ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("fig12_reuse_direction");
+    bj.meta("board", model.spec().name);
     Workbench wb = makeWorkbench(ModelKind::CifarNet);
     std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+    bj.record("baselineAccuracy", wb.baselineAccuracy);
 
     for (const char *layer_name : {"conv1", "conv2"}) {
         Conv2D *layer = wb.net.findConv(layer_name);
@@ -41,11 +44,16 @@ main()
                  {std::pair<const char *, ReusePattern>{"M1", m1},
                   std::pair<const char *, ReusePattern>{"M2", m2}}) {
                 SingleLayerResult r =
-                    measureSingleLayer(wb, *layer, p, model, 40);
+                    measureSingleLayer(wb, *layer, p, model,
+                                       evalImages(40));
                 t.addRow({label, std::to_string(p.granularity),
                           std::to_string(h), formatDouble(r.accuracy, 4),
                           formatDouble(r.layerReuseMs, 2),
                           formatDouble(r.redundancy, 3)});
+                const std::string key = std::string(layer_name) + "/" +
+                                        label + "/H" + std::to_string(h);
+                bj.record(key + "/accuracy", r.accuracy);
+                bj.record(key + "/layerMs", r.layerReuseMs);
             }
         }
         std::printf("--- CifarNet %s ---\n%s\n", layer_name,

@@ -20,9 +20,12 @@ main()
     std::printf("=== Figure 13: five reuse patterns on CifarNet Conv1 "
                 "===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("fig13_pattern_pareto");
+    bj.meta("board", model.spec().name);
     Workbench wb = makeWorkbench(ModelKind::CifarNet);
     Conv2D *layer = wb.net.findConv("conv1");
     std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+    bj.record("baselineAccuracy", wb.baselineAccuracy);
 
     // Five hand-picked, structurally different patterns.
     std::vector<ReusePattern> patterns(5);
@@ -45,12 +48,13 @@ main()
     std::vector<ParetoPoint> points;
     std::vector<SingleLayerResult> results;
     for (size_t i = 0; i < patterns.size(); ++i) {
-        SingleLayerResult r =
-            measureSingleLayer(wb, *layer, patterns[i], model, 48);
+        SingleLayerResult r = measureSingleLayer(wb, *layer, patterns[i],
+                                                 model, evalImages(48));
         points.push_back({r.layerReuseMs, r.accuracy, i});
         results.push_back(r);
     }
     auto front = paretoFront(points);
+    std::vector<SeriesPoint> series;
     for (size_t i = 0; i < patterns.size(); ++i) {
         bool on_front =
             std::find(front.begin(), front.end(), i) != front.end();
@@ -59,7 +63,14 @@ main()
                   formatDouble(results[i].layerReuseMs, 2),
                   formatDouble(results[i].redundancy, 3),
                   on_front ? "*" : ""});
+        SeriesPoint pt;
+        pt.label = patterns[i].describe() + (on_front ? " *" : "");
+        pt.accuracy = results[i].accuracy;
+        pt.latencyMs = results[i].layerReuseMs;
+        pt.redundancy = results[i].redundancy;
+        series.push_back(pt);
     }
+    bj.addSeries("conv1/patterns", series);
     std::printf("%s\n", t.render().c_str());
     std::printf("Patterns marked * are Pareto-optimal; users pick from "
                 "them per their accuracy/latency needs (§5.3.2).\n");

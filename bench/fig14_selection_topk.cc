@@ -42,6 +42,8 @@ main(int argc, char **argv)
     std::printf("=== Figure 14: analytic-model pattern selection, "
                 "CifarNet Conv2, 25 candidates ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("fig14_selection_topk");
+    bj.meta("board", model.spec().name);
     Workbench wb = makeWorkbench(ModelKind::CifarNet);
     Conv2D *layer = wb.net.findConv("conv2");
 
@@ -68,7 +70,8 @@ main(int argc, char **argv)
     // Empirical accuracy of every candidate (the upper-bound oracle).
     std::vector<double> acc(candidates.size(), 0.0);
     for (size_t i = 0; i < candidates.size(); ++i) {
-        acc[i] = measureSingleLayer(wb, *layer, candidates[i], model, 32)
+        acc[i] = measureSingleLayer(wb, *layer, candidates[i], model,
+                                    evalImages(32))
                      .accuracy;
     }
     double oracle = *std::max_element(acc.begin(), acc.end());
@@ -107,6 +110,8 @@ main(int argc, char **argv)
     TextTable t;
     t.setHeader({"k", "analytic model", "heuristic (r_t)",
                  "random (mean of 20)", "upper bound"});
+    bj.meta("candidates", static_cast<double>(candidates.size()));
+    bj.record("oracleAccuracy", oracle);
     for (size_t k : {1, 2, 3, 5, 8, 12, 25}) {
         if (k > candidates.size())
             k = candidates.size();
@@ -114,6 +119,10 @@ main(int argc, char **argv)
                   formatDouble(topK(heuristic, acc, k), 4),
                   formatDouble(randomTopK(k), 4),
                   formatDouble(oracle, 4)});
+        const std::string key = "k" + std::to_string(k);
+        bj.record(key + "/analytic", topK(analytic, acc, k));
+        bj.record(key + "/heuristic", topK(heuristic, acc, k));
+        bj.record(key + "/random", randomTopK(k));
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("The analytic model should reach the upper bound with a "

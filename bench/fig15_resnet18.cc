@@ -21,10 +21,13 @@ main()
     std::printf("=== Figure 15: ResNet-18 on 64x64 images (F4 board) "
                 "===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("fig15_resnet18");
+    bj.meta("board", model.spec().name);
     Workbench wb = makeWorkbench(ModelKind::ResNet18, 1000,
                                  /*train_samples=*/96,
                                  /*test_samples=*/24, /*epochs=*/3);
     std::printf("baseline exact accuracy: %.4f\n\n", wb.baselineAccuracy);
+    bj.record("baselineAccuracy", wb.baselineAccuracy);
 
     TextTable t;
     t.setHeader({"layer", "SOTA ms", "ours ms", "speedup", "dAccuracy"});
@@ -36,24 +39,27 @@ main()
         conventional.granularity =
             layer->kernelSize() * layer->kernelSize();
         conventional.numHashes = 4;
-        SingleLayerResult base =
-            measureSingleLayer(wb, *layer, conventional, model, 10);
+        SingleLayerResult base = measureSingleLayer(
+            wb, *layer, conventional, model, evalImages(10));
 
         ReusePattern ours =
             pickPatternAnalytically(wb.net, *layer, wb.train, 3, model);
         chosen.emplace_back(layer, ours);
         SingleLayerResult r =
-            measureSingleLayer(wb, *layer, ours, model, 10);
+            measureSingleLayer(wb, *layer, ours, model, evalImages(10));
 
         double speedup = base.layerReuseMs / r.layerReuseMs;
         speedups.push_back(speedup);
         t.addRow({layer->name(), formatDouble(base.layerReuseMs, 2),
                   formatDouble(r.layerReuseMs, 2), formatSpeedup(speedup),
                   formatDouble(r.accuracy - base.accuracy, 4)});
+        bj.record(layer->name() + "/speedup", speedup);
+        bj.record(layer->name() + "/dAccuracy", r.accuracy - base.accuracy);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("geomean layer speedup: %s (paper: up to 1.63x)\n",
                 formatSpeedup(geomean(speedups)).c_str());
+    bj.record("geomeanLayerSpeedup", geomean(speedups));
 
     // End-to-end latency: conventional everywhere vs the per-layer
     // choices from the loop above installed together.
@@ -61,18 +67,22 @@ main()
     conventional.granularity = 9;
     conventional.numHashes = 4;
     SeriesPoint sota = measurePatternEverywhere(
-        wb, ModelKind::ResNet18, conventional, model, 10);
+        wb, ModelKind::ResNet18, conventional, model, evalImages(10));
 
     Dataset fit = wb.train.slice(0, 4);
     for (auto &[layer, pattern] : chosen)
         fitAndInstall(wb.net, *layer, pattern, fit);
-    Measurement ours_e2e = measureNetwork(wb.net, wb.test, model, 10);
+    Measurement ours_e2e =
+        measureNetwork(wb.net, wb.test, model, evalImages(10));
     resetAllConvs(wb.net);
 
+    double reduction = 100.0 * (1.0 - ours_e2e.perImageMs / sota.latencyMs);
     std::printf("end-to-end: SOTA %.1f ms (acc %.3f) -> ours %.1f ms "
                 "(acc %.3f): %.0f%% latency reduction (paper: >20%%)\n",
                 sota.latencyMs, sota.accuracy, ours_e2e.perImageMs,
-                ours_e2e.accuracy,
-                100.0 * (1.0 - ours_e2e.perImageMs / sota.latencyMs));
+                ours_e2e.accuracy, reduction);
+    bj.record("endToEnd/sotaMs", sota.latencyMs);
+    bj.record("endToEnd/oursMs", ours_e2e.perImageMs);
+    bj.record("endToEnd/latencyReductionPct", reduction);
     return 0;
 }

@@ -21,6 +21,8 @@ main()
     std::printf("=== Figure 16: INT8 linear quantization, CifarNet, "
                 "STM32F469I ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("fig16_int8");
+    bj.meta("board", model.spec().name);
     Workbench wb = makeWorkbench(ModelKind::CifarNet);
 
     // Deploy with INT8 affine quantization of all weights and of the
@@ -31,20 +33,27 @@ main()
     }
     wb.test.images = fakeQuantizeInt8(wb.test.images);
     wb.train.images = fakeQuantizeInt8(wb.train.images);
-    wb.baselineAccuracy = evaluate(wb.net, wb.test, 16);
+    wb.baselineAccuracy = evaluate(wb.net, wb.test, evalImages(16));
     std::printf("INT8 baseline exact accuracy: %.4f\n\n",
                 wb.baselineAccuracy);
+    bj.record("int8BaselineAccuracy", wb.baselineAccuracy);
 
-    auto sota = sotaSpectrum(wb, ModelKind::CifarNet, model, 32);
-    auto ours = generalizedSpectrum(wb, ModelKind::CifarNet, model, 32);
+    auto sota = sotaSpectrum(wb, ModelKind::CifarNet, model, evalImages(32));
+    auto ours =
+        generalizedSpectrum(wb, ModelKind::CifarNet, model, evalImages(32));
     printSeries("SOTA (conventional reuse, INT8):", sota);
     printSeries("Generalized reuse (ours, INT8):", ours);
+    bj.addSeries("cifarnet/sota", sota);
+    bj.addSeries("cifarnet/ours", ours);
 
     SpectrumComparison cmp = compareSpectra(sota, ours);
     std::printf("headline: %.2fx speedup at matched accuracy, +%.1f%% "
                 "accuracy at matched latency\n",
                 cmp.speedupAtMatchedAccuracy,
                 100.0 * cmp.accuracyGainAtMatchedLatency);
+    bj.record("speedupAtMatchedAccuracy", cmp.speedupAtMatchedAccuracy);
+    bj.record("accuracyGainAtMatchedLatency",
+              cmp.accuracyGainAtMatchedLatency);
     std::printf("Expected shape (paper): generalized reuse dominates the "
                 "SOTA spectrum under INT8 as well.\n");
     return 0;

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/horizontal_reuse.h"
 #include "core/reorder.h"
 #include "core/vertical_reuse.h"
@@ -195,4 +196,23 @@ BENCHMARK(BM_SyntheticCifarGeneration);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN() so the binary also drops a BENCH_*.json
+// marker into the suite directory. The wall-clock numbers themselves
+// stay in google-benchmark's reporters (--benchmark_format=json for the
+// machine-readable version); the marker just records that the micro
+// suite ran and with what flags.
+int
+main(int argc, char **argv)
+{
+    genreuse::bench::BenchJson bj("micro_kernels");
+    bj.meta("reporter",
+            "google-benchmark; rerun with --benchmark_format=json for "
+            "per-kernel wall-clock numbers");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bj.record("benchmarksRun",
+              static_cast<double>(benchmark::RunSpecifiedBenchmarks()));
+    benchmark::Shutdown();
+    return 0;
+}

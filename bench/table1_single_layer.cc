@@ -19,11 +19,13 @@ using namespace genreuse::bench;
 namespace {
 
 void
-runModel(ModelKind kind, const CostModel &model)
+runModel(ModelKind kind, const CostModel &model, BenchJson &bj)
 {
     Workbench wb = makeWorkbench(kind);
     std::printf("--- Table 1: %s (baseline exact accuracy %.4f) ---\n",
                 modelName(kind), wb.baselineAccuracy);
+    bj.record(std::string(modelName(kind)) + "/baselineAccuracy",
+              wb.baselineAccuracy);
 
     TextTable t;
     t.setHeader({"ConvLayer", "K", "M", "L", "H", "D", "r_t",
@@ -36,8 +38,8 @@ runModel(ModelKind kind, const CostModel &model)
         conv_pattern.granularity =
             layer->kernelSize() * layer->kernelSize();
         conv_pattern.numHashes = 4;
-        SingleLayerResult base =
-            measureSingleLayer(wb, *layer, conv_pattern, model, 32);
+        SingleLayerResult base = measureSingleLayer(
+            wb, *layer, conv_pattern, model, evalImages(32));
 
         const size_t din = layer->inChannels() * layer->kernelSize() *
                            layer->kernelSize();
@@ -46,7 +48,14 @@ runModel(ModelKind kind, const CostModel &model)
             ReusePattern p =
                 pickPatternAnalytically(wb.net, *layer, wb.train, h, model);
             SingleLayerResult r =
-                measureSingleLayer(wb, *layer, p, model, 32);
+                measureSingleLayer(wb, *layer, p, model, evalImages(32));
+            const std::string key = std::string(modelName(kind)) + "/" +
+                                    layer->name() + "/H" +
+                                    std::to_string(h);
+            bj.record(key + "/speedupVsExact", r.speedupVsExact());
+            bj.record(key + "/speedupVsReuse",
+                      base.layerReuseMs / r.layerReuseMs);
+            bj.record(key + "/dAccuracyVsReuse", r.accuracy - base.accuracy);
             t.addRow({first ? layer->name() : "",
                       first ? std::to_string(din) : "",
                       first ? std::to_string(layer->outChannels()) : "",
@@ -73,8 +82,10 @@ main()
                 "(STM32F469I) ===\n");
     std::printf("D: M-1 = vertical reuse, M-2 = horizontal reuse\n\n");
     CostModel model(McuSpec::stm32f469i());
-    runModel(ModelKind::CifarNet, model);
-    runModel(ModelKind::ZfNet, model);
-    runModel(ModelKind::SqueezeNet, model);
+    BenchJson bj("table1_single_layer");
+    bj.meta("board", model.spec().name);
+    runModel(ModelKind::CifarNet, model, bj);
+    runModel(ModelKind::ZfNet, model, bj);
+    runModel(ModelKind::SqueezeNet, model, bj);
     return 0;
 }

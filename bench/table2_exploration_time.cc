@@ -38,6 +38,9 @@ main(int argc, char **argv)
     std::printf("=== Table 2: exploration-time breakdown "
                 "(analytic-empirical vs standard) ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("table2_exploration_time");
+    bj.meta("board", model.spec().name);
+    bj.meta("threads", static_cast<double>(threads));
     Workbench wb = makeWorkbench(ModelKind::SqueezeNet);
     Conv2D *layer = wb.net.findConv("Fire2.expand_3x3.conv");
 
@@ -51,7 +54,7 @@ main(int argc, char **argv)
 
     SelectionConfig cfg;
     cfg.promisingCount = std::max<size_t>(1, num_candidates / 5);
-    cfg.evalImages = 32;
+    cfg.evalImages = evalImages(32);
 
     // Serial reference run, then the parallel engine.
     cfg.threads = 1;
@@ -102,6 +105,11 @@ main(int argc, char **argv)
     std::printf("%s\n", t.render().c_str());
     std::printf("exploration time saved: %.0f%% (paper: ~80%%)\n\n",
                 100.0 * (1.0 - ours_total / standard_total));
+    bj.meta("candidates", static_cast<double>(num_candidates));
+    bj.record("oursTotalSeconds", ours_total);
+    bj.record("standardTotalSeconds", standard_total);
+    bj.record("timeSavedPct",
+              100.0 * (1.0 - ours_total / standard_total));
 
     const bool identical = identicalResults(serial, result);
     std::printf("=== exploration engine: serial vs %zu threads ===\n",
@@ -115,5 +123,7 @@ main(int argc, char **argv)
                 serial.profilingSeconds / result.profilingSeconds);
     std::printf("results bit-identical across thread counts: %s\n",
                 identical ? "YES" : "NO (BUG)");
+    bj.record("explorationSpeedup", serial_s / parallel_s);
+    bj.record("bitIdenticalAcrossThreads", identical ? 1.0 : 0.0);
     return identical ? 0 : 1;
 }

@@ -5,11 +5,24 @@
  * Recovering. The paper's observation: after reuse removes >90% of the
  * GEMM computation, GEMM is only a small fraction of layer time and
  * memory-movement stages dominate.
+ *
+ * This bench doubles as the op-ledger reconciliation check: every
+ * layer's breakdown is measured three ways — the layer-attached
+ * CostLedger, the trace registry's per-layer ledger, and the sum of
+ * per-image estimateLatencyFitted() predictions — and the bench aborts
+ * if the trace disagrees with the attached ledger at all, or if the
+ * analytic prediction drifts more than 1% from the measured total.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/logging.h"
+#include "common/trace.h"
+#include "core/latency_model.h"
 
 using namespace genreuse;
 using namespace genreuse::bench;
@@ -17,7 +30,8 @@ using namespace genreuse::bench;
 namespace {
 
 void
-breakdownModel(ModelKind kind, const CostModel &model, TextTable &t)
+breakdownModel(ModelKind kind, const CostModel &model, TextTable &t,
+               BenchJson &bj, double &worst_drift)
 {
     Workbench wb = makeWorkbench(kind);
     Dataset fit = wb.train.slice(0, 4);
@@ -25,27 +39,76 @@ breakdownModel(ModelKind kind, const CostModel &model, TextTable &t)
     for (Conv2D *layer : reuseTargets(wb.net, kind)) {
         ReusePattern p =
             pickPatternAnalytically(wb.net, *layer, wb.train, 3, model);
-        fitAndInstall(wb.net, *layer, p, fit);
+        auto algo = fitAndInstall(wb.net, *layer, p, fit);
 
+        // Measure with both sinks live: the attached ledger and the
+        // trace registry must see identical counts.
         CostLedger ledger;
         layer->setLedger(&ledger);
-        const size_t n = 16;
-        for (size_t i = 0; i < n; ++i)
+        trace::reset();
+        trace::setEnabled(true);
+        const size_t n = evalImages(16);
+        std::vector<Tensor> images;
+        images.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
             wb.net.forward(wb.test.gatherImages({i}), false);
+            images.push_back(layer->lastIm2col());
+        }
+        trace::setEnabled(false);
         layer->setLedger(nullptr);
+
+        CostLedger traced(trace::layerLedger(layer->name()));
+        GENREUSE_REQUIRE(traced == ledger,
+                         "trace ledger diverges from the attached "
+                         "ledger for ", layer->name());
+
+        // Re-predict each image with the very same fitted algo: the
+        // analytic path must account for exactly what the runtime did.
+        Tensor w = layer->weightMatrix();
+        ConvGeometry geom = layer->lastGeometry();
+        CostLedger predicted;
+        for (const Tensor &im : images) {
+            LatencyEstimate est = estimateLatencyFitted(*algo, im, w, geom);
+            predicted.merge(est.reuseLedger);
+        }
         resetAllConvs(wb.net);
 
-        double total = ledger.totalMs(model) / n;
+        const double measured_ms = ledger.totalMs(model);
+        const double predicted_ms = predicted.totalMs(model);
+        const double drift =
+            std::abs(measured_ms - predicted_ms) / predicted_ms;
+        worst_drift = std::max(worst_drift, drift);
+        GENREUSE_REQUIRE(drift <= 0.01,
+                         "ledger/latency-model reconciliation failed for ",
+                         layer->name(), ": measured ", measured_ms,
+                         " ms vs predicted ", predicted_ms, " ms (",
+                         100.0 * drift, "% drift)");
+
+        double total = measured_ms / n;
+        double tf = ledger.stageMs(Stage::Transformation, model) / n;
+        double cl = ledger.stageMs(Stage::Clustering, model) / n;
+        double mm = ledger.stageMs(Stage::Gemm, model) / n;
+        double rc = ledger.stageMs(Stage::Recovering, model) / n;
         t.addRow({first_row ? modelName(kind) : "", layer->name(),
-                  formatDouble(total, 2),
-                  formatDouble(ledger.stageMs(Stage::Transformation,
-                                              model) / n, 2),
-                  formatDouble(ledger.stageMs(Stage::Clustering, model) /
-                               n, 2),
-                  formatDouble(ledger.stageMs(Stage::Gemm, model) / n, 2),
-                  formatDouble(ledger.stageMs(Stage::Recovering, model) /
-                               n, 2)});
+                  formatDouble(total, 2), formatDouble(tf, 2),
+                  formatDouble(cl, 2), formatDouble(mm, 2),
+                  formatDouble(rc, 2)});
         first_row = false;
+
+        JsonWriter row;
+        row.beginObject();
+        row.key("layer").value(layer->name());
+        row.key("pattern").value(p.describe());
+        row.key("latencyMs").value(total);
+        row.key("transformationMs").value(tf);
+        row.key("clusteringMs").value(cl);
+        row.key("gemmMs").value(mm);
+        row.key("recoveringMs").value(rc);
+        row.key("predictedMs").value(predicted_ms / n);
+        row.key("driftPct").value(100.0 * drift);
+        row.endObject();
+        bj.extra(std::string(modelName(kind)) + "/" + layer->name(),
+                 row.str());
     }
     t.addSeparator();
 }
@@ -58,13 +121,20 @@ main()
     std::printf("=== Table 3: performance breakdown of reuse (unit: ms, "
                 "STM32F469I) ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("table3_perf_breakdown");
+    bj.meta("board", model.spec().name);
+    double worst_drift = 0.0;
     TextTable t;
     t.setHeader({"Network", "ConvLayer", "Latency", "Transformation",
                  "Clustering", "GEMM", "Recovering"});
-    breakdownModel(ModelKind::CifarNet, model, t);
-    breakdownModel(ModelKind::SqueezeNet, model, t);
+    breakdownModel(ModelKind::CifarNet, model, t, bj, worst_drift);
+    breakdownModel(ModelKind::SqueezeNet, model, t, bj, worst_drift);
     std::printf("%s\n", t.render().c_str());
     std::printf("Expected shape (paper §5.3.5): GEMM is a minor share; "
                 "transformation/recovering (memory ops) dominate.\n");
+    std::printf("reconciliation: trace == attached ledger on every layer; "
+                "worst model-vs-measured drift %.4f%% (limit 1%%)\n",
+                100.0 * worst_drift);
+    bj.record("worstDriftPct", 100.0 * worst_drift);
     return 0;
 }

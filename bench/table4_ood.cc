@@ -22,15 +22,19 @@ main()
 {
     std::printf("=== Table 4: OOD data performance (CifarNet, max-softmax "
                 "detector, threshold 0.7) ===\n\n");
+    BenchJson bj("table4_ood");
     Workbench wb = makeWorkbench(ModelKind::CifarNet);
     Dataset ood = makeSyntheticSvhn(96, 777);
 
     auto evalRow = [&](const char *name) {
-        Tensor id_logits = evaluateLogits(wb.net, wb.test, 16);
-        Tensor ood_logits = evaluateLogits(wb.net, ood, 16);
+        Tensor id_logits = evaluateLogits(wb.net, wb.test, evalImages(16));
+        Tensor ood_logits = evaluateLogits(wb.net, ood, evalImages(16));
         double id_acc = accuracy(id_logits, wb.test.labels);
         double ood_acc = accuracy(ood_logits, ood.labels);
         double detect = oodDetectionRate(ood_logits, 0.7);
+        bj.record(std::string(name) + "/idAccuracy", id_acc);
+        bj.record(std::string(name) + "/oodAccuracy", ood_acc);
+        bj.record(std::string(name) + "/detectionRate", detect);
         return std::vector<std::string>{
             name, "synthetic-cifar", "synthetic-svhn",
             formatDouble(id_acc, 4), formatDouble(ood_acc, 4),

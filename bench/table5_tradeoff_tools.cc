@@ -24,13 +24,15 @@ main()
     std::printf("=== Table 5: reuse composed with channel pruning + "
                 "quantization + HPO (CifarNet, F4) ===\n\n");
     CostModel model(McuSpec::stm32f469i());
+    BenchJson bj("table5_tradeoff_tools");
+    bj.meta("board", model.spec().name);
 
     // Data shared across HPO trials.
     SyntheticConfig dcfg;
-    dcfg.numSamples = 160;
+    dcfg.numSamples = smokeMode() ? 48 : 160;
     dcfg.seed = 901;
     Dataset train_data = makeSyntheticCifar(dcfg);
-    dcfg.numSamples = 64;
+    dcfg.numSamples = smokeMode() ? 24 : 64;
     dcfg.seed = 902;
     Dataset test_data = makeSyntheticCifar(dcfg);
 
@@ -45,7 +47,7 @@ main()
             Rng rng(900);
             auto net = std::make_unique<Network>(makeCifarNet(rng, 10, 40));
             TrainConfig tcfg;
-            tcfg.epochs = 3;
+            tcfg.epochs = smokeMode() ? 1 : 3;
             tcfg.batchSize = 16;
             tcfg.sgd.learningRate = lr;
             tcfg.sgd.momentum = mom;
@@ -69,7 +71,8 @@ main()
     wb.test = std::move(test_data);
 
     // --- CP + Q + HPO (no reuse) ---------------------------------------
-    Measurement plain = measureNetwork(wb.net, wb.test, model, 48);
+    Measurement plain =
+        measureNetwork(wb.net, wb.test, model, evalImages(48));
     uint64_t plain_macs =
         plain.perImageConvLedger.stage(Stage::Gemm).macs +
         plain.perImageConvLedger.stage(Stage::Clustering).macs;
@@ -81,7 +84,8 @@ main()
             pickPatternAnalytically(wb.net, *layer, wb.train, 3, model);
         fitAndInstall(wb.net, *layer, p, fit);
     }
-    Measurement with_reuse = measureNetwork(wb.net, wb.test, model, 48);
+    Measurement with_reuse =
+        measureNetwork(wb.net, wb.test, model, evalImages(48));
     // MACs include the LSH hashing (it is multiply-accumulate work).
     uint64_t reuse_macs =
         with_reuse.perImageConvLedger.stage(Stage::Gemm).macs +
@@ -99,5 +103,11 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("Expected shape (paper): reuse adds a further latency and "
                 "FLOP reduction at a small accuracy cost.\n");
+    bj.record("plain/accuracy", plain.accuracy);
+    bj.record("plain/latencyMs", plain.perImageMs);
+    bj.record("plain/convMacsM", plain_macs / 1e6);
+    bj.record("reuse/accuracy", with_reuse.accuracy);
+    bj.record("reuse/latencyMs", with_reuse.perImageMs);
+    bj.record("reuse/convMacsM", reuse_macs / 1e6);
     return 0;
 }

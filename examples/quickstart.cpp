@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "common/trace.h"
 #include "core/latency_model.h"
 #include "core/reuse_conv.h"
 #include "data/synthetic.h"
@@ -50,10 +51,15 @@ main()
     algo->fit(conv.lastIm2col(), geom);
     conv.setAlgo(algo);
 
-    // --- reuse inference -----------------------------------------------
+    // --- reuse inference, with the op-ledger trace on --------------------
+    // The attached ledger collects this layer's counts for pricing; the
+    // trace registry mirrors the same counts per layer name so a whole
+    // network run can be exported as JSON afterwards.
     CostLedger ledger;
     conv.setLedger(&ledger);
+    trace::setEnabled(true);
     Tensor approx = conv.forward(image, /*training=*/false);
+    trace::setEnabled(false);
     conv.setLedger(nullptr);
 
     const ReuseStats &stats = algo->lastStats();
@@ -76,5 +82,10 @@ main()
                     board.name.c_str(), exact_ms, reuse_ms,
                     exact_ms / reuse_ms);
     }
+
+    // --- export the per-layer op trace as JSON ---------------------------
+    trace::writeJson("trace_quickstart.json");
+    std::printf("wrote per-layer op counts to trace_quickstart.json\n");
+    trace::reset();
     return 0;
 }

@@ -1,0 +1,195 @@
+#include "json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.h"
+
+namespace genreuse {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    out_ << '\n';
+    for (size_t i = 0; i < hasItems_.size(); ++i)
+        out_ << "  ";
+}
+
+void
+JsonWriter::prepareValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // "key": already emitted, value follows inline
+    }
+    if (!hasItems_.empty()) {
+        if (hasItems_.back())
+            out_ << ',';
+        hasItems_.back() = true;
+        newlineIndent();
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    out_ << '{';
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    GENREUSE_REQUIRE(!hasItems_.empty(), "endObject without beginObject");
+    bool had = hasItems_.back();
+    hasItems_.pop_back();
+    if (had)
+        newlineIndent();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    out_ << '[';
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    GENREUSE_REQUIRE(!hasItems_.empty(), "endArray without beginArray");
+    bool had = hasItems_.back();
+    hasItems_.pop_back();
+    if (had)
+        newlineIndent();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    GENREUSE_REQUIRE(!hasItems_.empty(), "key() outside an object");
+    GENREUSE_REQUIRE(!pendingKey_, "two keys in a row");
+    if (hasItems_.back())
+        out_ << ',';
+    hasItems_.back() = true;
+    newlineIndent();
+    out_ << '"' << escape(k) << "\": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    prepareValue();
+    out_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prepareValue();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        out_ << buf;
+    } else {
+        out_ << "null"; // JSON has no NaN/Inf
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    prepareValue();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    prepareValue();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    GENREUSE_REQUIRE(!json.empty(), "raw() with empty JSON");
+    prepareValue();
+    // Re-indent the sub-document's continuation lines to this nesting
+    // depth so spliced documents diff like natively-written ones.
+    std::string indent;
+    for (size_t i = 0; i < hasItems_.size(); ++i)
+        indent += "  ";
+    for (char c : json) {
+        out_ << c;
+        if (c == '\n')
+            out_ << indent;
+    }
+    return *this;
+}
+
+} // namespace genreuse

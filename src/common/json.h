@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal streaming JSON writer — no external dependency, just enough
+ * for the schema-versioned artifacts this repo emits (trace snapshots,
+ * BENCH_*.json records). Output is pretty-printed with stable key
+ * order so records can be diffed across runs.
+ */
+
+#ifndef GENREUSE_COMMON_JSON_H
+#define GENREUSE_COMMON_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace genreuse {
+
+/**
+ * Emits one JSON document through begin/end + key/value calls. The
+ * writer tracks nesting and comma placement; callers are responsible
+ * for pairing begin/end and for calling key() before every value
+ * inside an object.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must precede the member's value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** Splice an already-serialized JSON value verbatim (e.g. a
+     *  sub-document built by another JsonWriter). */
+    JsonWriter &raw(const std::string &json);
+
+    /** The document text (call after the final end). */
+    std::string str() const { return out_.str(); }
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void prepareValue();
+    void newlineIndent();
+
+    std::ostringstream out_;
+    std::vector<bool> hasItems_; //!< per open scope: any member yet?
+    bool pendingKey_ = false;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_JSON_H

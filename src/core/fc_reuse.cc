@@ -21,7 +21,7 @@ fcExactForward(const Tensor &x, const Tensor &w, const Tensor &bias)
 Tensor
 fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
                size_t segment_len, const HashFamily &family,
-               CostLedger *ledger, ReuseStats *stats)
+               OpLedger *ledger, ReuseStats *stats)
 {
     GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
                      "fcReuseForward expects matrices");
@@ -51,21 +51,16 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
         items.length = segment_len;
         items.itemStride = segment_len;
         items.elemStride = 1;
-        ClusterResult clusters = clusterBySignature(items, family);
+        OpCounts cluster_ops;
+        ClusterResult clusters =
+            clusterBySignature(items, family, &cluster_ops);
         const size_t nc = clusters.numClusters();
         local.totalVectors += full_segments;
         local.totalCentroids += nc;
         local.numPanels += 1;
 
-        const size_t hash_macs = family.hashMacs(full_segments);
-        local.reuseMacs += hash_macs;
-        if (ledger) {
-            OpCounts cl;
-            cl.macs = hash_macs;
-            cl.tableOps = full_segments;
-            cl.aluOps = full_segments * segment_len;
-            ledger->add(Stage::Clustering, cl);
-        }
+        local.reuseMacs += cluster_ops.macs;
+        reportOps(ledger, Stage::Clustering, cluster_ops);
 
         // Sum-reduce weight blocks per cluster, then multiply by the
         // centroids: y = Σ_c centroid_c x Wsum_c.
@@ -77,10 +72,10 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
             for (size_t i = 0; i < segment_len * o; ++i)
                 dst[i] += wk[i];
         }
-        if (ledger) {
+        {
             OpCounts rc;
             rc.aluOps = full_segments * segment_len * o; // = F x O adds
-            ledger->add(Stage::Recovering, rc);
+            reportOps(ledger, Stage::Recovering, rc);
         }
 
         for (size_t c = 0; c < nc; ++c) {
@@ -90,11 +85,9 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
         }
         const size_t gemm_macs = nc * segment_len * o;
         local.reuseMacs += gemm_macs;
-        if (ledger) {
-            OpCounts mm;
-            mm.macs = gemm_macs;
-            ledger->add(Stage::Gemm, mm);
-        }
+        OpCounts mm;
+        mm.macs = gemm_macs;
+        reportOps(ledger, Stage::Gemm, mm);
 
         // Trailing partial segment: exact.
         if (rem > 0) {
@@ -102,11 +95,9 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
                     w.data() + full_segments * segment_len * o, yr, 1, o,
                     rem, rem, o, o, true);
             local.reuseMacs += rem * o;
-            if (ledger) {
-                OpCounts mm;
-                mm.macs = rem * o;
-                ledger->add(Stage::Gemm, mm);
-            }
+            OpCounts rem_mm;
+            rem_mm.macs = rem * o;
+            reportOps(ledger, Stage::Gemm, rem_mm);
         }
 
         if (bias.size() == o) {

@@ -33,10 +33,12 @@ namespace genreuse {
  * @param segment_len L; must satisfy 1 <= L <= F. A trailing segment
  *        shorter than L is computed exactly.
  * @param family hash family over length-L vectors
+ * @param ledger optional op accounting; clustering counts are the
+ *        actual ops reported by clusterBySignature
  */
 Tensor fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
                       size_t segment_len, const HashFamily &family,
-                      CostLedger *ledger = nullptr,
+                      OpLedger *ledger = nullptr,
                       ReuseStats *stats = nullptr);
 
 /** Exact reference with identical bias handling. */

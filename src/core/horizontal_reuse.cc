@@ -30,7 +30,7 @@ Tensor
 horizontalReuseMultiply(const Tensor &x, const Tensor &w,
                         const HorizontalSlicing &slicing,
                         const std::vector<HashFamily> &families,
-                        CostLedger *ledger, ReuseStats *stats)
+                        OpLedger *ledger, ReuseStats *stats)
 {
     GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
                      "reuse multiply expects matrices");
@@ -56,11 +56,9 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
             gemmRaw(x.data() + row0 * din, w.data(), y.data() + row0 * m,
                     l, m, din, din, m, m, false);
             local.reuseMacs += l * din * m;
-            if (ledger) {
-                OpCounts mm;
-                mm.macs = l * din * m;
-                ledger->add(Stage::Gemm, mm);
-            }
+            OpCounts mm;
+            mm.macs = l * din * m;
+            reportOps(ledger, Stage::Gemm, mm);
             continue;
         }
 
@@ -71,21 +69,16 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
         items.length = l;
         items.itemStride = 1;
         items.elemStride = din;
-        ClusterResult clusters = clusterBySignature(items, family);
+        OpCounts cluster_ops;
+        ClusterResult clusters =
+            clusterBySignature(items, family, &cluster_ops);
         const size_t nc = clusters.numClusters();
         local.totalVectors += din;
         local.totalCentroids += nc;
         local.numPanels += 1;
 
-        const size_t hash_macs = family.hashMacs(din);
-        local.reuseMacs += hash_macs;
-        if (ledger) {
-            OpCounts cl;
-            cl.macs = hash_macs;
-            cl.tableOps = din;
-            cl.aluOps = din * l; // centroid accumulation
-            ledger->add(Stage::Clustering, cl);
-        }
+        local.reuseMacs += cluster_ops.macs;
+        reportOps(ledger, Stage::Clustering, cluster_ops);
 
         // ---- build X_i^c (l x nc) and W_i^c (nc x m) ----------------
         Tensor xc({l, nc});
@@ -100,11 +93,11 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
             for (size_t c = 0; c < m; ++c)
                 dst[c] += wr[c];
         }
-        if (ledger) {
+        {
             OpCounts rc;
             rc.aluOps = din * m;    // weight sum-reduction
             rc.elemMoves = l * nc;  // centroid transpose
-            ledger->add(Stage::Recovering, rc);
+            reportOps(ledger, Stage::Recovering, rc);
         }
 
         // ---- band GEMM ----------------------------------------------
@@ -112,11 +105,9 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
                 m, false);
         const size_t gemm_macs = l * nc * m;
         local.reuseMacs += gemm_macs;
-        if (ledger) {
-            OpCounts mm;
-            mm.macs = gemm_macs;
-            ledger->add(Stage::Gemm, mm);
-        }
+        OpCounts band_mm;
+        band_mm.macs = gemm_macs;
+        reportOps(ledger, Stage::Gemm, band_mm);
     }
 
     if (stats)

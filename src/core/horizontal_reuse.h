@@ -41,13 +41,14 @@ struct HorizontalSlicing
  * @param slicing row banding plan
  * @param families one hash family per band; family i must accept
  *                 vectors of length height(i)
- * @param ledger optional cost accounting
+ * @param ledger optional op accounting; clustering counts are the
+ *               actual ops reported by clusterBySignature
  * @param stats optional reuse statistics output
  */
 Tensor horizontalReuseMultiply(const Tensor &x, const Tensor &w,
                                const HorizontalSlicing &slicing,
                                const std::vector<HashFamily> &families,
-                               CostLedger *ledger, ReuseStats *stats);
+                               OpLedger *ledger, ReuseStats *stats);
 
 /** Random hash families for a banding plan (lightweight profiling). */
 std::vector<HashFamily> randomHorizontalFamilies(

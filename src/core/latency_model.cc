@@ -5,6 +5,26 @@
 
 namespace genreuse {
 
+namespace {
+
+/**
+ * Bias add + fold back to activation layout, charged by Conv2D::forward
+ * after the strategy's multiply. Both the exact and the reuse execution
+ * pay it, so both predicted ledgers must include it — omitting it on
+ * the reuse side (as an earlier revision did) makes predictions diverge
+ * from what a traced forward() actually reports.
+ */
+OpCounts
+biasFoldOps(const ConvGeometry &geom)
+{
+    OpCounts rc;
+    rc.aluOps = geom.rows() * geom.outChannels;
+    rc.elemMoves = geom.rows() * geom.outChannels;
+    return rc;
+}
+
+} // namespace
+
 double
 LatencyEstimate::flopRatio(const ConvGeometry &geom) const
 {
@@ -52,10 +72,7 @@ exactConvLedger(const ConvGeometry &geom)
     OpCounts mm;
     mm.macs = geom.macs();
     ledger.add(Stage::Gemm, mm);
-    OpCounts rc;
-    rc.aluOps = geom.rows() * geom.outChannels;   // bias
-    rc.elemMoves = geom.rows() * geom.outChannels; // fold to activation
-    ledger.add(Stage::Recovering, rc);
+    ledger.add(Stage::Recovering, biasFoldOps(geom));
     return ledger;
 }
 
@@ -81,6 +98,7 @@ estimateLatency(const Tensor &sample_default_x, const Tensor &w,
     ReuseConvAlgo algo(pattern, HashMode::Random, seed);
     algo.fit(sample_default_x, geom);
     algo.multiply(sample_default_x, w, geom, &est.reuseLedger);
+    est.reuseLedger.add(Stage::Recovering, biasFoldOps(geom));
     est.stats = algo.lastStats();
     return est;
 }
@@ -109,6 +127,28 @@ estimateLatencyReordered(const Tensor &xr, const Tensor &wr,
     ReuseConvAlgo algo(pattern, HashMode::Random, seed);
     algo.fit(xr, geom);
     algo.multiplyReordered(xr, wr, geom, &est.reuseLedger);
+    est.reuseLedger.add(Stage::Recovering, biasFoldOps(geom));
+    est.stats = algo.lastStats();
+    return est;
+}
+
+LatencyEstimate
+estimateLatencyFitted(ReuseConvAlgo &algo, const Tensor &sample_default_x,
+                      const Tensor &w, const ConvGeometry &geom)
+{
+    GENREUSE_REQUIRE(algo.fitted(),
+                     "estimateLatencyFitted needs a fitted algo");
+    GENREUSE_REQUIRE(sample_default_x.shape().rows() == geom.rows(),
+                     "sample must match the geometry (use a batch-1 "
+                     "im2col matrix)");
+    LatencyEstimate est;
+    est.pattern = algo.pattern();
+    est.exactLedger = exactConvLedger(geom);
+    OpCounts im2col_ops;
+    im2col_ops.elemMoves = sample_default_x.size();
+    est.reuseLedger.add(Stage::Transformation, im2col_ops);
+    algo.multiply(sample_default_x, w, geom, &est.reuseLedger);
+    est.reuseLedger.add(Stage::Recovering, biasFoldOps(geom));
     est.stats = algo.lastStats();
     return est;
 }

@@ -70,6 +70,22 @@ LatencyEstimate estimateLatencyReordered(const Tensor &xr, const Tensor &wr,
                                          const ConvGeometry &geom,
                                          uint64_t seed = 7);
 
+class ReuseConvAlgo;
+
+/**
+ * Per-image latency prediction for an *already fitted* algo — e.g. the
+ * Learned-hash algo a deployment actually installs — rather than the
+ * lightweight Random-hash profiling configuration. Charges exactly what
+ * a traced Conv2D::forward() with this algo charges (im2col move, the
+ * algo's own multiply accounting, bias/fold recovery), so summing these
+ * estimates over the evaluation images reconciles with the runtime
+ * op-ledger trace; table3_perf_breakdown asserts agreement within 1%.
+ */
+LatencyEstimate estimateLatencyFitted(ReuseConvAlgo &algo,
+                                      const Tensor &sample_default_x,
+                                      const Tensor &w,
+                                      const ConvGeometry &geom);
+
 } // namespace genreuse
 
 #endif // GENREUSE_CORE_LATENCY_MODEL_H

@@ -104,11 +104,9 @@ ReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
                 id[i] = static_cast<uint32_t>(i);
             xr = reorderMatrix(x, id, colPerm_);
         }
-        if (ledger) {
-            OpCounts tf;
-            tf.elemMoves = x.size();
-            ledger->add(Stage::Transformation, tf);
-        }
+        OpCounts tf;
+        tf.elemMoves = x.size();
+        reportOps(ledger, Stage::Transformation, tf);
     }
     Tensor wr = reorder_cols ? permuteRows(w, colPerm_) : w;
     return reuseCore(xr, wr, row_perm, reorder_rows, geom, ledger);
@@ -130,10 +128,10 @@ ReuseConvAlgo::multiplyReordered(const Tensor &xr, const Tensor &wr,
     // The caller supplied pre-reordered inputs; the transformation is
     // still charged (the paper includes reorder cost in every reported
     // latency), keeping ledgers identical to multiply().
-    if ((reorder_rows || reorder_cols) && ledger) {
+    if (reorder_rows || reorder_cols) {
         OpCounts tf;
         tf.elemMoves = xr.size();
-        ledger->add(Stage::Transformation, tf);
+        reportOps(ledger, Stage::Transformation, tf);
     }
     return reuseCore(xr, wr, row_perm, reorder_rows, geom, ledger);
 }
@@ -164,11 +162,9 @@ ReuseConvAlgo::reuseCore(const Tensor &xr, const Tensor &wr,
 
     if (reorder_rows) {
         yr = unpermuteRows(yr, row_perm);
-        if (ledger) {
-            OpCounts rc;
-            rc.elemMoves = yr.size();
-            ledger->add(Stage::Recovering, rc);
-        }
+        OpCounts rc;
+        rc.elemMoves = yr.size();
+        reportOps(ledger, Stage::Recovering, rc);
     }
     return yr;
 }

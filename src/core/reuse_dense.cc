@@ -57,6 +57,7 @@ ReuseDense::forward(const Tensor &x, bool training)
     if (training || !reuseEnabled_)
         return dense_.forward(x, training);
 
+    trace::TraceScope tscope(name());
     // Flatten per sample (same convention as Dense).
     const size_t n = x.shape().dim(0);
     Tensor flat = x.reshaped({n, x.size() / n});

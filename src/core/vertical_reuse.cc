@@ -56,7 +56,7 @@ Tensor
 verticalReuseMultiply(const Tensor &x, const Tensor &w,
                       const VerticalSlicing &slicing,
                       const std::vector<HashFamily> &families,
-                      CostLedger *ledger, ReuseStats *stats)
+                      OpLedger *ledger, ReuseStats *stats)
 {
     GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
                      "reuse multiply expects matrices");
@@ -81,7 +81,10 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
         const float *w_slice = w.data() + col0 * m;
 
         // ---- clustering -------------------------------------------
+        // clusterBySignature reports the actual hashing/grouping/
+        // centroid op counts; nothing here is estimated.
         ClusterResult clusters;
+        OpCounts cluster_ops;
         Tensor blocks; // keeps block storage alive for r > 1
         if (r == 1) {
             StridedItems items;
@@ -90,21 +93,19 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
             items.length = width;
             items.itemStride = din;
             items.elemStride = 1;
-            clusters = clusterBySignature(items, families[k]);
+            clusters = clusterBySignature(items, families[k], &cluster_ops);
         } else {
             blocks = materializeBlocks(x, col0, width, r, full_blocks);
-            if (ledger) {
-                OpCounts tf;
-                tf.elemMoves = blocks.size();
-                ledger->add(Stage::Transformation, tf);
-            }
+            OpCounts tf;
+            tf.elemMoves = blocks.size();
+            reportOps(ledger, Stage::Transformation, tf);
             StridedItems items;
             items.base = blocks.data();
             items.count = full_blocks;
             items.length = r * width;
             items.itemStride = r * width;
             items.elemStride = 1;
-            clusters = clusterBySignature(items, families[k]);
+            clusters = clusterBySignature(items, families[k], &cluster_ops);
         }
         const size_t num_items = clusters.numItems();
         const size_t nc = clusters.numClusters();
@@ -112,15 +113,8 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
         local.totalCentroids += nc;
         local.numPanels += 1;
 
-        const size_t hash_macs = families[k].hashMacs(num_items);
-        local.reuseMacs += hash_macs;
-        if (ledger) {
-            OpCounts cl;
-            cl.macs = hash_macs;
-            cl.tableOps = num_items;
-            cl.aluOps = num_items * r * width; // centroid accumulation
-            ledger->add(Stage::Clustering, cl);
-        }
+        local.reuseMacs += cluster_ops.macs;
+        reportOps(ledger, Stage::Clustering, cluster_ops);
 
         // ---- centroid GEMM -----------------------------------------
         // The centroid matrix of r-row blocks is (nc x r*width)
@@ -130,11 +124,9 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
                 width, width, m, m, false);
         const size_t gemm_macs = nc * r * width * m;
         local.reuseMacs += gemm_macs;
-        if (ledger) {
-            OpCounts mm;
-            mm.macs = gemm_macs;
-            ledger->add(Stage::Gemm, mm);
-        }
+        OpCounts mm;
+        mm.macs = gemm_macs;
+        reportOps(ledger, Stage::Gemm, mm);
 
         // ---- recover ------------------------------------------------
         if (r == 1) {
@@ -159,26 +151,22 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
                         y.data() + full_blocks * r * m, rem_rows, m, width,
                         din, m, m, true);
                 local.reuseMacs += rem_rows * width * m;
-                if (ledger) {
-                    OpCounts mm;
-                    mm.macs = rem_rows * width * m;
-                    ledger->add(Stage::Gemm, mm);
-                }
+                OpCounts rem_mm;
+                rem_mm.macs = rem_rows * width * m;
+                reportOps(ledger, Stage::Gemm, rem_mm);
             }
         }
-        if (ledger) {
-            // Duplicating centroid results: one streaming accumulate
-            // over Y per slice (the final writeback to the activation
-            // layout is charged by the convolution layer itself).
-            OpCounts rc;
-            rc.aluOps = n * m;
-            ledger->add(Stage::Recovering, rc);
-        }
+        // Duplicating centroid results: one streaming accumulate
+        // over Y per slice (the final writeback to the activation
+        // layout is charged by the convolution layer itself).
+        OpCounts rc;
+        rc.aluOps = n * m;
+        reportOps(ledger, Stage::Recovering, rc);
     }
-    if (ledger) {
+    {
         OpCounts rc;
         rc.elemMoves = n * m; // gather Y once after summing slices
-        ledger->add(Stage::Recovering, rc);
+        reportOps(ledger, Stage::Recovering, rc);
     }
 
     if (stats)

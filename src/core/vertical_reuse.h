@@ -43,13 +43,15 @@ struct VerticalSlicing
  * @param slicing column slicing plan
  * @param families one hash family per slice; family k must accept
  *                 vectors of length blockRows * width(k)
- * @param ledger optional cost accounting (clustering/GEMM/recovering)
+ * @param ledger optional op accounting (clustering/GEMM/recovering);
+ *               clustering counts are the actual ops reported by
+ *               clusterBySignature, not an estimate
  * @param stats optional reuse statistics output
  */
 Tensor verticalReuseMultiply(const Tensor &x, const Tensor &w,
                              const VerticalSlicing &slicing,
                              const std::vector<HashFamily> &families,
-                             CostLedger *ledger, ReuseStats *stats);
+                             OpLedger *ledger, ReuseStats *stats);
 
 /**
  * Build random hash families (the paper's lightweight profiling

@@ -17,14 +17,17 @@ ClusterResult::redundancyRatio() const
 }
 
 ClusterResult
-clusterBySignature(const StridedItems &items, const HashFamily &family)
+clusterBySignature(const StridedItems &items, const HashFamily &family,
+                   OpCounts *ops)
 {
-    return clusterSignatures(items, family.signatures(items));
+    if (ops)
+        ops->macs += family.hashMacs(items.count);
+    return clusterSignatures(items, family.signatures(items), ops);
 }
 
 ClusterResult
 clusterSignatures(const StridedItems &items,
-                  const std::vector<uint64_t> &sigs)
+                  const std::vector<uint64_t> &sigs, OpCounts *ops)
 {
     GENREUSE_REQUIRE(sigs.size() == items.count,
                      "signature count mismatches item count");
@@ -59,6 +62,28 @@ clusterSignatures(const StridedItems &items,
     }
     if (nc == 0)
         result.centroids = Tensor({0, items.length}, std::vector<float>{});
+
+    // CSR membership: counting sort over items preserves ascending item
+    // order within each cluster.
+    result.memberOffsets.assign(nc + 1, 0);
+    for (size_t c = 0; c < nc; ++c)
+        result.memberOffsets[c + 1] = result.memberOffsets[c] +
+                                      result.sizes[c];
+    result.memberIndices.resize(items.count);
+    std::vector<size_t> cursor = result.memberOffsets;
+    for (size_t i = 0; i < items.count; ++i) {
+        uint32_t c = result.assignments[i];
+        result.memberIndices[cursor[c]++] = static_cast<uint32_t>(i);
+    }
+
+    if (ops) {
+        // What the grouping actually did: one table probe/update per
+        // item, a per-element accumulate per item, and a per-element
+        // normalize per cluster.
+        ops->tableOps += items.count;
+        ops->aluOps += items.count * items.length + nc * items.length;
+        ops->elemMoves += nc * items.length; // centroid panel store
+    }
     return result;
 }
 
@@ -68,10 +93,16 @@ namespace {
  * Largest eigenvalue of the covariance matrix of one cluster's items,
  * via power iteration performed implicitly (never materializing the
  * L x L covariance): Cov * v = (1/m) Σ_i d_i (d_i . v), d_i = x_i - μ.
+ *
+ * @p members lists the cluster's item indices in ascending order, so
+ * each iteration touches only the cluster's m items instead of scanning
+ * the whole panel (the old O(items x clusters x iters) behavior), and
+ * the float accumulation order — hence the result — is unchanged.
  */
 double
 clusterLambdaMax(const StridedItems &items, const ClusterResult &clusters,
-                 uint32_t cluster, size_t max_iters)
+                 uint32_t cluster, const uint32_t *members,
+                 size_t max_iters)
 {
     const size_t l = items.length;
     const size_t m = clusters.sizes[cluster];
@@ -96,9 +127,8 @@ clusterLambdaMax(const StridedItems &items, const ClusterResult &clusters,
     std::vector<double> av(l);
     for (size_t iter = 0; iter < max_iters; ++iter) {
         std::fill(av.begin(), av.end(), 0.0);
-        for (size_t i = 0; i < items.count; ++i) {
-            if (clusters.assignments[i] != cluster)
-                continue;
+        for (size_t k = 0; k < m; ++k) {
+            const size_t i = members[k];
             double dot = 0.0;
             for (size_t j = 0; j < l; ++j)
                 dot += (items.at(i, j) - mu[j]) * v[j];
@@ -121,15 +151,44 @@ clusterLambdaMax(const StridedItems &items, const ClusterResult &clusters,
     return lambda;
 }
 
+/** Counting-sort CSR membership from assignments alone, for
+ *  ClusterResults assembled without clusterSignatures(). */
+void
+buildMembership(const ClusterResult &clusters,
+                std::vector<uint32_t> &indices, std::vector<size_t> &offsets)
+{
+    const size_t nc = clusters.numClusters();
+    offsets.assign(nc + 1, 0);
+    for (size_t c = 0; c < nc; ++c)
+        offsets[c + 1] = offsets[c] + clusters.sizes[c];
+    indices.resize(clusters.numItems());
+    std::vector<size_t> cursor = offsets;
+    for (size_t i = 0; i < clusters.numItems(); ++i) {
+        uint32_t c = clusters.assignments[i];
+        indices[cursor[c]++] = static_cast<uint32_t>(i);
+    }
+}
+
 } // namespace
 
 double
 clusterScatterBound(const StridedItems &items, const ClusterResult &clusters,
                     size_t max_iters)
 {
+    const uint32_t *indices = clusters.memberIndices.data();
+    const size_t *offsets = clusters.memberOffsets.data();
+    std::vector<uint32_t> fallback_indices;
+    std::vector<size_t> fallback_offsets;
+    if (clusters.memberOffsets.size() != clusters.numClusters() + 1) {
+        buildMembership(clusters, fallback_indices, fallback_offsets);
+        indices = fallback_indices.data();
+        offsets = fallback_offsets.data();
+    }
+
     double total = 0.0;
     for (uint32_t c = 0; c < clusters.numClusters(); ++c) {
-        total += clusterLambdaMax(items, clusters, c, max_iters) *
+        total += clusterLambdaMax(items, clusters, c, indices + offsets[c],
+                                  max_iters) *
                  static_cast<double>(clusters.sizes[c]);
     }
     return total;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace.h"
 #include "lsh.h"
 #include "tensor/matrix_view.h"
 #include "tensor/tensor.h"
@@ -29,6 +30,16 @@ struct ClusterResult
     /** Item count per cluster. */
     std::vector<size_t> sizes;
 
+    /**
+     * Item indices grouped by cluster (CSR layout): the members of
+     * cluster c are memberIndices[memberOffsets[c] ..
+     * memberOffsets[c+1]), in ascending item order. Lets per-cluster
+     * passes (the scatter bound's power iteration) touch only the
+     * cluster's items instead of scanning the whole panel.
+     */
+    std::vector<uint32_t> memberIndices;
+    std::vector<size_t> memberOffsets; //!< numClusters + 1 entries
+
     size_t numClusters() const { return sizes.size(); }
     size_t numItems() const { return assignments.size(); }
 
@@ -41,17 +52,23 @@ struct ClusterResult
 
 /**
  * Cluster the given items by their LSH signatures under @p family and
- * compute mean centroids.
+ * compute mean centroids. When @p ops is non-null the *actual*
+ * operation counts of hashing + grouping + centroid math are reported
+ * (hash MACs, one table probe per item, centroid accumulate/normalize
+ * ALU ops) so callers need not estimate them.
  */
 ClusterResult clusterBySignature(const StridedItems &items,
-                                 const HashFamily &family);
+                                 const HashFamily &family,
+                                 OpCounts *ops = nullptr);
 
 /**
  * Cluster pre-computed signatures (used when the caller already hashed,
- * e.g. to reuse signatures across reuse-direction variants).
+ * e.g. to reuse signatures across reuse-direction variants). @p ops as
+ * in clusterBySignature, minus the hashing MACs.
  */
 ClusterResult clusterSignatures(const StridedItems &items,
-                                const std::vector<uint64_t> &sigs);
+                                const std::vector<uint64_t> &sigs,
+                                OpCounts *ops = nullptr);
 
 /**
  * Sum of per-cluster (largest covariance eigenvalue x cluster size),

@@ -4,47 +4,6 @@
 
 namespace genreuse {
 
-OpCounts &
-OpCounts::operator+=(const OpCounts &o)
-{
-    macs += o.macs;
-    elemMoves += o.elemMoves;
-    aluOps += o.aluOps;
-    tableOps += o.tableOps;
-    return *this;
-}
-
-OpCounts
-OpCounts::operator+(const OpCounts &o) const
-{
-    OpCounts r = *this;
-    r += o;
-    return r;
-}
-
-bool
-OpCounts::isZero() const
-{
-    return macs == 0 && elemMoves == 0 && aluOps == 0 && tableOps == 0;
-}
-
-const char *
-stageName(Stage s)
-{
-    switch (s) {
-      case Stage::Transformation:
-        return "Transformation";
-      case Stage::Clustering:
-        return "Clustering";
-      case Stage::Gemm:
-        return "GEMM";
-      case Stage::Recovering:
-        return "Recovering";
-      default:
-        return "?";
-    }
-}
-
 double
 CostModel::cycles(const OpCounts &ops) const
 {
@@ -66,35 +25,10 @@ CostModel::milliseconds(const OpCounts &ops) const
     return cycles(ops) / (spec_.clockMhz * 1e3);
 }
 
-void
-CostLedger::add(Stage stage, const OpCounts &ops)
+double
+CostModel::milliseconds(const OpLedger &ledger) const
 {
-    size_t i = static_cast<size_t>(stage);
-    GENREUSE_REQUIRE(i < static_cast<size_t>(Stage::NumStages),
-                     "bad stage index");
-    stages_[i] += ops;
-}
-
-void
-CostLedger::merge(const CostLedger &other)
-{
-    for (size_t i = 0; i < static_cast<size_t>(Stage::NumStages); ++i)
-        stages_[i] += other.stages_[i];
-}
-
-const OpCounts &
-CostLedger::stage(Stage s) const
-{
-    return stages_[static_cast<size_t>(s)];
-}
-
-OpCounts
-CostLedger::total() const
-{
-    OpCounts t;
-    for (const auto &s : stages_)
-        t += s;
-    return t;
+    return milliseconds(ledger.total());
 }
 
 double
@@ -107,13 +41,6 @@ double
 CostLedger::totalMs(const CostModel &model) const
 {
     return model.milliseconds(total());
-}
-
-void
-CostLedger::clear()
-{
-    for (auto &s : stages_)
-        s = OpCounts{};
 }
 
 } // namespace genreuse

@@ -1,11 +1,12 @@
 /**
  * @file
  * Operation-count based latency model. Kernels report exactly what work
- * they did (MACs, element moves, scalar ALU ops, hash-table probes);
- * the cost model prices those counts in cycles for a given board and
- * converts to milliseconds. This substitutes for running on the real
- * STM32 boards while preserving every quantity the paper's latency
- * claims depend on (see DESIGN.md).
+ * they did (MACs, element moves, scalar ALU ops, hash-table probes) via
+ * the common op-ledger vocabulary (src/common/trace.h); this module
+ * prices those counts in cycles for a given board and converts to
+ * milliseconds. This substitutes for running on the real STM32 boards
+ * while preserving every quantity the paper's latency claims depend on
+ * (see DESIGN.md).
  */
 
 #ifndef GENREUSE_MCU_COST_MODEL_H
@@ -15,35 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "mcu_spec.h"
 
 namespace genreuse {
-
-/** Abstract operation counts reported by a kernel. */
-struct OpCounts
-{
-    uint64_t macs = 0;      //!< 8/16-bit SIMD-able multiply-accumulates
-    uint64_t elemMoves = 0; //!< element loads+stores (im2col, reorder, ...)
-    uint64_t aluOps = 0;    //!< scalar adds/compares outside the MAC path
-    uint64_t tableOps = 0;  //!< hash-table probes/updates in clustering
-
-    OpCounts &operator+=(const OpCounts &o);
-    OpCounts operator+(const OpCounts &o) const;
-    bool isZero() const;
-};
-
-/** The reuse pipeline stages of the paper's Table 3 breakdown. */
-enum class Stage
-{
-    Transformation, //!< im2col + reuse-order layout transformation
-    Clustering,     //!< LSH hashing + signature grouping + centroids
-    Gemm,           //!< centroid x weight multiplication
-    Recovering,     //!< duplicating centroid results / summing partials
-    NumStages,
-};
-
-/** Human-readable stage name. */
-const char *stageName(Stage s);
 
 /**
  * Prices OpCounts on a board. All kernels in this library are
@@ -62,38 +38,32 @@ class CostModel
     /** Milliseconds for the given op mix. */
     double milliseconds(const OpCounts &ops) const;
 
+    /** Total milliseconds of a ledger (e.g. a trace snapshot). */
+    double milliseconds(const OpLedger &ledger) const;
+
   private:
     McuSpec spec_;
 };
 
 /**
- * Per-stage accounting for one layer (or one network) execution: the
- * unit that Table 3 rows and all latency numbers are computed from.
+ * An OpLedger priceable on a board: the unit that Table 3 rows and all
+ * latency numbers are computed from. Accounting (add/merge/stage/
+ * total) comes from the common base so kernels below src/mcu can
+ * report into it; this adds the milliseconds views.
  */
-class CostLedger
+class CostLedger : public OpLedger
 {
   public:
-    /** Add op counts to a stage. */
-    void add(Stage stage, const OpCounts &ops);
+    CostLedger() = default;
 
-    /** Merge another ledger stage-by-stage. */
-    void merge(const CostLedger &other);
-
-    const OpCounts &stage(Stage s) const;
-
-    /** Sum over all stages. */
-    OpCounts total() const;
+    /** Adopt counts recorded elsewhere (e.g. a trace snapshot). */
+    explicit CostLedger(const OpLedger &ops) : OpLedger(ops) {}
 
     /** Milliseconds of one stage on a board. */
     double stageMs(Stage s, const CostModel &model) const;
 
     /** Total milliseconds on a board. */
     double totalMs(const CostModel &model) const;
-
-    void clear();
-
-  private:
-    OpCounts stages_[static_cast<size_t>(Stage::NumStages)];
 };
 
 } // namespace genreuse

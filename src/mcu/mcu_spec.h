@@ -30,6 +30,14 @@ struct McuSpec
     size_t flashBytes = 0;
 
     /**
+     * Flash reserved for code (runtime + kernels + CMSIS), leaving
+     * flashBytes - codeAllowanceBytes for weights. The memory model's
+     * fits() charges this, so a network whose weights alone fit flash
+     * but not flash minus the firmware image is correctly rejected.
+     */
+    size_t codeAllowanceBytes = 128 * 1024;
+
+    /**
      * 8/16-bit MACs retired per cycle by the SIMD MAC path
      * (CMSIS-NN uses the dual 16-bit SMLAD on both cores).
      */

@@ -25,10 +25,12 @@ MemoryEstimate::sramPeakBytes() const
 std::string
 MemoryEstimate::sramPeakLayer() const
 {
+    // Strict > so ties resolve to the FIRST peak layer (execution
+    // order), matching where the allocator high-water mark is reached.
     size_t peak = 0;
     std::string name;
     for (const auto &l : layers) {
-        if (l.sramPeak() >= peak) {
+        if (l.sramPeak() > peak || name.empty()) {
             peak = l.sramPeak();
             name = l.name;
         }
@@ -39,7 +41,7 @@ MemoryEstimate::sramPeakLayer() const
 bool
 MemoryEstimate::fits(const McuSpec &spec) const
 {
-    return flashBytes() <= spec.flashBytes &&
+    return flashBytes(spec.codeAllowanceBytes) <= spec.flashBytes &&
            sramPeakBytes() <= spec.sramBytes;
 }
 

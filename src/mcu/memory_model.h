@@ -41,10 +41,12 @@ struct MemoryEstimate
     /** Peak SRAM over all layers. */
     size_t sramPeakBytes() const;
 
-    /** Name of the layer with the largest SRAM footprint. */
+    /** Name of the layer with the largest SRAM footprint; the first
+     *  such layer in execution order when several tie. */
     std::string sramPeakLayer() const;
 
-    /** True when both flash and SRAM fit the given board. */
+    /** True when both flash (weights + spec.codeAllowanceBytes of
+     *  firmware) and SRAM fit the given board. */
     bool fits(const McuSpec &spec) const;
 };
 

@@ -14,11 +14,9 @@ ExactConvAlgo::multiply(const Tensor &x, const Tensor &w,
 {
     (void)geom;
     Tensor y = matmul(x, w);
-    if (ledger) {
-        OpCounts ops;
-        ops.macs = x.shape().rows() * x.shape().cols() * w.shape().cols();
-        ledger->add(Stage::Gemm, ops);
-    }
+    OpCounts ops;
+    ops.macs = x.shape().rows() * x.shape().cols() * w.shape().cols();
+    reportOps(ledger, Stage::Gemm, ops);
     return y;
 }
 
@@ -69,12 +67,13 @@ Conv2D::weightMatrix() const
 Tensor
 Conv2D::forward(const Tensor &x, bool training)
 {
+    trace::TraceScope tscope(name());
     ConvGeometry geom = geometry(x.shape());
     Tensor cols = im2col(x, geom);
-    if (ledger_) {
+    {
         OpCounts ops;
         ops.elemMoves = cols.size(); // one element move per matrix cell
-        ledger_->add(Stage::Transformation, ops);
+        reportOps(ledger_, Stage::Transformation, ops);
     }
 
     Tensor w = weightMatrix();
@@ -85,11 +84,11 @@ Conv2D::forward(const Tensor &x, bool training)
     for (size_t r = 0; r < n; ++r)
         for (size_t c = 0; c < m; ++c)
             y.at2(r, c) += bias_.value[c];
-    if (ledger_) {
+    {
         OpCounts ops;
         ops.aluOps = n * m;      // bias adds
         ops.elemMoves = n * m;   // fold back into activation layout
-        ledger_->add(Stage::Recovering, ops);
+        reportOps(ledger_, Stage::Recovering, ops);
     }
 
     if (training) {

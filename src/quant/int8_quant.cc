@@ -32,6 +32,8 @@ chooseQuantParams(const Tensor &t)
 Int8Tensor
 quantizeInt8(const Tensor &t, const QuantParams &params)
 {
+    GENREUSE_REQUIRE(params.scale > 0.0f,
+                     "quantizeInt8 requires a positive scale");
     Int8Tensor q;
     q.shape = t.shape();
     q.params = params;
@@ -65,7 +67,7 @@ fakeQuantizeInt8(const Tensor &t)
 }
 
 Tensor
-int8Matmul(const Int8Tensor &a, const Int8Tensor &b)
+int8Matmul(const Int8Tensor &a, const Int8Tensor &b, OpLedger *ledger)
 {
     GENREUSE_REQUIRE(a.shape.rank() == 2 && b.shape.rank() == 2,
                      "int8Matmul expects rank-2 operands");
@@ -99,6 +101,11 @@ int8Matmul(const Int8Tensor &a, const Int8Tensor &b)
             out.at2(i, j) = s * static_cast<float>(corrected);
         }
     }
+    reportOps(ledger, Stage::Gemm, {.macs = m * n * k});
+    // Zero-point bookkeeping: column sums (k*n adds), row sums (m*k
+    // adds), and the 3-term correction + dequantize per output.
+    reportOps(ledger, Stage::Recovering,
+              {.elemMoves = m * n, .aluOps = k * n + m * k + 4 * m * n});
     return out;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace.h"
 #include "tensor/tensor.h"
 
 namespace genreuse {
@@ -42,11 +43,15 @@ struct Int8Tensor
 /**
  * Choose scale/zero-point so that [min(t), max(t)] maps onto
  * [-128, 127], always keeping 0 exactly representable (required so that
- * zero padding quantizes exactly, as in TFLite).
+ * zero padding quantizes exactly, as in TFLite). The range is widened
+ * to include 0 first, so an all-negative tensor gets zeroPoint 127 and
+ * an all-positive one gets zeroPoint -128. scale is always > 0.
  */
 QuantParams chooseQuantParams(const Tensor &t);
 
-/** Quantize with the given parameters (values saturate). */
+/** Quantize with the given parameters (values saturate).
+ *  @pre params.scale > 0 — a zero/negative scale would divide by zero
+ *  or mirror the tensor, so it panics instead of producing garbage. */
 Int8Tensor quantizeInt8(const Tensor &t, const QuantParams &params);
 
 /** Quantize with automatically chosen parameters. */
@@ -60,9 +65,13 @@ Tensor fakeQuantizeInt8(const Tensor &t);
 
 /**
  * INT8 affine GEMM with int32 accumulation and zero-point correction,
- * returning the dequantized float result.
+ * returning the dequantized float result. When @p ledger is non-null
+ * (or tracing is on) the actual op counts are reported: m*n*k int8
+ * MACs as Gemm, plus the zero-point row/column sums and corrections as
+ * Recovering ALU work.
  */
-Tensor int8Matmul(const Int8Tensor &a, const Int8Tensor &b);
+Tensor int8Matmul(const Int8Tensor &a, const Int8Tensor &b,
+                  OpLedger *ledger = nullptr);
 
 } // namespace genreuse
 

@@ -200,6 +200,81 @@ TEST(Clustering, LambdaMaxBoundBelowTotalScatter)
     EXPECT_GE(bound, scatter / 10.0 - 1e-6);
 }
 
+TEST(Clustering, MemberListsAreConsistentCsr)
+{
+    Rng rng(21);
+    Tensor m = test::redundantRows(64, 8, 6, rng, 0.1f);
+    HashFamily f = HashFamily::random(5, 8, rng);
+    ClusterResult res = clusterBySignature(rowsOf(m), f);
+
+    ASSERT_EQ(res.memberOffsets.size(), res.numClusters() + 1);
+    ASSERT_EQ(res.memberIndices.size(), res.numItems());
+    EXPECT_EQ(res.memberOffsets.front(), 0u);
+    EXPECT_EQ(res.memberOffsets.back(), res.numItems());
+
+    std::vector<bool> seen(res.numItems(), false);
+    for (size_t c = 0; c < res.numClusters(); ++c) {
+        const size_t begin = res.memberOffsets[c];
+        const size_t end = res.memberOffsets[c + 1];
+        EXPECT_EQ(end - begin, res.sizes[c]);
+        for (size_t k = begin; k < end; ++k) {
+            const uint32_t item = res.memberIndices[k];
+            ASSERT_LT(item, res.numItems());
+            EXPECT_FALSE(seen[item]); // each item in exactly one cluster
+            seen[item] = true;
+            EXPECT_EQ(res.assignments[item], c);
+            if (k > begin) // ascending item order within a cluster
+                EXPECT_LT(res.memberIndices[k - 1], item);
+        }
+    }
+}
+
+TEST(Clustering, ScatterBoundBitIdenticalWithoutCsr)
+{
+    // The member-grouped power iteration must accumulate in the same
+    // order as the fallback full-panel scan, so a hand-assembled
+    // ClusterResult without the CSR arrays prices identically — to the
+    // last bit, not within a tolerance.
+    Rng rng(22);
+    Tensor m = test::redundantRows(120, 12, 4, rng, 0.3f);
+    HashFamily f = HashFamily::random(6, 12, rng);
+    ClusterResult with_csr = clusterBySignature(rowsOf(m), f);
+
+    ClusterResult without_csr = with_csr;
+    without_csr.memberIndices.clear();
+    without_csr.memberOffsets.clear();
+
+    const double fast = clusterScatterBound(rowsOf(m), with_csr);
+    const double fallback = clusterScatterBound(rowsOf(m), without_csr);
+    EXPECT_EQ(fast, fallback); // exact double equality, by design
+}
+
+TEST(Clustering, ReportsActualOpCounts)
+{
+    Rng rng(23);
+    const size_t n = 48, len = 10;
+    Tensor m = test::redundantRows(n, len, 4, rng, 0.2f);
+    HashFamily f = HashFamily::random(4, len, rng);
+
+    OpCounts ops;
+    ClusterResult res = clusterBySignature(rowsOf(m), f, &ops);
+    const size_t nc = res.numClusters();
+
+    EXPECT_EQ(ops.macs, f.hashMacs(n));
+    EXPECT_EQ(ops.tableOps, n); // one signature probe per item
+    // Centroid accumulate (n*len) + normalize (nc*len) ALU work, and
+    // the centroid panel store.
+    EXPECT_EQ(ops.aluOps, n * len + nc * len);
+    EXPECT_EQ(ops.elemMoves, nc * len);
+
+    // Pre-hashed variant: same counts minus the hashing MACs.
+    OpCounts ops2;
+    clusterSignatures(rowsOf(m), f.signatures(rowsOf(m)), &ops2);
+    EXPECT_EQ(ops2.macs, 0u);
+    EXPECT_EQ(ops2.tableOps, n);
+    EXPECT_EQ(ops2.aluOps, ops.aluOps);
+}
+
 TEST(LearnedHash, BeatsRandomOnStructuredData)
 {
     // PCA hashing should produce lower mean within-cluster scatter

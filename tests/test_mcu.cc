@@ -171,6 +171,50 @@ TEST(MemoryModel, FitsBoard)
     EXPECT_FALSE(est.fits(McuSpec::stm32f469i()));
 }
 
+TEST(MemoryModel, SramPeakLayerTieBreaksToFirst)
+{
+    // Two layers with identical peaks: execution order decides, so the
+    // report points at the first layer the deployment hits.
+    MemoryEstimate est;
+    LayerFootprint a;
+    a.name = "first";
+    a.inputBytes = 10 * 1024;
+    a.outputBytes = 6 * 1024;
+    est.layers.push_back(a);
+    LayerFootprint b;
+    b.name = "second";
+    b.inputBytes = 6 * 1024;
+    b.outputBytes = 10 * 1024; // same 16 KB peak
+    est.layers.push_back(b);
+    ASSERT_EQ(est.layers[0].sramPeak(), est.layers[1].sramPeak());
+    EXPECT_EQ(est.sramPeakLayer(), "first");
+}
+
+TEST(MemoryModel, FitsChargesCodeAllowance)
+{
+    // Regression: fits() must budget the firmware image alongside the
+    // weights, per the board's codeAllowanceBytes — a network whose
+    // weights alone fit flash can still be undeployable.
+    McuSpec spec = McuSpec::stm32f469i();
+    spec.flashBytes = 300 * 1024;
+    spec.codeAllowanceBytes = 128 * 1024;
+
+    MemoryEstimate est;
+    LayerFootprint a;
+    a.weightBytes = 200 * 1024;
+    a.inputBytes = 1024;
+    est.layers.push_back(a);
+
+    // Weights alone fit (200K < 300K) ...
+    EXPECT_LE(est.flashBytes(0), spec.flashBytes);
+    // ... but weights + 128K of code do not.
+    EXPECT_FALSE(est.fits(spec));
+
+    // A leaner firmware budget makes the same network deployable.
+    spec.codeAllowanceBytes = 64 * 1024;
+    EXPECT_TRUE(est.fits(spec));
+}
+
 TEST(MemoryModel, SramOverflowDetected)
 {
     MemoryEstimate est;

@@ -113,6 +113,93 @@ TEST(Int8, MatmulZeroPointCorrection)
     EXPECT_LT(relativeError(ref, out), 0.06);
 }
 
+TEST(Int8, RejectsNonPositiveScale)
+{
+    // A zero or negative scale cannot come out of chooseQuantParams;
+    // reaching quantizeInt8 with one is a caller bug and must panic
+    // rather than divide by zero / mirror the tensor.
+    Tensor t({2}, std::vector<float>{0.5f, -0.5f});
+    QuantParams zero_scale{0.0f, 0};
+    EXPECT_DEATH(quantizeInt8(t, zero_scale), "positive scale");
+    QuantParams negative_scale{-0.1f, 0};
+    EXPECT_DEATH(quantizeInt8(t, negative_scale), "positive scale");
+}
+
+TEST(Int8, ChosenScaleAlwaysPositive)
+{
+    // chooseQuantParams must satisfy quantizeInt8's precondition for
+    // every input, including constant and single-element tensors.
+    Rng rng(14);
+    std::vector<Tensor> inputs;
+    inputs.push_back(Tensor::full({16}, 0.0f));
+    inputs.push_back(Tensor::full({16}, -3.0f));
+    inputs.push_back(Tensor::full({16}, 2.5f));
+    inputs.push_back(Tensor({1}, std::vector<float>{-1e-8f}));
+    inputs.push_back(Tensor::randomNormal({256}, rng));
+    for (const Tensor &t : inputs) {
+        QuantParams p = chooseQuantParams(t);
+        EXPECT_GT(p.scale, 0.0f);
+        EXPECT_GE(p.zeroPoint, -128);
+        EXPECT_LE(p.zeroPoint, 127);
+    }
+}
+
+TEST(Int8, OneSidedRangesPinZeroPointToEdge)
+{
+    // The range is widened to include 0, so an all-negative tensor
+    // maps 0 to raw 127 and an all-positive one maps 0 to raw -128.
+    Tensor neg({3}, std::vector<float>{-4.0f, -1.0f, -2.5f});
+    EXPECT_EQ(chooseQuantParams(neg).zeroPoint, 127);
+    Tensor pos({3}, std::vector<float>{0.5f, 4.0f, 2.0f});
+    EXPECT_EQ(chooseQuantParams(pos).zeroPoint, -128);
+}
+
+TEST(Int8, RoundTripWithinHalfStepOfScale)
+{
+    // For in-range values the round-trip error is bounded by scale/2.
+    Rng rng(15);
+    Tensor t = Tensor::randomUniform({512}, rng, -1.5f, 4.0f);
+    QuantParams p = chooseQuantParams(t);
+    Tensor back = dequantize(quantizeInt8(t, p));
+    EXPECT_LE(maxAbsDiff(t, back), p.scale * 0.5f + 1e-6f);
+}
+
+TEST(Int8, MatmulMatchesFloatGemmAcrossShapes)
+{
+    // Property sweep: the zero-point-corrected int8 GEMM tracks the
+    // float product across shapes and asymmetric value ranges.
+    Rng rng(16);
+    const size_t shapes[][3] = {
+        {1, 8, 1}, {3, 5, 7}, {8, 32, 4}, {16, 64, 16}};
+    const float ranges[][2] = {{-1.0f, 1.0f}, {0.1f, 2.0f}, {-3.0f, 0.5f}};
+    for (const auto &s : shapes) {
+        for (const auto &ra : ranges) {
+            Tensor a = Tensor::randomUniform({s[0], s[1]}, rng, ra[0],
+                                             ra[1]);
+            Tensor b =
+                Tensor::randomUniform({s[1], s[2]}, rng, -1.5f, 0.75f);
+            Tensor ref = matmul(a, b);
+            Tensor out = int8Matmul(quantizeInt8(a), quantizeInt8(b));
+            EXPECT_LT(relativeError(ref, out), 0.08)
+                << s[0] << "x" << s[1] << "x" << s[2] << " range ["
+                << ra[0] << ", " << ra[1] << "]";
+        }
+    }
+}
+
+TEST(Int8, MatmulReportsOpsToLedger)
+{
+    Rng rng(17);
+    Tensor a = Tensor::randomUniform({4, 6}, rng, -1.0f, 1.0f);
+    Tensor b = Tensor::randomUniform({6, 3}, rng, -1.0f, 1.0f);
+    OpLedger ledger;
+    int8Matmul(quantizeInt8(a), quantizeInt8(b), &ledger);
+    EXPECT_EQ(ledger.stage(Stage::Gemm).macs, 4u * 6u * 3u);
+    // Dequantized store of every output element.
+    EXPECT_EQ(ledger.stage(Stage::Recovering).elemMoves, 4u * 3u);
+    EXPECT_GT(ledger.stage(Stage::Recovering).aluOps, 0u);
+}
+
 TEST(Int8, QuantizeDequantizeShapePreserved)
 {
     Tensor t = Tensor::iota({2, 3, 4, 5});

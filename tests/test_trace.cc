@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the op-ledger tracing subsystem (src/common/trace):
+ * runtime gating, scope nesting and thread-locality, agreement between
+ * the trace registry and a layer-attached ledger, the JSON export, and
+ * the zero-overhead guarantee when tracing is off.
+ */
+
+#include <chrono>
+#include <gtest/gtest.h>
+
+#include "common/trace.h"
+#include "mcu/cost_model.h"
+#include "nn/conv2d.h"
+
+namespace genreuse {
+namespace {
+
+/** RAII guard: every test leaves tracing off and the registry empty. */
+struct TraceSandbox
+{
+    TraceSandbox()
+    {
+        trace::setEnabled(false);
+        trace::reset();
+    }
+    ~TraceSandbox()
+    {
+        trace::setEnabled(false);
+        trace::reset();
+    }
+};
+
+OpCounts
+someOps()
+{
+    OpCounts ops;
+    ops.macs = 100;
+    ops.elemMoves = 20;
+    ops.aluOps = 3;
+    ops.tableOps = 1;
+    return ops;
+}
+
+TEST(Trace, DisabledByDefaultAndRecordsNothing)
+{
+    TraceSandbox sandbox;
+    EXPECT_FALSE(trace::enabled());
+    reportOps(nullptr, Stage::Gemm, someOps());
+    EXPECT_TRUE(trace::snapshot().empty());
+}
+
+TEST(Trace, ReportOpsFillsAttachedSinkRegardlessOfGate)
+{
+    TraceSandbox sandbox;
+    OpLedger sink;
+    reportOps(&sink, Stage::Gemm, someOps());
+    EXPECT_EQ(sink.stage(Stage::Gemm).macs, 100u);
+    // Tracing off: the registry saw nothing.
+    EXPECT_TRUE(trace::snapshot().empty());
+}
+
+TEST(Trace, RecordsUnderScopeWhenEnabled)
+{
+    TraceSandbox sandbox;
+    trace::setEnabled(true);
+    {
+        trace::TraceScope scope("conv1");
+        reportOps(nullptr, Stage::Clustering, someOps());
+        reportOps(nullptr, Stage::Clustering, someOps());
+    }
+    OpLedger l = trace::layerLedger("conv1");
+    EXPECT_EQ(l.stage(Stage::Clustering).macs, 200u);
+    EXPECT_EQ(l.stage(Stage::Gemm).macs, 0u);
+}
+
+TEST(Trace, InnermostScopeWins)
+{
+    TraceSandbox sandbox;
+    trace::setEnabled(true);
+    {
+        trace::TraceScope outer("outer");
+        {
+            trace::TraceScope inner("inner");
+            reportOps(nullptr, Stage::Gemm, someOps());
+        }
+        reportOps(nullptr, Stage::Recovering, someOps());
+    }
+    EXPECT_EQ(trace::layerLedger("inner").stage(Stage::Gemm).macs, 100u);
+    EXPECT_TRUE(trace::layerLedger("outer").stage(Stage::Gemm).isZero());
+    EXPECT_EQ(trace::layerLedger("outer").stage(Stage::Recovering).macs,
+              100u);
+}
+
+TEST(Trace, RecordsOutsideAnyScopeGoUntagged)
+{
+    TraceSandbox sandbox;
+    trace::setEnabled(true);
+    reportOps(nullptr, Stage::Transformation, someOps());
+    EXPECT_EQ(
+        trace::layerLedger("(untagged)").stage(Stage::Transformation).macs,
+        100u);
+}
+
+TEST(Trace, ResetDropsLedgers)
+{
+    TraceSandbox sandbox;
+    trace::setEnabled(true);
+    {
+        trace::TraceScope scope("x");
+        reportOps(nullptr, Stage::Gemm, someOps());
+    }
+    EXPECT_FALSE(trace::snapshot().empty());
+    trace::reset();
+    EXPECT_TRUE(trace::snapshot().empty());
+    EXPECT_TRUE(trace::layerLedger("x").total().isZero());
+}
+
+TEST(Trace, SnapshotPreservesFirstSeenOrder)
+{
+    TraceSandbox sandbox;
+    trace::setEnabled(true);
+    for (const char *name : {"c", "a", "b"}) {
+        trace::TraceScope scope(name);
+        reportOps(nullptr, Stage::Gemm, someOps());
+    }
+    auto snap = trace::snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "c");
+    EXPECT_EQ(snap[1].first, "a");
+    EXPECT_EQ(snap[2].first, "b");
+}
+
+TEST(Trace, ConvForwardMatchesAttachedLedger)
+{
+    // The tentpole invariant: what a traced Conv2D::forward() reports
+    // to the registry is byte-for-byte what it adds to an attached
+    // CostLedger — one source of truth for the cost model.
+    TraceSandbox sandbox;
+    Rng rng(11);
+    Conv2D conv("traced_conv", 3, 8, 3, 1, 1, rng);
+    Tensor x = Tensor::randomNormal({2, 3, 8, 8}, rng);
+
+    CostLedger attached;
+    conv.setLedger(&attached);
+    trace::setEnabled(true);
+    conv.forward(x, false);
+    trace::setEnabled(false);
+    conv.setLedger(nullptr);
+
+    OpLedger traced = trace::layerLedger("traced_conv");
+    EXPECT_FALSE(traced.total().isZero());
+    EXPECT_TRUE(traced == attached);
+}
+
+TEST(Trace, CostLedgerAdoptsOpLedger)
+{
+    TraceSandbox sandbox;
+    OpLedger plain;
+    plain.add(Stage::Gemm, someOps());
+    CostLedger priced(plain);
+    EXPECT_TRUE(priced == plain);
+    CostModel model(McuSpec::stm32f469i());
+    EXPECT_GT(priced.totalMs(model), 0.0);
+    EXPECT_NEAR(priced.totalMs(model),
+                model.milliseconds(plain.total()), 1e-12);
+}
+
+TEST(Trace, JsonExportCarriesSchemaAndCounts)
+{
+    TraceSandbox sandbox;
+    trace::setEnabled(true);
+    {
+        trace::TraceScope scope("json_layer");
+        reportOps(nullptr, Stage::Gemm, someOps());
+    }
+    std::string json = trace::toJson();
+    EXPECT_NE(json.find("\"genreuse.trace/1\""), std::string::npos);
+    EXPECT_NE(json.find("\"json_layer\""), std::string::npos);
+    EXPECT_NE(json.find("\"GEMM\""), std::string::npos);
+    EXPECT_NE(json.find("\"macs\": 100"), std::string::npos);
+}
+
+TEST(Trace, JsonOfEmptyRegistryIsValidAndEmpty)
+{
+    TraceSandbox sandbox;
+    std::string json = trace::toJson();
+    EXPECT_NE(json.find("\"genreuse.trace/1\""), std::string::npos);
+    EXPECT_EQ(json.find("macs"), std::string::npos);
+}
+
+TEST(Trace, NegligibleOverheadWhenOff)
+{
+    // reportOps with tracing off and no sink must stay within noise of
+    // a pure loop: one null check + one relaxed load per call. The
+    // bound is deliberately loose (20x) so the test never flakes on a
+    // busy machine while still catching an accidental mutex or
+    // allocation on the disabled path (those cost 100x+).
+    TraceSandbox sandbox;
+    const int iters = 2'000'000;
+    OpCounts ops = someOps();
+
+    auto timeRun = [&](auto &&body) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i)
+            body(i);
+        auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    volatile uint64_t guard = 0;
+    double base = timeRun(
+        [&](int i) { guard = guard + static_cast<uint64_t>(i); });
+    double off = timeRun([&](int i) {
+        guard = guard + static_cast<uint64_t>(i);
+        reportOps(nullptr, Stage::Gemm, ops);
+    });
+    EXPECT_LT(off, base * 20.0 + 0.05);
+}
+
+} // namespace
+} // namespace genreuse
