@@ -19,6 +19,13 @@ smokeMode()
     return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
 }
 
+bool
+guardMode()
+{
+    const char *v = std::getenv("GENREUSE_GUARD");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
 size_t
 evalImages(size_t full)
 {
@@ -27,6 +34,12 @@ evalImages(size_t full)
 
 BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name))
 {
+    // A suffix keeps re-runs of the same bench under different modes
+    // (e.g. the guard-enabled smoke pass) from clobbering each other's
+    // records in the suite directory.
+    const char *suffix = std::getenv("GENREUSE_BENCH_NAME_SUFFIX");
+    if (suffix && *suffix)
+        name_ += suffix;
     const char *dir = std::getenv("GENREUSE_BENCH_JSON_DIR");
     std::string d = (dir && *dir) ? dir : ".";
     if (d.back() != '/')
@@ -110,6 +123,11 @@ BenchJson::write()
     w.key("extra").beginObject();
     for (const auto &[key, raw] : extra_)
         w.key(key).raw(raw);
+    // Guard decisions made while this bench ran (fallbacks taken,
+    // re-cluster counts, error-bound margins) ride along so fallback
+    // cost can be correlated with the latency numbers.
+    if (!guard::snapshot().empty())
+        w.key("guardEvents").raw(guard::toJson());
     w.endObject();
     w.endObject();
 
@@ -303,6 +321,29 @@ reuseTargets(Network &net, ModelKind kind)
     return all;
 }
 
+namespace {
+
+/**
+ * Install a pattern on a layer — wrapped in the runtime guard when
+ * GENREUSE_GUARD is set. Returns the reuse algorithm (the guarded
+ * wrapper's inner one, via an aliasing pointer) so callers read stats
+ * the same way in both modes.
+ */
+std::shared_ptr<ReuseConvAlgo>
+installPattern(Network &net, Conv2D &layer, const ReusePattern &p,
+               const Dataset &fit, HashMode mode, uint64_t seed)
+{
+    if (guardMode()) {
+        auto guarded =
+            fitAndInstallGuarded(net, layer, p, fit, {}, mode, seed);
+        return std::shared_ptr<ReuseConvAlgo>(guarded,
+                                              &guarded->inner());
+    }
+    return fitAndInstall(net, layer, p, fit, mode, seed);
+}
+
+} // namespace
+
 SeriesPoint
 measurePatternEverywhere(Workbench &wb, ModelKind kind,
                          const ReusePattern &base_pattern,
@@ -314,7 +355,7 @@ measurePatternEverywhere(Workbench &wb, ModelKind kind,
         // Re-derive the conventional granularity per layer when the
         // base pattern uses granularity 0 as "per-layer tile".
         ReusePattern p = base_pattern;
-        fitAndInstall(wb.net, *layer, p, fit, mode, 99);
+        installPattern(wb.net, *layer, p, fit, mode, 99);
     }
     Measurement m = measureNetwork(wb.net, wb.test, model, eval_images);
     resetAllConvs(wb.net);
@@ -340,7 +381,8 @@ sotaSpectrum(Workbench &wb, ModelKind kind, const CostModel &model,
             ReusePattern p;
             p.granularity = layer->kernelSize() * layer->kernelSize();
             p.numHashes = h;
-            fitAndInstall(wb.net, *layer, p, fit, HashMode::Learned, 99);
+            installPattern(wb.net, *layer, p, fit,
+                           HashMode::Learned, 99);
         }
         Measurement m = measureNetwork(wb.net, wb.test, model, eval_images);
         resetAllConvs(wb.net);
@@ -415,7 +457,8 @@ generalizedSpectrum(Workbench &wb, ModelKind kind, const CostModel &model,
         for (Conv2D *layer : reuseTargets(wb.net, kind)) {
             ReusePattern p =
                 pickPatternAnalytically(wb.net, *layer, wb.train, h, model);
-            fitAndInstall(wb.net, *layer, p, fit, HashMode::Learned, 99);
+            installPattern(wb.net, *layer, p, fit,
+                           HashMode::Learned, 99);
         }
         Measurement m = measureNetwork(wb.net, wb.test, model, eval_images);
         resetAllConvs(wb.net);
@@ -435,7 +478,7 @@ measureSingleLayer(Workbench &wb, Conv2D &layer, const ReusePattern &pattern,
                    HashMode mode)
 {
     Dataset fit = wb.train.slice(0, std::min<size_t>(4, wb.train.size()));
-    auto algo = fitAndInstall(wb.net, layer, pattern, fit, mode, 99);
+    auto algo = installPattern(wb.net, layer, pattern, fit, mode, 99);
 
     CostLedger ledger;
     layer.setLedger(&ledger);

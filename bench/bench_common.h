@@ -35,6 +35,15 @@ namespace genreuse::bench {
  */
 bool smokeMode();
 
+/**
+ * True when GENREUSE_GUARD is set (and not "0"): the measurement
+ * helpers install reuse algorithms wrapped in the runtime guard
+ * (core/guard.h), so bench latencies include the guard's verification
+ * cost and guard-event counters land in the bench JSON (the
+ * "guardEvents" extra, schema genreuse.guard/1).
+ */
+bool guardMode();
+
 /** @return @p full, reduced to a small count in smoke mode. */
 size_t evalImages(size_t full);
 

@@ -11,6 +11,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "common/faultpoint.h"
+#include "core/guard.h"
 #include "core/horizontal_reuse.h"
 #include "core/reorder.h"
 #include "core/vertical_reuse.h"
@@ -181,6 +183,61 @@ BM_HorizontalReuseRedundant(benchmark::State &state)
     }
 }
 BENCHMARK(BM_HorizontalReuseRedundant);
+
+void
+BM_FaultGateDisarmed(benchmark::State &state)
+{
+    // The disarmed fault gate on a hot path: must be one relaxed
+    // atomic load, indistinguishable from the bare loop.
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        if (faultpoint::anyArmed())
+            acc += 1;
+        acc += 1;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_FaultGateDisarmed);
+
+void
+BM_GuardedReuseConv(benchmark::State &state)
+{
+    // The guarded conv algorithm vs its unguarded inner path. Arg:
+    // 0 = unguarded baseline, 1 = guard installed but disabled (the
+    // "off-path" whose overhead must stay within noise of 0, per the
+    // trace-gate criterion), 2 = guard enabled (includes the sampled
+    // verification GEMM rows).
+    ConvGeometry geom;
+    geom.batch = 1;
+    geom.inChannels = 3;
+    geom.inHeight = 32;
+    geom.inWidth = 32;
+    geom.outChannels = 64;
+    geom.kernelH = 5;
+    geom.kernelW = 5;
+    geom.stride = 1;
+    geom.pad = 2;
+    Tensor x = redundantMatrix(1024, 75, 8, 7);
+    Rng rng(7);
+    Tensor w = Tensor::randomNormal({75, 64}, rng);
+    ReusePattern p = ReusePattern::conventional(geom, 4);
+
+    GuardConfig cfg;
+    cfg.enabled = state.range(0) != 0;
+    cfg.marginFactor = 1e9; // stay on the full-reuse rung
+    GuardedReuseConvAlgo guarded(p, cfg, HashMode::Random, 7);
+    guarded.fit(x, geom);
+    ReuseConvAlgo plain(p, HashMode::Random, 7);
+    plain.fit(x, geom);
+
+    for (auto _ : state) {
+        Tensor y = state.range(0) == 0
+                       ? plain.multiply(x, w, geom, nullptr)
+                       : guarded.multiply(x, w, geom, nullptr);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_GuardedReuseConv)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_SyntheticCifarGeneration(benchmark::State &state)

@@ -50,7 +50,10 @@ main()
 
     // --- memory feasibility on the target board -----------------------
     // Flash holds the weights *plus* the firmware image; the board spec
-    // carries that code allowance so fits() accounts for both.
+    // carries that code allowance so fits() accounts for both. The
+    // diagnostic report names the failing component and its shortfall
+    // in bytes, and a misfit downgrades the deployment to the exact
+    // strategy (deployRung) instead of aborting it.
     McuSpec f4 = McuSpec::stm32f469i();
     MemoryEstimate mem = net.memoryEstimate({1, 3, 32, 32});
     std::printf("flash: %.0f KB weights + %.0f KB code = %.0f KB of %.0f "
@@ -59,24 +62,32 @@ main()
                 f4.codeAllowanceBytes / 1024.0,
                 mem.flashBytes(f4.codeAllowanceBytes) / 1024.0,
                 f4.flashBytes / 1024.0);
-    std::printf("SRAM peak: %.0f KB of %.0f KB (at layer '%s') -> %s\n\n",
-                mem.sramPeakBytes() / 1024.0, f4.sramBytes / 1024.0,
-                mem.sramPeakLayer().c_str(),
-                mem.fits(f4) ? "FITS" : "DOES NOT FIT");
+    FitReport fit_report = mem.diagnose(f4);
+    std::printf("memory check: %s\n", fit_report.describe().c_str());
+    const bool deploy_reuse =
+        deployRung(mem, f4) != GuardRung::ExactFallback;
+    std::printf("deploy strategy: %s\n\n",
+                deploy_reuse ? "guarded reuse"
+                             : "exact GEMM (memory downgrade)");
 
-    // --- install reuse on the expand_3x3 convolutions ------------------
+    // --- install guarded reuse on the expand_3x3 convolutions ----------
+    // The guard re-checks the analytic accuracy bound at run time and
+    // walks full reuse -> re-cluster -> exact GEMM when it is violated.
     Dataset fit = train_data.slice(0, 4);
     size_t installed = 0;
     for (auto *conv : net.convLayers()) {
         if (conv->name().find("expand_3x3") == std::string::npos)
             continue;
+        if (!deploy_reuse)
+            continue; // memory downgrade: layers stay on exact GEMM
         ReusePattern p;
         p.granularity = conv->kernelSize() * conv->kernelSize();
         p.numHashes = 3;
-        fitAndInstall(net, *conv, p, fit);
+        fitAndInstallGuarded(net, *conv, p, fit);
         installed++;
     }
-    std::printf("installed reuse on %zu expand_3x3 convolutions\n\n",
+    std::printf("installed guarded reuse on %zu expand_3x3 "
+                "convolutions\n\n",
                 installed);
 
     // --- per-board latency budget ----------------------------------------
@@ -117,5 +128,18 @@ main()
                        ledger.stageMs(Stage::Recovering, model) / n, 2)});
     }
     std::printf("%s", lt.render().c_str());
+
+    // --- guard events observed during measurement -------------------------
+    GuardStats gs = guard::snapshot();
+    if (!gs.empty()) {
+        std::printf("\nguard: %llu forwards, %llu full-reuse, %llu "
+                    "re-clusters, %llu exact fallbacks (worst "
+                    "error/budget margin %.3f)\n",
+                    static_cast<unsigned long long>(gs.forwards),
+                    static_cast<unsigned long long>(gs.fullReuse),
+                    static_cast<unsigned long long>(gs.reclusters),
+                    static_cast<unsigned long long>(gs.exactFallbacks),
+                    gs.worstMargin);
+    }
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "args.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "logging.h"
@@ -52,9 +54,12 @@ ArgParser::getInt(const std::string &key, long fallback) const
         return fallback;
     std::string v = getString(key);
     char *end = nullptr;
+    errno = 0;
     long out = std::strtol(v.c_str(), &end, 10);
     if (end == nullptr || *end != '\0' || v.empty())
         fatal("--", key, " expects an integer, got '", v, "'");
+    if (errno == ERANGE)
+        fatal("--", key, " integer out of range: '", v, "'");
     return out;
 }
 
@@ -65,9 +70,14 @@ ArgParser::getDouble(const std::string &key, double fallback) const
         return fallback;
     std::string v = getString(key);
     char *end = nullptr;
+    errno = 0;
     double out = std::strtod(v.c_str(), &end);
     if (end == nullptr || *end != '\0' || v.empty())
         fatal("--", key, " expects a number, got '", v, "'");
+    // ERANGE covers both overflow (±HUGE_VAL) and denormal underflow;
+    // only the former silently misrepresents what the user typed.
+    if (errno == ERANGE && std::fabs(out) == HUGE_VAL)
+        fatal("--", key, " number out of range: '", v, "'");
     return out;
 }
 

@@ -32,10 +32,12 @@ class ArgParser
     std::string getString(const std::string &key,
                           const std::string &fallback = "") const;
 
-    /** Integer value of --key; fatal on non-numeric input. */
+    /** Integer value of --key; fatal on non-numeric or out-of-range
+     *  input (overflow is rejected, never silently saturated). */
     long getInt(const std::string &key, long fallback) const;
 
-    /** Double value of --key; fatal on non-numeric input. */
+    /** Double value of --key; fatal on non-numeric or overflowing
+     *  input. */
     double getDouble(const std::string &key, double fallback) const;
 
     /** Positional (non --key) arguments, in order. */

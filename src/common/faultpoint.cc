@@ -1,0 +1,150 @@
+#include "faultpoint.h"
+
+#include <cstdlib>
+
+namespace genreuse {
+namespace faultpoint {
+
+namespace detail {
+
+std::atomic<int> g_armed{-1};
+std::atomic<uint64_t> g_seed{1};
+
+namespace {
+
+/** Parses GENREUSE_FAULT once, before main() runs. A bad spec is a
+ *  user error: fail loudly rather than silently testing nothing. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *spec = std::getenv("GENREUSE_FAULT");
+        if (spec == nullptr || *spec == '\0')
+            return;
+#ifdef GENREUSE_DISABLE_FAULTPOINTS
+        warn("GENREUSE_FAULT=", spec,
+             " requested but fault points are compiled out "
+             "(GENREUSE_DISABLE_FAULTPOINTS)");
+#else
+        Status s = armSpec(spec);
+        if (!s.ok())
+            fatal("GENREUSE_FAULT: ", s.toString());
+#endif
+    }
+};
+
+EnvInit g_env_init;
+
+} // namespace
+
+void
+initFromEnvOnce()
+{
+    // The EnvInit static above already ran; this hook exists so a
+    // translation unit can force-link the registration if needed.
+}
+
+} // namespace detail
+
+const char *
+faultName(Fault f)
+{
+    switch (f) {
+      case Fault::SramExhausted:
+        return "sram_exhausted";
+      case Fault::ClusterCollapse:
+        return "cluster_collapse";
+      case Fault::ClusterEmpty:
+        return "cluster_empty";
+      case Fault::NanActivation:
+        return "nan_activation";
+      case Fault::CorruptClusterIds:
+        return "corrupt_cluster_ids";
+      case Fault::ZeroQuantScale:
+        return "zero_quant_scale";
+      default:
+        return "?";
+    }
+}
+
+const std::vector<std::string> &
+allFaultNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (int i = 0; i < static_cast<int>(Fault::NumFaults); ++i)
+            v.push_back(faultName(static_cast<Fault>(i)));
+        return v;
+    }();
+    return names;
+}
+
+Expected<Fault>
+faultByName(const std::string &name)
+{
+    for (int i = 0; i < static_cast<int>(Fault::NumFaults); ++i) {
+        if (name == faultName(static_cast<Fault>(i)))
+            return static_cast<Fault>(i);
+    }
+    return Status::error(ErrorCode::InvalidArgument,
+                         "unknown fault point '", name,
+                         "' (known: sram_exhausted, cluster_collapse, "
+                         "cluster_empty, nan_activation, "
+                         "corrupt_cluster_ids, zero_quant_scale)");
+}
+
+uint64_t
+seed()
+{
+    return detail::g_seed.load(std::memory_order_relaxed);
+}
+
+void
+arm(Fault f, uint64_t seed)
+{
+#ifdef GENREUSE_DISABLE_FAULTPOINTS
+    (void)f;
+    (void)seed;
+    warn("faultpoint::arm ignored: compiled out "
+         "(GENREUSE_DISABLE_FAULTPOINTS)");
+#else
+    GENREUSE_REQUIRE(f != Fault::NumFaults, "cannot arm NumFaults");
+    detail::g_seed.store(seed, std::memory_order_relaxed);
+    detail::g_armed.store(static_cast<int>(f), std::memory_order_relaxed);
+#endif
+}
+
+Status
+armSpec(const std::string &spec)
+{
+    std::string name = spec;
+    uint64_t s = 1;
+    const size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+        name = spec.substr(0, colon);
+        const std::string seed_str = spec.substr(colon + 1);
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(seed_str.c_str(), &end, 10);
+        if (seed_str.empty() || end == nullptr || *end != '\0') {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "bad seed '", seed_str, "' in spec '",
+                                 spec, "' (want <name>[:seed])");
+        }
+        s = static_cast<uint64_t>(v);
+    }
+    Expected<Fault> f = faultByName(name);
+    if (!f.ok())
+        return f.status();
+    arm(*f, s);
+    return Status{};
+}
+
+void
+disarm()
+{
+    detail::g_armed.store(-1, std::memory_order_relaxed);
+    detail::g_seed.store(1, std::memory_order_relaxed);
+}
+
+} // namespace faultpoint
+} // namespace genreuse

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic fault injection for the robustness layer. A fault
+ * point is a named, seeded failure the library knows how to provoke in
+ * itself — SRAM exhaustion, degenerate clusterings, non-finite
+ * activations, a corrupted cluster-ID table, a zero quantization
+ * scale — so the degradation ladder (src/core/guard.h) can be tested
+ * end to end without flaky randomness.
+ *
+ * At most one fault is armed at a time, either programmatically
+ * (faultpoint::arm) or via the environment:
+ *
+ *   GENREUSE_FAULT=<name>[:seed]   e.g. GENREUSE_FAULT=cluster_collapse:7
+ *
+ * The hot-path gate is one relaxed atomic load (anyArmed()), mirroring
+ * the trace gate, and the whole subsystem compiles out under
+ * GENREUSE_DISABLE_FAULTPOINTS (active() becomes a constant false, so
+ * every injection site folds away).
+ */
+
+#ifndef GENREUSE_COMMON_FAULTPOINT_H
+#define GENREUSE_COMMON_FAULTPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "status.h"
+
+namespace genreuse {
+namespace faultpoint {
+
+/** The registered fault points. Names (faultName) use snake_case. */
+enum class Fault
+{
+    SramExhausted,    //!< memory model reports zero SRAM capacity
+    ClusterCollapse,  //!< LSH signatures all collide: one giant cluster
+    ClusterEmpty,     //!< a size-0 cluster with a 1/0 (Inf) centroid
+    NanActivation,    //!< NaN elements injected into activations
+    CorruptClusterIds,//!< out-of-range entries in the cluster-ID table
+    ZeroQuantScale,   //!< INT8 calibration computes scale = 0
+    NumFaults,
+};
+
+/** snake_case name used by GENREUSE_FAULT and reports. */
+const char *faultName(Fault f);
+
+/** All registered fault names, in enum order (for the fault matrix). */
+const std::vector<std::string> &allFaultNames();
+
+/** Fault for a name. InvalidArgument when unknown. */
+Expected<Fault> faultByName(const std::string &name);
+
+namespace detail {
+// -1 when disarmed, otherwise the armed Fault's index. Relaxed is
+// enough: arming happens at startup / in tests, never racing a kernel.
+extern std::atomic<int> g_armed;
+extern std::atomic<uint64_t> g_seed;
+void initFromEnvOnce();
+} // namespace detail
+
+/** The hot-path gate: true when any fault is armed. */
+inline bool
+anyArmed()
+{
+#ifdef GENREUSE_DISABLE_FAULTPOINTS
+    return false;
+#else
+    return detail::g_armed.load(std::memory_order_relaxed) >= 0;
+#endif
+}
+
+/** True when @p f specifically is armed. One relaxed load off-path. */
+inline bool
+active(Fault f)
+{
+#ifdef GENREUSE_DISABLE_FAULTPOINTS
+    (void)f;
+    return false;
+#else
+    return detail::g_armed.load(std::memory_order_relaxed) ==
+           static_cast<int>(f);
+#endif
+}
+
+/** Seed of the armed fault (1 when none was given). */
+uint64_t seed();
+
+/** Arm @p f (replacing any armed fault). No-op when compiled out. */
+void arm(Fault f, uint64_t seed = 1);
+
+/** Arm from a "<name>[:seed]" spec. InvalidArgument on a bad spec. */
+Status armSpec(const std::string &spec);
+
+/** Disarm whatever is armed. */
+void disarm();
+
+/** RAII arm/disarm for tests. */
+class Scoped
+{
+  public:
+    explicit Scoped(Fault f, uint64_t s = 1) { arm(f, s); }
+    ~Scoped() { disarm(); }
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+};
+
+} // namespace faultpoint
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_FAULTPOINT_H

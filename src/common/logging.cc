@@ -1,9 +1,20 @@
 #include "logging.h"
 
 #include <cstdio>
+#include <mutex>
+#include <unordered_set>
 
 namespace genreuse {
 namespace detail {
+
+bool
+shouldWarnOnce(const std::string &key)
+{
+    static std::mutex mu;
+    static std::unordered_set<std::string> seen;
+    std::lock_guard<std::mutex> lock(mu);
+    return seen.insert(key).second;
+}
 
 void
 exitWithMessage(const char *kind, const std::string &msg, bool abort_process)

@@ -31,6 +31,9 @@ composeMessage(Args &&...args)
                                   bool abort_process);
 void printMessage(const char *kind, const std::string &msg);
 
+/** True the first time @p key is seen (thread-safe). */
+bool shouldWarnOnce(const std::string &key);
+
 } // namespace detail
 
 /**
@@ -66,6 +69,22 @@ warn(Args &&...args)
 {
     detail::printMessage("warn",
                          detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Warning emitted at most once per @p key for the process lifetime —
+ * for conditions a hot loop may hit thousands of times (non-finite
+ * inputs, a corrupted cluster table) where repeating the message would
+ * drown the log without adding information.
+ */
+template <typename... Args>
+void
+warnOnce(const std::string &key, Args &&...args)
+{
+    if (detail::shouldWarnOnce(key))
+        detail::printMessage("warn",
+                             detail::composeMessage(
+                                 std::forward<Args>(args)...));
 }
 
 /** Informational status message. */

@@ -1,0 +1,36 @@
+#include "status.h"
+
+namespace genreuse {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case ErrorCode::FailedPrecondition:
+        return "failed-precondition";
+      case ErrorCode::ResourceExhausted:
+        return "resource-exhausted";
+      case ErrorCode::NumericFault:
+        return "numeric-fault";
+      case ErrorCode::DataCorruption:
+        return "data-corruption";
+      case ErrorCode::Internal:
+        return "internal";
+      default:
+        return "?";
+    }
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+} // namespace genreuse

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Recoverable-error vocabulary for the pipeline entry points. The
+ * library's historical contract was "every failure is a panic()": fine
+ * for internal invariants, wrong for conditions a deployed MCU stack
+ * must survive (SRAM pressure, degenerate clusterings, non-finite
+ * activations, corrupted tables). Those now surface as a Status — a
+ * code plus a human-readable message — or an Expected<T> carrying
+ * either a value or the Status explaining its absence. panic() remains
+ * the right tool for true library bugs; see DESIGN.md's "Fault model &
+ * degradation ladder".
+ */
+
+#ifndef GENREUSE_COMMON_STATUS_H
+#define GENREUSE_COMMON_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "logging.h"
+
+namespace genreuse {
+
+/** What kind of recoverable failure occurred. */
+enum class ErrorCode
+{
+    Ok,                 //!< no error
+    InvalidArgument,    //!< caller-supplied data is malformed
+    FailedPrecondition, //!< call sequencing is wrong (e.g. before fit())
+    ResourceExhausted,  //!< board memory (SRAM/flash) cannot hold it
+    NumericFault,       //!< NaN/Inf or other non-finite arithmetic input
+    DataCorruption,     //!< an internal table failed its validity check
+    Internal,           //!< unexpected but recoverable internal state
+};
+
+const char *errorCodeName(ErrorCode code);
+
+/** A recoverable success/failure result. */
+class Status
+{
+  public:
+    /** Default: OK. */
+    Status() = default;
+
+    /** Build an error status from stream-style message arguments. */
+    template <typename... Args>
+    static Status
+    error(ErrorCode code, Args &&...args)
+    {
+        GENREUSE_REQUIRE(code != ErrorCode::Ok,
+                         "Status::error with ErrorCode::Ok");
+        Status s;
+        s.code_ = code;
+        s.message_ =
+            detail::composeMessage(std::forward<Args>(args)...);
+        return s;
+    }
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string toString() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Either a value or the Status explaining why there is none. The
+ * recoverable counterpart of "return T or panic()": callers that can
+ * degrade (the runtime guard, the benches, tools) branch on ok();
+ * callers that cannot use value(), which panics on an unchecked error
+ * exactly like the old direct API did.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    /** Success. */
+    Expected(T value) : value_(std::move(value)) {}
+
+    /** Failure. @pre !status.ok() */
+    Expected(Status status) : status_(std::move(status))
+    {
+        GENREUSE_REQUIRE(!status_.ok(),
+                         "Expected constructed from an OK status "
+                         "without a value");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    /** The value; panics when holding an error (a caller bug). */
+    T &
+    value()
+    {
+        GENREUSE_REQUIRE(ok(), "Expected::value on error: ",
+                         status_.toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        GENREUSE_REQUIRE(ok(), "Expected::value on error: ",
+                         status_.toString());
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    /** The value, or @p fallback when holding an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_STATUS_H

@@ -1,6 +1,7 @@
 #include "fc_reuse.h"
 
 #include "common/logging.h"
+#include "guard.h"
 #include "lsh/clustering.h"
 #include "tensor/gemm.h"
 
@@ -54,6 +55,24 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
         OpCounts cluster_ops;
         ClusterResult clusters =
             clusterBySignature(items, family, &cluster_ops);
+        if (!clusterTableValid(clusters)) {
+            // Corrupted/degenerate segment table: exact product for
+            // this row (full feature range, incl. trailing segment).
+            guard::noteKernelFallback("fc");
+            reportOps(ledger, Stage::Clustering, cluster_ops);
+            local.reuseMacs += cluster_ops.macs;
+            gemmRaw(xr, w.data(), yr, 1, o, f, f, o, o, false);
+            local.reuseMacs += f * o;
+            local.numPanels += 1;
+            OpCounts mm;
+            mm.macs = f * o;
+            reportOps(ledger, Stage::Gemm, mm);
+            if (bias.size() == o) {
+                for (size_t c = 0; c < o; ++c)
+                    yr[c] += bias[c];
+            }
+            continue;
+        }
         const size_t nc = clusters.numClusters();
         local.totalVectors += full_segments;
         local.totalCentroids += nc;

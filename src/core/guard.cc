@@ -1,0 +1,375 @@
+#include "guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "accuracy_model.h"
+#include "common/faultpoint.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace genreuse {
+
+const char *
+rungName(GuardRung r)
+{
+    switch (r) {
+    case GuardRung::FullReuse:
+        return "full_reuse";
+    case GuardRung::Recluster:
+        return "recluster";
+    case GuardRung::ExactFallback:
+        return "exact";
+    }
+    return "?";
+}
+
+namespace guard {
+
+namespace {
+std::mutex g_mu;
+GuardStats g_stats;
+} // namespace
+
+void
+recordForward(GuardRung rung, double measured, double budget)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.forwards++;
+    switch (rung) {
+    case GuardRung::FullReuse:
+        g_stats.fullReuse++;
+        break;
+    case GuardRung::Recluster:
+        g_stats.reclusterWins++;
+        break;
+    case GuardRung::ExactFallback:
+        g_stats.exactFallbacks++;
+        break;
+    }
+    g_stats.lastMeasuredError = measured;
+    g_stats.lastErrorBudget = budget;
+    if (budget > 0.0)
+        g_stats.worstMargin =
+            std::max(g_stats.worstMargin, measured / budget);
+    g_stats.lastRung = rung;
+}
+
+void
+noteRecluster()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.reclusters++;
+}
+
+void
+noteNonFiniteInput()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.nonFiniteInputs++;
+}
+
+void
+noteStatusError()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.statusErrors++;
+}
+
+void
+noteKernelFallback(const char *kernel)
+{
+    warnOnce(std::string("guard-kernel-fallback-") + kernel,
+             kernel, " reuse kernel: invalid cluster table, panel "
+             "downgraded to exact GEMM (warned once)");
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.kernelFallbacks++;
+}
+
+void
+noteDeployDowngrade()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.deployDowngrades++;
+}
+
+GuardStats
+snapshot()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_stats;
+}
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats = GuardStats{};
+}
+
+std::string
+toJson()
+{
+    GuardStats s = snapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("genreuse.guard/1");
+    w.key("forwards").value(s.forwards);
+    w.key("fullReuse").value(s.fullReuse);
+    w.key("reclusters").value(s.reclusters);
+    w.key("reclusterWins").value(s.reclusterWins);
+    w.key("exactFallbacks").value(s.exactFallbacks);
+    w.key("nonFiniteInputs").value(s.nonFiniteInputs);
+    w.key("statusErrors").value(s.statusErrors);
+    w.key("kernelFallbacks").value(s.kernelFallbacks);
+    w.key("deployDowngrades").value(s.deployDowngrades);
+    w.key("lastMeasuredError").value(s.lastMeasuredError);
+    w.key("lastErrorBudget").value(s.lastErrorBudget);
+    w.key("worstMargin").value(s.worstMargin);
+    w.key("lastRung").value(rungName(s.lastRung));
+    w.endObject();
+    return w.str();
+}
+
+} // namespace guard
+
+void
+corruptWithNan(Tensor &t, uint64_t seed)
+{
+    if (t.size() == 0)
+        return;
+    Rng rng(seed);
+    const size_t n = std::max<size_t>(1, t.size() / 64);
+    for (size_t k = 0; k < n; ++k)
+        t.data()[rng.uniformInt(t.size())] =
+            std::numeric_limits<float>::quiet_NaN();
+}
+
+GuardRung
+deployRung(const MemoryEstimate &est, const McuSpec &spec)
+{
+    FitReport report = est.diagnose(spec);
+    if (report.fits())
+        return GuardRung::FullReuse;
+    warn("deploy guard: ", report.describe(),
+         "; downgrading to the exact strategy");
+    guard::noteDeployDowngrade();
+    return GuardRung::ExactFallback;
+}
+
+namespace {
+
+bool
+allFinite(const Tensor &t)
+{
+    const float *p = t.data();
+    for (size_t i = 0; i < t.size(); ++i)
+        if (!std::isfinite(p[i]))
+            return false;
+    return true;
+}
+
+} // namespace
+
+GuardedReuseConvAlgo::GuardedReuseConvAlgo(ReusePattern pattern,
+                                           GuardConfig config,
+                                           HashMode mode, uint64_t seed)
+    : inner_(std::make_unique<ReuseConvAlgo>(std::move(pattern), mode,
+                                             seed)),
+      config_(config)
+{
+}
+
+void
+GuardedReuseConvAlgo::fit(const Tensor &sample_default_x,
+                          const ConvGeometry &geom)
+{
+    // The subsample is kept for two jobs the unguarded algorithm does
+    // not have: deriving the error budget (lazily, at the first
+    // multiply, when the weights are known) and re-cluster refits.
+    fitSample_ = profileRowSubsample(sample_default_x);
+    fitGeom_ = geom;
+    haveBudget_ = false;
+    inner_->fit(sample_default_x, geom);
+}
+
+double
+GuardedReuseConvAlgo::errorBudget(const Tensor &w,
+                                  const ConvGeometry &geom,
+                                  size_t runtime_rows)
+{
+    if (!haveBudget_) {
+        // The §4.1 bound on the fit sample, normalized per sample row
+        // so it can be rescaled to any runtime batch. K-scaling makes
+        // it the rigorous Cauchy-Schwarz bound (accuracy_model.h).
+        AccuracyBound b =
+            accuracyBound(fitSample_, w, inner_->pattern(), fitGeom_,
+                          inner_->seed(), false);
+        const size_t l =
+            inner_->pattern().effectiveGranularity(fitGeom_);
+        const size_t sample_rows =
+            std::max<size_t>(1, fitSample_.shape().rows());
+        size_t panels = 1;
+        if (inner_->pattern().direction == ReuseDirection::Vertical)
+            panels = VerticalSlicing::plan(
+                         fitGeom_.cols(), l,
+                         inner_->pattern().blockRows)
+                         .numSlices;
+        else
+            panels = HorizontalSlicing::plan(sample_rows, l).numBands;
+        perRowBound_ = static_cast<double>(std::max<size_t>(1, panels)) *
+                       b.bound / static_cast<double>(sample_rows);
+        haveBudget_ = true;
+    }
+    (void)geom;
+    return config_.marginFactor * perRowBound_ *
+           static_cast<double>(runtime_rows);
+}
+
+double
+GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
+                                   const Tensor &y,
+                                   CostLedger *ledger) const
+{
+    const size_t n = x.shape().rows();
+    const size_t din = x.shape().cols();
+    const size_t m = w.shape().cols();
+    if (n == 0)
+        return 0.0;
+
+    const size_t rows = std::min(config_.sampleRows == 0
+                                     ? size_t{1}
+                                     : config_.sampleRows,
+                                 n);
+    const size_t stride = n / rows;
+
+    std::vector<float> exact_row(m);
+    double err = 0.0;
+    size_t sampled = 0;
+    for (size_t k = 0; k < rows; ++k) {
+        const size_t r = std::min(k * stride, n - 1);
+        gemmRaw(x.data() + r * din, w.data(), exact_row.data(), 1, m,
+                din, din, m, m, false);
+        const float *yr = y.data() + r * m;
+        for (size_t j = 0; j < m; ++j) {
+            const double d = static_cast<double>(yr[j]) -
+                             static_cast<double>(exact_row[j]);
+            err += d * d;
+        }
+        ++sampled;
+    }
+
+    // The verification rows are real work the MCU would do: price them
+    // like the exact GEMM they are, so guarded latencies include the
+    // guard's own cost.
+    OpCounts ops;
+    ops.macs = static_cast<uint64_t>(sampled) * din * m;
+    ops.aluOps = 2 * static_cast<uint64_t>(sampled) * m;
+    reportOps(ledger, Stage::Gemm, ops);
+
+    return err * static_cast<double>(n) / static_cast<double>(sampled);
+}
+
+Tensor
+GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
+                               const ConvGeometry &geom,
+                               CostLedger *ledger)
+{
+    Tensor xin = x;
+    if (faultpoint::active(faultpoint::Fault::NanActivation))
+        corruptWithNan(xin, faultpoint::seed());
+
+    if (!config_.enabled) {
+        lastRung_ = GuardRung::FullReuse;
+        return inner_->multiply(xin, w, geom, ledger);
+    }
+
+    // Rung 2 immediately on non-finite activations: reuse would smear
+    // the NaN across every member of its cluster, while the exact GEMM
+    // confines it to the rows that actually contain it.
+    if (!allFinite(xin)) {
+        warnOnce("guard-nonfinite-input",
+                 "guard: non-finite activations; conv layer downgraded "
+                 "to exact GEMM for this forward (warned once)");
+        guard::noteNonFiniteInput();
+        lastRung_ = GuardRung::ExactFallback;
+        guard::recordForward(lastRung_, 0.0, 0.0);
+        return exact_.multiply(xin, w, geom, ledger);
+    }
+
+    Expected<Tensor> y = inner_->tryMultiply(xin, w, geom, ledger);
+    if (!y.ok()) {
+        warnOnce("guard-status-error",
+                 "guard: reuse kernel failed (", y.status().toString(),
+                 "); exact fallback (warned once)");
+        guard::noteStatusError();
+        lastRung_ = GuardRung::ExactFallback;
+        guard::recordForward(lastRung_, 0.0, 0.0);
+        return exact_.multiply(xin, w, geom, ledger);
+    }
+
+    const double budget = errorBudget(w, geom, xin.shape().rows());
+    double measured = measureError(xin, w, *y, ledger);
+    if (measured <= budget) {
+        lastRung_ = GuardRung::FullReuse;
+        guard::recordForward(lastRung_, measured, budget);
+        return std::move(*y);
+    }
+
+    // Rung 1: the clustering may just have been unlucky for this
+    // input distribution — redraw the hash parameters and retry. The
+    // retried forward's clustering + GEMM work is charged to the
+    // ledger by the kernels themselves.
+    for (size_t attempt = 1; attempt <= config_.maxReclusters;
+         ++attempt) {
+        guard::noteRecluster();
+        inner_->setSeed(inner_->seed() + config_.reclusterSeedStep);
+        inner_->fit(fitSample_, fitGeom_);
+        haveBudget_ = false; // families changed; re-derive the budget
+        Expected<Tensor> y2 = inner_->tryMultiply(xin, w, geom, ledger);
+        if (!y2.ok())
+            break;
+        const double budget2 = errorBudget(w, geom, xin.shape().rows());
+        const double m2 = measureError(xin, w, *y2, ledger);
+        if (m2 <= budget2) {
+            lastRung_ = GuardRung::Recluster;
+            guard::recordForward(lastRung_, m2, budget2);
+            return std::move(*y2);
+        }
+        measured = m2;
+    }
+
+    warnOnce("guard-exact-fallback",
+             "guard: measured error exceeded budget after re-cluster; "
+             "exact fallback (warned once)");
+    lastRung_ = GuardRung::ExactFallback;
+    guard::recordForward(lastRung_, measured, budget);
+    return exact_.multiply(xin, w, geom, ledger);
+}
+
+std::string
+GuardedReuseConvAlgo::describe() const
+{
+    return std::string("guard[") + inner_->describe() + "]";
+}
+
+std::shared_ptr<GuardedReuseConvAlgo>
+applyGuardedReusePattern(Conv2D &layer, const ReusePattern &pattern,
+                         const Tensor &sample_default_x,
+                         const ConvGeometry &geom, GuardConfig config,
+                         HashMode mode, uint64_t seed)
+{
+    GENREUSE_REQUIRE(sample_default_x.shape().cols() == geom.cols(),
+                     "sample does not match layer ", layer.name());
+    auto algo = std::make_shared<GuardedReuseConvAlgo>(pattern, config,
+                                                       mode, seed);
+    algo->fit(sample_default_x, geom);
+    layer.setAlgo(algo);
+    return algo;
+}
+
+} // namespace genreuse

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
 #include "tensor/gemm.h"
@@ -72,6 +73,21 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
         OpCounts cluster_ops;
         ClusterResult clusters =
             clusterBySignature(items, family, &cluster_ops);
+        if (!clusterTableValid(clusters)) {
+            // Corrupted/degenerate table: never dereference it — run
+            // the band exactly, like the short-band path above.
+            guard::noteKernelFallback("horizontal");
+            reportOps(ledger, Stage::Clustering, cluster_ops);
+            local.reuseMacs += cluster_ops.macs;
+            gemmRaw(x.data() + row0 * din, w.data(), y.data() + row0 * m,
+                    l, m, din, din, m, m, false);
+            local.reuseMacs += l * din * m;
+            local.numPanels += 1;
+            OpCounts mm;
+            mm.macs = l * din * m;
+            reportOps(ledger, Stage::Gemm, mm);
+            continue;
+        }
         const size_t nc = clusters.numClusters();
         local.totalVectors += din;
         local.totalCentroids += nc;

@@ -1,6 +1,7 @@
 #include "measurement.h"
 
 #include "common/logging.h"
+#include "guard.h"
 #include "nn/loss.h"
 
 namespace genreuse {
@@ -29,9 +30,16 @@ measureNetwork(Network &net, const Dataset &eval, const CostModel &model,
             best == static_cast<size_t>(eval.labels[i])) {
             correct++;
         }
-        // Keep the last conv's reuse stats if one is installed.
+        // Keep the last conv's reuse stats if one is installed —
+        // looking through the guard wrapper when present.
         for (auto *conv : net.convLayers()) {
             auto *reuse = dynamic_cast<ReuseConvAlgo *>(&conv->algo());
+            if (!reuse) {
+                auto *guarded =
+                    dynamic_cast<GuardedReuseConvAlgo *>(&conv->algo());
+                if (guarded)
+                    reuse = &guarded->inner();
+            }
             if (reuse)
                 last_stats = reuse->lastStats();
         }
@@ -78,6 +86,29 @@ fitAndInstall(Network &net, Conv2D &layer, const ReusePattern &pattern,
     net.forward(x, /*training=*/false);
 
     auto algo = std::make_shared<ReuseConvAlgo>(pattern, mode, seed);
+    algo->fit(layer.lastIm2col(), layer.lastGeometry());
+    layer.setAlgo(algo);
+    return algo;
+}
+
+std::shared_ptr<GuardedReuseConvAlgo>
+fitAndInstallGuarded(Network &net, Conv2D &layer,
+                     const ReusePattern &pattern,
+                     const Dataset &fit_sample, GuardConfig config,
+                     HashMode mode, uint64_t seed)
+{
+    GENREUSE_REQUIRE(fit_sample.size() > 0, "empty fitting sample");
+    layer.resetAlgo();
+    Tensor x = fit_sample.gatherImages([&] {
+        std::vector<size_t> idx(fit_sample.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        return idx;
+    }());
+    net.forward(x, /*training=*/false);
+
+    auto algo = std::make_shared<GuardedReuseConvAlgo>(pattern, config,
+                                                       mode, seed);
     algo->fit(layer.lastIm2col(), layer.lastGeometry());
     layer.setAlgo(algo);
     return algo;

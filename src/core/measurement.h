@@ -12,6 +12,7 @@
 #define GENREUSE_CORE_MEASUREMENT_H
 
 #include "data/dataset.h"
+#include "guard.h"
 #include "mcu/cost_model.h"
 #include "nn/network.h"
 #include "reuse_conv.h"
@@ -50,6 +51,17 @@ std::shared_ptr<ReuseConvAlgo> fitAndInstall(Network &net, Conv2D &layer,
                                              const Dataset &fit_sample,
                                              HashMode mode = HashMode::Learned,
                                              uint64_t seed = 99);
+
+/**
+ * fitAndInstall() wrapped in the runtime guard: the installed
+ * algorithm measures each forward's reconstruction error against the
+ * analytic budget and walks the degradation ladder (guard.h) when it
+ * is violated.
+ */
+std::shared_ptr<GuardedReuseConvAlgo> fitAndInstallGuarded(
+    Network &net, Conv2D &layer, const ReusePattern &pattern,
+    const Dataset &fit_sample, GuardConfig config = {},
+    HashMode mode = HashMode::Learned, uint64_t seed = 99);
 
 /** Reset every conv in the network to the exact algorithm. */
 void resetAllConvs(Network &net);

@@ -80,10 +80,30 @@ Tensor
 ReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
                         const ConvGeometry &geom, CostLedger *ledger)
 {
-    GENREUSE_REQUIRE(fitted_, "ReuseConvAlgo::multiply before fit()");
-    GENREUSE_REQUIRE(geom.cols() == fittedDin_,
-                     "geometry changed since fit: Din ", geom.cols(),
-                     " vs ", fittedDin_);
+    Expected<Tensor> y = tryMultiply(x, w, geom, ledger);
+    if (!y.ok())
+        panic(y.status().toString());
+    return std::move(*y);
+}
+
+Expected<Tensor>
+ReuseConvAlgo::tryMultiply(const Tensor &x, const Tensor &w,
+                           const ConvGeometry &geom, CostLedger *ledger)
+{
+    if (!fitted_)
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "ReuseConvAlgo::multiply before fit()");
+    if (geom.cols() != fittedDin_)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "geometry changed since fit: Din ",
+                             geom.cols(), " vs ", fittedDin_);
+    if (x.shape().rank() != 2 || w.shape().rank() != 2 ||
+        x.shape().cols() != w.shape().rows() ||
+        x.shape().cols() != geom.cols())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "reuse GEMM shape mismatch: x ",
+                             x.shape().toString(), " w ",
+                             w.shape().toString(), " Din ", geom.cols());
 
     const std::vector<uint32_t> row_perm = rowPermutation(pattern_, geom);
     const bool reorder_rows = !isIdentity(row_perm);

@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "common/status.h"
 #include "horizontal_reuse.h"
 #include "nn/conv2d.h"
 #include "reorder.h"
@@ -63,6 +64,18 @@ class ReuseConvAlgo : public ConvAlgo
                     const ConvGeometry &geom, CostLedger *ledger) override;
 
     /**
+     * multiply() with recoverable-error reporting: an unfitted algo or
+     * a geometry/shape mismatch returns a FailedPrecondition /
+     * InvalidArgument Status instead of terminating, so a runtime
+     * guard can downgrade to an exact strategy. multiply() delegates
+     * here and panics on error (misuse stays a hard bug for direct
+     * callers).
+     */
+    Expected<Tensor> tryMultiply(const Tensor &x, const Tensor &w,
+                                 const ConvGeometry &geom,
+                                 CostLedger *ledger);
+
+    /**
      * multiply() for inputs already in the pattern's row/column order
      * (weights pre-permuted to match). The transformation cost is
      * charged exactly as multiply() would, so ledgers — and therefore
@@ -77,6 +90,15 @@ class ReuseConvAlgo : public ConvAlgo
 
     const ReusePattern &pattern() const { return pattern_; }
     bool fitted() const { return fitted_; }
+
+    /** RNG seed for Random-mode hash vectors. */
+    uint64_t seed() const { return seed_; }
+
+    /**
+     * Change the hash seed for the next fit(): the guard's re-cluster
+     * rung refits with a stepped seed to draw fresh hash parameters.
+     */
+    void setSeed(uint64_t seed) { seed_ = seed; }
 
     /** Statistics of the most recent multiply(). */
     const ReuseStats &lastStats() const { return lastStats_; }

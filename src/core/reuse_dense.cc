@@ -1,6 +1,10 @@
 #include "reuse_dense.h"
 
+#include <cmath>
+
+#include "common/faultpoint.h"
 #include "common/logging.h"
+#include "guard.h"
 #include "lsh/learned_hash.h"
 
 namespace genreuse {
@@ -61,6 +65,29 @@ ReuseDense::forward(const Tensor &x, bool training)
     // Flatten per sample (same convention as Dense).
     const size_t n = x.shape().dim(0);
     Tensor flat = x.reshaped({n, x.size() / n});
+
+    if (faultpoint::active(faultpoint::Fault::NanActivation))
+        corruptWithNan(flat, faultpoint::seed());
+
+    // Segment reuse averages segments across the row, so one NaN would
+    // smear over every output; the exact product confines it. Scan is
+    // O(N*F), negligible next to the O(N*F*O) product.
+    bool finite = true;
+    for (size_t i = 0; i < flat.size() && finite; ++i)
+        finite = std::isfinite(flat.data()[i]);
+    if (!finite) {
+        warnOnce("reuse-dense-nonfinite",
+                 "ReuseDense ", name(),
+                 ": non-finite activations; exact product for this "
+                 "forward (warned once)");
+        guard::noteNonFiniteInput();
+        lastRung_ = GuardRung::ExactFallback;
+        lastStats_ = ReuseStats{};
+        return fcExactForward(flat, dense_.weight().value,
+                              dense_.bias().value);
+    }
+
+    lastRung_ = GuardRung::FullReuse;
     lastStats_ = ReuseStats{};
     return fcReuseForward(flat, dense_.weight().value,
                           dense_.bias().value, segmentLen_, *family_,

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "fc_reuse.h"
+#include "guard.h"
 #include "nn/dense.h"
 
 namespace genreuse {
@@ -42,6 +43,10 @@ class ReuseDense : public Layer
     /** Statistics of the last reuse-mode forward. */
     const ReuseStats &lastStats() const { return lastStats_; }
 
+    /** FullReuse normally; ExactFallback when the last reuse-mode
+     *  forward hit non-finite activations and ran exactly. */
+    GuardRung lastRung() const { return lastRung_; }
+
     Tensor forward(const Tensor &x, bool training) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Param *> params() override { return dense_.params(); }
@@ -63,6 +68,7 @@ class ReuseDense : public Layer
     std::unique_ptr<HashFamily> family_;
     CostLedger *ledger_ = nullptr;
     ReuseStats lastStats_;
+    GuardRung lastRung_ = GuardRung::FullReuse;
 };
 
 } // namespace genreuse

@@ -37,8 +37,30 @@ selectReusePattern(Network &net, Conv2D &layer, const Dataset &train_data,
                    const Dataset &test_data, const PatternScope &scope,
                    const SelectionConfig &config)
 {
+    Expected<SelectionResult> r = trySelectReusePattern(
+        net, layer, train_data, test_data, scope, config);
+    if (!r.ok())
+        fatal(r.status().toString());
+    return std::move(*r);
+}
+
+Expected<SelectionResult>
+trySelectReusePattern(Network &net, Conv2D &layer,
+                      const Dataset &train_data, const Dataset &test_data,
+                      const PatternScope &scope,
+                      const SelectionConfig &config)
+{
     SelectionResult result;
     CostModel model(config.board);
+
+    if (train_data.size() == 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "pattern selection needs a non-empty "
+                             "training dataset for ", layer.name());
+    if (test_data.size() == 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "pattern selection needs a non-empty "
+                             "evaluation dataset for ", layer.name());
 
     // ---- capture a batch-1 profiling sample of the layer's im2col --
     Stopwatch watch;
@@ -56,9 +78,10 @@ selectReusePattern(Network &net, Conv2D &layer, const Dataset &train_data,
 
     // ---- enumerate candidates and profile them ---------------------
     std::vector<ReusePattern> candidates = enumeratePatterns(scope, geom);
-    GENREUSE_REQUIRE(!candidates.empty(),
-                     "scope produced no valid patterns for ",
-                     layer.name());
+    if (candidates.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "scope produced no valid patterns for ",
+                             layer.name());
     ThreadPool pool(config.threads);
     ExplorationCache cache(sample_x, w, geom);
     result.profiles =

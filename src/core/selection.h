@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "accuracy_model.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "latency_model.h"
 #include "measurement.h"
@@ -94,6 +95,18 @@ SelectionResult selectReusePattern(Network &net, Conv2D &layer,
                                    const Dataset &test_data,
                                    const PatternScope &scope,
                                    const SelectionConfig &config);
+
+/**
+ * selectReusePattern() with recoverable-error reporting: an empty
+ * dataset or a scope yielding no valid candidate returns an
+ * InvalidArgument Status instead of terminating, so deployment tooling
+ * can fall back (e.g. keep the exact algorithm) rather than abort.
+ * selectReusePattern() delegates here and calls fatal() on error.
+ */
+Expected<SelectionResult> trySelectReusePattern(
+    Network &net, Conv2D &layer, const Dataset &train_data,
+    const Dataset &test_data, const PatternScope &scope,
+    const SelectionConfig &config);
 
 /**
  * Analytic-only ranking of candidates (no empirical check): the

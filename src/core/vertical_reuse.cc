@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
 #include "tensor/gemm.h"
@@ -107,6 +108,23 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
             items.elemStride = 1;
             clusters = clusterBySignature(items, families[k], &cluster_ops);
         }
+        if (!clusterTableValid(clusters)) {
+            // A corrupted/degenerate table (bit-flip, fault injection)
+            // must not be dereferenced: downgrade this slice to exact
+            // GEMM over all n rows, accumulated like the reuse path.
+            guard::noteKernelFallback("vertical");
+            reportOps(ledger, Stage::Clustering, cluster_ops);
+            local.reuseMacs += cluster_ops.macs;
+            gemmRaw(x.data() + col0, w_slice, y.data(), n, m, width,
+                    din, m, m, true);
+            local.reuseMacs += n * width * m;
+            local.numPanels += 1;
+            OpCounts mm;
+            mm.macs = n * width * m;
+            reportOps(ledger, Stage::Gemm, mm);
+            continue;
+        }
+
         const size_t num_items = clusters.numItems();
         const size_t nc = clusters.numClusters();
         local.totalVectors += num_items;

@@ -1,9 +1,13 @@
 #include "clustering.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
+#include "common/faultpoint.h"
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace genreuse {
 
@@ -25,25 +29,38 @@ clusterBySignature(const StridedItems &items, const HashFamily &family,
     return clusterSignatures(items, family.signatures(items), ops);
 }
 
+namespace {
+
+/**
+ * Group items by signature into a ClusterResult: assignments in
+ * first-seen order, mean centroids, size histogram and CSR membership.
+ * Items flagged in @p singleton (when non-null) bypass the signature
+ * map and each get a fresh cluster of their own — the repair path for
+ * non-finite rows.
+ */
 ClusterResult
-clusterSignatures(const StridedItems &items,
-                  const std::vector<uint64_t> &sigs, OpCounts *ops)
+groupBySignature(const StridedItems &items,
+                 const std::vector<uint64_t> &sigs,
+                 const std::vector<uint8_t> *singleton, OpCounts *ops)
 {
-    GENREUSE_REQUIRE(sigs.size() == items.count,
-                     "signature count mismatches item count");
     ClusterResult result;
     result.assignments.resize(items.count);
 
     std::unordered_map<uint64_t, uint32_t> ids;
     ids.reserve(items.count);
+    uint32_t next_id = 0;
     for (size_t i = 0; i < items.count; ++i) {
-        auto [it, inserted] =
-            ids.emplace(sigs[i], static_cast<uint32_t>(ids.size()));
+        if (singleton && (*singleton)[i]) {
+            result.assignments[i] = next_id++;
+            continue;
+        }
+        auto [it, inserted] = ids.emplace(sigs[i], next_id);
+        if (inserted)
+            ++next_id;
         result.assignments[i] = it->second;
-        (void)inserted;
     }
 
-    const size_t nc = ids.size();
+    const size_t nc = next_id;
     result.sizes.assign(nc, 0);
     result.centroids = Tensor({nc == 0 ? 1 : nc, items.length});
     result.centroids.zero();
@@ -85,6 +102,154 @@ clusterSignatures(const StridedItems &items,
         ops->elemMoves += nc * items.length; // centroid panel store
     }
     return result;
+}
+
+/**
+ * True when some multi-member cluster's centroid carries a NaN/Inf —
+ * the poisoned-mean symptom of a non-finite input row. Scanning the
+ * nc x L centroid panel is much cheaper than scanning the n x L items,
+ * and any non-finite member element provably propagates into its
+ * cluster's mean, so this misses nothing. A singleton's non-finite
+ * centroid IS its row — faithful, not poisoned — and is skipped.
+ */
+bool
+centroidsPoisoned(const ClusterResult &r, size_t length)
+{
+    for (size_t c = 0; c < r.numClusters(); ++c) {
+        if (r.sizes[c] <= 1)
+            continue;
+        const float *mu = r.centroids.data() + c * length;
+        for (size_t j = 0; j < length; ++j)
+            if (!std::isfinite(mu[j]))
+                return true;
+    }
+    return false;
+}
+
+bool
+rowFinite(const StridedItems &items, size_t i)
+{
+    for (size_t j = 0; j < items.length; ++j)
+        if (!std::isfinite(items.at(i, j)))
+            return false;
+    return true;
+}
+
+/** Deterministic degenerate clusterings for the fault matrix. */
+void
+injectClusterFaults(const StridedItems &items, ClusterResult &result)
+{
+    using faultpoint::Fault;
+    if (faultpoint::active(Fault::ClusterEmpty) && items.count > 0) {
+        // A phantom size-0 cluster whose centroid is the 0/0-style
+        // garbage a real empty cluster would produce. Consumers must
+        // reject it via clusterTableValid, not average it in.
+        const size_t nc = result.numClusters();
+        Tensor grown({nc + 1, items.length});
+        for (size_t j = 0; j < nc * items.length; ++j)
+            grown.data()[j] = result.centroids.data()[j];
+        for (size_t j = 0; j < items.length; ++j)
+            grown.data()[nc * items.length + j] =
+                std::numeric_limits<float>::infinity();
+        result.centroids = std::move(grown);
+        result.sizes.push_back(0);
+        result.memberOffsets.push_back(result.memberOffsets.back());
+    }
+    if (faultpoint::active(Fault::CorruptClusterIds) &&
+        items.count > 0) {
+        // Seeded out-of-range bit-flips in the assignment table, AFTER
+        // the CSR build so the table is inconsistent exactly the way a
+        // memory corruption would leave it.
+        Rng rng(faultpoint::seed());
+        const size_t flips = std::max<size_t>(1, items.count / 16);
+        const uint32_t nc =
+            static_cast<uint32_t>(result.numClusters());
+        for (size_t k = 0; k < flips; ++k) {
+            size_t i = rng.uniformInt(items.count);
+            result.assignments[i] =
+                nc + 1 + static_cast<uint32_t>(rng.uniformInt(1024));
+        }
+    }
+}
+
+} // namespace
+
+ClusterResult
+clusterSignatures(const StridedItems &items,
+                  const std::vector<uint64_t> &sigs, OpCounts *ops)
+{
+    GENREUSE_REQUIRE(sigs.size() == items.count,
+                     "signature count mismatches item count");
+
+    const std::vector<uint64_t> *use = &sigs;
+    std::vector<uint64_t> collapsed;
+    if (faultpoint::anyArmed() &&
+        faultpoint::active(faultpoint::Fault::ClusterCollapse)) {
+        // Simulate a pathological hash family: every signature
+        // collides, so the whole panel becomes one giant cluster.
+        collapsed.assign(items.count, faultpoint::seed());
+        use = &collapsed;
+    }
+
+    ClusterResult result = groupBySignature(items, *use, nullptr, ops);
+
+    if (centroidsPoisoned(result, items.length)) {
+        // Rare repair path: locate the non-finite rows (full scan is
+        // fine here — we only get here when poisoned) and regroup with
+        // each one in a singleton cluster, leaving every other cluster
+        // mean clean. One pass only: if finite rows overflow a sum to
+        // Inf the table stays poisoned and the reuse kernels' validity
+        // check downgrades those panels to exact GEMM instead.
+        warnOnce("lsh-nonfinite-items",
+                 "non-finite item rows detected during clustering; "
+                 "routing them to singleton clusters");
+        std::vector<uint8_t> bad(items.count, 0);
+        for (size_t i = 0; i < items.count; ++i)
+            bad[i] = rowFinite(items, i) ? 0 : 1;
+        result = groupBySignature(items, *use, &bad, ops);
+    }
+
+    if (faultpoint::anyArmed())
+        injectClusterFaults(items, result);
+    return result;
+}
+
+bool
+clusterTableValid(const ClusterResult &clusters)
+{
+    const size_t nc = clusters.numClusters();
+    const size_t n = clusters.numItems();
+
+    size_t total = 0;
+    for (size_t c = 0; c < nc; ++c) {
+        if (clusters.sizes[c] == 0)
+            return false; // clustering never emits an empty cluster
+        total += clusters.sizes[c];
+    }
+    if (total != n)
+        return false;
+    if (n > 0 && (clusters.centroids.shape().rank() != 2 ||
+                  clusters.centroids.shape().dim(0) < nc))
+        return false;
+    for (size_t i = 0; i < n; ++i)
+        if (clusters.assignments[i] >= nc)
+            return false;
+    if (clusters.memberOffsets.size() == nc + 1 &&
+        clusters.memberOffsets[nc] != n)
+        return false;
+
+    // Multi-member means must be finite (a poisoned average); a
+    // singleton's centroid is its row, so non-finite is faithful there.
+    const size_t l = nc > 0 ? clusters.centroids.shape().dim(1) : 0;
+    for (size_t c = 0; c < nc; ++c) {
+        if (clusters.sizes[c] <= 1)
+            continue;
+        const float *mu = clusters.centroids.data() + c * l;
+        for (size_t j = 0; j < l; ++j)
+            if (!std::isfinite(mu[j]))
+                return false;
+    }
+    return true;
 }
 
 namespace {

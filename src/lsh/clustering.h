@@ -65,10 +65,30 @@ ClusterResult clusterBySignature(const StridedItems &items,
  * Cluster pre-computed signatures (used when the caller already hashed,
  * e.g. to reuse signatures across reuse-direction variants). @p ops as
  * in clusterBySignature, minus the hashing MACs.
+ *
+ * Non-finite items (a NaN/Inf element anywhere in the row) would
+ * silently poison the mean of every cluster they land in; they are
+ * instead routed to singleton clusters (detected cheaply through the
+ * centroids, so the all-finite fast path pays nothing) with a
+ * warn-once log. A singleton's centroid is the row itself, so the
+ * member's reconstruction — like the exact GEMM — faithfully carries
+ * the non-finite values while every other cluster stays clean.
  */
 ClusterResult clusterSignatures(const StridedItems &items,
                                 const std::vector<uint64_t> &sigs,
                                 OpCounts *ops = nullptr);
+
+/**
+ * True when the cluster table is internally consistent: assignments in
+ * range and matching the size histogram, no empty cluster, CSR
+ * membership covering every item, and finite centroids for every
+ * multi-member cluster (a singleton faithfully reproduces its row, so
+ * it may carry the row's non-finite values). Reuse kernels validate
+ * the table before trusting it — a corrupted table (bit-flip, fault
+ * injection) downgrades the panel to exact GEMM instead of reading out
+ * of bounds.
+ */
+bool clusterTableValid(const ClusterResult &clusters);
 
 /**
  * Sum of per-cluster (largest covariance eigenvalue x cluster size),

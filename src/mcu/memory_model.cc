@@ -1,8 +1,36 @@
 #include "memory_model.h"
 
 #include <algorithm>
+#include <sstream>
+
+#include "common/faultpoint.h"
 
 namespace genreuse {
+
+std::string
+FitReport::describe() const
+{
+    std::ostringstream os;
+    if (fits()) {
+        os << "fits: flash " << flashRequired << "/" << flashCapacity
+           << " B, SRAM peak " << sramRequired << "/" << sramCapacity
+           << " B (at layer '" << sramPeakLayer << "')";
+        return os.str();
+    }
+    const char *sep = "";
+    if (!flashFits()) {
+        os << "flash short by " << flashShortfall() << " B ("
+           << flashRequired << " needed, " << flashCapacity
+           << " available)";
+        sep = "; ";
+    }
+    if (!sramFits()) {
+        os << sep << "SRAM short by " << sramShortfall() << " B ("
+           << sramRequired << " needed, " << sramCapacity
+           << " available, peak at layer '" << sramPeakLayer << "')";
+    }
+    return os.str();
+}
 
 size_t
 MemoryEstimate::flashBytes(size_t code_allowance) const
@@ -38,11 +66,25 @@ MemoryEstimate::sramPeakLayer() const
     return name;
 }
 
+FitReport
+MemoryEstimate::diagnose(const McuSpec &spec) const
+{
+    FitReport r;
+    r.flashRequired = flashBytes(spec.codeAllowanceBytes);
+    r.flashCapacity = spec.flashBytes;
+    r.sramRequired = sramPeakBytes();
+    r.sramCapacity =
+        faultpoint::active(faultpoint::Fault::SramExhausted)
+            ? 0
+            : spec.sramBytes;
+    r.sramPeakLayer = sramPeakLayer();
+    return r;
+}
+
 bool
 MemoryEstimate::fits(const McuSpec &spec) const
 {
-    return flashBytes(spec.codeAllowanceBytes) <= spec.flashBytes &&
-           sramPeakBytes() <= spec.sramBytes;
+    return diagnose(spec).fits();
 }
 
 } // namespace genreuse

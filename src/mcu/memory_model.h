@@ -30,6 +30,41 @@ struct LayerFootprint
     size_t sramPeak() const { return inputBytes + outputBytes + scratchBytes; }
 };
 
+/**
+ * Why (or whether) a network fits a board: per-component requirement,
+ * capacity and shortfall, so deployment tooling and the runtime guard
+ * can say *what* failed and by how much instead of a bare bool.
+ */
+struct FitReport
+{
+    size_t flashRequired = 0;  //!< weights + firmware code allowance
+    size_t flashCapacity = 0;
+    size_t sramRequired = 0;   //!< peak over all layers
+    size_t sramCapacity = 0;
+    std::string sramPeakLayer; //!< layer reaching the SRAM peak
+
+    bool flashFits() const { return flashRequired <= flashCapacity; }
+    bool sramFits() const { return sramRequired <= sramCapacity; }
+    bool fits() const { return flashFits() && sramFits(); }
+
+    /** Bytes missing in flash (0 when it fits). */
+    size_t
+    flashShortfall() const
+    {
+        return flashFits() ? 0 : flashRequired - flashCapacity;
+    }
+
+    /** Bytes missing in SRAM (0 when it fits). */
+    size_t
+    sramShortfall() const
+    {
+        return sramFits() ? 0 : sramRequired - sramCapacity;
+    }
+
+    /** One-line human summary naming the failing component(s). */
+    std::string describe() const;
+};
+
 /** Whole-network deployment estimate. */
 struct MemoryEstimate
 {
@@ -44,6 +79,13 @@ struct MemoryEstimate
     /** Name of the layer with the largest SRAM footprint; the first
      *  such layer in execution order when several tie. */
     std::string sramPeakLayer() const;
+
+    /**
+     * Per-component fit diagnosis against a board. Under the
+     * sram_exhausted fault point the reported SRAM capacity is 0, so
+     * the guard's downgrade path can be exercised deterministically.
+     */
+    FitReport diagnose(const McuSpec &spec) const;
 
     /** True when both flash (weights + spec.codeAllowanceBytes of
      *  firmware) and SRAM fit the given board. */

@@ -3,16 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/faultpoint.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 
 namespace genreuse {
 
-QuantParams
-chooseQuantParams(const Tensor &t)
+Expected<QuantParams>
+tryChooseQuantParams(const Tensor &t)
 {
     float lo = 0.0f, hi = 0.0f; // always include zero in the range
     for (size_t i = 0; i < t.size(); ++i) {
+        if (!std::isfinite(t[i]))
+            return Status::error(ErrorCode::NumericFault,
+                                 "non-finite value at index ", i,
+                                 " during INT8 calibration");
         lo = std::min(lo, t[i]);
         hi = std::max(hi, t[i]);
     }
@@ -23,17 +28,34 @@ chooseQuantParams(const Tensor &t)
         return p;
     }
     p.scale = (hi - lo) / 255.0f;
+    if (faultpoint::active(faultpoint::Fault::ZeroQuantScale))
+        p.scale = 0.0f;
+    if (!(p.scale > 0.0f) || !std::isfinite(p.scale))
+        return Status::error(ErrorCode::NumericFault,
+                             "INT8 calibration produced scale ",
+                             p.scale, " (range [", lo, ", ", hi, "])");
     // Zero point such that real 0 maps to an integer in [-128, 127].
     double zp = -128.0 - lo / p.scale;
     p.zeroPoint = static_cast<int32_t>(clamp<long>(std::lround(zp), -128, 127));
     return p;
 }
 
-Int8Tensor
-quantizeInt8(const Tensor &t, const QuantParams &params)
+QuantParams
+chooseQuantParams(const Tensor &t)
 {
-    GENREUSE_REQUIRE(params.scale > 0.0f,
-                     "quantizeInt8 requires a positive scale");
+    Expected<QuantParams> p = tryChooseQuantParams(t);
+    if (!p.ok())
+        panic(p.status().toString());
+    return *p;
+}
+
+Expected<Int8Tensor>
+tryQuantizeInt8(const Tensor &t, const QuantParams &params)
+{
+    if (!(params.scale > 0.0f) || !std::isfinite(params.scale))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "quantizeInt8 requires a finite positive "
+                             "scale, got ", params.scale);
     Int8Tensor q;
     q.shape = t.shape();
     q.params = params;
@@ -43,6 +65,24 @@ quantizeInt8(const Tensor &t, const QuantParams &params)
         q.data[i] = static_cast<int8_t>(clamp<long>(v, -128, 127));
     }
     return q;
+}
+
+Int8Tensor
+quantizeInt8(const Tensor &t, const QuantParams &params)
+{
+    Expected<Int8Tensor> q = tryQuantizeInt8(t, params);
+    if (!q.ok())
+        panic(q.status().toString());
+    return std::move(*q);
+}
+
+Expected<Int8Tensor>
+tryQuantizeInt8(const Tensor &t)
+{
+    Expected<QuantParams> p = tryChooseQuantParams(t);
+    if (!p.ok())
+        return p.status();
+    return tryQuantizeInt8(t, *p);
 }
 
 Int8Tensor

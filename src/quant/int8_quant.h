@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "common/trace.h"
 #include "tensor/tensor.h"
 
@@ -49,13 +50,30 @@ struct Int8Tensor
  */
 QuantParams chooseQuantParams(const Tensor &t);
 
+/**
+ * chooseQuantParams() with recoverable-error reporting: non-finite
+ * calibration input, or a degenerate scale (including the
+ * zero_quant_scale fault point), returns a NumericFault Status instead
+ * of terminating. chooseQuantParams() delegates here and panics on
+ * error.
+ */
+Expected<QuantParams> tryChooseQuantParams(const Tensor &t);
+
 /** Quantize with the given parameters (values saturate).
  *  @pre params.scale > 0 — a zero/negative scale would divide by zero
  *  or mirror the tensor, so it panics instead of producing garbage. */
 Int8Tensor quantizeInt8(const Tensor &t, const QuantParams &params);
 
+/** quantizeInt8() returning InvalidArgument on a non-positive or
+ *  non-finite scale instead of panicking. */
+Expected<Int8Tensor> tryQuantizeInt8(const Tensor &t,
+                                     const QuantParams &params);
+
 /** Quantize with automatically chosen parameters. */
 Int8Tensor quantizeInt8(const Tensor &t);
+
+/** Auto-calibrated quantization with recoverable-error reporting. */
+Expected<Int8Tensor> tryQuantizeInt8(const Tensor &t);
 
 /** Dequantize back to float. */
 Tensor dequantize(const Int8Tensor &q);

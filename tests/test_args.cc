@@ -72,5 +72,28 @@ TEST(Args, BadNumberDies)
     ASSERT_DEATH_IF_SUPPORTED(a.getInt("n", 0), "expects an integer");
 }
 
+TEST(Args, TrailingGarbageDies)
+{
+    ArgParser a = parse({"prog", "--n", "12x", "--lr", "0.5q"});
+    ASSERT_DEATH_IF_SUPPORTED(a.getInt("n", 0), "expects an integer");
+    ASSERT_DEATH_IF_SUPPORTED(a.getDouble("lr", 0.0), "expects a number");
+}
+
+TEST(Args, IntegerOverflowDiesNamingTheFlag)
+{
+    // 2^80: out of long-long range; must die naming --epochs, not
+    // silently clamp to LLONG_MAX.
+    ArgParser a = parse({"prog", "--epochs", "1208925819614629174706176"});
+    ASSERT_DEATH_IF_SUPPORTED(a.getInt("epochs", 0),
+                              "--epochs.*out of range");
+}
+
+TEST(Args, DoubleOverflowDiesNamingTheFlag)
+{
+    ArgParser a = parse({"prog", "--lr", "1e999"});
+    ASSERT_DEATH_IF_SUPPORTED(a.getDouble("lr", 0.0),
+                              "--lr.*out of range");
+}
+
 } // namespace
 } // namespace genreuse

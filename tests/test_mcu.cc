@@ -224,5 +224,50 @@ TEST(MemoryModel, SramOverflowDetected)
     EXPECT_FALSE(est.fits(McuSpec::stm32f767zi()));
 }
 
+TEST(MemoryModel, DiagnoseNamesComponentAndShortfall)
+{
+    McuSpec spec = McuSpec::stm32f469i();
+    MemoryEstimate est;
+    LayerFootprint a;
+    a.name = "conv1";
+    a.weightBytes = 3 * 1024 * 1024; // > 2 MB flash
+    a.inputBytes = spec.sramBytes + 10 * 1024;
+    est.layers.push_back(a);
+
+    FitReport r = est.diagnose(spec);
+    EXPECT_FALSE(r.fits());
+    EXPECT_FALSE(r.flashFits());
+    EXPECT_FALSE(r.sramFits());
+    EXPECT_EQ(r.flashShortfall(),
+              r.flashRequired - spec.flashBytes);
+    EXPECT_EQ(r.sramShortfall(), 10u * 1024u);
+    EXPECT_EQ(r.sramPeakLayer, "conv1");
+    std::string d = r.describe();
+    EXPECT_NE(d.find("flash short by"), std::string::npos);
+    EXPECT_NE(d.find("SRAM short by"), std::string::npos);
+    EXPECT_NE(d.find("conv1"), std::string::npos);
+}
+
+TEST(MemoryModel, DiagnoseOnAFittingEstimateReportsHeadroom)
+{
+    MemoryEstimate est;
+    LayerFootprint a;
+    a.name = "conv1";
+    a.weightBytes = 64 * 1024;
+    a.inputBytes = 8 * 1024;
+    est.layers.push_back(a);
+
+    McuSpec spec = McuSpec::stm32f469i();
+    FitReport r = est.diagnose(spec);
+    EXPECT_TRUE(r.fits());
+    EXPECT_EQ(r.flashShortfall(), 0u);
+    EXPECT_EQ(r.sramShortfall(), 0u);
+    EXPECT_EQ(r.flashCapacity, spec.flashBytes);
+    EXPECT_EQ(r.sramCapacity, spec.sramBytes);
+    EXPECT_NE(r.describe().find("fits"), std::string::npos);
+    // fits() and diagnose() must agree by construction.
+    EXPECT_EQ(est.fits(spec), r.fits());
+}
+
 } // namespace
 } // namespace genreuse
