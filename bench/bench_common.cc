@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/profiler.h"
 #include "core/accuracy_model.h"
 #include "core/latency_model.h"
 #include "core/pareto.h"
@@ -128,6 +130,13 @@ BenchJson::write()
     // cost can be correlated with the latency numbers.
     if (!guard::snapshot().empty())
         w.key("guardEvents").raw(guard::toJson());
+    // Wall-clock span statistics (schema genreuse.prof/1) and process
+    // metrics recorded while this bench ran — only when the profiler
+    // was enabled (GENREUSE_PROFILE), so default records are unchanged.
+    if (profiler::hasSpans())
+        w.key("profile").raw(profiler::toJson());
+    if (metrics::anyNonZero())
+        w.key("metrics").raw(metrics::toJson());
     w.endObject();
     w.endObject();
 

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Bench regression gate: compares the "results" scalars of two bench
+ * JSON artifacts (schema "genreuse.bench/1" single records or
+ * "genreuse.bench-suite/1" merged suites) and prints a per-bench delta
+ * table. Usage:
+ *
+ *     bench_diff <baseline.json> <current.json>
+ *         [--threshold 5%] [--report-only] [--allow-missing-baseline]
+ *
+ * Result keys are classified by direction: keys naming a cost (latency,
+ * *Ms, drift, error, fallback, drop, loss, shortfall) regress when they
+ * increase, keys naming a benefit (speedup, accuracy, gain, redundancy)
+ * regress when they decrease, and everything else is reported without
+ * gating. The exit status is non-zero when any bench regresses beyond
+ * the threshold — unless --report-only is given, which prints the same
+ * table but always exits 0 (for cross-machine comparisons where
+ * absolute timings are not comparable). GENREUSE_BENCH_DIFF_STRICT=1
+ * overrides --report-only and forces gating.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/json.h"
+#include "common/table.h"
+
+using namespace genreuse;
+
+namespace {
+
+/** One bench's numeric results, in document order. */
+struct BenchResults
+{
+    std::string name;
+    std::vector<std::pair<std::string, double>> results;
+
+    const double *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : results)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+/** Which way a result key is allowed to move. */
+enum class Direction
+{
+    LowerIsBetter,  //!< regresses when it increases
+    HigherIsBetter, //!< regresses when it decreases
+    Informational,  //!< never gates
+};
+
+bool
+containsNoCase(const std::string &haystack, const char *needle)
+{
+    std::string h = haystack;
+    std::transform(h.begin(), h.end(), h.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return h.find(needle) != std::string::npos;
+}
+
+Direction
+classify(const std::string &key)
+{
+    // Three priority tiers, because compound keys mention both axes:
+    // "accuracyGainAtMatchedLatency" is a gain (its latency is the
+    // *matching* condition), while "accuracyDropPct" is a cost even
+    // though it mentions accuracy.
+    static const char *const kStrongBenefits[] = {"speedup", "gain"};
+    static const char *const kCosts[] = {"latency", "ms",       "drift",
+                                         "error",   "fallback", "drop",
+                                         "loss",    "shortfall"};
+    static const char *const kBenefits[] = {"accuracy", "redundancy"};
+    for (const char *n : kStrongBenefits)
+        if (containsNoCase(key, n))
+            return Direction::HigherIsBetter;
+    for (const char *n : kCosts)
+        if (containsNoCase(key, n))
+            return Direction::LowerIsBetter;
+    for (const char *n : kBenefits)
+        if (containsNoCase(key, n))
+            return Direction::HigherIsBetter;
+    return Direction::Informational;
+}
+
+/** Extract per-bench results from a parsed bench or suite document. */
+Status
+collect(const JsonValue &doc, const std::string &path,
+        std::vector<BenchResults> &out)
+{
+    const JsonValue *schema = doc.find("schema");
+    const std::string s = schema ? schema->stringOr("") : "";
+    if (s == "genreuse.bench-suite/1") {
+        const JsonValue *benches = doc.find("benches");
+        if (!benches || !benches->isArray())
+            return Status::error(ErrorCode::InvalidArgument, path,
+                                 ": suite document has no \"benches\" "
+                                 "array");
+        for (const JsonValue &b : benches->items) {
+            Status st = collect(b, path, out);
+            if (!st.ok())
+                return st;
+        }
+        return Status{};
+    }
+    if (s != "genreuse.bench/1")
+        return Status::error(ErrorCode::InvalidArgument, path,
+                             ": unsupported schema '", s,
+                             "' (want genreuse.bench/1 or "
+                             "genreuse.bench-suite/1)");
+    BenchResults br;
+    const JsonValue *name = doc.find("bench");
+    br.name = name ? name->stringOr("?") : "?";
+    if (const JsonValue *results = doc.find("results")) {
+        for (const auto &[key, v] : results->members)
+            if (v.isNumber())
+                br.results.emplace_back(key, v.number);
+    }
+    out.push_back(std::move(br));
+    return Status{};
+}
+
+const BenchResults *
+findBench(const std::vector<BenchResults> &set, const std::string &name)
+{
+    for (const auto &b : set)
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+/** Relative delta in percent; bounded against tiny baselines so a
+ *  0 -> 1e-9 smoke jitter does not read as an infinite regression. */
+double
+deltaPct(double base, double cur)
+{
+    if (std::fabs(base) < 1e-12 && std::fabs(cur) < 1e-12)
+        return 0.0;
+    return (cur - base) / std::max(std::fabs(base), 1e-6) * 100.0;
+}
+
+void
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <baseline.json> <current.json> [--threshold 5%%]\n"
+        "       [--report-only] [--allow-missing-baseline]\n",
+        prog);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f)
+        std::fclose(f);
+    return f != nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    if (args.positional().size() != 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string base_path = args.positional()[0];
+    const std::string cur_path = args.positional()[1];
+
+    std::string thresh_str = args.getString("threshold", "5%");
+    if (!thresh_str.empty() && thresh_str.back() == '%')
+        thresh_str.pop_back();
+    char *end = nullptr;
+    const double threshold = std::strtod(thresh_str.c_str(), &end);
+    if (end == thresh_str.c_str() || *end != '\0' || threshold < 0.0 ||
+        !std::isfinite(threshold)) {
+        std::fprintf(stderr, "bench_diff: bad --threshold '%s'\n",
+                     args.getString("threshold", "5%").c_str());
+        return 2;
+    }
+
+    const bool allow_missing = args.has("allow-missing-baseline");
+    const char *strict_env = std::getenv("GENREUSE_BENCH_DIFF_STRICT");
+    const bool strict = strict_env != nullptr && *strict_env != '\0' &&
+                        std::strcmp(strict_env, "0") != 0;
+    const bool gate = strict || !args.has("report-only");
+
+    if (!fileExists(base_path) && allow_missing) {
+        std::printf("bench_diff: no baseline at %s (first run?); "
+                    "nothing to compare\n",
+                    base_path.c_str());
+        return 0;
+    }
+
+    std::vector<BenchResults> base, cur;
+    for (const auto &[path, out] :
+         {std::pair{&base_path, &base}, std::pair{&cur_path, &cur}}) {
+        Expected<JsonValue> doc = parseJsonFile(*path);
+        if (!doc.ok()) {
+            std::fprintf(stderr, "bench_diff: %s\n",
+                         doc.status().toString().c_str());
+            return 2;
+        }
+        Status st = collect(*doc, *path, *out);
+        if (!st.ok()) {
+            std::fprintf(stderr, "bench_diff: %s\n",
+                         st.toString().c_str());
+            return 2;
+        }
+    }
+
+    TextTable t;
+    t.setHeader({"bench", "result", "baseline", "current", "delta",
+                 "verdict"});
+    size_t regressions = 0, missing_base = 0, compared = 0;
+
+    for (const BenchResults &cb : cur) {
+        const BenchResults *bb = findBench(base, cb.name);
+        for (const auto &[key, value] : cb.results) {
+            const double *bv = bb ? bb->find(key) : nullptr;
+            if (!bv) {
+                missing_base++;
+                t.addRow({cb.name, key, "-", formatDouble(value, 4),
+                          "-",
+                          allow_missing ? "new" : "missing baseline"});
+                continue;
+            }
+            compared++;
+            const double pct = deltaPct(*bv, value);
+            const Direction dir = classify(key);
+            const bool bad =
+                (dir == Direction::LowerIsBetter && pct > threshold) ||
+                (dir == Direction::HigherIsBetter && pct < -threshold);
+            const char *verdict = "ok";
+            if (dir == Direction::Informational)
+                verdict = "info";
+            else if (bad)
+                verdict = "REGRESSED";
+            if (bad)
+                regressions++;
+            char delta[32];
+            std::snprintf(delta, sizeof(delta), "%+.2f%%", pct);
+            t.addRow({cb.name, key, formatDouble(*bv, 4),
+                      formatDouble(value, 4), delta, verdict});
+        }
+    }
+    for (const BenchResults &bb : base) {
+        if (!findBench(cur, bb.name))
+            t.addRow({bb.name, "(whole bench)", "present", "-", "-",
+                      "missing in current"});
+    }
+
+    std::printf("bench_diff: %s vs %s (threshold %.2f%%, %s)\n%s\n",
+                base_path.c_str(), cur_path.c_str(), threshold,
+                gate ? "gating" : "report-only", t.render().c_str());
+    std::printf("bench_diff: %zu compared, %zu regressed, %zu without "
+                "baseline\n",
+                compared, regressions, missing_base);
+
+    if (!gate)
+        return 0;
+    if (regressions > 0)
+        return 1;
+    if (missing_base > 0 && !allow_missing)
+        return 1;
+    return 0;
+}

@@ -12,6 +12,8 @@
 
 #include "bench_common.h"
 #include "common/faultpoint.h"
+#include "common/profiler.h"
+#include "common/trace.h"
 #include "core/guard.h"
 #include "core/horizontal_reuse.h"
 #include "core/reorder.h"
@@ -238,6 +240,41 @@ BM_GuardedReuseConv(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GuardedReuseConv)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_UntaggedReportOps(benchmark::State &state)
+{
+    // reportOps() with tracing enabled but no TraceScope: the counts
+    // land in the per-thread "(untagged)" slot. Before the slots were
+    // sharded this serialized every thread on one global mutex; the
+    // multi-threaded variants must now scale with thread count.
+    if (state.thread_index() == 0) {
+        trace::reset();
+        trace::setEnabled(true);
+    }
+    for (auto _ : state)
+        reportOps(nullptr, Stage::Gemm, {.macs = 1});
+    if (state.thread_index() == 0) {
+        trace::setEnabled(false);
+        trace::reset();
+    }
+}
+BENCHMARK(BM_UntaggedReportOps)->Threads(1)->Threads(2)->Threads(4);
+
+void
+BM_ProfGateDisabled(benchmark::State &state)
+{
+    // A ProfSpan with the profiler off (the default): construction and
+    // destruction must reduce to one relaxed atomic load, matching the
+    // trace/fault gate criterion.
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        profiler::ProfSpan span("bench.gate");
+        acc += 1;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ProfGateDisabled);
 
 void
 BM_SyntheticCifarGeneration(benchmark::State &state)

@@ -21,6 +21,7 @@
 
 #include "bench_common.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 #include "core/latency_model.h"
 
@@ -29,9 +30,82 @@ using namespace genreuse::bench;
 
 namespace {
 
+/** Map a profiler span path to the Table 3 stage it times (by the
+ *  leaf name's suffix), or NumStages for non-stage spans. */
+Stage
+stageOfSpan(const std::string &path)
+{
+    const size_t slash = path.rfind('/');
+    const std::string leaf =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const size_t dot = leaf.rfind('.');
+    const std::string kind =
+        dot == std::string::npos ? leaf : leaf.substr(dot + 1);
+    if (kind == "im2col" || kind == "transform")
+        return Stage::Transformation;
+    if (kind == "cluster")
+        return Stage::Clustering;
+    if (kind == "gemm" || kind == "verify")
+        return Stage::Gemm;
+    if (kind == "recover" || kind == "bias")
+        return Stage::Recovering;
+    return Stage::NumStages;
+}
+
+/**
+ * When the profiler is live (GENREUSE_PROFILE), compare the host
+ * wall-clock share of each pipeline stage against the cost model's
+ * cycle-priced share. Absolute times differ by machine, so only the
+ * distribution is compared — both views must agree on the paper's
+ * headline shape (memory stages dominate, GEMM is minor).
+ */
+void
+reconcileWallClock(BenchJson &bj, const double model_ms[])
+{
+    constexpr size_t kStages = static_cast<size_t>(Stage::NumStages);
+    double wall_ms[kStages] = {};
+    for (const auto &e : profiler::snapshot()) {
+        const Stage s = stageOfSpan(e.path);
+        if (s != Stage::NumStages)
+            wall_ms[static_cast<size_t>(s)] +=
+                static_cast<double>(e.stats.totalNs) / 1e6;
+    }
+    double wall_total = 0.0, model_total = 0.0;
+    for (size_t s = 0; s < kStages; ++s) {
+        wall_total += wall_ms[s];
+        model_total += model_ms[s];
+    }
+    if (wall_total <= 0.0 || model_total <= 0.0)
+        return;
+
+    TextTable t;
+    t.setHeader({"Stage", "wall(ms)", "wall share", "model(ms)",
+                 "model share"});
+    JsonWriter w;
+    w.beginObject();
+    for (size_t s = 0; s < kStages; ++s) {
+        const char *name = stageName(static_cast<Stage>(s));
+        const double ws = wall_ms[s] / wall_total;
+        const double ms = model_ms[s] / model_total;
+        t.addRow({name, formatDouble(wall_ms[s], 2), formatPercent(ws),
+                  formatDouble(model_ms[s], 2), formatPercent(ms)});
+        w.key(name).beginObject();
+        w.key("wallMs").value(wall_ms[s]);
+        w.key("wallShare").value(ws);
+        w.key("modelMs").value(model_ms[s]);
+        w.key("modelShare").value(ms);
+        w.endObject();
+    }
+    w.endObject();
+    std::printf("\nPer-stage wall clock (profiler spans, this host) vs "
+                "cost model (MCU cycles):\n%s\n",
+                t.render().c_str());
+    bj.extra("wallVsModel", w.str());
+}
+
 void
 breakdownModel(ModelKind kind, const CostModel &model, TextTable &t,
-               BenchJson &bj, double &worst_drift)
+               BenchJson &bj, double &worst_drift, double model_ms[])
 {
     Workbench wb = makeWorkbench(kind);
     Dataset fit = wb.train.slice(0, 4);
@@ -89,6 +163,10 @@ breakdownModel(ModelKind kind, const CostModel &model, TextTable &t,
         double cl = ledger.stageMs(Stage::Clustering, model) / n;
         double mm = ledger.stageMs(Stage::Gemm, model) / n;
         double rc = ledger.stageMs(Stage::Recovering, model) / n;
+        model_ms[static_cast<size_t>(Stage::Transformation)] += tf * n;
+        model_ms[static_cast<size_t>(Stage::Clustering)] += cl * n;
+        model_ms[static_cast<size_t>(Stage::Gemm)] += mm * n;
+        model_ms[static_cast<size_t>(Stage::Recovering)] += rc * n;
         t.addRow({first_row ? modelName(kind) : "", layer->name(),
                   formatDouble(total, 2), formatDouble(tf, 2),
                   formatDouble(cl, 2), formatDouble(mm, 2),
@@ -124,12 +202,17 @@ main()
     BenchJson bj("table3_perf_breakdown");
     bj.meta("board", model.spec().name);
     double worst_drift = 0.0;
+    double model_ms[static_cast<size_t>(Stage::NumStages)] = {};
     TextTable t;
     t.setHeader({"Network", "ConvLayer", "Latency", "Transformation",
                  "Clustering", "GEMM", "Recovering"});
-    breakdownModel(ModelKind::CifarNet, model, t, bj, worst_drift);
-    breakdownModel(ModelKind::SqueezeNet, model, t, bj, worst_drift);
+    breakdownModel(ModelKind::CifarNet, model, t, bj, worst_drift,
+                   model_ms);
+    breakdownModel(ModelKind::SqueezeNet, model, t, bj, worst_drift,
+                   model_ms);
     std::printf("%s\n", t.render().c_str());
+    if (profiler::hasSpans())
+        reconcileWallClock(bj, model_ms);
     std::printf("Expected shape (paper §5.3.5): GEMM is a minor share; "
                 "transformation/recovering (memory ops) dominate.\n");
     std::printf("reconciliation: trace == attached ledger on every layer; "

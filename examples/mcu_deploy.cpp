@@ -6,11 +6,17 @@
  * expand convolutions, and report the per-layer latency budget on both
  * boards — everything an engineer would check before flashing.
  *
- * Run: ./build/examples/mcu_deploy
+ * Run: ./build/examples/mcu_deploy [--profile out.trace.json]
+ *
+ * --profile enables the wall-clock profiler and writes a Chrome
+ * trace-event timeline of the whole deployment pass (load in
+ * Perfetto / chrome://tracing), equivalent to GENREUSE_PROFILE=<path>.
  */
 
 #include <cstdio>
 
+#include "common/args.h"
+#include "common/profiler.h"
 #include "common/table.h"
 #include "core/measurement.h"
 #include "data/synthetic.h"
@@ -21,8 +27,15 @@
 using namespace genreuse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args(argc, argv);
+    const std::string profile_path = args.getString("profile");
+    if (!profile_path.empty()) {
+        profiler::setEnabled(true);
+        profiler::setTimelineCapture(true);
+    }
+
     // --- model + data ----------------------------------------------
     Rng rng(21);
     Network net = makeSqueezeNet(rng, /*bypass=*/false);
@@ -140,6 +153,13 @@ main()
                     static_cast<unsigned long long>(gs.reclusters),
                     static_cast<unsigned long long>(gs.exactFallbacks),
                     gs.worstMargin);
+    }
+
+    // --- optional wall-clock timeline -------------------------------------
+    if (!profile_path.empty()) {
+        profiler::writeChromeTrace(profile_path);
+        std::printf("wrote Chrome trace timeline to %s\n",
+                    profile_path.c_str());
     }
     return 0;
 }

@@ -7,11 +7,17 @@
  *   3. Compare output error, MAC counts, and modeled MCU latency.
  *
  * Build: cmake -B build -G Ninja && cmake --build build
- * Run:   ./build/examples/quickstart
+ * Run:   ./build/examples/quickstart [--profile out.trace.json]
+ *
+ * --profile enables the wall-clock profiler and writes a Chrome
+ * trace-event timeline (load in Perfetto / chrome://tracing) of the
+ * run — the same file GENREUSE_PROFILE=<path> would produce.
  */
 
 #include <cstdio>
 
+#include "common/args.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 #include "core/latency_model.h"
 #include "core/reuse_conv.h"
@@ -21,8 +27,15 @@
 using namespace genreuse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args(argc, argv);
+    const std::string profile_path = args.getString("profile");
+    if (!profile_path.empty()) {
+        profiler::setEnabled(true);
+        profiler::setTimelineCapture(true);
+    }
+
     // --- a conv layer and a redundant input image -------------------
     Rng rng(7);
     Conv2D conv("conv", 3, 64, 5, 1, 2, rng); // 3->64 channels, 5x5
@@ -87,5 +100,12 @@ main()
     trace::writeJson("trace_quickstart.json");
     std::printf("wrote per-layer op counts to trace_quickstart.json\n");
     trace::reset();
+
+    // --- optional wall-clock timeline ------------------------------------
+    if (!profile_path.empty()) {
+        profiler::writeChromeTrace(profile_path);
+        std::printf("wrote Chrome trace timeline to %s\n",
+                    profile_path.c_str());
+    }
     return 0;
 }

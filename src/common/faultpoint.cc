@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "metrics.h"
+
 namespace genreuse {
 namespace faultpoint {
 
@@ -97,6 +99,14 @@ uint64_t
 seed()
 {
     return detail::g_seed.load(std::memory_order_relaxed);
+}
+
+void
+noteFired(Fault f)
+{
+    GENREUSE_REQUIRE(f != Fault::NumFaults, "cannot fire NumFaults");
+    metrics::counter("fault.fires").add();
+    metrics::counter(std::string("fault.fires.") + faultName(f)).add();
 }
 
 void

@@ -87,6 +87,11 @@ active(Fault f)
 /** Seed of the armed fault (1 when none was given). */
 uint64_t seed();
 
+/** Injection sites call this when an armed fault actually corrupts
+ *  something, so fires are observable as metrics counters
+ *  ("fault.fires" and "fault.fires.<name>"). */
+void noteFired(Fault f);
+
 /** Arm @p f (replacing any armed fault). No-op when compiled out. */
 void arm(Fault f, uint64_t seed = 1);
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "logging.h"
 
@@ -190,6 +192,289 @@ JsonWriter::raw(const std::string &json)
             out_ << indent;
     }
     return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(double fallback) const
+{
+    return kind == Kind::Number ? number : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &fallback) const
+{
+    return kind == Kind::String ? string : fallback;
+}
+
+namespace {
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Expected<JsonValue>
+    parse()
+    {
+        JsonValue root;
+        Status s = parseValue(root, 0);
+        if (!s.ok())
+            return s;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return root;
+    }
+
+  private:
+    static constexpr size_t kMaxDepth = 200;
+
+    Status
+    fail(const std::string &what) const
+    {
+        return Status::error(ErrorCode::InvalidArgument, "JSON parse: ",
+                             what, " at byte ", pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            pos_++;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        size_t n = std::strlen(w);
+        if (text_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return Status{};
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // The writer only escapes control characters; decode
+                // BMP code points as UTF-8, which covers everything
+                // this repo's artifacts contain.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Status
+    parseValue(JsonValue &out, size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{') {
+            pos_++;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return Status{};
+            while (true) {
+                skipWs();
+                std::string key;
+                Status s = parseString(key);
+                if (!s.ok())
+                    return s;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue member;
+                s = parseValue(member, depth + 1);
+                if (!s.ok())
+                    return s;
+                out.members.emplace_back(std::move(key),
+                                         std::move(member));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return Status{};
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            pos_++;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return Status{};
+            while (true) {
+                JsonValue item;
+                Status s = parseValue(item, depth + 1);
+                if (!s.ok())
+                    return s;
+                out.items.push_back(std::move(item));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return Status{};
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (consumeWord("true")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return Status{};
+        }
+        if (consumeWord("false")) {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return Status{};
+        }
+        if (consumeWord("null")) {
+            out.kind = JsonValue::Kind::Null;
+            return Status{};
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            const char *start = text_.c_str() + pos_;
+            char *end = nullptr;
+            double v = std::strtod(start, &end);
+            if (end == start)
+                return fail("bad number");
+            pos_ += static_cast<size_t>(end - start);
+            out.kind = JsonValue::Kind::Number;
+            out.number = v;
+            return Status{};
+        }
+        return fail("unexpected character");
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Expected<JsonValue>
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+Expected<JsonValue>
+parseJsonFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "cannot open JSON file ", path);
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return parseJson(text);
 }
 
 } // namespace genreuse

@@ -1,9 +1,14 @@
 /**
  * @file
- * Minimal streaming JSON writer — no external dependency, just enough
- * for the schema-versioned artifacts this repo emits (trace snapshots,
- * BENCH_*.json records). Output is pretty-printed with stable key
- * order so records can be diffed across runs.
+ * Minimal JSON support — no external dependency, just enough for the
+ * schema-versioned artifacts this repo emits and consumes:
+ *
+ *  - JsonWriter, a streaming writer for trace snapshots and
+ *    BENCH_*.json records, pretty-printed with stable key order so
+ *    records can be diffed across runs.
+ *  - JsonValue + parseJson(), a recursive-descent reader used by
+ *    bench_diff to compare BENCH_*.json files and by tests to
+ *    validate exported documents. Object member order is preserved.
  */
 
 #ifndef GENREUSE_COMMON_JSON_H
@@ -12,7 +17,10 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "status.h"
 
 namespace genreuse {
 
@@ -60,6 +68,60 @@ class JsonWriter
     std::vector<bool> hasItems_; //!< per open scope: any member yet?
     bool pendingKey_ = false;
 };
+
+/**
+ * A parsed JSON document node. Kind-tagged; only the fields matching
+ * the kind are meaningful. Numbers are held as double (the writer
+ * emits %.12g, so round-trips are exact for the values this repo
+ * records). Object members keep document order.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> items; //!< array elements
+    std::vector<std::pair<std::string, JsonValue>> members; //!< object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member of an object by key; nullptr when absent or not an
+     *  object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** This node's number, or @p fallback when not a number. */
+    double numberOr(double fallback) const;
+
+    /** This node's string, or @p fallback when not a string. */
+    std::string stringOr(const std::string &fallback) const;
+};
+
+/**
+ * Parse one JSON document (trailing whitespace allowed, nothing
+ * else). Returns InvalidArgument with a byte offset on malformed
+ * input; nesting deeper than an internal sanity bound is rejected.
+ */
+Expected<JsonValue> parseJson(const std::string &text);
+
+/** parseJson() over the contents of @p path (read errors surface as
+ *  InvalidArgument naming the file). */
+Expected<JsonValue> parseJsonFile(const std::string &path);
 
 } // namespace genreuse
 

@@ -4,16 +4,88 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "metrics.h"
+
 namespace genreuse {
+
+namespace {
+
+// Warn-once key registry: capped so dynamically-generated keys cannot
+// grow it without bound over a long process lifetime. 512 distinct
+// warning sites is far beyond what a healthy run produces; hitting
+// the cap is itself reported (once).
+constexpr size_t kWarnOnceCap = 512;
+
+struct WarnOnceState
+{
+    std::mutex mu;
+    std::unordered_set<std::string> seen;
+    uint64_t overflow = 0;
+    bool capNoticed = false;
+};
+
+WarnOnceState &
+warnOnceState()
+{
+    static WarnOnceState *s = new WarnOnceState;
+    return *s;
+}
+
+} // namespace
+
 namespace detail {
 
 bool
 shouldWarnOnce(const std::string &key)
 {
-    static std::mutex mu;
-    static std::unordered_set<std::string> seen;
-    std::lock_guard<std::mutex> lock(mu);
-    return seen.insert(key).second;
+    WarnOnceState &st = warnOnceState();
+    bool fresh = false;
+    bool announce_cap = false;
+    size_t tracked = 0;
+    uint64_t overflow = 0;
+    {
+        std::lock_guard<std::mutex> lock(st.mu);
+        if (st.seen.count(key)) {
+            fresh = false;
+        } else if (st.seen.size() < kWarnOnceCap) {
+            st.seen.insert(key);
+            fresh = true;
+        } else {
+            st.overflow++;
+            if (!st.capNoticed) {
+                st.capNoticed = true;
+                announce_cap = true;
+            }
+        }
+        tracked = st.seen.size();
+        overflow = st.overflow;
+    }
+    metrics::gauge("logging.warn_once_keys")
+        .set(static_cast<double>(tracked));
+    if (overflow > 0)
+        metrics::gauge("logging.warn_once_overflow")
+            .set(static_cast<double>(overflow));
+    if (fresh)
+        metrics::counter("logging.warn_once_fires").add();
+    if (announce_cap) {
+        printMessage("warn",
+                     composeMessage("warn-once registry reached its cap "
+                                    "of ", kWarnOnceCap,
+                                    " keys; warnings for further new "
+                                    "keys are suppressed (see the "
+                                    "logging.warn_once_overflow gauge)"));
+    }
+    return fresh;
+}
+
+void
+resetWarnOnce()
+{
+    WarnOnceState &st = warnOnceState();
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.seen.clear();
+    st.overflow = 0;
+    st.capNoticed = false;
 }
 
 void
@@ -33,4 +105,31 @@ printMessage(const char *kind, const std::string &msg)
 }
 
 } // namespace detail
+
+namespace logging {
+
+size_t
+warnOnceCount()
+{
+    WarnOnceState &st = warnOnceState();
+    std::lock_guard<std::mutex> lock(st.mu);
+    return st.seen.size();
+}
+
+size_t
+warnOnceCap()
+{
+    return kWarnOnceCap;
+}
+
+uint64_t
+warnOnceOverflow()
+{
+    WarnOnceState &st = warnOnceState();
+    std::lock_guard<std::mutex> lock(st.mu);
+    return st.overflow;
+}
+
+} // namespace logging
+
 } // namespace genreuse

@@ -8,6 +8,7 @@
 #ifndef GENREUSE_COMMON_LOGGING_H
 #define GENREUSE_COMMON_LOGGING_H
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -31,10 +32,31 @@ composeMessage(Args &&...args)
                                   bool abort_process);
 void printMessage(const char *kind, const std::string &msg);
 
-/** True the first time @p key is seen (thread-safe). */
+/** True the first time @p key is seen (thread-safe). The key registry
+ *  is capped (logging::warnOnceCap()): once full, warnings for *new*
+ *  keys are suppressed after a single registry-full notice, so dynamic
+ *  keys (e.g. "guard-kernel-fallback-<kernel>") cannot grow it without
+ *  bound. */
 bool shouldWarnOnce(const std::string &key);
 
+/** Drop all warn-once state (tests only; racing warners is a bug). */
+void resetWarnOnce();
+
 } // namespace detail
+
+namespace logging {
+
+/** Distinct warn-once keys currently tracked (≤ warnOnceCap()).
+ *  Exported as the "logging.warn_once_keys" metrics gauge. */
+size_t warnOnceCount();
+
+/** Maximum tracked warn-once keys before new keys are suppressed. */
+size_t warnOnceCap();
+
+/** Warnings suppressed because the registry was full. */
+uint64_t warnOnceOverflow();
+
+} // namespace logging
 
 /**
  * Terminate because the *user* supplied an impossible configuration

@@ -130,6 +130,55 @@ ledgerForLocked(const std::string &name)
     return g_ledgers.back().second;
 }
 
+// Out-of-scope records used to funnel through g_mutex onto one shared
+// "(untagged)" ledger — a contention point when many threads trace
+// without scopes (BM_UntaggedReportOps). Now each thread owns a slot
+// whose mutex only it ever takes on the hot path; snapshot/reset walk
+// the slot list. Slots are heap-allocated and never freed so a
+// thread's counts survive its exit until the next reset().
+struct UntaggedSlot
+{
+    std::mutex mu;
+    OpLedger ledger;
+};
+
+std::mutex g_untagged_mutex;
+
+std::vector<UntaggedSlot *> &
+untaggedSlots()
+{
+    static std::vector<UntaggedSlot *> *v =
+        new std::vector<UntaggedSlot *>;
+    return *v;
+}
+
+thread_local UntaggedSlot *t_untagged = nullptr;
+
+UntaggedSlot &
+untaggedSlot()
+{
+    if (t_untagged == nullptr) {
+        UntaggedSlot *s = new UntaggedSlot;
+        std::lock_guard<std::mutex> lock(g_untagged_mutex);
+        untaggedSlots().push_back(s);
+        t_untagged = s;
+    }
+    return *t_untagged;
+}
+
+/** All untagged slots merged into one ledger. */
+OpLedger
+untaggedMerged()
+{
+    OpLedger total;
+    std::lock_guard<std::mutex> lock(g_untagged_mutex);
+    for (UntaggedSlot *s : untaggedSlots()) {
+        std::lock_guard<std::mutex> slot_lock(s->mu);
+        total.merge(s->ledger);
+    }
+    return total;
+}
+
 } // namespace
 
 void
@@ -172,20 +221,32 @@ record(Stage stage, const OpCounts &ops)
         t_scope->add(stage, ops);
         return;
     }
-    std::lock_guard<std::mutex> lock(g_mutex);
-    ledgerForLocked(kUntagged).add(stage, ops);
+    // Sharded path: this thread's own slot, whose mutex is only ever
+    // contended by snapshot/reset — never by other recording threads.
+    UntaggedSlot &slot = untaggedSlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.ledger.add(stage, ops);
 }
 
 std::vector<std::pair<std::string, OpLedger>>
 snapshot()
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    return g_ledgers;
+    std::vector<std::pair<std::string, OpLedger>> out;
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        out = g_ledgers;
+    }
+    OpLedger untagged = untaggedMerged();
+    if (!untagged.total().isZero())
+        out.emplace_back(kUntagged, untagged);
+    return out;
 }
 
 OpLedger
 layerLedger(const std::string &name)
 {
+    if (name == kUntagged)
+        return untaggedMerged();
     std::lock_guard<std::mutex> lock(g_mutex);
     for (const auto &entry : g_ledgers)
         if (entry.first == name)
@@ -196,8 +257,15 @@ layerLedger(const std::string &name)
 void
 reset()
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    g_ledgers.clear();
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        g_ledgers.clear();
+    }
+    std::lock_guard<std::mutex> lock(g_untagged_mutex);
+    for (UntaggedSlot *s : untaggedSlots()) {
+        std::lock_guard<std::mutex> slot_lock(s->mu);
+        s->ledger.clear();
+    }
 }
 
 namespace {

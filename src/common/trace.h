@@ -20,9 +20,11 @@
  *
  * Thread model: records inside a TraceScope accumulate into a
  * scope-local ledger without locking and merge into the registry once
- * at scope exit; records outside any scope go to an "(untagged)"
- * ledger under a mutex. Concurrent scopes on different threads are
- * safe; the exploration engine runs with tracing off.
+ * at scope exit; records outside any scope land in a per-thread
+ * "(untagged)" slot (merged on snapshot), so concurrent untagged
+ * recorders never contend on a shared mutex. Concurrent scopes on
+ * different threads are safe; the exploration engine runs with
+ * tracing off.
  */
 
 #ifndef GENREUSE_COMMON_TRACE_H

@@ -1,6 +1,7 @@
 #include "explorer.h"
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "reorder.h"
 
 namespace genreuse {
@@ -154,6 +155,9 @@ CandidateProfile
 profileCandidate(const ReusePattern &pattern, ExplorationCache &cache,
                  uint64_t seed)
 {
+    // Runs on pool threads during profileCandidates(); each worker gets
+    // its own timeline track, so the Chrome trace shows pool occupancy.
+    profiler::ProfSpan span("explore.candidate");
     CandidateProfile prof;
     prof.pattern = pattern;
     if (usesCustomOrder(pattern)) {

@@ -1,6 +1,7 @@
 #include "fc_reuse.h"
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "tensor/gemm.h"
@@ -36,6 +37,7 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
 
     const size_t full_segments = f / segment_len;
     const size_t rem = f - full_segments * segment_len;
+    profiler::ProfSpan pspan("fc.reuse");
 
     Tensor y({n, o});
     ReuseStats local;

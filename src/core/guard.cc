@@ -9,6 +9,8 @@
 #include "common/faultpoint.h"
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/rng.h"
 #include "tensor/gemm.h"
 
@@ -38,30 +40,48 @@ GuardStats g_stats;
 void
 recordForward(GuardRung rung, double measured, double budget)
 {
+    // Rung-transition counters mirror into the metrics registry so
+    // guard health plots over time in profiler timelines.
+    static metrics::Counter &forwards =
+        metrics::counter("guard.forwards");
+    static metrics::Counter &full = metrics::counter("guard.full_reuse");
+    static metrics::Counter &recluster_wins =
+        metrics::counter("guard.recluster_wins");
+    static metrics::Counter &exact =
+        metrics::counter("guard.exact_fallbacks");
+    static metrics::Gauge &worst =
+        metrics::gauge("guard.worst_margin");
+    forwards.add();
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.forwards++;
     switch (rung) {
     case GuardRung::FullReuse:
         g_stats.fullReuse++;
+        full.add();
         break;
     case GuardRung::Recluster:
         g_stats.reclusterWins++;
+        recluster_wins.add();
         break;
     case GuardRung::ExactFallback:
         g_stats.exactFallbacks++;
+        exact.add();
         break;
     }
     g_stats.lastMeasuredError = measured;
     g_stats.lastErrorBudget = budget;
-    if (budget > 0.0)
+    if (budget > 0.0) {
         g_stats.worstMargin =
             std::max(g_stats.worstMargin, measured / budget);
+        worst.setMax(measured / budget);
+    }
     g_stats.lastRung = rung;
 }
 
 void
 noteRecluster()
 {
+    metrics::counter("guard.reclusters").add();
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.reclusters++;
 }
@@ -69,6 +89,7 @@ noteRecluster()
 void
 noteNonFiniteInput()
 {
+    metrics::counter("guard.non_finite_inputs").add();
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.nonFiniteInputs++;
 }
@@ -76,6 +97,7 @@ noteNonFiniteInput()
 void
 noteStatusError()
 {
+    metrics::counter("guard.status_errors").add();
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.statusErrors++;
 }
@@ -86,6 +108,7 @@ noteKernelFallback(const char *kernel)
     warnOnce(std::string("guard-kernel-fallback-") + kernel,
              kernel, " reuse kernel: invalid cluster table, panel "
              "downgraded to exact GEMM (warned once)");
+    metrics::counter("guard.kernel_fallbacks").add();
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.kernelFallbacks++;
 }
@@ -93,6 +116,7 @@ noteKernelFallback(const char *kernel)
 void
 noteDeployDowngrade()
 {
+    metrics::counter("guard.deploy_downgrades").add();
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.deployDowngrades++;
 }
@@ -235,6 +259,7 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
                                    const Tensor &y,
                                    CostLedger *ledger) const
 {
+    profiler::ProfSpan span("guard.verify");
     const size_t n = x.shape().rows();
     const size_t din = x.shape().cols();
     const size_t m = w.shape().cols();
@@ -279,9 +304,12 @@ GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
                                const ConvGeometry &geom,
                                CostLedger *ledger)
 {
+    profiler::ProfSpan pspan("guard.forward");
     Tensor xin = x;
-    if (faultpoint::active(faultpoint::Fault::NanActivation))
+    if (faultpoint::active(faultpoint::Fault::NanActivation)) {
+        faultpoint::noteFired(faultpoint::Fault::NanActivation);
         corruptWithNan(xin, faultpoint::seed());
+    }
 
     if (!config_.enabled) {
         lastRung_ = GuardRung::FullReuse;
@@ -326,6 +354,7 @@ GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
     // ledger by the kernels themselves.
     for (size_t attempt = 1; attempt <= config_.maxReclusters;
          ++attempt) {
+        profiler::ProfSpan recluster_span("guard.recluster");
         guard::noteRecluster();
         inner_->setSeed(inner_->seed() + config_.reclusterSeedStep);
         inner_->fit(fitSample_, fitGeom_);

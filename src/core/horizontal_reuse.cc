@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
@@ -41,6 +42,7 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
     const bool shared_family = families.size() == 1;
     GENREUSE_REQUIRE(shared_family || families.size() == slicing.numBands,
                      "need 1 shared or per-band hash families");
+    profiler::ProfSpan pspan("horizontal.reuse");
 
     Tensor y({n, m});
     ReuseStats local;
@@ -98,18 +100,19 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
 
         // ---- build X_i^c (l x nc) and W_i^c (nc x m) ----------------
         Tensor xc({l, nc});
-        for (size_t c = 0; c < nc; ++c)
-            for (size_t j = 0; j < l; ++j)
-                xc.at2(j, c) = clusters.centroids.at2(c, j);
-
         Tensor wc({nc, m});
-        for (size_t col = 0; col < din; ++col) {
-            const float *wr = w.data() + col * m;
-            float *dst = wc.data() + clusters.assignments[col] * m;
-            for (size_t c = 0; c < m; ++c)
-                dst[c] += wr[c];
-        }
         {
+            profiler::ProfSpan span("horizontal.recover");
+            for (size_t c = 0; c < nc; ++c)
+                for (size_t j = 0; j < l; ++j)
+                    xc.at2(j, c) = clusters.centroids.at2(c, j);
+
+            for (size_t col = 0; col < din; ++col) {
+                const float *wr = w.data() + col * m;
+                float *dst = wc.data() + clusters.assignments[col] * m;
+                for (size_t c = 0; c < m; ++c)
+                    dst[c] += wr[c];
+            }
             OpCounts rc;
             rc.aluOps = din * m;    // weight sum-reduction
             rc.elemMoves = l * nc;  // centroid transpose
@@ -117,6 +120,7 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
         }
 
         // ---- band GEMM ----------------------------------------------
+        profiler::ProfSpan gemm_span("horizontal.gemm");
         gemmRaw(xc.data(), wc.data(), y.data() + row0 * m, l, m, nc, nc, m,
                 m, false);
         const size_t gemm_macs = l * nc * m;

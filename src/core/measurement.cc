@@ -1,6 +1,7 @@
 #include "measurement.h"
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "guard.h"
 #include "nn/loss.h"
 
@@ -13,6 +14,7 @@ measureNetwork(Network &net, const Dataset &eval, const CostModel &model,
     const size_t n =
         max_images == 0 ? eval.size() : std::min(max_images, eval.size());
     GENREUSE_REQUIRE(n > 0, "empty evaluation set");
+    profiler::ProfSpan pspan("measure.network");
 
     CostLedger conv_ledger;
     net.setConvLedger(&conv_ledger);

@@ -1,6 +1,7 @@
 #include "reuse_conv.h"
 
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace genreuse {
 
@@ -114,6 +115,7 @@ ReuseConvAlgo::tryMultiply(const Tensor &x, const Tensor &w,
     // free at runtime because weights are pre-permuted offline.)
     Tensor xr = x;
     if (reorder_rows || reorder_cols) {
+        profiler::ProfSpan span("reuse.transform");
         if (reorder_rows && reorder_cols) {
             xr = reorderMatrix(x, row_perm, colPerm_);
         } else if (reorder_rows) {
@@ -181,6 +183,7 @@ ReuseConvAlgo::reuseCore(const Tensor &xr, const Tensor &wr,
     }
 
     if (reorder_rows) {
+        profiler::ProfSpan span("reuse.recover");
         yr = unpermuteRows(yr, row_perm);
         OpCounts rc;
         rc.elemMoves = yr.size();

@@ -4,6 +4,7 @@
 
 #include "common/faultpoint.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "guard.h"
 #include "lsh/learned_hash.h"
 
@@ -62,12 +63,15 @@ ReuseDense::forward(const Tensor &x, bool training)
         return dense_.forward(x, training);
 
     trace::TraceScope tscope(name());
+    profiler::ProfSpan pspan("dense.reuse");
     // Flatten per sample (same convention as Dense).
     const size_t n = x.shape().dim(0);
     Tensor flat = x.reshaped({n, x.size() / n});
 
-    if (faultpoint::active(faultpoint::Fault::NanActivation))
+    if (faultpoint::active(faultpoint::Fault::NanActivation)) {
+        faultpoint::noteFired(faultpoint::Fault::NanActivation);
         corruptWithNan(flat, faultpoint::seed());
+    }
 
     // Segment reuse averages segments across the row, so one NaN would
     // smear over every output; the exact product confines it. Scan is

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/stopwatch.h"
 #include "explorer.h"
 #include "pareto.h"
@@ -50,6 +51,7 @@ trySelectReusePattern(Network &net, Conv2D &layer,
                       const PatternScope &scope,
                       const SelectionConfig &config)
 {
+    profiler::ProfSpan pspan("select.pattern");
     SelectionResult result;
     CostModel model(config.board);
 
@@ -84,16 +86,22 @@ trySelectReusePattern(Network &net, Conv2D &layer,
                              layer.name());
     ThreadPool pool(config.threads);
     ExplorationCache cache(sample_x, w, geom);
-    result.profiles =
-        profileCandidates(candidates, cache, config.seed, pool);
+    {
+        profiler::ProfSpan span("explore.profile");
+        result.profiles =
+            profileCandidates(candidates, cache, config.seed, pool);
+    }
     result.profilingSeconds = watch.seconds();
 
     // ---- analytic prune (Pareto over bound x predicted latency) ----
     watch.reset();
-    result.promising =
-        rankByAnalyticModel(result.profiles, model);
-    if (result.promising.size() > config.promisingCount)
-        result.promising.resize(config.promisingCount);
+    {
+        profiler::ProfSpan span("explore.prune");
+        result.promising =
+            rankByAnalyticModel(result.profiles, model);
+        if (result.promising.size() > config.promisingCount)
+            result.promising.resize(config.promisingCount);
+    }
     result.pruneSeconds = watch.seconds();
 
     // ---- full empirical check on the promising set ------------------
@@ -103,6 +111,7 @@ trySelectReusePattern(Network &net, Conv2D &layer,
     Dataset eval = test_data.slice(
         0, std::min(config.evalImages, test_data.size()));
     if (!result.promising.empty()) {
+        profiler::ProfSpan span("explore.check");
         // Forward the fitting batch once and memoize its im2col; each
         // promising candidate then fits from the cached column-reordered
         // view instead of re-running the network (what fitAndInstall()

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
@@ -67,6 +68,7 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
     GENREUSE_REQUIRE(families.size() == slicing.numSlices,
                      "need one hash family per slice: ", slicing.numSlices,
                      " slices, ", families.size(), " families");
+    profiler::ProfSpan pspan("vertical.reuse");
 
     Tensor y({n, m});
     ReuseStats local;
@@ -138,8 +140,11 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
         // The centroid matrix of r-row blocks is (nc x r*width)
         // row-major, which is exactly (nc*r x width) row-major.
         Tensor yc({nc * r, m});
-        gemmRaw(clusters.centroids.data(), w_slice, yc.data(), nc * r, m,
-                width, width, m, m, false);
+        {
+            profiler::ProfSpan span("vertical.gemm");
+            gemmRaw(clusters.centroids.data(), w_slice, yc.data(),
+                    nc * r, m, width, width, m, m, false);
+        }
         const size_t gemm_macs = nc * r * width * m;
         local.reuseMacs += gemm_macs;
         OpCounts mm;
@@ -147,6 +152,7 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
         reportOps(ledger, Stage::Gemm, mm);
 
         // ---- recover ------------------------------------------------
+        profiler::ProfSpan recover_span("vertical.recover");
         if (r == 1) {
             for (size_t row = 0; row < n; ++row) {
                 const float *src =

@@ -7,6 +7,8 @@
 
 #include "common/faultpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/rng.h"
 
 namespace genreuse {
@@ -144,6 +146,7 @@ injectClusterFaults(const StridedItems &items, ClusterResult &result)
         // A phantom size-0 cluster whose centroid is the 0/0-style
         // garbage a real empty cluster would produce. Consumers must
         // reject it via clusterTableValid, not average it in.
+        faultpoint::noteFired(Fault::ClusterEmpty);
         const size_t nc = result.numClusters();
         Tensor grown({nc + 1, items.length});
         for (size_t j = 0; j < nc * items.length; ++j)
@@ -160,6 +163,7 @@ injectClusterFaults(const StridedItems &items, ClusterResult &result)
         // Seeded out-of-range bit-flips in the assignment table, AFTER
         // the CSR build so the table is inconsistent exactly the way a
         // memory corruption would leave it.
+        faultpoint::noteFired(Fault::CorruptClusterIds);
         Rng rng(faultpoint::seed());
         const size_t flips = std::max<size_t>(1, items.count / 16);
         const uint32_t nc =
@@ -180,6 +184,7 @@ clusterSignatures(const StridedItems &items,
 {
     GENREUSE_REQUIRE(sigs.size() == items.count,
                      "signature count mismatches item count");
+    profiler::ProfSpan pspan("lsh.cluster");
 
     const std::vector<uint64_t> *use = &sigs;
     std::vector<uint64_t> collapsed;
@@ -187,6 +192,7 @@ clusterSignatures(const StridedItems &items,
         faultpoint::active(faultpoint::Fault::ClusterCollapse)) {
         // Simulate a pathological hash family: every signature
         // collides, so the whole panel becomes one giant cluster.
+        faultpoint::noteFired(faultpoint::Fault::ClusterCollapse);
         collapsed.assign(items.count, faultpoint::seed());
         use = &collapsed;
     }
@@ -211,6 +217,20 @@ clusterSignatures(const StridedItems &items,
 
     if (faultpoint::anyArmed())
         injectClusterFaults(items, result);
+
+    // Realized-reuse metrics (the ReuseSense argument: measure the
+    // benefit actually obtained, not just the estimate). Handles are
+    // resolved once; each update is a relaxed atomic RMW.
+    static metrics::Counter &calls = metrics::counter("lsh.cluster_calls");
+    static metrics::Counter &items_seen = metrics::counter("lsh.items");
+    static metrics::Counter &clusters_made =
+        metrics::counter("lsh.clusters");
+    static metrics::Gauge &redundancy =
+        metrics::gauge("lsh.redundancy_ratio");
+    calls.add();
+    items_seen.add(result.numItems());
+    clusters_made.add(result.numClusters());
+    redundancy.set(result.redundancyRatio());
     return result;
 }
 

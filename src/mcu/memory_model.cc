@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/faultpoint.h"
+#include "common/metrics.h"
 
 namespace genreuse {
 
@@ -73,11 +74,17 @@ MemoryEstimate::diagnose(const McuSpec &spec) const
     r.flashRequired = flashBytes(spec.codeAllowanceBytes);
     r.flashCapacity = spec.flashBytes;
     r.sramRequired = sramPeakBytes();
-    r.sramCapacity =
-        faultpoint::active(faultpoint::Fault::SramExhausted)
-            ? 0
-            : spec.sramBytes;
+    if (faultpoint::active(faultpoint::Fault::SramExhausted)) {
+        faultpoint::noteFired(faultpoint::Fault::SramExhausted);
+        r.sramCapacity = 0;
+    } else {
+        r.sramCapacity = spec.sramBytes;
+    }
     r.sramPeakLayer = sramPeakLayer();
+    // High-water mark of every estimate this process diagnosed — the
+    // SRAM pressure gauge for timelines and BENCH metrics.
+    metrics::gauge("mcu.sram_high_water_bytes")
+        .setMax(static_cast<double>(r.sramRequired));
     return r;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "tensor/gemm.h"
 
 namespace genreuse {
@@ -13,6 +14,7 @@ ExactConvAlgo::multiply(const Tensor &x, const Tensor &w,
                         const ConvGeometry &geom, CostLedger *ledger)
 {
     (void)geom;
+    profiler::ProfSpan span("exact.gemm");
     Tensor y = matmul(x, w);
     OpCounts ops;
     ops.macs = x.shape().rows() * x.shape().cols() * w.shape().cols();
@@ -68,8 +70,12 @@ Tensor
 Conv2D::forward(const Tensor &x, bool training)
 {
     trace::TraceScope tscope(name());
+    profiler::ProfSpan pspan("conv.forward");
     ConvGeometry geom = geometry(x.shape());
-    Tensor cols = im2col(x, geom);
+    Tensor cols = [&] {
+        profiler::ProfSpan span("conv.im2col");
+        return im2col(x, geom);
+    }();
     {
         OpCounts ops;
         ops.elemMoves = cols.size(); // one element move per matrix cell
@@ -80,11 +86,12 @@ Conv2D::forward(const Tensor &x, bool training)
     Tensor y = algo_->multiply(cols, w, geom, ledger_);
 
     // Bias.
-    const size_t n = y.shape().rows(), m = y.shape().cols();
-    for (size_t r = 0; r < n; ++r)
-        for (size_t c = 0; c < m; ++c)
-            y.at2(r, c) += bias_.value[c];
     {
+        profiler::ProfSpan span("conv.bias");
+        const size_t n = y.shape().rows(), m = y.shape().cols();
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < m; ++c)
+                y.at2(r, c) += bias_.value[c];
         OpCounts ops;
         ops.aluOps = n * m;      // bias adds
         ops.elemMoves = n * m;   // fold back into activation layout

@@ -6,6 +6,7 @@
 #include "common/faultpoint.h"
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/profiler.h"
 
 namespace genreuse {
 
@@ -28,8 +29,10 @@ tryChooseQuantParams(const Tensor &t)
         return p;
     }
     p.scale = (hi - lo) / 255.0f;
-    if (faultpoint::active(faultpoint::Fault::ZeroQuantScale))
+    if (faultpoint::active(faultpoint::Fault::ZeroQuantScale)) {
+        faultpoint::noteFired(faultpoint::Fault::ZeroQuantScale);
         p.scale = 0.0f;
+    }
     if (!(p.scale > 0.0f) || !std::isfinite(p.scale))
         return Status::error(ErrorCode::NumericFault,
                              "INT8 calibration produced scale ",
@@ -111,6 +114,7 @@ int8Matmul(const Int8Tensor &a, const Int8Tensor &b, OpLedger *ledger)
 {
     GENREUSE_REQUIRE(a.shape.rank() == 2 && b.shape.rank() == 2,
                      "int8Matmul expects rank-2 operands");
+    profiler::ProfSpan span("int8.gemm");
     const size_t m = a.shape.rows(), k = a.shape.cols();
     GENREUSE_REQUIRE(b.shape.rows() == k, "inner dimension mismatch");
     const size_t n = b.shape.cols();

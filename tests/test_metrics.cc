@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the metrics registry (src/common/metrics): counter/gauge
+ * semantics, the JSON export, the capped warn-once registry with its
+ * metrics gauges, and the guard/fault instrumentation actually firing.
+ */
+
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+#include "common/faultpoint.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "core/guard.h"
+#include "lsh/clustering.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+namespace {
+
+/** RAII guard: every test starts and ends with zeroed metrics. */
+struct MetricsSandbox
+{
+    MetricsSandbox() { metrics::reset(); }
+    ~MetricsSandbox()
+    {
+        metrics::reset();
+        faultpoint::disarm();
+    }
+};
+
+double
+metricValue(const std::string &name)
+{
+    for (const metrics::Sample &s : metrics::snapshot())
+        if (s.name == name)
+            return s.value;
+    return -1.0;
+}
+
+TEST(Metrics, CounterAccumulates)
+{
+    MetricsSandbox sandbox;
+    metrics::Counter &c = metrics::counter("test.counter");
+    EXPECT_EQ(c.get(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.get(), 42u);
+    // Same name resolves to the same counter.
+    EXPECT_EQ(&metrics::counter("test.counter"), &c);
+    EXPECT_EQ(metricValue("test.counter"), 42.0);
+}
+
+TEST(Metrics, GaugeSetAndSetMax)
+{
+    MetricsSandbox sandbox;
+    metrics::Gauge &g = metrics::gauge("test.gauge");
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.get(), 3.5);
+    g.set(1.0); // plain set overwrites downward
+    EXPECT_DOUBLE_EQ(g.get(), 1.0);
+    g.setMax(7.0);
+    g.setMax(2.0); // high-water: lower values don't stick
+    EXPECT_DOUBLE_EQ(g.get(), 7.0);
+    EXPECT_EQ(&metrics::gauge("test.gauge"), &g);
+}
+
+TEST(Metrics, CounterIsThreadSafe)
+{
+    MetricsSandbox sandbox;
+    metrics::Counter &c = metrics::counter("test.mt_counter");
+    constexpr int kThreads = 4, kIters = 1000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&c] {
+            for (int i = 0; i < kIters; ++i)
+                c.add();
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(c.get(), static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(Metrics, SnapshotKeepsFirstSeenOrderAndResetZeroes)
+{
+    MetricsSandbox sandbox;
+    metrics::counter("test.order_a").add(1);
+    metrics::gauge("test.order_b").set(2.0);
+    size_t pos_a = SIZE_MAX, pos_b = SIZE_MAX;
+    auto samples = metrics::snapshot();
+    for (size_t i = 0; i < samples.size(); ++i) {
+        if (samples[i].name == "test.order_a")
+            pos_a = i;
+        if (samples[i].name == "test.order_b")
+            pos_b = i;
+    }
+    ASSERT_NE(pos_a, SIZE_MAX);
+    ASSERT_NE(pos_b, SIZE_MAX);
+    EXPECT_LT(pos_a, pos_b);
+    EXPECT_TRUE(metrics::anyNonZero());
+    metrics::reset();
+    EXPECT_FALSE(metrics::anyNonZero());
+    EXPECT_EQ(metrics::counter("test.order_a").get(), 0u);
+}
+
+TEST(Metrics, JsonExportMatchesSchema)
+{
+    MetricsSandbox sandbox;
+    metrics::counter("test.json_counter").add(5);
+    metrics::gauge("test.json_gauge").set(2.25);
+    Expected<JsonValue> doc = parseJson(metrics::toJson());
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    const JsonValue *schema = doc->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->stringOr(""), "genreuse.metrics/1");
+    const JsonValue *counters = doc->find("counters");
+    const JsonValue *gauges = doc->find("gauges");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(gauges, nullptr);
+    const JsonValue *c = counters->find("test.json_counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->numberOr(-1.0), 5.0);
+    const JsonValue *g = gauges->find("test.json_gauge");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->numberOr(-1.0), 2.25);
+}
+
+// Runs before the cap-fill test below: the gauge values must reflect
+// a registry that still has headroom.
+TEST(Metrics, WarnOnceGaugeTracksRegistry)
+{
+    MetricsSandbox sandbox;
+    detail::resetWarnOnce();
+    const size_t before = logging::warnOnceCount();
+    warnOnce("test-metrics-key-1", "first");
+    warnOnce("test-metrics-key-1", "suppressed");
+    warnOnce("test-metrics-key-2", "second");
+    EXPECT_EQ(logging::warnOnceCount(), before + 2);
+    EXPECT_EQ(metricValue("logging.warn_once_keys"),
+              static_cast<double>(before + 2));
+    EXPECT_EQ(metricValue("logging.warn_once_fires"), 2.0);
+    detail::resetWarnOnce();
+}
+
+TEST(Metrics, WarnOnceRegistryIsCapped)
+{
+    MetricsSandbox sandbox;
+    detail::resetWarnOnce();
+    const size_t cap = logging::warnOnceCap();
+    ASSERT_GT(cap, 0u);
+    // Fill past the cap with dynamic keys; the registry must stop
+    // growing and count the overflow instead.
+    for (size_t i = 0; i < cap + 10; ++i)
+        detail::shouldWarnOnce("test-cap-key-" + std::to_string(i));
+    EXPECT_EQ(logging::warnOnceCount(), cap);
+    EXPECT_GE(logging::warnOnceOverflow(), 10u);
+    EXPECT_GE(metricValue("logging.warn_once_overflow"), 10.0);
+    // Known keys keep deduplicating even when full.
+    EXPECT_FALSE(detail::shouldWarnOnce("test-cap-key-0"));
+    detail::resetWarnOnce();
+}
+
+TEST(Metrics, FaultFiresAreCounted)
+{
+    MetricsSandbox sandbox;
+    faultpoint::noteFired(faultpoint::Fault::ZeroQuantScale);
+    faultpoint::noteFired(faultpoint::Fault::ZeroQuantScale);
+    faultpoint::noteFired(faultpoint::Fault::NanActivation);
+    EXPECT_EQ(metricValue("fault.fires"), 3.0);
+    EXPECT_EQ(metricValue("fault.fires.zero_quant_scale"), 2.0);
+    EXPECT_EQ(metricValue("fault.fires.nan_activation"), 1.0);
+}
+
+TEST(Metrics, ClusteringRecordsRedundancy)
+{
+    MetricsSandbox sandbox;
+    // A redundant matrix: identical rows must cluster, so the
+    // redundancy-ratio gauge and cluster counters fire.
+    Rng rng(11);
+    Tensor x({64, 8});
+    for (size_t r = 0; r < 64; ++r)
+        for (size_t c = 0; c < 8; ++c)
+            x.at2(r, c) = static_cast<float>((r % 4) * 8 + c);
+    HashFamily family = HashFamily::random(4, 8, rng);
+    StridedItems items{x.data(), 64, 8, 8, 1};
+    ClusterResult res = clusterBySignature(items, family);
+    EXPECT_GT(res.numClusters(), 0u);
+    EXPECT_EQ(metricValue("lsh.cluster_calls"), 1.0);
+    EXPECT_EQ(metricValue("lsh.items"), 64.0);
+    EXPECT_EQ(metricValue("lsh.clusters"),
+              static_cast<double>(res.numClusters()));
+    EXPECT_GT(metricValue("lsh.redundancy_ratio"), 0.0);
+}
+
+TEST(Metrics, GuardCountersFire)
+{
+    MetricsSandbox sandbox;
+    guard::reset();
+    guard::noteRecluster();
+    guard::noteNonFiniteInput();
+    guard::recordForward(GuardRung::FullReuse, 0.1, 1.0);
+    EXPECT_EQ(metricValue("guard.reclusters"), 1.0);
+    EXPECT_EQ(metricValue("guard.non_finite_inputs"), 1.0);
+    EXPECT_EQ(metricValue("guard.forwards"), 1.0);
+    EXPECT_EQ(metricValue("guard.full_reuse"), 1.0);
+    EXPECT_DOUBLE_EQ(metricValue("guard.worst_margin"), 0.1);
+    guard::reset();
+}
+
+} // namespace
+} // namespace genreuse
