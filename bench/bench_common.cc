@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/eventlog.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "core/accuracy_model.h"
@@ -137,6 +138,11 @@ BenchJson::write()
         w.key("profile").raw(profiler::toJson());
     if (metrics::anyNonZero())
         w.key("metrics").raw(metrics::toJson());
+    // Flight-recorder traffic (counts only, no event bodies) — only
+    // when the journal was on (GENREUSE_BLACKBOX / setEnabled), so
+    // default records are unchanged.
+    if (eventlog::recorded() > 0)
+        w.key("events").raw(eventlog::summaryJson());
     w.endObject();
     w.endObject();
 

@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/profiler.h"
 #include "common/trace.h"
@@ -275,6 +276,22 @@ BM_ProfGateDisabled(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ProfGateDisabled);
+
+void
+BM_EventlogGateDisabled(benchmark::State &state)
+{
+    // eventlog::record() with the journal off (the default): the
+    // inline gate must reduce the whole call to one relaxed atomic
+    // load, matching the trace/fault/profiler gate criterion.
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        eventlog::record(eventlog::Type::KernelReuse, 0, 0.5, 64.0, 0.0,
+                         8);
+        acc += 1;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_EventlogGateDisabled);
 
 void
 BM_SyntheticCifarGeneration(benchmark::State &state)

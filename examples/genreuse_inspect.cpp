@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Postmortem / observability inspector: loads any mix of the repo's
+ * schema-versioned JSON artifacts and renders one consolidated report
+ * on stdout —
+ *
+ *   genreuse.events/1         flight-recorder dumps (GENREUSE_BLACKBOX
+ *                             postmortems, ood_monitor journals):
+ *                             header, guard/drift/fault timeline, and
+ *                             the last-N event table
+ *   genreuse.prof/1           profiler exports: top spans with wall
+ *                             shares
+ *   genreuse.trace/1          op-ledger exports: per-stage model-cost
+ *                             shares
+ *   genreuse.guard/1          guard counters
+ *   genreuse.metrics/1        metrics registry
+ *   genreuse.bench/1          BENCH records (plus their embedded
+ *                             guard/profile/metrics/events extras)
+ *   genreuse.bench-suite/1    merged BENCH suites
+ *
+ * With --baseline, BENCH results are compared against the baseline
+ * suite/record and the top regressions are listed.
+ *
+ * Usage:
+ *   genreuse_inspect [--baseline BENCH.json] [--last N] file.json...
+ *
+ * Typical flows:
+ *   GENREUSE_FAULT=nan_activation ./build/examples/mcu_deploy
+ *   ./build/examples/genreuse_inspect genreuse_blackbox.json
+ *
+ *   ./build/examples/genreuse_inspect --baseline build/BENCH_pr4.json \
+ *       build/BENCH_pr5.json
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "core/guard.h"
+
+using namespace genreuse;
+
+namespace {
+
+std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+double
+num(const JsonValue *obj, const char *key, double fallback = 0.0)
+{
+    if (obj == nullptr)
+        return fallback;
+    const JsonValue *v = obj->find(key);
+    return v ? v->numberOr(fallback) : fallback;
+}
+
+std::string
+str(const JsonValue *obj, const char *key, const std::string &fallback = "")
+{
+    if (obj == nullptr)
+        return fallback;
+    const JsonValue *v = obj->find(key);
+    return v ? v->stringOr(fallback) : fallback;
+}
+
+// ---- genreuse.events/1 ---------------------------------------------------
+
+/** One-line semantic rendering of an event's payload. */
+std::string
+eventDetail(const JsonValue &e)
+{
+    const std::string type = str(&e, "type");
+    const double v0 = num(&e, "v0"), v1 = num(&e, "v1"), v2 = num(&e, "v2");
+    const double n = num(&e, "n"), k = num(&e, "k");
+    if (type == "forward_begin" || type == "forward_end")
+        return "batch=" + fmt("%.0f", n);
+    if (type == "layer_reuse")
+        return "redundancy=" + fmt("%.3f", v0) + " vectors=" +
+               fmt("%.0f", v1) + " centroids=" + fmt("%.0f", n);
+    if (type == "kernel_reuse") {
+        static const char *const kKernels[] = {"vertical", "horizontal",
+                                               "fc"};
+        const int ki = static_cast<int>(k);
+        return std::string(ki >= 0 && ki < 3 ? kKernels[ki] : "?") +
+               " redundancy=" + fmt("%.3f", v0) + " vectors=" +
+               fmt("%.0f", v1) + " centroids=" + fmt("%.0f", n);
+    }
+    if (type == "cluster")
+        return "redundancy=" + fmt("%.3f", v0) + " items=" +
+               fmt("%.0f", v1) + " clusters=" + fmt("%.0f", n);
+    if (type == "guard_rung") {
+        const int ri = static_cast<int>(k);
+        std::string out =
+            std::string("rung=") +
+            rungName(static_cast<GuardRung>(
+                std::min(ri, static_cast<int>(GuardRung::ExactFallback)))) +
+            " measured=" + fmt("%.4g", v0) + " budget=" + fmt("%.4g", v1);
+        if (n != 0.0)
+            out += " (deploy-time)";
+        return out;
+    }
+    if (type == "drift") {
+        std::string out = "x=" + fmt("%.4f", v0) + " ewma=" +
+                          fmt("%.4f", v1) + " ph=" + fmt("%.4f", v2);
+        if (n != 0.0)
+            out += "  << TRIP";
+        return out;
+    }
+    if (type == "fault_fire")
+        return "fault=" + str(&e, "fault", "?");
+    if (type == "sram_high_water")
+        return "required=" + fmt("%.0f", v0) + "B capacity=" +
+               fmt("%.0f", v1) + "B";
+    if (type == "warn_once")
+        return "key=" + str(&e, "tag");
+    if (type == "streaming")
+        return "redundancy=" + fmt("%.3f", v0) + " vectors=" +
+               fmt("%.0f", v1) + " scratch=" + fmt("%.0f", v2) + "B";
+    return "";
+}
+
+/** Types worth a line in the condensed timeline (regime changes, not
+ *  per-layer traffic). */
+bool
+isTimelineWorthy(const JsonValue &e)
+{
+    const std::string type = str(&e, "type");
+    if (type == "guard_rung" || type == "fault_fire" ||
+        type == "sram_high_water" || type == "warn_once")
+        return true;
+    return type == "drift" && num(&e, "n") != 0.0; // trips only
+}
+
+void
+renderEvents(const JsonValue &doc, size_t last_n)
+{
+    std::printf("flight recorder dump (reason: %s)\n",
+                str(&doc, "reason", "?").c_str());
+    std::printf("  %.0f events recorded, %.0f overwritten (ring capacity "
+                "%.0f)\n",
+                num(&doc, "recorded"), num(&doc, "overwritten"),
+                num(&doc, "capacity"));
+    const JsonValue *by_type = doc.find("byType");
+    if (by_type != nullptr && by_type->isObject()) {
+        std::printf("  traffic:");
+        for (const auto &[name, count] : by_type->members)
+            if (count.numberOr(0.0) > 0.0)
+                std::printf(" %s=%.0f", name.c_str(), count.numberOr(0.0));
+        std::printf("\n");
+    }
+    const JsonValue *events = doc.find("events");
+    if (events == nullptr || !events->isArray() || events->items.empty()) {
+        std::printf("  (no event bodies in this artifact)\n\n");
+        return;
+    }
+    const double t0 = num(&events->items.front(), "tsNs");
+
+    // Condensed timeline: every guard/drift-trip/fault/SRAM/warn event.
+    TextTable tl;
+    tl.setHeader({"t(ms)", "seq", "event", "layer", "detail"});
+    size_t timeline_rows = 0;
+    for (const JsonValue &e : events->items) {
+        if (!isTimelineWorthy(e))
+            continue;
+        tl.addRow({fmt("%.3f", (num(&e, "tsNs") - t0) / 1e6),
+                   fmt("%.0f", num(&e, "seq")), str(&e, "type"),
+                   str(&e, "tag"), eventDetail(e)});
+        timeline_rows++;
+    }
+    if (timeline_rows > 0) {
+        std::printf("\n  guard / drift / fault timeline:\n%s",
+                    tl.render().c_str());
+    }
+
+    // Last-N table: the final approach, every event type.
+    const size_t n = std::min(last_n, events->items.size());
+    std::printf("\n  last %zu events:\n", n);
+    TextTable t;
+    t.setHeader({"t(ms)", "seq", "type", "layer", "detail"});
+    for (size_t i = events->items.size() - n; i < events->items.size();
+         ++i) {
+        const JsonValue &e = events->items[i];
+        t.addRow({fmt("%.3f", (num(&e, "tsNs") - t0) / 1e6),
+                  fmt("%.0f", num(&e, "seq")), str(&e, "type"),
+                  str(&e, "tag"), eventDetail(e)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+void
+renderEventsSummary(const JsonValue &doc)
+{
+    std::printf("  flight-recorder traffic: %.0f events (%.0f "
+                "overwritten):",
+                num(&doc, "recorded"), num(&doc, "overwritten"));
+    const JsonValue *by_type = doc.find("byType");
+    if (by_type != nullptr && by_type->isObject())
+        for (const auto &[name, count] : by_type->members)
+            if (count.numberOr(0.0) > 0.0)
+                std::printf(" %s=%.0f", name.c_str(), count.numberOr(0.0));
+    std::printf("\n");
+}
+
+// ---- genreuse.prof/1 -----------------------------------------------------
+
+void
+renderProf(const JsonValue &doc)
+{
+    const JsonValue *spans = doc.find("spans");
+    if (spans == nullptr || !spans->isArray() || spans->items.empty()) {
+        std::printf("profiler export: no spans\n\n");
+        return;
+    }
+    // Wall total = the root spans (paths without '/'); every nested
+    // span's share is computed against it.
+    double wall_total = 0.0;
+    for (const JsonValue &s : spans->items)
+        if (str(&s, "path").find('/') == std::string::npos)
+            wall_total += num(&s, "totalNs");
+    if (wall_total <= 0.0)
+        wall_total = 1.0;
+    std::vector<const JsonValue *> sorted;
+    for (const JsonValue &s : spans->items)
+        sorted.push_back(&s);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const JsonValue *a, const JsonValue *b) {
+                  return num(a, "totalNs") > num(b, "totalNs");
+              });
+    std::printf("profiler export: top spans by wall time (dropped "
+                "events: %.0f)\n",
+                num(&doc, "droppedEvents"));
+    TextTable t;
+    t.setHeader({"span", "count", "total ms", "share", "p95 ms"});
+    const size_t top = std::min<size_t>(12, sorted.size());
+    for (size_t i = 0; i < top; ++i) {
+        const JsonValue *s = sorted[i];
+        t.addRow({str(s, "path"), fmt("%.0f", num(s, "count")),
+                  fmt("%.3f", num(s, "totalNs") / 1e6),
+                  fmt("%.1f%%", 100.0 * num(s, "totalNs") / wall_total),
+                  fmt("%.3f", num(s, "p95Ns") / 1e6)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+// ---- genreuse.trace/1 ----------------------------------------------------
+
+void
+renderTrace(const JsonValue &doc)
+{
+    const JsonValue *layers = doc.find("layers");
+    if (layers == nullptr || !layers->isArray()) {
+        std::printf("trace export: no layers\n\n");
+        return;
+    }
+    // Model-cost shares per stage, MAC-weighted across all layers —
+    // the model-side counterpart to the profiler's wall shares.
+    std::map<std::string, double> stage_macs;
+    double total_macs = 0.0;
+    for (const JsonValue &layer : layers->items) {
+        const JsonValue *stages = layer.find("stages");
+        if (stages == nullptr || !stages->isObject())
+            continue;
+        for (const auto &[stage, counts] : stages->members) {
+            const double macs = num(&counts, "macs");
+            stage_macs[stage] += macs;
+            total_macs += macs;
+        }
+    }
+    std::printf("op-ledger trace: %zu layers, per-stage model shares "
+                "(MACs)\n",
+                layers->items.size());
+    TextTable t;
+    t.setHeader({"stage", "MACs", "share"});
+    for (const auto &[stage, macs] : stage_macs)
+        t.addRow({stage, fmt("%.0f", macs),
+                  fmt("%.1f%%",
+                      100.0 * macs / std::max(1.0, total_macs))});
+    std::printf("%s\n", t.render().c_str());
+}
+
+// ---- genreuse.guard/1 / genreuse.metrics/1 -------------------------------
+
+void
+renderGuard(const JsonValue &doc)
+{
+    std::printf("  guard: %.0f forwards = %.0f full-reuse + %.0f "
+                "recluster-wins + %.0f exact fallbacks | %.0f drift "
+                "trips, %.0f deploy downgrades, worst margin %.3f, "
+                "last rung %s\n",
+                num(&doc, "forwards"), num(&doc, "fullReuse"),
+                num(&doc, "reclusterWins"), num(&doc, "exactFallbacks"),
+                num(&doc, "driftTrips"), num(&doc, "deployDowngrades"),
+                num(&doc, "worstMargin"),
+                str(&doc, "lastRung", "?").c_str());
+}
+
+void
+renderMetrics(const JsonValue &doc)
+{
+    std::printf("  metrics (non-zero):\n");
+    for (const char *group : {"counters", "gauges"}) {
+        const JsonValue *obj = doc.find(group);
+        if (obj == nullptr || !obj->isObject())
+            continue;
+        for (const auto &[name, v] : obj->members)
+            if (v.numberOr(0.0) != 0.0)
+                std::printf("    %-36s %.6g\n", name.c_str(),
+                            v.numberOr(0.0));
+    }
+}
+
+// ---- genreuse.bench/1 (+ suites, + baseline diff) ------------------------
+
+/** lower-is-better result keys, mirroring bench_diff's classifier. */
+bool
+isCostKey(const std::string &key)
+{
+    static const char *const kCosts[] = {"latency",  "ms",   "drift",
+                                         "error",    "drop", "loss",
+                                         "fallback", "shortfall"};
+    std::string lower;
+    for (char c : key)
+        lower += static_cast<char>(std::tolower(c));
+    for (const char *c : kCosts)
+        if (lower.find(c) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** Index a baseline artifact: bench name -> its "results" object. */
+std::map<std::string, const JsonValue *>
+indexBaseline(const JsonValue &doc)
+{
+    std::map<std::string, const JsonValue *> out;
+    const std::string schema = str(&doc, "schema");
+    if (schema == "genreuse.bench/1") {
+        if (const JsonValue *r = doc.find("results"))
+            out[str(&doc, "bench")] = r;
+    } else if (schema == "genreuse.bench-suite/1") {
+        if (const JsonValue *benches = doc.find("benches"))
+            for (const JsonValue &b : benches->items)
+                if (const JsonValue *r = b.find("results"))
+                    out[str(&b, "bench")] = r;
+    }
+    return out;
+}
+
+struct Regression
+{
+    std::string bench, key;
+    double base, cur, pct; //!< pct > 0 means worse
+};
+
+void
+compareResults(const std::string &bench, const JsonValue &results,
+               const JsonValue &baseline, std::vector<Regression> &out)
+{
+    if (!results.isObject())
+        return;
+    for (const auto &[key, v] : results.members) {
+        if (!v.isNumber())
+            continue;
+        const JsonValue *b = baseline.find(key);
+        if (b == nullptr || !b->isNumber() || b->number == 0.0)
+            continue;
+        const double delta_pct = 100.0 * (v.number - b->number) /
+                                 std::abs(b->number);
+        // Normalize so positive = regression regardless of direction.
+        const double worse = isCostKey(key) ? delta_pct : -delta_pct;
+        out.push_back({bench, key, b->number, v.number, worse});
+    }
+}
+
+void
+renderBench(const JsonValue &doc,
+            const std::map<std::string, const JsonValue *> &baseline,
+            std::vector<Regression> &regressions)
+{
+    const std::string name = str(&doc, "bench", "?");
+    const JsonValue *smoke = doc.find("smoke");
+    std::printf("bench %s%s\n", name.c_str(),
+                smoke != nullptr && smoke->isBool() && smoke->boolean
+                    ? " (smoke mode)"
+                    : "");
+    const JsonValue *results = doc.find("results");
+    if (results != nullptr && results->isObject()) {
+        for (const auto &[key, v] : results->members)
+            if (v.isNumber())
+                std::printf("  %-36s %.6g\n", key.c_str(), v.number);
+        auto it = baseline.find(name);
+        if (it != baseline.end())
+            compareResults(name, *results, *it->second, regressions);
+    }
+    if (const JsonValue *extra = doc.find("extra")) {
+        if (const JsonValue *g = extra->find("guardEvents"))
+            renderGuard(*g);
+        if (const JsonValue *ev = extra->find("events"))
+            renderEventsSummary(*ev);
+        if (const JsonValue *m = extra->find("metrics"))
+            renderMetrics(*m);
+        if (const JsonValue *p = extra->find("profile")) {
+            std::printf("  embedded profile:\n");
+            renderProf(*p);
+        }
+    }
+    std::printf("\n");
+}
+
+void
+renderRegressions(const std::vector<Regression> &regs)
+{
+    std::vector<Regression> sorted = regs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Regression &a, const Regression &b) {
+                  return a.pct > b.pct;
+              });
+    std::printf("top regressions vs baseline (positive = worse):\n");
+    TextTable t;
+    t.setHeader({"bench", "result", "baseline", "current", "worse by"});
+    size_t shown = 0;
+    for (const Regression &r : sorted) {
+        if (r.pct <= 0.0 || shown >= 10)
+            break;
+        t.addRow({r.bench, r.key, fmt("%.6g", r.base), fmt("%.6g", r.cur),
+                  fmt("%+.2f%%", r.pct)});
+        shown++;
+    }
+    if (shown == 0)
+        std::printf("  none — no compared result got worse.\n\n");
+    else
+        std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    if (args.positional().empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--baseline BENCH.json] [--last N] "
+                     "file.json...\n"
+                     "renders genreuse events/prof/trace/guard/metrics/"
+                     "bench artifacts as one report\n",
+                     args.program().c_str());
+        return 2;
+    }
+    const size_t last_n =
+        static_cast<size_t>(std::max(1L, args.getInt("last", 20)));
+
+    // Baseline (optional): a BENCH record or merged suite to diff
+    // against. Kept alive for the whole run; the index borrows nodes.
+    JsonValue baseline_doc;
+    std::map<std::string, const JsonValue *> baseline;
+    const std::string baseline_path = args.getString("baseline");
+    if (!baseline_path.empty()) {
+        Expected<JsonValue> parsed = parseJsonFile(baseline_path);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "genreuse_inspect: bad --baseline: %s\n",
+                         parsed.status().toString().c_str());
+            return 1;
+        }
+        baseline_doc = std::move(*parsed);
+        baseline = indexBaseline(baseline_doc);
+        if (baseline.empty())
+            std::fprintf(stderr,
+                         "genreuse_inspect: --baseline %s holds no BENCH "
+                         "results; diffs disabled\n",
+                         baseline_path.c_str());
+    }
+
+    std::vector<Regression> regressions;
+    int rc = 0;
+    for (const std::string &path : args.positional()) {
+        Expected<JsonValue> parsed = parseJsonFile(path);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "genreuse_inspect: %s\n",
+                         parsed.status().toString().c_str());
+            rc = 1;
+            continue;
+        }
+        const JsonValue &doc = *parsed;
+        const std::string schema = str(&doc, "schema");
+        std::printf("==== %s [%s] ====\n", path.c_str(), schema.c_str());
+        if (schema == "genreuse.events/1") {
+            renderEvents(doc, last_n);
+        } else if (schema == "genreuse.events-summary/1") {
+            renderEventsSummary(doc);
+        } else if (schema == "genreuse.prof/1") {
+            renderProf(doc);
+        } else if (schema == "genreuse.trace/1") {
+            renderTrace(doc);
+        } else if (schema == "genreuse.guard/1") {
+            renderGuard(doc);
+            std::printf("\n");
+        } else if (schema == "genreuse.metrics/1") {
+            renderMetrics(doc);
+            std::printf("\n");
+        } else if (schema == "genreuse.bench/1") {
+            renderBench(doc, baseline, regressions);
+        } else if (schema == "genreuse.bench-suite/1") {
+            const JsonValue *benches = doc.find("benches");
+            if (benches != nullptr && benches->isArray())
+                for (const JsonValue &b : benches->items)
+                    renderBench(b, baseline, regressions);
+        } else {
+            std::fprintf(stderr,
+                         "genreuse_inspect: %s: unknown schema '%s'\n",
+                         path.c_str(), schema.c_str());
+            rc = 1;
+        }
+    }
+    if (!baseline.empty() && !regressions.empty())
+        renderRegressions(regressions);
+    else if (!baseline.empty())
+        std::printf("no BENCH results overlapped the baseline.\n");
+    return rc;
+}

@@ -11,11 +11,18 @@
  * --profile enables the wall-clock profiler and writes a Chrome
  * trace-event timeline of the whole deployment pass (load in
  * Perfetto / chrome://tracing), equivalent to GENREUSE_PROFILE=<path>.
+ *
+ * When a fault is armed (GENREUSE_FAULT=<name>) the flight recorder is
+ * armed automatically: a postmortem event dump lands in
+ * genreuse_blackbox.json (or GENREUSE_BLACKBOX=<path>) the moment the
+ * fault fires, ready for examples/genreuse_inspect.
  */
 
 #include <cstdio>
 
 #include "common/args.h"
+#include "common/eventlog.h"
+#include "common/faultpoint.h"
 #include "common/profiler.h"
 #include "common/table.h"
 #include "core/measurement.h"
@@ -34,6 +41,18 @@ main(int argc, char **argv)
     if (!profile_path.empty()) {
         profiler::setEnabled(true);
         profiler::setTimelineCapture(true);
+    }
+
+    // Fault-injection runs are exactly the runs worth a black box: if
+    // a fault is armed (GENREUSE_FAULT=...) and no postmortem path was
+    // chosen, arm a default one so the crash/degradation trajectory is
+    // captured without extra flags.
+    if (faultpoint::anyArmed() && !eventlog::blackboxArmed()) {
+        eventlog::setBlackboxPath("genreuse_blackbox.json");
+        eventlog::setEnabled(true);
+        std::printf("fault injection armed: flight recorder will dump "
+                    "a postmortem to genreuse_blackbox.json "
+                    "(override with GENREUSE_BLACKBOX=<path>)\n\n");
     }
 
     // --- model + data ----------------------------------------------
@@ -153,6 +172,15 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(gs.reclusters),
                     static_cast<unsigned long long>(gs.exactFallbacks),
                     gs.worstMargin);
+    }
+
+    if (eventlog::postmortemCount() > 0) {
+        std::printf("\nflight recorder: %llu postmortem dump(s) written "
+                    "to %s — inspect with "
+                    "./build/examples/genreuse_inspect\n",
+                    static_cast<unsigned long long>(
+                        eventlog::postmortemCount()),
+                    eventlog::blackboxPath().c_str());
     }
 
     // --- optional wall-clock timeline -------------------------------------

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "eventlog.h"
 #include "metrics.h"
 
 namespace genreuse {
@@ -107,6 +108,12 @@ noteFired(Fault f)
     GENREUSE_REQUIRE(f != Fault::NumFaults, "cannot fire NumFaults");
     metrics::counter("fault.fires").add();
     metrics::counter(std::string("fault.fires.") + faultName(f)).add();
+    // A fire is exactly the moment the flight recorder exists for:
+    // journal it (tagged with the enclosing layer, if any) and dump
+    // the black box so the lead-up survives whatever happens next.
+    eventlog::record(eventlog::Type::FaultFire, eventlog::currentTag(),
+                     0.0, 0.0, 0.0, 0, static_cast<uint8_t>(f));
+    eventlog::dumpPostmortem("fault_fire");
 }
 
 void

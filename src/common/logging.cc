@@ -4,6 +4,7 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "eventlog.h"
 #include "metrics.h"
 
 namespace genreuse {
@@ -65,8 +66,12 @@ shouldWarnOnce(const std::string &key)
     if (overflow > 0)
         metrics::gauge("logging.warn_once_overflow")
             .set(static_cast<double>(overflow));
-    if (fresh)
+    if (fresh) {
         metrics::counter("logging.warn_once_fires").add();
+        if (eventlog::enabled())
+            eventlog::record(eventlog::Type::WarnOnce,
+                             eventlog::intern(key));
+    }
     if (announce_cap) {
         printMessage("warn",
                      composeMessage("warn-once registry reached its cap "
@@ -93,6 +98,10 @@ exitWithMessage(const char *kind, const std::string &msg, bool abort_process)
 {
     std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
     std::fflush(stderr);
+    // Last act before dying: if a black box is armed, dump the event
+    // journal so the crash leaves a readable lead-up (re-entrancy is
+    // handled inside dumpPostmortem).
+    eventlog::dumpPostmortem(kind);
     if (abort_process)
         std::abort();
     std::exit(1);

@@ -92,8 +92,12 @@ std::vector<Sample> snapshot();
 /** True when at least one metric holds a non-zero value. */
 bool anyNonZero();
 
-/** Zero every registered value (registrations are kept). For tests
- *  and bench setup; not meant for concurrent use with updaters. */
+/** Zero every registered value. Registrations (and therefore the
+ *  first-seen export order) are kept — snapshot() after reset() lists
+ *  the same names in the same order, all zeroed. Test-only: fixtures
+ *  call this so assertions never depend on which tests ran earlier in
+ *  the process; not meant for concurrent use with updaters and not
+ *  part of the production API surface. */
 void reset();
 
 /** Schema-versioned JSON export (schema "genreuse.metrics/1"). */

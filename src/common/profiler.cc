@@ -10,6 +10,7 @@
 
 #include "json.h"
 #include "logging.h"
+#include "metrics.h"
 
 namespace genreuse {
 namespace profiler {
@@ -323,7 +324,13 @@ reset()
 uint64_t
 droppedEvents()
 {
-    return detail::g_dropped.load(std::memory_order_relaxed);
+    const uint64_t n = detail::g_dropped.load(std::memory_order_relaxed);
+    // Mirror into the metrics registry here, at read/export time, not
+    // in the drop paths: the counter-sample drop site runs under
+    // g_counter_mutex, and a gauge update from there would re-enter
+    // recordCounterSample and self-deadlock.
+    metrics::gauge("prof.dropped_events").set(static_cast<double>(n));
+    return n;
 }
 
 void

@@ -1,0 +1,81 @@
+#include "drift.h"
+
+#include "common/eventlog.h"
+#include "common/metrics.h"
+
+namespace genreuse {
+
+bool
+PageHinkley::observe(double x)
+{
+    n_++;
+    sum_ += x;
+    mT_ += x - sum_ / static_cast<double>(n_) - cfg_.delta;
+    if (mT_ < minMT_)
+        minMT_ = mT_;
+    if (tripped_ || n_ < cfg_.warmup)
+        return false;
+    if (mT_ - minMT_ > cfg_.lambda) {
+        tripped_ = true;
+        return true;
+    }
+    return false;
+}
+
+void
+PageHinkley::reset()
+{
+    n_ = 0;
+    sum_ = 0.0;
+    mT_ = 0.0;
+    minMT_ = 0.0;
+    tripped_ = false;
+}
+
+DriftDetector::DriftDetector(std::string signal, DriftConfig cfg)
+    : signal_(std::move(signal)), cfg_(cfg), ph_(cfg.ph),
+      tag_(eventlog::intern(signal_)),
+      ewmaGauge_(&metrics::gauge("drift." + signal_ + ".ewma")),
+      phGauge_(&metrics::gauge("drift." + signal_ + ".ph"))
+{
+}
+
+bool
+DriftDetector::observe(double x)
+{
+    if (!cfg_.enabled)
+        return false;
+    if (haveEwma_) {
+        ewma_ += cfg_.ewmaAlpha * (x - ewma_);
+    } else {
+        ewma_ = x;
+        haveEwma_ = true;
+    }
+    const bool trip_now = ph_.observe(x);
+    ewmaGauge_->set(ewma_);
+    phGauge_->set(ph_.statistic());
+    if (trip_now)
+        metrics::counter("drift.trips").add();
+    if (eventlog::enabled()) {
+        // Tag with "<layer>/<signal>" when a layer scope is active so
+        // the timeline localizes the drifting layer, else just the
+        // signal name.
+        uint16_t tag = tag_;
+        const uint16_t cur = eventlog::currentTag();
+        if (cur != 0)
+            tag = eventlog::intern(eventlog::tagName(cur) + "/" + signal_);
+        eventlog::record(eventlog::Type::Drift, tag, x, ewma_,
+                         ph_.statistic(), trip_now ? 1 : 0);
+    }
+    return trip_now;
+}
+
+void
+DriftDetector::reset()
+{
+    ph_.reset();
+    ewma_ = 0.0;
+    haveEwma_ = false;
+}
+
+} // namespace genreuse

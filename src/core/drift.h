@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Accuracy-drift telemetry for the runtime guard (paper §5.3.6,
+ * Table 4): the OOD experiment shows that when the input distribution
+ * shifts, the per-forward reconstruction error and the realized
+ * cluster count move *before* accuracy collapses. This module watches
+ * those trajectories online with two classic, allocation-free
+ * detectors:
+ *
+ *  - an EWMA that smooths the raw per-forward signal, and
+ *  - a one-sided Page–Hinkley test that trips on a sustained upward
+ *    shift of the mean: with running mean x̄_t and tolerance δ,
+ *
+ *        m_T = Σ_{t≤T} (x_t − x̄_t − δ),   M_T = min_{t≤T} m_t,
+ *        trip  ⇔  m_T − M_T > λ.
+ *
+ *    δ absorbs in-distribution jitter; λ is the cumulative evidence
+ *    required, so a single outlier cannot trip it but a persistent
+ *    shift must.
+ *
+ * DriftDetector wraps both for one named signal, mirrors the state
+ * into metrics gauges ("drift.<signal>.ewma", "drift.<signal>.ph"),
+ * counts trips ("drift.trips"), and journals every observation as an
+ * eventlog Drift event tagged with the enclosing layer. The guard
+ * (src/core/guard.h) feeds it the error/budget ratio and the cluster
+ * ratio each guarded forward, and boosts its verification sampling
+ * rate while a detector is tripped — catching a drifting stream with
+ * more evidence *before* the error budget is blown.
+ */
+
+#ifndef GENREUSE_CORE_DRIFT_H
+#define GENREUSE_CORE_DRIFT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace genreuse {
+
+namespace metrics {
+class Gauge;
+} // namespace metrics
+
+/** Tuning for the Page–Hinkley change detector. */
+struct PageHinkleyConfig
+{
+    /** Tolerated per-observation deviation above the running mean;
+     *  in-distribution jitter below δ accumulates no evidence. */
+    double delta = 0.05;
+
+    /** Cumulative evidence threshold: trip when m_T − min m exceeds
+     *  λ. Larger λ = slower but surer detection. */
+    double lambda = 0.5;
+
+    /** Observations before the test may trip (the running mean needs
+     *  a few samples to settle). */
+    size_t warmup = 8;
+};
+
+/**
+ * One-sided Page–Hinkley test for an upward mean shift. Latched: once
+ * tripped it stays tripped until reset(), because the guard's
+ * response (boosted verification) should persist while the stream is
+ * suspect, not flicker per observation.
+ */
+class PageHinkley
+{
+  public:
+    explicit PageHinkley(PageHinkleyConfig cfg = {}) : cfg_(cfg) {}
+
+    /** Feed one observation; true exactly when this one trips. */
+    bool observe(double x);
+
+    bool tripped() const { return tripped_; }
+
+    /** Current evidence m_T − min m (what trips against λ). */
+    double statistic() const { return mT_ - minMT_; }
+
+    /** Running mean x̄_t (0 before any observation). */
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+
+    size_t count() const { return n_; }
+
+    void reset();
+
+    const PageHinkleyConfig &config() const { return cfg_; }
+
+  private:
+    PageHinkleyConfig cfg_;
+    size_t n_ = 0;
+    double sum_ = 0.0;
+    double mT_ = 0.0;
+    double minMT_ = 0.0;
+    bool tripped_ = false;
+};
+
+/** Tuning for one drift-watched signal. */
+struct DriftConfig
+{
+    /** Master switch; a disabled detector observes nothing. */
+    bool enabled = true;
+
+    /** EWMA smoothing factor in (0, 1]; 1 = no smoothing. */
+    double ewmaAlpha = 0.2;
+
+    PageHinkleyConfig ph;
+};
+
+/**
+ * EWMA + Page–Hinkley over one named scalar signal, wired into the
+ * metrics registry and the event journal. Not thread-safe: each
+ * guarded algorithm owns its detectors, and forwards through one
+ * algorithm are already externally serialized.
+ */
+class DriftDetector
+{
+  public:
+    DriftDetector(std::string signal, DriftConfig cfg = {});
+
+    /**
+     * Feed one per-forward observation: updates the EWMA and the PH
+     * test, mirrors both into gauges, journals a Drift event. Returns
+     * true exactly when this observation trips the detector. No-op
+     * (false) when disabled.
+     */
+    bool observe(double x);
+
+    /** Latched trip state (sticks until reset()). */
+    bool drifted() const { return ph_.tripped(); }
+
+    /** Smoothed signal (0 before any observation). */
+    double ewma() const { return ewma_; }
+
+    /** Current PH evidence. */
+    double statistic() const { return ph_.statistic(); }
+
+    size_t observations() const { return ph_.count(); }
+
+    /** Clear EWMA + PH state (config and registration kept). */
+    void reset();
+
+    const std::string &signal() const { return signal_; }
+    const DriftConfig &config() const { return cfg_; }
+
+  private:
+    std::string signal_;
+    DriftConfig cfg_;
+    PageHinkley ph_;
+    double ewma_ = 0.0;
+    bool haveEwma_ = false;
+    uint16_t tag_ = 0;          //!< interned signal name for events
+    metrics::Gauge *ewmaGauge_; //!< pre-resolved registry handles
+    metrics::Gauge *phGauge_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_CORE_DRIFT_H

@@ -1,5 +1,6 @@
 #include "fc_reuse.h"
 
+#include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
 #include "guard.h"
@@ -127,6 +128,12 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
         }
     }
 
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::KernelReuse, 0,
+                         local.redundancyRatio(),
+                         static_cast<double>(local.totalVectors), 0.0,
+                         static_cast<uint32_t>(local.totalCentroids),
+                         /*a8=*/2);
     if (stats)
         *stats += local;
     return y;

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "accuracy_model.h"
+#include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/json.h"
 #include "common/logging.h"
@@ -52,6 +53,16 @@ recordForward(GuardRung rung, double measured, double budget)
     static metrics::Gauge &worst =
         metrics::gauge("guard.worst_margin");
     forwards.add();
+    // Journal the decision before taking g_mu (the recorder is
+    // lock-free; no reason to serialize it), tagged with the enclosing
+    // layer scope so postmortems name the offending layer. A downgrade
+    // to the exact rung is one of the black-box triggers: by the time
+    // the guard gives up on reuse, the journal holds the lead-up.
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::GuardRung, 0, measured, budget,
+                         0.0, 0, static_cast<uint8_t>(rung));
+    if (rung == GuardRung::ExactFallback)
+        eventlog::dumpPostmortem("guard_exact_downgrade");
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.forwards++;
     switch (rung) {
@@ -117,8 +128,19 @@ void
 noteDeployDowngrade()
 {
     metrics::counter("guard.deploy_downgrades").add();
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::GuardRung, 0, 0.0, 0.0, 0.0,
+                         /*u32=deploy-time*/ 1,
+                         static_cast<uint8_t>(GuardRung::ExactFallback));
     std::lock_guard<std::mutex> lock(g_mu);
     g_stats.deployDowngrades++;
+}
+
+void
+noteDriftTrip()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.driftTrips++;
 }
 
 GuardStats
@@ -151,6 +173,7 @@ toJson()
     w.key("statusErrors").value(s.statusErrors);
     w.key("kernelFallbacks").value(s.kernelFallbacks);
     w.key("deployDowngrades").value(s.deployDowngrades);
+    w.key("driftTrips").value(s.driftTrips);
     w.key("lastMeasuredError").value(s.lastMeasuredError);
     w.key("lastErrorBudget").value(s.lastErrorBudget);
     w.key("worstMargin").value(s.worstMargin);
@@ -204,8 +227,52 @@ GuardedReuseConvAlgo::GuardedReuseConvAlgo(ReusePattern pattern,
                                            HashMode mode, uint64_t seed)
     : inner_(std::make_unique<ReuseConvAlgo>(std::move(pattern), mode,
                                              seed)),
-      config_(config)
+      config_(config), errDrift_("error_ratio", config.drift),
+      clusterDrift_("cluster_ratio", config.clusterDrift)
 {
+}
+
+bool
+GuardedReuseConvAlgo::drifted() const
+{
+    return errDrift_.drifted() || clusterDrift_.drifted();
+}
+
+size_t
+GuardedReuseConvAlgo::verifyRows() const
+{
+    size_t rows = config_.sampleRows == 0 ? size_t{1} : config_.sampleRows;
+    if (config_.drift.enabled && drifted()) {
+        rows *= std::max<size_t>(1, config_.driftSampleBoost);
+        if (config_.maxSampleRows > 0)
+            rows = std::min(rows, config_.maxSampleRows);
+    }
+    return rows;
+}
+
+void
+GuardedReuseConvAlgo::observeDrift(double measured, double budget)
+{
+    if (!config_.drift.enabled)
+        return;
+    // Error signal: the fraction of budget the measurement consumed.
+    // In distribution it hovers well below 1 (the margin factor keeps
+    // the budget loose); a sustained climb means the fitted clusters
+    // no longer represent the stream.
+    if (budget > 0.0) {
+        if (errDrift_.observe(measured / budget))
+            guard::noteDriftTrip();
+    }
+    // Structure signal: the realized centroid fraction n_c/n
+    // (1 − r_t). OOD inputs scatter into more, smaller clusters, so
+    // this rises even while the error budget still holds.
+    const ReuseStats &st = inner_->lastStats();
+    if (st.totalVectors > 0) {
+        if (clusterDrift_.observe(1.0 - st.redundancyRatio()))
+            guard::noteDriftTrip();
+    }
+    metrics::gauge("guard.verify_rows")
+        .set(static_cast<double>(verifyRows()));
 }
 
 void
@@ -266,10 +333,10 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
     if (n == 0)
         return 0.0;
 
-    const size_t rows = std::min(config_.sampleRows == 0
-                                     ? size_t{1}
-                                     : config_.sampleRows,
-                                 n);
+    // Row count comes from verifyRows(): the configured sampleRows,
+    // boosted while a drift detector is tripped — a suspect stream is
+    // verified with more evidence per forward.
+    const size_t rows = std::min(verifyRows(), n);
     const size_t stride = n / rows;
 
     std::vector<float> exact_row(m);
@@ -342,6 +409,10 @@ GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
 
     const double budget = errorBudget(w, geom, xin.shape().rows());
     double measured = measureError(xin, w, *y, ledger);
+    // Drift watches the *first* attempt's measurement: it reflects the
+    // stream against the original fit, before any re-cluster muddies
+    // the signal. The boost it may raise applies from the next forward.
+    observeDrift(measured, budget);
     if (measured <= budget) {
         lastRung_ = GuardRung::FullReuse;
         guard::recordForward(lastRung_, measured, budget);

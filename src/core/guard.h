@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "drift.h"
 #include "mcu/memory_model.h"
 #include "reuse_conv.h"
 
@@ -69,6 +70,32 @@ struct GuardConfig
 
     /** When false the guard is pass-through: one branch per forward. */
     bool enabled = true;
+
+    /**
+     * Drift telemetry (src/core/drift.h): EWMA + Page–Hinkley over the
+     * per-forward error/budget ratio ("error_ratio"). It rises when
+     * the input distribution leaves the fitted one, well before the
+     * error budget itself is blown. drift.enabled turns *both*
+     * watchers off (it is the master switch for observeDrift()).
+     */
+    DriftConfig drift;
+
+    /**
+     * Separate tuning for the structural watcher over the realized
+     * centroid fraction n_c/n ("cluster_ratio"). Cluster counts jitter
+     * far more per forward than the error ratio does, so the two
+     * signals need independent delta/lambda; defaults are the stock
+     * DriftConfig (coarser than a tuned error watcher).
+     */
+    DriftConfig clusterDrift;
+
+    /** Verification-row multiplier applied while a drift detector is
+     *  tripped: sustained drift buys more evidence per forward
+     *  *before* the budget trips, instead of after. */
+    size_t driftSampleBoost = 4;
+
+    /** Cap on boosted verification rows (0 = uncapped). */
+    size_t maxSampleRows = 64;
 };
 
 /** Counters of every guard decision since the last reset. */
@@ -84,6 +111,7 @@ struct GuardStats
     uint64_t kernelFallbacks = 0;  //!< per-panel exact fallbacks inside
                                    //!< reuse kernels (corrupt tables)
     uint64_t deployDowngrades = 0; //!< deploy-time memory downgrades
+    uint64_t driftTrips = 0;       //!< drift-detector trips (either signal)
 
     double lastMeasuredError = 0.0; //!< est. total sq. Frobenius error
     double lastErrorBudget = 0.0;   //!< budget it was compared against
@@ -115,6 +143,9 @@ void noteKernelFallback(const char *kernel);
 
 /** Record a deploy-time downgrade to the exact strategy. */
 void noteDeployDowngrade();
+
+/** Record a drift-detector trip (counts toward GuardStats). */
+void noteDriftTrip();
 
 /** Copy of the process-wide counters. */
 GuardStats snapshot();
@@ -175,15 +206,33 @@ class GuardedReuseConvAlgo : public ConvAlgo
 
     const GuardConfig &config() const { return config_; }
 
+    /** Drift watcher over the per-forward error/budget ratio. */
+    DriftDetector &errorDrift() { return errDrift_; }
+    const DriftDetector &errorDrift() const { return errDrift_; }
+
+    /** Drift watcher over the realized centroid fraction n_c/n. */
+    DriftDetector &clusterDrift() { return clusterDrift_; }
+    const DriftDetector &clusterDrift() const { return clusterDrift_; }
+
+    /** True while either drift detector is tripped. */
+    bool drifted() const;
+
+    /** Rows the next measureError() will verify — sampleRows, boosted
+     *  by driftSampleBoost (capped at maxSampleRows) while drifted. */
+    size_t verifyRows() const;
+
   private:
     double errorBudget(const Tensor &w, const ConvGeometry &geom,
                        size_t runtime_rows);
     double measureError(const Tensor &x, const Tensor &w,
                         const Tensor &y, CostLedger *ledger) const;
+    void observeDrift(double measured, double budget);
 
     std::unique_ptr<ReuseConvAlgo> inner_;
     ExactConvAlgo exact_;
     GuardConfig config_;
+    DriftDetector errDrift_;
+    DriftDetector clusterDrift_;
 
     Tensor fitSample_;      //!< profiling subsample, default layout
     ConvGeometry fitGeom_{};

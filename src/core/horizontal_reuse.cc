@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
 #include "guard.h"
@@ -130,6 +131,12 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
         reportOps(ledger, Stage::Gemm, band_mm);
     }
 
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::KernelReuse, 0,
+                         local.redundancyRatio(),
+                         static_cast<double>(local.totalVectors), 0.0,
+                         static_cast<uint32_t>(local.totalCentroids),
+                         /*a8=*/1);
     if (stats)
         *stats += local;
     return y;

@@ -1,5 +1,6 @@
 #include "reuse_conv.h"
 
+#include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
 
@@ -189,6 +190,15 @@ ReuseConvAlgo::reuseCore(const Tensor &xr, const Tensor &wr,
         rc.elemMoves = yr.size();
         reportOps(ledger, Stage::Recovering, rc);
     }
+    // One aggregated reuse event per layer forward, on top of the
+    // per-kernel events: this is the granularity drift analysis and
+    // the inspector's timeline work at.
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::LayerReuse, 0,
+                         lastStats_.redundancyRatio(),
+                         static_cast<double>(lastStats_.totalVectors),
+                         0.0,
+                         static_cast<uint32_t>(lastStats_.totalCentroids));
     return yr;
 }
 

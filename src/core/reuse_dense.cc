@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/logging.h"
 #include "common/profiler.h"
@@ -64,6 +65,7 @@ ReuseDense::forward(const Tensor &x, bool training)
 
     trace::TraceScope tscope(name());
     profiler::ProfSpan pspan("dense.reuse");
+    eventlog::LayerScope escope(name());
     // Flatten per sample (same convention as Dense).
     const size_t n = x.shape().dim(0);
     Tensor flat = x.reshaped({n, x.size() / n});
@@ -93,9 +95,16 @@ ReuseDense::forward(const Tensor &x, bool training)
 
     lastRung_ = GuardRung::FullReuse;
     lastStats_ = ReuseStats{};
-    return fcReuseForward(flat, dense_.weight().value,
-                          dense_.bias().value, segmentLen_, *family_,
-                          ledger_, &lastStats_);
+    Tensor y = fcReuseForward(flat, dense_.weight().value,
+                              dense_.bias().value, segmentLen_, *family_,
+                              ledger_, &lastStats_);
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::LayerReuse, 0,
+                         lastStats_.redundancyRatio(),
+                         static_cast<double>(lastStats_.totalVectors),
+                         0.0,
+                         static_cast<uint32_t>(lastStats_.totalCentroids));
+    return y;
 }
 
 Tensor

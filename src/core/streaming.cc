@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/eventlog.h"
 #include "common/logging.h"
 #include "reorder.h"
 #include "tensor/gemm.h"
@@ -208,6 +209,12 @@ streamingReuseConv(const Tensor &input, const Tensor &kernel,
                                (permute ? 2 : 1) + // row buffers
                            max_slice_bytes +
                            slicing.numSlices * n * sizeof(uint32_t);
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::Streaming, 0,
+                         stats.redundancyRatio(),
+                         static_cast<double>(stats.totalVectors),
+                         static_cast<double>(out.peakScratchBytes),
+                         static_cast<uint32_t>(stats.totalCentroids));
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
 #include "guard.h"
@@ -193,6 +194,12 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
         reportOps(ledger, Stage::Recovering, rc);
     }
 
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::KernelReuse, 0,
+                         local.redundancyRatio(),
+                         static_cast<double>(local.totalVectors), 0.0,
+                         static_cast<uint32_t>(local.totalCentroids),
+                         /*a8=*/0);
     if (stats)
         *stats += local;
     return y;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -231,6 +232,11 @@ clusterSignatures(const StridedItems &items,
     items_seen.add(result.numItems());
     clusters_made.add(result.numClusters());
     redundancy.set(result.redundancyRatio());
+    if (eventlog::enabled())
+        eventlog::record(eventlog::Type::Cluster, 0,
+                         result.redundancyRatio(),
+                         static_cast<double>(result.numItems()), 0.0,
+                         static_cast<uint32_t>(result.numClusters()));
     return result;
 }
 

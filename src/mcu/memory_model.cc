@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/metrics.h"
 
@@ -82,9 +83,16 @@ MemoryEstimate::diagnose(const McuSpec &spec) const
     }
     r.sramPeakLayer = sramPeakLayer();
     // High-water mark of every estimate this process diagnosed — the
-    // SRAM pressure gauge for timelines and BENCH metrics.
-    metrics::gauge("mcu.sram_high_water_bytes")
-        .setMax(static_cast<double>(r.sramRequired));
+    // SRAM pressure gauge for timelines and BENCH metrics. Journal an
+    // event only when the mark actually moves up, so the flight
+    // recorder sees the staircase rather than every re-diagnose.
+    static metrics::Gauge &hw = metrics::gauge("mcu.sram_high_water_bytes");
+    const double required = static_cast<double>(r.sramRequired);
+    if (eventlog::enabled() && required > hw.get())
+        eventlog::record(eventlog::Type::SramHighWater,
+                         eventlog::intern(r.sramPeakLayer), required,
+                         static_cast<double>(r.sramCapacity));
+    hw.setMax(required);
     return r;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
 #include "tensor/gemm.h"
@@ -71,6 +72,10 @@ Conv2D::forward(const Tensor &x, bool training)
 {
     trace::TraceScope tscope(name());
     profiler::ProfSpan pspan("conv.forward");
+    // Unlike TraceScope this is active whenever the journal is on, so
+    // guard/fault/reuse events inside the multiply carry the layer
+    // name into postmortem dumps.
+    eventlog::LayerScope escope(name());
     ConvGeometry geom = geometry(x.shape());
     Tensor cols = [&] {
         profiler::ProfSpan span("conv.im2col");

@@ -1,5 +1,6 @@
 #include "network.h"
 
+#include "common/eventlog.h"
 #include "common/logging.h"
 
 namespace genreuse {
@@ -15,9 +16,15 @@ Network::add(std::unique_ptr<Layer> layer)
 Tensor
 Network::forward(const Tensor &x, bool training)
 {
+    // Forward begin/end bracket every per-layer event in the journal,
+    // so one inference is one delimited episode in a postmortem dump.
+    eventlog::record(eventlog::Type::ForwardBegin, 0, 0.0, 0.0, 0.0,
+                     static_cast<uint32_t>(x.shape().dim(0)));
     Tensor cur = x;
     for (auto &l : layers_)
         cur = l->forward(cur, training);
+    eventlog::record(eventlog::Type::ForwardEnd, 0, 0.0, 0.0, 0.0,
+                     static_cast<uint32_t>(cur.shape().dim(0)));
     return cur;
 }
 

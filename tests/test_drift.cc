@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the accuracy-drift telemetry (src/core/drift): the
+ * Page–Hinkley test staying quiet on seeded in-distribution noise yet
+ * tripping on a sustained synthetic mean shift, the EWMA smoother, the
+ * DriftDetector's metrics/eventlog wiring, and the guard boosting its
+ * verification sampling while a detector is tripped.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/eventlog.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/drift.h"
+#include "core/guard.h"
+#include "core/reuse_conv.h"
+#include "data/synthetic.h"
+#include "models/models.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+/** Every test starts and ends with zeroed telemetry state. */
+struct DriftSandbox
+{
+    DriftSandbox()
+    {
+        metrics::reset();
+        guard::reset();
+        eventlog::setEnabled(false);
+        eventlog::reset();
+    }
+    ~DriftSandbox()
+    {
+        metrics::reset();
+        guard::reset();
+        eventlog::setEnabled(false);
+        eventlog::reset();
+    }
+};
+
+double
+metricValue(const std::string &name)
+{
+    for (const metrics::Sample &s : metrics::snapshot())
+        if (s.name == name)
+            return s.value;
+    return -1.0;
+}
+
+/** Deterministic jitter in [-1, 1] (no <random> dependency drift). */
+double
+jitter(Rng &rng)
+{
+    return 2.0 * static_cast<double>(rng.uniform()) - 1.0;
+}
+
+TEST(PageHinkley, StaysQuietInDistribution)
+{
+    // Seeded noise around a flat mean, inside the delta tolerance:
+    // the test must never accumulate enough evidence to trip.
+    PageHinkleyConfig cfg;
+    cfg.delta = 0.05;
+    cfg.lambda = 0.5;
+    PageHinkley ph(cfg);
+    Rng rng(1234);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_FALSE(ph.observe(0.3 + 0.02 * jitter(rng)));
+    EXPECT_FALSE(ph.tripped());
+    EXPECT_EQ(ph.count(), 500u);
+    EXPECT_NEAR(ph.mean(), 0.3, 0.01);
+    EXPECT_LT(ph.statistic(), cfg.lambda);
+}
+
+TEST(PageHinkley, TripsOnSustainedMeanShift)
+{
+    PageHinkleyConfig cfg;
+    cfg.delta = 0.05;
+    cfg.lambda = 0.5;
+    PageHinkley ph(cfg);
+    Rng rng(77);
+    // 50 in-distribution observations, then the mean jumps 0.1 -> 0.6.
+    for (int i = 0; i < 50; ++i)
+        ASSERT_FALSE(ph.observe(0.1 + 0.02 * jitter(rng)));
+    bool tripped_now = false;
+    size_t trip_at = 0;
+    for (size_t i = 0; i < 50 && !tripped_now; ++i) {
+        tripped_now = ph.observe(0.6 + 0.02 * jitter(rng));
+        trip_at = i;
+    }
+    EXPECT_TRUE(tripped_now);
+    EXPECT_TRUE(ph.tripped());
+    // Detection is prompt: a +0.5 shift against lambda=0.5 needs only
+    // a handful of shifted observations.
+    EXPECT_LT(trip_at, 10u);
+    // Latched: observe() never reports a trip twice.
+    EXPECT_FALSE(ph.observe(0.6));
+    EXPECT_TRUE(ph.tripped());
+}
+
+TEST(PageHinkley, SingleOutlierIsAbsorbed)
+{
+    PageHinkleyConfig cfg;
+    cfg.delta = 0.05;
+    cfg.lambda = 1.0;
+    PageHinkley ph(cfg);
+    for (int i = 0; i < 100; ++i)
+        ph.observe(0.1);
+    // One wild spike after a long quiet stream must not trip a test
+    // that demands *cumulative* evidence...
+    EXPECT_FALSE(ph.observe(0.9));
+    for (int i = 0; i < 100; ++i)
+        ph.observe(0.1);
+    EXPECT_FALSE(ph.tripped());
+}
+
+TEST(PageHinkley, WarmupSuppressesEarlyTrips)
+{
+    PageHinkleyConfig cfg;
+    cfg.warmup = 8;
+    cfg.lambda = 0.01; // hair trigger, only warmup protects us
+    PageHinkley ph(cfg);
+    ph.observe(0.0);
+    // Observations 2..warmup-1 stay below the warmup count and must
+    // never trip; the warmup-th observation is the first that may.
+    for (size_t i = 2; i < cfg.warmup; ++i)
+        EXPECT_FALSE(ph.observe(5.0)) << "tripped during warmup at " << i;
+    EXPECT_FALSE(ph.tripped());
+    EXPECT_TRUE(ph.observe(5.0)); // n == warmup: the latch is live now
+}
+
+TEST(PageHinkley, ResetClearsStateAndLatch)
+{
+    PageHinkley ph({0.0, 0.1, 1});
+    for (int i = 0; i < 10; ++i)
+        ph.observe(static_cast<double>(i));
+    ASSERT_TRUE(ph.tripped());
+    ph.reset();
+    EXPECT_FALSE(ph.tripped());
+    EXPECT_EQ(ph.count(), 0u);
+    EXPECT_DOUBLE_EQ(ph.statistic(), 0.0);
+    EXPECT_DOUBLE_EQ(ph.mean(), 0.0);
+}
+
+TEST(Drift, EwmaTracksTheSignal)
+{
+    DriftSandbox sandbox;
+    DriftConfig cfg;
+    cfg.ewmaAlpha = 0.5;
+    DriftDetector det("ewma_test", cfg);
+    det.observe(1.0);
+    EXPECT_DOUBLE_EQ(det.ewma(), 1.0); // first observation seeds it
+    det.observe(3.0);
+    EXPECT_DOUBLE_EQ(det.ewma(), 2.0); // 0.5*3 + 0.5*1
+    det.observe(3.0);
+    EXPECT_DOUBLE_EQ(det.ewma(), 2.5);
+    EXPECT_EQ(det.observations(), 3u);
+}
+
+TEST(Drift, DetectorMirrorsIntoMetricsAndJournal)
+{
+    DriftSandbox sandbox;
+    eventlog::setEnabled(true);
+    DriftConfig cfg;
+    cfg.ph.delta = 0.0;
+    cfg.ph.lambda = 0.1;
+    cfg.ph.warmup = 2;
+    DriftDetector det("unit_sig", cfg);
+    det.observe(0.0);
+    det.observe(0.0);
+    bool tripped = false;
+    for (int i = 0; i < 20 && !tripped; ++i)
+        tripped = det.observe(1.0);
+    ASSERT_TRUE(tripped);
+    EXPECT_TRUE(det.drifted());
+
+    EXPECT_DOUBLE_EQ(metricValue("drift.unit_sig.ewma"), det.ewma());
+    EXPECT_DOUBLE_EQ(metricValue("drift.unit_sig.ph"), det.statistic());
+    EXPECT_EQ(metricValue("drift.trips"), 1.0);
+
+    // Every observation journaled; the tripping one carries u32 = 1.
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), det.observations());
+    size_t trips = 0;
+    for (const auto &e : events) {
+        EXPECT_EQ(e.type, eventlog::Type::Drift);
+        EXPECT_EQ(eventlog::tagName(e.tag), "unit_sig");
+        trips += e.u32;
+    }
+    EXPECT_EQ(trips, 1u);
+    EXPECT_DOUBLE_EQ(events.back().d1, det.ewma());
+}
+
+TEST(Drift, LayerScopePrefixesTheJournalTag)
+{
+    DriftSandbox sandbox;
+    eventlog::setEnabled(true);
+    DriftDetector det("sig", {});
+    {
+        eventlog::LayerScope scope("conv7");
+        det.observe(0.5);
+    }
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(eventlog::tagName(events[0].tag), "conv7/sig");
+}
+
+TEST(Drift, DisabledDetectorObservesNothing)
+{
+    DriftSandbox sandbox;
+    eventlog::setEnabled(true);
+    DriftConfig cfg;
+    cfg.enabled = false;
+    cfg.ph.lambda = 0.0; // would trip instantly if it ran
+    DriftDetector det("off_sig", cfg);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(det.observe(100.0));
+    EXPECT_FALSE(det.drifted());
+    EXPECT_EQ(det.observations(), 0u);
+    EXPECT_TRUE(eventlog::snapshot().empty());
+}
+
+TEST(Drift, DetectorResetClearsLatchAndSmoother)
+{
+    DriftSandbox sandbox;
+    DriftConfig cfg;
+    cfg.ph.delta = 0.0;
+    cfg.ph.lambda = 0.1;
+    cfg.ph.warmup = 1;
+    DriftDetector det("reset_sig", cfg);
+    det.observe(0.0);
+    for (int i = 0; i < 20 && !det.drifted(); ++i)
+        det.observe(1.0);
+    ASSERT_TRUE(det.drifted());
+    det.reset();
+    EXPECT_FALSE(det.drifted());
+    EXPECT_EQ(det.observations(), 0u);
+    det.observe(4.0);
+    EXPECT_DOUBLE_EQ(det.ewma(), 4.0); // smoother reseeded, not blended
+}
+
+TEST(Drift, GuardBoostsVerificationRowsWhileDrifted)
+{
+    DriftSandbox sandbox;
+    // A guarded algo with sampleRows=8 and boost x4 capped at 24.
+    ConvGeometry geom{};
+    geom.batch = 1;
+    geom.inChannels = 3;
+    geom.inHeight = 8;
+    geom.inWidth = 8;
+    geom.outChannels = 4;
+    geom.kernelH = 3;
+    geom.kernelW = 3;
+    geom.stride = 1;
+    geom.pad = 1;
+    GuardConfig cfg;
+    cfg.sampleRows = 8;
+    cfg.driftSampleBoost = 4;
+    cfg.maxSampleRows = 24;
+    cfg.drift.ph.delta = 0.0;
+    cfg.drift.ph.lambda = 0.1;
+    cfg.drift.ph.warmup = 2;
+    GuardedReuseConvAlgo algo(ReusePattern::conventional(geom, 4), cfg,
+                              HashMode::Learned, 1);
+
+    EXPECT_FALSE(algo.drifted());
+    EXPECT_EQ(algo.verifyRows(), cfg.sampleRows);
+
+    // Feed the error-ratio watcher a sustained upward shift, the way
+    // observeDrift() would on a drifting stream.
+    algo.errorDrift().observe(0.05);
+    algo.errorDrift().observe(0.05);
+    for (int i = 0; i < 20 && !algo.drifted(); ++i)
+        algo.errorDrift().observe(0.9);
+    ASSERT_TRUE(algo.drifted());
+    // Boost is 8 x 4 = 32, capped at maxSampleRows = 24.
+    EXPECT_EQ(algo.verifyRows(), 24u);
+
+    algo.errorDrift().reset();
+    EXPECT_FALSE(algo.drifted());
+    EXPECT_EQ(algo.verifyRows(), cfg.sampleRows);
+}
+
+TEST(Drift, GuardedForwardFeedsTheDetectors)
+{
+    DriftSandbox sandbox;
+    // End to end: guarded multiplies must feed both watchers one
+    // observation per forward.
+    Rng rng{42};
+    Conv2D conv{"conv", 3, 8, 5, 1, 2, rng};
+    SyntheticConfig scfg;
+    scfg.numSamples = 4;
+    scfg.noiseStddev = 0.0f;
+    scfg.redundancy = 0.9f;
+    Dataset data = makeSyntheticCifar(scfg);
+    Tensor x = data.gatherImages({0, 1});
+    conv.forward(x, false);
+    Tensor sample = conv.lastIm2col();
+    ConvGeometry geom = conv.lastGeometry();
+    Tensor w = conv.weightMatrix();
+
+    GuardConfig cfg;
+    cfg.marginFactor = 1e9; // stay on rung 0; drift still observes
+    GuardedReuseConvAlgo algo(ReusePattern::conventional(geom, 8), cfg,
+                              HashMode::Learned, 1);
+    algo.fit(sample, geom);
+    algo.multiply(sample, w, geom, nullptr);
+    algo.multiply(sample, w, geom, nullptr);
+    EXPECT_EQ(algo.errorDrift().observations(), 2u);
+    EXPECT_EQ(algo.clusterDrift().observations(), 2u);
+    // An in-distribution stream must not trip anything.
+    EXPECT_FALSE(algo.drifted());
+    EXPECT_EQ(guard::snapshot().driftTrips, 0u);
+    EXPECT_GE(metricValue("guard.verify_rows"), 0.0);
+}
+
+} // namespace
+} // namespace genreuse

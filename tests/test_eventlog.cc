@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the flight recorder (src/common/eventlog): gate-off
+ * zero-cost, ring wraparound with overwrite accounting, tag interning
+ * and layer scopes, seqlock-consistent concurrent recording, the
+ * genreuse.events/1 JSON export, and the black-box postmortem dump
+ * fired by panic-adjacent triggers — including every registered
+ * GENREUSE_FAULT point.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/eventlog.h"
+#include "common/faultpoint.h"
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace genreuse {
+namespace {
+
+/** RAII guard: every test leaves the journal off, empty and disarmed. */
+struct EventlogSandbox
+{
+    EventlogSandbox()
+    {
+        eventlog::setEnabled(false);
+        eventlog::setBlackboxPath("");
+        eventlog::reset();
+    }
+    ~EventlogSandbox()
+    {
+        eventlog::setEnabled(false);
+        eventlog::setBlackboxPath("");
+        eventlog::reset();
+        faultpoint::disarm();
+    }
+};
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return testing::TempDir() + leaf;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return {};
+    std::string out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+TEST(Eventlog, DisabledByDefaultRecordsNothing)
+{
+    EventlogSandbox sandbox;
+    EXPECT_FALSE(eventlog::enabled());
+    eventlog::record(eventlog::Type::ForwardBegin, 0, 0.0, 0.0, 0.0, 4);
+    EXPECT_EQ(eventlog::recorded(), 0u);
+    EXPECT_TRUE(eventlog::snapshot().empty());
+}
+
+TEST(Eventlog, RecordPreservesPayloadAndOrder)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    eventlog::record(eventlog::Type::ForwardBegin, 0, 0.0, 0.0, 0.0, 16);
+    eventlog::record(eventlog::Type::LayerReuse,
+                     eventlog::intern("conv1"), 0.75, 128.0, 0.0, 32);
+    eventlog::record(eventlog::Type::GuardRung, 0, 1.5, 2.0, 0.0, 0,
+                     /*rung=*/2);
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].type, eventlog::Type::ForwardBegin);
+    EXPECT_EQ(events[0].u32, 16u);
+    EXPECT_EQ(events[1].type, eventlog::Type::LayerReuse);
+    EXPECT_EQ(eventlog::tagName(events[1].tag), "conv1");
+    EXPECT_DOUBLE_EQ(events[1].d0, 0.75);
+    EXPECT_DOUBLE_EQ(events[1].d1, 128.0);
+    EXPECT_EQ(events[2].a8, 2u);
+    EXPECT_LT(events[0].seq, events[1].seq);
+    EXPECT_LT(events[1].seq, events[2].seq);
+    EXPECT_LE(events[0].tsNs, events[2].tsNs);
+    EXPECT_EQ(eventlog::recorded(), 3u);
+    EXPECT_EQ(eventlog::overwritten(), 0u);
+}
+
+TEST(Eventlog, RingWrapsKeepingTheNewestEvents)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    const uint64_t extra = 100;
+    const uint64_t total = eventlog::kCapacity + extra;
+    for (uint64_t i = 0; i < total; ++i)
+        eventlog::record(eventlog::Type::Cluster, 0,
+                         static_cast<double>(i));
+    EXPECT_EQ(eventlog::recorded(), total);
+    EXPECT_EQ(eventlog::overwritten(), extra);
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), eventlog::kCapacity);
+    // The survivors are exactly the newest kCapacity events, in order.
+    EXPECT_EQ(events.front().seq, extra);
+    EXPECT_EQ(events.back().seq, total - 1);
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_DOUBLE_EQ(events.front().d0, static_cast<double>(extra));
+}
+
+TEST(Eventlog, InternIsStableAndCapped)
+{
+    EventlogSandbox sandbox;
+    const uint16_t a = eventlog::intern("layer-a");
+    EXPECT_EQ(eventlog::intern("layer-a"), a);
+    EXPECT_EQ(eventlog::tagName(a), "layer-a");
+    EXPECT_EQ(eventlog::intern(""), 0u);
+    EXPECT_EQ(eventlog::tagName(0), "");
+    // Unknown ids resolve to empty, never crash.
+    EXPECT_EQ(eventlog::tagName(65535), "");
+}
+
+TEST(Eventlog, LayerScopeTagsAndNests)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    EXPECT_EQ(eventlog::currentTag(), 0u);
+    {
+        eventlog::LayerScope outer("outer-layer");
+        eventlog::record(eventlog::Type::Cluster);
+        {
+            eventlog::LayerScope inner("inner-layer");
+            eventlog::record(eventlog::Type::Cluster);
+        }
+        eventlog::record(eventlog::Type::Cluster);
+    }
+    EXPECT_EQ(eventlog::currentTag(), 0u);
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(eventlog::tagName(events[0].tag), "outer-layer");
+    EXPECT_EQ(eventlog::tagName(events[1].tag), "inner-layer");
+    EXPECT_EQ(eventlog::tagName(events[2].tag), "outer-layer");
+}
+
+TEST(Eventlog, ConcurrentRecordersStayConsistent)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 10000; // kThreads * kIters >> kCapacity
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kIters; ++i)
+                eventlog::record(eventlog::Type::KernelReuse, 0,
+                                 static_cast<double>(i), 0.0, 0.0,
+                                 static_cast<uint32_t>(t));
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(eventlog::recorded(),
+              static_cast<uint64_t>(kThreads) * kIters);
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), eventlog::kCapacity);
+    // Every surviving event is fully written (type is never torn) and
+    // sequence numbers are unique and ascending.
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].type, eventlog::Type::KernelReuse);
+        EXPECT_LT(events[i].u32, static_cast<uint32_t>(kThreads));
+        if (i > 0) {
+            EXPECT_GT(events[i].seq, events[i - 1].seq);
+        }
+    }
+}
+
+TEST(Eventlog, JsonExportMatchesSchema)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    eventlog::record(eventlog::Type::ForwardBegin, 0, 0.0, 0.0, 0.0, 8);
+    eventlog::record(eventlog::Type::FaultFire,
+                     eventlog::intern("conv\"quoted\""), 0.0, 0.0, 0.0, 0,
+                     static_cast<uint8_t>(faultpoint::Fault::NanActivation));
+    Expected<JsonValue> doc = parseJson(eventlog::toJson("unit_test"));
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    EXPECT_EQ(doc->find("schema")->stringOr(""), "genreuse.events/1");
+    EXPECT_EQ(doc->find("reason")->stringOr(""), "unit_test");
+    EXPECT_EQ(doc->find("recorded")->numberOr(-1), 2.0);
+    EXPECT_EQ(doc->find("overwritten")->numberOr(-1), 0.0);
+    const JsonValue *events = doc->find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->items.size(), 2u);
+    EXPECT_EQ(events->items[0].find("type")->stringOr(""),
+              "forward_begin");
+    // Hostile tag strings must round-trip escaped, and fault events
+    // carry the resolved fault name.
+    EXPECT_EQ(events->items[1].find("tag")->stringOr(""),
+              "conv\"quoted\"");
+    EXPECT_EQ(events->items[1].find("fault")->stringOr(""),
+              "nan_activation");
+    const JsonValue *by_type = doc->find("byType");
+    ASSERT_NE(by_type, nullptr);
+    EXPECT_EQ(by_type->find("fault_fire")->numberOr(-1), 1.0);
+}
+
+TEST(Eventlog, SummaryJsonCountsWithoutBodies)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    for (int i = 0; i < 5; ++i)
+        eventlog::record(eventlog::Type::Cluster);
+    Expected<JsonValue> doc = parseJson(eventlog::summaryJson());
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    EXPECT_EQ(doc->find("schema")->stringOr(""),
+              "genreuse.events-summary/1");
+    EXPECT_EQ(doc->find("recorded")->numberOr(-1), 5.0);
+    EXPECT_EQ(doc->find("byType")->find("cluster")->numberOr(-1), 5.0);
+    EXPECT_EQ(doc->find("events"), nullptr);
+}
+
+TEST(Eventlog, ResetClearsEventsAndCounts)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    const uint16_t tag = eventlog::intern("sticky-tag");
+    eventlog::record(eventlog::Type::Cluster, tag);
+    eventlog::reset();
+    EXPECT_EQ(eventlog::recorded(), 0u);
+    EXPECT_TRUE(eventlog::snapshot().empty());
+    auto counts = eventlog::typeCounts();
+    for (uint64_t c : counts)
+        EXPECT_EQ(c, 0u);
+    // Interned tags survive reset (ids are process-lifetime stable).
+    EXPECT_EQ(eventlog::intern("sticky-tag"), tag);
+}
+
+TEST(Eventlog, PostmortemDumpFiresForEveryFaultPoint)
+{
+    EventlogSandbox sandbox;
+    // noteFired() is one of the black-box triggers: for each
+    // registered GENREUSE_FAULT point, a fire must land in the journal
+    // and flush a parseable postmortem artifact naming the fault.
+    for (int i = 0; i < static_cast<int>(faultpoint::Fault::NumFaults);
+         ++i) {
+        const auto fault = static_cast<faultpoint::Fault>(i);
+        const std::string path =
+            tempPath(std::string("blackbox_") + faultpoint::faultName(fault) +
+                     ".json");
+        eventlog::reset();
+        eventlog::setEnabled(true);
+        eventlog::setBlackboxPath(path);
+        std::remove(path.c_str());
+
+        faultpoint::noteFired(fault);
+
+        Expected<JsonValue> doc = parseJson(slurp(path));
+        ASSERT_TRUE(doc.ok())
+            << faultpoint::faultName(fault) << ": " << doc.status().toString();
+        EXPECT_EQ(doc->find("reason")->stringOr(""), "fault_fire");
+        const JsonValue *events = doc->find("events");
+        ASSERT_NE(events, nullptr);
+        ASSERT_FALSE(events->items.empty());
+        const JsonValue &last = events->items.back();
+        EXPECT_EQ(last.find("type")->stringOr(""), "fault_fire");
+        EXPECT_EQ(last.find("fault")->stringOr(""),
+                  faultpoint::faultName(fault));
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Eventlog, PostmortemDisarmedWritesNothing)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    EXPECT_FALSE(eventlog::blackboxArmed());
+    const uint64_t before = eventlog::postmortemCount();
+    eventlog::dumpPostmortem("should_not_fire");
+    EXPECT_EQ(eventlog::postmortemCount(), before);
+}
+
+TEST(Eventlog, WarnOnceLandsInJournal)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    detail::resetWarnOnce();
+    warnOnce("eventlog-test-key", "journaled warning");
+    warnOnce("eventlog-test-key", "suppressed");
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].type, eventlog::Type::WarnOnce);
+    EXPECT_EQ(eventlog::tagName(events[0].tag), "eventlog-test-key");
+    detail::resetWarnOnce();
+}
+
+} // namespace
+} // namespace genreuse

@@ -13,6 +13,7 @@
 #include <limits>
 
 #include "common/faultpoint.h"
+#include "common/metrics.h"
 #include "core/guard.h"
 #include "core/measurement.h"
 #include "core/reuse_conv.h"
@@ -27,18 +28,22 @@
 namespace genreuse {
 namespace {
 
-/** Every test starts and ends disarmed with zeroed guard counters. */
+/** Every test starts and ends disarmed with zeroed guard counters and
+ *  a zeroed metrics registry, so no assertion here depends on which
+ *  tests (or how many fixtures) ran earlier in the process. */
 struct GuardSandbox
 {
     GuardSandbox()
     {
         faultpoint::disarm();
         guard::reset();
+        metrics::reset();
     }
     ~GuardSandbox()
     {
         faultpoint::disarm();
         guard::reset();
+        metrics::reset();
     }
 };
 

@@ -104,6 +104,16 @@ TEST(Metrics, SnapshotKeepsFirstSeenOrderAndResetZeroes)
     metrics::reset();
     EXPECT_FALSE(metrics::anyNonZero());
     EXPECT_EQ(metrics::counter("test.order_a").get(), 0u);
+
+    // reset() zeroes values but keeps registrations: the first-seen
+    // export order must survive, so artifact diffs stay line-stable
+    // across test-fixture resets.
+    auto after = metrics::snapshot();
+    ASSERT_EQ(after.size(), samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_EQ(after[i].name, samples[i].name) << "order moved at " << i;
+        EXPECT_EQ(after[i].value, 0.0) << after[i].name;
+    }
 }
 
 TEST(Metrics, JsonExportMatchesSchema)

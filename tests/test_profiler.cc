@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/metrics.h"
 #include "common/profiler.h"
 
 namespace genreuse {
@@ -293,6 +294,55 @@ TEST(Profiler, SpanOpenAcrossEnableIsDroppedCleanly)
         profiler::setEnabled(true);
     }
     EXPECT_FALSE(profiler::hasSpans());
+}
+
+TEST(Profiler, ExportsEscapeHostileSpanNames)
+{
+    ProfSandbox sandbox;
+    profiler::setEnabled(true);
+    profiler::setTimelineCapture(true);
+    // Quotes, backslashes and control characters in a span name must
+    // come out of both exports as valid JSON, not raw bytes.
+    const char *hostile = "evil\"name\\with\tcontrol";
+    {
+        profiler::ProfSpan span(hostile);
+    }
+    Expected<JsonValue> prof = parseJson(profiler::toJson());
+    ASSERT_TRUE(prof.ok()) << prof.status().toString();
+    const JsonValue *spans = prof->find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_FALSE(spans->items.empty());
+    EXPECT_EQ(spans->items[0].find("path")->stringOr(""), hostile);
+
+    Expected<JsonValue> chrome = parseJson(profiler::chromeTraceJson());
+    ASSERT_TRUE(chrome.ok()) << chrome.status().toString();
+    bool found = false;
+    for (const JsonValue &ev : chrome->find("traceEvents")->items)
+        if (ev.find("name")->stringOr("") == hostile)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Profiler, DroppedEventCountSurfacesAsGauge)
+{
+    ProfSandbox sandbox;
+    metrics::reset();
+    EXPECT_EQ(profiler::droppedEvents(), 0u);
+    // Overflow the counter-sample buffer so drops occur, then check
+    // the accessor mirrors the count into the prof.dropped_events
+    // gauge at read time.
+    profiler::setEnabled(true);
+    profiler::setTimelineCapture(true);
+    for (size_t i = 0; i < (1u << 16) + 50; ++i)
+        profiler::recordCounterSample("test.flood", 1.0);
+    const uint64_t dropped = profiler::droppedEvents();
+    EXPECT_GE(dropped, 50u);
+    double gauge = -1.0;
+    for (const metrics::Sample &s : metrics::snapshot())
+        if (s.name == "prof.dropped_events")
+            gauge = s.value;
+    EXPECT_EQ(gauge, static_cast<double>(dropped));
+    metrics::reset();
 }
 
 } // namespace
