@@ -12,11 +12,14 @@
  * *Ms, drift, error, fallback, drop, loss, shortfall) regress when they
  * increase, keys naming a benefit (speedup, accuracy, gain, redundancy)
  * regress when they decrease, and everything else is reported without
- * gating. The exit status is non-zero when any bench regresses beyond
- * the threshold — unless --report-only is given, which prints the same
- * table but always exits 0 (for cross-machine comparisons where
- * absolute timings are not comparable). GENREUSE_BENCH_DIFF_STRICT=1
- * overrides --report-only and forces gating.
+ * gating. Keys present only in the current artifact are new benches:
+ * they are listed as "new" and never gate (regenerating the baseline
+ * is what promotes them to gated comparisons). The exit status is
+ * non-zero when any bench regresses beyond the threshold — unless
+ * --report-only is given, which prints the same table but always
+ * exits 0 (for cross-machine comparisons where absolute timings are
+ * not comparable). GENREUSE_BENCH_DIFF_STRICT=1 overrides
+ * --report-only and forces gating.
  */
 
 #include <algorithm>
@@ -233,10 +236,14 @@ main(int argc, char **argv)
         for (const auto &[key, value] : cb.results) {
             const double *bv = bb ? bb->find(key) : nullptr;
             if (!bv) {
+                // A key only the candidate has is a *new* measurement
+                // (a bench added since the baseline was captured), not
+                // a regression: report it, never gate on it. Gating
+                // here made every added bench fail strict CI until the
+                // baseline was regenerated.
                 missing_base++;
                 t.addRow({cb.name, key, "-", formatDouble(value, 4),
-                          "-",
-                          allow_missing ? "new" : "missing baseline"});
+                          "-", "new"});
                 continue;
             }
             compared++;
@@ -274,8 +281,6 @@ main(int argc, char **argv)
     if (!gate)
         return 0;
     if (regressions > 0)
-        return 1;
-    if (missing_base > 0 && !allow_missing)
         return 1;
     return 0;
 }

@@ -10,17 +10,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+
 #include "bench_common.h"
 #include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 #include "common/trace.h"
+#include "core/fc_reuse.h"
 #include "core/guard.h"
 #include "core/horizontal_reuse.h"
 #include "core/reorder.h"
 #include "core/vertical_reuse.h"
 #include "data/synthetic.h"
 #include "lsh/clustering.h"
+#include "quant/int8_quant.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 
@@ -188,6 +194,40 @@ BM_HorizontalReuseRedundant(benchmark::State &state)
 BENCHMARK(BM_HorizontalReuseRedundant);
 
 void
+BM_Int8Matmul(benchmark::State &state)
+{
+    // CifarNet Conv2 shape through the quantized path.
+    Rng rng(11);
+    Tensor a = Tensor::randomNormal({256, 1600}, rng);
+    Tensor b = Tensor::randomNormal({1600, 64}, rng);
+    Int8Tensor qa = quantizeInt8(a);
+    Int8Tensor qb = quantizeInt8(b);
+    for (auto _ : state) {
+        Tensor y = int8Matmul(qa, qb, nullptr);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 256 * 1600 * 64);
+}
+BENCHMARK(BM_Int8Matmul);
+
+void
+BM_FcReuseSegment(benchmark::State &state)
+{
+    // FC segment reuse: batch 8, F = 1024 in 32-wide segments, O = 64.
+    Rng rng(12);
+    Tensor x = Tensor::randomNormal({8, 1024}, rng);
+    Tensor w = Tensor::randomNormal({1024, 64}, rng);
+    Tensor bias({64});
+    HashFamily family = HashFamily::random(4, 32, rng);
+    for (auto _ : state) {
+        Tensor y = fcReuseForward(x, w, bias, 32, family, nullptr,
+                                  nullptr);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_FcReuseSegment);
+
+void
 BM_FaultGateDisarmed(benchmark::State &state)
 {
     // The disarmed fault gate on a hot path: must be one relaxed
@@ -305,25 +345,147 @@ BM_SyntheticCifarGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_SyntheticCifarGeneration);
 
+/**
+ * Console reporter that additionally captures each run's per-iteration
+ * real time, so the BENCH record carries machine-comparable
+ * "<name>Ms" keys (name sanitized: '/' and ':' become '_') and
+ * bench_diff can gate kernel latencies across PRs.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<std::pair<std::string, double>> timesMs;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            // Benches here use the default ns time unit; /1e6 matches
+            // how baseline keys were derived from the JSON reporter's
+            // real_time field.
+            timesMs.emplace_back(sanitize(run.benchmark_name()),
+                                 run.GetAdjustedRealTime() / 1e6);
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+  private:
+    static std::string
+    sanitize(std::string name)
+    {
+        for (char &c : name)
+            if (c == '/' || c == ':')
+                c = '_';
+        return name;
+    }
+};
+
+/** Average wall-clock milliseconds of @p fn over @p reps calls. */
+template <typename F>
+double
+timeMs(F &&fn, int reps)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+           reps;
+}
+
+/**
+ * In-process scalar-vs-dispatched speedups of the three dispatched
+ * kernel families, recorded as HigherIsBetter keys. Skipped (no keys)
+ * when dispatch already resolved to scalar — a speedup of a kernel
+ * against itself is noise, not signal.
+ */
+void
+recordDispatchSpeedups(genreuse::bench::BenchJson &bj)
+{
+    const simd::Level best = simd::activeLevel();
+    bj.meta("simdLevel", simd::levelName(best));
+    if (best == simd::Level::Scalar)
+        return;
+
+    Rng rng(21);
+    Tensor a = Tensor::randomNormal({256, 1600}, rng);
+    Tensor b = Tensor::randomNormal({1600, 64}, rng);
+    Tensor c({256, 64});
+    Int8Tensor qa = quantizeInt8(a);
+    Int8Tensor qb = quantizeInt8(b);
+    std::vector<int32_t> qc(256 * 64);
+    const size_t count = 1 << 15, l = 25, h = 8;
+    Tensor proj = Tensor::randomNormal({count, h}, rng);
+    std::vector<float> biases(h, 0.0f);
+    std::vector<uint64_t> sigs(count);
+    (void)l;
+
+    struct Timed
+    {
+        const char *key;
+        std::function<void()> fn;
+        int reps;
+    };
+    const Timed kernels[] = {
+        {"gemmF32DispatchSpeedup",
+         [&] {
+             simd::ops().gemmF32(a.data(), b.data(), c.data(), 256, 64,
+                                 1600, 1600, 64, 64, false);
+         },
+         5},
+        {"gemmInt8DispatchSpeedup",
+         [&] {
+             simd::ops().gemmInt8(qa.data.data(), qb.data.data(),
+                                  qc.data(), 256, 64, 1600, 1600, 64,
+                                  64);
+         },
+         5},
+        {"signProjectDispatchSpeedup",
+         [&] {
+             simd::ops().signProject(proj.data(), biases.data(), count,
+                                     h, sigs.data());
+         },
+         50},
+    };
+    for (const Timed &kr : kernels) {
+        (void)simd::setActiveLevel(simd::Level::Scalar);
+        kr.fn(); // warm
+        const double scalar_ms = timeMs(kr.fn, kr.reps);
+        (void)simd::setActiveLevel(best);
+        kr.fn();
+        const double simd_ms = timeMs(kr.fn, kr.reps);
+        if (simd_ms > 0.0)
+            bj.record(kr.key, scalar_ms / simd_ms);
+    }
+}
+
 } // namespace
 
 // Hand-rolled BENCHMARK_MAIN() so the binary also drops a BENCH_*.json
-// marker into the suite directory. The wall-clock numbers themselves
-// stay in google-benchmark's reporters (--benchmark_format=json for the
-// machine-readable version); the marker just records that the micro
-// suite ran and with what flags.
+// record into the suite directory: per-kernel wall-clock "<name>Ms"
+// keys captured from the reporter, plus scalar-vs-dispatch speedup
+// keys for the SIMD kernel layer. google-benchmark's own reporters
+// still work (--benchmark_format=json for the full machine-readable
+// dump).
 int
 main(int argc, char **argv)
 {
     genreuse::bench::BenchJson bj("micro_kernels");
     bj.meta("reporter",
             "google-benchmark; rerun with --benchmark_format=json for "
-            "per-kernel wall-clock numbers");
+            "the full per-kernel dump");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
+    CapturingReporter reporter;
     bj.record("benchmarksRun",
-              static_cast<double>(benchmark::RunSpecifiedBenchmarks()));
+              static_cast<double>(
+                  benchmark::RunSpecifiedBenchmarks(&reporter)));
+    for (const auto &[name, ms] : reporter.timesMs)
+        bj.record(name + "Ms", ms);
+    recordDispatchSpeedups(bj);
     benchmark::Shutdown();
     return 0;
 }

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * AlignedAllocator — a minimal std::allocator replacement that hands
+ * out 64-byte-aligned blocks (one cache line, and wide enough for any
+ * AVX-512/NEON vector). Tensor and Int8Tensor back their storage with
+ * it so SIMD kernels never take the unaligned-load path and never
+ * fault under strict-alignment NEON.
+ *
+ * Elements are *default-inserted* as a no-op (construct(p) leaves
+ * trivially-constructible payloads uninitialized), so
+ * `vector.resize(n)` on a float/int8 AlignedVec grows without the
+ * redundant zero-fill — callers that need zeroed contents must say so
+ * (Tensor's constructors and fill()/zero() do). Value construction
+ * with explicit arguments behaves exactly like std::allocator.
+ */
+
+#ifndef GENREUSE_COMMON_ALIGNED_H
+#define GENREUSE_COMMON_ALIGNED_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace genreuse {
+
+inline constexpr size_t kSimdAlign = 64;
+
+template <typename T, size_t Align = kSimdAlign> class AlignedAllocator
+{
+    static_assert(Align >= alignof(T), "alignment weaker than T's");
+    static_assert((Align & (Align - 1)) == 0, "alignment must be pow2");
+
+  public:
+    using value_type = T;
+    using size_type = size_t;
+    using difference_type = ptrdiff_t;
+    using propagate_on_container_move_assignment = std::true_type;
+    using is_always_equal = std::true_type;
+
+    template <typename U> struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void
+    deallocate(T *p, size_t n) noexcept
+    {
+        ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+    }
+
+    /** Default-insertion: leave trivial payloads uninitialized. */
+    template <typename U>
+    void
+    construct(U *p) noexcept(std::is_nothrow_default_constructible_v<U>)
+    {
+        ::new (static_cast<void *>(p)) U;
+    }
+
+    template <typename U, typename... Args>
+    void
+    construct(U *p, Args &&...args)
+    {
+        ::new (static_cast<void *>(p)) U(std::forward<Args>(args)...);
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U, Align> &) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedAllocator<U, Align> &) const noexcept
+    {
+        return false;
+    }
+};
+
+/** A std::vector whose buffer is always 64-byte aligned. */
+template <typename T> using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_ALIGNED_H

@@ -1,0 +1,129 @@
+#include "arena.h"
+
+#include <algorithm>
+#include <new>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace genreuse {
+
+namespace {
+
+uint8_t *
+allocChunk(size_t bytes)
+{
+    return static_cast<uint8_t *>(
+        ::operator new(bytes, std::align_val_t(kSimdAlign)));
+}
+
+void
+freeChunk(uint8_t *p, size_t bytes)
+{
+    ::operator delete(p, bytes, std::align_val_t(kSimdAlign));
+}
+
+} // namespace
+
+Arena::Arena(size_t first_chunk_bytes)
+    : nextChunkBytes_(std::max<size_t>(first_chunk_bytes, 4096))
+{
+}
+
+Arena::~Arena() { releaseMemory(); }
+
+void
+Arena::grow(size_t min_bytes)
+{
+    size_t bytes = std::max(nextChunkBytes_, min_bytes);
+    Chunk c;
+    c.base = allocChunk(bytes);
+    c.size = bytes;
+    chunks_.push_back(c);
+    cur_ = chunks_.size() - 1;
+    offset_ = 0;
+    // Geometric growth keeps the chunk count (and the number of
+    // distinct warm-up heap allocations) logarithmic in peak demand.
+    nextChunkBytes_ = bytes * 2;
+    metrics::gauge("arena.chunks").set(static_cast<double>(chunks_.size()));
+    metrics::gauge("arena.capacity_bytes")
+        .set(static_cast<double>(capacityBytes()));
+}
+
+void *
+Arena::alloc(size_t bytes, size_t align)
+{
+    GENREUSE_REQUIRE(align > 0 && (align & (align - 1)) == 0 &&
+                         align <= kSimdAlign,
+                     "arena alignment must be a power of two <= 64, got ",
+                     align);
+    if (bytes == 0)
+        bytes = 1; // keep spans distinct
+    while (cur_ < chunks_.size()) {
+        size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= chunks_[cur_].size) {
+            offset_ = aligned + bytes;
+            return chunks_[cur_].base + aligned;
+        }
+        // Current chunk exhausted: fall through to the next one (its
+        // contents were released by an earlier rewind).
+        ++cur_;
+        offset_ = 0;
+    }
+    grow(bytes);
+    offset_ = bytes;
+    return chunks_[cur_].base;
+}
+
+void
+Arena::rewind(const Marker &m)
+{
+    GENREUSE_REQUIRE(m.chunk < chunks_.size() ||
+                         (m.chunk == 0 && m.offset == 0),
+                     "arena rewind past end");
+    GENREUSE_REQUIRE(m.chunk < cur_ ||
+                         (m.chunk == cur_ && m.offset <= offset_) ||
+                         (m.chunk == 0 && m.offset == 0),
+                     "arena rewind must be LIFO");
+    cur_ = m.chunk;
+    offset_ = m.offset;
+}
+
+void
+Arena::releaseMemory()
+{
+    for (Chunk &c : chunks_)
+        freeChunk(c.base, c.size);
+    chunks_.clear();
+    cur_ = 0;
+    offset_ = 0;
+}
+
+size_t
+Arena::capacityBytes() const
+{
+    size_t total = 0;
+    for (const Chunk &c : chunks_)
+        total += c.size;
+    return total;
+}
+
+size_t
+Arena::bytesInUse() const
+{
+    if (chunks_.empty())
+        return 0;
+    size_t total = 0;
+    for (size_t i = 0; i < cur_ && i < chunks_.size(); ++i)
+        total += chunks_[i].size;
+    return total + offset_;
+}
+
+Arena &
+Arena::forCurrentStream()
+{
+    static thread_local Arena arena;
+    return arena;
+}
+
+} // namespace genreuse

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Arena — a chunked bump allocator for per-forward scratch memory,
+ * after TFLite-Micro's static tensor arena. Kernels carve transient
+ * buffers (signatures, cluster tables, centroid GEMM outputs, …) out
+ * of a per-stream arena instead of the heap; an ArenaFrame rewinds the
+ * bump pointer on scope exit so the same bytes are reused by the next
+ * slice/band/frame. After a warm-up forward has sized the chunks, a
+ * steady-state forward performs zero heap allocations.
+ *
+ * Ownership / lifetime rules (see DESIGN.md "Kernel dispatch & arena"):
+ *  - Arena::forCurrentStream() returns a thread-local arena: one
+ *    inference stream per thread, no locking, no sharing.
+ *  - Pointers obtained from an arena are valid until the enclosing
+ *    ArenaFrame (or an explicit rewind/reset) releases them. Never
+ *    store them across forwards.
+ *  - Frames nest LIFO; allocations escape a frame only by copy.
+ *  - Growth (a new chunk) may hit the heap — that is the warm-up cost.
+ */
+
+#ifndef GENREUSE_COMMON_ARENA_H
+#define GENREUSE_COMMON_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+
+namespace genreuse {
+
+class Arena
+{
+  public:
+    /** Bump-pointer position; see mark()/rewind(). */
+    struct Marker
+    {
+        size_t chunk = 0;
+        size_t offset = 0;
+    };
+
+    explicit Arena(size_t first_chunk_bytes = kDefaultChunkBytes);
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** @return a block of @p bytes aligned to @p align (pow-2, ≤ 64).
+     *  Contents are uninitialized. */
+    void *alloc(size_t bytes, size_t align = kSimdAlign);
+
+    /** Typed convenience: @p n elements of T, 64-byte aligned,
+     *  uninitialized. T must be trivially destructible — the arena
+     *  never runs destructors. */
+    template <typename T>
+    T *
+    allocSpan(size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is rewound, never destroyed");
+        return static_cast<T *>(alloc(n * sizeof(T)));
+    }
+
+    Marker mark() const { return {cur_, offset_}; }
+
+    /** Release everything allocated after @p m (LIFO only). */
+    void rewind(const Marker &m);
+
+    /** Release everything; keep the chunks for reuse. */
+    void reset() { rewind({0, 0}); }
+
+    /** Drop all chunks back to the heap (tests / shutdown). */
+    void releaseMemory();
+
+    size_t chunkCount() const { return chunks_.size(); }
+    size_t capacityBytes() const;
+    size_t bytesInUse() const;
+
+    /**
+     * The calling thread's scratch arena — one per inference stream
+     * (GenReuse runs one stream per thread, matching the thread-local
+     * profiler/trace design). First use on a thread allocates.
+     */
+    static Arena &forCurrentStream();
+
+    static constexpr size_t kDefaultChunkBytes = 256 * 1024;
+
+  private:
+    struct Chunk
+    {
+        uint8_t *base = nullptr;
+        size_t size = 0;
+    };
+
+    void grow(size_t min_bytes);
+
+    std::vector<Chunk> chunks_;
+    size_t cur_ = 0;    //!< index of the chunk being bumped
+    size_t offset_ = 0; //!< bytes used in chunks_[cur_]
+    size_t nextChunkBytes_;
+};
+
+/** RAII mark/rewind over a scope — the unit of scratch reuse. */
+class ArenaFrame
+{
+  public:
+    explicit ArenaFrame(Arena &arena) : arena_(arena), mark_(arena.mark()) {}
+    ~ArenaFrame() { arena_.rewind(mark_); }
+
+    ArenaFrame(const ArenaFrame &) = delete;
+    ArenaFrame &operator=(const ArenaFrame &) = delete;
+
+    Arena &
+    arena()
+    {
+        return arena_;
+    }
+
+  private:
+    Arena &arena_;
+    Arena::Marker mark_;
+};
+
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_ARENA_H

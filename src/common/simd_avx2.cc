@@ -1,0 +1,237 @@
+/**
+ * @file
+ * AVX2 kernel table. This TU is the only one compiled with -mavx2, so
+ * the rest of the binary stays runnable on any x86-64; avx2Ops()
+ * returns nullptr when the running CPU lacks AVX2.
+ *
+ * Bit-identity with the scalar oracle is load-bearing (the guard's
+ * exact-GEMM rung must not move): the f32 GEMM keeps the scalar
+ * kernel's blocking (64/256/256) and per-element op order, and uses
+ * separate _mm256_mul_ps/_mm256_add_ps — never FMA — so every output
+ * element sees the same IEEE-754 sequence the scalar 1x8 tile
+ * produces. The wider 1x32 tile only changes which *columns* advance
+ * together, never the per-column order.
+ */
+
+#include "simd.h"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(GENREUSE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace genreuse::simd {
+
+namespace {
+
+constexpr size_t kBlockM = 64;
+constexpr size_t kBlockN = 256;
+constexpr size_t kBlockK = 256;
+
+void
+microKernelAvx2(const float *a, const float *b, float *c, size_t rows,
+                size_t cols, size_t kc, size_t lda, size_t ldb, size_t ldc)
+{
+    for (size_t i = 0; i < rows; ++i) {
+        const float *ai = a + i * lda;
+        float *ci = c + i * ldc;
+        size_t j = 0;
+        // 1x32 tile: four ymm accumulators amortize the broadcast.
+        for (; j + 32 <= cols; j += 32) {
+            __m256 acc0 = _mm256_setzero_ps();
+            __m256 acc1 = _mm256_setzero_ps();
+            __m256 acc2 = _mm256_setzero_ps();
+            __m256 acc3 = _mm256_setzero_ps();
+            const float *bj = b + j;
+            for (size_t p = 0; p < kc; ++p) {
+                __m256 av = _mm256_broadcast_ss(ai + p);
+                const float *bp = bj + p * ldb;
+                acc0 = _mm256_add_ps(acc0,
+                                     _mm256_mul_ps(av, _mm256_loadu_ps(bp)));
+                acc1 = _mm256_add_ps(
+                    acc1, _mm256_mul_ps(av, _mm256_loadu_ps(bp + 8)));
+                acc2 = _mm256_add_ps(
+                    acc2, _mm256_mul_ps(av, _mm256_loadu_ps(bp + 16)));
+                acc3 = _mm256_add_ps(
+                    acc3, _mm256_mul_ps(av, _mm256_loadu_ps(bp + 24)));
+            }
+            float *cj = ci + j;
+            _mm256_storeu_ps(cj,
+                             _mm256_add_ps(_mm256_loadu_ps(cj), acc0));
+            _mm256_storeu_ps(cj + 8,
+                             _mm256_add_ps(_mm256_loadu_ps(cj + 8), acc1));
+            _mm256_storeu_ps(cj + 16,
+                             _mm256_add_ps(_mm256_loadu_ps(cj + 16), acc2));
+            _mm256_storeu_ps(cj + 24,
+                             _mm256_add_ps(_mm256_loadu_ps(cj + 24), acc3));
+        }
+        for (; j + 8 <= cols; j += 8) {
+            __m256 acc = _mm256_setzero_ps();
+            const float *bj = b + j;
+            for (size_t p = 0; p < kc; ++p) {
+                __m256 av = _mm256_broadcast_ss(ai + p);
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(av, _mm256_loadu_ps(bj + p * ldb)));
+            }
+            float *cj = ci + j;
+            _mm256_storeu_ps(cj, _mm256_add_ps(_mm256_loadu_ps(cj), acc));
+        }
+        for (; j < cols; ++j) {
+            float acc = 0;
+            for (size_t p = 0; p < kc; ++p)
+                acc += ai[p] * b[p * ldb + j];
+            ci[j] += acc;
+        }
+    }
+}
+
+void
+gemmF32Avx2(const float *a, const float *b, float *c, size_t m, size_t n,
+            size_t k, size_t lda, size_t ldb, size_t ldc, bool accumulate)
+{
+    if (!accumulate) {
+        for (size_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    for (size_t i0 = 0; i0 < m; i0 += kBlockM) {
+        size_t mi = std::min(kBlockM, m - i0);
+        for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
+            size_t kp = std::min(kBlockK, k - p0);
+            for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
+                size_t nj = std::min(kBlockN, n - j0);
+                microKernelAvx2(a + i0 * lda + p0, b + p0 * ldb + j0,
+                                c + i0 * ldc + j0, mi, nj, kp, lda, ldb,
+                                ldc);
+            }
+        }
+    }
+}
+
+/**
+ * Int8 GEMM, j-inner layout: for each output row, walk k broadcasting
+ * a[i][p] (widened to i16) against contiguous 16-lane chunks of B's
+ * row p; int8*int8 products fit in i16 exactly, and are widened to
+ * i32 before accumulating. Integer adds are associative, so
+ * restructuring the scalar p-inner loop is exact.
+ */
+void
+gemmInt8Avx2(const int8_t *a, const int8_t *b, int32_t *c, size_t m,
+             size_t n, size_t k, size_t lda, size_t ldb, size_t ldc)
+{
+    for (size_t i = 0; i < m; ++i) {
+        const int8_t *ai = a + i * lda;
+        int32_t *ci = c + i * ldc;
+        size_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+            __m256i acc_lo = _mm256_setzero_si256();
+            __m256i acc_hi = _mm256_setzero_si256();
+            const int8_t *bj = b + j;
+            for (size_t p = 0; p < k; ++p) {
+                __m256i av = _mm256_set1_epi16(static_cast<int16_t>(ai[p]));
+                __m128i braw = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(bj + p * ldb));
+                __m256i bv = _mm256_cvtepi8_epi16(braw);
+                __m256i prod = _mm256_mullo_epi16(av, bv);
+                // Widen the 16 i16 products to i32 and accumulate.
+                __m256i lo = _mm256_cvtepi16_epi32(
+                    _mm256_castsi256_si128(prod));
+                __m256i hi = _mm256_cvtepi16_epi32(
+                    _mm256_extracti128_si256(prod, 1));
+                acc_lo = _mm256_add_epi32(acc_lo, lo);
+                acc_hi = _mm256_add_epi32(acc_hi, hi);
+            }
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(ci + j),
+                                acc_lo);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(ci + j + 8),
+                                acc_hi);
+        }
+        for (; j < n; ++j) {
+            int32_t acc = 0;
+            for (size_t p = 0; p < k; ++p) {
+                acc += static_cast<int32_t>(ai[p]) *
+                       static_cast<int32_t>(b[p * ldb + j]);
+            }
+            ci[j] = acc;
+        }
+    }
+}
+
+void
+addIntoAvx2(float *dst, const float *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(dst + i,
+                         _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                       _mm256_loadu_ps(src + i)));
+    }
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+scaleInPlaceAvx2(float *dst, float s, size_t n)
+{
+    __m256 sv = _mm256_set1_ps(s);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(dst + i), sv));
+    for (; i < n; ++i)
+        dst[i] *= s;
+}
+
+void
+signProjectAvx2(const float *proj, const float *biases, size_t count,
+                size_t h, uint64_t *sigs)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    for (size_t i = 0; i < count; ++i) {
+        const float *pi = proj + i * h;
+        uint64_t sig = 0;
+        size_t f = 0;
+        for (; f + 8 <= h; f += 8) {
+            __m256 sum = _mm256_add_ps(_mm256_loadu_ps(pi + f),
+                                       _mm256_loadu_ps(biases + f));
+            __m256 gt = _mm256_cmp_ps(sum, zero, _CMP_GT_OQ);
+            uint64_t mask =
+                static_cast<uint64_t>(_mm256_movemask_ps(gt)) & 0xffu;
+            sig |= mask << f;
+        }
+        for (; f < h; ++f) {
+            if (pi[f] + biases[f] > 0.0f)
+                sig |= uint64_t{1} << f;
+        }
+        sigs[i] = sig;
+    }
+}
+
+const Ops kAvx2Ops = {
+    "avx2",      Level::Avx2,      gemmF32Avx2, gemmInt8Avx2,
+    addIntoAvx2, scaleInPlaceAvx2, signProjectAvx2,
+};
+
+} // namespace
+
+const Ops *
+avx2Ops()
+{
+    return __builtin_cpu_supports("avx2") ? &kAvx2Ops : nullptr;
+}
+
+} // namespace genreuse::simd
+
+#else // not x86-64: TU compiles to an accessor that reports "absent"
+
+namespace genreuse::simd {
+
+const Ops *
+avx2Ops()
+{
+    return nullptr;
+}
+
+} // namespace genreuse::simd
+
+#endif

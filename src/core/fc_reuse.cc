@@ -1,8 +1,12 @@
 #include "fc_reuse.h"
 
+#include <cstring>
+
+#include "common/arena.h"
 #include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "tensor/gemm.h"
@@ -26,6 +30,16 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
                size_t segment_len, const HashFamily &family,
                OpLedger *ledger, ReuseStats *stats)
 {
+    Tensor y;
+    fcReuseForwardInto(x, w, bias, segment_len, family, ledger, stats, y);
+    return y;
+}
+
+void
+fcReuseForwardInto(const Tensor &x, const Tensor &w, const Tensor &bias,
+                   size_t segment_len, const HashFamily &family,
+                   OpLedger *ledger, ReuseStats *stats, Tensor &y)
+{
     GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
                      "fcReuseForward expects matrices");
     const size_t n = x.shape().rows(), f = x.shape().cols();
@@ -40,13 +54,20 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
     const size_t rem = f - full_segments * segment_len;
     profiler::ProfSpan pspan("fc.reuse");
 
-    Tensor y({n, o});
+    y.resize({n, o});
     ReuseStats local;
     local.exactMacs = n * f * o;
+
+    const simd::Ops &simd_ops = simd::ops();
+    Arena &arena = Arena::forCurrentStream();
+    static thread_local ClusterResult t_clusters;
+    ClusterResult &clusters = t_clusters;
 
     for (size_t row = 0; row < n; ++row) {
         const float *xr = x.data() + row * f;
         float *yr = y.data() + row * o;
+        std::memset(yr, 0, o * sizeof(float)); // centroid GEMMs accumulate
+        ArenaFrame frame(arena); // per-row scratch
 
         // Cluster this sample's segments.
         StridedItems items;
@@ -56,8 +77,7 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
         items.itemStride = segment_len;
         items.elemStride = 1;
         OpCounts cluster_ops;
-        ClusterResult clusters =
-            clusterBySignature(items, family, &cluster_ops);
+        clusterBySignatureInto(items, family, clusters, &cluster_ops);
         if (!clusterTableValid(clusters)) {
             // Corrupted/degenerate segment table: exact product for
             // this row (full feature range, incl. trailing segment).
@@ -86,13 +106,12 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
 
         // Sum-reduce weight blocks per cluster, then multiply by the
         // centroids: y = Σ_c centroid_c x Wsum_c.
-        Tensor wsum({nc * segment_len, o});
+        float *wsum = arena.allocSpan<float>(nc * segment_len * o);
+        std::memset(wsum, 0, nc * segment_len * o * sizeof(float));
         for (size_t k = 0; k < full_segments; ++k) {
             const float *wk = w.data() + k * segment_len * o;
-            float *dst =
-                wsum.data() + clusters.assignments[k] * segment_len * o;
-            for (size_t i = 0; i < segment_len * o; ++i)
-                dst[i] += wk[i];
+            float *dst = wsum + clusters.assignments[k] * segment_len * o;
+            simd_ops.addInto(dst, wk, segment_len * o);
         }
         {
             OpCounts rc;
@@ -102,7 +121,7 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
 
         for (size_t c = 0; c < nc; ++c) {
             gemmRaw(clusters.centroids.data() + c * segment_len,
-                    wsum.data() + c * segment_len * o, yr, 1, o,
+                    wsum + c * segment_len * o, yr, 1, o,
                     segment_len, segment_len, o, o, /*accumulate=*/true);
         }
         const size_t gemm_macs = nc * segment_len * o;
@@ -136,7 +155,6 @@ fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
                          /*a8=*/2);
     if (stats)
         *stats += local;
-    return y;
 }
 
 } // namespace genreuse

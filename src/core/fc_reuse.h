@@ -41,6 +41,16 @@ Tensor fcReuseForward(const Tensor &x, const Tensor &w, const Tensor &bias,
                       OpLedger *ledger = nullptr,
                       ReuseStats *stats = nullptr);
 
+/**
+ * fcReuseForward() writing into @p y (resized in place, capacity
+ * reused). Per-row temporaries — the segment cluster table and the
+ * sum-reduced weight blocks — come from thread-local scratch and the
+ * stream arena, so a steady-state call performs no heap allocation.
+ */
+void fcReuseForwardInto(const Tensor &x, const Tensor &w, const Tensor &bias,
+                        size_t segment_len, const HashFamily &family,
+                        OpLedger *ledger, ReuseStats *stats, Tensor &y);
+
 /** Exact reference with identical bias handling. */
 Tensor fcExactForward(const Tensor &x, const Tensor &w, const Tensor &bias);
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <optional>
 
 #include "accuracy_model.h"
+#include "common/arena.h"
 #include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/json.h"
@@ -271,8 +273,12 @@ GuardedReuseConvAlgo::observeDrift(double measured, double budget)
         if (clusterDrift_.observe(1.0 - st.redundancyRatio()))
             guard::noteDriftTrip();
     }
-    metrics::gauge("guard.verify_rows")
-        .set(static_cast<double>(verifyRows()));
+    // Static handle: the registry lookup hashes the name, and the
+    // 17-char key exceeds libstdc++'s SSO buffer — a per-forward
+    // lookup was a heap allocation in the hot loop.
+    static metrics::Gauge &verify_rows_gauge =
+        metrics::gauge("guard.verify_rows");
+    verify_rows_gauge.set(static_cast<double>(verifyRows()));
 }
 
 void
@@ -339,12 +345,14 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
     const size_t rows = std::min(verifyRows(), n);
     const size_t stride = n / rows;
 
-    std::vector<float> exact_row(m);
+    Arena &arena = Arena::forCurrentStream();
+    ArenaFrame frame(arena);
+    float *exact_row = arena.allocSpan<float>(m);
     double err = 0.0;
     size_t sampled = 0;
     for (size_t k = 0; k < rows; ++k) {
         const size_t r = std::min(k * stride, n - 1);
-        gemmRaw(x.data() + r * din, w.data(), exact_row.data(), 1, m,
+        gemmRaw(x.data() + r * din, w.data(), exact_row, 1, m,
                 din, din, m, m, false);
         const float *yr = y.data() + r * m;
         for (size_t j = 0; j < m; ++j) {
@@ -371,44 +379,67 @@ GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
                                const ConvGeometry &geom,
                                CostLedger *ledger)
 {
+    Tensor y;
+    multiplyInto(x, w, geom, ledger, y);
+    return y;
+}
+
+void
+GuardedReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
+                                   const ConvGeometry &geom,
+                                   CostLedger *ledger, Tensor &y)
+{
     profiler::ProfSpan pspan("guard.forward");
-    Tensor xin = x;
+    // The input is read in place; it is only copied when the
+    // nan_activation fault is armed, because the injection must
+    // corrupt a copy rather than the caller's activations. The
+    // unconditional copy this replaces was the largest per-forward
+    // allocation in the guarded path.
+    // (An engaged optional would allocate the rank-0 placeholder every
+    // forward; the disengaged one is free.)
+    const Tensor *xin = &x;
+    std::optional<Tensor> corrupted;
     if (faultpoint::active(faultpoint::Fault::NanActivation)) {
         faultpoint::noteFired(faultpoint::Fault::NanActivation);
-        corruptWithNan(xin, faultpoint::seed());
+        corrupted = x;
+        corruptWithNan(*corrupted, faultpoint::seed());
+        xin = &*corrupted;
     }
 
     if (!config_.enabled) {
         lastRung_ = GuardRung::FullReuse;
-        return inner_->multiply(xin, w, geom, ledger);
+        inner_->multiplyInto(*xin, w, geom, ledger, y);
+        return;
     }
 
     // Rung 2 immediately on non-finite activations: reuse would smear
     // the NaN across every member of its cluster, while the exact GEMM
     // confines it to the rows that actually contain it.
-    if (!allFinite(xin)) {
+    if (!allFinite(*xin)) {
         warnOnce("guard-nonfinite-input",
                  "guard: non-finite activations; conv layer downgraded "
                  "to exact GEMM for this forward (warned once)");
         guard::noteNonFiniteInput();
         lastRung_ = GuardRung::ExactFallback;
         guard::recordForward(lastRung_, 0.0, 0.0);
-        return exact_.multiply(xin, w, geom, ledger);
+        y = exact_.multiply(*xin, w, geom, ledger);
+        return;
     }
 
-    Expected<Tensor> y = inner_->tryMultiply(xin, w, geom, ledger);
-    if (!y.ok()) {
+    Status s = inner_->tryMultiplyInto(*xin, w, geom, ledger, y);
+    if (!s.ok()) {
         warnOnce("guard-status-error",
-                 "guard: reuse kernel failed (", y.status().toString(),
+                 "guard: reuse kernel failed (", s.toString(),
                  "); exact fallback (warned once)");
         guard::noteStatusError();
         lastRung_ = GuardRung::ExactFallback;
         guard::recordForward(lastRung_, 0.0, 0.0);
-        return exact_.multiply(xin, w, geom, ledger);
+        y = exact_.multiply(*xin, w, geom, ledger);
+        return;
     }
 
-    const double budget = errorBudget(w, geom, xin.shape().rows());
-    double measured = measureError(xin, w, *y, ledger);
+    const double budget = errorBudget(w, geom, xin->shape().rows());
+    double measured = measureError(*xin, w, y, ledger);
     // Drift watches the *first* attempt's measurement: it reflects the
     // stream against the original fit, before any re-cluster muddies
     // the signal. The boost it may raise applies from the next forward.
@@ -416,7 +447,7 @@ GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
     if (measured <= budget) {
         lastRung_ = GuardRung::FullReuse;
         guard::recordForward(lastRung_, measured, budget);
-        return std::move(*y);
+        return;
     }
 
     // Rung 1: the clustering may just have been unlucky for this
@@ -430,15 +461,17 @@ GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
         inner_->setSeed(inner_->seed() + config_.reclusterSeedStep);
         inner_->fit(fitSample_, fitGeom_);
         haveBudget_ = false; // families changed; re-derive the budget
-        Expected<Tensor> y2 = inner_->tryMultiply(xin, w, geom, ledger);
-        if (!y2.ok())
+        Tensor y2;
+        Status s2 = inner_->tryMultiplyInto(*xin, w, geom, ledger, y2);
+        if (!s2.ok())
             break;
-        const double budget2 = errorBudget(w, geom, xin.shape().rows());
-        const double m2 = measureError(xin, w, *y2, ledger);
+        const double budget2 = errorBudget(w, geom, xin->shape().rows());
+        const double m2 = measureError(*xin, w, y2, ledger);
         if (m2 <= budget2) {
             lastRung_ = GuardRung::Recluster;
             guard::recordForward(lastRung_, m2, budget2);
-            return std::move(*y2);
+            y = std::move(y2);
+            return;
         }
         measured = m2;
     }
@@ -448,7 +481,7 @@ GuardedReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
              "exact fallback (warned once)");
     lastRung_ = GuardRung::ExactFallback;
     guard::recordForward(lastRung_, measured, budget);
-    return exact_.multiply(xin, w, geom, ledger);
+    y = exact_.multiply(*xin, w, geom, ledger);
 }
 
 std::string

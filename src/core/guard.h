@@ -195,6 +195,17 @@ class GuardedReuseConvAlgo : public ConvAlgo
     Tensor multiply(const Tensor &x, const Tensor &w,
                     const ConvGeometry &geom, CostLedger *ledger) override;
 
+    /**
+     * multiply() writing into @p y (resized in place, capacity reused).
+     * The steady-state rung-0 path — reuse accepted within budget —
+     * performs no heap allocation: the inner algorithm writes @p y
+     * directly, verification rows live in the stream arena, and the
+     * input is only copied when a fault injection must corrupt it.
+     */
+    void multiplyInto(const Tensor &x, const Tensor &w,
+                      const ConvGeometry &geom, CostLedger *ledger,
+                      Tensor &y);
+
     std::string describe() const override;
 
     /** Rung the most recent multiply() resolved at. */

@@ -1,10 +1,13 @@
 #include "horizontal_reuse.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/arena.h"
 #include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
@@ -35,6 +38,17 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
                         const std::vector<HashFamily> &families,
                         OpLedger *ledger, ReuseStats *stats)
 {
+    Tensor y;
+    horizontalReuseMultiplyInto(x, w, slicing, families, ledger, stats, y);
+    return y;
+}
+
+void
+horizontalReuseMultiplyInto(const Tensor &x, const Tensor &w,
+                            const HorizontalSlicing &slicing,
+                            const std::vector<HashFamily> &families,
+                            OpLedger *ledger, ReuseStats *stats, Tensor &y)
+{
     GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
                      "reuse multiply expects matrices");
     const size_t n = x.shape().rows(), din = x.shape().cols();
@@ -45,15 +59,21 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
                      "need 1 shared or per-band hash families");
     profiler::ProfSpan pspan("horizontal.reuse");
 
-    Tensor y({n, m});
+    y.resize({n, m}); // every band row range is fully written below
     ReuseStats local;
     local.exactMacs = n * din * m;
+
+    const simd::Ops &simd_ops = simd::ops();
+    Arena &arena = Arena::forCurrentStream();
+    static thread_local ClusterResult t_clusters;
+    ClusterResult &clusters = t_clusters;
 
     for (size_t i = 0; i < slicing.numBands; ++i) {
         const size_t row0 = i * slicing.bandHeight;
         const size_t l = slicing.height(i, n);
         const HashFamily &family =
             shared_family ? families[0] : families[i];
+        ArenaFrame frame(arena); // per-band scratch
 
         if (family.vectorLength() != l) {
             // Short trailing band (or mismatched family): exact GEMM.
@@ -74,8 +94,7 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
         items.itemStride = 1;
         items.elemStride = din;
         OpCounts cluster_ops;
-        ClusterResult clusters =
-            clusterBySignature(items, family, &cluster_ops);
+        clusterBySignatureInto(items, family, clusters, &cluster_ops);
         if (!clusterTableValid(clusters)) {
             // Corrupted/degenerate table: never dereference it — run
             // the band exactly, like the short-band path above.
@@ -100,19 +119,18 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
         reportOps(ledger, Stage::Clustering, cluster_ops);
 
         // ---- build X_i^c (l x nc) and W_i^c (nc x m) ----------------
-        Tensor xc({l, nc});
-        Tensor wc({nc, m});
+        float *xc = arena.allocSpan<float>(l * nc);
+        float *wc = arena.allocSpan<float>(nc * m);
         {
             profiler::ProfSpan span("horizontal.recover");
             for (size_t c = 0; c < nc; ++c)
                 for (size_t j = 0; j < l; ++j)
-                    xc.at2(j, c) = clusters.centroids.at2(c, j);
+                    xc[j * nc + c] = clusters.centroids.at2(c, j);
 
+            std::memset(wc, 0, nc * m * sizeof(float));
             for (size_t col = 0; col < din; ++col) {
                 const float *wr = w.data() + col * m;
-                float *dst = wc.data() + clusters.assignments[col] * m;
-                for (size_t c = 0; c < m; ++c)
-                    dst[c] += wr[c];
+                simd_ops.addInto(wc + clusters.assignments[col] * m, wr, m);
             }
             OpCounts rc;
             rc.aluOps = din * m;    // weight sum-reduction
@@ -122,8 +140,8 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
 
         // ---- band GEMM ----------------------------------------------
         profiler::ProfSpan gemm_span("horizontal.gemm");
-        gemmRaw(xc.data(), wc.data(), y.data() + row0 * m, l, m, nc, nc, m,
-                m, false);
+        simd_ops.gemmF32(xc, wc, y.data() + row0 * m, l, m, nc, nc, m,
+                         m, false);
         const size_t gemm_macs = l * nc * m;
         local.reuseMacs += gemm_macs;
         OpCounts band_mm;
@@ -139,7 +157,6 @@ horizontalReuseMultiply(const Tensor &x, const Tensor &w,
                          /*a8=*/1);
     if (stats)
         *stats += local;
-    return y;
 }
 
 std::vector<HashFamily>

@@ -50,6 +50,18 @@ Tensor horizontalReuseMultiply(const Tensor &x, const Tensor &w,
                                const std::vector<HashFamily> &families,
                                OpLedger *ledger, ReuseStats *stats);
 
+/**
+ * horizontalReuseMultiply() writing into @p y (resized in place,
+ * capacity reused); band temporaries (X_i^c, W_i^c, signatures,
+ * cluster tables) come from the stream arena / thread-local scratch,
+ * so a steady-state call performs no heap allocation.
+ */
+void horizontalReuseMultiplyInto(const Tensor &x, const Tensor &w,
+                                 const HorizontalSlicing &slicing,
+                                 const std::vector<HashFamily> &families,
+                                 OpLedger *ledger, ReuseStats *stats,
+                                 Tensor &y);
+
 /** Random hash families for a banding plan (lightweight profiling). */
 std::vector<HashFamily> randomHorizontalFamilies(
     const HorizontalSlicing &slicing, size_t n, size_t num_hashes, Rng &rng);

@@ -1,7 +1,10 @@
 #include "reorder.h"
 
+#include <algorithm>
+#include <cstring>
 #include <numeric>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace genreuse {
@@ -84,23 +87,24 @@ isIdentity(const std::vector<uint32_t> &perm)
     return true;
 }
 
-Tensor
-reorderMatrix(const Tensor &in, const std::vector<uint32_t> &row_perm,
-              const std::vector<uint32_t> &col_perm)
+void
+reorderMatrixInto(const Tensor &in, const std::vector<uint32_t> &row_perm,
+                  const std::vector<uint32_t> &col_perm, Tensor &out)
 {
     GENREUSE_REQUIRE(in.shape().rank() == 2, "reorderMatrix expects rank-2");
+    GENREUSE_REQUIRE(&in != &out, "reorderMatrixInto cannot alias");
     const size_t rows = in.shape().rows(), cols = in.shape().cols();
     GENREUSE_REQUIRE(row_perm.size() == rows && col_perm.size() == cols,
                      "permutation sizes mismatch matrix ",
                      in.shape().toString());
-    Tensor out({rows, cols});
+    out.resize({rows, cols});
     if (isIdentity(col_perm)) {
         for (size_t r = 0; r < rows; ++r) {
             const float *src = in.data() + row_perm[r] * cols;
             float *dst = out.data() + r * cols;
             std::copy(src, src + cols, dst);
         }
-        return out;
+        return;
     }
     for (size_t r = 0; r < rows; ++r) {
         const float *src = in.data() + row_perm[r] * cols;
@@ -108,35 +112,82 @@ reorderMatrix(const Tensor &in, const std::vector<uint32_t> &row_perm,
         for (size_t c = 0; c < cols; ++c)
             dst[c] = src[col_perm[c]];
     }
+}
+
+Tensor
+reorderMatrix(const Tensor &in, const std::vector<uint32_t> &row_perm,
+              const std::vector<uint32_t> &col_perm)
+{
+    Tensor out;
+    reorderMatrixInto(in, row_perm, col_perm, out);
     return out;
+}
+
+void
+permuteRowsInto(const Tensor &in, const std::vector<uint32_t> &perm,
+                Tensor &out)
+{
+    GENREUSE_REQUIRE(in.shape().rank() == 2, "permuteRows expects rank-2");
+    GENREUSE_REQUIRE(&in != &out, "permuteRowsInto cannot alias");
+    const size_t rows = in.shape().rows(), cols = in.shape().cols();
+    GENREUSE_REQUIRE(perm.size() == rows, "row permutation size mismatch");
+    out.resize({rows, cols});
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = in.data() + perm[r] * cols;
+        std::copy(src, src + cols, out.data() + r * cols);
+    }
 }
 
 Tensor
 permuteRows(const Tensor &in, const std::vector<uint32_t> &perm)
 {
-    GENREUSE_REQUIRE(in.shape().rank() == 2, "permuteRows expects rank-2");
+    Tensor out;
+    permuteRowsInto(in, perm, out);
+    return out;
+}
+
+void
+unpermuteRowsInto(const Tensor &in, const std::vector<uint32_t> &perm,
+                  Tensor &out)
+{
+    GENREUSE_REQUIRE(in.shape().rank() == 2, "unpermuteRows expects rank-2");
+    GENREUSE_REQUIRE(&in != &out, "unpermuteRowsInto cannot alias");
     const size_t rows = in.shape().rows(), cols = in.shape().cols();
     GENREUSE_REQUIRE(perm.size() == rows, "row permutation size mismatch");
-    Tensor out({rows, cols});
+    out.resize({rows, cols});
     for (size_t r = 0; r < rows; ++r) {
-        const float *src = in.data() + perm[r] * cols;
-        std::copy(src, src + cols, out.data() + r * cols);
+        const float *src = in.data() + r * cols;
+        std::copy(src, src + cols, out.data() + perm[r] * cols);
     }
-    return out;
 }
 
 Tensor
 unpermuteRows(const Tensor &in, const std::vector<uint32_t> &perm)
 {
-    GENREUSE_REQUIRE(in.shape().rank() == 2, "unpermuteRows expects rank-2");
-    const size_t rows = in.shape().rows(), cols = in.shape().cols();
-    GENREUSE_REQUIRE(perm.size() == rows, "row permutation size mismatch");
-    Tensor out({rows, cols});
-    for (size_t r = 0; r < rows; ++r) {
-        const float *src = in.data() + r * cols;
-        std::copy(src, src + cols, out.data() + perm[r] * cols);
-    }
+    Tensor out;
+    unpermuteRowsInto(in, perm, out);
     return out;
+}
+
+void
+permuteColumnsInPlace(Tensor &m, const std::vector<uint32_t> &perm)
+{
+    GENREUSE_REQUIRE(m.shape().rank() == 2,
+                     "permuteColumnsInPlace expects rank-2");
+    const size_t rows = m.shape().rows(), cols = m.shape().cols();
+    GENREUSE_REQUIRE(perm.size() == cols,
+                     "column permutation size mismatch");
+    if (isIdentity(perm))
+        return;
+    Arena &arena = Arena::forCurrentStream();
+    ArenaFrame frame(arena);
+    float *scratch = arena.allocSpan<float>(cols);
+    for (size_t r = 0; r < rows; ++r) {
+        float *row = m.data() + r * cols;
+        for (size_t c = 0; c < cols; ++c)
+            scratch[c] = row[perm[c]];
+        std::memcpy(row, scratch, cols * sizeof(float));
+    }
 }
 
 std::vector<uint32_t>

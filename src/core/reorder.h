@@ -37,11 +37,31 @@ Tensor reorderMatrix(const Tensor &in,
                      const std::vector<uint32_t> &row_perm,
                      const std::vector<uint32_t> &col_perm);
 
+/** reorderMatrix() writing into @p out (resized, capacity reused). */
+void reorderMatrixInto(const Tensor &in,
+                       const std::vector<uint32_t> &row_perm,
+                       const std::vector<uint32_t> &col_perm, Tensor &out);
+
 /** Permute only rows of a matrix: out[r, :] = in[perm[r], :]. */
 Tensor permuteRows(const Tensor &in, const std::vector<uint32_t> &perm);
 
+/** permuteRows() writing into @p out (resized, capacity reused). */
+void permuteRowsInto(const Tensor &in, const std::vector<uint32_t> &perm,
+                     Tensor &out);
+
 /** Inverse row permutation: out[perm[r], :] = in[r, :]. */
 Tensor unpermuteRows(const Tensor &in, const std::vector<uint32_t> &perm);
+
+/** unpermuteRows() writing into @p out (resized, capacity reused). */
+void unpermuteRowsInto(const Tensor &in, const std::vector<uint32_t> &perm,
+                       Tensor &out);
+
+/**
+ * Gather each row's columns in place: m[r, c] = m[r, perm[c]]. Uses a
+ * one-row scratch buffer from the stream arena — no matrix-sized copy,
+ * unlike reorderMatrix with an identity row permutation.
+ */
+void permuteColumnsInPlace(Tensor &m, const std::vector<uint32_t> &perm);
 
 /** Inverse of a permutation. */
 std::vector<uint32_t> invertPermutation(const std::vector<uint32_t> &perm);

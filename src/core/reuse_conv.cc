@@ -26,15 +26,17 @@ ReuseConvAlgo::fit(const Tensor &sample_default_x, const ConvGeometry &geom)
     // Reorder the sample the same way multiply() will reorder inputs
     // (the sample's rows keep their order: the clustering statistics
     // are permutation-invariant over rows of the sample). Random mode
-    // only uses the sample's shape, so the reorder is skipped there.
-    Tensor sample = sample_default_x;
+    // only uses the sample's shape, so both the reorder and the sample
+    // copy are skipped there; Learned mode gathers the columns in
+    // place on its one copy instead of materializing an identity row
+    // permutation and a second matrix.
     if (mode_ == HashMode::Learned && !isIdentity(colPerm_)) {
-        std::vector<uint32_t> id(sample.shape().rows());
-        for (size_t i = 0; i < id.size(); ++i)
-            id[i] = static_cast<uint32_t>(i);
-        sample = reorderMatrix(sample, id, colPerm_);
+        Tensor sample = sample_default_x;
+        permuteColumnsInPlace(sample, colPerm_);
+        fitFamilies(sample, geom);
+    } else {
+        fitFamilies(sample_default_x, geom);
     }
-    fitFamilies(sample, geom);
 }
 
 void
@@ -76,21 +78,47 @@ ReuseConvAlgo::fitFamilies(const Tensor &sample, const ConvGeometry &geom)
     }
     fittedDin_ = din;
     fitted_ = true;
+    // Refits (e.g. the guard's re-cluster rung) replace families_, so
+    // any band-remapped copies of the old families are stale.
+    mappedFamilies_.clear();
+    mappedNumBands_ = 0;
+    mappedBandHeight_ = 0;
 }
 
 Tensor
 ReuseConvAlgo::multiply(const Tensor &x, const Tensor &w,
                         const ConvGeometry &geom, CostLedger *ledger)
 {
-    Expected<Tensor> y = tryMultiply(x, w, geom, ledger);
-    if (!y.ok())
-        panic(y.status().toString());
-    return std::move(*y);
+    Tensor y;
+    multiplyInto(x, w, geom, ledger, y);
+    return y;
+}
+
+void
+ReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
+                            const ConvGeometry &geom, CostLedger *ledger,
+                            Tensor &y)
+{
+    Status s = tryMultiplyInto(x, w, geom, ledger, y);
+    if (!s.ok())
+        panic(s.toString());
 }
 
 Expected<Tensor>
 ReuseConvAlgo::tryMultiply(const Tensor &x, const Tensor &w,
                            const ConvGeometry &geom, CostLedger *ledger)
+{
+    Tensor y;
+    Status s = tryMultiplyInto(x, w, geom, ledger, y);
+    if (!s.ok())
+        return s;
+    return y;
+}
+
+Status
+ReuseConvAlgo::tryMultiplyInto(const Tensor &x, const Tensor &w,
+                               const ConvGeometry &geom, CostLedger *ledger,
+                               Tensor &y)
 {
     if (!fitted_)
         return Status::error(ErrorCode::FailedPrecondition,
@@ -107,32 +135,46 @@ ReuseConvAlgo::tryMultiply(const Tensor &x, const Tensor &w,
                              x.shape().toString(), " w ",
                              w.shape().toString(), " Din ", geom.cols());
 
-    const std::vector<uint32_t> row_perm = rowPermutation(pattern_, geom);
+    const std::vector<uint32_t> &row_perm = cachedRowPerm(geom);
     const bool reorder_rows = !isIdentity(row_perm);
     const bool reorder_cols = !isIdentity(colPerm_);
 
-    // Layout transformation of the input matrix. (The paper includes
-    // reorder cost in all reported latencies; weight-row reordering is
-    // free at runtime because weights are pre-permuted offline.)
-    Tensor xr = x;
+    // Layout transformation of the input matrix, into persistent
+    // member scratch. (The paper includes reorder cost in all reported
+    // latencies; weight-row reordering is free at runtime because
+    // weights are pre-permuted offline — here wr_ persists, so the
+    // gather costs one pass and no allocation in steady state.)
+    const Tensor *xin = &x;
     if (reorder_rows || reorder_cols) {
         profiler::ProfSpan span("reuse.transform");
         if (reorder_rows && reorder_cols) {
-            xr = reorderMatrix(x, row_perm, colPerm_);
+            reorderMatrixInto(x, row_perm, colPerm_, xr_);
         } else if (reorder_rows) {
-            xr = permuteRows(x, row_perm);
+            permuteRowsInto(x, row_perm, xr_);
         } else {
-            std::vector<uint32_t> id(x.shape().rows());
-            for (size_t i = 0; i < id.size(); ++i)
-                id[i] = static_cast<uint32_t>(i);
-            xr = reorderMatrix(x, id, colPerm_);
+            // Column gather with implicit identity row order — no
+            // identity permutation vector, no second pass.
+            const size_t rows = x.shape().rows(), cols = x.shape().cols();
+            xr_.resize({rows, cols});
+            for (size_t r = 0; r < rows; ++r) {
+                const float *src = x.data() + r * cols;
+                float *dst = xr_.data() + r * cols;
+                for (size_t c = 0; c < cols; ++c)
+                    dst[c] = src[colPerm_[c]];
+            }
         }
+        xin = &xr_;
         OpCounts tf;
         tf.elemMoves = x.size();
         reportOps(ledger, Stage::Transformation, tf);
     }
-    Tensor wr = reorder_cols ? permuteRows(w, colPerm_) : w;
-    return reuseCore(xr, wr, row_perm, reorder_rows, geom, ledger);
+    const Tensor *win = &w;
+    if (reorder_cols) {
+        permuteRowsInto(w, colPerm_, wr_);
+        win = &wr_;
+    }
+    reuseCoreInto(*xin, *win, row_perm, reorder_rows, geom, ledger, y);
+    return Status();
 }
 
 Tensor
@@ -145,7 +187,7 @@ ReuseConvAlgo::multiplyReordered(const Tensor &xr, const Tensor &wr,
     GENREUSE_REQUIRE(geom.cols() == fittedDin_,
                      "geometry changed since fit: Din ", geom.cols(),
                      " vs ", fittedDin_);
-    const std::vector<uint32_t> row_perm = rowPermutation(pattern_, geom);
+    const std::vector<uint32_t> &row_perm = cachedRowPerm(geom);
     const bool reorder_rows = !isIdentity(row_perm);
     const bool reorder_cols = !isIdentity(colPerm_);
     // The caller supplied pre-reordered inputs; the transformation is
@@ -156,38 +198,40 @@ ReuseConvAlgo::multiplyReordered(const Tensor &xr, const Tensor &wr,
         tf.elemMoves = xr.size();
         reportOps(ledger, Stage::Transformation, tf);
     }
-    return reuseCore(xr, wr, row_perm, reorder_rows, geom, ledger);
+    Tensor y;
+    reuseCoreInto(xr, wr, row_perm, reorder_rows, geom, ledger, y);
+    return y;
 }
 
-Tensor
-ReuseConvAlgo::reuseCore(const Tensor &xr, const Tensor &wr,
-                         const std::vector<uint32_t> &row_perm,
-                         bool reorder_rows, const ConvGeometry &geom,
-                         CostLedger *ledger)
+void
+ReuseConvAlgo::reuseCoreInto(const Tensor &xr, const Tensor &wr,
+                             const std::vector<uint32_t> &row_perm,
+                             bool reorder_rows, const ConvGeometry &geom,
+                             CostLedger *ledger, Tensor &y)
 {
     lastStats_ = ReuseStats{};
-    Tensor yr;
+    // With a row reorder the kernel writes the permuted-order output
+    // into persistent scratch and the unpermute gathers into y;
+    // without one the kernel writes y directly.
+    Tensor &yr = reorder_rows ? yTmp_ : y;
     if (pattern_.direction == ReuseDirection::Vertical) {
-        yr = verticalReuseMultiply(xr, wr, vslice_, families_, ledger,
-                                   &lastStats_);
+        verticalReuseMultiplyInto(xr, wr, vslice_, families_, ledger,
+                                  &lastStats_, yr);
     } else {
         HorizontalSlicing plan = HorizontalSlicing::plan(
             xr.shape().rows(), pattern_.effectiveGranularity(geom));
-        if (families_.size() == plan.numBands) {
-            yr = horizontalReuseMultiply(xr, wr, plan, families_, ledger,
-                                         &lastStats_);
-        } else {
-            yr = horizontalReuseMultiply(xr, wr, plan,
-                                         remapFamilies(plan), ledger,
-                                         &lastStats_);
-        }
+        const std::vector<HashFamily> &fams =
+            families_.size() == plan.numBands ? families_
+                                              : remapFamiliesCached(plan);
+        horizontalReuseMultiplyInto(xr, wr, plan, fams, ledger,
+                                    &lastStats_, yr);
     }
 
     if (reorder_rows) {
         profiler::ProfSpan span("reuse.recover");
-        yr = unpermuteRows(yr, row_perm);
+        unpermuteRowsInto(yTmp_, row_perm, y);
         OpCounts rc;
-        rc.elemMoves = yr.size();
+        rc.elemMoves = y.size();
         reportOps(ledger, Stage::Recovering, rc);
     }
     // One aggregated reuse event per layer forward, on top of the
@@ -199,7 +243,31 @@ ReuseConvAlgo::reuseCore(const Tensor &xr, const Tensor &wr,
                          static_cast<double>(lastStats_.totalVectors),
                          0.0,
                          static_cast<uint32_t>(lastStats_.totalCentroids));
-    return yr;
+}
+
+const std::vector<uint32_t> &
+ReuseConvAlgo::cachedRowPerm(const ConvGeometry &geom)
+{
+    // (batch, rows) determines the permutation for every RowOrder:
+    // pix = rows / batch, and Custom perms are validated against rows.
+    if (rowPermBatch_ != geom.batch || rowPermRows_ != geom.rows()) {
+        rowPerm_ = rowPermutation(pattern_, geom);
+        rowPermBatch_ = geom.batch;
+        rowPermRows_ = geom.rows();
+    }
+    return rowPerm_;
+}
+
+const std::vector<HashFamily> &
+ReuseConvAlgo::remapFamiliesCached(const HorizontalSlicing &plan)
+{
+    if (mappedNumBands_ != plan.numBands ||
+        mappedBandHeight_ != plan.bandHeight) {
+        mappedFamilies_ = remapFamilies(plan);
+        mappedNumBands_ = plan.numBands;
+        mappedBandHeight_ = plan.bandHeight;
+    }
+    return mappedFamilies_;
 }
 
 std::vector<HashFamily>

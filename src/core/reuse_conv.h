@@ -76,6 +76,23 @@ class ReuseConvAlgo : public ConvAlgo
                                  CostLedger *ledger);
 
     /**
+     * tryMultiply() writing into @p y (resized in place, capacity
+     * reused). Layout-transform scratch (the reordered input/weights,
+     * the pre-unpermute output) lives in member buffers that persist
+     * across forwards, and the row permutation and any band-remapped
+     * families are cached, so a steady-state call performs no heap
+     * allocation. @p y is untouched on error.
+     */
+    Status tryMultiplyInto(const Tensor &x, const Tensor &w,
+                           const ConvGeometry &geom, CostLedger *ledger,
+                           Tensor &y);
+
+    /** multiply() writing into @p y; panics on error like multiply(). */
+    void multiplyInto(const Tensor &x, const Tensor &w,
+                      const ConvGeometry &geom, CostLedger *ledger,
+                      Tensor &y);
+
+    /**
      * multiply() for inputs already in the pattern's row/column order
      * (weights pre-permuted to match). The transformation cost is
      * charged exactly as multiply() would, so ledgers — and therefore
@@ -105,11 +122,14 @@ class ReuseConvAlgo : public ConvAlgo
 
   private:
     void fitFamilies(const Tensor &sample, const ConvGeometry &geom);
-    Tensor reuseCore(const Tensor &xr, const Tensor &wr,
-                     const std::vector<uint32_t> &row_perm,
-                     bool reorder_rows, const ConvGeometry &geom,
-                     CostLedger *ledger);
+    void reuseCoreInto(const Tensor &xr, const Tensor &wr,
+                       const std::vector<uint32_t> &row_perm,
+                       bool reorder_rows, const ConvGeometry &geom,
+                       CostLedger *ledger, Tensor &y);
     std::vector<HashFamily> remapFamilies(const HorizontalSlicing &plan);
+    const std::vector<HashFamily> &
+    remapFamiliesCached(const HorizontalSlicing &plan);
+    const std::vector<uint32_t> &cachedRowPerm(const ConvGeometry &geom);
 
     ReusePattern pattern_;
     HashMode mode_;
@@ -122,6 +142,19 @@ class ReuseConvAlgo : public ConvAlgo
     bool fitted_ = false;
     size_t fittedDin_ = 0;
     bool warnedBandMismatch_ = false;
+
+    // Forward-path scratch, reused across calls so steady-state
+    // multiplies allocate nothing: reordered input / weights, the
+    // pre-unpermute output, the cached row permutation (keyed on the
+    // geometry it was built for) and band-remapped hash families
+    // (keyed on the banding plan).
+    Tensor xr_, wr_, yTmp_;
+    std::vector<uint32_t> rowPerm_;
+    size_t rowPermBatch_ = static_cast<size_t>(-1);
+    size_t rowPermRows_ = static_cast<size_t>(-1);
+    std::vector<HashFamily> mappedFamilies_;
+    size_t mappedNumBands_ = 0;
+    size_t mappedBandHeight_ = 0;
 
     ReuseStats lastStats_;
 };

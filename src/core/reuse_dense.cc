@@ -66,21 +66,35 @@ ReuseDense::forward(const Tensor &x, bool training)
     trace::TraceScope tscope(name());
     profiler::ProfSpan pspan("dense.reuse");
     eventlog::LayerScope escope(name());
-    // Flatten per sample (same convention as Dense).
+    // Flatten per sample (same convention as Dense). A rank-2 input is
+    // already flat: use it in place instead of copying; higher ranks
+    // flatten into persistent member scratch (row-major storage makes
+    // the flatten a relabel-plus-copy, never a gather).
     const size_t n = x.shape().dim(0);
-    Tensor flat = x.reshaped({n, x.size() / n});
+    const Tensor *flat = &x;
+    if (x.shape().rank() != 2) {
+        flat_.resize({n, x.size() / n});
+        std::copy(x.data(), x.data() + x.size(), flat_.data());
+        flat = &flat_;
+    }
 
     if (faultpoint::active(faultpoint::Fault::NanActivation)) {
+        if (flat != &flat_) {
+            // Corrupt a copy, never the caller's activations.
+            flat_.resize({n, x.size() / n});
+            std::copy(x.data(), x.data() + x.size(), flat_.data());
+            flat = &flat_;
+        }
         faultpoint::noteFired(faultpoint::Fault::NanActivation);
-        corruptWithNan(flat, faultpoint::seed());
+        corruptWithNan(flat_, faultpoint::seed());
     }
 
     // Segment reuse averages segments across the row, so one NaN would
     // smear over every output; the exact product confines it. Scan is
     // O(N*F), negligible next to the O(N*F*O) product.
     bool finite = true;
-    for (size_t i = 0; i < flat.size() && finite; ++i)
-        finite = std::isfinite(flat.data()[i]);
+    for (size_t i = 0; i < flat->size() && finite; ++i)
+        finite = std::isfinite(flat->data()[i]);
     if (!finite) {
         warnOnce("reuse-dense-nonfinite",
                  "ReuseDense ", name(),
@@ -89,15 +103,15 @@ ReuseDense::forward(const Tensor &x, bool training)
         guard::noteNonFiniteInput();
         lastRung_ = GuardRung::ExactFallback;
         lastStats_ = ReuseStats{};
-        return fcExactForward(flat, dense_.weight().value,
+        return fcExactForward(*flat, dense_.weight().value,
                               dense_.bias().value);
     }
 
     lastRung_ = GuardRung::FullReuse;
     lastStats_ = ReuseStats{};
-    Tensor y = fcReuseForward(flat, dense_.weight().value,
-                              dense_.bias().value, segmentLen_, *family_,
-                              ledger_, &lastStats_);
+    Tensor y;
+    fcReuseForwardInto(*flat, dense_.weight().value, dense_.bias().value,
+                       segmentLen_, *family_, ledger_, &lastStats_, y);
     if (eventlog::enabled())
         eventlog::record(eventlog::Type::LayerReuse, 0,
                          lastStats_.redundancyRatio(),

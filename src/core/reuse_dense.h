@@ -67,6 +67,7 @@ class ReuseDense : public Layer
     size_t segmentLen_ = 0;
     std::unique_ptr<HashFamily> family_;
     CostLedger *ledger_ = nullptr;
+    Tensor flat_; //!< flatten / fault-injection scratch, reused
     ReuseStats lastStats_;
     GuardRung lastRung_ = GuardRung::FullReuse;
 };

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
@@ -34,22 +36,31 @@ namespace {
 
 /**
  * Copy blockRows x width neuron blocks of one slice into contiguous
- * rows so they can be hashed and averaged as single items.
+ * rows (at @p dst, num_blocks * block_rows * width floats) so they can
+ * be hashed and averaged as single items.
  */
+void
+materializeBlocksInto(const Tensor &x, size_t col0, size_t width,
+                      size_t block_rows, size_t num_blocks, float *dst)
+{
+    const size_t din = x.shape().cols();
+    for (size_t b = 0; b < num_blocks; ++b) {
+        float *db = dst + b * block_rows * width;
+        for (size_t i = 0; i < block_rows; ++i) {
+            const float *src =
+                x.data() + (b * block_rows + i) * din + col0;
+            std::copy(src, src + width, db + i * width);
+        }
+    }
+}
+
 Tensor
 materializeBlocks(const Tensor &x, size_t col0, size_t width,
                   size_t block_rows, size_t num_blocks)
 {
-    const size_t din = x.shape().cols();
     Tensor blocks({num_blocks, block_rows * width});
-    for (size_t b = 0; b < num_blocks; ++b) {
-        float *dst = blocks.data() + b * block_rows * width;
-        for (size_t i = 0; i < block_rows; ++i) {
-            const float *src =
-                x.data() + (b * block_rows + i) * din + col0;
-            std::copy(src, src + width, dst + i * width);
-        }
-    }
+    materializeBlocksInto(x, col0, width, block_rows, num_blocks,
+                          blocks.data());
     return blocks;
 }
 
@@ -61,6 +72,17 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
                       const std::vector<HashFamily> &families,
                       OpLedger *ledger, ReuseStats *stats)
 {
+    Tensor y;
+    verticalReuseMultiplyInto(x, w, slicing, families, ledger, stats, y);
+    return y;
+}
+
+void
+verticalReuseMultiplyInto(const Tensor &x, const Tensor &w,
+                          const VerticalSlicing &slicing,
+                          const std::vector<HashFamily> &families,
+                          OpLedger *ledger, ReuseStats *stats, Tensor &y)
+{
     GENREUSE_REQUIRE(x.shape().rank() == 2 && w.shape().rank() == 2,
                      "reuse multiply expects matrices");
     const size_t n = x.shape().rows(), din = x.shape().cols();
@@ -71,7 +93,8 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
                      " slices, ", families.size(), " families");
     profiler::ProfSpan pspan("vertical.reuse");
 
-    Tensor y({n, m});
+    y.resize({n, m});
+    y.zero(); // slices accumulate
     ReuseStats local;
     local.exactMacs = n * din * m;
 
@@ -79,17 +102,25 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
     const size_t full_blocks = n / r;
     const size_t rem_rows = n - full_blocks * r;
 
+    const simd::Ops &simd_ops = simd::ops();
+    Arena &arena = Arena::forCurrentStream();
+    // Cluster table scratch persists across slices AND forwards (one
+    // inference stream per thread): its vectors/centroids regrow to
+    // the largest panel once, then steady-state reclustering is
+    // allocation-free.
+    static thread_local ClusterResult t_clusters;
+    ClusterResult &clusters = t_clusters;
+
     for (size_t k = 0; k < slicing.numSlices; ++k) {
         const size_t col0 = k * slicing.sliceWidth;
         const size_t width = slicing.width(k, din);
         const float *w_slice = w.data() + col0 * m;
+        ArenaFrame frame(arena); // per-slice scratch
 
         // ---- clustering -------------------------------------------
         // clusterBySignature reports the actual hashing/grouping/
         // centroid op counts; nothing here is estimated.
-        ClusterResult clusters;
         OpCounts cluster_ops;
-        Tensor blocks; // keeps block storage alive for r > 1
         if (r == 1) {
             StridedItems items;
             items.base = x.data() + col0;
@@ -97,19 +128,22 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
             items.length = width;
             items.itemStride = din;
             items.elemStride = 1;
-            clusters = clusterBySignature(items, families[k], &cluster_ops);
+            clusterBySignatureInto(items, families[k], clusters,
+                                   &cluster_ops);
         } else {
-            blocks = materializeBlocks(x, col0, width, r, full_blocks);
+            float *blocks = arena.allocSpan<float>(full_blocks * r * width);
+            materializeBlocksInto(x, col0, width, r, full_blocks, blocks);
             OpCounts tf;
-            tf.elemMoves = blocks.size();
+            tf.elemMoves = full_blocks * r * width;
             reportOps(ledger, Stage::Transformation, tf);
             StridedItems items;
-            items.base = blocks.data();
+            items.base = blocks;
             items.count = full_blocks;
             items.length = r * width;
             items.itemStride = r * width;
             items.elemStride = 1;
-            clusters = clusterBySignature(items, families[k], &cluster_ops);
+            clusterBySignatureInto(items, families[k], clusters,
+                                   &cluster_ops);
         }
         if (!clusterTableValid(clusters)) {
             // A corrupted/degenerate table (bit-flip, fault injection)
@@ -140,11 +174,11 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
         // ---- centroid GEMM -----------------------------------------
         // The centroid matrix of r-row blocks is (nc x r*width)
         // row-major, which is exactly (nc*r x width) row-major.
-        Tensor yc({nc * r, m});
+        float *yc = arena.allocSpan<float>(nc * r * m);
         {
             profiler::ProfSpan span("vertical.gemm");
-            gemmRaw(clusters.centroids.data(), w_slice, yc.data(),
-                    nc * r, m, width, width, m, m, false);
+            simd_ops.gemmF32(clusters.centroids.data(), w_slice, yc,
+                             nc * r, m, width, width, m, m, false);
         }
         const size_t gemm_macs = nc * r * width * m;
         local.reuseMacs += gemm_macs;
@@ -156,19 +190,14 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
         profiler::ProfSpan recover_span("vertical.recover");
         if (r == 1) {
             for (size_t row = 0; row < n; ++row) {
-                const float *src =
-                    yc.data() + clusters.assignments[row] * m;
-                float *dst = y.data() + row * m;
-                for (size_t c = 0; c < m; ++c)
-                    dst[c] += src[c];
+                const float *src = yc + clusters.assignments[row] * m;
+                simd_ops.addInto(y.data() + row * m, src, m);
             }
         } else {
             for (size_t b = 0; b < full_blocks; ++b) {
                 const float *src =
-                    yc.data() + clusters.assignments[b] * r * m;
-                float *dst = y.data() + b * r * m;
-                for (size_t c = 0; c < r * m; ++c)
-                    dst[c] += src[c];
+                    yc + clusters.assignments[b] * r * m;
+                simd_ops.addInto(y.data() + b * r * m, src, r * m);
             }
             // Remainder rows that do not fill a block: exact GEMM.
             if (rem_rows > 0) {
@@ -202,7 +231,6 @@ verticalReuseMultiply(const Tensor &x, const Tensor &w,
                          /*a8=*/0);
     if (stats)
         *stats += local;
-    return y;
 }
 
 std::vector<HashFamily>

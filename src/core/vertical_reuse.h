@@ -54,6 +54,20 @@ Tensor verticalReuseMultiply(const Tensor &x, const Tensor &w,
                              OpLedger *ledger, ReuseStats *stats);
 
 /**
+ * verticalReuseMultiply() writing into @p y (resized in place, capacity
+ * reused). All kernel temporaries — materialized blocks, signatures,
+ * cluster tables, the centroid GEMM output — come from the calling
+ * thread's stream arena or thread-local scratch, so a steady-state call
+ * performs no heap allocation. Results are identical to the returning
+ * form.
+ */
+void verticalReuseMultiplyInto(const Tensor &x, const Tensor &w,
+                               const VerticalSlicing &slicing,
+                               const std::vector<HashFamily> &families,
+                               OpLedger *ledger, ReuseStats *stats,
+                               Tensor &y);
+
+/**
  * Build random hash families (the paper's lightweight profiling
  * configuration) for a slicing plan.
  */

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
-#include <unordered_map>
 
+#include "common/arena.h"
 #include "common/eventlog.h"
 #include "common/faultpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace genreuse {
 
@@ -27,61 +29,91 @@ ClusterResult
 clusterBySignature(const StridedItems &items, const HashFamily &family,
                    OpCounts *ops)
 {
-    if (ops)
-        ops->macs += family.hashMacs(items.count);
-    return clusterSignatures(items, family.signatures(items), ops);
+    ClusterResult result;
+    clusterBySignatureInto(items, family, result, ops);
+    return result;
 }
 
 namespace {
 
 /**
- * Group items by signature into a ClusterResult: assignments in
- * first-seen order, mean centroids, size histogram and CSR membership.
- * Items flagged in @p singleton (when non-null) bypass the signature
- * map and each get a fresh cluster of their own — the repair path for
+ * Group items by signature into @p result: assignments in first-seen
+ * order, mean centroids, size histogram and CSR membership. Items
+ * flagged in @p singleton (when non-null) bypass the signature map and
+ * each get a fresh cluster of their own — the repair path for
  * non-finite rows.
+ *
+ * The signature -> id map is an open-addressing table in the stream
+ * arena (the std::unordered_map this replaces allocated a node per
+ * distinct signature on every forward). Ids are still assigned in
+ * first-seen item order, so the result is identical. @p result's
+ * vectors/centroids are rebuilt in place, reusing capacity.
  */
-ClusterResult
-groupBySignature(const StridedItems &items,
-                 const std::vector<uint64_t> &sigs,
-                 const std::vector<uint8_t> *singleton, OpCounts *ops)
+void
+groupBySignature(const StridedItems &items, const uint64_t *sigs,
+                 const uint8_t *singleton, ClusterResult &result,
+                 OpCounts *ops)
 {
-    ClusterResult result;
+    Arena &arena = Arena::forCurrentStream();
+    ArenaFrame frame(arena);
+
     result.assignments.resize(items.count);
 
-    std::unordered_map<uint64_t, uint32_t> ids;
-    ids.reserve(items.count);
+    // Open-addressing signature table: pow-2 size at most half full.
+    size_t table_size = 16;
+    while (table_size < 2 * items.count)
+        table_size <<= 1;
+    const size_t mask = table_size - 1;
+    uint64_t *keys = arena.allocSpan<uint64_t>(table_size);
+    uint32_t *vals = arena.allocSpan<uint32_t>(table_size);
+    constexpr uint32_t kEmpty = UINT32_MAX;
+    std::memset(vals, 0xff, table_size * sizeof(uint32_t));
+
     uint32_t next_id = 0;
     for (size_t i = 0; i < items.count; ++i) {
-        if (singleton && (*singleton)[i]) {
+        if (singleton && singleton[i]) {
             result.assignments[i] = next_id++;
             continue;
         }
-        auto [it, inserted] = ids.emplace(sigs[i], next_id);
-        if (inserted)
-            ++next_id;
-        result.assignments[i] = it->second;
+        const uint64_t sig = sigs[i];
+        // Fibonacci-style mix; linear probe.
+        size_t slot = static_cast<size_t>(
+                          (sig ^ (sig >> 29)) * 0x9e3779b97f4a7c15ull) &
+                      mask;
+        while (vals[slot] != kEmpty && keys[slot] != sig)
+            slot = (slot + 1) & mask;
+        if (vals[slot] == kEmpty) {
+            keys[slot] = sig;
+            vals[slot] = next_id++;
+        }
+        result.assignments[i] = vals[slot];
     }
 
     const size_t nc = next_id;
+    const simd::Ops &simd_ops = simd::ops();
     result.sizes.assign(nc, 0);
-    result.centroids = Tensor({nc == 0 ? 1 : nc, items.length});
+    result.centroids.resize({nc == 0 ? 1 : nc, items.length});
     result.centroids.zero();
+    const bool rows_contiguous = items.contiguousRows();
     for (size_t i = 0; i < items.count; ++i) {
         uint32_t c = result.assignments[i];
         result.sizes[c]++;
         float *dst = result.centroids.data() + c * items.length;
-        for (size_t j = 0; j < items.length; ++j)
-            dst[j] += items.at(i, j);
+        if (rows_contiguous) {
+            simd_ops.addInto(dst, items.base + i * items.itemStride,
+                             items.length);
+        } else {
+            for (size_t j = 0; j < items.length; ++j)
+                dst[j] += items.at(i, j);
+        }
     }
     for (size_t c = 0; c < nc; ++c) {
         float inv = 1.0f / static_cast<float>(result.sizes[c]);
-        float *dst = result.centroids.data() + c * items.length;
-        for (size_t j = 0; j < items.length; ++j)
-            dst[j] *= inv;
+        simd_ops.scaleInPlace(result.centroids.data() + c * items.length,
+                              inv, items.length);
     }
     if (nc == 0)
-        result.centroids = Tensor({0, items.length}, std::vector<float>{});
+        result.centroids.resize({0, items.length});
 
     // CSR membership: counting sort over items preserves ascending item
     // order within each cluster.
@@ -90,7 +122,9 @@ groupBySignature(const StridedItems &items,
         result.memberOffsets[c + 1] = result.memberOffsets[c] +
                                       result.sizes[c];
     result.memberIndices.resize(items.count);
-    std::vector<size_t> cursor = result.memberOffsets;
+    size_t *cursor = arena.allocSpan<size_t>(nc + 1);
+    std::memcpy(cursor, result.memberOffsets.data(),
+                (nc + 1) * sizeof(size_t));
     for (size_t i = 0; i < items.count; ++i) {
         uint32_t c = result.assignments[i];
         result.memberIndices[cursor[c]++] = static_cast<uint32_t>(i);
@@ -104,7 +138,6 @@ groupBySignature(const StridedItems &items,
         ops->aluOps += items.count * items.length + nc * items.length;
         ops->elemMoves += nc * items.length; // centroid panel store
     }
-    return result;
 }
 
 /**
@@ -179,26 +212,27 @@ injectClusterFaults(const StridedItems &items, ClusterResult &result)
 
 } // namespace
 
-ClusterResult
-clusterSignatures(const StridedItems &items,
-                  const std::vector<uint64_t> &sigs, OpCounts *ops)
+void
+clusterSignaturesInto(const StridedItems &items, const uint64_t *sigs,
+                      ClusterResult &result, OpCounts *ops)
 {
-    GENREUSE_REQUIRE(sigs.size() == items.count,
-                     "signature count mismatches item count");
     profiler::ProfSpan pspan("lsh.cluster");
+    Arena &arena = Arena::forCurrentStream();
+    ArenaFrame frame(arena);
 
-    const std::vector<uint64_t> *use = &sigs;
-    std::vector<uint64_t> collapsed;
+    const uint64_t *use = sigs;
     if (faultpoint::anyArmed() &&
         faultpoint::active(faultpoint::Fault::ClusterCollapse)) {
         // Simulate a pathological hash family: every signature
         // collides, so the whole panel becomes one giant cluster.
         faultpoint::noteFired(faultpoint::Fault::ClusterCollapse);
-        collapsed.assign(items.count, faultpoint::seed());
-        use = &collapsed;
+        uint64_t *collapsed = arena.allocSpan<uint64_t>(items.count);
+        for (size_t i = 0; i < items.count; ++i)
+            collapsed[i] = faultpoint::seed();
+        use = collapsed;
     }
 
-    ClusterResult result = groupBySignature(items, *use, nullptr, ops);
+    groupBySignature(items, use, nullptr, result, ops);
 
     if (centroidsPoisoned(result, items.length)) {
         // Rare repair path: locate the non-finite rows (full scan is
@@ -210,10 +244,10 @@ clusterSignatures(const StridedItems &items,
         warnOnce("lsh-nonfinite-items",
                  "non-finite item rows detected during clustering; "
                  "routing them to singleton clusters");
-        std::vector<uint8_t> bad(items.count, 0);
+        uint8_t *bad = arena.allocSpan<uint8_t>(items.count);
         for (size_t i = 0; i < items.count; ++i)
             bad[i] = rowFinite(items, i) ? 0 : 1;
-        result = groupBySignature(items, *use, &bad, ops);
+        groupBySignature(items, use, bad, result, ops);
     }
 
     if (faultpoint::anyArmed())
@@ -237,6 +271,29 @@ clusterSignatures(const StridedItems &items,
                          result.redundancyRatio(),
                          static_cast<double>(result.numItems()), 0.0,
                          static_cast<uint32_t>(result.numClusters()));
+}
+
+void
+clusterBySignatureInto(const StridedItems &items, const HashFamily &family,
+                       ClusterResult &result, OpCounts *ops)
+{
+    if (ops)
+        ops->macs += family.hashMacs(items.count);
+    Arena &arena = Arena::forCurrentStream();
+    ArenaFrame frame(arena);
+    uint64_t *sigs = arena.allocSpan<uint64_t>(items.count);
+    family.signaturesInto(items, sigs);
+    clusterSignaturesInto(items, sigs, result, ops);
+}
+
+ClusterResult
+clusterSignatures(const StridedItems &items,
+                  const std::vector<uint64_t> &sigs, OpCounts *ops)
+{
+    GENREUSE_REQUIRE(sigs.size() == items.count,
+                     "signature count mismatches item count");
+    ClusterResult result;
+    clusterSignaturesInto(items, sigs.data(), result, ops);
     return result;
 }
 

@@ -62,6 +62,24 @@ ClusterResult clusterBySignature(const StridedItems &items,
                                  OpCounts *ops = nullptr);
 
 /**
+ * clusterBySignature() for the zero-allocation forward path: hashes
+ * into arena scratch and rebuilds @p result in place, reusing the
+ * capacity of its vectors/centroids across calls. After a warm-up call
+ * has grown the capacities for a panel size, steady-state re-clustering
+ * of same-or-smaller panels performs no heap allocation. Results are
+ * identical to clusterBySignature (same first-seen cluster ids, same
+ * accumulation order).
+ */
+void clusterBySignatureInto(const StridedItems &items,
+                            const HashFamily &family, ClusterResult &result,
+                            OpCounts *ops = nullptr);
+
+/** clusterSignatures() into a capacity-reusing @p result; @p sigs is a
+ *  pointer span of items.count precomputed signatures. */
+void clusterSignaturesInto(const StridedItems &items, const uint64_t *sigs,
+                           ClusterResult &result, OpCounts *ops = nullptr);
+
+/**
  * Cluster pre-computed signatures (used when the caller already hashed,
  * e.g. to reuse signatures across reuse-direction variants). @p ops as
  * in clusterBySignature, minus the hashing MACs.

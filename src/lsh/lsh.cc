@@ -1,6 +1,8 @@
 #include "lsh.h"
 
+#include "common/arena.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "tensor/gemm.h"
 
 namespace genreuse {
@@ -18,6 +20,13 @@ HashFamily::HashFamily(Tensor vectors, std::vector<float> biases)
         biases_.assign(vectors_.shape().rows(), 0.0f);
     GENREUSE_REQUIRE(biases_.size() == vectors_.shape().rows(),
                      "bias count mismatches hash function count");
+    // Transpose cached eagerly (not lazily) so const families can be
+    // shared across explorer threads without synchronization.
+    const size_t h = vectors_.shape().rows(), l = vectors_.shape().cols();
+    vectorsT_ = Tensor({l, h});
+    for (size_t f = 0; f < h; ++f)
+        for (size_t j = 0; j < l; ++j)
+            vectorsT_.at2(j, f) = vectors_.at2(f, j);
 }
 
 HashFamily
@@ -46,38 +55,60 @@ HashFamily::signature(const StridedItems &items, size_t index) const
     return sig;
 }
 
-std::vector<uint64_t>
-HashFamily::signatures(const StridedItems &items) const
+void
+HashFamily::signaturesInto(const StridedItems &items, uint64_t *sigs) const
 {
     GENREUSE_REQUIRE(items.length == vectorLength(),
                      "item length ", items.length,
                      " != hash vector length ", vectorLength());
     const size_t h = numFunctions(), l = vectorLength();
-    std::vector<uint64_t> sigs(items.count, 0);
+    if (items.count == 0)
+        return;
+    const simd::Ops &ops = simd::ops();
 
-    if (items.contiguousRows() && items.count > 0) {
-        // Fast path: S = X x V^T via the blocked GEMM, then sign.
-        // V is H x L so we multiply rows of X against rows of V.
-        Tensor vt({l, h});
-        for (size_t f = 0; f < h; ++f)
-            for (size_t j = 0; j < l; ++j)
-                vt.at2(j, f) = vectors_.at2(f, j);
-        Tensor proj({items.count, h});
-        gemmRaw(items.base, vt.data(), proj.data(), items.count, h, l,
-                items.itemStride, h, h, false);
+    if (items.contiguousRows()) {
+        // Row fast path: S = X x V^T via the dispatched GEMM, then the
+        // sign pass.
+        Arena &arena = Arena::forCurrentStream();
+        ArenaFrame frame(arena);
+        float *proj = arena.allocSpan<float>(items.count * h);
+        ops.gemmF32(items.base, vectorsT_.data(), proj, items.count, h, l,
+                    items.itemStride, h, h, false);
+        ops.signProject(proj, biases_.data(), items.count, h, sigs);
+        return;
+    }
+
+    if (items.itemStride == 1) {
+        // Column fast path (the horizontal kernel's per-band view):
+        // items are columns of a row-major panel with row stride
+        // elemStride, so P = V x X is a plain GEMM with
+        // P[f][i] = Σ_j v[f][j] * item_i[j] — the same ordered float
+        // sum the row path computes, transposed.
+        Arena &arena = Arena::forCurrentStream();
+        ArenaFrame frame(arena);
+        float *proj = arena.allocSpan<float>(h * items.count);
+        ops.gemmF32(vectors_.data(), items.base, proj, h, items.count, l,
+                    l, items.elemStride, items.count, false);
         for (size_t i = 0; i < items.count; ++i) {
             uint64_t sig = 0;
             for (size_t f = 0; f < h; ++f) {
-                if (proj.at2(i, f) + biases_[f] > 0.0f)
+                if (proj[f * items.count + i] + biases_[f] > 0.0f)
                     sig |= uint64_t{1} << f;
             }
             sigs[i] = sig;
         }
-        return sigs;
+        return;
     }
 
     for (size_t i = 0; i < items.count; ++i)
         sigs[i] = signature(items, i);
+}
+
+std::vector<uint64_t>
+HashFamily::signatures(const StridedItems &items) const
+{
+    std::vector<uint64_t> sigs(items.count, 0);
+    signaturesInto(items, sigs.data());
     return sigs;
 }
 

@@ -52,6 +52,17 @@ class HashFamily
     std::vector<uint64_t> signatures(const StridedItems &items) const;
 
     /**
+     * signatures() without the output allocation: writes into
+     * @p sigs[0 .. items.count). Dispatched-GEMM fast paths cover
+     * contiguous rows AND unit-item-stride column layouts (the
+     * horizontal kernel's per-band view); scratch comes from the
+     * calling thread's stream arena. Both fast paths accumulate each
+     * projection as the same ordered float sequence, so row- and
+     * column-view signatures of the same data agree bit-for-bit.
+     */
+    void signaturesInto(const StridedItems &items, uint64_t *sigs) const;
+
+    /**
      * MAC count of hashing @p n items (n * H * L) — consumed by the MCU
      * cost model, which charges clustering as an extra X x Hash GEMM.
      */
@@ -62,7 +73,8 @@ class HashFamily
     }
 
   private:
-    Tensor vectors_; // H x L
+    Tensor vectors_;  // H x L
+    Tensor vectorsT_; // L x H, cached once for the signature GEMM
     std::vector<float> biases_;
 };
 

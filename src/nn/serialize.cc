@@ -48,8 +48,8 @@ void
 writeTensor(std::ostream &os, const Tensor &t)
 {
     writeU64(os, t.shape().rank());
-    for (size_t d : t.shape().dims())
-        writeU64(os, d);
+    for (size_t i = 0; i < t.shape().rank(); ++i)
+        writeU64(os, t.shape().dim(i));
     os.write(reinterpret_cast<const char *>(t.data()),
              static_cast<std::streamsize>(t.size() * sizeof(float)));
 }
@@ -58,7 +58,8 @@ Tensor
 readTensor(std::istream &is)
 {
     uint64_t rank = readU64(is);
-    GENREUSE_REQUIRE(rank <= 8, "implausible tensor rank ", rank);
+    GENREUSE_REQUIRE(rank <= Shape::kMaxRank, "implausible tensor rank ",
+                     rank);
     std::vector<size_t> dims(rank);
     for (auto &d : dims) {
         d = readU64(is);

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/arena.h"
 #include "common/faultpoint.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 
 namespace genreuse {
 
@@ -121,11 +123,22 @@ int8Matmul(const Int8Tensor &a, const Int8Tensor &b, OpLedger *ledger)
 
     const int32_t za = a.params.zeroPoint, zb = b.params.zeroPoint;
     Tensor out({m, n});
+    Arena &arena = Arena::forCurrentStream();
+    ArenaFrame frame(arena);
     // Precompute per-column sums of b for the zero-point correction.
-    std::vector<int32_t> col_sum(n, 0);
+    int32_t *col_sum = arena.allocSpan<int32_t>(n);
+    std::fill(col_sum, col_sum + n, 0);
     for (size_t p = 0; p < k; ++p)
         for (size_t j = 0; j < n; ++j)
             col_sum[j] += b.data[p * n + j];
+
+    // Raw int32 product via the dispatched kernel (integer adds are
+    // associative, so every SIMD level is exact), then the zero-point
+    // correction + dequantize pass. (a - za)(b - zb) expanded:
+    // ab - za*b - zb*a + za*zb*k.
+    int32_t *acc = arena.allocSpan<int32_t>(m * n);
+    simd::ops().gemmInt8(a.data.data(), b.data.data(), acc, m, n, k, k,
+                         n, n);
 
     const float s = a.params.scale * b.params.scale;
     for (size_t i = 0; i < m; ++i) {
@@ -133,16 +146,12 @@ int8Matmul(const Int8Tensor &a, const Int8Tensor &b, OpLedger *ledger)
         int32_t row_sum = 0;
         for (size_t p = 0; p < k; ++p)
             row_sum += ai[p];
+        const int32_t *acci = acc + i * n;
+        float *oi = out.data() + i * n;
         for (size_t j = 0; j < n; ++j) {
-            int32_t acc = 0;
-            for (size_t p = 0; p < k; ++p) {
-                acc += static_cast<int32_t>(ai[p]) *
-                       static_cast<int32_t>(b.data[p * n + j]);
-            }
-            // (a - za)(b - zb) expanded: ab - za*b - zb*a + za*zb*k
-            int32_t corrected = acc - za * col_sum[j] - zb * row_sum +
+            int32_t corrected = acci[j] - za * col_sum[j] - zb * row_sum +
                                 za * zb * static_cast<int32_t>(k);
-            out.at2(i, j) = s * static_cast<float>(corrected);
+            oi[j] = s * static_cast<float>(corrected);
         }
     }
     reportOps(ledger, Stage::Gemm, {.macs = m * n * k});

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "tensor/tensor.h"
@@ -24,11 +25,11 @@ struct QuantParams
     int32_t zeroPoint = 0;
 };
 
-/** An int8 affine-quantized tensor. */
+/** An int8 affine-quantized tensor (64-byte-aligned storage). */
 struct Int8Tensor
 {
     Shape shape;
-    std::vector<int8_t> data;
+    AlignedVec<int8_t> data;
     QuantParams params;
 
     size_t size() const { return data.size(); }

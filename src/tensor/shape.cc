@@ -6,11 +6,26 @@
 
 namespace genreuse {
 
+Shape::Shape(std::initializer_list<size_t> dims)
+{
+    GENREUSE_REQUIRE(dims.size() <= kMaxRank, "rank ", dims.size(),
+                     " exceeds Shape::kMaxRank ", kMaxRank);
+    for (size_t d : dims)
+        dims_[rank_++] = d;
+}
+
+Shape::Shape(const std::vector<size_t> &dims)
+{
+    GENREUSE_REQUIRE(dims.size() <= kMaxRank, "rank ", dims.size(),
+                     " exceeds Shape::kMaxRank ", kMaxRank);
+    for (size_t d : dims)
+        dims_[rank_++] = d;
+}
+
 size_t
 Shape::dim(size_t i) const
 {
-    GENREUSE_REQUIRE(i < dims_.size(), "dim index ", i, " out of rank ",
-                     dims_.size());
+    GENREUSE_REQUIRE(i < rank_, "dim index ", i, " out of rank ", rank_);
     return dims_[i];
 }
 
@@ -18,8 +33,8 @@ size_t
 Shape::elems() const
 {
     size_t n = 1;
-    for (size_t d : dims_)
-        n *= d;
+    for (size_t i = 0; i < rank_; ++i)
+        n *= dims_[i];
     return n;
 }
 
@@ -28,7 +43,7 @@ Shape::toString() const
 {
     std::ostringstream os;
     os << "[";
-    for (size_t i = 0; i < dims_.size(); ++i) {
+    for (size_t i = 0; i < rank_; ++i) {
         if (i)
             os << ", ";
         os << dims_[i];

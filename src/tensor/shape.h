@@ -7,6 +7,7 @@
 #ifndef GENREUSE_TENSOR_SHAPE_H
 #define GENREUSE_TENSOR_SHAPE_H
 
+#include <array>
 #include <cstddef>
 #include <initializer_list>
 #include <string>
@@ -17,16 +18,25 @@ namespace genreuse {
 /**
  * An immutable-ish list of dimensions. Rank-4 shapes follow the NCHW
  * convention (batch, channels, height, width) throughout the library.
+ *
+ * Dimensions live inline (rank <= kMaxRank), NOT in a heap vector:
+ * shapes are built as temporaries inside the per-forward hot loops
+ * (every Tensor::resize({rows, cols}) constructs one), and a heap
+ * allocation per temporary breaks the zero-allocation steady-state
+ * contract of the arena-backed forward path.
  */
 class Shape
 {
   public:
+    /** Highest rank the library uses (NCHW). */
+    static constexpr size_t kMaxRank = 4;
+
     Shape() = default;
-    Shape(std::initializer_list<size_t> dims) : dims_(dims) {}
-    explicit Shape(std::vector<size_t> dims) : dims_(std::move(dims)) {}
+    Shape(std::initializer_list<size_t> dims);
+    explicit Shape(const std::vector<size_t> &dims);
 
     /** Number of dimensions. */
-    size_t rank() const { return dims_.size(); }
+    size_t rank() const { return rank_; }
 
     /** Size of dimension i. @pre i < rank() */
     size_t dim(size_t i) const;
@@ -44,17 +54,21 @@ class Shape
     /** Total number of elements (product of dims; 1 for rank 0). */
     size_t elems() const;
 
-    /** All dimensions. */
-    const std::vector<size_t> &dims() const { return dims_; }
-
-    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool
+    operator==(const Shape &other) const
+    {
+        // Unused trailing slots are kept zeroed, so whole-array
+        // comparison is rank-aware.
+        return rank_ == other.rank_ && dims_ == other.dims_;
+    }
     bool operator!=(const Shape &other) const { return !(*this == other); }
 
     /** Render like "[2, 3, 32, 32]". */
     std::string toString() const;
 
   private:
-    std::vector<size_t> dims_;
+    std::array<size_t, kMaxRank> dims_{};
+    size_t rank_ = 0;
 };
 
 } // namespace genreuse

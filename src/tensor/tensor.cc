@@ -16,12 +16,19 @@ Tensor::Tensor(Shape shape, float value)
 {
 }
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data))
+Tensor::Tensor(Shape shape, const std::vector<float> &data)
+    : shape_(std::move(shape)), data_(data.begin(), data.end())
 {
     GENREUSE_REQUIRE(data_.size() == shape_.elems(),
                      "data size ", data_.size(), " != shape elems ",
                      shape_.elems());
+}
+
+void
+Tensor::resize(const Shape &shape)
+{
+    shape_ = shape;
+    data_.resize(shape_.elems());
 }
 
 float &
@@ -56,7 +63,10 @@ Tensor::reshaped(Shape new_shape) const
     GENREUSE_REQUIRE(new_shape.elems() == shape_.elems(),
                      "reshape ", shape_.toString(), " -> ",
                      new_shape.toString(), " changes element count");
-    return Tensor(std::move(new_shape), data_);
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    return out;
 }
 
 void

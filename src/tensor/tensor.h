@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 #include "shape.h"
 
@@ -17,11 +18,15 @@ namespace genreuse {
 
 /**
  * Dense float tensor with contiguous row-major storage. Rank-4 tensors
- * are NCHW. Copying is deep; moves are cheap.
+ * are NCHW. Copying is deep; moves are cheap. The backing store is
+ * 64-byte aligned (AlignedVec) so SIMD kernels can assume aligned
+ * bases for freshly-allocated tensors.
  */
 class Tensor
 {
   public:
+    using Storage = AlignedVec<float>;
+
     /** An empty (rank-0, single element) tensor. */
     Tensor() : shape_({}), data_(1, 0.0f) {}
 
@@ -32,7 +37,7 @@ class Tensor
     Tensor(Shape shape, float value);
 
     /** A tensor wrapping a copy of existing data. @pre sizes match */
-    Tensor(Shape shape, std::vector<float> data);
+    Tensor(Shape shape, const std::vector<float> &data);
 
     const Shape &shape() const { return shape_; }
     size_t size() const { return data_.size(); }
@@ -64,6 +69,15 @@ class Tensor
     /** Set all elements to zero. */
     void zero() { fill(0.0f); }
 
+    /**
+     * Re-shape in place, reusing the existing buffer when its capacity
+     * suffices (no heap traffic in steady state). Element contents are
+     * unspecified afterwards — callers that need zeros must call
+     * zero(). This is the scratch-reuse primitive behind the
+     * zero-allocation forward path.
+     */
+    void resize(const Shape &shape);
+
     // ---- factories -------------------------------------------------
 
     static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -82,7 +96,7 @@ class Tensor
 
   private:
     Shape shape_;
-    std::vector<float> data_;
+    Storage data_;
 };
 
 } // namespace genreuse

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Parity matrix for the runtime SIMD dispatch layer (common/simd.h):
+ * every entry of the ops table — gemmF32, gemmInt8, addInto,
+ * scaleInPlace, signProject — is compared against the scalar oracle
+ * over ragged shapes (sizes that are not multiples of any vector
+ * width), plus the dispatch plumbing itself: level parsing, explicit
+ * table selection, fallback for unavailable levels, and the
+ * setActiveLevel() test hook.
+ *
+ * The float comparisons use a ULP distance with a bound of ZERO: the
+ * design contract (DESIGN.md "Kernel dispatch & arena") is that vector
+ * kernels are bit-identical to the scalar oracle, because the guard
+ * ladder's exact-GEMM rung must not change when dispatch picks a
+ * vector level. If that contract is ever deliberately relaxed (e.g.
+ * FMA contraction), kMaxUlps is the single knob to loosen.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+
+namespace genreuse {
+namespace {
+
+constexpr int64_t kMaxUlps = 0; // bit-identity, per the dispatch contract
+
+/** ULP distance between two floats (monotonic integer mapping). */
+int64_t
+ulpDistance(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return a == a && b == b ? 0 : INT64_MAX;
+    int32_t ia, ib;
+    std::memcpy(&ia, &a, sizeof(ia));
+    std::memcpy(&ib, &b, sizeof(ib));
+    // Map the sign-magnitude float ordering onto a monotonic integer
+    // line so the distance is meaningful across zero.
+    const int64_t ka = ia >= 0 ? ia : INT64_C(0x80000000) - ia;
+    const int64_t kb = ib >= 0 ? ib : INT64_C(0x80000000) - ib;
+    return ka >= kb ? ka - kb : kb - ka;
+}
+
+/** Restores the pre-test active level on scope exit. */
+struct LevelRestorer
+{
+    simd::Level saved = simd::activeLevel();
+    ~LevelRestorer() { (void)simd::setActiveLevel(saved); }
+};
+
+std::vector<float>
+randomFloats(size_t n, Rng &rng)
+{
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    return v;
+}
+
+std::vector<int8_t>
+randomInt8(size_t n, Rng &rng)
+{
+    std::vector<int8_t> v(n);
+    for (int8_t &x : v)
+        x = static_cast<int8_t>(static_cast<int>(rng.uniformInt(256)) - 128);
+    return v;
+}
+
+// Ragged dims: primes and off-by-one-past-a-vector-width sizes so no
+// kernel can hide a tail-handling bug behind round shapes.
+const size_t kRaggedDims[] = {1, 3, 7, 17, 33, 65};
+
+TEST(SimdDispatch, TablesAreComplete)
+{
+    for (simd::Level lvl :
+         {simd::Level::Scalar, simd::Level::Avx2, simd::Level::Neon}) {
+        const simd::Ops &t = simd::opsFor(lvl);
+        EXPECT_NE(t.name, nullptr);
+        EXPECT_NE(t.gemmF32, nullptr);
+        EXPECT_NE(t.gemmInt8, nullptr);
+        EXPECT_NE(t.addInto, nullptr);
+        EXPECT_NE(t.scaleInPlace, nullptr);
+        EXPECT_NE(t.signProject, nullptr);
+        if (!simd::available(lvl)) {
+            // Unavailable levels fall back to the scalar oracle.
+            EXPECT_EQ(t.level, simd::Level::Scalar);
+        } else {
+            EXPECT_EQ(t.level, lvl);
+        }
+    }
+}
+
+TEST(SimdDispatch, ParseLevel)
+{
+    EXPECT_EQ(*simd::parseLevel("scalar"), simd::Level::Scalar);
+    EXPECT_EQ(*simd::parseLevel("SCALAR"), simd::Level::Scalar);
+    EXPECT_EQ(*simd::parseLevel("avx2"), simd::Level::Avx2);
+    EXPECT_EQ(*simd::parseLevel("Neon"), simd::Level::Neon);
+    EXPECT_EQ(*simd::parseLevel("auto"), simd::detect());
+    EXPECT_FALSE(simd::parseLevel("sse9").ok());
+    EXPECT_FALSE(simd::parseLevel("").ok());
+    EXPECT_EQ(simd::parseLevel("bogus").status().code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(SimdDispatch, SetActiveLevel)
+{
+    LevelRestorer restore;
+    ASSERT_TRUE(simd::setActiveLevel(simd::Level::Scalar).ok());
+    EXPECT_EQ(simd::activeLevel(), simd::Level::Scalar);
+    EXPECT_STREQ(simd::ops().name, "scalar");
+
+    // Whatever detect() picked is by definition available.
+    ASSERT_TRUE(simd::setActiveLevel(simd::detect()).ok());
+    EXPECT_EQ(simd::activeLevel(), simd::detect());
+
+    // Some level is always unavailable (no CPU has AVX2 and NEON).
+    for (simd::Level lvl : {simd::Level::Avx2, simd::Level::Neon}) {
+        if (simd::available(lvl))
+            continue;
+        Status s = simd::setActiveLevel(lvl);
+        EXPECT_FALSE(s.ok());
+        EXPECT_EQ(s.code(), ErrorCode::InvalidArgument);
+    }
+}
+
+TEST(SimdParity, GemmF32Ragged)
+{
+    const simd::Ops &scalar = simd::opsFor(simd::Level::Scalar);
+    const simd::Ops &vec = simd::opsFor(simd::detect());
+    Rng rng(11);
+    for (size_t m : kRaggedDims) {
+        for (size_t n : kRaggedDims) {
+            for (size_t k : {size_t(1), size_t(7), size_t(33)}) {
+                std::vector<float> a = randomFloats(m * k, rng);
+                std::vector<float> b = randomFloats(k * n, rng);
+                std::vector<float> seed = randomFloats(m * n, rng);
+                for (bool accumulate : {false, true}) {
+                    std::vector<float> c0 = seed, c1 = seed;
+                    scalar.gemmF32(a.data(), b.data(), c0.data(), m, n, k,
+                                   k, n, n, accumulate);
+                    vec.gemmF32(a.data(), b.data(), c1.data(), m, n, k, k,
+                                n, n, accumulate);
+                    for (size_t i = 0; i < m * n; ++i)
+                        ASSERT_LE(ulpDistance(c0[i], c1[i]), kMaxUlps)
+                            << "m=" << m << " n=" << n << " k=" << k
+                            << " acc=" << accumulate << " i=" << i
+                            << " scalar=" << c0[i] << " vec=" << c1[i];
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdParity, GemmF32StridedLeadingDims)
+{
+    // Sub-matrix views: leading dims larger than the logical width.
+    const simd::Ops &scalar = simd::opsFor(simd::Level::Scalar);
+    const simd::Ops &vec = simd::opsFor(simd::detect());
+    Rng rng(12);
+    const size_t m = 17, n = 29, k = 13;
+    const size_t lda = k + 5, ldb = n + 3, ldc = n + 9;
+    std::vector<float> a = randomFloats(m * lda, rng);
+    std::vector<float> b = randomFloats(k * ldb, rng);
+    std::vector<float> c0 = randomFloats(m * ldc, rng), c1 = c0;
+    scalar.gemmF32(a.data(), b.data(), c0.data(), m, n, k, lda, ldb, ldc,
+                   true);
+    vec.gemmF32(a.data(), b.data(), c1.data(), m, n, k, lda, ldb, ldc,
+                true);
+    // The whole buffer must match: padding columns untouched, logical
+    // columns bit-identical.
+    EXPECT_EQ(std::memcmp(c0.data(), c1.data(), c0.size() * sizeof(float)),
+              0);
+}
+
+TEST(SimdParity, GemmInt8Ragged)
+{
+    const simd::Ops &scalar = simd::opsFor(simd::Level::Scalar);
+    const simd::Ops &vec = simd::opsFor(simd::detect());
+    Rng rng(13);
+    for (size_t m : {size_t(1), size_t(7), size_t(33)}) {
+        for (size_t n : kRaggedDims) {
+            for (size_t k : {size_t(1), size_t(17), size_t(65)}) {
+                std::vector<int8_t> a = randomInt8(m * k, rng);
+                std::vector<int8_t> b = randomInt8(k * n, rng);
+                std::vector<int32_t> c0(m * n, -1), c1(m * n, -1);
+                scalar.gemmInt8(a.data(), b.data(), c0.data(), m, n, k, k,
+                                n, n);
+                vec.gemmInt8(a.data(), b.data(), c1.data(), m, n, k, k, n,
+                             n);
+                ASSERT_EQ(c0, c1) << "m=" << m << " n=" << n << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(SimdParity, AddIntoRagged)
+{
+    const simd::Ops &scalar = simd::opsFor(simd::Level::Scalar);
+    const simd::Ops &vec = simd::opsFor(simd::detect());
+    Rng rng(14);
+    for (size_t n : kRaggedDims) {
+        std::vector<float> src = randomFloats(n, rng);
+        std::vector<float> d0 = randomFloats(n, rng), d1 = d0;
+        scalar.addInto(d0.data(), src.data(), n);
+        vec.addInto(d1.data(), src.data(), n);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_LE(ulpDistance(d0[i], d1[i]), kMaxUlps)
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(SimdParity, ScaleInPlaceRagged)
+{
+    const simd::Ops &scalar = simd::opsFor(simd::Level::Scalar);
+    const simd::Ops &vec = simd::opsFor(simd::detect());
+    Rng rng(15);
+    for (size_t n : kRaggedDims) {
+        for (float s : {0.0f, 1.0f, -2.5f, 0.333f}) {
+            std::vector<float> d0 = randomFloats(n, rng), d1 = d0;
+            scalar.scaleInPlace(d0.data(), s, n);
+            vec.scaleInPlace(d1.data(), s, n);
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_LE(ulpDistance(d0[i], d1[i]), kMaxUlps)
+                    << "n=" << n << " s=" << s << " i=" << i;
+        }
+    }
+}
+
+TEST(SimdParity, SignProjectRagged)
+{
+    const simd::Ops &scalar = simd::opsFor(simd::Level::Scalar);
+    const simd::Ops &vec = simd::opsFor(simd::detect());
+    Rng rng(16);
+    for (size_t count : {size_t(1), size_t(3), size_t(17), size_t(65),
+                         size_t(257)}) {
+        for (size_t h : {size_t(1), size_t(2), size_t(7), size_t(8),
+                         size_t(15)}) {
+            std::vector<float> proj = randomFloats(count * h, rng);
+            std::vector<float> biases = randomFloats(h, rng);
+            std::vector<uint64_t> s0(count, ~0ull), s1(count, ~0ull);
+            scalar.signProject(proj.data(), biases.data(), count, h,
+                               s0.data());
+            vec.signProject(proj.data(), biases.data(), count, h,
+                            s1.data());
+            ASSERT_EQ(s0, s1) << "count=" << count << " h=" << h;
+        }
+    }
+}
+
+TEST(SimdParity, SignProjectExactZeroBoundary)
+{
+    // proj + bias == 0 exactly: the strict `> 0` comparison must agree
+    // across levels (a vectorized >= would flip these bits).
+    const simd::Ops &scalar = simd::opsFor(simd::Level::Scalar);
+    const simd::Ops &vec = simd::opsFor(simd::detect());
+    const size_t count = 33, h = 5;
+    std::vector<float> biases = {0.5f, -0.25f, 0.0f, 1.0f, -2.0f};
+    std::vector<float> proj(count * h);
+    for (size_t i = 0; i < count; ++i)
+        for (size_t f = 0; f < h; ++f)
+            proj[i * h + f] = (i + f) % 3 == 0 ? -biases[f]
+                                               : (f % 2 ? 0.125f : -0.125f);
+    std::vector<uint64_t> s0(count), s1(count);
+    scalar.signProject(proj.data(), biases.data(), count, h, s0.data());
+    vec.signProject(proj.data(), biases.data(), count, h, s1.data());
+    EXPECT_EQ(s0, s1);
+}
+
+TEST(SimdParity, ActiveTableMatchesOpsForActiveLevel)
+{
+    LevelRestorer restore;
+    ASSERT_TRUE(simd::setActiveLevel(simd::Level::Scalar).ok());
+    EXPECT_EQ(simd::ops().gemmF32,
+              simd::opsFor(simd::Level::Scalar).gemmF32);
+    ASSERT_TRUE(simd::setActiveLevel(simd::detect()).ok());
+    EXPECT_EQ(simd::ops().gemmF32, simd::opsFor(simd::detect()).gemmF32);
+}
+
+} // namespace
+} // namespace genreuse
