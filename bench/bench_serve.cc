@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Serve-engine bench: latency percentiles and throughput-vs-workers
+ * for the concurrent multi-stream runtime (src/serve). Unlike the
+ * paper benches this does not regenerate a figure — it characterizes
+ * the PR 7 runtime: N guarded CifarNet replicas behind the bounded
+ * request queue, each stream on its own worker/arena/drift state.
+ *
+ * Two measurements, two loops:
+ *   - closed loop (saturation): keep 2×workers requests in flight and
+ *     report completed/s for workers ∈ {1, 2, 4}. The w4/w1 ratio is
+ *     the scaling number — on a single-core container it is honestly
+ *     ≈1× (the workers time-slice one CPU); see EXPERIMENTS.md.
+ *   - open loop (latency): offer requests at ~70% of the 1-worker
+ *     saturation rate on a fixed schedule and report p50/p95/p99
+ *     measured from the *scheduled* arrival (coordinated omission).
+ *
+ * Streams must be bit-identical, so every replica is the same-seed
+ * CifarNet with the trained weights copied in and the same-seed
+ * guarded reuse pattern fitted per replica.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/measurement.h"
+#include "serve/loadgen.h"
+#include "serve/serve.h"
+
+using namespace genreuse;
+using namespace genreuse::bench;
+using namespace genreuse::serve;
+
+namespace {
+
+/** One guarded CifarNet replica serving a stream. The engine calls
+ *  infer() from exactly one worker with the stream context bound, so
+ *  the stateful Network forward needs no locking. */
+class NetworkStream : public InferenceStream
+{
+  public:
+    NetworkStream(Network net,
+                  std::vector<std::shared_ptr<GuardedReuseConvAlgo>> guards)
+        : net_(std::move(net)), guards_(std::move(guards))
+    {
+    }
+
+    Tensor
+    infer(const Tensor &input, StreamContext &) override
+    {
+        return net_.forward(input, /*training=*/false);
+    }
+
+    /** Worst rung any guarded layer hit on the last forward. */
+    GuardRung
+    lastRung() const override
+    {
+        GuardRung worst = GuardRung::FullReuse;
+        for (const auto &g : guards_)
+            worst = std::max(worst, g->lastRung());
+        return worst;
+    }
+
+  private:
+    Network net_;
+    std::vector<std::shared_ptr<GuardedReuseConvAlgo>> guards_;
+};
+
+/** Same-seed replica of the trained workbench net with the guarded
+ *  reuse pattern fitted. Identical seeds everywhere → every stream is
+ *  bit-identical to the single-stream pipeline. */
+std::shared_ptr<NetworkStream>
+makeReplica(Workbench &wb, uint64_t model_seed)
+{
+    Rng rng(model_seed);
+    Network net = makeCifarNet(rng);
+
+    // Copy the trained weights; params() enumerates in layer order, so
+    // same-architecture nets align index-for-index.
+    std::vector<Param *> src = wb.net.params();
+    std::vector<Param *> dst = net.params();
+    GENREUSE_REQUIRE(src.size() == dst.size(),
+                     "replica parameter count mismatch");
+    for (size_t i = 0; i < src.size(); ++i)
+        dst[i]->value = src[i]->value;
+
+    Dataset fit = wb.train.slice(0, std::min<size_t>(4, wb.train.size()));
+    std::vector<std::shared_ptr<GuardedReuseConvAlgo>> guards;
+    for (Conv2D *layer : reuseTargets(net, ModelKind::CifarNet)) {
+        ReusePattern p;
+        p.granularity = layer->kernelSize() * layer->kernelSize();
+        p.numHashes = 4;
+        guards.push_back(fitAndInstallGuarded(net, *layer, p, fit, {},
+                                              HashMode::Learned, 99));
+    }
+    return std::make_shared<NetworkStream>(std::move(net),
+                                           std::move(guards));
+}
+
+/** Delegating wrapper so several sequential engines can reuse one
+ *  prebuilt replica pool (engines own their streams by unique_ptr). */
+class SharedStream : public InferenceStream
+{
+  public:
+    explicit SharedStream(std::shared_ptr<NetworkStream> impl)
+        : impl_(std::move(impl))
+    {
+    }
+
+    Tensor
+    infer(const Tensor &input, StreamContext &ctx) override
+    {
+        return impl_->infer(input, ctx);
+    }
+
+    GuardRung
+    lastRung() const override
+    {
+        return impl_->lastRung();
+    }
+
+  private:
+    std::shared_ptr<NetworkStream> impl_;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "=== bench_serve: multi-stream serve engine (PR 7) ===\n");
+
+    const bool smoke = smokeMode();
+    const size_t kMaxWorkers = 4;
+    const size_t requests = smoke ? 16 : 160;
+
+    Workbench wb = makeWorkbench(ModelKind::CifarNet);
+
+    // Replicas are built once and shared across the sequential engine
+    // runs below — within one engine each stream still runs on exactly
+    // one worker, so the stateful forward stays single-threaded.
+    std::vector<std::shared_ptr<NetworkStream>> replicas;
+    for (size_t i = 0; i < kMaxWorkers; ++i)
+        replicas.push_back(makeReplica(wb, /*model_seed=*/1000));
+
+    StreamFactory factory = [&replicas](uint32_t stream_id) {
+        return std::make_unique<SharedStream>(
+            replicas.at(stream_id - 1));
+    };
+
+    // Pre-gathered batch-1 inputs; make_input runs on the generator
+    // thread, off the measured path.
+    const size_t pool_size = std::min<size_t>(wb.test.size(), 24);
+    std::vector<Tensor> inputs;
+    for (size_t i = 0; i < pool_size; ++i)
+        inputs.push_back(wb.test.gatherImages({i}));
+    auto make_input = [&inputs](size_t i) {
+        return inputs[i % inputs.size()];
+    };
+
+    BenchJson json("serve");
+    json.meta("model", "CifarNet");
+    json.meta("smoke", smoke ? 1.0 : 0.0);
+    json.meta("hw_threads",
+              static_cast<double>(ThreadPool::hardwareThreads()));
+    json.meta("requests", static_cast<double>(requests));
+
+    TextTable thr_table;
+    thr_table.setHeader({"workers", "throughput rps", "scaling vs w1"});
+    double thr_w1 = 0.0;
+    for (size_t workers : {size_t(1), size_t(2), size_t(4)}) {
+        ServeConfig cfg;
+        cfg.workers = workers;
+        cfg.queueCapacity = 64;
+        cfg.policy = AdmitPolicy::Block;
+        cfg.name = "bserve";
+        ServeEngine engine(cfg, factory);
+        const double rps =
+            runClosedLoop(engine, requests, /*inflight=*/2 * workers,
+                          make_input);
+        engine.shutdown();
+        if (workers == 1)
+            thr_w1 = rps;
+        const double scaling = thr_w1 > 0.0 ? rps / thr_w1 : 0.0;
+        json.record("throughput_w" + std::to_string(workers), rps);
+        json.record("scaling_w" + std::to_string(workers), scaling);
+        thr_table.addRow({std::to_string(workers), formatDouble(rps, 1),
+                          formatSpeedup(scaling)});
+    }
+    std::printf("--- Closed-loop saturation throughput ---\n%s\n",
+                thr_table.render().c_str());
+
+    // Open-loop latency at ~70% of single-worker saturation: below the
+    // knee so percentiles measure service + moderate queueing, not an
+    // unbounded backlog.
+    LoadGenConfig lg;
+    lg.rps = std::max(1.0, 0.7 * thr_w1);
+    lg.requests = requests;
+    lg.seed = 7;
+    lg.poisson = true;
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 64;
+    cfg.policy = AdmitPolicy::Block;
+    cfg.name = "bserve";
+    ServeEngine engine(cfg, factory);
+    LatencyReport rep = runOpenLoop(engine, lg, make_input);
+    engine.shutdown();
+
+    TextTable lat_table;
+    lat_table.setHeader({"metric", "value"});
+    lat_table.addRow({"offered rps", formatDouble(lg.rps, 1)});
+    lat_table.addRow({"completed", std::to_string(rep.completed)});
+    lat_table.addRow({"p50 ms", formatDouble(rep.p50Ms, 2)});
+    lat_table.addRow({"p95 ms", formatDouble(rep.p95Ms, 2)});
+    lat_table.addRow({"p99 ms", formatDouble(rep.p99Ms, 2)});
+    lat_table.addRow({"max ms", formatDouble(rep.maxMs, 2)});
+    lat_table.addRow(
+        {"throughput rps", formatDouble(rep.throughputRps, 1)});
+    std::printf(
+        "--- Open-loop latency (2 workers, Poisson arrivals) ---\n%s\n",
+        lat_table.render().c_str());
+
+    json.record("open_loop_rps", lg.rps);
+    json.record("completed", static_cast<double>(rep.completed));
+    json.record("rejected", static_cast<double>(rep.rejected));
+    json.record("p50_ms", rep.p50Ms);
+    json.record("p95_ms", rep.p95Ms);
+    json.record("p99_ms", rep.p99Ms);
+    json.record("mean_ms", rep.meanMs);
+    json.record("throughput_rps", rep.throughputRps);
+    return 0;
+}

@@ -167,16 +167,52 @@ renderEvents(const JsonValue &doc, size_t last_n)
     }
     const double t0 = num(&events->items.front(), "tsNs");
 
+    // Serve-engine dumps interleave several streams; events from them
+    // carry a "stream" key (single-stream events omit it). When any is
+    // present, add a stream column so the log demuxes at a glance and
+    // print the per-stream traffic split.
+    bool multi_stream = false;
+    std::map<int, size_t> per_stream;
+    for (const JsonValue &e : events->items) {
+        const int s = static_cast<int>(num(&e, "stream"));
+        per_stream[s]++;
+        if (s != 0)
+            multi_stream = true;
+    }
+    if (multi_stream) {
+        std::printf("  streams:");
+        for (const auto &[s, count] : per_stream) {
+            if (s == 0)
+                std::printf(" main=%zu", count);
+            else
+                std::printf(" s%d=%zu", s, count);
+        }
+        std::printf("\n");
+    }
+    auto streamCell = [](const JsonValue &e) {
+        const double s = num(&e, "stream");
+        return s == 0.0 ? std::string("-") : "s" + fmt("%.0f", s);
+    };
+
     // Condensed timeline: every guard/drift-trip/fault/SRAM/warn event.
     TextTable tl;
-    tl.setHeader({"t(ms)", "seq", "event", "layer", "detail"});
+    if (multi_stream)
+        tl.setHeader({"t(ms)", "seq", "strm", "event", "layer", "detail"});
+    else
+        tl.setHeader({"t(ms)", "seq", "event", "layer", "detail"});
     size_t timeline_rows = 0;
     for (const JsonValue &e : events->items) {
         if (!isTimelineWorthy(e))
             continue;
-        tl.addRow({fmt("%.3f", (num(&e, "tsNs") - t0) / 1e6),
-                   fmt("%.0f", num(&e, "seq")), str(&e, "type"),
-                   str(&e, "tag"), eventDetail(e)});
+        std::vector<std::string> row{
+            fmt("%.3f", (num(&e, "tsNs") - t0) / 1e6),
+            fmt("%.0f", num(&e, "seq"))};
+        if (multi_stream)
+            row.push_back(streamCell(e));
+        row.push_back(str(&e, "type"));
+        row.push_back(str(&e, "tag"));
+        row.push_back(eventDetail(e));
+        tl.addRow(std::move(row));
         timeline_rows++;
     }
     if (timeline_rows > 0) {
@@ -188,13 +224,22 @@ renderEvents(const JsonValue &doc, size_t last_n)
     const size_t n = std::min(last_n, events->items.size());
     std::printf("\n  last %zu events:\n", n);
     TextTable t;
-    t.setHeader({"t(ms)", "seq", "type", "layer", "detail"});
+    if (multi_stream)
+        t.setHeader({"t(ms)", "seq", "strm", "type", "layer", "detail"});
+    else
+        t.setHeader({"t(ms)", "seq", "type", "layer", "detail"});
     for (size_t i = events->items.size() - n; i < events->items.size();
          ++i) {
         const JsonValue &e = events->items[i];
-        t.addRow({fmt("%.3f", (num(&e, "tsNs") - t0) / 1e6),
-                  fmt("%.0f", num(&e, "seq")), str(&e, "type"),
-                  str(&e, "tag"), eventDetail(e)});
+        std::vector<std::string> row{
+            fmt("%.3f", (num(&e, "tsNs") - t0) / 1e6),
+            fmt("%.0f", num(&e, "seq"))};
+        if (multi_stream)
+            row.push_back(streamCell(e));
+        row.push_back(str(&e, "type"));
+        row.push_back(str(&e, "tag"));
+        row.push_back(eventDetail(e));
+        t.addRow(std::move(row));
     }
     std::printf("%s\n", t.render().c_str());
 }

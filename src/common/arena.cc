@@ -1,6 +1,7 @@
 #include "arena.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <new>
 
 #include "common/logging.h"
@@ -22,6 +23,8 @@ freeChunk(uint8_t *p, size_t bytes)
 {
     ::operator delete(p, bytes, std::align_val_t(kSimdAlign));
 }
+
+thread_local Arena *t_bound = nullptr;
 
 } // namespace
 
@@ -87,6 +90,35 @@ Arena::rewind(const Marker &m)
                      "arena rewind must be LIFO");
     cur_ = m.chunk;
     offset_ = m.offset;
+    // Retention decay only when the arena is fully empty: no live
+    // allocation can reference a freed chunk, and the empty rewind is
+    // exactly the request boundary on a pooled serve worker.
+    if (retainBytes_ > 0 && cur_ == 0 && offset_ == 0 &&
+        chunks_.size() > 1 && capacityBytes() > retainBytes_)
+        decay();
+}
+
+void
+Arena::decay()
+{
+    // One chunk per empty rewind: chunks grow geometrically, so the
+    // newest chunk holds most of the excess and an oversized request's
+    // footprint halves per request instead of vanishing in one spike
+    // of frees mid-stream.
+    Chunk victim = chunks_.back();
+    chunks_.pop_back();
+    freeChunk(victim.base, victim.size);
+    ++decayedChunks_;
+    // Re-anchor geometric growth at the retained capacity, or the next
+    // grow would immediately re-allocate a chunk the size of the one
+    // just freed.
+    nextChunkBytes_ = std::max(kDefaultChunkBytes,
+                               chunks_.empty() ? kDefaultChunkBytes
+                                               : chunks_.back().size * 2);
+    metrics::counter("arena.decayed_chunks").add();
+    metrics::gauge("arena.chunks").set(static_cast<double>(chunks_.size()));
+    metrics::gauge("arena.retained_bytes")
+        .set(static_cast<double>(capacityBytes()));
 }
 
 void
@@ -122,8 +154,44 @@ Arena::bytesInUse() const
 Arena &
 Arena::forCurrentStream()
 {
-    static thread_local Arena arena;
-    return arena;
+    if (t_bound != nullptr)
+        return *t_bound;
+    // Arena is non-movable; a wrapper applies the env retention cap at
+    // first-use construction.
+    struct ThreadArena
+    {
+        Arena arena;
+        ThreadArena() { arena.setRetainBytes(envRetainBytes()); }
+    };
+    static thread_local ThreadArena ta;
+    return ta.arena;
+}
+
+Arena *
+Arena::bindCurrentThread(Arena *arena)
+{
+    Arena *prev = t_bound;
+    t_bound = arena;
+    return prev;
+}
+
+size_t
+Arena::envRetainBytes()
+{
+    static const size_t cached = [] {
+        const char *v = std::getenv("GENREUSE_ARENA_RETAIN_BYTES");
+        if (v == nullptr || *v == '\0')
+            return kStreamRetainBytes;
+        char *end = nullptr;
+        unsigned long long bytes = std::strtoull(v, &end, 10);
+        if (end == nullptr || *end != '\0') {
+            warn("GENREUSE_ARENA_RETAIN_BYTES='", v,
+                 "' is not a byte count; using the default");
+            return kStreamRetainBytes;
+        }
+        return static_cast<size_t>(bytes);
+    }();
+    return cached;
 }
 
 } // namespace genreuse

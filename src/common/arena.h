@@ -9,8 +9,11 @@
  * steady-state forward performs zero heap allocations.
  *
  * Ownership / lifetime rules (see DESIGN.md "Kernel dispatch & arena"):
- *  - Arena::forCurrentStream() returns a thread-local arena: one
- *    inference stream per thread, no locking, no sharing.
+ *  - Arena::forCurrentStream() returns the calling thread's arena: the
+ *    thread-local default, or — when a StreamContext is bound (see
+ *    core/stream_context.h and bindCurrentThread()) — that stream's
+ *    own arena. Either way: one arena per executing stream, no
+ *    locking, no sharing.
  *  - Pointers obtained from an arena are valid until the enclosing
  *    ArenaFrame (or an explicit rewind/reset) releases them. Never
  *    store them across forwards.
@@ -63,7 +66,9 @@ class Arena
 
     Marker mark() const { return {cur_, offset_}; }
 
-    /** Release everything allocated after @p m (LIFO only). */
+    /** Release everything allocated after @p m (LIFO only). A rewind
+     *  that empties the arena also decays retained capacity above the
+     *  retention cap (see setRetainBytes()). */
     void rewind(const Marker &m);
 
     /** Release everything; keep the chunks for reuse. */
@@ -77,13 +82,46 @@ class Arena
     size_t bytesInUse() const;
 
     /**
-     * The calling thread's scratch arena — one per inference stream
-     * (GenReuse runs one stream per thread, matching the thread-local
-     * profiler/trace design). First use on a thread allocates.
+     * High-water retention cap in bytes (0 = retain everything, the
+     * historical behavior). When a rewind empties the arena and the
+     * retained capacity exceeds the cap, the newest (largest) chunk is
+     * returned to the heap — one chunk per empty rewind, so a single
+     * oversized request decays away over the next few requests instead
+     * of pinning peak memory on a pooled worker for the process
+     * lifetime. The process-wide default comes from
+     * GENREUSE_ARENA_RETAIN_BYTES; stream arenas (serve engine) cap at
+     * kStreamRetainBytes unless the environment overrides it.
+     */
+    void setRetainBytes(size_t bytes) { retainBytes_ = bytes; }
+    size_t retainBytes() const { return retainBytes_; }
+
+    /** Chunks returned to the heap by retention decay (this arena). */
+    uint64_t decayedChunks() const { return decayedChunks_; }
+
+    /**
+     * The calling thread's scratch arena: the arena bound via
+     * bindCurrentThread() when a stream is executing, else the
+     * thread-local default (first use on a thread allocates).
      */
     static Arena &forCurrentStream();
 
+    /**
+     * Redirect forCurrentStream() on the calling thread to @p arena
+     * (nullptr restores the thread-local default). Bound by
+     * StreamContext::Bind so every kernel call site follows the
+     * executing stream's arena with no signature changes. Returns the
+     * previously bound arena (for RAII restore).
+     */
+    static Arena *bindCurrentThread(Arena *arena);
+
+    /** Retention cap parsed from GENREUSE_ARENA_RETAIN_BYTES
+     *  (kStreamRetainBytes when unset, 0 = unlimited). */
+    static size_t envRetainBytes();
+
     static constexpr size_t kDefaultChunkBytes = 256 * 1024;
+
+    /** Default retention cap for serve-engine stream arenas. */
+    static constexpr size_t kStreamRetainBytes = 8 * 1024 * 1024;
 
   private:
     struct Chunk
@@ -93,11 +131,14 @@ class Arena
     };
 
     void grow(size_t min_bytes);
+    void decay();
 
     std::vector<Chunk> chunks_;
     size_t cur_ = 0;    //!< index of the chunk being bumped
     size_t offset_ = 0; //!< bytes used in chunks_[cur_]
     size_t nextChunkBytes_;
+    size_t retainBytes_ = 0; //!< 0 = unlimited (see setRetainBytes)
+    uint64_t decayedChunks_ = 0;
 };
 
 /** RAII mark/rewind over a scope — the unit of scratch reuse. */

@@ -10,6 +10,7 @@
 #include "json.h"
 #include "logging.h"
 #include "metrics.h"
+#include "streamtag.h"
 
 namespace genreuse {
 namespace eventlog {
@@ -80,6 +81,7 @@ struct Slot
     std::atomic<double> d0{0.0}, d1{0.0}, d2{0.0};
     std::atomic<uint32_t> u32{0};
     std::atomic<uint16_t> tag{0};
+    std::atomic<uint16_t> stream{0};
     std::atomic<uint8_t> type{0};
     std::atomic<uint8_t> a8{0};
 };
@@ -205,6 +207,7 @@ detail::recordSlow(Type type, uint16_t tag, double d0, double d1, double d2,
     s.d2.store(d2, std::memory_order_relaxed);
     s.u32.store(u32, std::memory_order_relaxed);
     s.tag.store(tag, std::memory_order_relaxed);
+    s.stream.store(streamtag::current(), std::memory_order_relaxed);
     s.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
     s.a8.store(a8, std::memory_order_relaxed);
     s.seq.store(seq, std::memory_order_release);
@@ -230,6 +233,12 @@ uint16_t
 currentTag()
 {
     return t_tag;
+}
+
+void
+resetThreadScope()
+{
+    t_tag = 0;
 }
 
 uint64_t
@@ -272,6 +281,7 @@ snapshot()
         e.d2 = s.d2.load(std::memory_order_relaxed);
         e.u32 = s.u32.load(std::memory_order_relaxed);
         e.tag = s.tag.load(std::memory_order_relaxed);
+        e.stream = s.stream.load(std::memory_order_relaxed);
         e.type = static_cast<Type>(s.type.load(std::memory_order_relaxed));
         e.a8 = s.a8.load(std::memory_order_relaxed);
         // Seqlock recheck: a writer may have started overwriting this
@@ -322,6 +332,10 @@ toJson(const std::string &reason)
         w.key("type").value(typeName(e.type));
         if (e.tag != 0)
             w.key("tag").value(tagName(e.tag));
+        // Additive field within genreuse.events/1: older readers skip
+        // unknown keys, and single-stream dumps are byte-identical.
+        if (e.stream != 0)
+            w.key("stream").value(static_cast<uint64_t>(e.stream));
         if (e.type == Type::FaultFire)
             w.key("fault").value(faultpoint::faultName(
                 static_cast<faultpoint::Fault>(e.a8)));

@@ -55,7 +55,10 @@
  *
  * The tag field is an interned string id — usually the enclosing
  * layer's name, established by the LayerScope RAII in Layer forwards
- * (mirroring trace::TraceScope).
+ * (mirroring trace::TraceScope). Every event additionally carries the
+ * recording thread's stream id (common/streamtag.h) so concurrent
+ * serve streams demux in a single dump; 0 means "no stream" and is
+ * omitted from the JSON.
  */
 
 #ifndef GENREUSE_COMMON_EVENTLOG_H
@@ -97,7 +100,8 @@ struct Event
     uint64_t tsNs = 0; //!< steady-clock ns since the process epoch
     double d0 = 0.0, d1 = 0.0, d2 = 0.0;
     uint32_t u32 = 0;
-    uint16_t tag = 0; //!< interned string id (see tagName())
+    uint16_t tag = 0;    //!< interned string id (see tagName())
+    uint16_t stream = 0; //!< streamtag::current() at record time (0 = none)
     Type type = Type::NumTypes;
     uint8_t a8 = 0;
 };
@@ -174,6 +178,15 @@ class LayerScope
 
 /** Tag events recorded on this thread currently carry (0 = none). */
 uint16_t currentTag();
+
+/**
+ * Drop the calling thread's layer-scope tag unconditionally. Pooled
+ * serve workers call this at request boundaries: a LayerScope leaked
+ * by a panicking/throwing forward would otherwise tag the *next*
+ * request's events with the previous request's layer. Safe to call
+ * with scopes live (they restore their own saved value on exit).
+ */
+void resetThreadScope();
 
 /** Events recorded since the last reset (including overwritten). */
 uint64_t recorded();

@@ -12,6 +12,7 @@ namespace detail {
 
 std::atomic<int> g_armed{-1};
 std::atomic<uint64_t> g_seed{1};
+std::atomic<int> g_stream{-1};
 
 namespace {
 
@@ -102,6 +103,12 @@ seed()
     return detail::g_seed.load(std::memory_order_relaxed);
 }
 
+int
+targetStream()
+{
+    return detail::g_stream.load(std::memory_order_relaxed);
+}
+
 void
 noteFired(Fault f)
 {
@@ -117,16 +124,19 @@ noteFired(Fault f)
 }
 
 void
-arm(Fault f, uint64_t seed)
+arm(Fault f, uint64_t seed, int stream)
 {
 #ifdef GENREUSE_DISABLE_FAULTPOINTS
     (void)f;
     (void)seed;
+    (void)stream;
     warn("faultpoint::arm ignored: compiled out "
          "(GENREUSE_DISABLE_FAULTPOINTS)");
 #else
     GENREUSE_REQUIRE(f != Fault::NumFaults, "cannot arm NumFaults");
     detail::g_seed.store(seed, std::memory_order_relaxed);
+    detail::g_stream.store(stream < 0 ? -1 : stream,
+                           std::memory_order_relaxed);
     detail::g_armed.store(static_cast<int>(f), std::memory_order_relaxed);
 #endif
 }
@@ -134,25 +144,43 @@ arm(Fault f, uint64_t seed)
 Status
 armSpec(const std::string &spec)
 {
-    std::string name = spec;
+    // <name>[:seed][@stream] — strip the @stream suffix first so a
+    // seed parse never swallows it.
+    std::string body = spec;
+    int stream = -1;
+    const size_t at = spec.find('@');
+    if (at != std::string::npos) {
+        body = spec.substr(0, at);
+        const std::string stream_str = spec.substr(at + 1);
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(stream_str.c_str(), &end, 10);
+        if (stream_str.empty() || end == nullptr || *end != '\0' ||
+            v > 65535) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "bad stream '", stream_str, "' in spec '",
+                                 spec, "' (want <name>[:seed][@stream])");
+        }
+        stream = static_cast<int>(v);
+    }
+    std::string name = body;
     uint64_t s = 1;
-    const size_t colon = spec.find(':');
+    const size_t colon = body.find(':');
     if (colon != std::string::npos) {
-        name = spec.substr(0, colon);
-        const std::string seed_str = spec.substr(colon + 1);
+        name = body.substr(0, colon);
+        const std::string seed_str = body.substr(colon + 1);
         char *end = nullptr;
         unsigned long long v = std::strtoull(seed_str.c_str(), &end, 10);
         if (seed_str.empty() || end == nullptr || *end != '\0') {
             return Status::error(ErrorCode::InvalidArgument,
                                  "bad seed '", seed_str, "' in spec '",
-                                 spec, "' (want <name>[:seed])");
+                                 spec, "' (want <name>[:seed][@stream])");
         }
         s = static_cast<uint64_t>(v);
     }
     Expected<Fault> f = faultByName(name);
     if (!f.ok())
         return f.status();
-    arm(*f, s);
+    arm(*f, s, stream);
     return Status{};
 }
 
@@ -161,6 +189,7 @@ disarm()
 {
     detail::g_armed.store(-1, std::memory_order_relaxed);
     detail::g_seed.store(1, std::memory_order_relaxed);
+    detail::g_stream.store(-1, std::memory_order_relaxed);
 }
 
 } // namespace faultpoint

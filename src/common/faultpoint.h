@@ -10,7 +10,16 @@
  * At most one fault is armed at a time, either programmatically
  * (faultpoint::arm) or via the environment:
  *
- *   GENREUSE_FAULT=<name>[:seed]   e.g. GENREUSE_FAULT=cluster_collapse:7
+ *   GENREUSE_FAULT=<name>[:seed][@stream]
+ *
+ *   e.g. GENREUSE_FAULT=cluster_collapse:7
+ *        GENREUSE_FAULT=nan_activation@2   (fire only on serve stream 2)
+ *
+ * The optional @stream suffix restricts the fault to the inference
+ * stream with that id (common/streamtag.h, bound by the serve engine
+ * around each request): injection sites on every other stream see the
+ * fault as disarmed, which is how guard-rung independence across
+ * concurrent streams is tested.
  *
  * The hot-path gate is one relaxed atomic load (anyArmed()), mirroring
  * the trace gate, and the whole subsystem compiles out under
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "status.h"
+#include "streamtag.h"
 
 namespace genreuse {
 namespace faultpoint {
@@ -57,6 +67,9 @@ namespace detail {
 // enough: arming happens at startup / in tests, never racing a kernel.
 extern std::atomic<int> g_armed;
 extern std::atomic<uint64_t> g_seed;
+// -1 = fire on any stream; otherwise only when the calling thread's
+// streamtag matches.
+extern std::atomic<int> g_stream;
 void initFromEnvOnce();
 } // namespace detail
 
@@ -71,7 +84,9 @@ anyArmed()
 #endif
 }
 
-/** True when @p f specifically is armed. One relaxed load off-path. */
+/** True when @p f specifically is armed for the calling thread's
+ *  stream. One relaxed load off-path; the stream filter costs a second
+ *  relaxed load only when the fault matches. */
 inline bool
 active(Fault f)
 {
@@ -79,10 +94,17 @@ active(Fault f)
     (void)f;
     return false;
 #else
-    return detail::g_armed.load(std::memory_order_relaxed) ==
-           static_cast<int>(f);
+    if (detail::g_armed.load(std::memory_order_relaxed) !=
+        static_cast<int>(f))
+        return false;
+    const int target = detail::g_stream.load(std::memory_order_relaxed);
+    return target < 0 ||
+           target == static_cast<int>(streamtag::current());
 #endif
 }
+
+/** Stream the armed fault targets (-1 = any). */
+int targetStream();
 
 /** Seed of the armed fault (1 when none was given). */
 uint64_t seed();
@@ -92,20 +114,25 @@ uint64_t seed();
  *  ("fault.fires" and "fault.fires.<name>"). */
 void noteFired(Fault f);
 
-/** Arm @p f (replacing any armed fault). No-op when compiled out. */
-void arm(Fault f, uint64_t seed = 1);
+/** Arm @p f (replacing any armed fault), optionally restricted to one
+ *  stream id (@p stream < 0 = any). No-op when compiled out. */
+void arm(Fault f, uint64_t seed = 1, int stream = -1);
 
-/** Arm from a "<name>[:seed]" spec. InvalidArgument on a bad spec. */
+/** Arm from a "<name>[:seed][@stream]" spec. InvalidArgument on a bad
+ *  spec. */
 Status armSpec(const std::string &spec);
 
-/** Disarm whatever is armed. */
+/** Disarm whatever is armed (also clears the stream filter). */
 void disarm();
 
 /** RAII arm/disarm for tests. */
 class Scoped
 {
   public:
-    explicit Scoped(Fault f, uint64_t s = 1) { arm(f, s); }
+    explicit Scoped(Fault f, uint64_t s = 1, int stream = -1)
+    {
+        arm(f, s, stream);
+    }
     ~Scoped() { disarm(); }
     Scoped(const Scoped &) = delete;
     Scoped &operator=(const Scoped &) = delete;

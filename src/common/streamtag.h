@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The calling thread's *stream id* — a small integer naming which
+ * inference stream is executing on this thread right now. 0 means "no
+ * stream" (the single-stream tools and tests never set one).
+ *
+ * The serve engine (src/serve) binds a stream id around each request;
+ * the flight recorder stamps it into every journaled event so
+ * genreuse_inspect can demux a concurrent blackbox dump, and the fault
+ * injector (common/faultpoint.h) can restrict an armed fault to one
+ * stream (`GENREUSE_FAULT=<name>[:seed][@stream]`).
+ *
+ * Header-only on purpose: both eventlog and faultpoint consume the
+ * tag, and a shared .cc would make their link order matter. A
+ * thread_local integer is the whole state.
+ */
+
+#ifndef GENREUSE_COMMON_STREAMTAG_H
+#define GENREUSE_COMMON_STREAMTAG_H
+
+#include <cstdint>
+
+namespace genreuse {
+namespace streamtag {
+
+namespace detail {
+inline thread_local uint16_t t_stream = 0;
+} // namespace detail
+
+/** Stream id bound to the calling thread (0 = none). */
+inline uint16_t
+current()
+{
+    return detail::t_stream;
+}
+
+/** Bind @p id to the calling thread; returns the previous id. */
+inline uint16_t
+bind(uint16_t id)
+{
+    const uint16_t prev = detail::t_stream;
+    detail::t_stream = id;
+    return prev;
+}
+
+/** RAII bind/restore around one request or scope. */
+class Scoped
+{
+  public:
+    explicit Scoped(uint16_t id) : prev_(bind(id)) {}
+    ~Scoped() { bind(prev_); }
+
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+
+  private:
+    uint16_t prev_;
+};
+
+} // namespace streamtag
+} // namespace genreuse
+
+#endif // GENREUSE_COMMON_STREAMTAG_H

@@ -2,11 +2,40 @@
 
 #include <atomic>
 
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
 #include "logging.h"
 
 namespace genreuse {
 
-ThreadPool::ThreadPool(size_t threads)
+namespace {
+
+void
+nameCurrentThread(const std::string &pool_name, size_t index)
+{
+#ifdef __linux__
+    if (pool_name.empty())
+        return;
+    // pthread names cap at 15 chars + NUL; truncate the pool name so
+    // the worker index always survives.
+    std::string label = pool_name;
+    std::string suffix = "-" + std::to_string(index);
+    if (label.size() + suffix.size() > 15)
+        label.resize(15 - suffix.size());
+    label += suffix;
+    pthread_setname_np(pthread_self(), label.c_str());
+#else
+    (void)pool_name;
+    (void)index;
+#endif
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads, std::string name, bool spawn_single)
+    : name_(std::move(name))
 {
     // A negative CLI value cast to size_t lands here as an absurd
     // count; fail with a clear message instead of std::length_error.
@@ -14,22 +43,55 @@ ThreadPool::ThreadPool(size_t threads)
     GENREUSE_REQUIRE(threads <= kMaxThreads, "unreasonable thread count ",
                      threads, " (was a negative --threads cast?)");
     size_t n = threads == 0 ? hardwareThreads() : threads;
-    if (n <= 1)
+    if (n <= 1 && !spawn_single)
         return; // inline mode: no workers, submit() runs on the caller
+    if (n == 0)
+        n = 1;
     workers_.reserve(n);
     for (size_t i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
-ThreadPool::~ThreadPool()
+ThreadPool::~ThreadPool() { shutdown(DrainPolicy::Drain); }
+
+void
+ThreadPool::shutdown(DrainPolicy policy)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        if (policy == DrainPolicy::Discard && !tasks_.empty()) {
+            const size_t dropped = tasks_.size();
+            discarded_ += dropped;
+            inFlight_ -= dropped;
+            tasks_ = {};
+            warn("ThreadPool", name_.empty() ? "" : " '" + name_ + "'",
+                 " discarded ", dropped, " queued task(s) at shutdown");
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
         stop_ = true;
     }
     taskReady_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+}
+
+bool
+ThreadPool::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopped_;
+}
+
+size_t
+ThreadPool::discardedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return discarded_;
 }
 
 void
@@ -41,6 +103,9 @@ ThreadPool::submit(std::function<void()> task)
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        GENREUSE_REQUIRE(!stop_ && !stopped_,
+                         "ThreadPool::submit after shutdown — the task "
+                         "would be dropped and wait() would deadlock");
         tasks_.push(std::move(task));
         ++inFlight_;
     }
@@ -92,8 +157,9 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(size_t index)
 {
+    nameCurrentThread(name_, index);
     for (;;) {
         std::function<void()> task;
         {

@@ -1,13 +1,24 @@
 /**
  * @file
- * A fixed-size worker-thread pool for the exploration engine.
+ * A fixed-size worker-thread pool shared by the exploration engine and
+ * the serve engine.
  *
  * Deliberately minimal (no futures, no work stealing): callers either
  * submit() fire-and-forget tasks and wait(), or use parallelFor() for
  * the common "independent evaluations over an index range" shape.
  * Constructed with 0 or 1 threads the pool spawns no workers and runs
  * everything inline on the calling thread, so a --threads 1 run is
- * exactly the serial code path.
+ * exactly the serial code path. Long-lived hosts (the serve engine's
+ * pool of request workers) instead pass spawn_single = true so even a
+ * 1-worker pool gets a real thread — a long-lived worker loop run
+ * inline would never return to the caller.
+ *
+ * Shutdown is explicit and ordered: shutdown(DrainPolicy::Drain) (also
+ * the destructor default) lets queued tasks finish before joining;
+ * shutdown(DrainPolicy::Discard) drops queued-but-unstarted tasks and
+ * reports how many via discardedTasks(), so a caller tearing down under
+ * pressure knows what it lost instead of silently racing the workers.
+ * submit() after shutdown is a programming error and panics.
  */
 
 #ifndef GENREUSE_COMMON_THREAD_POOL_H
@@ -18,6 +29,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,11 +39,24 @@ namespace genreuse {
 class ThreadPool
 {
   public:
+    /** What shutdown() does with queued-but-unstarted tasks. */
+    enum class DrainPolicy
+    {
+        Drain,   //!< run everything already queued, then join
+        Discard, //!< drop queued tasks (counted), join after running ones
+    };
+
     /**
      * @param threads worker count; 0 means one per hardware thread,
-     *        1 means inline execution (no workers are spawned)
+     *        1 means inline execution (no workers are spawned) unless
+     *        @p spawn_single is set
+     * @param name worker threads are named "<name>-<i>" (visible in
+     *        debuggers / /proc); empty keeps the default
+     * @param spawn_single spawn a real worker even at 1 thread — for
+     *        long-lived worker loops that must not run inline
      */
-    explicit ThreadPool(size_t threads = 0);
+    explicit ThreadPool(size_t threads = 0, std::string name = "",
+                        bool spawn_single = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -43,7 +68,9 @@ class ThreadPool
     /** Degree of parallelism: max(1, size()). */
     size_t concurrency() const { return workers_.empty() ? 1 : workers_.size(); }
 
-    /** Enqueue a task; runs inline immediately when there are no workers. */
+    /** Enqueue a task; runs inline immediately when there are no
+     *  workers. Panics after shutdown() — tasks submitted to a stopped
+     *  pool would be silently dropped and wait() would deadlock. */
     void submit(std::function<void()> task);
 
     /** Block until every submitted task has finished. */
@@ -57,19 +84,37 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
+    /**
+     * Stop the pool and join every worker. Drain runs all queued tasks
+     * first; Discard drops queued-but-unstarted tasks (warning with the
+     * count, see discardedTasks()) and joins as soon as running tasks
+     * complete. Idempotent — the second call is a no-op, so an explicit
+     * shutdown followed by destruction is fine.
+     */
+    void shutdown(DrainPolicy policy = DrainPolicy::Drain);
+
+    /** True once shutdown() has run (or the pool is being destroyed). */
+    bool stopped() const;
+
+    /** Tasks dropped by shutdown(DrainPolicy::Discard). */
+    size_t discardedTasks() const;
+
     /** std::thread::hardware_concurrency() with a floor of 1. */
     static size_t hardwareThreads();
 
   private:
-    void workerLoop();
+    void workerLoop(size_t index);
 
+    std::string name_;
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable taskReady_;
     std::condition_variable allDone_;
     size_t inFlight_ = 0; //!< queued + running tasks
-    bool stop_ = false;
+    size_t discarded_ = 0;
+    bool stop_ = false;    //!< workers should exit (queue may drain first)
+    bool stopped_ = false; //!< shutdown() completed; submit() now panics
 };
 
 } // namespace genreuse

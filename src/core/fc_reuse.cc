@@ -9,6 +9,7 @@
 #include "common/simd.h"
 #include "guard.h"
 #include "lsh/clustering.h"
+#include "stream_context.h"
 #include "tensor/gemm.h"
 
 namespace genreuse {
@@ -60,8 +61,10 @@ fcReuseForwardInto(const Tensor &x, const Tensor &w, const Tensor &bias,
 
     const simd::Ops &simd_ops = simd::ops();
     Arena &arena = Arena::forCurrentStream();
-    static thread_local ClusterResult t_clusters;
-    ClusterResult &clusters = t_clusters;
+    // Per-stream cluster scratch (see vertical_reuse.cc for why this
+    // is context state, not thread_local).
+    ClusterResult &clusters =
+        StreamContext::current().clusterScratch(StreamContext::kFc);
 
     for (size_t row = 0; row < n; ++row) {
         const float *xr = x.data() + row * f;

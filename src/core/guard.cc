@@ -229,15 +229,65 @@ GuardedReuseConvAlgo::GuardedReuseConvAlgo(ReusePattern pattern,
                                            HashMode mode, uint64_t seed)
     : inner_(std::make_unique<ReuseConvAlgo>(std::move(pattern), mode,
                                              seed)),
-      config_(config), errDrift_("error_ratio", config.drift),
-      clusterDrift_("cluster_ratio", config.clusterDrift)
+      config_(config)
 {
+}
+
+GuardStreamState &
+GuardedReuseConvAlgo::state(StreamContext &ctx) const
+{
+    GuardStreamState &st = ctx.guardState(this);
+    if (!st.errDrift) {
+        // The thread-default stream keeps the historical signal names
+        // (and therefore gauge keys); serve streams get a ".s<id>"
+        // suffix so concurrent streams' telemetry stays separable.
+        const std::string suffix =
+            ctx.id() == 0 ? std::string{}
+                          : ".s" + std::to_string(ctx.id());
+        st.errDrift = std::make_unique<DriftDetector>(
+            "error_ratio" + suffix, config_.drift);
+        st.clusterDrift = std::make_unique<DriftDetector>(
+            "cluster_ratio" + suffix, config_.clusterDrift);
+    }
+    return st;
+}
+
+GuardRung
+GuardedReuseConvAlgo::lastRung() const
+{
+    return static_cast<GuardRung>(
+        state(StreamContext::current()).lastRung);
+}
+
+DriftDetector &
+GuardedReuseConvAlgo::errorDrift()
+{
+    return *state(StreamContext::current()).errDrift;
+}
+
+const DriftDetector &
+GuardedReuseConvAlgo::errorDrift() const
+{
+    return *state(StreamContext::current()).errDrift;
+}
+
+DriftDetector &
+GuardedReuseConvAlgo::clusterDrift()
+{
+    return *state(StreamContext::current()).clusterDrift;
+}
+
+const DriftDetector &
+GuardedReuseConvAlgo::clusterDrift() const
+{
+    return *state(StreamContext::current()).clusterDrift;
 }
 
 bool
 GuardedReuseConvAlgo::drifted() const
 {
-    return errDrift_.drifted() || clusterDrift_.drifted();
+    const GuardStreamState &st = state(StreamContext::current());
+    return st.errDrift->drifted() || st.clusterDrift->drifted();
 }
 
 size_t
@@ -253,7 +303,8 @@ GuardedReuseConvAlgo::verifyRows() const
 }
 
 void
-GuardedReuseConvAlgo::observeDrift(double measured, double budget)
+GuardedReuseConvAlgo::observeDrift(GuardStreamState &st, double measured,
+                                   double budget)
 {
     if (!config_.drift.enabled)
         return;
@@ -262,15 +313,15 @@ GuardedReuseConvAlgo::observeDrift(double measured, double budget)
     // the budget loose); a sustained climb means the fitted clusters
     // no longer represent the stream.
     if (budget > 0.0) {
-        if (errDrift_.observe(measured / budget))
+        if (st.errDrift->observe(measured / budget))
             guard::noteDriftTrip();
     }
     // Structure signal: the realized centroid fraction n_c/n
     // (1 − r_t). OOD inputs scatter into more, smaller clusters, so
     // this rises even while the error budget still holds.
-    const ReuseStats &st = inner_->lastStats();
-    if (st.totalVectors > 0) {
-        if (clusterDrift_.observe(1.0 - st.redundancyRatio()))
+    const ReuseStats &rs = inner_->lastStats();
+    if (rs.totalVectors > 0) {
+        if (st.clusterDrift->observe(1.0 - rs.redundancyRatio()))
             guard::noteDriftTrip();
     }
     // Static handle: the registry lookup hashes the name, and the
@@ -290,16 +341,17 @@ GuardedReuseConvAlgo::fit(const Tensor &sample_default_x,
     // multiply, when the weights are known) and re-cluster refits.
     fitSample_ = profileRowSubsample(sample_default_x);
     fitGeom_ = geom;
-    haveBudget_ = false;
+    // Budgets are keyed on the inner fit epoch, which this fit() call
+    // advances: every stream re-derives its budget lazily.
     inner_->fit(sample_default_x, geom);
 }
 
 double
-GuardedReuseConvAlgo::errorBudget(const Tensor &w,
+GuardedReuseConvAlgo::errorBudget(GuardStreamState &st, const Tensor &w,
                                   const ConvGeometry &geom,
                                   size_t runtime_rows)
 {
-    if (!haveBudget_) {
+    if (st.budgetEpoch != inner_->fitEpoch()) {
         // The §4.1 bound on the fit sample, normalized per sample row
         // so it can be rescaled to any runtime batch. K-scaling makes
         // it the rigorous Cauchy-Schwarz bound (accuracy_model.h).
@@ -318,12 +370,12 @@ GuardedReuseConvAlgo::errorBudget(const Tensor &w,
                          .numSlices;
         else
             panels = HorizontalSlicing::plan(sample_rows, l).numBands;
-        perRowBound_ = static_cast<double>(std::max<size_t>(1, panels)) *
-                       b.bound / static_cast<double>(sample_rows);
-        haveBudget_ = true;
+        st.perRowBound = static_cast<double>(std::max<size_t>(1, panels)) *
+                         b.bound / static_cast<double>(sample_rows);
+        st.budgetEpoch = inner_->fitEpoch();
     }
     (void)geom;
-    return config_.marginFactor * perRowBound_ *
+    return config_.marginFactor * st.perRowBound *
            static_cast<double>(runtime_rows);
 }
 
@@ -389,7 +441,22 @@ GuardedReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
                                    const ConvGeometry &geom,
                                    CostLedger *ledger, Tensor &y)
 {
+    multiplyInto(StreamContext::current(), x, w, geom, ledger, y);
+}
+
+void
+GuardedReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
+                                   const Tensor &w,
+                                   const ConvGeometry &geom,
+                                   CostLedger *ledger, Tensor &y)
+{
     profiler::ProfSpan pspan("guard.forward");
+    // Bind first: the fault-injection gate below is stream-filtered
+    // (GENREUSE_FAULT=...@stream), and everything downstream — inner
+    // scratch, verification arena rows, event stream tags — must
+    // resolve to this stream.
+    StreamContext::Bind bind(ctx);
+    GuardStreamState &st = state(ctx);
     // The input is read in place; it is only copied when the
     // nan_activation fault is armed, because the injection must
     // corrupt a copy rather than the caller's activations. The
@@ -407,7 +474,7 @@ GuardedReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
     }
 
     if (!config_.enabled) {
-        lastRung_ = GuardRung::FullReuse;
+        st.lastRung = static_cast<int>(GuardRung::FullReuse);
         inner_->multiplyInto(*xin, w, geom, ledger, y);
         return;
     }
@@ -420,8 +487,8 @@ GuardedReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
                  "guard: non-finite activations; conv layer downgraded "
                  "to exact GEMM for this forward (warned once)");
         guard::noteNonFiniteInput();
-        lastRung_ = GuardRung::ExactFallback;
-        guard::recordForward(lastRung_, 0.0, 0.0);
+        st.lastRung = static_cast<int>(GuardRung::ExactFallback);
+        guard::recordForward(GuardRung::ExactFallback, 0.0, 0.0);
         y = exact_.multiply(*xin, w, geom, ledger);
         return;
     }
@@ -432,44 +499,45 @@ GuardedReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
                  "guard: reuse kernel failed (", s.toString(),
                  "); exact fallback (warned once)");
         guard::noteStatusError();
-        lastRung_ = GuardRung::ExactFallback;
-        guard::recordForward(lastRung_, 0.0, 0.0);
+        st.lastRung = static_cast<int>(GuardRung::ExactFallback);
+        guard::recordForward(GuardRung::ExactFallback, 0.0, 0.0);
         y = exact_.multiply(*xin, w, geom, ledger);
         return;
     }
 
-    const double budget = errorBudget(w, geom, xin->shape().rows());
+    const double budget = errorBudget(st, w, geom, xin->shape().rows());
     double measured = measureError(*xin, w, y, ledger);
     // Drift watches the *first* attempt's measurement: it reflects the
     // stream against the original fit, before any re-cluster muddies
     // the signal. The boost it may raise applies from the next forward.
-    observeDrift(measured, budget);
+    observeDrift(st, measured, budget);
     if (measured <= budget) {
-        lastRung_ = GuardRung::FullReuse;
-        guard::recordForward(lastRung_, measured, budget);
+        st.lastRung = static_cast<int>(GuardRung::FullReuse);
+        guard::recordForward(GuardRung::FullReuse, measured, budget);
         return;
     }
 
     // Rung 1: the clustering may just have been unlucky for this
     // input distribution — redraw the hash parameters and retry. The
     // retried forward's clustering + GEMM work is charged to the
-    // ledger by the kernels themselves.
+    // ledger by the kernels themselves. The refit advances the inner
+    // fit epoch, so every stream's budget re-derives lazily.
     for (size_t attempt = 1; attempt <= config_.maxReclusters;
          ++attempt) {
         profiler::ProfSpan recluster_span("guard.recluster");
         guard::noteRecluster();
         inner_->setSeed(inner_->seed() + config_.reclusterSeedStep);
         inner_->fit(fitSample_, fitGeom_);
-        haveBudget_ = false; // families changed; re-derive the budget
         Tensor y2;
         Status s2 = inner_->tryMultiplyInto(*xin, w, geom, ledger, y2);
         if (!s2.ok())
             break;
-        const double budget2 = errorBudget(w, geom, xin->shape().rows());
+        const double budget2 =
+            errorBudget(st, w, geom, xin->shape().rows());
         const double m2 = measureError(*xin, w, y2, ledger);
         if (m2 <= budget2) {
-            lastRung_ = GuardRung::Recluster;
-            guard::recordForward(lastRung_, m2, budget2);
+            st.lastRung = static_cast<int>(GuardRung::Recluster);
+            guard::recordForward(GuardRung::Recluster, m2, budget2);
             y = std::move(y2);
             return;
         }
@@ -479,8 +547,8 @@ GuardedReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
     warnOnce("guard-exact-fallback",
              "guard: measured error exceeded budget after re-cluster; "
              "exact fallback (warned once)");
-    lastRung_ = GuardRung::ExactFallback;
-    guard::recordForward(lastRung_, measured, budget);
+    st.lastRung = static_cast<int>(GuardRung::ExactFallback);
+    guard::recordForward(GuardRung::ExactFallback, measured, budget);
     y = exact_.multiply(*xin, w, geom, ledger);
 }
 

@@ -206,10 +206,25 @@ class GuardedReuseConvAlgo : public ConvAlgo
                       const ConvGeometry &geom, CostLedger *ledger,
                       Tensor &y);
 
+    /**
+     * multiplyInto() with an explicit stream context: the guard state
+     * consulted and updated (drift detectors, cached budget, last
+     * rung) is @p ctx's own, so one guarded algorithm tracks each
+     * stream's distribution independently — a drifting stream boosts
+     * its *own* verification and trips its *own* ladder. NOTE unlike
+     * the unguarded algorithm, a *guarded* algo is not safe to share
+     * across concurrently executing streams: the re-cluster rung
+     * refits the shared inner fit. The serve engine gives each stream
+     * its own guarded instance.
+     */
+    void multiplyInto(StreamContext &ctx, const Tensor &x, const Tensor &w,
+                      const ConvGeometry &geom, CostLedger *ledger,
+                      Tensor &y);
+
     std::string describe() const override;
 
-    /** Rung the most recent multiply() resolved at. */
-    GuardRung lastRung() const { return lastRung_; }
+    /** Rung the calling stream's most recent multiply() resolved at. */
+    GuardRung lastRung() const;
 
     /** The wrapped reuse algorithm (for stats introspection). */
     ReuseConvAlgo &inner() { return *inner_; }
@@ -217,39 +232,41 @@ class GuardedReuseConvAlgo : public ConvAlgo
 
     const GuardConfig &config() const { return config_; }
 
-    /** Drift watcher over the per-forward error/budget ratio. */
-    DriftDetector &errorDrift() { return errDrift_; }
-    const DriftDetector &errorDrift() const { return errDrift_; }
+    /** Drift watcher over the calling stream's per-forward
+     *  error/budget ratio. Signal names carry the stream id
+     *  ("error_ratio" on the thread-default stream, "error_ratio.s<id>"
+     *  on serve streams) so gauges stay distinguishable. */
+    DriftDetector &errorDrift();
+    const DriftDetector &errorDrift() const;
 
-    /** Drift watcher over the realized centroid fraction n_c/n. */
-    DriftDetector &clusterDrift() { return clusterDrift_; }
-    const DriftDetector &clusterDrift() const { return clusterDrift_; }
+    /** Drift watcher over the calling stream's realized centroid
+     *  fraction n_c/n. */
+    DriftDetector &clusterDrift();
+    const DriftDetector &clusterDrift() const;
 
-    /** True while either drift detector is tripped. */
+    /** True while either of the calling stream's detectors is tripped. */
     bool drifted() const;
 
-    /** Rows the next measureError() will verify — sampleRows, boosted
-     *  by driftSampleBoost (capped at maxSampleRows) while drifted. */
+    /** Rows the calling stream's next measureError() will verify —
+     *  sampleRows, boosted by driftSampleBoost (capped at
+     *  maxSampleRows) while drifted. */
     size_t verifyRows() const;
 
   private:
-    double errorBudget(const Tensor &w, const ConvGeometry &geom,
-                       size_t runtime_rows);
+    GuardStreamState &state(StreamContext &ctx) const;
+    double errorBudget(GuardStreamState &st, const Tensor &w,
+                       const ConvGeometry &geom, size_t runtime_rows);
     double measureError(const Tensor &x, const Tensor &w,
                         const Tensor &y, CostLedger *ledger) const;
-    void observeDrift(double measured, double budget);
+    void observeDrift(GuardStreamState &st, double measured,
+                      double budget);
 
     std::unique_ptr<ReuseConvAlgo> inner_;
     ExactConvAlgo exact_;
     GuardConfig config_;
-    DriftDetector errDrift_;
-    DriftDetector clusterDrift_;
 
     Tensor fitSample_;      //!< profiling subsample, default layout
     ConvGeometry fitGeom_{};
-    bool haveBudget_ = false;
-    double perRowBound_ = 0.0; //!< K-scaled bound per sample row
-    GuardRung lastRung_ = GuardRung::FullReuse;
 };
 
 /**

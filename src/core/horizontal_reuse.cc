@@ -11,6 +11,7 @@
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
+#include "stream_context.h"
 #include "tensor/gemm.h"
 
 namespace genreuse {
@@ -65,8 +66,10 @@ horizontalReuseMultiplyInto(const Tensor &x, const Tensor &w,
 
     const simd::Ops &simd_ops = simd::ops();
     Arena &arena = Arena::forCurrentStream();
-    static thread_local ClusterResult t_clusters;
-    ClusterResult &clusters = t_clusters;
+    // Per-stream cluster scratch (see vertical_reuse.cc for why this
+    // is context state, not thread_local).
+    ClusterResult &clusters = StreamContext::current().clusterScratch(
+        StreamContext::kHorizontal);
 
     for (size_t i = 0; i < slicing.numBands; ++i) {
         const size_t row0 = i * slicing.bandHeight;

@@ -79,10 +79,22 @@ ReuseConvAlgo::fitFamilies(const Tensor &sample, const ConvGeometry &geom)
     fittedDin_ = din;
     fitted_ = true;
     // Refits (e.g. the guard's re-cluster rung) replace families_, so
-    // any band-remapped copies of the old families are stale.
-    mappedFamilies_.clear();
-    mappedNumBands_ = 0;
-    mappedBandHeight_ = 0;
+    // every stream's band-remapped copies of the old families are
+    // stale. Bumping the epoch invalidates them lazily: each stream's
+    // scratch resets itself the next time that stream forwards.
+    ++fitEpoch_;
+}
+
+ConvStreamScratch &
+ReuseConvAlgo::scratch(StreamContext &ctx) const
+{
+    return ctx.convScratch(this, fitEpoch_);
+}
+
+const ReuseStats &
+ReuseConvAlgo::lastStats() const
+{
+    return scratch(StreamContext::current()).lastStats;
 }
 
 Tensor
@@ -104,6 +116,16 @@ ReuseConvAlgo::multiplyInto(const Tensor &x, const Tensor &w,
         panic(s.toString());
 }
 
+void
+ReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
+                            const Tensor &w, const ConvGeometry &geom,
+                            CostLedger *ledger, Tensor &y)
+{
+    Status s = tryMultiplyInto(ctx, x, w, geom, ledger, y);
+    if (!s.ok())
+        panic(s.toString());
+}
+
 Expected<Tensor>
 ReuseConvAlgo::tryMultiply(const Tensor &x, const Tensor &w,
                            const ConvGeometry &geom, CostLedger *ledger)
@@ -120,6 +142,19 @@ ReuseConvAlgo::tryMultiplyInto(const Tensor &x, const Tensor &w,
                                const ConvGeometry &geom, CostLedger *ledger,
                                Tensor &y)
 {
+    return tryMultiplyInto(StreamContext::current(), x, w, geom, ledger,
+                           y);
+}
+
+Status
+ReuseConvAlgo::tryMultiplyInto(StreamContext &ctx, const Tensor &x,
+                               const Tensor &w, const ConvGeometry &geom,
+                               CostLedger *ledger, Tensor &y)
+{
+    // Bind so every downstream current()/forCurrentStream() — the
+    // kernels' cluster scratch, arena frames, event stream tags —
+    // resolves to this stream for the duration of the forward.
+    StreamContext::Bind bind(ctx);
     if (!fitted_)
         return Status::error(ErrorCode::FailedPrecondition,
                              "ReuseConvAlgo::multiply before fit()");
@@ -135,45 +170,46 @@ ReuseConvAlgo::tryMultiplyInto(const Tensor &x, const Tensor &w,
                              x.shape().toString(), " w ",
                              w.shape().toString(), " Din ", geom.cols());
 
-    const std::vector<uint32_t> &row_perm = cachedRowPerm(geom);
+    ConvStreamScratch &sc = scratch(ctx);
+    const std::vector<uint32_t> &row_perm = cachedRowPerm(sc, geom);
     const bool reorder_rows = !isIdentity(row_perm);
     const bool reorder_cols = !isIdentity(colPerm_);
 
-    // Layout transformation of the input matrix, into persistent
-    // member scratch. (The paper includes reorder cost in all reported
-    // latencies; weight-row reordering is free at runtime because
-    // weights are pre-permuted offline — here wr_ persists, so the
-    // gather costs one pass and no allocation in steady state.)
+    // Layout transformation of the input matrix, into the stream's
+    // persistent scratch. (The paper includes reorder cost in all
+    // reported latencies; weight-row reordering is free at runtime
+    // because weights are pre-permuted offline — here sc.wr persists,
+    // so the gather costs one pass and no allocation in steady state.)
     const Tensor *xin = &x;
     if (reorder_rows || reorder_cols) {
         profiler::ProfSpan span("reuse.transform");
         if (reorder_rows && reorder_cols) {
-            reorderMatrixInto(x, row_perm, colPerm_, xr_);
+            reorderMatrixInto(x, row_perm, colPerm_, sc.xr);
         } else if (reorder_rows) {
-            permuteRowsInto(x, row_perm, xr_);
+            permuteRowsInto(x, row_perm, sc.xr);
         } else {
             // Column gather with implicit identity row order — no
             // identity permutation vector, no second pass.
             const size_t rows = x.shape().rows(), cols = x.shape().cols();
-            xr_.resize({rows, cols});
+            sc.xr.resize({rows, cols});
             for (size_t r = 0; r < rows; ++r) {
                 const float *src = x.data() + r * cols;
-                float *dst = xr_.data() + r * cols;
+                float *dst = sc.xr.data() + r * cols;
                 for (size_t c = 0; c < cols; ++c)
                     dst[c] = src[colPerm_[c]];
             }
         }
-        xin = &xr_;
+        xin = &sc.xr;
         OpCounts tf;
         tf.elemMoves = x.size();
         reportOps(ledger, Stage::Transformation, tf);
     }
     const Tensor *win = &w;
     if (reorder_cols) {
-        permuteRowsInto(w, colPerm_, wr_);
-        win = &wr_;
+        permuteRowsInto(w, colPerm_, sc.wr);
+        win = &sc.wr;
     }
-    reuseCoreInto(*xin, *win, row_perm, reorder_rows, geom, ledger, y);
+    reuseCoreInto(sc, *xin, *win, row_perm, reorder_rows, geom, ledger, y);
     return Status();
 }
 
@@ -187,7 +223,8 @@ ReuseConvAlgo::multiplyReordered(const Tensor &xr, const Tensor &wr,
     GENREUSE_REQUIRE(geom.cols() == fittedDin_,
                      "geometry changed since fit: Din ", geom.cols(),
                      " vs ", fittedDin_);
-    const std::vector<uint32_t> &row_perm = cachedRowPerm(geom);
+    ConvStreamScratch &sc = scratch(StreamContext::current());
+    const std::vector<uint32_t> &row_perm = cachedRowPerm(sc, geom);
     const bool reorder_rows = !isIdentity(row_perm);
     const bool reorder_cols = !isIdentity(colPerm_);
     // The caller supplied pre-reordered inputs; the transformation is
@@ -199,37 +236,39 @@ ReuseConvAlgo::multiplyReordered(const Tensor &xr, const Tensor &wr,
         reportOps(ledger, Stage::Transformation, tf);
     }
     Tensor y;
-    reuseCoreInto(xr, wr, row_perm, reorder_rows, geom, ledger, y);
+    reuseCoreInto(sc, xr, wr, row_perm, reorder_rows, geom, ledger, y);
     return y;
 }
 
 void
-ReuseConvAlgo::reuseCoreInto(const Tensor &xr, const Tensor &wr,
+ReuseConvAlgo::reuseCoreInto(ConvStreamScratch &sc, const Tensor &xr,
+                             const Tensor &wr,
                              const std::vector<uint32_t> &row_perm,
                              bool reorder_rows, const ConvGeometry &geom,
                              CostLedger *ledger, Tensor &y)
 {
-    lastStats_ = ReuseStats{};
+    sc.lastStats = ReuseStats{};
     // With a row reorder the kernel writes the permuted-order output
-    // into persistent scratch and the unpermute gathers into y;
+    // into the stream's scratch and the unpermute gathers into y;
     // without one the kernel writes y directly.
-    Tensor &yr = reorder_rows ? yTmp_ : y;
+    Tensor &yr = reorder_rows ? sc.yTmp : y;
     if (pattern_.direction == ReuseDirection::Vertical) {
         verticalReuseMultiplyInto(xr, wr, vslice_, families_, ledger,
-                                  &lastStats_, yr);
+                                  &sc.lastStats, yr);
     } else {
         HorizontalSlicing plan = HorizontalSlicing::plan(
             xr.shape().rows(), pattern_.effectiveGranularity(geom));
         const std::vector<HashFamily> &fams =
-            families_.size() == plan.numBands ? families_
-                                              : remapFamiliesCached(plan);
+            families_.size() == plan.numBands
+                ? families_
+                : remapFamiliesCached(sc, plan);
         horizontalReuseMultiplyInto(xr, wr, plan, fams, ledger,
-                                    &lastStats_, yr);
+                                    &sc.lastStats, yr);
     }
 
     if (reorder_rows) {
         profiler::ProfSpan span("reuse.recover");
-        unpermuteRowsInto(yTmp_, row_perm, y);
+        unpermuteRowsInto(sc.yTmp, row_perm, y);
         OpCounts rc;
         rc.elemMoves = y.size();
         reportOps(ledger, Stage::Recovering, rc);
@@ -239,39 +278,42 @@ ReuseConvAlgo::reuseCoreInto(const Tensor &xr, const Tensor &wr,
     // the inspector's timeline work at.
     if (eventlog::enabled())
         eventlog::record(eventlog::Type::LayerReuse, 0,
-                         lastStats_.redundancyRatio(),
-                         static_cast<double>(lastStats_.totalVectors),
+                         sc.lastStats.redundancyRatio(),
+                         static_cast<double>(sc.lastStats.totalVectors),
                          0.0,
-                         static_cast<uint32_t>(lastStats_.totalCentroids));
+                         static_cast<uint32_t>(sc.lastStats.totalCentroids));
 }
 
 const std::vector<uint32_t> &
-ReuseConvAlgo::cachedRowPerm(const ConvGeometry &geom)
+ReuseConvAlgo::cachedRowPerm(ConvStreamScratch &sc,
+                             const ConvGeometry &geom)
 {
     // (batch, rows) determines the permutation for every RowOrder:
     // pix = rows / batch, and Custom perms are validated against rows.
-    if (rowPermBatch_ != geom.batch || rowPermRows_ != geom.rows()) {
-        rowPerm_ = rowPermutation(pattern_, geom);
-        rowPermBatch_ = geom.batch;
-        rowPermRows_ = geom.rows();
+    if (sc.rowPermBatch != geom.batch || sc.rowPermRows != geom.rows()) {
+        sc.rowPerm = rowPermutation(pattern_, geom);
+        sc.rowPermBatch = geom.batch;
+        sc.rowPermRows = geom.rows();
     }
-    return rowPerm_;
+    return sc.rowPerm;
 }
 
 const std::vector<HashFamily> &
-ReuseConvAlgo::remapFamiliesCached(const HorizontalSlicing &plan)
+ReuseConvAlgo::remapFamiliesCached(ConvStreamScratch &sc,
+                                   const HorizontalSlicing &plan)
 {
-    if (mappedNumBands_ != plan.numBands ||
-        mappedBandHeight_ != plan.bandHeight) {
-        mappedFamilies_ = remapFamilies(plan);
-        mappedNumBands_ = plan.numBands;
-        mappedBandHeight_ = plan.bandHeight;
+    if (sc.mappedNumBands != plan.numBands ||
+        sc.mappedBandHeight != plan.bandHeight) {
+        sc.mappedFamilies = remapFamilies(sc, plan);
+        sc.mappedNumBands = plan.numBands;
+        sc.mappedBandHeight = plan.bandHeight;
     }
-    return mappedFamilies_;
+    return sc.mappedFamilies;
 }
 
 std::vector<HashFamily>
-ReuseConvAlgo::remapFamilies(const HorizontalSlicing &plan)
+ReuseConvAlgo::remapFamilies(ConvStreamScratch &sc,
+                             const HorizontalSlicing &plan)
 {
     // Batch size differs from the fitting sample, so the fitted band
     // count does not match the run's banding plan. All full bands
@@ -287,8 +329,8 @@ ReuseConvAlgo::remapFamilies(const HorizontalSlicing &plan)
         if (f.vectorLength() == plan.bandHeight)
             full.push_back(&f);
 
-    if (!warnedBandMismatch_) {
-        warnedBandMismatch_ = true;
+    if (!sc.warnedBandMismatch) {
+        sc.warnedBandMismatch = true;
         if (full.empty()) {
             warn("horizontal reuse ", pattern_.describe(), ": fitted ",
                  families_.size(), " band(s) of height ",

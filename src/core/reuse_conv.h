@@ -19,6 +19,7 @@
 #include "reorder.h"
 #include "reuse_pattern.h"
 #include "reuse_stats.h"
+#include "stream_context.h"
 #include "vertical_reuse.h"
 
 namespace genreuse {
@@ -78,17 +79,35 @@ class ReuseConvAlgo : public ConvAlgo
     /**
      * tryMultiply() writing into @p y (resized in place, capacity
      * reused). Layout-transform scratch (the reordered input/weights,
-     * the pre-unpermute output) lives in member buffers that persist
-     * across forwards, and the row permutation and any band-remapped
-     * families are cached, so a steady-state call performs no heap
-     * allocation. @p y is untouched on error.
+     * the pre-unpermute output), the cached row permutation and any
+     * band-remapped families live in the executing stream's context
+     * (StreamContext::current()), so a steady-state call performs no
+     * heap allocation and N streams can forward through one fitted
+     * algorithm concurrently. @p y is untouched on error.
      */
     Status tryMultiplyInto(const Tensor &x, const Tensor &w,
                            const ConvGeometry &geom, CostLedger *ledger,
                            Tensor &y);
 
+    /** tryMultiplyInto() with an explicit stream context: @p ctx is
+     *  bound for the duration of the call (scratch, arena, stream tag),
+     *  which is how the serve engine routes one fitted algorithm's
+     *  forwards to per-stream state. The fit itself (families, column
+     *  permutation, slicing) is shared and read-only here — concurrent
+     *  calls with distinct contexts are safe on a fitted algo as long
+     *  as nobody refits (fit()/setSeed() still require exclusivity). */
+    Status tryMultiplyInto(StreamContext &ctx, const Tensor &x,
+                           const Tensor &w, const ConvGeometry &geom,
+                           CostLedger *ledger, Tensor &y);
+
     /** multiply() writing into @p y; panics on error like multiply(). */
     void multiplyInto(const Tensor &x, const Tensor &w,
+                      const ConvGeometry &geom, CostLedger *ledger,
+                      Tensor &y);
+
+    /** multiplyInto() with an explicit stream context (see the ctx
+     *  tryMultiplyInto overload). */
+    void multiplyInto(StreamContext &ctx, const Tensor &x, const Tensor &w,
                       const ConvGeometry &geom, CostLedger *ledger,
                       Tensor &y);
 
@@ -117,20 +136,35 @@ class ReuseConvAlgo : public ConvAlgo
      */
     void setSeed(uint64_t seed) { seed_ = seed; }
 
-    /** Statistics of the most recent multiply(). */
-    const ReuseStats &lastStats() const { return lastStats_; }
+    /** Statistics of the calling stream's most recent multiply()
+     *  through this algorithm (per-stream state: another stream's
+     *  forwards do not disturb it). */
+    const ReuseStats &lastStats() const;
+
+    /** Monotonic fit counter: bumped by every (re)fit, it keys the
+     *  per-stream scratch caches so a refit invalidates them lazily in
+     *  every stream's context. */
+    uint64_t fitEpoch() const { return fitEpoch_; }
 
   private:
     void fitFamilies(const Tensor &sample, const ConvGeometry &geom);
-    void reuseCoreInto(const Tensor &xr, const Tensor &wr,
+    ConvStreamScratch &scratch(StreamContext &ctx) const;
+    void reuseCoreInto(ConvStreamScratch &sc, const Tensor &xr,
+                       const Tensor &wr,
                        const std::vector<uint32_t> &row_perm,
                        bool reorder_rows, const ConvGeometry &geom,
                        CostLedger *ledger, Tensor &y);
-    std::vector<HashFamily> remapFamilies(const HorizontalSlicing &plan);
+    std::vector<HashFamily> remapFamilies(ConvStreamScratch &sc,
+                                          const HorizontalSlicing &plan);
     const std::vector<HashFamily> &
-    remapFamiliesCached(const HorizontalSlicing &plan);
-    const std::vector<uint32_t> &cachedRowPerm(const ConvGeometry &geom);
+    remapFamiliesCached(ConvStreamScratch &sc,
+                        const HorizontalSlicing &plan);
+    const std::vector<uint32_t> &cachedRowPerm(ConvStreamScratch &sc,
+                                               const ConvGeometry &geom);
 
+    // The shared fit: immutable between fit() calls, so N streams can
+    // read it concurrently. Everything a forward *writes* lives in
+    // ConvStreamScratch inside the executing stream's context.
     ReusePattern pattern_;
     HashMode mode_;
     uint64_t seed_;
@@ -141,22 +175,7 @@ class ReuseConvAlgo : public ConvAlgo
     std::vector<HashFamily> families_;
     bool fitted_ = false;
     size_t fittedDin_ = 0;
-    bool warnedBandMismatch_ = false;
-
-    // Forward-path scratch, reused across calls so steady-state
-    // multiplies allocate nothing: reordered input / weights, the
-    // pre-unpermute output, the cached row permutation (keyed on the
-    // geometry it was built for) and band-remapped hash families
-    // (keyed on the banding plan).
-    Tensor xr_, wr_, yTmp_;
-    std::vector<uint32_t> rowPerm_;
-    size_t rowPermBatch_ = static_cast<size_t>(-1);
-    size_t rowPermRows_ = static_cast<size_t>(-1);
-    std::vector<HashFamily> mappedFamilies_;
-    size_t mappedNumBands_ = 0;
-    size_t mappedBandHeight_ = 0;
-
-    ReuseStats lastStats_;
+    uint64_t fitEpoch_ = 0;
 };
 
 /**

@@ -10,6 +10,7 @@
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
+#include "stream_context.h"
 #include "tensor/gemm.h"
 
 namespace genreuse {
@@ -104,12 +105,14 @@ verticalReuseMultiplyInto(const Tensor &x, const Tensor &w,
 
     const simd::Ops &simd_ops = simd::ops();
     Arena &arena = Arena::forCurrentStream();
-    // Cluster table scratch persists across slices AND forwards (one
-    // inference stream per thread): its vectors/centroids regrow to
-    // the largest panel once, then steady-state reclustering is
-    // allocation-free.
-    static thread_local ClusterResult t_clusters;
-    ClusterResult &clusters = t_clusters;
+    // Cluster table scratch persists across slices AND forwards in the
+    // executing stream's context: its vectors/centroids regrow to the
+    // largest panel once, then steady-state reclustering is
+    // allocation-free. (Formerly a static thread_local — owned by
+    // whichever thread last ran, wrong once pooled serve workers
+    // execute different streams on the same thread.)
+    ClusterResult &clusters =
+        StreamContext::current().clusterScratch(StreamContext::kVertical);
 
     for (size_t k = 0; k < slicing.numSlices; ++k) {
         const size_t col0 = k * slicing.sliceWidth;

@@ -1,0 +1,176 @@
+#include "loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace genreuse {
+namespace serve {
+
+double
+percentileMs(const std::vector<double> &sorted_ms, double p)
+{
+    if (sorted_ms.empty())
+        return 0.0;
+    p = std::min(100.0, std::max(0.0, p));
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_ms.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac;
+}
+
+namespace {
+
+/** Arrival offsets (ns from start) for the whole run, drawn up front
+ *  so the schedule is independent of server behavior. */
+std::vector<uint64_t>
+arrivalSchedule(const LoadGenConfig &cfg)
+{
+    GENREUSE_REQUIRE(cfg.rps > 0.0, "load generator needs rps > 0");
+    const double gap_ns = 1e9 / cfg.rps;
+    std::vector<uint64_t> offsets;
+    offsets.reserve(cfg.requests);
+    Rng rng(cfg.seed);
+    double t = 0.0;
+    for (size_t i = 0; i < cfg.requests; ++i) {
+        offsets.push_back(static_cast<uint64_t>(t));
+        if (cfg.poisson) {
+            // Exponential inter-arrival via inverse CDF; clamp the
+            // uniform away from 0 so log() stays finite.
+            const double u = std::max(rng.uniform(), 1e-12);
+            t += -std::log(u) * gap_ns;
+        } else {
+            t += gap_ns;
+        }
+    }
+    return offsets;
+}
+
+} // namespace
+
+LatencyReport
+runOpenLoop(ServeEngine &engine, const LoadGenConfig &cfg,
+            const std::function<Tensor(size_t)> &make_input)
+{
+    const std::vector<uint64_t> offsets = arrivalSchedule(cfg);
+
+    std::mutex mu;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(cfg.requests);
+    uint64_t last_done_ns = 0;
+
+    const auto start = std::chrono::steady_clock::now();
+    const uint64_t start_ns = nowNs();
+
+    size_t rejected = 0;
+    for (size_t i = 0; i < offsets.size(); ++i) {
+        std::this_thread::sleep_until(
+            start + std::chrono::nanoseconds(offsets[i]));
+        // Latency anchors at the *scheduled* arrival: any time this
+        // thread then spends blocked in admission is queueing delay
+        // the client would experience.
+        const uint64_t scheduled_ns = start_ns + offsets[i];
+        const bool ok = engine.trySubmit(
+            make_input(i), [&mu, &latencies_ms, &last_done_ns,
+                            scheduled_ns](ServeResult &&res) {
+                const double ms =
+                    static_cast<double>(res.doneNs - scheduled_ns) / 1e6;
+                std::lock_guard<std::mutex> lock(mu);
+                latencies_ms.push_back(ms);
+                last_done_ns = std::max(last_done_ns, res.doneNs);
+            });
+        if (!ok)
+            ++rejected;
+    }
+    engine.drain();
+
+    LatencyReport r;
+    r.offered = offsets.size();
+    r.rejected = rejected;
+    std::lock_guard<std::mutex> lock(mu);
+    r.completed = latencies_ms.size();
+    if (latencies_ms.empty())
+        return r;
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    r.p50Ms = percentileMs(latencies_ms, 50.0);
+    r.p95Ms = percentileMs(latencies_ms, 95.0);
+    r.p99Ms = percentileMs(latencies_ms, 99.0);
+    r.maxMs = latencies_ms.back();
+    double sum = 0.0;
+    for (double v : latencies_ms)
+        sum += v;
+    r.meanMs = sum / static_cast<double>(latencies_ms.size());
+    r.wallMs = static_cast<double>(last_done_ns - start_ns) / 1e6;
+    if (r.wallMs > 0.0)
+        r.throughputRps =
+            static_cast<double>(r.completed) / (r.wallMs / 1e3);
+    return r;
+}
+
+double
+runClosedLoop(ServeEngine &engine, size_t requests, size_t inflight,
+              const std::function<Tensor(size_t)> &make_input)
+{
+    if (requests == 0)
+        return 0.0;
+    inflight = std::max<size_t>(1, inflight);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+    const uint64_t start_ns = nowNs();
+    uint64_t last_done_ns = start_ns;
+
+    auto on_done = [&](ServeResult &&res) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        last_done_ns = std::max(last_done_ns, res.doneNs);
+        cv.notify_all();
+    };
+
+    // Seed the window, then submit one new request per completion so
+    // exactly `inflight` are outstanding until the budget runs out.
+    // Only *accepted* submissions join the window — a rejection (full
+    // Reject-policy queue) is warned about and dropped, never awaited.
+    size_t offered = 0;
+    size_t accepted = 0;
+    auto offer = [&] {
+        if (engine.trySubmit(make_input(offered), on_done))
+            ++accepted;
+        else
+            warn("closed loop: submission rejected; raise the queue "
+                 "capacity or use Block admission");
+        ++offered;
+    };
+    while (offered < std::min(inflight, requests))
+        offer();
+    while (offered < requests) {
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [&] { return done + inflight > accepted; });
+        }
+        offer();
+    }
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done >= accepted; });
+    }
+    // The callbacks have run but the engine bumps its own completed
+    // counter after them; drain() syncs so callers can read stats().
+    engine.drain();
+
+    std::lock_guard<std::mutex> lock(mu);
+    const double wall_s =
+        static_cast<double>(last_done_ns - start_ns) / 1e9;
+    return wall_s > 0.0 ? static_cast<double>(done) / wall_s : 0.0;
+}
+
+} // namespace serve
+} // namespace genreuse

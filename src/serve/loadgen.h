@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Open-loop load generator and latency aggregation for the serve
+ * engine. Open-loop means arrivals follow a precomputed schedule that
+ * does NOT slow down when the server does — the honest way to measure
+ * tail latency (a closed loop that waits for each response before
+ * sending the next coordinates with the server and hides queueing
+ * delay; Gil Tene's "coordinated omission").
+ *
+ * Latency is therefore measured from the request's *scheduled* arrival
+ * time, not from when submit() finally got it into the queue: time a
+ * request spends blocked at admission (Block policy) or queued behind
+ * a slow worker is service delay the client would see, and it counts.
+ *
+ * Everything is deterministic given the config seed — the schedule is
+ * drawn up front from the repo-wide Rng, so two runs at the same rate
+ * offer the same arrival pattern.
+ */
+
+#ifndef GENREUSE_SERVE_LOADGEN_H
+#define GENREUSE_SERVE_LOADGEN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "serve.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+namespace serve {
+
+struct LoadGenConfig
+{
+    double rps = 100.0;     //!< offered arrival rate, requests/second
+    size_t requests = 100;  //!< total requests to offer
+    uint64_t seed = 1;      //!< schedule seed (Poisson draws)
+    bool poisson = false;   //!< exponential inter-arrivals vs uniform
+};
+
+/** Aggregated result of one load-generation run. */
+struct LatencyReport
+{
+    size_t offered = 0;   //!< requests the schedule offered
+    size_t completed = 0; //!< requests that finished
+    size_t rejected = 0;  //!< requests refused at admission
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+    double meanMs = 0.0;
+    double throughputRps = 0.0; //!< completed / wall time
+    double wallMs = 0.0;        //!< first offer → last completion
+};
+
+/**
+ * Linear-interpolated percentile of @p sorted_ms (ascending).
+ * @p p in [0, 100]. 0 for an empty vector.
+ */
+double percentileMs(const std::vector<double> &sorted_ms, double p);
+
+/**
+ * Offer cfg.requests requests to @p engine on the open-loop schedule,
+ * drain, and aggregate. @p make_input produces request i's input (it
+ * runs on the generator thread, off the measured path — precompute
+ * anything expensive).
+ */
+LatencyReport runOpenLoop(ServeEngine &engine, const LoadGenConfig &cfg,
+                          const std::function<Tensor(size_t)> &make_input);
+
+/**
+ * Closed-loop saturation throughput: keep @p inflight requests
+ * outstanding (Block admission recommended) until @p requests have
+ * completed; returns completed requests per second. This is the
+ * scaling number (throughput vs workers), where open-loop is the
+ * latency number.
+ */
+double runClosedLoop(ServeEngine &engine, size_t requests, size_t inflight,
+                     const std::function<Tensor(size_t)> &make_input);
+
+} // namespace serve
+} // namespace genreuse
+
+#endif // GENREUSE_SERVE_LOADGEN_H

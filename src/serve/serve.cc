@@ -1,0 +1,267 @@
+#include "serve.h"
+
+#include <chrono>
+
+#include "common/eventlog.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace genreuse {
+namespace serve {
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+RequestQueue::RequestQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+bool
+RequestQueue::push(Request &&r)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    notFull_.wait(lock,
+                  [this] { return closed_ || q_.size() < capacity_; });
+    if (closed_)
+        return false;
+    q_.push_back(std::move(r));
+    ++accepted_;
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::tryPush(Request &&r)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_)
+            return false;
+        if (q_.size() >= capacity_) {
+            ++rejected_;
+            return false;
+        }
+        q_.push_back(std::move(r));
+        ++accepted_;
+    }
+    notEmpty_.notify_one();
+    return true;
+}
+
+std::optional<Request>
+RequestQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    notEmpty_.wait(lock, [this] { return closed_ || !q_.empty(); });
+    if (q_.empty())
+        return std::nullopt; // closed and drained
+    Request r = std::move(q_.front());
+    q_.pop_front();
+    lock.unlock();
+    notFull_.notify_one();
+    return r;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+}
+
+uint64_t
+RequestQueue::accepted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return accepted_;
+}
+
+uint64_t
+RequestQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+}
+
+ServeEngine::ServeEngine(ServeConfig config, const StreamFactory &factory)
+    : config_(config), queue_(config.queueCapacity),
+      // spawn_single: even a 1-worker engine needs a real thread — the
+      // worker loop is long-lived and would deadlock run inline.
+      pool_(config.workers, config.name, /*spawn_single=*/true)
+{
+    GENREUSE_REQUIRE(config_.workers >= 1,
+                     "ServeEngine needs at least one worker");
+    GENREUSE_REQUIRE(factory != nullptr, "ServeEngine needs a factory");
+    streams_.reserve(config_.workers);
+    contexts_.reserve(config_.workers);
+    for (size_t i = 0; i < config_.workers; ++i) {
+        // Stream ids are 1-based: 0 is the thread-default context and
+        // doubles as "no stream" in event/fault tags.
+        const uint32_t stream_id = static_cast<uint32_t>(i + 1);
+        contexts_.push_back(std::make_unique<StreamContext>(
+            static_cast<uint16_t>(stream_id),
+            config_.name + "-" + std::to_string(stream_id)));
+        streams_.push_back(factory(stream_id));
+        GENREUSE_REQUIRE(streams_.back() != nullptr,
+                         "StreamFactory returned null for stream ",
+                         stream_id);
+    }
+    for (size_t i = 0; i < config_.workers; ++i)
+        pool_.submit([this, i] { workerMain(i); });
+}
+
+ServeEngine::~ServeEngine() { shutdown(); }
+
+bool
+ServeEngine::admit(Request &&r)
+{
+    if (config_.policy == AdmitPolicy::Block)
+        return queue_.push(std::move(r));
+    return queue_.tryPush(std::move(r));
+}
+
+std::optional<std::future<ServeResult>>
+ServeEngine::submit(Tensor input)
+{
+    auto promise = std::make_shared<std::promise<ServeResult>>();
+    std::future<ServeResult> fut = promise->get_future();
+    Request r;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_)
+            return std::nullopt;
+        r.id = nextId_++;
+    }
+    r.input = std::move(input);
+    r.enqueueNs = nowNs();
+    r.done = [promise](ServeResult &&res) {
+        promise->set_value(std::move(res));
+    };
+    if (!admit(std::move(r)))
+        return std::nullopt;
+    return fut;
+}
+
+bool
+ServeEngine::trySubmit(Tensor input,
+                       std::function<void(ServeResult &&)> done)
+{
+    Request r;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_)
+            return false;
+        r.id = nextId_++;
+    }
+    r.input = std::move(input);
+    r.enqueueNs = nowNs();
+    r.done = std::move(done);
+    return admit(std::move(r));
+}
+
+void
+ServeEngine::workerMain(size_t index)
+{
+    StreamContext &ctx = *contexts_[index];
+    InferenceStream &stream = *streams_[index];
+    static metrics::Counter &served = metrics::counter("serve.requests");
+    for (;;) {
+        std::optional<Request> req = queue_.pop();
+        if (!req)
+            return; // queue closed and drained: graceful exit
+        // Request boundary on a pooled thread: drop any layer-scope
+        // tag a previous request leaked (e.g. via a throwing forward)
+        // so this request's events carry only its own layers.
+        eventlog::resetThreadScope();
+        ServeResult res;
+        res.requestId = req->id;
+        res.streamId = ctx.id();
+        res.enqueueNs = req->enqueueNs;
+        {
+            StreamContext::Bind bind(ctx);
+            // The frame spans the whole request, so the stream arena
+            // rewinds to empty afterwards — exactly the point where
+            // retention decay trims capacity an oversized request left
+            // behind.
+            ArenaFrame frame(ctx.arena());
+            res.startNs = nowNs();
+            res.output = stream.infer(req->input, ctx);
+            res.rung = stream.lastRung();
+            res.doneNs = nowNs();
+        }
+        served.add();
+        if (req->done)
+            req->done(std::move(res));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++completed_;
+        }
+        completedCv_.notify_all();
+    }
+}
+
+void
+ServeEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    completedCv_.wait(lock,
+                      [this] { return completed_ >= queue_.accepted(); });
+}
+
+void
+ServeEngine::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_)
+            return;
+        shutdown_ = true;
+    }
+    queue_.close();
+    // Workers drain the queue (pop() serves queued requests until
+    // empty) before exiting; Drain then joins them. No admitted
+    // request is dropped.
+    pool_.shutdown(ThreadPool::DrainPolicy::Drain);
+}
+
+ServeStats
+ServeEngine::stats() const
+{
+    ServeStats s;
+    s.accepted = queue_.accepted();
+    s.rejected = queue_.rejected();
+    s.workers = pool_.size();
+    s.queueDepth = queue_.size();
+    std::lock_guard<std::mutex> lock(mu_);
+    s.completed = completed_;
+    return s;
+}
+
+} // namespace serve
+} // namespace genreuse

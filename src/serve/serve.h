@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Serve engine: a server-style concurrent runtime over the guarded
+ * reuse stack. The paper's pipeline is single-stream — one thread, one
+ * forward at a time — but a deployed microcontroller gateway (or the
+ * host-side proxy of one) sees overlapping requests. This module adds
+ * that shape without touching the math:
+ *
+ *   submit() → bounded MPMC RequestQueue → worker pool → N streams
+ *
+ * Each worker (a long-lived ThreadPool task, named "<name>-<i>") owns
+ * exactly one InferenceStream and its StreamContext — stream i's
+ * arena, drift detectors, scratch and stream tag. The 1:1
+ * worker↔stream ownership means no per-request locking anywhere in the
+ * inference path: concurrency comes from *different* streams running
+ * on different workers, and all cross-thread traffic funnels through
+ * the queue.
+ *
+ * Per-request hygiene on a pooled worker (the single-stream
+ * assumptions this engine exposed and fixes):
+ *   - StreamContext::Bind routes scratch/arena/stream-tag to the
+ *     stream (core/stream_context.h);
+ *   - eventlog::resetThreadScope() runs at each request boundary so a
+ *     leaked LayerScope cannot tag the next request's events;
+ *   - an ArenaFrame spanning the request rewinds the stream arena to
+ *     empty, which triggers retention decay (common/arena.h) — one
+ *     oversized request no longer pins peak scratch for the process
+ *     lifetime.
+ *
+ * Admission is configurable: Block (backpressure the producer — the
+ * load-generator default) or Reject (fail fast, counted in stats).
+ * Shutdown is graceful: close the queue, let workers drain it, join.
+ */
+
+#ifndef GENREUSE_SERVE_SERVE_H
+#define GENREUSE_SERVE_SERVE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/guard.h"
+#include "core/stream_context.h"
+#include "tensor/tensor.h"
+
+namespace genreuse {
+namespace serve {
+
+/** Steady-clock nanoseconds (the engine's single time base). */
+uint64_t nowNs();
+
+/** Completed request: output plus the latency-relevant timestamps. */
+struct ServeResult
+{
+    uint64_t requestId = 0;
+    uint32_t streamId = 0; //!< stream that executed it (1-based)
+    Tensor output;
+    uint64_t enqueueNs = 0; //!< admission time
+    uint64_t startNs = 0;   //!< worker picked it up
+    uint64_t doneNs = 0;    //!< inference finished
+    GuardRung rung = GuardRung::FullReuse; //!< stream's rung afterwards
+};
+
+/** One queued inference request. */
+struct Request
+{
+    uint64_t id = 0;
+    Tensor input;
+    uint64_t enqueueNs = 0;
+    std::function<void(ServeResult &&)> done; //!< invoked on the worker
+};
+
+/** What admission does when the queue is full. */
+enum class AdmitPolicy
+{
+    Block,  //!< backpressure: submit() waits for space
+    Reject, //!< fail fast: submit() returns empty, rejection counted
+};
+
+/**
+ * Bounded MPMC queue with close-to-drain semantics: close() wakes
+ * everyone, push() fails afterwards, pop() keeps returning queued
+ * requests until empty and only then returns nullopt — so graceful
+ * shutdown never drops an admitted request.
+ */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(size_t capacity);
+
+    /** Admit @p r, waiting while full. False when closed (the request
+     *  is not admitted). */
+    bool push(Request &&r);
+
+    /** Admit @p r without waiting. False when full or closed; a
+     *  full-queue failure is counted in rejected(). */
+    bool tryPush(Request &&r);
+
+    /** Take the oldest request, waiting while empty. nullopt once the
+     *  queue is closed *and* drained. */
+    std::optional<Request> pop();
+
+    /** Stop admissions and wake all waiters (idempotent). */
+    void close();
+
+    bool closed() const;
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    uint64_t accepted() const;
+    uint64_t rejected() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<Request> q_;
+    bool closed_ = false;
+    uint64_t accepted_ = 0;
+    uint64_t rejected_ = 0;
+};
+
+/**
+ * One inference stream: whatever the deployment serves (a guarded
+ * network replica, a single guarded layer under test, …). infer() is
+ * always called with @p ctx bound on the calling worker thread, and
+ * only ever from that one worker — implementations need no locking.
+ */
+class InferenceStream
+{
+  public:
+    virtual ~InferenceStream() = default;
+
+    virtual Tensor infer(const Tensor &input, StreamContext &ctx) = 0;
+
+    /** Guard rung of the last infer() (FullReuse when unguarded). */
+    virtual GuardRung
+    lastRung() const
+    {
+        return GuardRung::FullReuse;
+    }
+};
+
+/** Builds stream @p stream_id's InferenceStream (ids are 1-based —
+ *  0 is the thread-default/no-stream tag). Called once per worker at
+ *  engine construction, on the constructing thread. */
+using StreamFactory =
+    std::function<std::unique_ptr<InferenceStream>(uint32_t stream_id)>;
+
+struct ServeConfig
+{
+    size_t workers = 1;       //!< worker count == stream count
+    size_t queueCapacity = 64;
+    AdmitPolicy policy = AdmitPolicy::Block;
+    std::string name = "serve"; //!< worker-thread name prefix
+};
+
+/** Engine counters (monotonic since construction). */
+struct ServeStats
+{
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+    size_t workers = 0;
+    size_t queueDepth = 0;
+};
+
+class ServeEngine
+{
+  public:
+    /** Spawns the workers and builds one stream per worker via
+     *  @p factory. Workers start pulling immediately. */
+    ServeEngine(ServeConfig config, const StreamFactory &factory);
+
+    /** Graceful: shutdown() (drain admitted requests, join workers). */
+    ~ServeEngine();
+
+    ServeEngine(const ServeEngine &) = delete;
+    ServeEngine &operator=(const ServeEngine &) = delete;
+
+    /**
+     * Submit one input. Under Block this waits for queue space; under
+     * Reject a full queue returns nullopt immediately. The future
+     * resolves on the executing worker when inference completes.
+     * nullopt is also returned after shutdown().
+     */
+    std::optional<std::future<ServeResult>> submit(Tensor input);
+
+    /**
+     * Callback-style submission for the open-loop load generator (no
+     * per-request future allocation on the measurement path).
+     * @p done runs on the executing worker. False when the request was
+     * not admitted (full queue under Reject, or shut down).
+     */
+    bool trySubmit(Tensor input, std::function<void(ServeResult &&)> done);
+
+    /** Block until every admitted request has completed. */
+    void drain();
+
+    /** Stop admissions, drain the queue, join the workers. Idempotent;
+     *  also run by the destructor. */
+    void shutdown();
+
+    ServeStats stats() const;
+
+    const ServeConfig &config() const { return config_; }
+    size_t numStreams() const { return streams_.size(); }
+
+    /** Test/introspection access to stream @p i (0-based worker index;
+     *  the stream's id is i + 1). */
+    InferenceStream &stream(size_t i) { return *streams_.at(i); }
+    StreamContext &streamContext(size_t i) { return *contexts_.at(i); }
+
+  private:
+    void workerMain(size_t index);
+    bool admit(Request &&r);
+
+    ServeConfig config_;
+    RequestQueue queue_;
+    std::vector<std::unique_ptr<InferenceStream>> streams_;
+    std::vector<std::unique_ptr<StreamContext>> contexts_;
+
+    mutable std::mutex mu_;
+    std::condition_variable completedCv_;
+    uint64_t completed_ = 0;
+    uint64_t nextId_ = 1;
+    bool shutdown_ = false;
+
+    // Last member: its destructor joins the workers, which touch every
+    // field above — declaration order is teardown-safety order.
+    ThreadPool pool_;
+};
+
+} // namespace serve
+} // namespace genreuse
+
+#endif // GENREUSE_SERVE_SERVE_H

@@ -16,6 +16,7 @@
 #include <new>
 
 #include "common/arena.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/guard.h"
 #include "core/fc_reuse.h"
@@ -245,6 +246,85 @@ TEST(Arena, ForCurrentStreamIsStablePerThread)
     Arena *a = &Arena::forCurrentStream();
     Arena *b = &Arena::forCurrentStream();
     EXPECT_EQ(a, b);
+}
+
+TEST(Arena, BindCurrentThreadRedirectsForCurrentStream)
+{
+    Arena mine(1024);
+    Arena *prev = Arena::bindCurrentThread(&mine);
+    EXPECT_EQ(&Arena::forCurrentStream(), &mine);
+    Arena *restored = Arena::bindCurrentThread(prev);
+    EXPECT_EQ(restored, &mine);
+    EXPECT_NE(&Arena::forCurrentStream(), &mine);
+}
+
+TEST(Arena, RetentionDecayTrimsCapacityOnEmptyRewind)
+{
+    // Tiny first chunk + a small cap: one oversized request grows the
+    // chain past the cap; subsequent *empty* rewinds then free one
+    // chunk each until capacity fits the cap again. Mid-frame rewinds
+    // (arena non-empty) must never decay.
+    Arena arena(1024);
+    arena.setRetainBytes(4 * 1024);
+    {
+        ArenaFrame f(arena);
+        (void)arena.alloc(16);        // chunk 0
+        (void)arena.alloc(8 * 1024);  // chunk 1
+        (void)arena.alloc(64 * 1024); // chunk 2 — the oversized request
+    }
+    // The frame's rewind emptied the arena above the cap: decay fires,
+    // but frees only the newest chunk — the footprint shrinks per
+    // request, not in one spike.
+    EXPECT_EQ(arena.decayedChunks(), 1u);
+    const size_t after_first = arena.capacityBytes();
+
+    // The next empty rewind trims the next chunk.
+    {
+        ArenaFrame f(arena);
+        (void)arena.alloc(16); // small steady-state request
+    }
+    EXPECT_EQ(arena.decayedChunks(), 2u);
+    EXPECT_LT(arena.capacityBytes(), after_first);
+    // Decay stops at the cap (or the last chunk) — it never strips the
+    // arena bare.
+    EXPECT_GE(arena.chunkCount(), 1u);
+
+    // Steady state: once within the cap, no further decay.
+    const uint64_t settled = arena.decayedChunks();
+    for (int i = 0; i < 4; ++i) {
+        ArenaFrame f(arena);
+        (void)arena.alloc(16);
+    }
+    EXPECT_EQ(arena.decayedChunks(), settled);
+}
+
+TEST(Arena, RetentionDecayPublishesMetrics)
+{
+    metrics::reset();
+    Arena arena(1024);
+    arena.setRetainBytes(2 * 1024);
+    {
+        ArenaFrame f(arena);
+        (void)arena.alloc(16);
+        (void)arena.alloc(32 * 1024);
+    }
+    ASSERT_GT(arena.decayedChunks(), 0u);
+    EXPECT_EQ(metrics::counter("arena.decayed_chunks").get(),
+              arena.decayedChunks());
+    EXPECT_DOUBLE_EQ(metrics::gauge("arena.retained_bytes").get(),
+                     static_cast<double>(arena.capacityBytes()));
+}
+
+TEST(Arena, ZeroRetainBytesMeansUnlimited)
+{
+    Arena arena(1024);
+    arena.setRetainBytes(0);
+    {
+        ArenaFrame f(arena);
+        (void)arena.alloc(64 * 1024);
+    }
+    EXPECT_EQ(arena.decayedChunks(), 0u);
+    EXPECT_GE(arena.capacityBytes(), 64u * 1024u);
 }
 
 // ---- zero-allocation forward paths ---------------------------------

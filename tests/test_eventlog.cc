@@ -19,6 +19,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/streamtag.h"
 
 namespace genreuse {
 namespace {
@@ -286,6 +287,57 @@ TEST(Eventlog, PostmortemDisarmedWritesNothing)
     const uint64_t before = eventlog::postmortemCount();
     eventlog::dumpPostmortem("should_not_fire");
     EXPECT_EQ(eventlog::postmortemCount(), before);
+}
+
+TEST(Eventlog, EventsCarryTheRecordingThreadsStreamTag)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    eventlog::record(eventlog::Type::Cluster); // before any stream
+    {
+        streamtag::Scoped stream(3);
+        eventlog::record(eventlog::Type::Cluster);
+    }
+    eventlog::record(eventlog::Type::Cluster); // tag restored
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].stream, 0u);
+    EXPECT_EQ(events[1].stream, 3u);
+    EXPECT_EQ(events[2].stream, 0u);
+
+    // JSON demux contract: "stream" appears only on stream-tagged
+    // events, so single-stream dumps stay byte-identical to PR 6.
+    Expected<JsonValue> doc = parseJson(eventlog::toJson("unit_test"));
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    const JsonValue *items = doc->find("events");
+    ASSERT_NE(items, nullptr);
+    ASSERT_EQ(items->items.size(), 3u);
+    EXPECT_EQ(items->items[0].find("stream"), nullptr);
+    ASSERT_NE(items->items[1].find("stream"), nullptr);
+    EXPECT_EQ(items->items[1].find("stream")->numberOr(-1), 3.0);
+    EXPECT_EQ(items->items[2].find("stream"), nullptr);
+}
+
+TEST(Eventlog, ResetThreadScopeDropsALeakedLayerTag)
+{
+    EventlogSandbox sandbox;
+    eventlog::setEnabled(true);
+    {
+        eventlog::LayerScope scope("leaky-layer");
+        eventlog::record(eventlog::Type::Cluster);
+        // A request boundary on a pooled worker clears whatever scope
+        // the previous request leaked — even inside a live scope.
+        eventlog::resetThreadScope();
+        eventlog::record(eventlog::Type::Cluster);
+    }
+    // The scope's destructor after a reset must not resurrect a stale
+    // tag for later events either.
+    eventlog::record(eventlog::Type::Cluster);
+    auto events = eventlog::snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(eventlog::tagName(events[0].tag), "leaky-layer");
+    EXPECT_EQ(events[1].tag, 0u);
+    EXPECT_EQ(events[2].tag, 0u);
 }
 
 TEST(Eventlog, WarnOnceLandsInJournal)

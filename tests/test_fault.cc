@@ -15,6 +15,7 @@
 #include <limits>
 
 #include "common/faultpoint.h"
+#include "common/streamtag.h"
 #include "core/fc_reuse.h"
 #include "core/guard.h"
 #include "core/horizontal_reuse.h"
@@ -84,6 +85,56 @@ TEST(FaultPoint, ArmSpecParsesNameAndSeed)
     EXPECT_FALSE(faultpoint::armSpec("nan_activation:abc").ok());
     EXPECT_FALSE(faultpoint::armSpec("not_a_fault").ok());
     EXPECT_FALSE(faultpoint::armSpec("not_a_fault:3").ok());
+}
+
+TEST(FaultPoint, ArmSpecParsesStreamTarget)
+{
+    FaultSandbox sandbox;
+    // Unscoped spec targets every stream.
+    ASSERT_TRUE(faultpoint::armSpec("nan_activation:5").ok());
+    EXPECT_EQ(faultpoint::targetStream(), -1);
+
+    ASSERT_TRUE(faultpoint::armSpec("nan_activation@2").ok());
+    EXPECT_EQ(faultpoint::targetStream(), 2);
+    EXPECT_EQ(faultpoint::seed(), 1u); // seed still defaults
+
+    ASSERT_TRUE(faultpoint::armSpec("nan_activation:5@3").ok());
+    EXPECT_EQ(faultpoint::targetStream(), 3);
+    EXPECT_EQ(faultpoint::seed(), 5u);
+
+    EXPECT_FALSE(faultpoint::armSpec("nan_activation@").ok());
+    EXPECT_FALSE(faultpoint::armSpec("nan_activation@abc").ok());
+    EXPECT_FALSE(faultpoint::armSpec("nan_activation@70000").ok());
+
+    // disarm clears the stream filter too.
+    faultpoint::disarm();
+    EXPECT_EQ(faultpoint::targetStream(), -1);
+}
+
+TEST(FaultPoint, StreamTargetGatesActiveOnTheThreadsStream)
+{
+    FaultSandbox sandbox;
+    faultpoint::arm(faultpoint::Fault::NanActivation, 1, /*stream=*/2);
+    // No stream bound: the fault stays quiet.
+    EXPECT_FALSE(faultpoint::active(faultpoint::Fault::NanActivation));
+    {
+        streamtag::Scoped wrong(1);
+        EXPECT_FALSE(
+            faultpoint::active(faultpoint::Fault::NanActivation));
+    }
+    {
+        streamtag::Scoped right(2);
+        EXPECT_TRUE(
+            faultpoint::active(faultpoint::Fault::NanActivation));
+    }
+    // Unscoped arming fires on every stream, as before.
+    faultpoint::arm(faultpoint::Fault::NanActivation, 1);
+    EXPECT_TRUE(faultpoint::active(faultpoint::Fault::NanActivation));
+    {
+        streamtag::Scoped any(7);
+        EXPECT_TRUE(
+            faultpoint::active(faultpoint::Fault::NanActivation));
+    }
 }
 
 TEST(FaultPoint, ScopedDisarms)

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the serve engine (src/serve): queue admission under Block
+ * and Reject, graceful drain on shutdown, N-stream bit-identity with
+ * the sequential pipeline, per-stream guard-rung independence under a
+ * stream-targeted fault, and a many-threads test sharing one *fitted*
+ * unguarded reuse algorithm across stream contexts (the TSan target —
+ * the fit is read-only at forward time, so concurrent distinct-context
+ * forwards must be race-free).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+#include "common/faultpoint.h"
+#include "common/metrics.h"
+#include "core/guard.h"
+#include "core/reuse_conv.h"
+#include "core/stream_context.h"
+#include "data/synthetic.h"
+#include "nn/conv2d.h"
+#include "serve/loadgen.h"
+#include "serve/serve.h"
+#include "test_util.h"
+
+namespace genreuse {
+namespace {
+
+using serve::AdmitPolicy;
+using serve::InferenceStream;
+using serve::ServeConfig;
+using serve::ServeEngine;
+using serve::ServeResult;
+using serve::ServeStats;
+
+void
+sleepMs(int ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+/** Test stream: echoes the input after an optional delay. */
+class EchoStream : public InferenceStream
+{
+  public:
+    explicit EchoStream(int delay_ms = 0) : delayMs_(delay_ms) {}
+
+    Tensor
+    infer(const Tensor &input, StreamContext &) override
+    {
+        if (delayMs_ > 0)
+            sleepMs(delayMs_);
+        return input;
+    }
+
+  private:
+    int delayMs_;
+};
+
+/** Same synthetic conv workload as test_guard.cc. */
+struct ConvFixture
+{
+    Rng rng{42};
+    Conv2D conv{"conv", 3, 8, 5, 1, 2, rng};
+    Dataset data;
+
+    ConvFixture()
+    {
+        SyntheticConfig cfg;
+        cfg.numSamples = 6;
+        cfg.noiseStddev = 0.0f;
+        cfg.redundancy = 0.9f;
+        data = makeSyntheticCifar(cfg);
+    }
+
+    Tensor
+    sampleX()
+    {
+        Tensor x = data.gatherImages({0, 1});
+        conv.forward(x, false);
+        return conv.lastIm2col();
+    }
+};
+
+TEST(RequestQueue, RejectPolicyCountsOverflow)
+{
+    // One slow worker, a 2-deep queue, Reject admission: burst
+    // submissions beyond queue capacity must be refused and counted,
+    // never silently dropped or blocked on.
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 2;
+    cfg.policy = AdmitPolicy::Reject;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>(/*delay_ms=*/20);
+    });
+
+    Tensor input({1, 1});
+    size_t accepted = 0, rejected = 0;
+    for (int i = 0; i < 12; ++i) {
+        if (engine.trySubmit(input, nullptr))
+            ++accepted;
+        else
+            ++rejected;
+    }
+    EXPECT_GT(rejected, 0u);
+    engine.drain();
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.accepted, accepted);
+    EXPECT_EQ(st.completed, accepted);
+    EXPECT_EQ(st.rejected, rejected);
+}
+
+TEST(RequestQueue, BlockPolicyBackpressuresInsteadOfRejecting)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 2;
+    cfg.policy = AdmitPolicy::Block;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>(/*delay_ms=*/2);
+    });
+
+    Tensor input({1, 1});
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(engine.trySubmit(input, nullptr));
+    engine.drain();
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.accepted, 16u);
+    EXPECT_EQ(st.completed, 16u);
+    EXPECT_EQ(st.rejected, 0u);
+}
+
+TEST(ServeEngine, GracefulShutdownDrainsAdmittedRequests)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 32;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>(/*delay_ms=*/3);
+    });
+
+    std::atomic<int> completed{0};
+    Tensor input({1, 1});
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(engine.trySubmit(
+            input, [&completed](ServeResult &&) { ++completed; }));
+    // Immediate shutdown: every admitted request still completes
+    // before the workers join — graceful drain never drops work.
+    engine.shutdown();
+    EXPECT_EQ(completed.load(), 10);
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.completed, 10u);
+    // Post-shutdown submission is refused, not crashed.
+    EXPECT_FALSE(engine.trySubmit(input, nullptr));
+    EXPECT_FALSE(engine.submit(input).has_value());
+}
+
+TEST(ServeEngine, ResultsCarryStreamAndTimestamps)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>(/*delay_ms=*/1);
+    });
+    Tensor input({1, 1});
+    auto fut = engine.submit(input);
+    ASSERT_TRUE(fut.has_value());
+    ServeResult res = fut->get();
+    EXPECT_GE(res.streamId, 1u);
+    EXPECT_LE(res.streamId, 2u);
+    EXPECT_LE(res.enqueueNs, res.startNs);
+    EXPECT_LE(res.startNs, res.doneNs);
+}
+
+/** Guarded conv replica built from the shared fixture with fixed
+ *  seeds: all replicas (and the sequential reference) bit-match. */
+class GuardedConvStream : public InferenceStream
+{
+  public:
+    GuardedConvStream(const Tensor &sample, const ConvGeometry &geom,
+                      const Tensor &w, double margin = 1e9)
+        : geom_(geom), w_(w)
+    {
+        GuardConfig cfg;
+        cfg.marginFactor = margin;
+        guard_ = std::make_unique<GuardedReuseConvAlgo>(
+            ReusePattern::conventional(geom, 8), cfg, HashMode::Learned,
+            1);
+        guard_->fit(sample, geom);
+    }
+
+    Tensor
+    infer(const Tensor &input, StreamContext &ctx) override
+    {
+        Tensor y;
+        guard_->multiplyInto(ctx, input, w_, geom_, nullptr, y);
+        return y;
+    }
+
+    GuardRung
+    lastRung() const override
+    {
+        return guard_->lastRung();
+    }
+
+  private:
+    ConvGeometry geom_;
+    Tensor w_;
+    std::unique_ptr<GuardedReuseConvAlgo> guard_;
+};
+
+TEST(ServeEngine, FourStreamsBitIdenticalToSequential)
+{
+    faultpoint::disarm();
+    ConvFixture f;
+    Tensor sample = f.sampleX();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    // Sequential reference on the thread-default stream.
+    GuardConfig gcfg;
+    gcfg.marginFactor = 1e9;
+    GuardedReuseConvAlgo ref(ReusePattern::conventional(geom, 8), gcfg,
+                             HashMode::Learned, 1);
+    ref.fit(sample, geom);
+
+    const size_t kRequests = 12;
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> expected;
+    for (size_t i = 0; i < kRequests; ++i) {
+        Tensor x = f.data.gatherImages({i % f.data.size()});
+        f.conv.forward(x, false);
+        inputs.push_back(f.conv.lastIm2col());
+        Tensor y;
+        ref.multiplyInto(inputs.back(), w, geom, nullptr, y);
+        expected.push_back(y);
+    }
+
+    ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 16;
+    ServeEngine engine(cfg, [&](uint32_t) {
+        return std::make_unique<GuardedConvStream>(sample, geom, w);
+    });
+
+    std::vector<std::future<ServeResult>> futs;
+    for (size_t i = 0; i < kRequests; ++i) {
+        auto fut = engine.submit(inputs[i]);
+        ASSERT_TRUE(fut.has_value());
+        futs.push_back(std::move(*fut));
+    }
+    for (size_t i = 0; i < kRequests; ++i) {
+        ServeResult res = futs[i].get();
+        EXPECT_EQ(res.rung, GuardRung::FullReuse);
+        EXPECT_TRUE(bitwiseEqual(res.output, expected[i]))
+            << "request " << i << " diverged on stream "
+            << res.streamId;
+    }
+}
+
+TEST(ServeEngine, FaultTargetingOneStreamLeavesOthersOnFullReuse)
+{
+    ConvFixture f;
+    Tensor sample = f.sampleX();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    // Corrupt only stream 2's activations: every request stream 2
+    // executes must fall to the exact rung, while stream 1 stays on
+    // full reuse — each stream walks its *own* ladder.
+    faultpoint::Scoped fault(faultpoint::Fault::NanActivation,
+                             /*seed=*/1, /*stream=*/2);
+
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 32;
+    ServeEngine engine(cfg, [&](uint32_t) {
+        return std::make_unique<GuardedConvStream>(sample, geom, w);
+    });
+
+    Tensor input = sample;
+    std::vector<std::future<ServeResult>> futs;
+    for (size_t i = 0; i < 16; ++i) {
+        auto fut = engine.submit(input);
+        ASSERT_TRUE(fut.has_value());
+        futs.push_back(std::move(*fut));
+    }
+    size_t on_stream2 = 0;
+    for (auto &fut : futs) {
+        ServeResult res = fut.get();
+        if (res.streamId == 2) {
+            ++on_stream2;
+            EXPECT_EQ(res.rung, GuardRung::ExactFallback);
+        } else {
+            EXPECT_EQ(res.rung, GuardRung::FullReuse);
+        }
+    }
+    // With 16 blocking requests on 2 workers, stream 2 serves some.
+    EXPECT_GT(on_stream2, 0u);
+}
+
+TEST(ServeEngine, EightStreamsShareOneFittedAlgo)
+{
+    // TSan target: one *fitted, unguarded* ReuseConvAlgo shared by 8
+    // threads, each forwarding through its own StreamContext. The fit
+    // is read-only at forward time; all mutable state (scratch, arena,
+    // stats) lives in the contexts, so this must be race-free and
+    // every thread's output bit-identical to the sequential result.
+    faultpoint::disarm();
+    ConvFixture f;
+    Tensor sample = f.sampleX();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    ReuseConvAlgo algo(ReusePattern::conventional(geom, 8),
+                       HashMode::Learned);
+    algo.setSeed(1);
+    algo.fit(sample, geom);
+
+    Tensor expected;
+    algo.multiplyInto(sample, w, geom, nullptr, expected);
+
+    const size_t kThreads = 8;
+    const size_t kIters = 6;
+    std::vector<std::unique_ptr<StreamContext>> contexts;
+    for (size_t t = 0; t < kThreads; ++t)
+        contexts.push_back(std::make_unique<StreamContext>(
+            static_cast<uint16_t>(t + 1)));
+
+    std::vector<int> ok(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            StreamContext &ctx = *contexts[t];
+            int good = 0;
+            for (size_t i = 0; i < kIters; ++i) {
+                Tensor y;
+                algo.multiplyInto(ctx, sample, w, geom, nullptr, y);
+                good += bitwiseEqual(y, expected) ? 1 : 0;
+            }
+            ok[t] = good;
+        });
+    for (auto &th : threads)
+        th.join();
+    for (size_t t = 0; t < kThreads; ++t)
+        EXPECT_EQ(ok[t], static_cast<int>(kIters)) << "stream " << t + 1;
+}
+
+TEST(LoadGen, PercentilesInterpolate)
+{
+    std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(serve::percentileMs(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(serve::percentileMs(sorted, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(serve::percentileMs(sorted, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(serve::percentileMs({}, 50.0), 0.0);
+}
+
+TEST(LoadGen, OpenLoopCompletesOfferedRequests)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 16;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>(/*delay_ms=*/1);
+    });
+    serve::LoadGenConfig lg;
+    lg.rps = 500.0;
+    lg.requests = 20;
+    lg.poisson = true;
+    Tensor input({1, 1});
+    serve::LatencyReport rep =
+        serve::runOpenLoop(engine, lg, [&](size_t) { return input; });
+    EXPECT_EQ(rep.offered, 20u);
+    EXPECT_EQ(rep.completed, 20u);
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_GT(rep.p50Ms, 0.0);
+    EXPECT_GE(rep.p99Ms, rep.p50Ms);
+    EXPECT_GT(rep.throughputRps, 0.0);
+}
+
+TEST(LoadGen, ClosedLoopReportsThroughput)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 8;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>(/*delay_ms=*/1);
+    });
+    Tensor input({1, 1});
+    const double rps = serve::runClosedLoop(
+        engine, /*requests=*/16, /*inflight=*/4,
+        [&](size_t) { return input; });
+    EXPECT_GT(rps, 0.0);
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.completed, 16u);
+}
+
+} // namespace
+} // namespace genreuse

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the generalized ThreadPool: named long-lived workers
+ * (spawn_single), the ordered shutdown protocol (Drain runs queued
+ * tasks, Discard counts what it drops), idempotent shutdown, and the
+ * submit-after-shutdown panic — the single-stream assumptions PR 7's
+ * serve engine exposed.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace genreuse {
+namespace {
+
+void
+sleepMs(int ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(ThreadPool, InlineAtOneThreadUnlessSpawnSingle)
+{
+    ThreadPool inline_pool(1);
+    EXPECT_EQ(inline_pool.size(), 0u);
+    EXPECT_EQ(inline_pool.concurrency(), 1u);
+    bool ran = false;
+    inline_pool.submit([&] { ran = true; });
+    EXPECT_TRUE(ran); // inline pools run the task in submit()
+
+    // A long-lived worker loop must not run inline: spawn_single
+    // forces a real worker thread even at 1.
+    ThreadPool single(1, "svc", /*spawn_single=*/true);
+    EXPECT_EQ(single.size(), 1u);
+    std::atomic<bool> worker_ran{false};
+    single.submit([&] { worker_ran = true; });
+    single.wait();
+    EXPECT_TRUE(worker_ran.load());
+}
+
+TEST(ThreadPool, ShutdownDrainRunsEveryQueuedTask)
+{
+    ThreadPool pool(1, "drain", /*spawn_single=*/true);
+    std::atomic<int> done{0};
+    // First task blocks the single worker so the rest stay queued;
+    // Drain must still run all of them before joining.
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] {
+            sleepMs(5);
+            ++done;
+        });
+    pool.shutdown(ThreadPool::DrainPolicy::Drain);
+    EXPECT_EQ(done.load(), 8);
+    EXPECT_EQ(pool.discardedTasks(), 0u);
+    EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPool, ShutdownDiscardReportsDroppedAndWaitReturns)
+{
+    ThreadPool pool(1, "disc", /*spawn_single=*/true);
+    std::atomic<int> done{0};
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+        while (!release.load())
+            sleepMs(1);
+        ++done;
+    });
+    // Queued behind the blocked worker; Discard drops them.
+    for (int i = 0; i < 5; ++i)
+        pool.submit([&] { ++done; });
+    sleepMs(20); // let the worker pick up the first task
+    release = true;
+    pool.shutdown(ThreadPool::DrainPolicy::Discard);
+    // The running task finished; the queued ones were dropped and the
+    // drop was accounted — wait() must not deadlock on them.
+    EXPECT_EQ(done.load(), 1);
+    EXPECT_EQ(pool.discardedTasks(), 5u);
+    pool.wait();
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(2, "idem", /*spawn_single=*/true);
+    std::atomic<int> done{0};
+    pool.submit([&] { ++done; });
+    pool.shutdown();
+    pool.shutdown(ThreadPool::DrainPolicy::Discard); // no-op, keeps count
+    EXPECT_EQ(done.load(), 1);
+    EXPECT_EQ(pool.discardedTasks(), 0u);
+    EXPECT_TRUE(pool.stopped());
+    // Destructor runs shutdown again — must also be a no-op.
+}
+
+TEST(ThreadPool, SubmitAfterShutdownPanics)
+{
+    ThreadPool pool(1, "dead", /*spawn_single=*/true);
+    pool.shutdown();
+    ASSERT_DEATH_IF_SUPPORTED(pool.submit([] {}), "submit after shutdown");
+}
+
+TEST(ThreadPool, ParallelForStillWorksWithNamedWorkers)
+{
+    ThreadPool pool(3, "pfor");
+    std::vector<int> out(64, 0);
+    pool.parallelFor(out.size(),
+                     [&](size_t i) { out[i] = static_cast<int>(i) * 2; });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+}
+
+TEST(ThreadPool, WaitAfterManySubmits)
+{
+    ThreadPool pool(2, "many", /*spawn_single=*/true);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+    pool.shutdown();
+    EXPECT_EQ(done.load(), 100);
+}
+
+} // namespace
+} // namespace genreuse
