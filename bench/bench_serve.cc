@@ -26,7 +26,10 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/args.h"
+#include "common/faultpoint.h"
 #include "common/logging.h"
+#include "common/overload.h"
 #include "common/thread_pool.h"
 #include "core/measurement.h"
 #include "serve/loadgen.h"
@@ -131,10 +134,11 @@ class SharedStream : public InferenceStream
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args(argc, argv);
     std::printf(
-        "=== bench_serve: multi-stream serve engine (PR 7) ===\n");
+        "=== bench_serve: multi-stream serve engine (PR 7/8) ===\n");
 
     const bool smoke = smokeMode();
     const size_t kMaxWorkers = 4;
@@ -235,5 +239,129 @@ main()
     json.record("p99_ms", rep.p99Ms);
     json.record("mean_ms", rep.meanMs);
     json.record("throughput_rps", rep.throughputRps);
+
+    // --- Degraded-mode latency (PR 8) -----------------------------------
+    // Same open-loop offer with the overload ladder pinned at its top
+    // level (verification shed entirely): the p99 gap vs the run above
+    // is what load shedding actually buys when the controller trips.
+    {
+        overload::setLevel(overload::kMaxLevel);
+        ServeConfig dcfg;
+        dcfg.workers = 2;
+        dcfg.queueCapacity = 64;
+        dcfg.policy = AdmitPolicy::Block;
+        dcfg.name = "bserve";
+        ServeEngine deg(dcfg, factory);
+        LatencyReport drep = runOpenLoop(deg, lg, make_input);
+        deg.shutdown();
+        overload::setLevel(0);
+        std::printf("--- Degraded mode (overload level %d, unverified "
+                    "forwards) ---\n"
+                    "p99 %.2f ms vs %.2f ms healthy (p50 %.2f vs %.2f)\n\n",
+                    overload::kMaxLevel, drep.p99Ms, rep.p99Ms, drep.p50Ms,
+                    rep.p50Ms);
+        json.record("degraded_p99_ms", drep.p99Ms);
+        json.record("degraded_p50_ms", drep.p50Ms);
+    }
+
+    // --- Chaos section (PR 8) -------------------------------------------
+    // Deterministic by construction, so the counters are BENCH-gateable:
+    //   - a persistent worker_panic on the single stream makes every
+    //     request a contained panic; with the default 3-strike policy,
+    //     12 requests are exactly 4 quarantine/respawn cycles;
+    //   - 8 requests with a 1 ns deadline queued behind a slow clean
+    //     request all expire in the queue → exactly 8 sheds.
+    {
+        const size_t panic_requests = 12;
+        ServeConfig ccfg;
+        ccfg.workers = 1;
+        ccfg.queueCapacity = 16;
+        ccfg.policy = AdmitPolicy::Block;
+        ccfg.name = "chaos";
+        ServeEngine eng(ccfg, factory);
+        GENREUSE_REQUIRE(faultpoint::armSpec("worker_panic@1").ok(),
+                         "chaos: arming worker_panic failed");
+        size_t failed_requests = 0;
+        for (size_t i = 0; i < panic_requests; ++i) {
+            auto fut = eng.submit(make_input(i));
+            GENREUSE_REQUIRE(fut.has_value(), "chaos: submit failed");
+            ServeResult r = fut->get();
+            if (!r.status.ok())
+                ++failed_requests;
+        }
+        faultpoint::disarm();
+
+        // Survival proof: the respawned stream serves a clean request.
+        auto fut = eng.submit(make_input(0));
+        GENREUSE_REQUIRE(fut.has_value(), "chaos: post-storm submit failed");
+        GENREUSE_REQUIRE(fut->get().status.ok(),
+                         "chaos: respawned stream still failing");
+
+        // Shed: one clean request occupies the worker while 8 requests
+        // with an already-expired deadline pile up behind it.
+        const size_t shed_requests = 8;
+        std::vector<std::future<ServeResult>> pending;
+        auto busy = eng.submit(make_input(0));
+        GENREUSE_REQUIRE(busy.has_value(), "chaos: busy submit failed");
+        for (size_t i = 0; i < shed_requests; ++i) {
+            auto f = eng.submit(make_input(i), /*deadline_ns=*/1);
+            GENREUSE_REQUIRE(f.has_value(), "chaos: shed submit failed");
+            pending.push_back(std::move(*f));
+        }
+        (void)busy->get();
+        size_t shed_seen = 0;
+        for (auto &f : pending)
+            if (f.get().status.code() == ErrorCode::DeadlineExceeded)
+                ++shed_seen;
+        eng.shutdown();
+
+        ServeStats st = eng.stats();
+        std::printf("--- Chaos (worker_panic storm + expired deadlines, "
+                    "1 worker) ---\n"
+                    "requests failed-with-Status %zu/%zu, contained "
+                    "panics %llu, quarantines %llu, respawns %llu, "
+                    "shed %llu (process survived)\n\n",
+                    failed_requests, panic_requests,
+                    static_cast<unsigned long long>(st.containedPanics),
+                    static_cast<unsigned long long>(st.quarantines),
+                    static_cast<unsigned long long>(st.respawns),
+                    static_cast<unsigned long long>(st.shed));
+        json.record("chaos_contained_panics",
+                    static_cast<double>(st.containedPanics));
+        json.record("chaos_quarantined",
+                    static_cast<double>(st.quarantines));
+        json.record("chaos_respawned", static_cast<double>(st.respawns));
+        json.record("chaos_shed", static_cast<double>(shed_seen));
+    }
+
+    // --chaos: heavier multi-event storm across 4 streams. Counters are
+    // timing-dependent (which stream serves which closed-loop request),
+    // so this prints rather than records.
+    if (args.has("chaos")) {
+        ServeConfig scfg;
+        scfg.workers = kMaxWorkers;
+        scfg.queueCapacity = 64;
+        scfg.policy = AdmitPolicy::Block;
+        scfg.name = "storm";
+        ServeEngine eng(scfg, factory);
+        GENREUSE_REQUIRE(
+            faultpoint::armSpec("nan_activation@2,worker_panic@3").ok(),
+            "chaos storm: armSpec failed");
+        const double rps = runClosedLoop(eng, 4 * requests,
+                                         /*inflight=*/2 * kMaxWorkers,
+                                         make_input);
+        faultpoint::disarm();
+        eng.shutdown();
+        ServeStats st = eng.stats();
+        std::printf("--- Chaos storm (--chaos: nan_activation@2 + "
+                    "worker_panic@3, %zu workers) ---\n"
+                    "%.1f rps, health %s, failed %llu, contained %llu, "
+                    "quarantines %llu, respawns %llu\n\n",
+                    kMaxWorkers, rps, healthName(st.health),
+                    static_cast<unsigned long long>(st.failed),
+                    static_cast<unsigned long long>(st.containedPanics),
+                    static_cast<unsigned long long>(st.quarantines),
+                    static_cast<unsigned long long>(st.respawns));
+    }
     return 0;
 }

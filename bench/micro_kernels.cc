@@ -16,6 +16,7 @@
 #include "bench_common.h"
 #include "common/eventlog.h"
 #include "common/faultpoint.h"
+#include "common/logging.h"
 #include "common/profiler.h"
 #include "common/simd.h"
 #include "common/trace.h"
@@ -241,6 +242,27 @@ BM_FaultGateDisarmed(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FaultGateDisarmed);
+
+void
+BM_RecoveryDomainNoFault(benchmark::State &state)
+{
+    // The serve worker's per-request containment boundary with no
+    // fault firing: arming the domain is two thread-local bumps and
+    // entering the try block is free (zero-cost exceptions), so this
+    // must stay within noise of the bare loop — containment is paid
+    // only when a panic actually throws.
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        RecoveryDomain domain;
+        try {
+            acc += 1;
+        } catch (const PanicException &) {
+            acc = 0;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_RecoveryDomainNoFault);
 
 void
 BM_GuardedReuseConv(benchmark::State &state)

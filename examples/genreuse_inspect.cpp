@@ -14,6 +14,8 @@
  *                             shares
  *   genreuse.guard/1          guard counters
  *   genreuse.metrics/1        metrics registry
+ *   genreuse.health/1         serve-engine health snapshots (per-stream
+ *                             strikes/quarantines, overload level)
  *   genreuse.bench/1          BENCH records (plus their embedded
  *                             guard/profile/metrics/events extras)
  *   genreuse.bench-suite/1    merged BENCH suites
@@ -120,6 +122,22 @@ eventDetail(const JsonValue &e)
     }
     if (type == "fault_fire")
         return "fault=" + str(&e, "fault", "?");
+    if (type == "panic")
+        return std::string(n != 0.0 ? "contained" : "fatal");
+    if (type == "request_shed")
+        return "request=" + fmt("%.0f", n) + " overdue=" +
+               fmt("%.2f", v0) + "ms";
+    if (type == "stream_quarantine")
+        return "strikes=" + fmt("%.0f", n) +
+               (k != 0.0 ? " respawned" : " kept");
+    if (type == "health") {
+        static const char *const kHealth[] = {"healthy", "degraded",
+                                              "draining"};
+        const int hi = static_cast<int>(k);
+        return std::string("-> ") +
+               (hi >= 0 && hi < 3 ? kHealth[hi] : "?") +
+               " overload_level=" + fmt("%.0f", n);
+    }
     if (type == "sram_high_water")
         return "required=" + fmt("%.0f", v0) + "B capacity=" +
                fmt("%.0f", v1) + "B";
@@ -140,6 +158,9 @@ isTimelineWorthy(const JsonValue &e)
     if (type == "guard_rung" || type == "fault_fire" ||
         type == "sram_high_water" || type == "warn_once")
         return true;
+    if (type == "panic" || type == "request_shed" ||
+        type == "stream_quarantine" || type == "health")
+        return true; // failure-containment events are always regime changes
     return type == "drift" && num(&e, "n") != 0.0; // trips only
 }
 
@@ -366,6 +387,46 @@ renderMetrics(const JsonValue &doc)
     }
 }
 
+// ---- genreuse.health/1 ---------------------------------------------------
+
+void
+renderHealth(const JsonValue &doc)
+{
+    std::printf("serve engine '%s': %s", str(&doc, "name", "?").c_str(),
+                str(&doc, "health", "?").c_str());
+    const double level = num(&doc, "overloadLevel");
+    if (level > 0.0)
+        std::printf(" (overload level %.0f: %s)", level,
+                    str(&doc, "overloadMode", "?").c_str());
+    std::printf("\n");
+    std::printf("  queue %.0f/%.0f | accepted %.0f, completed %.0f, "
+                "rejected %.0f, shed %.0f\n",
+                num(&doc, "queueDepth"), num(&doc, "queueCapacity"),
+                num(&doc, "accepted"), num(&doc, "completed"),
+                num(&doc, "rejected"), num(&doc, "shed"));
+    std::printf("  failed %.0f (contained panics %.0f) | quarantines "
+                "%.0f, respawns %.0f\n",
+                num(&doc, "failed"), num(&doc, "containedPanics"),
+                num(&doc, "quarantines"), num(&doc, "respawns"));
+    const JsonValue *streams = doc.find("streams");
+    if (streams != nullptr && streams->isArray() &&
+        !streams->items.empty()) {
+        TextTable t;
+        t.setHeader({"stream", "strikes", "quarantines", "state"});
+        for (const JsonValue &s : streams->items) {
+            const JsonValue *parked = s.find("parked");
+            const bool is_parked =
+                parked != nullptr && parked->isBool() && parked->boolean;
+            t.addRow({str(&s, "name", "?"),
+                      fmt("%.0f", num(&s, "strikes")),
+                      fmt("%.0f", num(&s, "quarantines")),
+                      is_parked ? "parked" : "serving"});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+    std::printf("\n");
+}
+
 // ---- genreuse.bench/1 (+ suites, + baseline diff) ------------------------
 
 /** lower-is-better result keys, mirroring bench_diff's classifier. */
@@ -554,6 +615,8 @@ main(int argc, char **argv)
         } else if (schema == "genreuse.metrics/1") {
             renderMetrics(doc);
             std::printf("\n");
+        } else if (schema == "genreuse.health/1") {
+            renderHealth(doc);
         } else if (schema == "genreuse.bench/1") {
             renderBench(doc, baseline, regressions);
         } else if (schema == "genreuse.bench-suite/1") {

@@ -9,6 +9,8 @@
  * Run:   ./build/examples/genreuse_serve [--workers 2] [--requests 64]
  *            [--rps 50] [--queue 16] [--policy block|reject]
  *            [--poisson] [--events out.events.json]
+ *            [--deadline 50ms] [--overload-delay 20ms]
+ *            [--health out.health.json]
  *
  * Each worker owns one stream: a guarded reuse convolution fitted
  * with the same seed, so all streams are bit-identical replicas and
@@ -89,6 +91,11 @@ main(int argc, char **argv)
     const std::string policy = args.getString("policy", "block");
     cfg.policy =
         policy == "reject" ? AdmitPolicy::Reject : AdmitPolicy::Block;
+    // Failure-containment knobs: a default per-request deadline sheds
+    // queue-expired work, a queue-delay threshold arms the overload
+    // controller (0 = both off).
+    cfg.defaultDeadlineNs = args.getDurationNs("deadline", 0);
+    cfg.overloadQueueDelayNs = args.getDurationNs("overload-delay", 0);
 
     LoadGenConfig lg;
     lg.requests = static_cast<size_t>(args.getInt("requests", 64));
@@ -131,12 +138,38 @@ main(int argc, char **argv)
                     rungName(engine.stream(i).lastRung()));
     }
 
+    // Snapshot health BEFORE shutdown: afterwards the engine reports
+    // "draining", which is true but not what an operator probing a
+    // live process wants to see.
+    const std::string health_path = args.getString("health");
+    if (!health_path.empty()) {
+        std::string json = engine.healthJson();
+        FILE *f = std::fopen(health_path.c_str(), "w");
+        if (f != nullptr) {
+            std::fputs(json.c_str(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("health snapshot -> %s (render with "
+                        "genreuse_inspect %s)\n",
+                        health_path.c_str(), health_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", health_path.c_str());
+        }
+    }
+
     engine.shutdown();
     ServeStats st = engine.stats();
     std::printf("engine: accepted %llu, completed %llu, rejected %llu\n",
                 static_cast<unsigned long long>(st.accepted),
                 static_cast<unsigned long long>(st.completed),
                 static_cast<unsigned long long>(st.rejected));
+    std::printf("        shed %llu, failed %llu, contained panics %llu, "
+                "quarantines %llu, respawns %llu\n",
+                static_cast<unsigned long long>(st.shed),
+                static_cast<unsigned long long>(st.failed),
+                static_cast<unsigned long long>(st.containedPanics),
+                static_cast<unsigned long long>(st.quarantines),
+                static_cast<unsigned long long>(st.respawns));
 
     if (!events_path.empty()) {
         eventlog::writeJson(events_path, "genreuse_serve");

@@ -8,6 +8,53 @@
 
 namespace genreuse {
 
+Expected<uint64_t>
+parseDurationNs(const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bad duration '", text,
+                             "' (want <number><ns|us|ms|s>)");
+    }
+    if (errno == ERANGE && std::fabs(v) == HUGE_VAL) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "duration out of range: '", text, "'");
+    }
+    // !(v >= 0) rather than v < 0: it also rejects NaN.
+    if (!(v >= 0.0)) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "duration must be non-negative: '", text,
+                             "'");
+    }
+    const std::string unit(end);
+    double scale = 0.0;
+    if (unit == "ns")
+        scale = 1.0;
+    else if (unit == "us")
+        scale = 1e3;
+    else if (unit == "ms")
+        scale = 1e6;
+    else if (unit == "s")
+        scale = 1e9;
+    else {
+        return Status::error(ErrorCode::InvalidArgument,
+                             unit.empty() ? "missing unit in duration '"
+                                          : "bad unit in duration '",
+                             text, "' (want ns, us, ms or s)");
+    }
+    const double ns = v * scale;
+    // Strictly below 2^64 so the cast below is exact-range-safe.
+    if (ns >= 18446744073709549568.0) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "duration overflows uint64 ns: '", text,
+                             "'");
+    }
+    return static_cast<uint64_t>(ns);
+}
+
 ArgParser::ArgParser(int argc, const char *const argv[])
 {
     if (argc > 0)
@@ -79,6 +126,19 @@ ArgParser::getDouble(const std::string &key, double fallback) const
     if (errno == ERANGE && std::fabs(out) == HUGE_VAL)
         fatal("--", key, " number out of range: '", v, "'");
     return out;
+}
+
+uint64_t
+ArgParser::getDurationNs(const std::string &key, uint64_t fallback_ns) const
+{
+    if (!has(key))
+        return fallback_ns;
+    const std::string v = getString(key);
+    Expected<uint64_t> ns = parseDurationNs(v);
+    if (!ns.ok())
+        fatal("--", key, " expects a duration like '50ms': ",
+              ns.status().message());
+    return *ns;
 }
 
 } // namespace genreuse

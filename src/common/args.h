@@ -9,10 +9,22 @@
 #define GENREUSE_COMMON_ARGS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "status.h"
+
 namespace genreuse {
+
+/**
+ * Parse a human duration — "50ms", "1.5s", "250us", "10ns" — into
+ * nanoseconds. Same strictness contract as the numeric parsers: the
+ * unit is required (a bare number is ambiguous), trailing garbage,
+ * negatives, non-finite values and results that overflow uint64_t ns
+ * are InvalidArgument, never silently saturated.
+ */
+Expected<uint64_t> parseDurationNs(const std::string &text);
 
 /** Parsed `--key value` / `--flag` command line. */
 class ArgParser
@@ -39,6 +51,11 @@ class ArgParser
     /** Double value of --key; fatal on non-numeric or overflowing
      *  input. */
     double getDouble(const std::string &key, double fallback) const;
+
+    /** Duration value of --key in nanoseconds ("--deadline 50ms");
+     *  fatal on anything parseDurationNs rejects. */
+    uint64_t getDurationNs(const std::string &key,
+                           uint64_t fallback_ns) const;
 
     /** Positional (non --key) arguments, in order. */
     const std::vector<std::string> &positional() const

@@ -45,6 +45,14 @@ typeName(Type t)
         return "warn_once";
       case Type::Streaming:
         return "streaming";
+      case Type::Panic:
+        return "panic";
+      case Type::RequestShed:
+        return "request_shed";
+      case Type::StreamQuarantine:
+        return "stream_quarantine";
+      case Type::Health:
+        return "health";
       default:
         return "?";
     }

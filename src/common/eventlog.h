@@ -52,6 +52,14 @@
  *   WarnOnce       tag = warn-once key
  *   Streaming      d0 = redundancy ratio, d1 = vectors,
  *                  d2 = peak scratch bytes, u32 = centroids
+ *   Panic          tag = panic message, u32 = 1 when contained by a
+ *                  RecoveryDomain (the only kind journaled today)
+ *   RequestShed    d0 = ms past the deadline at dequeue,
+ *                  u32 = low 32 bits of the request id
+ *   StreamQuarantine u32 = consecutive strikes, a8 = 1 when a
+ *                  replacement worker was respawned
+ *   Health         a8 = serve::Health state entered, u32 = overload
+ *                  level at the transition
  *
  * The tag field is an interned string id — usually the enclosing
  * layer's name, established by the LayerScope RAII in Layer forwards
@@ -87,6 +95,10 @@ enum class Type : uint8_t
     SramHighWater, //!< the SRAM high-water mark moved up
     WarnOnce,      //!< a warn-once key fired for the first time
     Streaming,     //!< one streaming reuse convolution's statistics
+    Panic,         //!< a panic was contained by a RecoveryDomain
+    RequestShed,   //!< a serve request expired before execution
+    StreamQuarantine, //!< a serve stream struck out and was parked
+    Health,        //!< the serve engine's health state moved
     NumTypes,
 };
 

@@ -10,9 +10,22 @@ namespace faultpoint {
 
 namespace detail {
 
-std::atomic<int> g_armed{-1};
-std::atomic<uint64_t> g_seed{1};
-std::atomic<int> g_stream{-1};
+EventSlot g_events[static_cast<size_t>(Fault::NumFaults)];
+std::atomic<int> g_numArmed{0};
+
+bool
+scheduledCheck(EventSlot &slot)
+{
+    // Count this eligibility check; the event fires exactly at its
+    // appointed one. The counter races only against concurrent checks
+    // on the *targeted* stream (or any stream for an untargeted
+    // event), and fetch_add hands the appointed ordinal to exactly one
+    // of them — the one-shot guarantee.
+    const uint64_t at = slot.fireAt.load(std::memory_order_relaxed);
+    const uint64_t c = slot.checks.fetch_add(1,
+                                             std::memory_order_relaxed) + 1;
+    return c == at;
+}
 
 namespace {
 
@@ -66,6 +79,8 @@ faultName(Fault f)
         return "corrupt_cluster_ids";
       case Fault::ZeroQuantScale:
         return "zero_quant_scale";
+      case Fault::WorkerPanic:
+        return "worker_panic";
       default:
         return "?";
     }
@@ -94,19 +109,57 @@ faultByName(const std::string &name)
                          "unknown fault point '", name,
                          "' (known: sram_exhausted, cluster_collapse, "
                          "cluster_empty, nan_activation, "
-                         "corrupt_cluster_ids, zero_quant_scale)");
+                         "corrupt_cluster_ids, zero_quant_scale, "
+                         "worker_panic)");
 }
+
+uint64_t
+seed(Fault f)
+{
+    const detail::EventSlot &slot =
+        detail::g_events[static_cast<size_t>(f)];
+    if (!slot.armed.load(std::memory_order_relaxed))
+        return 1;
+    return slot.seed.load(std::memory_order_relaxed);
+}
+
+int
+targetStream(Fault f)
+{
+    const detail::EventSlot &slot =
+        detail::g_events[static_cast<size_t>(f)];
+    if (!slot.armed.load(std::memory_order_relaxed))
+        return -1;
+    return slot.stream.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/** Lowest-indexed armed fault, NumFaults when nothing is armed. */
+Fault
+firstArmed()
+{
+    for (size_t i = 0; i < static_cast<size_t>(Fault::NumFaults); ++i) {
+        if (detail::g_events[i].armed.load(std::memory_order_relaxed))
+            return static_cast<Fault>(i);
+    }
+    return Fault::NumFaults;
+}
+
+} // namespace
 
 uint64_t
 seed()
 {
-    return detail::g_seed.load(std::memory_order_relaxed);
+    const Fault f = firstArmed();
+    return f == Fault::NumFaults ? 1 : seed(f);
 }
 
 int
 targetStream()
 {
-    return detail::g_stream.load(std::memory_order_relaxed);
+    const Fault f = firstArmed();
+    return f == Fault::NumFaults ? -1 : targetStream(f);
 }
 
 void
@@ -124,6 +177,31 @@ noteFired(Fault f)
 }
 
 void
+armEvent(Fault f, uint64_t seed, int stream, uint64_t fire_at)
+{
+#ifdef GENREUSE_DISABLE_FAULTPOINTS
+    (void)f;
+    (void)seed;
+    (void)stream;
+    (void)fire_at;
+    warn("faultpoint::armEvent ignored: compiled out "
+         "(GENREUSE_DISABLE_FAULTPOINTS)");
+#else
+    GENREUSE_REQUIRE(f != Fault::NumFaults, "cannot arm NumFaults");
+    detail::EventSlot &slot = detail::g_events[static_cast<size_t>(f)];
+    slot.seed.store(seed, std::memory_order_relaxed);
+    slot.stream.store(stream < 0 ? -1 : stream,
+                      std::memory_order_relaxed);
+    slot.fireAt.store(fire_at, std::memory_order_relaxed);
+    slot.checks.store(0, std::memory_order_relaxed);
+    // Arm last (and bump the gate only on idle→armed, so re-arming an
+    // armed fault never double-counts).
+    if (!slot.armed.exchange(true, std::memory_order_relaxed))
+        detail::g_numArmed.fetch_add(1, std::memory_order_relaxed);
+#endif
+}
+
+void
 arm(Fault f, uint64_t seed, int stream)
 {
 #ifdef GENREUSE_DISABLE_FAULTPOINTS
@@ -133,32 +211,50 @@ arm(Fault f, uint64_t seed, int stream)
     warn("faultpoint::arm ignored: compiled out "
          "(GENREUSE_DISABLE_FAULTPOINTS)");
 #else
-    GENREUSE_REQUIRE(f != Fault::NumFaults, "cannot arm NumFaults");
-    detail::g_seed.store(seed, std::memory_order_relaxed);
-    detail::g_stream.store(stream < 0 ? -1 : stream,
-                           std::memory_order_relaxed);
-    detail::g_armed.store(static_cast<int>(f), std::memory_order_relaxed);
+    disarm();
+    armEvent(f, seed, stream, 0);
 #endif
 }
 
+namespace {
+
+/** Parse one "<name>[:seed][@stream[:at]]" event of a schedule. */
 Status
-armSpec(const std::string &spec)
+armOneEvent(const std::string &event, const std::string &spec)
 {
-    // <name>[:seed][@stream] — strip the @stream suffix first so a
-    // seed parse never swallows it.
-    std::string body = spec;
+    // Strip the @stream[:at] suffix first so a seed parse never
+    // swallows it.
+    std::string body = event;
     int stream = -1;
-    const size_t at = spec.find('@');
-    if (at != std::string::npos) {
-        body = spec.substr(0, at);
-        const std::string stream_str = spec.substr(at + 1);
+    uint64_t fire_at = 0;
+    const size_t at_pos = event.find('@');
+    if (at_pos != std::string::npos) {
+        body = event.substr(0, at_pos);
+        std::string stream_str = event.substr(at_pos + 1);
+        const size_t colon = stream_str.find(':');
+        if (colon != std::string::npos) {
+            const std::string at_str = stream_str.substr(colon + 1);
+            stream_str = stream_str.substr(0, colon);
+            char *end = nullptr;
+            unsigned long long v =
+                std::strtoull(at_str.c_str(), &end, 10);
+            if (at_str.empty() || end == nullptr || *end != '\0' ||
+                v == 0) {
+                return Status::error(
+                    ErrorCode::InvalidArgument, "bad check ordinal '",
+                    at_str, "' in spec '", spec,
+                    "' (want <name>[:seed][@stream[:at]], at >= 1)");
+            }
+            fire_at = static_cast<uint64_t>(v);
+        }
         char *end = nullptr;
         unsigned long long v = std::strtoull(stream_str.c_str(), &end, 10);
         if (stream_str.empty() || end == nullptr || *end != '\0' ||
             v > 65535) {
-            return Status::error(ErrorCode::InvalidArgument,
-                                 "bad stream '", stream_str, "' in spec '",
-                                 spec, "' (want <name>[:seed][@stream])");
+            return Status::error(
+                ErrorCode::InvalidArgument, "bad stream '", stream_str,
+                "' in spec '", spec,
+                "' (want <name>[:seed][@stream[:at]])");
         }
         stream = static_cast<int>(v);
     }
@@ -171,25 +267,64 @@ armSpec(const std::string &spec)
         char *end = nullptr;
         unsigned long long v = std::strtoull(seed_str.c_str(), &end, 10);
         if (seed_str.empty() || end == nullptr || *end != '\0') {
-            return Status::error(ErrorCode::InvalidArgument,
-                                 "bad seed '", seed_str, "' in spec '",
-                                 spec, "' (want <name>[:seed][@stream])");
+            return Status::error(
+                ErrorCode::InvalidArgument, "bad seed '", seed_str,
+                "' in spec '", spec,
+                "' (want <name>[:seed][@stream[:at]])");
         }
         s = static_cast<uint64_t>(v);
     }
     Expected<Fault> f = faultByName(name);
     if (!f.ok())
         return f.status();
-    arm(*f, s, stream);
+    armEvent(*f, s, stream, fire_at);
+    return Status{};
+}
+
+} // namespace
+
+Status
+armSpec(const std::string &spec)
+{
+    // A schedule replaces whatever was armed, even when a later event
+    // turns out malformed — half-armed schedules would test something
+    // the user did not ask for.
+    disarm();
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string event = spec.substr(start, comma - start);
+        if (event.empty()) {
+            disarm();
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "empty event in spec '", spec,
+                                 "' (want a comma-separated list of "
+                                 "<name>[:seed][@stream[:at]])");
+        }
+        Status s = armOneEvent(event, spec);
+        if (!s.ok()) {
+            disarm();
+            return s;
+        }
+        start = comma + 1;
+    }
     return Status{};
 }
 
 void
 disarm()
 {
-    detail::g_armed.store(-1, std::memory_order_relaxed);
-    detail::g_seed.store(1, std::memory_order_relaxed);
-    detail::g_stream.store(-1, std::memory_order_relaxed);
+    for (size_t i = 0; i < static_cast<size_t>(Fault::NumFaults); ++i) {
+        detail::EventSlot &slot = detail::g_events[i];
+        slot.armed.store(false, std::memory_order_relaxed);
+        slot.seed.store(1, std::memory_order_relaxed);
+        slot.stream.store(-1, std::memory_order_relaxed);
+        slot.fireAt.store(0, std::memory_order_relaxed);
+        slot.checks.store(0, std::memory_order_relaxed);
+    }
+    detail::g_numArmed.store(0, std::memory_order_relaxed);
 }
 
 } // namespace faultpoint

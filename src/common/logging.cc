@@ -1,5 +1,6 @@
 #include "logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <unordered_set>
@@ -8,6 +9,38 @@
 #include "metrics.h"
 
 namespace genreuse {
+
+namespace {
+
+// Recovery-domain state: a per-thread arm depth (domains nest) and a
+// process-wide count of contained panics. Relaxed is enough for the
+// counter — it is a statistic, not a synchronization point.
+thread_local int t_recoveryDepth = 0;
+std::atomic<uint64_t> g_containedPanics{0};
+
+} // namespace
+
+RecoveryDomain::RecoveryDomain()
+{
+    ++t_recoveryDepth;
+}
+
+RecoveryDomain::~RecoveryDomain()
+{
+    --t_recoveryDepth;
+}
+
+bool
+RecoveryDomain::armed()
+{
+    return t_recoveryDepth > 0;
+}
+
+uint64_t
+RecoveryDomain::containedCount()
+{
+    return g_containedPanics.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -96,6 +129,21 @@ resetWarnOnce()
 void
 exitWithMessage(const char *kind, const std::string &msg, bool abort_process)
 {
+    // Containment: a panic (abort path) raised inside an armed
+    // RecoveryDomain is journaled and *thrown* instead of killing the
+    // process — the serve engine fails the one request and quarantines
+    // the stream. fatal() (abort_process == false) is a user-
+    // configuration error and always exits; and outside a domain the
+    // panic path below is byte-for-byte the historical behavior.
+    if (abort_process && RecoveryDomain::armed()) {
+        g_containedPanics.fetch_add(1, std::memory_order_relaxed);
+        metrics::counter("panic.contained").add();
+        if (eventlog::enabled())
+            eventlog::record(eventlog::Type::Panic, eventlog::intern(msg),
+                             0.0, 0.0, 0.0, /*u32=contained=*/1);
+        eventlog::dumpPostmortem("contained_panic");
+        throw PanicException(kind, msg);
+    }
     std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
     std::fflush(stderr);
     // Last act before dying: if a black box is armed, dump the event

@@ -11,10 +11,72 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <sstream>
 #include <string>
 
 namespace genreuse {
+
+/**
+ * What panic() raises *instead of aborting* while a RecoveryDomain is
+ * armed on the calling thread. Carries the would-be log line so the
+ * catcher (the serve engine's per-request containment) can surface it
+ * as a Status message.
+ */
+class PanicException : public std::exception
+{
+  public:
+    PanicException(const char *kind, std::string message)
+        : kind_(kind), message_(std::move(message)),
+          what_(std::string("[") + kind_ + "] " + message_)
+    {
+    }
+
+    /** "panic" (the only kind contained today). */
+    const char *kind() const { return kind_; }
+
+    /** The composed panic message, without the "[panic] " prefix. */
+    const std::string &message() const { return message_; }
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    const char *kind_;
+    std::string message_;
+    std::string what_;
+};
+
+/**
+ * RAII failure-containment scope: while one is live on a thread,
+ * panic()/GENREUSE_REQUIRE on that thread journals the panic (eventlog
+ * Type::Panic + the armed black box) and throws PanicException instead
+ * of aborting the process. fatal() (a user-configuration error) always
+ * exits, domain or not, and *outside* any domain panic() behavior is
+ * byte-for-byte what it always was: print, postmortem dump, abort().
+ *
+ * Contract for code running under a domain: a panic unwinds the C++
+ * stack, so the panicking path's destructors run — a panic raised from
+ * inside a noexcept destructor still terminates (std::terminate), and
+ * any state the unwound code was mid-mutation on must be treated as
+ * poisoned by the catcher. The serve engine does exactly that: it
+ * quarantines the stream (StreamContext::reset) before reusing it.
+ * Domains nest; containment is armed while depth > 0.
+ */
+class RecoveryDomain
+{
+  public:
+    RecoveryDomain();
+    ~RecoveryDomain();
+
+    RecoveryDomain(const RecoveryDomain &) = delete;
+    RecoveryDomain &operator=(const RecoveryDomain &) = delete;
+
+    /** True when the calling thread is inside an armed domain. */
+    static bool armed();
+
+    /** Panics contained (thrown, not aborted) process-wide. */
+    static uint64_t containedCount();
+};
 
 namespace detail {
 

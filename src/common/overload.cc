@@ -1,0 +1,44 @@
+#include "overload.h"
+
+#include "metrics.h"
+
+namespace genreuse {
+namespace overload {
+
+namespace detail {
+std::atomic<int> g_level{0};
+} // namespace detail
+
+void
+setLevel(int level)
+{
+    if (level < 0)
+        level = 0;
+    if (level > kMaxLevel)
+        level = kMaxLevel;
+    const int prev = detail::g_level.exchange(level,
+                                              std::memory_order_relaxed);
+    if (prev == level)
+        return;
+    metrics::gauge("overload.level").set(static_cast<double>(level));
+    if (level > prev)
+        metrics::counter("overload.raises").add();
+}
+
+const char *
+levelName(int level)
+{
+    switch (level) {
+      case 0:
+        return "normal";
+      case 1:
+        return "reduced-verify";
+      case 2:
+        return "unverified";
+      default:
+        return "?";
+    }
+}
+
+} // namespace overload
+} // namespace genreuse

@@ -20,6 +20,10 @@ errorCodeName(ErrorCode code)
         return "data-corruption";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::DeadlineExceeded:
+        return "deadline-exceeded";
+      case ErrorCode::Unavailable:
+        return "unavailable";
       default:
         return "?";
     }

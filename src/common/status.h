@@ -32,6 +32,9 @@ enum class ErrorCode
     NumericFault,       //!< NaN/Inf or other non-finite arithmetic input
     DataCorruption,     //!< an internal table failed its validity check
     Internal,           //!< unexpected but recoverable internal state
+    DeadlineExceeded,   //!< the request expired before it could run
+    Unavailable,        //!< the service cannot take the request (closed,
+                        //!< draining, or the stream is parked)
 };
 
 const char *errorCodeName(ErrorCode code);

@@ -112,6 +112,24 @@ ThreadPool::submit(std::function<void()> task)
     taskReady_.notify_one();
 }
 
+bool
+ThreadPool::trySubmit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return true;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_ || stopped_)
+            return false;
+        tasks_.push(std::move(task));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+    return true;
+}
+
 void
 ThreadPool::wait()
 {

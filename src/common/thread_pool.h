@@ -73,6 +73,13 @@ class ThreadPool
      *  pool would be silently dropped and wait() would deadlock. */
     void submit(std::function<void()> task);
 
+    /** Enqueue like submit(), but return false instead of panicking
+     *  when the pool is stopping or stopped. For callers that race
+     *  shutdown legitimately — a serve worker respawning its own
+     *  replacement must not abort the process when the engine happens
+     *  to be tearing down. */
+    bool trySubmit(std::function<void()> task);
+
     /** Block until every submitted task has finished. */
     void wait();
 

@@ -13,6 +13,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/overload.h"
 #include "common/profiler.h"
 #include "common/rng.h"
 #include "tensor/gemm.h"
@@ -139,6 +140,14 @@ noteDeployDowngrade()
 }
 
 void
+noteUnverified()
+{
+    metrics::counter("guard.unverified").add();
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_stats.unverifiedForwards++;
+}
+
+void
 noteDriftTrip()
 {
     std::lock_guard<std::mutex> lock(g_mu);
@@ -176,6 +185,7 @@ toJson()
     w.key("kernelFallbacks").value(s.kernelFallbacks);
     w.key("deployDowngrades").value(s.deployDowngrades);
     w.key("driftTrips").value(s.driftTrips);
+    w.key("unverifiedForwards").value(s.unverifiedForwards);
     w.key("lastMeasuredError").value(s.lastMeasuredError);
     w.key("lastErrorBudget").value(s.lastErrorBudget);
     w.key("worstMargin").value(s.worstMargin);
@@ -294,11 +304,19 @@ size_t
 GuardedReuseConvAlgo::verifyRows() const
 {
     size_t rows = config_.sampleRows == 0 ? size_t{1} : config_.sampleRows;
-    if (config_.drift.enabled && drifted()) {
+    // Under overload the controller walks verification down: level 1
+    // halves the sample rows and suppresses the drift boost (less
+    // evidence per forward, but still measuring); level 2 skips
+    // verification entirely in multiplyInto, so this value is moot
+    // there.
+    const int shed = overload::level();
+    if (shed == 0 && config_.drift.enabled && drifted()) {
         rows *= std::max<size_t>(1, config_.driftSampleBoost);
         if (config_.maxSampleRows > 0)
             rows = std::min(rows, config_.maxSampleRows);
     }
+    if (shed >= 1)
+        rows = std::max<size_t>(1, rows / 2);
     return rows;
 }
 
@@ -469,7 +487,8 @@ GuardedReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
     if (faultpoint::active(faultpoint::Fault::NanActivation)) {
         faultpoint::noteFired(faultpoint::Fault::NanActivation);
         corrupted = x;
-        corruptWithNan(*corrupted, faultpoint::seed());
+        corruptWithNan(*corrupted,
+                       faultpoint::seed(faultpoint::Fault::NanActivation));
         xin = &*corrupted;
     }
 
@@ -502,6 +521,17 @@ GuardedReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
         st.lastRung = static_cast<int>(GuardRung::ExactFallback);
         guard::recordForward(GuardRung::ExactFallback, 0.0, 0.0);
         y = exact_.multiply(*xin, w, geom, ledger);
+        return;
+    }
+
+    // Deepest overload shed: accept the reuse result on trust — no
+    // verification GEMM rows, no re-cluster retries. The cheapest path
+    // through the ladder, counted so an operator can see how many
+    // forwards rode through unverified.
+    if (overload::level() >= overload::kMaxLevel) {
+        guard::noteUnverified();
+        st.lastRung = static_cast<int>(GuardRung::FullReuse);
+        guard::recordForward(GuardRung::FullReuse, 0.0, 0.0);
         return;
     }
 

@@ -112,6 +112,8 @@ struct GuardStats
                                    //!< reuse kernels (corrupt tables)
     uint64_t deployDowngrades = 0; //!< deploy-time memory downgrades
     uint64_t driftTrips = 0;       //!< drift-detector trips (either signal)
+    uint64_t unverifiedForwards = 0; //!< forwards accepted without
+                                     //!< verification (overload level 2)
 
     double lastMeasuredError = 0.0; //!< est. total sq. Frobenius error
     double lastErrorBudget = 0.0;   //!< budget it was compared against
@@ -146,6 +148,10 @@ void noteDeployDowngrade();
 
 /** Record a drift-detector trip (counts toward GuardStats). */
 void noteDriftTrip();
+
+/** Record a forward accepted unverified because the overload
+ *  controller is at the shed-verification level. */
+void noteUnverified();
 
 /** Copy of the process-wide counters. */
 GuardStats snapshot();

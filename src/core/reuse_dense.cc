@@ -86,7 +86,7 @@ ReuseDense::forward(const Tensor &x, bool training)
             flat = &flat_;
         }
         faultpoint::noteFired(faultpoint::Fault::NanActivation);
-        corruptWithNan(flat_, faultpoint::seed());
+        corruptWithNan(flat_, faultpoint::seed(faultpoint::Fault::NanActivation));
     }
 
     // Segment reuse averages segments across the row, so one NaN would

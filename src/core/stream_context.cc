@@ -89,6 +89,22 @@ StreamContext::guardState(const void *owner)
     return st;
 }
 
+void
+StreamContext::reset()
+{
+    if (ownedArena_) {
+        ownedArena_->reset();
+        // A panicking forward may have left poisoned bytes behind the
+        // bump pointer; releasing the blocks (not just rewinding) puts
+        // the arena in a truly fresh state. Retention config is kept.
+        ownedArena_->releaseMemory();
+    }
+    for (auto &scratch : clusterScratch_)
+        scratch = ClusterResult{};
+    convScratch_.clear();
+    guardStates_.clear();
+}
+
 StreamContext &
 StreamContext::current()
 {

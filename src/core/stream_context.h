@@ -155,6 +155,18 @@ class StreamContext
     GuardStreamState &guardState(const void *owner);
 
     /**
+     * Quarantine reset: discard everything a (possibly panicking)
+     * forward may have half-mutated — the arena is rewound and its
+     * blocks released, cluster/conv scratch is dropped, and the guard
+     * states (drift detectors, cached budgets, last rungs) are erased
+     * so the guard lazily re-creates them re-armed. The shared fit is
+     * untouched (it is immutable per contract), so the next request on
+     * this context starts from the same state a fresh context would.
+     * Caller must ensure no forward is live on the context.
+     */
+    void reset();
+
+    /**
      * The calling thread's context: the innermost Bind, else the
      * thread-default context (id 0, created on first use).
      */

@@ -198,7 +198,7 @@ injectClusterFaults(const StridedItems &items, ClusterResult &result)
         // the CSR build so the table is inconsistent exactly the way a
         // memory corruption would leave it.
         faultpoint::noteFired(Fault::CorruptClusterIds);
-        Rng rng(faultpoint::seed());
+        Rng rng(faultpoint::seed(Fault::CorruptClusterIds));
         const size_t flips = std::max<size_t>(1, items.count / 16);
         const uint32_t nc =
             static_cast<uint32_t>(result.numClusters());
@@ -228,7 +228,7 @@ clusterSignaturesInto(const StridedItems &items, const uint64_t *sigs,
         faultpoint::noteFired(faultpoint::Fault::ClusterCollapse);
         uint64_t *collapsed = arena.allocSpan<uint64_t>(items.count);
         for (size_t i = 0; i < items.count; ++i)
-            collapsed[i] = faultpoint::seed();
+            collapsed[i] = faultpoint::seed(faultpoint::Fault::ClusterCollapse);
         use = collapsed;
     }
 

@@ -3,8 +3,11 @@
 #include <chrono>
 
 #include "common/eventlog.h"
+#include "common/faultpoint.h"
+#include "common/json.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/overload.h"
 
 namespace genreuse {
 namespace serve {
@@ -18,42 +21,66 @@ nowNs()
             .count());
 }
 
+const char *
+healthName(Health h)
+{
+    switch (h) {
+      case Health::Healthy:
+        return "healthy";
+      case Health::Degraded:
+        return "degraded";
+      case Health::Draining:
+        return "draining";
+    }
+    return "?";
+}
+
 RequestQueue::RequestQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity)
 {
 }
 
-bool
+Status
 RequestQueue::push(Request &&r)
 {
     std::unique_lock<std::mutex> lock(mu_);
+    // The predicate admits "closed" as a wake condition and close()
+    // broadcasts notFull_ — a producer blocked here when the queue
+    // closes wakes and fails instead of wedging on a queue that will
+    // never drain below capacity again.
     notFull_.wait(lock,
                   [this] { return closed_ || q_.size() < capacity_; });
-    if (closed_)
-        return false;
+    if (closed_) {
+        return Status::error(ErrorCode::Unavailable,
+                             "request queue closed");
+    }
     q_.push_back(std::move(r));
     ++accepted_;
     lock.unlock();
     notEmpty_.notify_one();
-    return true;
+    return Status{};
 }
 
-bool
+Status
 RequestQueue::tryPush(Request &&r)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (closed_)
-            return false;
+        if (closed_) {
+            return Status::error(ErrorCode::Unavailable,
+                                 "request queue closed");
+        }
         if (q_.size() >= capacity_) {
             ++rejected_;
-            return false;
+            return Status::error(ErrorCode::ResourceExhausted,
+                                 "request queue full (", capacity_,
+                                 " queued)");
         }
         q_.push_back(std::move(r));
         ++accepted_;
     }
     notEmpty_.notify_one();
-    return true;
+    return Status{};
 }
 
 std::optional<Request>
@@ -109,8 +136,28 @@ RequestQueue::rejected() const
     return rejected_;
 }
 
+namespace {
+
+/**
+ * RAII request boundary on a pooled thread (the satellite fix): the
+ * layer-scope reset must run on *every* exit path — success, shed,
+ * contained panic — or a LayerScope leaked by a panicking forward tags
+ * the next request's events with the previous request's layer. Reset
+ * on entry too, so even a scope leaked outside this guard's lifetime
+ * (a prior worker generation) cannot leak in.
+ */
+struct ScopeResetGuard
+{
+    ScopeResetGuard() { eventlog::resetThreadScope(); }
+    ~ScopeResetGuard() { eventlog::resetThreadScope(); }
+    ScopeResetGuard(const ScopeResetGuard &) = delete;
+    ScopeResetGuard &operator=(const ScopeResetGuard &) = delete;
+};
+
+} // namespace
+
 ServeEngine::ServeEngine(ServeConfig config, const StreamFactory &factory)
-    : config_(config), queue_(config.queueCapacity),
+    : config_(config), queue_(config.queueCapacity), factory_(factory),
       // spawn_single: even a 1-worker engine needs a real thread — the
       // worker loop is long-lived and would deadlock run inline.
       pool_(config.workers, config.name, /*spawn_single=*/true)
@@ -118,8 +165,11 @@ ServeEngine::ServeEngine(ServeConfig config, const StreamFactory &factory)
     GENREUSE_REQUIRE(config_.workers >= 1,
                      "ServeEngine needs at least one worker");
     GENREUSE_REQUIRE(factory != nullptr, "ServeEngine needs a factory");
+    if (config_.quarantineStrikes == 0)
+        config_.quarantineStrikes = 1;
     streams_.reserve(config_.workers);
     contexts_.reserve(config_.workers);
+    workerStates_.resize(config_.workers);
     for (size_t i = 0; i < config_.workers; ++i) {
         // Stream ids are 1-based: 0 is the thread-default context and
         // doubles as "no stream" in event/fault tags.
@@ -138,7 +188,7 @@ ServeEngine::ServeEngine(ServeConfig config, const StreamFactory &factory)
 
 ServeEngine::~ServeEngine() { shutdown(); }
 
-bool
+Status
 ServeEngine::admit(Request &&r)
 {
     if (config_.policy == AdmitPolicy::Block)
@@ -147,7 +197,7 @@ ServeEngine::admit(Request &&r)
 }
 
 std::optional<std::future<ServeResult>>
-ServeEngine::submit(Tensor input)
+ServeEngine::submit(Tensor input, uint64_t deadline_ns)
 {
     auto promise = std::make_shared<std::promise<ServeResult>>();
     std::future<ServeResult> fut = promise->get_future();
@@ -160,17 +210,22 @@ ServeEngine::submit(Tensor input)
     }
     r.input = std::move(input);
     r.enqueueNs = nowNs();
+    if (deadline_ns == 0)
+        deadline_ns = config_.defaultDeadlineNs;
+    if (deadline_ns != 0)
+        r.deadlineNs = r.enqueueNs + deadline_ns;
     r.done = [promise](ServeResult &&res) {
         promise->set_value(std::move(res));
     };
-    if (!admit(std::move(r)))
+    if (!admit(std::move(r)).ok())
         return std::nullopt;
     return fut;
 }
 
 bool
 ServeEngine::trySubmit(Tensor input,
-                       std::function<void(ServeResult &&)> done)
+                       std::function<void(ServeResult &&)> done,
+                       uint64_t deadline_ns)
 {
     Request r;
     {
@@ -181,49 +236,262 @@ ServeEngine::trySubmit(Tensor input,
     }
     r.input = std::move(input);
     r.enqueueNs = nowNs();
+    if (deadline_ns == 0)
+        deadline_ns = config_.defaultDeadlineNs;
+    if (deadline_ns != 0)
+        r.deadlineNs = r.enqueueNs + deadline_ns;
     r.done = std::move(done);
-    return admit(std::move(r));
+    return admit(std::move(r)).ok();
+}
+
+void
+ServeEngine::finish(Request &&req, ServeResult &&res)
+{
+    if (req.done)
+        req.done(std::move(res));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++completed_;
+    }
+    completedCv_.notify_all();
 }
 
 void
 ServeEngine::workerMain(size_t index)
 {
-    StreamContext &ctx = *contexts_[index];
-    InferenceStream &stream = *streams_[index];
     static metrics::Counter &served = metrics::counter("serve.requests");
+    static metrics::Counter &shed_ctr = metrics::counter("serve.shed");
+    static metrics::Counter &failed_ctr = metrics::counter("serve.failed");
     for (;;) {
         std::optional<Request> req = queue_.pop();
         if (!req)
             return; // queue closed and drained: graceful exit
-        // Request boundary on a pooled thread: drop any layer-scope
-        // tag a previous request leaked (e.g. via a throwing forward)
-        // so this request's events carry only its own layers.
-        eventlog::resetThreadScope();
+        // Request boundary on a pooled thread: the guard drops any
+        // layer-scope tag on entry AND on every exit path, so a
+        // panicking forward cannot tag the next request's events.
+        ScopeResetGuard scope_reset;
         ServeResult res;
         res.requestId = req->id;
-        res.streamId = ctx.id();
+        res.streamId = contexts_[index]->id();
         res.enqueueNs = req->enqueueNs;
+        res.startNs = nowNs();
+        observeQueueDelay(res.startNs - res.enqueueNs);
+
+        // Overload shedding: work that expired in the queue is counted
+        // and completed with a Status, never executed — running it
+        // would burn worker time on an answer nobody is waiting for.
+        if (req->deadlineNs != 0 && res.startNs > req->deadlineNs) {
+            const double overdue_ms =
+                static_cast<double>(res.startNs - req->deadlineNs) / 1e6;
+            res.doneNs = res.startNs;
+            res.status = Status::error(
+                ErrorCode::DeadlineExceeded,
+                "request expired in queue (", overdue_ms,
+                " ms past its deadline)");
+            shed_ctr.add();
+            eventlog::record(eventlog::Type::RequestShed, 0, overdue_ms,
+                             0.0, 0.0,
+                             static_cast<uint32_t>(req->id));
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++shed_;
+            }
+            finish(std::move(*req), std::move(res));
+            continue;
+        }
+
+        bool panicked = false;
         {
+            StreamContext &ctx = *contexts_[index];
+            InferenceStream &stream = *streams_[index];
             StreamContext::Bind bind(ctx);
             // The frame spans the whole request, so the stream arena
             // rewinds to empty afterwards — exactly the point where
             // retention decay trims capacity an oversized request left
             // behind.
             ArenaFrame frame(ctx.arena());
-            res.startNs = nowNs();
-            res.output = stream.infer(req->input, ctx);
-            res.rung = stream.lastRung();
-            res.doneNs = nowNs();
+            // The recovery domain turns a panic()/REQUIRE anywhere in
+            // the inference path into a PanicException caught below:
+            // one poisoned request fails one request, not the process.
+            RecoveryDomain domain;
+            try {
+                if (faultpoint::anyArmed() &&
+                    faultpoint::active(faultpoint::Fault::WorkerPanic)) {
+                    faultpoint::noteFired(faultpoint::Fault::WorkerPanic);
+                    panic("injected worker_panic fault on stream ",
+                          ctx.id());
+                }
+                res.output = stream.infer(req->input, ctx);
+                res.rung = stream.lastRung();
+            } catch (const PanicException &e) {
+                panicked = true;
+                res.status = Status::error(ErrorCode::Internal,
+                                           "contained panic: ",
+                                           e.message());
+            } catch (const std::exception &e) {
+                panicked = true;
+                res.status = Status::error(ErrorCode::Internal,
+                                           "request failed: ", e.what());
+            }
         }
+        res.doneNs = nowNs();
         served.add();
-        if (req->done)
-            req->done(std::move(res));
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++completed_;
-        }
-        completedCv_.notify_all();
+        if (panicked)
+            failed_ctr.add();
+
+        bool exit_worker = false;
+        if (panicked)
+            exit_worker = noteFailure(index);
+        else
+            noteSuccess(index);
+        finish(std::move(*req), std::move(res));
+        if (exit_worker)
+            return; // the respawned replacement owns the stream now
     }
+}
+
+void
+ServeEngine::noteSuccess(size_t index)
+{
+    WorkerState &ws = workerStates_[index];
+    // Owner-thread fast path: this worker is the only writer of its
+    // slot, so the no-failure check needs no lock — keeping the
+    // healthy-path per-request cost at the domain's two thread-local
+    // bumps. The lock is taken only on the rare heal transition.
+    if (ws.strikes == 0 && !ws.parked)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ws.strikes = 0;
+    ws.parked = false;
+    GENREUSE_REQUIRE(failingStreams_ > 0,
+                     "failing-stream count underflow");
+    --failingStreams_;
+    updateHealthLocked();
+}
+
+bool
+ServeEngine::noteFailure(size_t index)
+{
+    // Quarantine the stream state first: whatever the panicking
+    // forward half-mutated (scratch, drift detectors, arena contents)
+    // is poisoned and must not leak into the next request.
+    contexts_[index]->reset();
+
+    static metrics::Counter &contained =
+        metrics::counter("serve.contained_panics");
+    static metrics::Counter &quarantines =
+        metrics::counter("serve.quarantines");
+    static metrics::Counter &respawns = metrics::counter("serve.respawns");
+    contained.add();
+
+    uint64_t strikes = 0;
+    bool park = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++failed_;
+        ++containedPanics_;
+        WorkerState &ws = workerStates_[index];
+        if (ws.strikes == 0 && !ws.parked)
+            ++failingStreams_;
+        strikes = ++ws.strikes;
+        park = strikes >= config_.quarantineStrikes;
+        if (park) {
+            ws.parked = true;
+            ws.strikes = 0;
+            ++ws.quarantines;
+            ++quarantines_;
+        }
+        updateHealthLocked();
+    }
+    if (!park)
+        return false;
+
+    quarantines.add();
+    eventlog::record(eventlog::Type::StreamQuarantine, 0, 0.0, 0.0, 0.0,
+                     static_cast<uint32_t>(strikes), /*a8=respawn=*/1);
+
+    // Park & respawn: rebuild the stream on a fresh context (same id)
+    // from the retained factory. The factory itself runs under a
+    // domain — a factory that panics (corrupted shared state) leaves
+    // the old, already-reset stream in place rather than taking the
+    // process down.
+    const uint32_t stream_id = static_cast<uint32_t>(index + 1);
+    std::unique_ptr<InferenceStream> fresh;
+    {
+        RecoveryDomain domain;
+        try {
+            fresh = factory_(stream_id);
+        } catch (const std::exception &e) {
+            warn("serve: stream ", stream_id,
+                 " respawn factory failed (", e.what(),
+                 "); keeping the quarantined stream");
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fresh) {
+            contexts_[index] = std::make_unique<StreamContext>(
+                static_cast<uint16_t>(stream_id),
+                config_.name + "-" + std::to_string(stream_id));
+            streams_[index] = std::move(fresh);
+        }
+        ++respawns_;
+    }
+    respawns.add();
+
+    // Hand the stream to a replacement worker and let this one exit.
+    // When the pool is already stopping (shutdown race) the submit
+    // fails and THIS worker keeps serving the fresh stream — queued
+    // requests must still drain.
+    if (pool_.trySubmit([this, index] { workerMain(index); }))
+        return true;
+    return false;
+}
+
+void
+ServeEngine::observeQueueDelay(uint64_t delay_ns)
+{
+    if (config_.overloadQueueDelayNs == 0)
+        return;
+    const size_t depth = queue_.size();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (delay_ns > config_.overloadQueueDelayNs) {
+        if (++overStreak_ >=
+            std::max<size_t>(1, config_.overloadWindow)) {
+            overStreak_ = 0;
+            if (overloadLevel_ < overload::kMaxLevel) {
+                ++overloadLevel_;
+                overload::setLevel(overloadLevel_);
+                updateHealthLocked();
+            }
+        }
+    } else {
+        overStreak_ = 0;
+        // Restore only once the backlog is actually gone — a single
+        // fast dequeue during a storm is not recovery.
+        if (overloadLevel_ > 0 && depth == 0) {
+            overloadLevel_ = 0;
+            overload::setLevel(0);
+            updateHealthLocked();
+        }
+    }
+}
+
+void
+ServeEngine::updateHealthLocked()
+{
+    Health desired = Health::Healthy;
+    if (shutdown_)
+        desired = Health::Draining;
+    else if (overloadLevel_ > 0 || failingStreams_ > 0)
+        desired = Health::Degraded;
+    if (desired == health_)
+        return;
+    health_ = desired;
+    metrics::gauge("serve.health").set(static_cast<double>(health_));
+    eventlog::record(eventlog::Type::Health, 0, 0.0, 0.0, 0.0,
+                     static_cast<uint32_t>(overloadLevel_),
+                     static_cast<uint8_t>(health_));
 }
 
 void
@@ -242,12 +510,20 @@ ServeEngine::shutdown()
         if (shutdown_)
             return;
         shutdown_ = true;
+        updateHealthLocked();
     }
     queue_.close();
     // Workers drain the queue (pop() serves queued requests until
     // empty) before exiting; Drain then joins them. No admitted
     // request is dropped.
     pool_.shutdown(ThreadPool::DrainPolicy::Drain);
+    // Release the process-wide overload level if this engine raised
+    // it — a dead engine must not keep the guard degraded.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (overloadLevel_ > 0) {
+        overloadLevel_ = 0;
+        overload::setLevel(0);
+    }
 }
 
 ServeStats
@@ -260,7 +536,84 @@ ServeEngine::stats() const
     s.queueDepth = queue_.size();
     std::lock_guard<std::mutex> lock(mu_);
     s.completed = completed_;
+    s.shed = shed_;
+    s.failed = failed_;
+    s.containedPanics = containedPanics_;
+    s.quarantines = quarantines_;
+    s.respawns = respawns_;
+    s.overloadLevel = overloadLevel_;
+    s.health = health_;
     return s;
+}
+
+Health
+ServeEngine::health() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return health_;
+}
+
+size_t
+ServeEngine::numStreams() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return streams_.size();
+}
+
+InferenceStream &
+ServeEngine::stream(size_t i)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return *streams_.at(i);
+}
+
+StreamContext &
+ServeEngine::streamContext(size_t i)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return *contexts_.at(i);
+}
+
+std::string
+ServeEngine::healthJson() const
+{
+    const uint64_t accepted = queue_.accepted();
+    const uint64_t rejected = queue_.rejected();
+    const size_t depth = queue_.size();
+    JsonWriter w;
+    std::lock_guard<std::mutex> lock(mu_);
+    w.beginObject();
+    w.key("schema").value("genreuse.health/1");
+    w.key("name").value(config_.name);
+    w.key("health").value(healthName(health_));
+    w.key("overloadLevel").value(overloadLevel_);
+    w.key("overloadMode").value(overload::levelName(overloadLevel_));
+    w.key("workers").value(static_cast<uint64_t>(config_.workers));
+    w.key("queueDepth").value(static_cast<uint64_t>(depth));
+    w.key("queueCapacity")
+        .value(static_cast<uint64_t>(queue_.capacity()));
+    w.key("accepted").value(accepted);
+    w.key("rejected").value(rejected);
+    w.key("completed").value(completed_);
+    w.key("shed").value(shed_);
+    w.key("failed").value(failed_);
+    w.key("containedPanics").value(containedPanics_);
+    w.key("quarantines").value(quarantines_);
+    w.key("respawns").value(respawns_);
+    w.key("streams").beginArray();
+    for (size_t i = 0; i < workerStates_.size(); ++i) {
+        const WorkerState &ws = workerStates_[i];
+        w.beginObject();
+        w.key("id").value(static_cast<uint64_t>(i + 1));
+        w.key("name").value(contexts_[i]->name());
+        w.key("strikes").value(ws.strikes);
+        w.key("quarantines").value(ws.quarantines);
+        w.key("parked").value(ws.parked);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 } // namespace serve

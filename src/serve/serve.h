@@ -30,6 +30,33 @@
  * Admission is configurable: Block (backpressure the producer — the
  * load-generator default) or Reject (fail fast, counted in stats).
  * Shutdown is graceful: close the queue, let workers drain it, join.
+ *
+ * Failure containment (the robustness layer on top):
+ *
+ *  - every request executes inside a RecoveryDomain
+ *    (common/logging.h): a panic()/REQUIRE raised by the inference
+ *    path is journaled, fails *that request* with an Internal Status,
+ *    and quarantines the stream — StreamContext::reset() (arena
+ *    rewound and released, scratch dropped, drift detectors re-armed)
+ *    — instead of killing the process. After quarantineStrikes
+ *    *consecutive* failures the stream is parked: a fresh stream is
+ *    built from the retained factory on a fresh context and a
+ *    replacement worker is respawned through the pool (the struck-out
+ *    worker exits). A successful request resets the strike count.
+ *  - requests carry an optional absolute deadline; a worker finding an
+ *    already-expired request at dequeue *sheds* it — counted,
+ *    journaled (RequestShed), completed with DeadlineExceeded, never
+ *    executed.
+ *  - a queue-delay overload controller (enabled by
+ *    overloadQueueDelayNs > 0) walks the guard ladder down under
+ *    sustained pressure via the process-wide overload level
+ *    (common/overload.h): level 1 halves guard verification rows,
+ *    level 2 skips verification entirely; the level restores when the
+ *    queue drains.
+ *  - engine health (Healthy → Degraded → Draining) is derived from
+ *    overload level + failing/parked streams, exported through
+ *    stats()/metrics, journaled on every transition, and rendered as
+ *    the genreuse.health/1 JSON artifact (healthJson()).
  */
 
 #ifndef GENREUSE_SERVE_SERVE_H
@@ -46,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/guard.h"
 #include "core/stream_context.h"
@@ -57,6 +85,17 @@ namespace serve {
 /** Steady-clock nanoseconds (the engine's single time base). */
 uint64_t nowNs();
 
+/** Engine readiness, coarsest first. */
+enum class Health
+{
+    Healthy,  //!< serving normally
+    Degraded, //!< overloaded and/or a stream is failing or parked
+    Draining, //!< shutdown initiated; admitted requests still finish
+};
+
+/** "healthy" / "degraded" / "draining". */
+const char *healthName(Health h);
+
 /** Completed request: output plus the latency-relevant timestamps. */
 struct ServeResult
 {
@@ -67,6 +106,9 @@ struct ServeResult
     uint64_t startNs = 0;   //!< worker picked it up
     uint64_t doneNs = 0;    //!< inference finished
     GuardRung rung = GuardRung::FullReuse; //!< stream's rung afterwards
+    /** Ok on success; DeadlineExceeded when shed; Internal for a
+     *  contained panic (output is empty in both failure cases). */
+    Status status;
 };
 
 /** One queued inference request. */
@@ -75,6 +117,9 @@ struct Request
     uint64_t id = 0;
     Tensor input;
     uint64_t enqueueNs = 0;
+    /** Absolute nowNs() instant after which the request is shed
+     *  instead of executed (0 = no deadline). */
+    uint64_t deadlineNs = 0;
     std::function<void(ServeResult &&)> done; //!< invoked on the worker
 };
 
@@ -96,13 +141,16 @@ class RequestQueue
   public:
     explicit RequestQueue(size_t capacity);
 
-    /** Admit @p r, waiting while full. False when closed (the request
-     *  is not admitted). */
-    bool push(Request &&r);
+    /** Admit @p r, waiting while full. Unavailable when the queue is
+     *  closed — including a close() that lands *while* the producer is
+     *  blocked waiting for space (the close-aware wait predicate plus
+     *  close()'s notFull broadcast guarantee the producer wakes and
+     *  fails instead of wedging forever). */
+    Status push(Request &&r);
 
-    /** Admit @p r without waiting. False when full or closed; a
-     *  full-queue failure is counted in rejected(). */
-    bool tryPush(Request &&r);
+    /** Admit @p r without waiting. ResourceExhausted when full
+     *  (counted in rejected()), Unavailable when closed. */
+    Status tryPush(Request &&r);
 
     /** Take the oldest request, waiting while empty. nullopt once the
      *  queue is closed *and* drained. */
@@ -161,6 +209,22 @@ struct ServeConfig
     size_t queueCapacity = 64;
     AdmitPolicy policy = AdmitPolicy::Block;
     std::string name = "serve"; //!< worker-thread name prefix
+
+    /** Deadline applied to requests submitted without one, relative
+     *  to submission (0 = none). */
+    uint64_t defaultDeadlineNs = 0;
+
+    /** Consecutive contained failures on one stream before it is
+     *  parked and a fresh stream + worker respawned. */
+    size_t quarantineStrikes = 3;
+
+    /** Queue delay that counts as overload pressure (0 disables the
+     *  overload controller). */
+    uint64_t overloadQueueDelayNs = 0;
+
+    /** Consecutive over-threshold dequeues before the controller
+     *  raises the overload level one step. */
+    size_t overloadWindow = 8;
 };
 
 /** Engine counters (monotonic since construction). */
@@ -168,9 +232,16 @@ struct ServeStats
 {
     uint64_t accepted = 0;
     uint64_t rejected = 0;
-    uint64_t completed = 0;
+    uint64_t completed = 0; //!< includes shed and failed requests
+    uint64_t shed = 0;      //!< expired at dequeue, never executed
+    uint64_t failed = 0;    //!< completed with an error Status (panics)
+    uint64_t containedPanics = 0; //!< panics caught by request domains
+    uint64_t quarantines = 0;     //!< streams parked after striking out
+    uint64_t respawns = 0;        //!< replacement workers spawned
     size_t workers = 0;
     size_t queueDepth = 0;
+    int overloadLevel = 0;
+    Health health = Health::Healthy;
 };
 
 class ServeEngine
@@ -189,20 +260,26 @@ class ServeEngine
     /**
      * Submit one input. Under Block this waits for queue space; under
      * Reject a full queue returns nullopt immediately. The future
-     * resolves on the executing worker when inference completes.
-     * nullopt is also returned after shutdown().
+     * resolves on the executing worker when inference completes (check
+     * the result's status — shed and panicked requests resolve too).
+     * nullopt is also returned after shutdown(). @p deadline_ns is
+     * relative to now (0 = the config default).
      */
-    std::optional<std::future<ServeResult>> submit(Tensor input);
+    std::optional<std::future<ServeResult>> submit(Tensor input,
+                                                   uint64_t deadline_ns = 0);
 
     /**
      * Callback-style submission for the open-loop load generator (no
      * per-request future allocation on the measurement path).
      * @p done runs on the executing worker. False when the request was
      * not admitted (full queue under Reject, or shut down).
+     * @p deadline_ns is relative to now (0 = the config default).
      */
-    bool trySubmit(Tensor input, std::function<void(ServeResult &&)> done);
+    bool trySubmit(Tensor input, std::function<void(ServeResult &&)> done,
+                   uint64_t deadline_ns = 0);
 
-    /** Block until every admitted request has completed. */
+    /** Block until every admitted request has completed (executed,
+     *  failed, or shed — they all count). */
     void drain();
 
     /** Stop admissions, drain the queue, join the workers. Idempotent;
@@ -211,27 +288,62 @@ class ServeEngine
 
     ServeStats stats() const;
 
+    /** Current readiness (also in stats()). */
+    Health health() const;
+
+    /** Schema-versioned JSON (genreuse.health/1): health, overload
+     *  level, engine counters and per-stream strike/quarantine state —
+     *  the artifact genreuse_inspect renders. */
+    std::string healthJson() const;
+
     const ServeConfig &config() const { return config_; }
-    size_t numStreams() const { return streams_.size(); }
+    size_t numStreams() const;
 
     /** Test/introspection access to stream @p i (0-based worker index;
-     *  the stream's id is i + 1). */
-    InferenceStream &stream(size_t i) { return *streams_.at(i); }
-    StreamContext &streamContext(size_t i) { return *contexts_.at(i); }
+     *  the stream's id is i + 1). Do not call with requests in flight
+     *  on that stream — a quarantine may be replacing it. */
+    InferenceStream &stream(size_t i);
+    StreamContext &streamContext(size_t i);
 
   private:
+    /** Per-worker containment state (guarded by mu_). */
+    struct WorkerState
+    {
+        uint64_t strikes = 0;     //!< consecutive contained failures
+        uint64_t quarantines = 0; //!< times this stream struck out
+        bool parked = false;      //!< true between park and respawn
+    };
+
     void workerMain(size_t index);
-    bool admit(Request &&r);
+    Status admit(Request &&r);
+    void finish(Request &&req, ServeResult &&res);
+    void observeQueueDelay(uint64_t delay_ns);
+    void noteSuccess(size_t index);
+    /** Handle one contained failure; true when the calling worker must
+     *  exit because a replacement was respawned. */
+    bool noteFailure(size_t index);
+    void updateHealthLocked();
 
     ServeConfig config_;
     RequestQueue queue_;
+    StreamFactory factory_; //!< retained for quarantine respawns
     std::vector<std::unique_ptr<InferenceStream>> streams_;
     std::vector<std::unique_ptr<StreamContext>> contexts_;
+    std::vector<WorkerState> workerStates_;
 
     mutable std::mutex mu_;
     std::condition_variable completedCv_;
     uint64_t completed_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t failed_ = 0;
+    uint64_t containedPanics_ = 0;
+    uint64_t quarantines_ = 0;
+    uint64_t respawns_ = 0;
     uint64_t nextId_ = 1;
+    size_t failingStreams_ = 0; //!< workers with strikes > 0 or parked
+    size_t overStreak_ = 0;     //!< consecutive over-delay dequeues
+    int overloadLevel_ = 0;
+    Health health_ = Health::Healthy;
     bool shutdown_ = false;
 
     // Last member: its destructor joins the workers, which touch every

@@ -95,5 +95,43 @@ TEST(Args, DoubleOverflowDiesNamingTheFlag)
                               "--lr.*out of range");
 }
 
+TEST(Duration, ParsesEveryUnitToNanoseconds)
+{
+    EXPECT_EQ(*parseDurationNs("10ns"), 10u);
+    EXPECT_EQ(*parseDurationNs("250us"), 250'000u);
+    EXPECT_EQ(*parseDurationNs("50ms"), 50'000'000u);
+    EXPECT_EQ(*parseDurationNs("2s"), 2'000'000'000u);
+    EXPECT_EQ(*parseDurationNs("1.5ms"), 1'500'000u);
+    EXPECT_EQ(*parseDurationNs("0s"), 0u);
+    EXPECT_EQ(*parseDurationNs("0.25us"), 250u);
+}
+
+TEST(Duration, RejectsGarbageAndOverflow)
+{
+    // A bare number is ambiguous; every reject is InvalidArgument,
+    // never a silent saturate.
+    for (const char *bad : {"", "50", "ms", "abc", "50m", "50msx",
+                            "-5ms", "nan ms", "nans", "inf s", "1e999s",
+                            "1e30s", "18446744073709551616ns"}) {
+        SCOPED_TRACE(bad);
+        Expected<uint64_t> r = parseDurationNs(bad);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+    }
+    // Just below the uint64 ceiling is fine; the ceiling itself (and
+    // 2^64, tested above) is not.
+    EXPECT_TRUE(parseDurationNs("18000000000000000000ns").ok());
+    EXPECT_FALSE(parseDurationNs("18446744073709549568ns").ok());
+}
+
+TEST(Duration, GetDurationNsFallsBackAndDiesOnGarbage)
+{
+    ArgParser a = parse({"prog", "--deadline", "50ms", "--bad", "7"});
+    EXPECT_EQ(a.getDurationNs("deadline", 0), 50'000'000u);
+    EXPECT_EQ(a.getDurationNs("missing", 123), 123u);
+    ASSERT_DEATH_IF_SUPPORTED(a.getDurationNs("bad", 0),
+                              "--bad expects a duration like '50ms'");
+}
+
 } // namespace
 } // namespace genreuse

@@ -1,12 +1,17 @@
 /**
  * @file
- * Tests for src/common: deterministic RNG, text tables, math helpers.
+ * Tests for src/common: deterministic RNG, text tables, math helpers,
+ * and the recovery-domain failure containment in common/logging.h
+ * (panic() throws inside an armed domain, aborts byte-for-byte as
+ * before outside one).
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -172,6 +177,79 @@ TEST(MathUtil, Clamp)
     EXPECT_EQ(clamp(5, 0, 3), 3);
     EXPECT_EQ(clamp(-1, 0, 3), 0);
     EXPECT_EQ(clamp(2, 0, 3), 2);
+}
+
+TEST(RecoveryDomain, PanicOutsideAnyDomainStillAborts)
+{
+    // The acceptance pin: with no domain armed, panic() must behave
+    // byte-for-byte as it always has — print and abort, never throw.
+    ASSERT_FALSE(RecoveryDomain::armed());
+    ASSERT_DEATH_IF_SUPPORTED(panic("boom ", 42), "boom 42");
+    ASSERT_DEATH_IF_SUPPORTED(
+        GENREUSE_REQUIRE(1 == 2, "requirement ", "broken"),
+        "requirement broken");
+}
+
+TEST(RecoveryDomain, ContainsPanicAsTypedException)
+{
+    const uint64_t before = RecoveryDomain::containedCount();
+    RecoveryDomain domain;
+    EXPECT_TRUE(RecoveryDomain::armed());
+    try {
+        panic("poisoned request on layer ", 3);
+        FAIL() << "panic() returned inside an armed domain";
+    } catch (const PanicException &e) {
+        EXPECT_STREQ(e.kind(), "panic");
+        EXPECT_EQ(e.message(), "poisoned request on layer 3");
+        EXPECT_STREQ(e.what(), "[panic] poisoned request on layer 3");
+    }
+    EXPECT_EQ(RecoveryDomain::containedCount(), before + 1);
+}
+
+TEST(RecoveryDomain, RequireThrowsInsideDomain)
+{
+    RecoveryDomain domain;
+    EXPECT_THROW(GENREUSE_REQUIRE(false, "invariant ", 7, " violated"),
+                 PanicException);
+}
+
+TEST(RecoveryDomain, NestingKeepsTheThreadArmed)
+{
+    EXPECT_FALSE(RecoveryDomain::armed());
+    {
+        RecoveryDomain outer;
+        EXPECT_TRUE(RecoveryDomain::armed());
+        {
+            RecoveryDomain inner;
+            EXPECT_TRUE(RecoveryDomain::armed());
+        }
+        // The outer domain still contains after the inner one exits.
+        EXPECT_TRUE(RecoveryDomain::armed());
+        EXPECT_THROW(panic("still contained"), PanicException);
+    }
+    EXPECT_FALSE(RecoveryDomain::armed());
+}
+
+TEST(RecoveryDomain, ArmedIsPerThread)
+{
+    // Containment must not leak across threads: a domain armed here
+    // leaves a sibling thread's panics fatal.
+    RecoveryDomain domain;
+    bool sibling_armed = true;
+    std::thread([&] { sibling_armed = RecoveryDomain::armed(); }).join();
+    EXPECT_FALSE(sibling_armed);
+}
+
+TEST(RecoveryDomain, FatalIsNeverContained)
+{
+    // fatal() is a user-configuration error, not a recoverable request
+    // failure: it exits even inside an armed domain.
+    ASSERT_DEATH_IF_SUPPORTED(
+        ([] {
+            RecoveryDomain domain;
+            fatal("unusable configuration");
+        })(),
+        "unusable configuration");
 }
 
 } // namespace

@@ -137,6 +137,93 @@ TEST(FaultPoint, StreamTargetGatesActiveOnTheThreadsStream)
     }
 }
 
+TEST(FaultPoint, ArmSpecParsesMultiEventSchedules)
+{
+    FaultSandbox sandbox;
+    ASSERT_TRUE(
+        faultpoint::armSpec("nan_activation@2:17,corrupt_cluster_ids@3:40")
+            .ok());
+    EXPECT_TRUE(faultpoint::anyArmed());
+    EXPECT_EQ(faultpoint::targetStream(faultpoint::Fault::NanActivation),
+              2);
+    EXPECT_EQ(
+        faultpoint::targetStream(faultpoint::Fault::CorruptClusterIds),
+        3);
+    EXPECT_EQ(faultpoint::seed(faultpoint::Fault::NanActivation), 1u);
+    // Unlisted faults stay disarmed.
+    EXPECT_EQ(faultpoint::targetStream(faultpoint::Fault::WorkerPanic),
+              -1);
+    EXPECT_FALSE(faultpoint::active(faultpoint::Fault::WorkerPanic));
+
+    // Per-event seeds combine with stream schedules.
+    ASSERT_TRUE(
+        faultpoint::armSpec("worker_panic:9@1,cluster_collapse:4").ok());
+    EXPECT_EQ(faultpoint::seed(faultpoint::Fault::WorkerPanic), 9u);
+    EXPECT_EQ(faultpoint::targetStream(faultpoint::Fault::WorkerPanic), 1);
+    EXPECT_EQ(faultpoint::seed(faultpoint::Fault::ClusterCollapse), 4u);
+    EXPECT_EQ(
+        faultpoint::targetStream(faultpoint::Fault::ClusterCollapse), -1);
+
+    faultpoint::disarm();
+    EXPECT_FALSE(faultpoint::anyArmed());
+    EXPECT_EQ(faultpoint::targetStream(faultpoint::Fault::WorkerPanic),
+              -1);
+}
+
+TEST(FaultPoint, ScheduledEventFiresAtExactlyTheAtThCheck)
+{
+    FaultSandbox sandbox;
+    // ":3" = fire at the 3rd eligible check on stream 1, then never
+    // again — the deterministic "poison the N-th request" primitive.
+    ASSERT_TRUE(faultpoint::armSpec("worker_panic@1:3").ok());
+    streamtag::Scoped stream(1);
+    EXPECT_FALSE(faultpoint::active(faultpoint::Fault::WorkerPanic));
+    EXPECT_FALSE(faultpoint::active(faultpoint::Fault::WorkerPanic));
+    EXPECT_TRUE(faultpoint::active(faultpoint::Fault::WorkerPanic));
+    EXPECT_FALSE(faultpoint::active(faultpoint::Fault::WorkerPanic));
+    EXPECT_FALSE(faultpoint::active(faultpoint::Fault::WorkerPanic));
+}
+
+TEST(FaultPoint, ScheduledEventCountsOnlyEligibleChecks)
+{
+    FaultSandbox sandbox;
+    ASSERT_TRUE(faultpoint::armSpec("nan_activation@2:2").ok());
+    {
+        // Checks on the wrong stream are not eligible and must not
+        // advance the schedule.
+        streamtag::Scoped wrong(1);
+        for (int i = 0; i < 5; ++i)
+            EXPECT_FALSE(
+                faultpoint::active(faultpoint::Fault::NanActivation));
+    }
+    {
+        streamtag::Scoped right(2);
+        EXPECT_FALSE(
+            faultpoint::active(faultpoint::Fault::NanActivation));
+        EXPECT_TRUE(
+            faultpoint::active(faultpoint::Fault::NanActivation));
+        EXPECT_FALSE(
+            faultpoint::active(faultpoint::Fault::NanActivation));
+    }
+}
+
+TEST(FaultPoint, ArmSpecRejectsBadSchedules)
+{
+    FaultSandbox sandbox;
+    // A rejected schedule must leave nothing half-armed.
+    for (const char *bad :
+         {"", ",", "nan_activation,", ",nan_activation",
+          "nan_activation,,worker_panic", "nan_activation,nope",
+          "nan_activation@2:0", "nan_activation@2:abc",
+          "nan_activation@2:", "worker_panic:1:2"}) {
+        SCOPED_TRACE(bad);
+        Status s = faultpoint::armSpec(bad);
+        EXPECT_FALSE(s.ok());
+        EXPECT_EQ(s.code(), ErrorCode::InvalidArgument);
+        EXPECT_FALSE(faultpoint::anyArmed());
+    }
+}
+
 TEST(FaultPoint, ScopedDisarms)
 {
     FaultSandbox sandbox;

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "common/faultpoint.h"
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "common/overload.h"
 #include "core/guard.h"
 #include "core/reuse_conv.h"
 #include "core/stream_context.h"
@@ -31,7 +33,10 @@ namespace genreuse {
 namespace {
 
 using serve::AdmitPolicy;
+using serve::Health;
 using serve::InferenceStream;
+using serve::Request;
+using serve::RequestQueue;
 using serve::ServeConfig;
 using serve::ServeEngine;
 using serve::ServeResult;
@@ -357,6 +362,406 @@ TEST(ServeEngine, EightStreamsShareOneFittedAlgo)
         th.join();
     for (size_t t = 0; t < kThreads; ++t)
         EXPECT_EQ(ok[t], static_cast<int>(kIters)) << "stream " << t + 1;
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducerWithStatus)
+{
+    // The wedge pin (PR 8 satellite): a producer blocked in push() on a
+    // full queue must wake with Unavailable when the queue closes —
+    // before the fix it waited on a size predicate that could never be
+    // satisfied again.
+    RequestQueue q(/*capacity=*/1);
+    ASSERT_TRUE(q.push(Request{}).ok());
+
+    Status blocked_status;
+    std::atomic<bool> started{false};
+    std::thread producer([&] {
+        started = true;
+        blocked_status = q.push(Request{});
+    });
+    while (!started)
+        std::this_thread::yield();
+    sleepMs(20); // let the producer actually block on the full queue
+    q.close();
+    producer.join();
+    EXPECT_FALSE(blocked_status.ok());
+    EXPECT_EQ(blocked_status.code(), ErrorCode::Unavailable);
+
+    // Closed-queue admission fails with Unavailable on both paths.
+    EXPECT_EQ(q.push(Request{}).code(), ErrorCode::Unavailable);
+    EXPECT_EQ(q.tryPush(Request{}).code(), ErrorCode::Unavailable);
+    // The request admitted before close still drains.
+    EXPECT_TRUE(q.pop().has_value());
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+/** Echo stream that counts how many requests actually executed. */
+class CountingStream : public InferenceStream
+{
+  public:
+    CountingStream(std::atomic<int> &executed, int delay_ms)
+        : executed_(executed), delayMs_(delay_ms)
+    {
+    }
+
+    Tensor
+    infer(const Tensor &input, StreamContext &) override
+    {
+        ++executed_;
+        if (delayMs_ > 0)
+            sleepMs(delayMs_);
+        return input;
+    }
+
+  private:
+    std::atomic<int> &executed_;
+    int delayMs_;
+};
+
+TEST(ServeEngine, ExpiredRequestsAreShedWithStatusNotExecuted)
+{
+    std::atomic<int> executed{0};
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 16;
+    ServeEngine engine(cfg, [&](uint32_t) {
+        return std::make_unique<CountingStream>(executed, /*delay_ms=*/30);
+    });
+
+    Tensor input({1, 1});
+    // One deadline-free request occupies the worker for 30 ms while
+    // four requests whose 1 ns deadline is already unmeetable queue
+    // behind it.
+    auto busy = engine.submit(input);
+    ASSERT_TRUE(busy.has_value());
+    std::vector<std::future<ServeResult>> doomed;
+    for (int i = 0; i < 4; ++i) {
+        auto fut = engine.submit(input, /*deadline_ns=*/1);
+        ASSERT_TRUE(fut.has_value());
+        doomed.push_back(std::move(*fut));
+    }
+    EXPECT_TRUE(busy->get().status.ok());
+    for (auto &fut : doomed) {
+        ServeResult res = fut.get();
+        EXPECT_FALSE(res.status.ok());
+        EXPECT_EQ(res.status.code(), ErrorCode::DeadlineExceeded);
+        // Shed requests never ran: start == done.
+        EXPECT_EQ(res.startNs, res.doneNs);
+    }
+    EXPECT_EQ(executed.load(), 1); // only the deadline-free request ran
+    engine.drain();
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.shed, 4u);
+    EXPECT_EQ(st.completed, 5u); // shed requests still count as done
+    EXPECT_EQ(st.failed, 0u);    // shed is not a stream failure
+}
+
+/** Stream that panics on demand: inputs whose first element is
+ *  negative hit a GENREUSE_REQUIRE deep in the "model". */
+class PoisonableStream : public InferenceStream
+{
+  public:
+    Tensor
+    infer(const Tensor &input, StreamContext &) override
+    {
+        GENREUSE_REQUIRE(input.data()[0] >= 0.0f,
+                         "poisoned activation in request");
+        return input;
+    }
+};
+
+TEST(ServeEngine, PanicIsContainedToTheRequest)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 8;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<PoisonableStream>();
+    });
+
+    Tensor poison({1, 1});
+    poison.data()[0] = -1.0f;
+    auto bad = engine.submit(poison);
+    ASSERT_TRUE(bad.has_value());
+    ServeResult bad_res = bad->get();
+    EXPECT_FALSE(bad_res.status.ok());
+    EXPECT_EQ(bad_res.status.code(), ErrorCode::Internal);
+    EXPECT_NE(bad_res.status.message().find("contained panic"),
+              std::string::npos);
+    EXPECT_NE(bad_res.status.message().find("poisoned activation"),
+              std::string::npos);
+    // The failure is visible in the health state until the stream
+    // recovers (noteFailure runs before the future resolves).
+    EXPECT_EQ(engine.health(), Health::Degraded);
+
+    // The process (and the worker) survived: a clean request on the
+    // same stream succeeds and heals the engine.
+    Tensor clean({1, 1});
+    clean.data()[0] = 2.0f;
+    auto good = engine.submit(clean);
+    ASSERT_TRUE(good.has_value());
+    ServeResult good_res = good->get();
+    EXPECT_TRUE(good_res.status.ok());
+    EXPECT_TRUE(bitwiseEqual(good_res.output, clean));
+    EXPECT_EQ(engine.health(), Health::Healthy);
+
+    engine.drain(); // the future resolves before completed_ ticks
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.containedPanics, 1u);
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.quarantines, 0u); // one strike, below the K threshold
+}
+
+/** First factory generation always panics; later generations echo. */
+class GenerationalStream : public InferenceStream
+{
+  public:
+    explicit GenerationalStream(bool poisoned) : poisoned_(poisoned) {}
+
+    Tensor
+    infer(const Tensor &input, StreamContext &ctx) override
+    {
+        if (poisoned_)
+            panic("generation-1 stream is wedged on stream ", ctx.id());
+        return input;
+    }
+
+  private:
+    bool poisoned_;
+};
+
+TEST(ServeEngine, KStrikesQuarantineParkAndRespawnFreshStream)
+{
+    std::atomic<int> built{0};
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 8;
+    cfg.quarantineStrikes = 2;
+    ServeEngine engine(cfg, [&](uint32_t) {
+        const int generation = ++built;
+        return std::make_unique<GenerationalStream>(generation == 1);
+    });
+    ASSERT_EQ(built.load(), 1);
+
+    Tensor input({1, 1});
+    // Two strikes on the wedged generation-1 stream: both requests fail
+    // with a contained panic, the second trips the 2-strike quarantine
+    // and the factory builds a fresh replacement.
+    for (int i = 0; i < 2; ++i) {
+        auto fut = engine.submit(input);
+        ASSERT_TRUE(fut.has_value());
+        EXPECT_FALSE(fut->get().status.ok());
+    }
+    // The respawned generation-2 stream serves cleanly.
+    auto fut = engine.submit(input);
+    ASSERT_TRUE(fut.has_value());
+    EXPECT_TRUE(fut->get().status.ok());
+    EXPECT_EQ(built.load(), 2);
+
+    engine.drain(); // the future resolves before completed_ ticks
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.containedPanics, 2u);
+    EXPECT_EQ(st.quarantines, 1u);
+    EXPECT_EQ(st.respawns, 1u);
+    EXPECT_EQ(st.completed, 3u);
+}
+
+TEST(ServeEngine, OverloadControllerRaisesAndReleasesShedLevel)
+{
+    ASSERT_EQ(overload::level(), 0);
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 32;
+    cfg.overloadQueueDelayNs = 1'000'000; // 1 ms
+    cfg.overloadWindow = 2;
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>(/*delay_ms=*/5);
+    });
+
+    // 12 blocking requests on a 5 ms worker: every dequeue after the
+    // first waited >= 5 ms in the queue, far over the 1 ms threshold,
+    // so the controller must walk the ladder to its top level.
+    Tensor input({1, 1});
+    for (int i = 0; i < 12; ++i)
+        ASSERT_TRUE(engine.trySubmit(input, nullptr));
+    engine.drain();
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.overloadLevel, overload::kMaxLevel);
+    EXPECT_EQ(st.health, Health::Degraded);
+    EXPECT_EQ(overload::level(), overload::kMaxLevel);
+
+    // Shutdown releases the process-wide level: a dead engine must not
+    // keep the guard degraded.
+    engine.shutdown();
+    EXPECT_EQ(overload::level(), 0);
+    EXPECT_EQ(engine.stats().health, Health::Draining);
+}
+
+TEST(ServeEngine, HealthJsonCarriesSchemaAndPerStreamState)
+{
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.name = "hj";
+    ServeEngine engine(cfg, [](uint32_t) {
+        return std::make_unique<EchoStream>();
+    });
+    Tensor input({1, 1});
+    ASSERT_TRUE(engine.trySubmit(input, nullptr));
+    engine.drain();
+    const std::string json = engine.healthJson();
+    EXPECT_NE(json.find("\"schema\": \"genreuse.health/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"health\": \"healthy\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"hj-1\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"hj-2\""), std::string::npos);
+    EXPECT_NE(json.find("\"parked\": false"), std::string::npos);
+}
+
+// ---- Chaos soak (ctest label: chaos) ------------------------------------
+
+/**
+ * The chaos matrix: every registered fault point armed against stream
+ * 2 of a busy 4-worker engine. The process must survive every fault;
+ * faulted requests either succeed (the guard ladder absorbed the
+ * fault) or carry a Status (worker_panic), and requests served by
+ * non-faulted streams stay bit-identical to the clean sequential
+ * reference throughout.
+ */
+TEST(ChaosSoak, EveryFaultOnABusyEngineIsContained)
+{
+    ConvFixture f;
+    Tensor sample = f.sampleX();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    // Clean sequential reference (thread-default stream).
+    faultpoint::disarm();
+    GuardConfig gcfg;
+    gcfg.marginFactor = 1e9;
+    GuardedReuseConvAlgo ref(ReusePattern::conventional(geom, 8), gcfg,
+                             HashMode::Learned, 1);
+    ref.fit(sample, geom);
+    Tensor expected;
+    ref.multiplyInto(sample, w, geom, nullptr, expected);
+
+    for (const std::string &name : faultpoint::allFaultNames()) {
+        SCOPED_TRACE(name);
+        ASSERT_TRUE(faultpoint::armSpec(name + "@2").ok());
+
+        ServeConfig cfg;
+        cfg.workers = 4;
+        cfg.queueCapacity = 32;
+        ServeEngine engine(cfg, [&](uint32_t) {
+            return std::make_unique<GuardedConvStream>(sample, geom, w);
+        });
+
+        std::vector<std::future<ServeResult>> futs;
+        for (int i = 0; i < 24; ++i) {
+            auto fut = engine.submit(sample);
+            ASSERT_TRUE(fut.has_value());
+            futs.push_back(std::move(*fut));
+        }
+        size_t faulted_served = 0;
+        for (auto &fut : futs) {
+            ServeResult res = fut.get();
+            if (res.streamId == 2) {
+                ++faulted_served;
+                if (name == "worker_panic")
+                    EXPECT_FALSE(res.status.ok());
+                else
+                    EXPECT_TRUE(res.status.ok()) << res.status.message();
+            } else {
+                EXPECT_TRUE(res.status.ok()) << res.status.message();
+                EXPECT_TRUE(bitwiseEqual(res.output, expected))
+                    << "non-faulted stream " << res.streamId
+                    << " diverged under " << name;
+            }
+        }
+        engine.shutdown();
+        faultpoint::disarm();
+        // With 24 blocking requests on 4 workers every stream serves
+        // some — the fault was actually exercised.
+        EXPECT_GT(faulted_served, 0u);
+    }
+}
+
+/**
+ * Multi-event schedule soak: two of four streams faulted at once
+ * (stream 2's activations NaN-poisoned, stream 3's worker panicking on
+ * every request). The engine must keep all four streams draining,
+ * quarantine and respawn stream 3 on schedule, and the two untouched
+ * streams must stay bit-identical to the sequential reference.
+ */
+TEST(ChaosSoak, MultiEventScheduleFaultsTwoStreamsOthersBitIdentical)
+{
+    ConvFixture f;
+    Tensor sample = f.sampleX();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    faultpoint::disarm();
+    GuardConfig gcfg;
+    gcfg.marginFactor = 1e9;
+    GuardedReuseConvAlgo ref(ReusePattern::conventional(geom, 8), gcfg,
+                             HashMode::Learned, 1);
+    ref.fit(sample, geom);
+    Tensor expected;
+    ref.multiplyInto(sample, w, geom, nullptr, expected);
+
+    ASSERT_TRUE(
+        faultpoint::armSpec("nan_activation@2,worker_panic@3").ok());
+
+    ServeConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 64;
+    ServeEngine engine(cfg, [&](uint32_t) {
+        return std::make_unique<GuardedConvStream>(sample, geom, w);
+    });
+
+    std::vector<std::future<ServeResult>> futs;
+    for (int i = 0; i < 40; ++i) {
+        auto fut = engine.submit(sample);
+        ASSERT_TRUE(fut.has_value());
+        futs.push_back(std::move(*fut));
+    }
+    size_t on_nan_stream = 0, on_panic_stream = 0;
+    for (auto &fut : futs) {
+        ServeResult res = fut.get();
+        switch (res.streamId) {
+          case 2:
+            // NaN-poisoned activations: the guard ladder absorbs the
+            // fault (exact fallback), the request still succeeds.
+            ++on_nan_stream;
+            EXPECT_TRUE(res.status.ok()) << res.status.message();
+            EXPECT_EQ(res.rung, GuardRung::ExactFallback);
+            break;
+          case 3:
+            ++on_panic_stream;
+            EXPECT_FALSE(res.status.ok());
+            break;
+          default:
+            EXPECT_TRUE(res.status.ok()) << res.status.message();
+            EXPECT_TRUE(bitwiseEqual(res.output, expected))
+                << "untouched stream " << res.streamId << " diverged";
+            break;
+        }
+    }
+    EXPECT_GT(on_nan_stream, 0u);
+    EXPECT_GT(on_panic_stream, 0u);
+    engine.shutdown();
+    faultpoint::disarm();
+
+    // Stream 3 never succeeds, so its strikes accrue consecutively:
+    // every quarantineStrikes-th contained panic parks and respawns.
+    ServeStats st = engine.stats();
+    ServeConfig defaults;
+    EXPECT_EQ(st.containedPanics, on_panic_stream);
+    EXPECT_EQ(st.failed, on_panic_stream);
+    EXPECT_EQ(st.quarantines,
+              on_panic_stream / defaults.quarantineStrikes);
+    EXPECT_EQ(st.respawns, st.quarantines);
+    EXPECT_EQ(st.completed, 40u);
 }
 
 TEST(LoadGen, PercentilesInterpolate)
