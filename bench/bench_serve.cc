@@ -237,7 +237,14 @@ main(int argc, char **argv)
     json.record("p50_ms", rep.p50Ms);
     json.record("p95_ms", rep.p95Ms);
     json.record("p99_ms", rep.p99Ms);
+    json.record("p999_ms", rep.p999Ms);
     json.record("mean_ms", rep.meanMs);
+    // Where the latency went: queue wait vs. service, from the
+    // engine's per-request timestamps.
+    json.record("queue_wait_mean_ms", rep.queueWaitMeanMs);
+    json.record("queue_wait_p95_ms", rep.queueWaitP95Ms);
+    json.record("service_mean_ms", rep.serviceMeanMs);
+    json.record("service_p95_ms", rep.serviceP95Ms);
     json.record("throughput_rps", rep.throughputRps);
 
     // --- Degraded-mode latency (PR 8) -----------------------------------

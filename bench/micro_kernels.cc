@@ -18,7 +18,9 @@
 #include "common/faultpoint.h"
 #include "common/logging.h"
 #include "common/profiler.h"
+#include "common/rtrace.h"
 #include "common/simd.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/fc_reuse.h"
 #include "core/guard.h"
@@ -354,6 +356,36 @@ BM_EventlogGateDisabled(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EventlogGateDisabled);
+
+void
+BM_RtraceGateDisabled(benchmark::State &state)
+{
+    // A rtrace::RequestScope with request tracing off (the default):
+    // construction and destruction must reduce to one relaxed atomic
+    // load, matching the trace/fault/profiler/eventlog gate criterion.
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        rtrace::RequestScope scope(acc);
+        acc += 1;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_RtraceGateDisabled);
+
+void
+BM_TelemetryGateDisabled(benchmark::State &state)
+{
+    // telemetry::enabled() with no exporter running (the default):
+    // callers branching on it must pay one relaxed atomic load.
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        if (telemetry::enabled())
+            acc += 100;
+        acc += 1;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_TelemetryGateDisabled);
 
 void
 BM_SyntheticCifarGeneration(benchmark::State &state)

@@ -19,12 +19,20 @@
  *   genreuse.bench/1          BENCH records (plus their embedded
  *                             guard/profile/metrics/events extras)
  *   genreuse.bench-suite/1    merged BENCH suites
+ *   genreuse.rtrace/1         request traces (GENREUSE_RTRACE): top-K
+ *                             slowest requests with per-span breakdown
+ *                             (--slowest K, default 10)
+ *   genreuse.tsdb/1           telemetry JSONL series
+ *                             (GENREUSE_TELEMETRY): summary + final
+ *                             dashboard, or a live tailing dashboard
+ *                             with --follow
  *
  * With --baseline, BENCH results are compared against the baseline
  * suite/record and the top regressions are listed.
  *
  * Usage:
- *   genreuse_inspect [--baseline BENCH.json] [--last N] file.json...
+ *   genreuse_inspect [--baseline BENCH.json] [--last N] [--slowest K]
+ *       [--follow [--ticks N]] file.json...
  *
  * Typical flows:
  *   GENREUSE_FAULT=nan_activation ./build/examples/mcu_deploy
@@ -32,18 +40,25 @@
  *
  *   ./build/examples/genreuse_inspect --baseline build/BENCH_pr4.json \
  *       build/BENCH_pr5.json
+ *
+ *   ./build/examples/genreuse_serve --telemetry serve.tsdb.jsonl &
+ *   ./build/examples/genreuse_inspect --follow serve.tsdb.jsonl
  */
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/args.h"
 #include "common/json.h"
+#include "common/status.h"
 #include "common/table.h"
 #include "core/guard.h"
 
@@ -124,9 +139,15 @@ eventDetail(const JsonValue &e)
         return "fault=" + str(&e, "fault", "?");
     if (type == "panic")
         return std::string(n != 0.0 ? "contained" : "fatal");
-    if (type == "request_shed")
-        return "request=" + fmt("%.0f", n) + " overdue=" +
-               fmt("%.2f", v0) + "ms";
+    if (type == "request_shed") {
+        std::string out = "request=" + fmt("%.0f", n) + " overdue=" +
+                          fmt("%.2f", v0) + "ms";
+        // v1 = remaining deadline slack at dequeue in ns (negative:
+        // how far past its deadline the request already was).
+        if (v1 != 0.0)
+            out += " slack=" + fmt("%.2f", v1 / 1e6) + "ms";
+        return out;
+    }
     if (type == "stream_quarantine")
         return "strikes=" + fmt("%.0f", n) +
                (k != 0.0 ? " respawned" : " kept");
@@ -239,6 +260,46 @@ renderEvents(const JsonValue &doc, size_t last_n)
     if (timeline_rows > 0) {
         std::printf("\n  guard / drift / fault timeline:\n%s",
                     tl.render().c_str());
+    }
+
+    // Shed-severity ranking: request_shed events carry the remaining
+    // deadline slack at dequeue in v1 (negative ns — how overdue the
+    // request already was). Sorting by it, most negative first, shows
+    // which victims of an overload were hurt worst.
+    std::vector<const JsonValue *> sheds;
+    for (const JsonValue &e : events->items)
+        if (str(&e, "type") == "request_shed")
+            sheds.push_back(&e);
+    if (!sheds.empty()) {
+        std::sort(sheds.begin(), sheds.end(),
+                  [](const JsonValue *a, const JsonValue *b) {
+                      return num(a, "v1") < num(b, "v1");
+                  });
+        std::printf("\n  shed requests by severity (most overdue "
+                    "first):\n");
+        TextTable st;
+        if (multi_stream)
+            st.setHeader({"request", "t(ms)", "strm", "slack(ms)",
+                          "overdue(ms)"});
+        else
+            st.setHeader({"request", "t(ms)", "slack(ms)",
+                          "overdue(ms)"});
+        const size_t shown = std::min<size_t>(10, sheds.size());
+        for (size_t i = 0; i < shown; ++i) {
+            const JsonValue &e = *sheds[i];
+            std::vector<std::string> row{
+                fmt("%.0f", num(&e, "n")),
+                fmt("%.3f", (num(&e, "tsNs") - t0) / 1e6)};
+            if (multi_stream)
+                row.push_back(streamCell(e));
+            row.push_back(fmt("%.3f", num(&e, "v1") / 1e6));
+            row.push_back(fmt("%.2f", num(&e, "v0")));
+            st.addRow(std::move(row));
+        }
+        std::printf("%s", st.render().c_str());
+        if (sheds.size() > shown)
+            std::printf("  (+%zu more shed events)\n",
+                        sheds.size() - shown);
     }
 
     // Last-N table: the final approach, every event type.
@@ -427,6 +488,316 @@ renderHealth(const JsonValue &doc)
     std::printf("\n");
 }
 
+// ---- genreuse.rtrace/1 ---------------------------------------------------
+
+/** Top-K slowest requests with the per-span breakdown — the postmortem
+ *  answer to "why was request N slow": admission backpressure, queue
+ *  wait, the forward itself, or guard verification. */
+void
+renderRtrace(const JsonValue &doc, size_t slowest_k)
+{
+    std::printf("request trace: %.0f recorded, %.0f overwritten (ring "
+                "%.0f) | %.0f sampled for Chrome trace at rate 1/%.0f "
+                "(%.0f dropped)\n",
+                num(&doc, "recorded"), num(&doc, "overwritten"),
+                num(&doc, "capacity"), num(&doc, "sampled"),
+                num(&doc, "sampleRate"), num(&doc, "sampledDropped"));
+    const JsonValue *records = doc.find("records");
+    if (records == nullptr || !records->isArray() ||
+        records->items.empty()) {
+        std::printf("  (no request records)\n\n");
+        return;
+    }
+
+    // Aggregate time split first: where did ALL recorded requests'
+    // time go? ("other" = total - admit - queue - forward: completion
+    // bookkeeping, histogram updates, callback dispatch.)
+    double tot = 0.0, admit = 0.0, queue = 0.0, fwd = 0.0, vfy = 0.0;
+    size_t shed_count = 0;
+    for (const JsonValue &r : records->items) {
+        tot += num(&r, "totalNs");
+        admit += num(&r, "admitNs");
+        queue += num(&r, "queueNs");
+        fwd += num(&r, "forwardNs");
+        vfy += num(&r, "verifyNs");
+        if (const JsonValue *s = r.find("shed"))
+            if (s->isBool() && s->boolean)
+                shed_count++;
+    }
+    const double denom = std::max(1.0, tot);
+    std::printf("  time split over %zu records: admit %.1f%%, queue "
+                "wait %.1f%%, forward %.1f%% (verify %.1f%%), other "
+                "%.1f%% | %zu shed\n",
+                records->items.size(), 100.0 * admit / denom,
+                100.0 * queue / denom, 100.0 * fwd / denom,
+                100.0 * vfy / denom,
+                100.0 * (tot - admit - queue - fwd) / denom, shed_count);
+
+    std::vector<const JsonValue *> sorted;
+    for (const JsonValue &r : records->items)
+        sorted.push_back(&r);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const JsonValue *a, const JsonValue *b) {
+                  return num(a, "totalNs") > num(b, "totalNs");
+              });
+    const size_t top = std::min(slowest_k, sorted.size());
+    std::printf("\n  %zu slowest requests:\n", top);
+    TextTable t;
+    t.setHeader({"request", "strm", "total ms", "admit ms", "queue ms",
+                 "forward ms", "verify ms", "slack ms", "status",
+                 "rung"});
+    for (size_t i = 0; i < top; ++i) {
+        const JsonValue *r = sorted[i];
+        const JsonValue *slack = r->find("slackNs");
+        const JsonValue *shed = r->find("shed");
+        const bool is_shed =
+            shed != nullptr && shed->isBool() && shed->boolean;
+        const int code = static_cast<int>(num(r, "status"));
+        std::string status = errorCodeName(static_cast<ErrorCode>(code));
+        if (is_shed)
+            status += " (shed)";
+        const int rung = static_cast<int>(num(r, "rung"));
+        t.addRow({fmt("%.0f", num(r, "id")),
+                  num(r, "stream") == 0.0
+                      ? std::string("-")
+                      : "s" + fmt("%.0f", num(r, "stream")),
+                  fmt("%.3f", num(r, "totalNs") / 1e6),
+                  fmt("%.3f", num(r, "admitNs") / 1e6),
+                  fmt("%.3f", num(r, "queueNs") / 1e6),
+                  fmt("%.3f", num(r, "forwardNs") / 1e6),
+                  fmt("%.3f", num(r, "verifyNs") / 1e6),
+                  slack != nullptr && slack->isNumber()
+                      ? fmt("%.3f", slack->number / 1e6)
+                      : std::string("-"),
+                  status,
+                  is_shed ? std::string("-")
+                          : rungName(static_cast<GuardRung>(std::min(
+                                rung, static_cast<int>(
+                                          GuardRung::ExactFallback))))});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+// ---- genreuse.tsdb/1 (telemetry JSONL) -----------------------------------
+
+/** Reads a JSONL telemetry series: one parsed document per non-empty
+ *  line, skipping (and counting) malformed ones — a live exporter may
+ *  be mid-write on the final line. */
+std::vector<JsonValue>
+readTsdbLines(const std::string &path, size_t *malformed = nullptr)
+{
+    std::vector<JsonValue> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Expected<JsonValue> parsed = parseJson(line);
+        if (parsed.ok())
+            out.push_back(std::move(*parsed));
+        else if (malformed != nullptr)
+            ++(*malformed);
+    }
+    return out;
+}
+
+/** True when @p path starts with a genreuse.tsdb/1 line — the JSONL
+ *  schema that must NOT go through whole-file parseJsonFile. */
+bool
+isTsdbFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    return line.find("\"schema\":\"genreuse.tsdb/1\"") !=
+           std::string::npos;
+}
+
+/** "+12.3/s" from a counter delta between consecutive samples ("" when
+ *  no previous sample or no time elapsed). */
+std::string
+rateCell(const JsonValue *prev, const char *group, const std::string &key,
+         double cur, double dt_s)
+{
+    if (prev == nullptr || dt_s <= 0.0)
+        return "";
+    // Empty group = the key lives directly on @p prev (source objects
+    // are flat; the metrics block nests counters/gauges).
+    const JsonValue *g =
+        (group == nullptr || *group == '\0') ? prev : prev->find(group);
+    const double before = g != nullptr ? num(g, key.c_str()) : 0.0;
+    return " (" + fmt("%+.1f", (cur - before) / dt_s) + "/s)";
+}
+
+/** One telemetry sample as a dashboard. @p prev (may be null) supplies
+ *  counter deltas for rates; both are full genreuse.tsdb/1 lines. */
+void
+renderTsdbSample(const JsonValue *prev, const JsonValue &cur)
+{
+    const double dt_s =
+        prev != nullptr
+            ? (num(&cur, "tsNs") - num(prev, "tsNs")) / 1e9
+            : 0.0;
+    std::printf("sample seq=%.0f", num(&cur, "seq"));
+    const std::string reason = str(&cur, "reason");
+    if (!reason.empty())
+        std::printf(" (%s)", reason.c_str());
+    if (dt_s > 0.0)
+        std::printf("  +%.2fs since previous", dt_s);
+    std::printf("\n");
+
+    // Registered sources: the serve engine's source is recognized by
+    // its "health" key and rendered as an operator dashboard; anything
+    // else gets a generic numeric dump.
+    const JsonValue *srcs = cur.find("sources");
+    const JsonValue *prev_srcs =
+        prev != nullptr ? prev->find("sources") : nullptr;
+    if (srcs != nullptr && srcs->isObject()) {
+        for (const auto &[name, src] : srcs->members) {
+            const JsonValue *psrc =
+                prev_srcs != nullptr ? prev_srcs->find(name.c_str())
+                                     : nullptr;
+            if (src.find("health") != nullptr) {
+                std::printf("  serve '%s': %s", name.c_str(),
+                            str(&src, "health", "?").c_str());
+                if (num(&src, "overloadLevel") > 0.0)
+                    std::printf(" (overload level %.0f)",
+                                num(&src, "overloadLevel"));
+                std::printf(" | queue %.0f/%.0f, inflight %.0f, "
+                            "workers %.0f\n",
+                            num(&src, "queueDepth"),
+                            num(&src, "queueCapacity"),
+                            num(&src, "inflight"),
+                            num(&src, "workers"));
+                std::printf("    latency p50 %.2fms p95 %.2fms p99 "
+                            "%.2fms p99.9 %.2fms | queue-wait p95 "
+                            "%.2fms, service p95 %.2fms\n",
+                            num(&src, "p50Ms"), num(&src, "p95Ms"),
+                            num(&src, "p99Ms"), num(&src, "p999Ms"),
+                            num(&src, "queueWaitP95Ms"),
+                            num(&src, "serviceP95Ms"));
+                std::printf("    accepted %.0f%s, completed %.0f%s, "
+                            "rejected %.0f, shed %.0f, failed %.0f\n",
+                            num(&src, "accepted"),
+                            rateCell(psrc, "", "accepted",
+                                     num(&src, "accepted"), dt_s)
+                                .c_str(),
+                            num(&src, "completed"),
+                            rateCell(psrc, "", "completed",
+                                     num(&src, "completed"), dt_s)
+                                .c_str(),
+                            num(&src, "rejected"), num(&src, "shed"),
+                            num(&src, "failed"));
+                const JsonValue *streams = src.find("streams");
+                if (streams != nullptr && streams->isArray()) {
+                    std::printf("    streams:");
+                    for (const JsonValue &s : streams->items) {
+                        const JsonValue *parked = s.find("parked");
+                        std::printf(" s%.0f[strikes=%.0f%s]",
+                                    num(&s, "id"), num(&s, "strikes"),
+                                    parked != nullptr &&
+                                            parked->isBool() &&
+                                            parked->boolean
+                                        ? " PARKED"
+                                        : "");
+                    }
+                    std::printf("\n");
+                }
+            } else {
+                std::printf("  source '%s':", name.c_str());
+                for (const auto &[k, v] : src.members)
+                    if (v.isNumber())
+                        std::printf(" %s=%.6g", k.c_str(), v.number);
+                std::printf("\n");
+            }
+        }
+    }
+
+    const JsonValue *metrics = cur.find("metrics");
+    if (metrics == nullptr)
+        return;
+    const JsonValue *prev_metrics =
+        prev != nullptr ? prev->find("metrics") : nullptr;
+    const JsonValue *counters = metrics->find("counters");
+    if (counters != nullptr && counters->isObject() &&
+        !counters->members.empty()) {
+        std::printf("  counters:\n");
+        for (const auto &[k, v] : counters->members)
+            std::printf("    %-36s %.6g%s\n", k.c_str(),
+                        v.numberOr(0.0),
+                        rateCell(prev_metrics, "counters", k,
+                                 v.numberOr(0.0), dt_s)
+                            .c_str());
+    }
+    const JsonValue *gauges = metrics->find("gauges");
+    if (gauges != nullptr && gauges->isObject() &&
+        !gauges->members.empty()) {
+        std::printf("  gauges:\n");
+        for (const auto &[k, v] : gauges->members)
+            std::printf("    %-36s %.6g\n", k.c_str(), v.numberOr(0.0));
+    }
+}
+
+void
+renderTsdb(const std::string &path)
+{
+    size_t malformed = 0;
+    const std::vector<JsonValue> lines = readTsdbLines(path, &malformed);
+    if (lines.empty()) {
+        std::printf("telemetry series: empty\n\n");
+        return;
+    }
+    const double span_s =
+        (num(&lines.back(), "tsNs") - num(&lines.front(), "tsNs")) / 1e9;
+    std::printf("telemetry series: %zu samples over %.2fs",
+                lines.size(), span_s);
+    if (malformed > 0)
+        std::printf(" (%zu malformed lines skipped)", malformed);
+    std::printf("\nfinal ");
+    renderTsdbSample(lines.size() >= 2 ? &lines[lines.size() - 2]
+                                       : nullptr,
+                     lines.back());
+    std::printf("\n");
+}
+
+/** --follow: poll the JSONL series and redraw a dashboard of the
+ *  newest sample (rates vs the one before it) every ~500ms. @p ticks
+ *  bounds the redraw count (0 = until killed). */
+int
+followTsdb(const std::string &path, size_t ticks)
+{
+    size_t tick = 0;
+    while (ticks == 0 || tick < ticks) {
+        size_t malformed = 0;
+        const std::vector<JsonValue> lines =
+            readTsdbLines(path, &malformed);
+        // ANSI clear + home; plain redraw otherwise so piped output
+        // stays readable.
+        std::printf("\033[H\033[2J");
+        std::printf("== genreuse_inspect --follow %s (tick %zu%s) ==\n",
+                    path.c_str(), tick + 1,
+                    ticks > 0 ? ("/" + fmt("%.0f",
+                                           static_cast<double>(ticks)))
+                                    .c_str()
+                              : "");
+        if (lines.empty()) {
+            std::printf("(waiting for first sample...)\n");
+        } else {
+            renderTsdbSample(lines.size() >= 2
+                                 ? &lines[lines.size() - 2]
+                                 : nullptr,
+                             lines.back());
+        }
+        std::fflush(stdout);
+        ++tick;
+        if (ticks == 0 || tick < ticks)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(500));
+    }
+    return 0;
+}
+
 // ---- genreuse.bench/1 (+ suites, + baseline diff) ------------------------
 
 /** lower-is-better result keys, mirroring bench_diff's classifier. */
@@ -555,17 +926,40 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+
+    // --follow takes the series path as its value ("--follow x.jsonl")
+    // or as a positional ("--follow --ticks 3 x.jsonl"); handle it
+    // before the positional-args gate.
+    if (args.has("follow")) {
+        std::string follow_path = args.getString("follow");
+        if (follow_path.empty() && !args.positional().empty())
+            follow_path = args.positional().front();
+        if (follow_path.empty()) {
+            std::fprintf(stderr, "genreuse_inspect: --follow needs a "
+                                 "genreuse.tsdb/1 JSONL path\n");
+            return 2;
+        }
+        return followTsdb(follow_path,
+                          static_cast<size_t>(std::max(
+                              0L, args.getInt("ticks", 0))));
+    }
+
     if (args.positional().empty()) {
         std::fprintf(stderr,
                      "usage: %s [--baseline BENCH.json] [--last N] "
+                     "[--slowest K] [--follow [--ticks N]] "
                      "file.json...\n"
                      "renders genreuse events/prof/trace/guard/metrics/"
-                     "bench artifacts as one report\n",
+                     "bench/rtrace/tsdb artifacts as one report;\n"
+                     "--follow tails a genreuse.tsdb/1 JSONL series as "
+                     "a live dashboard (--ticks bounds redraws)\n",
                      args.program().c_str());
         return 2;
     }
     const size_t last_n =
         static_cast<size_t>(std::max(1L, args.getInt("last", 20)));
+    const size_t slowest_k =
+        static_cast<size_t>(std::max(1L, args.getInt("slowest", 10)));
 
     // Baseline (optional): a BENCH record or merged suite to diff
     // against. Kept alive for the whole run; the index borrows nodes.
@@ -591,6 +985,14 @@ main(int argc, char **argv)
     std::vector<Regression> regressions;
     int rc = 0;
     for (const std::string &path : args.positional()) {
+        // Telemetry series are JSONL — whole-file parsing would choke
+        // on the second line, so sniff the first line and route.
+        if (isTsdbFile(path)) {
+            std::printf("==== %s [genreuse.tsdb/1] ====\n",
+                        path.c_str());
+            renderTsdb(path);
+            continue;
+        }
         Expected<JsonValue> parsed = parseJsonFile(path);
         if (!parsed.ok()) {
             std::fprintf(stderr, "genreuse_inspect: %s\n",
@@ -617,6 +1019,8 @@ main(int argc, char **argv)
             std::printf("\n");
         } else if (schema == "genreuse.health/1") {
             renderHealth(doc);
+        } else if (schema == "genreuse.rtrace/1") {
+            renderRtrace(doc, slowest_k);
         } else if (schema == "genreuse.bench/1") {
             renderBench(doc, baseline, regressions);
         } else if (schema == "genreuse.bench-suite/1") {

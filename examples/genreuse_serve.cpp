@@ -11,6 +11,15 @@
  *            [--poisson] [--events out.events.json]
  *            [--deadline 50ms] [--overload-delay 20ms]
  *            [--health out.health.json]
+ *            [--telemetry out.tsdb.jsonl[:interval]]
+ *            [--rtrace out.rtrace.json[:rate]]
+ *
+ * --telemetry streams genreuse.tsdb/1 JSONL samples while the run is
+ * live (tail with `genreuse_inspect --follow`); --rtrace records
+ * per-request span decompositions and writes a genreuse.rtrace/1
+ * artifact (slowest-request table via genreuse_inspect, Chrome trace
+ * events via chrome://tracing). Both mirror the GENREUSE_TELEMETRY /
+ * GENREUSE_RTRACE env hooks.
  *
  * Each worker owns one stream: a guarded reuse convolution fitted
  * with the same seed, so all streams are bit-identical replicas and
@@ -21,6 +30,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +38,8 @@
 #include "common/args.h"
 #include "common/eventlog.h"
 #include "common/metrics.h"
+#include "common/rtrace.h"
+#include "common/telemetry.h"
 #include "core/guard.h"
 #include "data/synthetic.h"
 #include "nn/conv2d.h"
@@ -105,6 +117,39 @@ main(int argc, char **argv)
     if (!events_path.empty())
         eventlog::setEnabled(true);
 
+    // Live telemetry: start the exporter before the engine exists so
+    // the series brackets its whole lifetime (the engine registers its
+    // source at construction).
+    const std::string telemetry_spec = args.getString("telemetry");
+    if (!telemetry_spec.empty()) {
+        Status s = telemetry::startFromSpec(telemetry_spec);
+        if (!s.ok()) {
+            std::fprintf(stderr, "--telemetry: %s\n",
+                         s.message().c_str());
+            return 2;
+        }
+    }
+
+    // Request tracing: "<path>[:rate]", same grammar as GENREUSE_RTRACE.
+    std::string rtrace_path = args.getString("rtrace");
+    uint64_t rtrace_rate = 1;
+    if (!rtrace_path.empty()) {
+        const size_t colon = rtrace_path.rfind(':');
+        if (colon != std::string::npos &&
+            colon + 1 < rtrace_path.size()) {
+            const std::string suffix = rtrace_path.substr(colon + 1);
+            bool digits = !suffix.empty();
+            for (char c : suffix)
+                digits = digits && c >= '0' && c <= '9';
+            if (digits) {
+                rtrace_rate = std::strtoull(suffix.c_str(), nullptr, 10);
+                rtrace_path = rtrace_path.substr(0, colon);
+            }
+        }
+        rtrace::setExport(rtrace_path, rtrace_rate);
+        rtrace::setEnabled(true);
+    }
+
     SyntheticConfig data_cfg;
     data_cfg.numSamples = 8;
     Dataset data = makeSyntheticCifar(data_cfg);
@@ -125,8 +170,12 @@ main(int argc, char **argv)
     std::printf("\ncompleted %zu/%zu (rejected %zu)\n", rep.completed,
                 rep.offered, rep.rejected);
     std::printf("latency p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  "
-                "max %.2f ms\n",
-                rep.p50Ms, rep.p95Ms, rep.p99Ms, rep.maxMs);
+                "p99.9 %.2f ms  max %.2f ms\n",
+                rep.p50Ms, rep.p95Ms, rep.p99Ms, rep.p999Ms, rep.maxMs);
+    std::printf("breakdown: queue wait mean %.2f ms / p95 %.2f ms | "
+                "service mean %.2f ms / p95 %.2f ms\n",
+                rep.queueWaitMeanMs, rep.queueWaitP95Ms,
+                rep.serviceMeanMs, rep.serviceP95Ms);
     std::printf("throughput %.1f rps over %.0f ms\n", rep.throughputRps,
                 rep.wallMs);
 
@@ -170,6 +219,28 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(st.containedPanics),
                 static_cast<unsigned long long>(st.quarantines),
                 static_cast<unsigned long long>(st.respawns));
+    std::printf("        engine-side latency (HDR) p50 %.2f ms  p95 "
+                "%.2f ms  p99 %.2f ms  p99.9 %.2f ms\n",
+                st.p50Ms, st.p95Ms, st.p99Ms, st.p999Ms);
+
+    if (!telemetry_spec.empty()) {
+        // path() (spec minus any :interval suffix) goes away at stop().
+        const std::string tsdb_path = telemetry::path();
+        telemetry::stop(); // final shutdown-flush line, then close
+        std::printf("telemetry series -> %s (live view: "
+                    "genreuse_inspect --follow %s)\n",
+                    tsdb_path.c_str(), tsdb_path.c_str());
+    }
+    if (!rtrace_path.empty()) {
+        // Write now (and disarm the exit hook) so the artifact exists
+        // before the final message points at it.
+        rtrace::writeJson(rtrace_path);
+        rtrace::setExport("");
+        std::printf("request trace -> %s (slowest requests: "
+                    "genreuse_inspect --slowest 10 %s; timeline: "
+                    "chrome://tracing)\n",
+                    rtrace_path.c_str(), rtrace_path.c_str());
+    }
 
     if (!events_path.empty()) {
         eventlog::writeJson(events_path, "genreuse_serve");

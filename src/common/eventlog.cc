@@ -10,6 +10,7 @@
 #include "json.h"
 #include "logging.h"
 #include "metrics.h"
+#include "rtrace.h"
 #include "streamtag.h"
 
 namespace genreuse {
@@ -88,6 +89,7 @@ struct Slot
     std::atomic<uint64_t> tsNs{0};
     std::atomic<double> d0{0.0}, d1{0.0}, d2{0.0};
     std::atomic<uint32_t> u32{0};
+    std::atomic<uint32_t> req{0};
     std::atomic<uint16_t> tag{0};
     std::atomic<uint16_t> stream{0};
     std::atomic<uint8_t> type{0};
@@ -214,6 +216,8 @@ detail::recordSlow(Type type, uint16_t tag, double d0, double d1, double d2,
     s.d1.store(d1, std::memory_order_relaxed);
     s.d2.store(d2, std::memory_order_relaxed);
     s.u32.store(u32, std::memory_order_relaxed);
+    s.req.store(static_cast<uint32_t>(rtrace::currentRequestId()),
+                std::memory_order_relaxed);
     s.tag.store(tag, std::memory_order_relaxed);
     s.stream.store(streamtag::current(), std::memory_order_relaxed);
     s.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
@@ -288,6 +292,7 @@ snapshot()
         e.d1 = s.d1.load(std::memory_order_relaxed);
         e.d2 = s.d2.load(std::memory_order_relaxed);
         e.u32 = s.u32.load(std::memory_order_relaxed);
+        e.req = s.req.load(std::memory_order_relaxed);
         e.tag = s.tag.load(std::memory_order_relaxed);
         e.stream = s.stream.load(std::memory_order_relaxed);
         e.type = static_cast<Type>(s.type.load(std::memory_order_relaxed));
@@ -344,6 +349,10 @@ toJson(const std::string &reason)
         // unknown keys, and single-stream dumps are byte-identical.
         if (e.stream != 0)
             w.key("stream").value(static_cast<uint64_t>(e.stream));
+        // Likewise additive: stamped only while request tracing is
+        // armed, so untraced dumps stay byte-identical.
+        if (e.req != 0)
+            w.key("req").value(static_cast<uint64_t>(e.req));
         if (e.type == Type::FaultFire)
             w.key("fault").value(faultpoint::faultName(
                 static_cast<faultpoint::Fault>(e.a8)));

@@ -55,7 +55,9 @@
  *   Panic          tag = panic message, u32 = 1 when contained by a
  *                  RecoveryDomain (the only kind journaled today)
  *   RequestShed    d0 = ms past the deadline at dequeue,
- *                  u32 = low 32 bits of the request id
+ *                  d1 = remaining deadline slack in ns at dequeue
+ *                  (negative — the shed severity genreuse_inspect
+ *                  ranks by), u32 = low 32 bits of the request id
  *   StreamQuarantine u32 = consecutive strikes, a8 = 1 when a
  *                  replacement worker was respawned
  *   Health         a8 = serve::Health state entered, u32 = overload
@@ -66,7 +68,11 @@
  * (mirroring trace::TraceScope). Every event additionally carries the
  * recording thread's stream id (common/streamtag.h) so concurrent
  * serve streams demux in a single dump; 0 means "no stream" and is
- * omitted from the JSON.
+ * omitted from the JSON. When request tracing (common/rtrace.h) is
+ * armed, events also carry the low 32 bits of the request id
+ * executing on the recording thread — so a blackbox dump ties every
+ * journaled event back to the request that caused it (0 = none,
+ * omitted from the JSON).
  */
 
 #ifndef GENREUSE_COMMON_EVENTLOG_H
@@ -112,6 +118,8 @@ struct Event
     uint64_t tsNs = 0; //!< steady-clock ns since the process epoch
     double d0 = 0.0, d1 = 0.0, d2 = 0.0;
     uint32_t u32 = 0;
+    uint32_t req = 0;    //!< low 32 bits of the in-flight request id
+                         //!< (rtrace::currentRequestId(); 0 = none)
     uint16_t tag = 0;    //!< interned string id (see tagName())
     uint16_t stream = 0; //!< streamtag::current() at record time (0 = none)
     Type type = Type::NumTypes;

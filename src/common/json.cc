@@ -48,6 +48,8 @@ JsonWriter::escape(const std::string &s)
 void
 JsonWriter::newlineIndent()
 {
+    if (compact_)
+        return;
     out_ << '\n';
     for (size_t i = 0; i < hasItems_.size(); ++i)
         out_ << "  ";
@@ -119,7 +121,7 @@ JsonWriter::key(const std::string &k)
         out_ << ',';
     hasItems_.back() = true;
     newlineIndent();
-    out_ << '"' << escape(k) << "\": ";
+    out_ << '"' << escape(k) << (compact_ ? "\":" : "\": ");
     pendingKey_ = true;
     return *this;
 }
@@ -181,6 +183,10 @@ JsonWriter::raw(const std::string &json)
 {
     GENREUSE_REQUIRE(!json.empty(), "raw() with empty JSON");
     prepareValue();
+    if (compact_) {
+        out_ << json;
+        return *this;
+    }
     // Re-indent the sub-document's continuation lines to this nesting
     // depth so spliced documents diff like natively-written ones.
     std::string indent;

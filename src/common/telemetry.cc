@@ -1,0 +1,295 @@
+#include "telemetry.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "args.h"
+#include "json.h"
+#include "logging.h"
+#include "metrics.h"
+
+namespace genreuse {
+namespace telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+constexpr uint64_t kDefaultIntervalNs = 500'000'000; // 500ms
+
+struct SourceEntry
+{
+    uint64_t token = 0;
+    std::string name;
+    SourceFn fn;
+};
+
+// g_mu orders every state change AND every sample: a sample holds it
+// while invoking source callbacks, so unregisterSource() returning
+// means no callback is running or will run again.
+std::mutex g_mu;
+std::condition_variable g_cv;
+std::vector<SourceEntry> *g_sources = nullptr;
+uint64_t g_next_token = 1;
+std::FILE *g_file = nullptr;
+std::string g_path;
+uint64_t g_interval_ns = kDefaultIntervalNs;
+uint64_t g_samples = 0;
+uint64_t g_seq = 0;
+bool g_stopping = false;
+std::thread *g_thread = nullptr;
+bool g_atexit_registered = false;
+
+uint64_t
+wallNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::vector<SourceEntry> &
+sources()
+{
+    if (g_sources == nullptr)
+        g_sources = new std::vector<SourceEntry>;
+    return *g_sources;
+}
+
+/** One compact genreuse.tsdb/1 line. Caller holds g_mu. */
+std::string
+sampleLineLocked(const char *reason)
+{
+    JsonWriter w(/*compact=*/true);
+    w.beginObject();
+    w.key("schema").value("genreuse.tsdb/1");
+    w.key("seq").value(g_seq);
+    w.key("tsNs").value(wallNowNs());
+    if (reason != nullptr && *reason != '\0')
+        w.key("reason").value(reason);
+    // Counters and gauges land in separate sub-objects (mirroring
+    // metrics::toJson) so a dashboard can turn counter deltas between
+    // consecutive lines into rates without guessing from names.
+    const std::vector<metrics::Sample> snap = metrics::snapshot();
+    w.key("metrics").beginObject();
+    w.key("counters").beginObject();
+    for (const metrics::Sample &s : snap)
+        if (s.isCounter && s.value != 0.0)
+            w.key(s.name).value(s.value);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const metrics::Sample &s : snap)
+        if (!s.isCounter && s.value != 0.0)
+            w.key(s.name).value(s.value);
+    w.endObject();
+    w.endObject();
+    w.key("sources").beginObject();
+    for (const SourceEntry &e : sources()) {
+        std::string doc;
+        try {
+            doc = e.fn ? e.fn() : std::string();
+        } catch (const std::exception &ex) {
+            warn("telemetry source ", e.name, " threw: ", ex.what());
+        }
+        if (doc.empty())
+            continue;
+        w.key(e.name).raw(doc);
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+/** Caller holds g_mu; writes + flushes one line. */
+void
+writeSampleLocked(const char *reason)
+{
+    if (g_file == nullptr)
+        return;
+    const std::string line = sampleLineLocked(reason);
+    std::fputs(line.c_str(), g_file);
+    std::fputc('\n', g_file);
+    std::fflush(g_file);
+    ++g_samples;
+    ++g_seq;
+}
+
+void
+exporterMain()
+{
+    std::unique_lock<std::mutex> lock(g_mu);
+    while (!g_stopping) {
+        g_cv.wait_for(lock, std::chrono::nanoseconds(g_interval_ns),
+                      [] { return g_stopping; });
+        if (g_stopping)
+            break;
+        writeSampleLocked("");
+    }
+}
+
+void
+stopAtExit()
+{
+    stop();
+}
+
+} // namespace
+
+uint64_t
+registerSource(const std::string &name, SourceFn fn)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    const uint64_t token = g_next_token++;
+    SourceEntry e;
+    e.token = token;
+    e.name = name;
+    e.fn = std::move(fn);
+    sources().push_back(std::move(e));
+    return token;
+}
+
+void
+unregisterSource(uint64_t token)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto &v = sources();
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (v[i].token == token) {
+            v.erase(v.begin() + static_cast<long>(i));
+            return;
+        }
+    }
+}
+
+Status
+start(const std::string &path, uint64_t interval_ns)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_thread != nullptr)
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "telemetry exporter already running (",
+                             g_path, ")");
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "cannot open telemetry path ", path);
+    g_file = f;
+    g_path = path;
+    g_interval_ns = interval_ns == 0 ? kDefaultIntervalNs : interval_ns;
+    g_samples = 0;
+    g_stopping = false;
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+    // First sample synchronously: a series always starts with state at
+    // start(), however short-lived the exporter is.
+    writeSampleLocked("start");
+    g_thread = new std::thread(exporterMain);
+    if (!g_atexit_registered) {
+        g_atexit_registered = true;
+        std::atexit(stopAtExit);
+    }
+    return Status{};
+}
+
+void
+stop()
+{
+    std::thread *t = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(g_mu);
+        if (g_thread == nullptr)
+            return;
+        g_stopping = true;
+        t = g_thread;
+        g_thread = nullptr;
+    }
+    g_cv.notify_all();
+    t->join();
+    delete t;
+    std::lock_guard<std::mutex> lock(g_mu);
+    // Final flush: the last line always reflects shutdown-time state.
+    writeSampleLocked("shutdown");
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+    if (g_file != nullptr) {
+        std::fclose(g_file);
+        g_file = nullptr;
+    }
+    g_path.clear();
+}
+
+void
+sampleNow()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    writeSampleLocked("");
+}
+
+uint64_t
+samples()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_samples;
+}
+
+std::string
+path()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_path;
+}
+
+uint64_t
+intervalNs()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_interval_ns;
+}
+
+Status
+startFromSpec(const std::string &spec)
+{
+    std::string p = spec;
+    uint64_t interval = kDefaultIntervalNs;
+    const size_t colon = p.rfind(':');
+    if (colon != std::string::npos && colon + 1 < p.size()) {
+        Expected<uint64_t> ns = parseDurationNs(p.substr(colon + 1));
+        if (ns.ok()) {
+            interval = *ns;
+            p = p.substr(0, colon);
+        }
+    }
+    if (p.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "empty telemetry path in spec ", spec);
+    return start(p, interval);
+}
+
+namespace {
+
+/** Parses GENREUSE_TELEMETRY=<path>[:interval] once, before main(). */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *spec = std::getenv("GENREUSE_TELEMETRY");
+        if (spec == nullptr || *spec == '\0')
+            return;
+        Status s = startFromSpec(spec);
+        if (!s.ok())
+            warn("GENREUSE_TELEMETRY: ", s.message());
+    }
+};
+
+EnvInit g_env_init;
+
+} // namespace
+
+} // namespace telemetry
+} // namespace genreuse

@@ -16,6 +16,7 @@
 #include "common/overload.h"
 #include "common/profiler.h"
 #include "common/rng.h"
+#include "common/rtrace.h"
 #include "tensor/gemm.h"
 
 namespace genreuse {
@@ -403,6 +404,9 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
                                    CostLedger *ledger) const
 {
     profiler::ProfSpan span("guard.verify");
+    // Attribute verification time to the serve request executing on
+    // this thread (one relaxed load when request tracing is off).
+    rtrace::VerifySpan verify_span;
     const size_t n = x.shape().rows();
     const size_t din = x.shape().cols();
     const size_t m = w.shape().cols();

@@ -1,11 +1,13 @@
 #include "loadgen.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <mutex>
 #include <thread>
 
+#include "common/hdrhist.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -61,10 +63,13 @@ runOpenLoop(ServeEngine &engine, const LoadGenConfig &cfg,
 {
     const std::vector<uint64_t> offsets = arrivalSchedule(cfg);
 
-    std::mutex mu;
-    std::vector<double> latencies_ms;
-    latencies_ms.reserve(cfg.requests);
-    uint64_t last_done_ns = 0;
+    // Bounded-memory aggregation: three HDR histograms (ns) instead of
+    // one double per request. record() is lock-free, so the completion
+    // callbacks on the worker threads never serialize on a mutex.
+    HdrHistogram latency_hist;
+    HdrHistogram queue_wait_hist;
+    HdrHistogram service_hist;
+    std::atomic<uint64_t> last_done_ns{0};
 
     const auto start = std::chrono::steady_clock::now();
     const uint64_t start_ns = nowNs();
@@ -78,13 +83,24 @@ runOpenLoop(ServeEngine &engine, const LoadGenConfig &cfg,
         // the client would experience.
         const uint64_t scheduled_ns = start_ns + offsets[i];
         const bool ok = engine.trySubmit(
-            make_input(i), [&mu, &latencies_ms, &last_done_ns,
-                            scheduled_ns](ServeResult &&res) {
-                const double ms =
-                    static_cast<double>(res.doneNs - scheduled_ns) / 1e6;
-                std::lock_guard<std::mutex> lock(mu);
-                latencies_ms.push_back(ms);
-                last_done_ns = std::max(last_done_ns, res.doneNs);
+            make_input(i),
+            [&latency_hist, &queue_wait_hist, &service_hist,
+             &last_done_ns, scheduled_ns](ServeResult &&res) {
+                latency_hist.record(res.doneNs > scheduled_ns
+                                        ? res.doneNs - scheduled_ns
+                                        : 0);
+                queue_wait_hist.record(res.startNs > res.queuedNs
+                                           ? res.startNs - res.queuedNs
+                                           : 0);
+                service_hist.record(res.doneNs > res.startNs
+                                        ? res.doneNs - res.startNs
+                                        : 0);
+                uint64_t cur =
+                    last_done_ns.load(std::memory_order_relaxed);
+                while (res.doneNs > cur &&
+                       !last_done_ns.compare_exchange_weak(
+                           cur, res.doneNs, std::memory_order_relaxed))
+                    ;
             });
         if (!ok)
             ++rejected;
@@ -94,20 +110,30 @@ runOpenLoop(ServeEngine &engine, const LoadGenConfig &cfg,
     LatencyReport r;
     r.offered = offsets.size();
     r.rejected = rejected;
-    std::lock_guard<std::mutex> lock(mu);
-    r.completed = latencies_ms.size();
-    if (latencies_ms.empty())
+    r.completed = static_cast<size_t>(latency_hist.count());
+    if (r.completed == 0)
         return r;
-    std::sort(latencies_ms.begin(), latencies_ms.end());
-    r.p50Ms = percentileMs(latencies_ms, 50.0);
-    r.p95Ms = percentileMs(latencies_ms, 95.0);
-    r.p99Ms = percentileMs(latencies_ms, 99.0);
-    r.maxMs = latencies_ms.back();
-    double sum = 0.0;
-    for (double v : latencies_ms)
-        sum += v;
-    r.meanMs = sum / static_cast<double>(latencies_ms.size());
-    r.wallMs = static_cast<double>(last_done_ns - start_ns) / 1e6;
+    r.p50Ms =
+        static_cast<double>(latency_hist.valueAtPercentile(50.0)) / 1e6;
+    r.p95Ms =
+        static_cast<double>(latency_hist.valueAtPercentile(95.0)) / 1e6;
+    r.p99Ms =
+        static_cast<double>(latency_hist.valueAtPercentile(99.0)) / 1e6;
+    r.p999Ms =
+        static_cast<double>(latency_hist.valueAtPercentile(99.9)) / 1e6;
+    r.maxMs = static_cast<double>(latency_hist.max()) / 1e6;
+    r.meanMs = latency_hist.mean() / 1e6;
+    r.queueWaitMeanMs = queue_wait_hist.mean() / 1e6;
+    r.queueWaitP95Ms =
+        static_cast<double>(queue_wait_hist.valueAtPercentile(95.0)) /
+        1e6;
+    r.serviceMeanMs = service_hist.mean() / 1e6;
+    r.serviceP95Ms =
+        static_cast<double>(service_hist.valueAtPercentile(95.0)) / 1e6;
+    r.wallMs = static_cast<double>(
+                   last_done_ns.load(std::memory_order_relaxed) -
+                   start_ns) /
+               1e6;
     if (r.wallMs > 0.0)
         r.throughputRps =
             static_cast<double>(r.completed) / (r.wallMs / 1e3);

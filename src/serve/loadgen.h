@@ -39,7 +39,10 @@ struct LoadGenConfig
     bool poisson = false;   //!< exponential inter-arrivals vs uniform
 };
 
-/** Aggregated result of one load-generation run. */
+/** Aggregated result of one load-generation run. Percentiles come
+ *  from a bounded-memory HDR histogram (common/hdrhist.h) rather than
+ *  a post-hoc sort — within one log-linear bucket (≤3.125%) of the
+ *  exact order statistic, with O(1) memory per run. */
 struct LatencyReport
 {
     size_t offered = 0;   //!< requests the schedule offered
@@ -48,10 +51,18 @@ struct LatencyReport
     double p50Ms = 0.0;
     double p95Ms = 0.0;
     double p99Ms = 0.0;
-    double maxMs = 0.0;
-    double meanMs = 0.0;
+    double p999Ms = 0.0;
+    double maxMs = 0.0;  //!< exact (histogram tracks min/max aside)
+    double meanMs = 0.0; //!< exact (histogram tracks the sum aside)
     double throughputRps = 0.0; //!< completed / wall time
     double wallMs = 0.0;        //!< first offer → last completion
+    // Where completed requests spent their time, from the engine's
+    // per-request timestamps: queue wait (entered queue → dequeued)
+    // vs. service (dequeued → done).
+    double queueWaitMeanMs = 0.0;
+    double queueWaitP95Ms = 0.0;
+    double serviceMeanMs = 0.0;
+    double serviceP95Ms = 0.0;
 };
 
 /**

@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/overload.h"
+#include "common/rtrace.h"
+#include "common/telemetry.h"
 
 namespace genreuse {
 namespace serve {
@@ -54,6 +56,9 @@ RequestQueue::push(Request &&r)
         return Status::error(ErrorCode::Unavailable,
                              "request queue closed");
     }
+    // Stamped here (not at submit) so the span decomposition can
+    // separate admission wait from queue residency.
+    r.queuedNs = nowNs();
     q_.push_back(std::move(r));
     ++accepted_;
     lock.unlock();
@@ -76,6 +81,7 @@ RequestQueue::tryPush(Request &&r)
                                  "request queue full (", capacity_,
                                  " queued)");
         }
+        r.queuedNs = nowNs();
         q_.push_back(std::move(r));
         ++accepted_;
     }
@@ -184,6 +190,12 @@ ServeEngine::ServeEngine(ServeConfig config, const StreamFactory &factory)
     }
     for (size_t i = 0; i < config_.workers; ++i)
         pool_.submit([this, i] { workerMain(i); });
+    // Continuous telemetry: the exporter samples this engine's health,
+    // queue/inflight state and latency percentiles on every tick.
+    // Registered last (workers may already be serving — the source
+    // only reads, under mu_) and unregistered first in shutdown().
+    telemetryToken_ = telemetry::registerSource(
+        config_.name, [this] { return telemetrySourceJson(); });
 }
 
 ServeEngine::~ServeEngine() { shutdown(); }
@@ -191,9 +203,14 @@ ServeEngine::~ServeEngine() { shutdown(); }
 Status
 ServeEngine::admit(Request &&r)
 {
-    if (config_.policy == AdmitPolicy::Block)
-        return queue_.push(std::move(r));
-    return queue_.tryPush(std::move(r));
+    static metrics::Gauge &depth_gauge =
+        metrics::gauge("serve.queue_depth");
+    Status s = config_.policy == AdmitPolicy::Block
+                   ? queue_.push(std::move(r))
+                   : queue_.tryPush(std::move(r));
+    if (s.ok())
+        depth_gauge.set(static_cast<double>(queue_.size()));
+    return s;
 }
 
 std::optional<std::future<ServeResult>>
@@ -247,6 +264,15 @@ ServeEngine::trySubmit(Tensor input,
 void
 ServeEngine::finish(Request &&req, ServeResult &&res)
 {
+    // Every completion — success, shed, contained panic — lands in the
+    // live histograms before the callback runs, so stats() percentiles
+    // never lag the futures they describe.
+    const auto elapsed = [](uint64_t from, uint64_t to) {
+        return to > from ? to - from : 0;
+    };
+    latencyHist_.record(elapsed(res.enqueueNs, res.doneNs));
+    queueWaitHist_.record(elapsed(res.queuedNs, res.startNs));
+    serviceHist_.record(elapsed(res.startNs, res.doneNs));
     if (req.done)
         req.done(std::move(res));
     {
@@ -262,6 +288,10 @@ ServeEngine::workerMain(size_t index)
     static metrics::Counter &served = metrics::counter("serve.requests");
     static metrics::Counter &shed_ctr = metrics::counter("serve.shed");
     static metrics::Counter &failed_ctr = metrics::counter("serve.failed");
+    static metrics::Gauge &depth_gauge =
+        metrics::gauge("serve.queue_depth");
+    static metrics::Gauge &inflight_gauge =
+        metrics::gauge("serve.inflight");
     for (;;) {
         std::optional<Request> req = queue_.pop();
         if (!req)
@@ -270,12 +300,29 @@ ServeEngine::workerMain(size_t index)
         // layer-scope tag on entry AND on every exit path, so a
         // panicking forward cannot tag the next request's events.
         ScopeResetGuard scope_reset;
+        // Bind the request id to this thread: eventlog slots recorded
+        // during execution (and thus blackbox dumps) carry it, and
+        // guard verify time is attributed to it. One relaxed load when
+        // request tracing is off.
+        rtrace::RequestScope rscope(req->id);
+        inflight_gauge.set(static_cast<double>(
+            inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
+        depth_gauge.set(static_cast<double>(queue_.size()));
         ServeResult res;
         res.requestId = req->id;
         res.streamId = contexts_[index]->id();
         res.enqueueNs = req->enqueueNs;
+        res.queuedNs = req->queuedNs;
         res.startNs = nowNs();
         observeQueueDelay(res.startNs - res.enqueueNs);
+
+        // Remaining deadline slack sampled at dequeue: negative means
+        // the request already expired (the shed severity).
+        const int64_t slack_ns =
+            req->deadlineNs != 0
+                ? static_cast<int64_t>(req->deadlineNs) -
+                      static_cast<int64_t>(res.startNs)
+                : rtrace::kNoDeadline;
 
         // Overload shedding: work that expired in the queue is counted
         // and completed with a Status, never executed — running it
@@ -290,17 +337,34 @@ ServeEngine::workerMain(size_t index)
                 " ms past its deadline)");
             shed_ctr.add();
             eventlog::record(eventlog::Type::RequestShed, 0, overdue_ms,
-                             0.0, 0.0,
+                             static_cast<double>(slack_ns), 0.0,
                              static_cast<uint32_t>(req->id));
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 ++shed_;
             }
+            if (rtrace::enabled()) {
+                rtrace::RequestRecord rec;
+                rec.id = req->id;
+                rec.submitNs = req->enqueueNs;
+                rec.queuedNs = req->queuedNs;
+                rec.startNs = res.startNs;
+                rec.doneNs = res.doneNs;
+                rec.deadlineSlackNs = slack_ns;
+                rec.stream = static_cast<uint16_t>(res.streamId);
+                rec.statusCode =
+                    static_cast<uint8_t>(res.status.code());
+                rec.shed = true;
+                rscope.commit(rec);
+            }
             finish(std::move(*req), std::move(res));
+            inflight_gauge.set(static_cast<double>(
+                inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
             continue;
         }
 
         bool panicked = false;
+        uint64_t forward_ns = 0;
         {
             StreamContext &ctx = *contexts_[index];
             InferenceStream &stream = *streams_[index];
@@ -321,7 +385,10 @@ ServeEngine::workerMain(size_t index)
                     panic("injected worker_panic fault on stream ",
                           ctx.id());
                 }
+                const uint64_t fwd0 = rtrace::active() ? nowNs() : 0;
                 res.output = stream.infer(req->input, ctx);
+                if (fwd0 != 0)
+                    forward_ns = nowNs() - fwd0;
                 res.rung = stream.lastRung();
             } catch (const PanicException &e) {
                 panicked = true;
@@ -344,7 +411,24 @@ ServeEngine::workerMain(size_t index)
             exit_worker = noteFailure(index);
         else
             noteSuccess(index);
+        if (rtrace::enabled()) {
+            rtrace::RequestRecord rec;
+            rec.id = req->id;
+            rec.submitNs = req->enqueueNs;
+            rec.queuedNs = req->queuedNs;
+            rec.startNs = res.startNs;
+            rec.doneNs = res.doneNs;
+            rec.forwardNs = forward_ns;
+            rec.verifyNs = rscope.verifyNs();
+            rec.deadlineSlackNs = slack_ns;
+            rec.stream = static_cast<uint16_t>(res.streamId);
+            rec.statusCode = static_cast<uint8_t>(res.status.code());
+            rec.rung = static_cast<uint8_t>(res.rung);
+            rscope.commit(rec);
+        }
         finish(std::move(*req), std::move(res));
+        inflight_gauge.set(static_cast<double>(
+            inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
         if (exit_worker)
             return; // the respawned replacement owns the stream now
     }
@@ -512,6 +596,13 @@ ServeEngine::shutdown()
         shutdown_ = true;
         updateHealthLocked();
     }
+    // Unregister before teardown starts: unregisterSource blocks until
+    // any in-flight telemetry sample finishes, so the exporter can
+    // never observe a half-destroyed engine.
+    if (telemetryToken_ != 0) {
+        telemetry::unregisterSource(telemetryToken_);
+        telemetryToken_ = 0;
+    }
     queue_.close();
     // Workers drain the queue (pop() serves queued requests until
     // empty) before exiting; Drain then joins them. No admitted
@@ -534,6 +625,15 @@ ServeEngine::stats() const
     s.rejected = queue_.rejected();
     s.workers = pool_.size();
     s.queueDepth = queue_.size();
+    s.inflight = inflight_.load(std::memory_order_relaxed);
+    s.p50Ms =
+        static_cast<double>(latencyHist_.valueAtPercentile(50.0)) / 1e6;
+    s.p95Ms =
+        static_cast<double>(latencyHist_.valueAtPercentile(95.0)) / 1e6;
+    s.p99Ms =
+        static_cast<double>(latencyHist_.valueAtPercentile(99.0)) / 1e6;
+    s.p999Ms =
+        static_cast<double>(latencyHist_.valueAtPercentile(99.9)) / 1e6;
     std::lock_guard<std::mutex> lock(mu_);
     s.completed = completed_;
     s.shed = shed_;
@@ -606,6 +706,65 @@ ServeEngine::healthJson() const
         w.beginObject();
         w.key("id").value(static_cast<uint64_t>(i + 1));
         w.key("name").value(contexts_[i]->name());
+        w.key("strikes").value(ws.strikes);
+        w.key("quarantines").value(ws.quarantines);
+        w.key("parked").value(ws.parked);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+ServeEngine::telemetrySourceJson() const
+{
+    // One compact object per telemetry tick (genreuse.tsdb/1 lines
+    // must stay single-line). Reads the same state as healthJson()
+    // plus the live histogram percentiles.
+    const uint64_t accepted = queue_.accepted();
+    const uint64_t rejected = queue_.rejected();
+    const size_t depth = queue_.size();
+    const size_t inflight = inflight_.load(std::memory_order_relaxed);
+    JsonWriter w(/*compact=*/true);
+    std::lock_guard<std::mutex> lock(mu_);
+    w.beginObject();
+    w.key("health").value(healthName(health_));
+    w.key("overloadLevel").value(overloadLevel_);
+    w.key("workers").value(static_cast<uint64_t>(config_.workers));
+    w.key("queueDepth").value(static_cast<uint64_t>(depth));
+    w.key("queueCapacity")
+        .value(static_cast<uint64_t>(queue_.capacity()));
+    w.key("inflight").value(static_cast<uint64_t>(inflight));
+    w.key("accepted").value(accepted);
+    w.key("rejected").value(rejected);
+    w.key("completed").value(completed_);
+    w.key("shed").value(shed_);
+    w.key("failed").value(failed_);
+    w.key("containedPanics").value(containedPanics_);
+    w.key("quarantines").value(quarantines_);
+    w.key("respawns").value(respawns_);
+    w.key("p50Ms").value(
+        static_cast<double>(latencyHist_.valueAtPercentile(50.0)) / 1e6);
+    w.key("p95Ms").value(
+        static_cast<double>(latencyHist_.valueAtPercentile(95.0)) / 1e6);
+    w.key("p99Ms").value(
+        static_cast<double>(latencyHist_.valueAtPercentile(99.0)) / 1e6);
+    w.key("p999Ms").value(
+        static_cast<double>(latencyHist_.valueAtPercentile(99.9)) / 1e6);
+    w.key("queueWaitP95Ms")
+        .value(static_cast<double>(
+                   queueWaitHist_.valueAtPercentile(95.0)) /
+               1e6);
+    w.key("serviceP95Ms")
+        .value(static_cast<double>(
+                   serviceHist_.valueAtPercentile(95.0)) /
+               1e6);
+    w.key("streams").beginArray();
+    for (size_t i = 0; i < workerStates_.size(); ++i) {
+        const WorkerState &ws = workerStates_[i];
+        w.beginObject();
+        w.key("id").value(static_cast<uint64_t>(i + 1));
         w.key("strikes").value(ws.strikes);
         w.key("quarantines").value(ws.quarantines);
         w.key("parked").value(ws.parked);

@@ -73,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hdrhist.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/guard.h"
@@ -102,7 +103,9 @@ struct ServeResult
     uint64_t requestId = 0;
     uint32_t streamId = 0; //!< stream that executed it (1-based)
     Tensor output;
-    uint64_t enqueueNs = 0; //!< admission time
+    uint64_t enqueueNs = 0; //!< submit() allocated the id
+    uint64_t queuedNs = 0;  //!< actually entered the queue (admission
+                            //!< wait under Block ends here)
     uint64_t startNs = 0;   //!< worker picked it up
     uint64_t doneNs = 0;    //!< inference finished
     GuardRung rung = GuardRung::FullReuse; //!< stream's rung afterwards
@@ -117,6 +120,10 @@ struct Request
     uint64_t id = 0;
     Tensor input;
     uint64_t enqueueNs = 0;
+    /** Stamped by the queue as the request actually enters it, so
+     *  admit wait (Block backpressure) and queue wait separate in the
+     *  per-request span decomposition. */
+    uint64_t queuedNs = 0;
     /** Absolute nowNs() instant after which the request is shed
      *  instead of executed (0 = no deadline). */
     uint64_t deadlineNs = 0;
@@ -240,8 +247,16 @@ struct ServeStats
     uint64_t respawns = 0;        //!< replacement workers spawned
     size_t workers = 0;
     size_t queueDepth = 0;
+    size_t inflight = 0; //!< dequeued, not yet completed
     int overloadLevel = 0;
     Health health = Health::Healthy;
+    /** Live end-to-end latency percentiles (submit → done, ms) from
+     *  the engine's HDR histogram — all completions, including shed
+     *  and failed. 0 until the first completion. */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
 };
 
 class ServeEngine
@@ -296,6 +311,16 @@ class ServeEngine
      *  the artifact genreuse_inspect renders. */
     std::string healthJson() const;
 
+    /** The engine's live latency histograms (ns): end-to-end
+     *  (submit → done), queue wait (queued → dequeue) and service
+     *  (dequeue → done). Concurrent-read safe. */
+    const HdrHistogram &latencyHistogram() const { return latencyHist_; }
+    const HdrHistogram &queueWaitHistogram() const
+    {
+        return queueWaitHist_;
+    }
+    const HdrHistogram &serviceHistogram() const { return serviceHist_; }
+
     const ServeConfig &config() const { return config_; }
     size_t numStreams() const;
 
@@ -317,6 +342,9 @@ class ServeEngine
     void workerMain(size_t index);
     Status admit(Request &&r);
     void finish(Request &&req, ServeResult &&res);
+    /** Compact JSON object for the telemetry exporter: health,
+     *  queue/inflight, counters, percentiles, per-stream strikes. */
+    std::string telemetrySourceJson() const;
     void observeQueueDelay(uint64_t delay_ns);
     void noteSuccess(size_t index);
     /** Handle one contained failure; true when the calling worker must
@@ -327,6 +355,13 @@ class ServeEngine
     ServeConfig config_;
     RequestQueue queue_;
     StreamFactory factory_; //!< retained for quarantine respawns
+    // Live latency distributions: recorded lock-free on completion,
+    // read by stats()/telemetry at any time.
+    HdrHistogram latencyHist_;
+    HdrHistogram queueWaitHist_;
+    HdrHistogram serviceHist_;
+    std::atomic<size_t> inflight_{0};
+    uint64_t telemetryToken_ = 0;
     std::vector<std::unique_ptr<InferenceStream>> streams_;
     std::vector<std::unique_ptr<StreamContext>> contexts_;
     std::vector<WorkerState> workerStates_;

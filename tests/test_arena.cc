@@ -11,13 +11,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <gtest/gtest.h>
 #include <new>
+#include <string>
 
 #include "common/arena.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/rtrace.h"
+#include "common/telemetry.h"
 #include "core/guard.h"
 #include "core/fc_reuse.h"
 #include "core/reuse_conv.h"
@@ -393,6 +397,70 @@ TEST(ZeroAlloc, SteadyStateUnguardedReuseForward)
     const uint64_t before = heapAllocCount();
     algo.multiplyInto(x, w, geom, nullptr, y);
     EXPECT_EQ(heapAllocCount() - before, 0u);
+}
+
+TEST(ZeroAlloc, SteadyStateForwardWithTracingAndTelemetryArmed)
+{
+    // The PR-9 acceptance bar: arming request tracing AND running the
+    // telemetry exporter must not add heap traffic to the steady-state
+    // serving path — RequestScope binding, guard VerifySpan clock
+    // reads, and the ring commit are all allocation-free (the ring and
+    // sampled arrays are pre-touched at setEnabled/setExport).
+    ConvGeometry geom = smallGeom();
+    Rng rng(10);
+    Tensor x = test::redundantRows(256, 75, 8, rng);
+    Tensor w = Tensor::randomNormal({75, 16}, rng);
+
+    GuardConfig cfg;
+    cfg.marginFactor = 1e9;
+    GuardedReuseConvAlgo algo(ReusePattern::conventional(geom, 4), cfg,
+                              HashMode::Random, 7);
+    algo.fit(x, geom);
+
+    const std::string tsdb =
+        testing::TempDir() + "arena_telemetry.jsonl";
+    std::remove(tsdb.c_str());
+    // Huge interval: the exporter thread parks after the synchronous
+    // start sample, so it contributes no concurrent allocations while
+    // the counter is being read.
+    ASSERT_TRUE(
+        telemetry::start(tsdb, /*interval_ns=*/3'600'000'000'000ull)
+            .ok());
+    rtrace::reset();
+    rtrace::setEnabled(true);
+
+    Tensor y;
+    // Warm-up with the full request choreography so scratch, ring and
+    // thread-local slots are all touched before measuring.
+    for (uint64_t i = 1; i <= 4; ++i) {
+        rtrace::RequestScope scope(i);
+        algo.multiplyInto(x, w, geom, nullptr, y);
+        rtrace::RequestRecord rec;
+        rec.id = i;
+        rec.verifyNs = scope.verifyNs();
+        scope.commit(rec);
+    }
+    ASSERT_EQ(algo.lastRung(), GuardRung::FullReuse);
+
+    const uint64_t before = heapAllocCount();
+    {
+        rtrace::RequestScope scope(99);
+        algo.multiplyInto(x, w, geom, nullptr, y);
+        rtrace::RequestRecord rec;
+        rec.id = 99;
+        rec.verifyNs = scope.verifyNs();
+        scope.commit(rec);
+    }
+    const uint64_t allocs = heapAllocCount() - before;
+    EXPECT_EQ(allocs, 0u)
+        << "steady-state forward with tracing+telemetry armed hit the "
+           "heap "
+        << allocs << " time(s)";
+    EXPECT_EQ(rtrace::recorded(), 5u);
+
+    rtrace::setEnabled(false);
+    rtrace::reset();
+    telemetry::stop();
 }
 
 TEST(ZeroAlloc, SteadyStateFcReuseForward)
