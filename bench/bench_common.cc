@@ -9,9 +9,12 @@
 #include "common/eventlog.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
+#include "common/provenance.h"
 #include "core/accuracy_model.h"
+#include "core/canary.h"
 #include "core/latency_model.h"
 #include "core/pareto.h"
+#include "core/reuse_audit.h"
 
 namespace genreuse::bench {
 
@@ -105,6 +108,10 @@ BenchJson::write()
     w.key("schema").value("genreuse.bench/1");
     w.key("bench").value(name_);
     w.key("smoke").value(smokeMode());
+    // Which commit/compiler/SIMD level produced this record — so a
+    // diff against a stale or cross-machine baseline says so instead
+    // of reading as a performance change (bench_diff compares these).
+    w.key("provenance").raw(provenance::toJson());
     w.key("meta");
     writeScalars(w, meta_);
     w.key("results");
@@ -143,6 +150,15 @@ BenchJson::write()
     // default records are unchanged.
     if (eventlog::recorded() > 0)
         w.key("events").raw(eventlog::summaryJson());
+    // Reuse-efficacy audit (observed r_t vs the fit-time model, cluster
+    // histograms, guard budget burn — schema genreuse.audit/1) and the
+    // accuracy canary's per-layer error tracking ride along when armed
+    // (GENREUSE_AUDIT / GENREUSE_CANARY), so BENCH records from an
+    // audited run carry the efficacy evidence next to the latencies.
+    if (audit::enabled())
+        w.key("audit").raw(audit::toJson());
+    if (canary::enabled())
+        w.key("canary").raw(canary::toJson());
     w.endObject();
     w.endObject();
 

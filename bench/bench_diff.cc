@@ -43,6 +43,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/args.h"
@@ -93,11 +94,30 @@ classify(const std::string &key)
     // "accuracyGainAtMatchedLatency" is a gain (its latency is the
     // *matching* condition), while "accuracyDropPct" is a cost even
     // though it mentions accuracy.
+    // Queue-dependent latencies from the serve bench's open-loop
+    // sections report but never gate: in an open-loop generator, the
+    // moment the offered rate exceeds the box's momentary capacity the
+    // queue (and thus total latency) grows without bound, so runs of
+    // the same binary swing 2-3x — even the wall-clock threshold can't
+    // absorb that. The per-request service-time split, throughput, and
+    // closed-loop keys still gate; they don't include queueing delay.
+    // Exact names for the open-loop totals because "mean_ms" as a
+    // substring would also catch the service split.
+    static const char *const kQueueDependent[] = {"queue_wait",
+                                                  "degraded_"};
+    static const char *const kQueueDependentExact[] = {
+        "p50_ms", "p95_ms", "p99_ms", "p999_ms", "mean_ms"};
     static const char *const kStrongBenefits[] = {"speedup", "gain"};
     static const char *const kCosts[] = {"latency", "ms",       "drift",
                                          "error",   "fallback", "drop",
                                          "loss",    "shortfall"};
     static const char *const kBenefits[] = {"accuracy", "redundancy"};
+    for (const char *n : kQueueDependent)
+        if (containsNoCase(key, n))
+            return Direction::Informational;
+    for (const char *n : kQueueDependentExact)
+        if (key == n)
+            return Direction::Informational;
     for (const char *n : kStrongBenefits)
         if (containsNoCase(key, n))
             return Direction::HigherIsBetter;
@@ -130,10 +150,25 @@ splitCommaList(const std::string &list)
     return out;
 }
 
-/** Extract per-bench results from a parsed bench or suite document. */
+/** The build-identity stamp carried by genreuse.bench/1 records. */
+struct Provenance
+{
+    std::string git, compiler, preset, simd;
+
+    bool
+    empty() const
+    {
+        return git.empty() && compiler.empty() && preset.empty() &&
+               simd.empty();
+    }
+};
+
+/** Extract per-bench results from a parsed bench or suite document.
+ *  @p prov keeps the first provenance stamp seen (records merged into
+ *  one suite come from one build, so the first one stands for all). */
 Status
 collect(const JsonValue &doc, const std::string &path,
-        std::vector<BenchResults> &out)
+        std::vector<BenchResults> &out, Provenance &prov)
 {
     const JsonValue *schema = doc.find("schema");
     const std::string s = schema ? schema->stringOr("") : "";
@@ -144,7 +179,7 @@ collect(const JsonValue &doc, const std::string &path,
                                  ": suite document has no \"benches\" "
                                  "array");
         for (const JsonValue &b : benches->items) {
-            Status st = collect(b, path, out);
+            Status st = collect(b, path, out, prov);
             if (!st.ok())
                 return st;
         }
@@ -158,6 +193,18 @@ collect(const JsonValue &doc, const std::string &path,
     BenchResults br;
     const JsonValue *name = doc.find("bench");
     br.name = name ? name->stringOr("?") : "?";
+    if (prov.empty()) {
+        if (const JsonValue *p = doc.find("provenance")) {
+            const auto field = [&](const char *key) {
+                const JsonValue *v = p->find(key);
+                return v ? v->stringOr("") : std::string();
+            };
+            prov.git = field("git");
+            prov.compiler = field("compiler");
+            prov.preset = field("preset");
+            prov.simd = field("simd");
+        }
+    }
     if (const JsonValue *results = doc.find("results")) {
         for (const auto &[key, v] : results->members)
             if (v.isNumber())
@@ -257,20 +304,42 @@ main(int argc, char **argv)
     }
 
     std::vector<BenchResults> base, cur;
-    for (const auto &[path, out] :
-         {std::pair{&base_path, &base}, std::pair{&cur_path, &cur}}) {
+    Provenance base_prov, cur_prov;
+    for (const auto &[path, out, prov] :
+         {std::tuple{&base_path, &base, &base_prov},
+          std::tuple{&cur_path, &cur, &cur_prov}}) {
         Expected<JsonValue> doc = parseJsonFile(*path);
         if (!doc.ok()) {
             std::fprintf(stderr, "bench_diff: %s\n",
                          doc.status().toString().c_str());
             return 2;
         }
-        Status st = collect(*doc, *path, *out);
+        Status st = collect(*doc, *path, *out, *prov);
         if (!st.ok()) {
             std::fprintf(stderr, "bench_diff: %s\n",
                          st.toString().c_str());
             return 2;
         }
+    }
+
+    // Provenance mismatches warn but never gate: cross-build diffs are
+    // legitimate (that is the whole point of a regression gate), the
+    // reader just has to know the records came from different builds —
+    // especially a baseline stamped with a different SIMD level or
+    // compiler, where every wall-clock delta is suspect.
+    if (!base_prov.empty() || !cur_prov.empty()) {
+        const auto check = [&](const char *what, const std::string &b,
+                               const std::string &c) {
+            if (b != c)
+                std::fprintf(stderr,
+                             "bench_diff: WARNING: provenance mismatch: "
+                             "%s '%s' (baseline) vs '%s' (current)\n",
+                             what, b.c_str(), c.c_str());
+        };
+        check("git", base_prov.git, cur_prov.git);
+        check("compiler", base_prov.compiler, cur_prov.compiler);
+        check("preset", base_prov.preset, cur_prov.preset);
+        check("simd", base_prov.simd, cur_prov.simd);
     }
 
     TextTable t;

@@ -31,9 +31,12 @@
 #include "common/logging.h"
 #include "common/overload.h"
 #include "common/thread_pool.h"
+#include "core/canary.h"
 #include "core/measurement.h"
+#include "core/reuse_audit.h"
 #include "serve/loadgen.h"
 #include "serve/serve.h"
+#include "serve/slo.h"
 
 using namespace genreuse;
 using namespace genreuse::bench;
@@ -339,6 +342,77 @@ main(int argc, char **argv)
                     static_cast<double>(st.quarantines));
         json.record("chaos_respawned", static_cast<double>(st.respawns));
         json.record("chaos_shed", static_cast<double>(shed_seen));
+    }
+
+    // --- Observed serving (PR 10) ---------------------------------------
+    // One more closed loop with the reuse-efficacy audit armed, the
+    // canary at rate 1.0 and an SLO monitor attached. The keys are
+    // deterministic: replicas are bit-identical, so each forward's
+    // redundancy ratio depends only on its input — the multiset of
+    // observed r_t values (and hence their mean) is scheduling-free,
+    // and a generous latency objective plus in-distribution inputs
+    // mean zero breaches and zero alerts by construction.
+    {
+        audit::reset();
+        canary::reset();
+        audit::setEnabled(true);
+        canary::setRate(1.0);
+
+        ServeConfig ocfg;
+        ocfg.workers = 2;
+        ocfg.queueCapacity = 64;
+        ocfg.policy = AdmitPolicy::Block;
+        ocfg.name = "observed";
+        ServeEngine eng(ocfg, factory);
+        SloMonitor slo(eng, defaultSloSpecs(/*p99_ms=*/1e6));
+        slo.tick();
+        runClosedLoop(eng, requests, /*inflight=*/4, make_input);
+        slo.tick();
+        eng.shutdown();
+
+        uint64_t fwd = 0, breaches_total = 0;
+        double rt_sum = 0.0, gap_max = 0.0;
+        audit::Snapshot snap = audit::snapshot();
+        for (const auto &l : snap.layers) {
+            fwd += l.forwards;
+            rt_sum += l.sumObserved;
+            gap_max = std::max(gap_max, l.modelGap());
+        }
+        const double rt_mean =
+            fwd ? rt_sum / static_cast<double>(fwd) : 0.0;
+        uint64_t alerts = 0;
+        for (const SloState &s : slo.states())
+            alerts += s.transitions;
+
+        std::printf("--- Observed serving (audit + canary 1.0 + SLO "
+                    "monitor) ---\n"
+                    "guarded forwards %llu, observed r_t mean %.4f, "
+                    "model gap max %.4f, canary %llu samples / %llu "
+                    "breaches, slo alerts %llu\n\n",
+                    static_cast<unsigned long long>(fwd), rt_mean,
+                    gap_max,
+                    static_cast<unsigned long long>(
+                        canary::totalSamples()),
+                    static_cast<unsigned long long>(
+                        canary::totalBreaches()),
+                    static_cast<unsigned long long>(alerts));
+        json.record("audit_forwards", static_cast<double>(fwd));
+        json.record("audit_observed_rt_mean", rt_mean);
+        json.record("audit_model_gap_max", gap_max);
+        json.record("canary_samples",
+                    static_cast<double>(canary::totalSamples()));
+        json.record("canary_breaches",
+                    static_cast<double>(canary::totalBreaches()));
+        json.record("slo_alerts_fired", static_cast<double>(alerts));
+        breaches_total = canary::totalBreaches();
+        GENREUSE_REQUIRE(breaches_total == 0,
+                         "observed serving: unexpected canary breach "
+                         "on in-distribution inputs");
+
+        canary::setRate(0.0);
+        canary::reset();
+        audit::setEnabled(false);
+        audit::reset();
     }
 
     // --chaos: heavier multi-event storm across 4 streams. Counters are

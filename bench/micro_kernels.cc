@@ -22,8 +22,10 @@
 #include "common/simd.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "core/canary.h"
 #include "core/fc_reuse.h"
 #include "core/guard.h"
+#include "core/reuse_audit.h"
 #include "core/horizontal_reuse.h"
 #include "core/reorder.h"
 #include "core/vertical_reuse.h"
@@ -386,6 +388,38 @@ BM_TelemetryGateDisabled(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TelemetryGateDisabled);
+
+void
+BM_AuditGateDisabled(benchmark::State &state)
+{
+    // audit::recordForward() with the audit disarmed (the default):
+    // the inline gate must reduce the whole hook to one relaxed atomic
+    // load, matching the trace/fault/profiler/eventlog gate criterion.
+    ReuseStats stats;
+    stats.totalVectors = 256;
+    stats.totalCentroids = 32;
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        audit::recordForward(&acc, stats);
+        acc += 1;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_AuditGateDisabled);
+
+void
+BM_CanaryGateDisabled(benchmark::State &state)
+{
+    // canary::observe() with the canary disarmed (the default, rate
+    // 0): one relaxed atomic load of the rate bit-pattern.
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        canary::observe(&acc, 0.1, 1.0, 8, false);
+        acc += 1;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_CanaryGateDisabled);
 
 void
 BM_SyntheticCifarGeneration(benchmark::State &state)

@@ -16,6 +16,13 @@
  *   genreuse.metrics/1        metrics registry
  *   genreuse.health/1         serve-engine health snapshots (per-stream
  *                             strikes/quarantines, overload level)
+ *   genreuse.audit/1          reuse-efficacy audit: per-layer observed
+ *                             vs modeled redundancy, kernel/clustering
+ *                             traffic, guard budget burn
+ *   genreuse.canary/1         online accuracy canary: per-layer true
+ *                             relative error vs the exact path
+ *   genreuse.slo/1            SLO burn-rate monitor state (rendered as
+ *                             an alerts panel, also inside --follow)
  *   genreuse.bench/1          BENCH records (plus their embedded
  *                             guard/profile/metrics/events extras)
  *   genreuse.bench-suite/1    merged BENCH suites
@@ -488,6 +495,143 @@ renderHealth(const JsonValue &doc)
     std::printf("\n");
 }
 
+// ---- genreuse.audit/1 / genreuse.canary/1 / genreuse.slo/1 ---------------
+
+/** Audit/canary slots fitted through the raw algo API carry no layer
+ *  name; show "-" instead of an empty cell. */
+std::string
+layerCell(const JsonValue &row)
+{
+    const std::string name = str(&row, "name");
+    return name.empty() ? "-" : name;
+}
+
+void
+renderAudit(const JsonValue &doc)
+{
+    const JsonValue *layers = doc.find("layers");
+    std::printf("  reuse audit: %zu layers, %.0f clusterings\n",
+                layers != nullptr && layers->isArray()
+                    ? layers->items.size()
+                    : 0,
+                num(&doc, "clusterings"));
+    if (layers != nullptr && layers->isArray() &&
+        !layers->items.empty()) {
+        TextTable t;
+        t.setHeader({"layer", "strm", "fwd", "r_t last", "r_t ewma",
+                     "modeled", "gap", "burn mean", "burn max",
+                     "reorder", "copy"});
+        for (const JsonValue &l : layers->items) {
+            const JsonValue *modeled = l.find("modeled_rt");
+            t.addRow({layerCell(l),
+                      num(&l, "stream") == 0.0
+                          ? std::string("-")
+                          : "s" + fmt("%.0f", num(&l, "stream")),
+                      fmt("%.0f", num(&l, "forwards")),
+                      fmt("%.3f", num(&l, "observed_rt_last")),
+                      fmt("%.3f", num(&l, "observed_rt_ewma")),
+                      modeled != nullptr && modeled->isNumber()
+                          ? fmt("%.3f", modeled->number)
+                          : std::string("-"),
+                      modeled != nullptr && modeled->isNumber()
+                          ? fmt("%+.3f", num(&l, "model_gap"))
+                          : std::string("-"),
+                      fmt("%.3f", num(&l, "burn_mean")),
+                      fmt("%.3f", num(&l, "burn_max")),
+                      fmt("%.0f", num(&l, "reorder_elems")),
+                      fmt("%.0f", num(&l, "copy_elems"))});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+    const JsonValue *kernels = doc.find("kernels");
+    if (kernels != nullptr && kernels->isObject()) {
+        std::printf("  kernels:");
+        for (const auto &[name, k] : kernels->members) {
+            const double inv = num(&k, "invocations");
+            if (inv == 0.0)
+                continue;
+            const double vec = num(&k, "vectors");
+            std::printf(" %s=%.0f (r_t %.3f)", name.c_str(), inv,
+                        vec > 0.0
+                            ? 1.0 - num(&k, "centroids") / vec
+                            : 0.0);
+        }
+        std::printf("\n");
+    }
+    if (const JsonValue *cc = doc.find("cluster_count"))
+        if (num(cc, "count") > 0.0)
+            std::printf("  clusters per call: mean %.1f p50 %.0f p90 "
+                        "%.0f p99 %.0f max %.0f | centroid occupancy "
+                        "p50 %.0f p99 %.0f\n",
+                        num(cc, "mean"), num(cc, "p50"), num(cc, "p90"),
+                        num(cc, "p99"), num(cc, "max"),
+                        num(doc.find("occupancy"), "p50"),
+                        num(doc.find("occupancy"), "p99"));
+}
+
+void
+renderCanary(const JsonValue &doc)
+{
+    std::printf("  accuracy canary: rate %.3g, %.0f samples, %.0f "
+                "breaches\n",
+                num(&doc, "rate"), num(&doc, "samples"),
+                num(&doc, "breaches"));
+    const JsonValue *series = doc.find("series");
+    if (series == nullptr || !series->isArray() || series->items.empty())
+        return;
+    TextTable t;
+    t.setHeader({"layer", "strm", "samples", "breaches", "err last",
+                 "err ewma", "ci95", "worst"});
+    for (const JsonValue &s : series->items) {
+        t.addRow({layerCell(s),
+                  num(&s, "stream") == 0.0
+                      ? std::string("-")
+                      : "s" + fmt("%.0f", num(&s, "stream")),
+                  fmt("%.0f", num(&s, "samples")),
+                  fmt("%.0f", num(&s, "breaches")),
+                  fmt("%.4g", num(&s, "error_last")),
+                  fmt("%.4g", num(&s, "error_ewma")),
+                  fmt("%.4g", num(&s, "error_ci95")),
+                  fmt("%.4g", num(&s, "error_worst"))});
+    }
+    std::printf("%s", t.render().c_str());
+}
+
+void
+renderSlo(const JsonValue &doc)
+{
+    const JsonValue *alerts = doc.find("alerts");
+    const JsonValue *any = doc.find("any_firing");
+    const bool firing = any != nullptr && any->isBool() && any->boolean;
+    std::printf("  SLOs (%zu objectives, tick %.0f): %s\n",
+                alerts != nullptr && alerts->isArray()
+                    ? alerts->items.size()
+                    : 0,
+                num(&doc, "ticks"), firing ? "ALERT FIRING" : "all ok");
+    if (alerts == nullptr || !alerts->isArray() || alerts->items.empty())
+        return;
+    TextTable t;
+    t.setHeader({"objective", "kind", "state", "fast burn", "slow burn",
+                 "fires at", "fast bad/total", "slow bad/total",
+                 "edges"});
+    for (const JsonValue &a : alerts->items) {
+        const JsonValue *f = a.find("firing");
+        const bool is_firing = f != nullptr && f->isBool() && f->boolean;
+        t.addRow({str(&a, "name", "?"), str(&a, "kind", "?"),
+                  is_firing ? "FIRING" : "ok",
+                  fmt("%.2fx", num(&a, "fast_burn")),
+                  fmt("%.2fx", num(&a, "slow_burn")),
+                  fmt("%.0fx/", num(&a, "fast_burn_threshold")) +
+                      fmt("%.0fx", num(&a, "slow_burn_threshold")),
+                  fmt("%.0f/", num(&a, "fast_bad")) +
+                      fmt("%.0f", num(&a, "fast_total")),
+                  fmt("%.0f/", num(&a, "slow_bad")) +
+                      fmt("%.0f", num(&a, "slow_total")),
+                  fmt("%.0f", num(&a, "transitions"))});
+    }
+    std::printf("%s", t.render().c_str());
+}
+
 // ---- genreuse.rtrace/1 ---------------------------------------------------
 
 /** Top-K slowest requests with the per-span breakdown — the postmortem
@@ -627,7 +771,11 @@ rateCell(const JsonValue *prev, const char *group, const std::string &key,
     const JsonValue *g =
         (group == nullptr || *group == '\0') ? prev : prev->find(group);
     const double before = g != nullptr ? num(g, key.c_str()) : 0.0;
-    return " (" + fmt("%+.1f", (cur - before) / dt_s) + "/s)";
+    // A counter that went backwards is an exporter restart (counters
+    // reset to 0, the series file keeps appending): render the tick as
+    // 0/s, not as a huge negative rate.
+    const double delta = cur >= before ? cur - before : 0.0;
+    return " (" + fmt("%+.1f", delta / dt_s) + "/s)";
 }
 
 /** One telemetry sample as a dashboard. @p prev (may be null) supplies
@@ -658,6 +806,22 @@ renderTsdbSample(const JsonValue *prev, const JsonValue &cur)
             const JsonValue *psrc =
                 prev_srcs != nullptr ? prev_srcs->find(name.c_str())
                                      : nullptr;
+            // Sources that publish a known schema get their dedicated
+            // panel — this is how the SLO alerts panel and the audit/
+            // canary tables appear on the --follow dashboard.
+            const std::string sschema = str(&src, "schema");
+            if (sschema == "genreuse.slo/1") {
+                renderSlo(src);
+                continue;
+            }
+            if (sschema == "genreuse.audit/1") {
+                renderAudit(src);
+                continue;
+            }
+            if (sschema == "genreuse.canary/1") {
+                renderCanary(src);
+                continue;
+            }
             if (src.find("health") != nullptr) {
                 std::printf("  serve '%s': %s", name.c_str(),
                             str(&src, "health", "?").c_str());
@@ -1019,6 +1183,15 @@ main(int argc, char **argv)
             std::printf("\n");
         } else if (schema == "genreuse.health/1") {
             renderHealth(doc);
+        } else if (schema == "genreuse.audit/1") {
+            renderAudit(doc);
+            std::printf("\n");
+        } else if (schema == "genreuse.canary/1") {
+            renderCanary(doc);
+            std::printf("\n");
+        } else if (schema == "genreuse.slo/1") {
+            renderSlo(doc);
+            std::printf("\n");
         } else if (schema == "genreuse.rtrace/1") {
             renderRtrace(doc, slowest_k);
         } else if (schema == "genreuse.bench/1") {

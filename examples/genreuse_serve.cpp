@@ -13,6 +13,7 @@
  *            [--health out.health.json]
  *            [--telemetry out.tsdb.jsonl[:interval]]
  *            [--rtrace out.rtrace.json[:rate]]
+ *            [--canary 0.05] [--slo 20ms[:interval]] [--audit]
  *
  * --telemetry streams genreuse.tsdb/1 JSONL samples while the run is
  * live (tail with `genreuse_inspect --follow`); --rtrace records
@@ -20,6 +21,15 @@
  * artifact (slowest-request table via genreuse_inspect, Chrome trace
  * events via chrome://tracing). Both mirror the GENREUSE_TELEMETRY /
  * GENREUSE_RTRACE env hooks.
+ *
+ * --canary R samples a fraction R of guarded forwards onto the exact
+ * path and tracks the true relative error per layer (mirrors
+ * GENREUSE_CANARY); --audit arms the reuse-efficacy audit (mirrors
+ * GENREUSE_AUDIT); --slo P99MS runs the burn-rate monitor with the
+ * default objective set (p99 latency at P99MS, shed/fail availability,
+ * canary accuracy floor), holding health Degraded while any alert
+ * fires. All three publish telemetry sources, so their panels appear
+ * on the --follow dashboard.
  *
  * Each worker owns one stream: a guarded reuse convolution fitted
  * with the same seed, so all streams are bit-identical replicas and
@@ -40,11 +50,14 @@
 #include "common/metrics.h"
 #include "common/rtrace.h"
 #include "common/telemetry.h"
+#include "core/canary.h"
 #include "core/guard.h"
+#include "core/reuse_audit.h"
 #include "data/synthetic.h"
 #include "nn/conv2d.h"
 #include "serve/loadgen.h"
 #include "serve/serve.h"
+#include "serve/slo.h"
 
 using namespace genreuse;
 using namespace genreuse::serve;
@@ -69,6 +82,10 @@ class GuardedConvStream : public InferenceStream
         guard_ = std::make_shared<GuardedReuseConvAlgo>(
             pattern, GuardConfig{}, HashMode::Learned, /*seed=*/99);
         guard_->fit(conv_.lastIm2col(), conv_.lastGeometry());
+        // Raw-API fit skips applyGuardedReusePattern's name stamping;
+        // label the audit/canary slot so dashboards show "conv", not a
+        // blank cell.
+        audit::setName(&guard_->inner(), conv_.name());
         conv_.setAlgo(guard_);
     }
 
@@ -150,6 +167,15 @@ main(int argc, char **argv)
         rtrace::setEnabled(true);
     }
 
+    // Observability arms — set BEFORE the engine exists so the very
+    // first fitted stream is audited/canaried, and their telemetry
+    // sources are live when the exporter writes its start line.
+    const double canary_rate = args.getDouble("canary", 0.0);
+    if (canary_rate > 0.0)
+        canary::setRate(canary_rate);
+    if (args.has("audit"))
+        audit::setEnabled(true);
+
     SyntheticConfig data_cfg;
     data_cfg.numSamples = 8;
     Dataset data = makeSyntheticCifar(data_cfg);
@@ -162,6 +188,18 @@ main(int argc, char **argv)
     ServeEngine engine(cfg, [&data](uint32_t stream_id) {
         return std::make_unique<GuardedConvStream>(stream_id, data);
     });
+
+    // SLO burn-rate monitor: --slo gives the p99 latency objective,
+    // the rest of the default set (shed/fail availability, canary
+    // accuracy) rides along. While any alert fires the engine reports
+    // Degraded.
+    std::unique_ptr<SloMonitor> slo;
+    const uint64_t slo_p99_ns = args.getDurationNs("slo", 0);
+    if (slo_p99_ns > 0) {
+        slo = std::make_unique<SloMonitor>(
+            engine, defaultSloSpecs(static_cast<double>(slo_p99_ns) / 1e6));
+        slo->start(args.getDurationNs("slo-interval", 200'000'000));
+    }
 
     LatencyReport rep = runOpenLoop(engine, lg, [&data](size_t i) {
         return data.gatherImages({i % data.size()});
@@ -186,6 +224,28 @@ main(int argc, char **argv)
         std::printf("stream %zu: last rung %s\n", i + 1,
                     rungName(engine.stream(i).lastRung()));
     }
+
+    if (slo != nullptr) {
+        // One last deterministic evaluation, then the final state.
+        slo->stop();
+        slo->tick();
+        std::printf("\nSLOs after %llu ticks:\n",
+                    static_cast<unsigned long long>(slo->ticks()));
+        for (const SloState &st : slo->states())
+            std::printf("  %-20s %-8s fast %.2fx slow %.2fx "
+                        "(%llu edges, %llu ticks firing)\n",
+                        st.spec.name.c_str(),
+                        st.firing ? "FIRING" : "ok", st.fastBurnRate,
+                        st.slowBurnRate,
+                        static_cast<unsigned long long>(st.transitions),
+                        static_cast<unsigned long long>(st.ticksFiring));
+    }
+    if (canary_rate > 0.0)
+        std::printf("canary: %llu samples, %llu budget breaches\n",
+                    static_cast<unsigned long long>(
+                        canary::totalSamples()),
+                    static_cast<unsigned long long>(
+                        canary::totalBreaches()));
 
     // Snapshot health BEFORE shutdown: afterwards the engine reports
     // "draining", which is true but not what an operator probing a

@@ -54,6 +54,12 @@ typeName(Type t)
         return "stream_quarantine";
       case Type::Health:
         return "health";
+      case Type::CanarySample:
+        return "canary_sample";
+      case Type::CanaryBreach:
+        return "canary_breach";
+      case Type::SloAlert:
+        return "slo_alert";
       default:
         return "?";
     }

@@ -62,6 +62,16 @@
  *                  replacement worker was respawned
  *   Health         a8 = serve::Health state entered, u32 = overload
  *                  level at the transition
+ *   CanarySample   d0 = measured error, d1 = error budget, d2 = EWMA
+ *                  of the relative error, u32 = rows sampled
+ *                  (tag = layer; the shadow-exact accuracy canary)
+ *   CanaryBreach   same payload as CanarySample, journaled when the
+ *                  measurement exceeds the budget, a8 = overload level
+ *                  at the breach (2 ⇒ the guard was not verifying and
+ *                  the canary was the only accuracy signal)
+ *   SloAlert       tag = SLO name, d0 = fast-window burn rate, d1 =
+ *                  slow-window burn rate, d2 = threshold, a8 = 1 when
+ *                  the alert fired / 0 when it cleared
  *
  * The tag field is an interned string id — usually the enclosing
  * layer's name, established by the LayerScope RAII in Layer forwards
@@ -105,6 +115,9 @@ enum class Type : uint8_t
     RequestShed,   //!< a serve request expired before execution
     StreamQuarantine, //!< a serve stream struck out and was parked
     Health,        //!< the serve engine's health state moved
+    CanarySample,  //!< one shadow-exact accuracy canary measurement
+    CanaryBreach,  //!< a canary measurement exceeded the error budget
+    SloAlert,      //!< an SLO burn-rate rule fired (or cleared)
     NumTypes,
 };
 

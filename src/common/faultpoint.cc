@@ -81,6 +81,8 @@ faultName(Fault f)
         return "zero_quant_scale";
       case Fault::WorkerPanic:
         return "worker_panic";
+      case Fault::OodScale:
+        return "ood_scale";
       default:
         return "?";
     }
@@ -110,7 +112,7 @@ faultByName(const std::string &name)
                          "' (known: sram_exhausted, cluster_collapse, "
                          "cluster_empty, nan_activation, "
                          "corrupt_cluster_ids, zero_quant_scale, "
-                         "worker_panic)");
+                         "worker_panic, ood_scale)");
 }
 
 uint64_t

@@ -60,6 +60,10 @@ enum class Fault
     ZeroQuantScale,   //!< INT8 calibration computes scale = 0
     WorkerPanic,      //!< a serve worker panics mid-request (exercises
                       //!< the recovery-domain containment path)
+    OodScale,         //!< activations scaled far out of distribution
+                      //!< (finite, unlike nan_activation — exercises
+                      //!< the error-budget/canary path, not the
+                      //!< non-finite fast path)
     NumFaults,
 };
 

@@ -19,6 +19,28 @@ highestBit(uint64_t v)
     return b;
 }
 
+/** Bucket bounds from geometry alone, shared with Snapshot (which has
+ *  no histogram to ask). Mirrors HdrHistogram::bucketLowerBound. */
+inline uint64_t
+lowerBoundFor(uint32_t sub_bits, size_t index)
+{
+    const uint64_t sub_count = uint64_t{1} << sub_bits;
+    const size_t octave = index / sub_count;
+    const uint64_t sub = index % sub_count;
+    if (octave == 0)
+        return sub;
+    return (sub_count + sub) << (octave - 1);
+}
+
+inline uint64_t
+upperBoundFor(uint32_t sub_bits, size_t index)
+{
+    const uint64_t sub_count = uint64_t{1} << sub_bits;
+    const size_t octave = index / sub_count;
+    const uint64_t width = octave == 0 ? 1 : (uint64_t{1} << (octave - 1));
+    return lowerBoundFor(sub_bits, index) + width - 1;
+}
+
 } // namespace
 
 HdrHistogram::HdrHistogram(uint32_t sub_bucket_bits,
@@ -215,6 +237,154 @@ uint64_t
 HdrHistogram::overflowCount() const
 {
     return overflow_.load(std::memory_order_relaxed);
+}
+
+HdrHistogram::Snapshot
+HdrHistogram::snapshot() const
+{
+    Snapshot s;
+    s.subBits = subBits_;
+    s.maxBits = maxBits_;
+    s.counts.resize(nBuckets_);
+    for (size_t i = 0; i < nBuckets_; ++i)
+        s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count = count();
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.overflow = overflowCount();
+    s.min = min();
+    s.max = max();
+    return s;
+}
+
+double
+HdrHistogram::Snapshot::mean() const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t
+HdrHistogram::Snapshot::valueAtPercentile(double p) const
+{
+    if (count == 0 || counts.empty())
+        return 0;
+    p = std::min(100.0, std::max(0.0, p));
+    // Rank against the bucket total, not the count field: a snapshot
+    // taken while recorders were mid-flight (or a delta of two such
+    // snapshots) can have the two disagree by the in-flight records,
+    // and the walk below must terminate inside the bucket array.
+    uint64_t total = 0;
+    for (uint64_t c : counts)
+        total += c;
+    if (total == 0)
+        return 0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total)));
+    rank = std::min(std::max<uint64_t>(rank, 1), total);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        if (cum >= rank) {
+            const uint64_t lo = lowerBoundFor(subBits, i);
+            const uint64_t hi = upperBoundFor(subBits, i);
+            const uint64_t mid = lo + (hi - lo) / 2;
+            if (min <= max && max > 0)
+                return std::min(std::max(mid, min), max);
+            return mid;
+        }
+    }
+    return max;
+}
+
+uint64_t
+HdrHistogram::Snapshot::countAbove(uint64_t value) const
+{
+    if (counts.empty())
+        return overflow;
+    uint64_t above = 0;
+    bool top_counted = false;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        // A bucket counts as above only when every value it can hold
+        // is above the threshold — the conservative (under-counting)
+        // side, matching how percentile midpoints resolve.
+        if (lowerBoundFor(subBits, i) > value) {
+            above += counts[i];
+            if (i == counts.size() - 1)
+                top_counted = true;
+        }
+    }
+    // Overflowed records clamp into the top bucket, so when that
+    // bucket qualified they are already counted; otherwise add them
+    // here — they exceed the whole trackable range, hence any in-range
+    // threshold.
+    if (!top_counted)
+        above += overflow;
+    return above;
+}
+
+HdrHistogram::Snapshot
+HdrHistogram::Snapshot::deltaSince(const Snapshot &prev) const
+{
+    Snapshot d;
+    d.subBits = subBits;
+    d.maxBits = maxBits;
+    d.counts.assign(counts.size(), 0);
+    if (prev.counts.empty() || prev.count == 0) {
+        // Empty / default-constructed baseline: the window is
+        // everything this snapshot holds.
+        d.counts = counts;
+        d.count = count;
+        d.sum = sum;
+        d.overflow = overflow;
+        d.min = min;
+        d.max = max;
+        return d;
+    }
+    GENREUSE_REQUIRE(prev.subBits == subBits && prev.maxBits == maxBits &&
+                         prev.counts.size() == counts.size(),
+                     "hdrhist snapshot delta requires identical geometry");
+    if (prev.count > count) {
+        // The histogram was reset (or prev is from a different run):
+        // treat the baseline as empty rather than underflowing.
+        d.counts = counts;
+        d.count = count;
+        d.sum = sum;
+        d.overflow = overflow;
+        d.min = min;
+        d.max = max;
+        return d;
+    }
+    size_t first = counts.size(), last = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const uint64_t c =
+            counts[i] >= prev.counts[i] ? counts[i] - prev.counts[i] : 0;
+        d.counts[i] = c;
+        if (c > 0) {
+            first = std::min(first, i);
+            last = std::max(last, i);
+        }
+    }
+    d.count = count - prev.count;
+    d.sum = sum >= prev.sum ? sum - prev.sum : 0;
+    d.overflow = overflow >= prev.overflow ? overflow - prev.overflow : 0;
+    // Exact extremes are not attributable to a window; the bucket
+    // bounds of the window's occupied range are the honest substitute
+    // (within one bucket width, same as the percentile contract).
+    if (first <= last && d.count > 0) {
+        d.min = lowerBoundFor(subBits, first);
+        d.max = upperBoundFor(subBits, last);
+        // The live extremes still clamp when they fall inside the
+        // window's bucket range — min can only have been set by a
+        // recorded value.
+        if (min >= d.min && min <= d.max)
+            d.min = std::max(d.min, min);
+        if (max >= d.min && max <= d.max)
+            d.max = std::min(d.max, max);
+    }
+    return d;
 }
 
 } // namespace genreuse

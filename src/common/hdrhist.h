@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace genreuse {
 
@@ -98,6 +99,61 @@ class HdrHistogram
 
     /** Raw count in bucket @p index (relaxed read). */
     uint64_t bucketCount(size_t index) const;
+
+    /**
+     * A point-in-time copy of the histogram: a plain value type the
+     * caller owns, with the same geometry and query surface as the
+     * live histogram. Snapshots exist for *windowed* percentiles: the
+     * live histogram is cumulative-since-start, so a sliding-window
+     * consumer (the SLO monitor, `--follow` rate panels) takes a
+     * snapshot per tick and queries the delta between consecutive
+     * snapshots instead of the whole history.
+     */
+    struct Snapshot
+    {
+        uint32_t subBits = kDefaultSubBucketBits;
+        uint32_t maxBits = kDefaultMaxValueBits;
+        std::vector<uint64_t> counts; //!< empty() means "no data yet"
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t overflow = 0;
+        uint64_t min = 0; //!< 0 when empty
+        uint64_t max = 0;
+
+        bool empty() const { return count == 0; }
+        double mean() const;
+
+        /** Same rank definition and bucket math as the live
+         *  histogram's valueAtPercentile (0 when empty). */
+        uint64_t valueAtPercentile(double p) const;
+
+        /** Recorded values strictly above @p value (bucket-resolution:
+         *  a bucket counts only when its whole range is above, so the
+         *  result errs low by at most one straddling bucket). The SLO
+         *  monitor's "bad event" counter for latency objectives. */
+        uint64_t countAbove(uint64_t value) const;
+
+        /**
+         * The window between @p prev and this snapshot: per-bucket
+         * count subtraction (exact — merging is bucket addition, so
+         * subtraction is its inverse). min/max of the window are
+         * re-derived from the surviving buckets' bounds (the recorded
+         * extremes cannot be attributed to a window), clamped into
+         * [prev-consistent range]. When @p prev is from a *later* or
+         * reset histogram (its total exceeds ours) the delta degrades
+         * to this whole snapshot instead of underflowing — the same
+         * counter-reset tolerance the inspector applies to counters.
+         * Geometry must match (REQUIRE panic otherwise); a
+         * default-constructed (bucketless) @p prev acts as empty.
+         */
+        Snapshot deltaSince(const Snapshot &prev) const;
+    };
+
+    /** Relaxed-atomic copy of the current state. Safe against
+     *  concurrent record(); the usual torn-across-buckets caveat of
+     *  relaxed snapshots applies (counts may disagree with count() by
+     *  in-flight records, never by more). */
+    Snapshot snapshot() const;
 
   private:
     uint32_t subBits_;

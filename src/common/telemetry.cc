@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "json.h"
 #include "logging.h"
 #include "metrics.h"
+#include "provenance.h"
 
 namespace genreuse {
 namespace telemetry {
@@ -75,6 +77,10 @@ sampleLineLocked(const char *reason)
     w.key("tsNs").value(wallNowNs());
     if (reason != nullptr && *reason != '\0')
         w.key("reason").value(reason);
+    // Only the series' first line carries provenance: it identifies the
+    // whole file without repeating four strings on every sample.
+    if (reason != nullptr && std::strcmp(reason, "start") == 0)
+        w.key("provenance").raw(provenance::toJson(/*compact=*/true));
     // Counters and gauges land in separate sub-objects (mirroring
     // metrics::toJson) so a dashboard can turn counter deltas between
     // consecutive lines into rates without guessing from names.

@@ -9,6 +9,7 @@
 #include "common/simd.h"
 #include "guard.h"
 #include "lsh/clustering.h"
+#include "reuse_audit.h"
 #include "stream_context.h"
 #include "tensor/gemm.h"
 
@@ -156,6 +157,7 @@ fcReuseForwardInto(const Tensor &x, const Tensor &w, const Tensor &bias,
                          static_cast<double>(local.totalVectors), 0.0,
                          static_cast<uint32_t>(local.totalCentroids),
                          /*a8=*/2);
+    audit::recordKernel(audit::Kernel::Fc, local);
     if (stats)
         *stats += local;
 }

@@ -17,6 +17,8 @@
 #include "common/profiler.h"
 #include "common/rng.h"
 #include "common/rtrace.h"
+#include "canary.h"
+#include "reuse_audit.h"
 #include "tensor/gemm.h"
 
 namespace genreuse {
@@ -207,6 +209,17 @@ corruptWithNan(Tensor &t, uint64_t seed)
     for (size_t k = 0; k < n; ++k)
         t.data()[rng.uniformInt(t.size())] =
             std::numeric_limits<float>::quiet_NaN();
+}
+
+void
+corruptWithScale(Tensor &t, uint64_t seed)
+{
+    if (t.size() == 0)
+        return;
+    Rng rng(seed);
+    const float factor = 16.0f + 48.0f * static_cast<float>(rng.uniform());
+    for (size_t i = 0; i < t.size(); ++i)
+        t.data()[i] *= factor;
 }
 
 GuardRung
@@ -403,6 +416,18 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
                                    const Tensor &y,
                                    CostLedger *ledger) const
 {
+    // Row count comes from verifyRows(): the configured sampleRows,
+    // boosted while a drift detector is tripped — a suspect stream is
+    // verified with more evidence per forward.
+    return measureErrorRows(x, w, y, verifyRows(), ledger, nullptr);
+}
+
+double
+GuardedReuseConvAlgo::measureErrorRows(const Tensor &x, const Tensor &w,
+                                       const Tensor &y, size_t rows,
+                                       CostLedger *ledger,
+                                       double *exact_norm_sq_out) const
+{
     profiler::ProfSpan span("guard.verify");
     // Attribute verification time to the serve request executing on
     // this thread (one relaxed load when request tracing is off).
@@ -410,19 +435,19 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
     const size_t n = x.shape().rows();
     const size_t din = x.shape().cols();
     const size_t m = w.shape().cols();
-    if (n == 0)
+    if (exact_norm_sq_out)
+        *exact_norm_sq_out = 0.0;
+    if (n == 0 || rows == 0)
         return 0.0;
 
-    // Row count comes from verifyRows(): the configured sampleRows,
-    // boosted while a drift detector is tripped — a suspect stream is
-    // verified with more evidence per forward.
-    const size_t rows = std::min(verifyRows(), n);
+    rows = std::min(rows, n);
     const size_t stride = n / rows;
 
     Arena &arena = Arena::forCurrentStream();
     ArenaFrame frame(arena);
     float *exact_row = arena.allocSpan<float>(m);
     double err = 0.0;
+    double norm = 0.0;
     size_t sampled = 0;
     for (size_t k = 0; k < rows; ++k) {
         const size_t r = std::min(k * stride, n - 1);
@@ -430,9 +455,10 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
                 din, din, m, m, false);
         const float *yr = y.data() + r * m;
         for (size_t j = 0; j < m; ++j) {
-            const double d = static_cast<double>(yr[j]) -
-                             static_cast<double>(exact_row[j]);
+            const double e = static_cast<double>(exact_row[j]);
+            const double d = static_cast<double>(yr[j]) - e;
             err += d * d;
+            norm += e * e;
         }
         ++sampled;
     }
@@ -445,7 +471,50 @@ GuardedReuseConvAlgo::measureError(const Tensor &x, const Tensor &w,
     ops.aluOps = 2 * static_cast<uint64_t>(sampled) * m;
     reportOps(ledger, Stage::Gemm, ops);
 
-    return err * static_cast<double>(n) / static_cast<double>(sampled);
+    const double scale =
+        static_cast<double>(n) / static_cast<double>(sampled);
+    if (exact_norm_sq_out)
+        *exact_norm_sq_out = norm * scale;
+    return err * scale;
+}
+
+void
+GuardedReuseConvAlgo::maybeCanary(GuardStreamState &st, const Tensor &x,
+                                  const Tensor &w,
+                                  const ConvGeometry &geom,
+                                  const Tensor &y, CostLedger *ledger)
+{
+    if (!canary::enabled())
+        return;
+    if (!canary::detail::shouldSample(st.canaryCredit))
+        return;
+    // The canary deliberately ignores overload shedding and drift
+    // boosts: a fixed, small row count (the configured sampleRows)
+    // every time it fires, so its series is comparable across load
+    // levels.
+    const size_t rows = std::max<size_t>(1, config_.sampleRows);
+    double norm_sq = 0.0;
+    const double err = measureErrorRows(x, w, y, rows, ledger, &norm_sq);
+    // Relative units: both the measurement and the budget are divided
+    // by the sampled exact output energy, so the series is invariant
+    // to activation scale (the thing an absolute budget is not).
+    const double denom = std::max(norm_sq, 1e-30);
+    const double rel_error = err / denom;
+    const double budget = errorBudget(st, w, geom, x.shape().rows());
+    const double rel_budget = budget / denom;
+    const bool breach = err > budget;
+    canary::observe(inner_.get(), rel_error, rel_budget,
+                    static_cast<uint64_t>(std::min(rows, x.shape().rows())),
+                    breach);
+    // The canary measurement is ground truth of the same signal the
+    // guard's own verification feeds the drift watcher — keep feeding
+    // it when verification is shed, so drift detection survives
+    // overload level 2.
+    if (config_.drift.enabled && budget > 0.0 &&
+        overload::level() >= overload::kMaxLevel) {
+        if (st.errDrift->observe(err / budget))
+            guard::noteDriftTrip();
+    }
 }
 
 Tensor
@@ -495,10 +564,19 @@ GuardedReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
                        faultpoint::seed(faultpoint::Fault::NanActivation));
         xin = &*corrupted;
     }
+    if (faultpoint::active(faultpoint::Fault::OodScale)) {
+        faultpoint::noteFired(faultpoint::Fault::OodScale);
+        if (!corrupted)
+            corrupted = x;
+        corruptWithScale(*corrupted,
+                         faultpoint::seed(faultpoint::Fault::OodScale));
+        xin = &*corrupted;
+    }
 
     if (!config_.enabled) {
         st.lastRung = static_cast<int>(GuardRung::FullReuse);
         inner_->multiplyInto(*xin, w, geom, ledger, y);
+        maybeCanary(st, *xin, w, geom, y, ledger);
         return;
     }
 
@@ -536,6 +614,9 @@ GuardedReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
         guard::noteUnverified();
         st.lastRung = static_cast<int>(GuardRung::FullReuse);
         guard::recordForward(GuardRung::FullReuse, 0.0, 0.0);
+        // The canary still samples up here — it is the only accuracy
+        // signal left when verification is shed.
+        maybeCanary(st, *xin, w, geom, y, ledger);
         return;
     }
 
@@ -545,9 +626,11 @@ GuardedReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
     // stream against the original fit, before any re-cluster muddies
     // the signal. The boost it may raise applies from the next forward.
     observeDrift(st, measured, budget);
+    audit::recordBudget(inner_.get(), measured, budget);
     if (measured <= budget) {
         st.lastRung = static_cast<int>(GuardRung::FullReuse);
         guard::recordForward(GuardRung::FullReuse, measured, budget);
+        maybeCanary(st, *xin, w, geom, y, ledger);
         return;
     }
 
@@ -569,10 +652,12 @@ GuardedReuseConvAlgo::multiplyInto(StreamContext &ctx, const Tensor &x,
         const double budget2 =
             errorBudget(st, w, geom, xin->shape().rows());
         const double m2 = measureError(*xin, w, y2, ledger);
+        audit::recordBudget(inner_.get(), m2, budget2);
         if (m2 <= budget2) {
             st.lastRung = static_cast<int>(GuardRung::Recluster);
             guard::recordForward(GuardRung::Recluster, m2, budget2);
             y = std::move(y2);
+            maybeCanary(st, *xin, w, geom, y, ledger);
             return;
         }
         measured = m2;
@@ -603,6 +688,22 @@ applyGuardedReusePattern(Conv2D &layer, const ReusePattern &pattern,
     auto algo = std::make_shared<GuardedReuseConvAlgo>(pattern, config,
                                                        mode, seed);
     algo->fit(sample_default_x, geom);
+    // The canary's per-layer series borrows the audit's name table, so
+    // the name is stamped whenever either consumer is armed.
+    if (audit::enabled() || canary::enabled())
+        audit::setName(&algo->inner(), layer.name());
+    if (audit::enabled()) {
+        // Audit entries for a guarded layer are keyed by the inner
+        // algo (the kernels record through it); the fit-time modeled
+        // r_t comes from one suppressed profiling forward on the fit
+        // sample — suppressed so the profiling run itself never counts
+        // as observed runtime behavior.
+        audit::Suppress suppress;
+        algo->inner().multiply(sample_default_x, layer.weightMatrix(),
+                               geom, nullptr);
+        audit::setModeled(&algo->inner(),
+                          algo->inner().lastStats().redundancyRatio());
+    }
     layer.setAlgo(algo);
     return algo;
 }

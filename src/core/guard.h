@@ -172,6 +172,14 @@ std::string toJson();
 void corruptWithNan(Tensor &t, uint64_t seed);
 
 /**
+ * Scale every element of @p t by a seeded factor in [16, 64) — the
+ * ood_scale fault payload: finite activations far outside the fit
+ * distribution, so the error budget (or, when verification is shed,
+ * the accuracy canary) is what must catch them.
+ */
+void corruptWithScale(Tensor &t, uint64_t seed);
+
+/**
  * Deploy-time rung for a memory estimate: FullReuse when the estimate
  * fits the board, ExactFallback (with a warn naming the failing
  * component and shortfall from FitReport::describe()) when it does
@@ -264,6 +272,32 @@ class GuardedReuseConvAlgo : public ConvAlgo
                        const ConvGeometry &geom, size_t runtime_rows);
     double measureError(const Tensor &x, const Tensor &w,
                         const Tensor &y, CostLedger *ledger) const;
+
+    /**
+     * measureError() generalized: recompute @p rows evenly strided
+     * rows exactly and return the estimated total squared Frobenius
+     * error (scaled to the full batch). When @p exact_norm_sq_out is
+     * non-null it receives the equally scaled squared norm of the
+     * exact rows, so the caller can form a *relative* error — the
+     * accuracy canary's unit, stable across activation scales.
+     */
+    double measureErrorRows(const Tensor &x, const Tensor &w,
+                            const Tensor &y, size_t rows,
+                            CostLedger *ledger,
+                            double *exact_norm_sq_out) const;
+
+    /**
+     * Accuracy-canary hook, called on every forward that returns a
+     * *reuse* output (including unverified overload-level-2 forwards —
+     * the canary is exempt from shedding by design: it is the only
+     * accuracy signal left up there). Samples per canary::rate() via
+     * the stream's deterministic credit, shadow-measures the relative
+     * error on the exact path, feeds the stream's error drift
+     * detector, and journals CanarySample/CanaryBreach.
+     */
+    void maybeCanary(GuardStreamState &st, const Tensor &x,
+                     const Tensor &w, const ConvGeometry &geom,
+                     const Tensor &y, CostLedger *ledger);
     void observeDrift(GuardStreamState &st, double measured,
                       double budget);
 

@@ -11,6 +11,7 @@
 #include "guard.h"
 #include "lsh/clustering.h"
 #include "lsh/learned_hash.h"
+#include "reuse_audit.h"
 #include "stream_context.h"
 #include "tensor/gemm.h"
 
@@ -158,6 +159,7 @@ horizontalReuseMultiplyInto(const Tensor &x, const Tensor &w,
                          static_cast<double>(local.totalVectors), 0.0,
                          static_cast<uint32_t>(local.totalCentroids),
                          /*a8=*/1);
+    audit::recordKernel(audit::Kernel::Horizontal, local);
     if (stats)
         *stats += local;
 }

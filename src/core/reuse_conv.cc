@@ -3,6 +3,7 @@
 #include "common/eventlog.h"
 #include "common/logging.h"
 #include "common/profiler.h"
+#include "reuse_audit.h"
 
 namespace genreuse {
 
@@ -203,6 +204,7 @@ ReuseConvAlgo::tryMultiplyInto(StreamContext &ctx, const Tensor &x,
         OpCounts tf;
         tf.elemMoves = x.size();
         reportOps(ledger, Stage::Transformation, tf);
+        audit::recordTraffic(this, tf.elemMoves, 0);
     }
     const Tensor *win = &w;
     if (reorder_cols) {
@@ -234,6 +236,7 @@ ReuseConvAlgo::multiplyReordered(const Tensor &xr, const Tensor &wr,
         OpCounts tf;
         tf.elemMoves = xr.size();
         reportOps(ledger, Stage::Transformation, tf);
+        audit::recordTraffic(this, tf.elemMoves, 0);
     }
     Tensor y;
     reuseCoreInto(sc, xr, wr, row_perm, reorder_rows, geom, ledger, y);
@@ -272,6 +275,7 @@ ReuseConvAlgo::reuseCoreInto(ConvStreamScratch &sc, const Tensor &xr,
         OpCounts rc;
         rc.elemMoves = y.size();
         reportOps(ledger, Stage::Recovering, rc);
+        audit::recordTraffic(this, 0, rc.elemMoves);
     }
     // One aggregated reuse event per layer forward, on top of the
     // per-kernel events: this is the granularity drift analysis and
@@ -282,6 +286,7 @@ ReuseConvAlgo::reuseCoreInto(ConvStreamScratch &sc, const Tensor &xr,
                          static_cast<double>(sc.lastStats.totalVectors),
                          0.0,
                          static_cast<uint32_t>(sc.lastStats.totalCentroids));
+    audit::recordForward(this, sc.lastStats);
 }
 
 const std::vector<uint32_t> &
@@ -370,6 +375,18 @@ applyReusePattern(Conv2D &layer, const ReusePattern &pattern,
                      "sample does not match layer ", layer.name());
     auto algo = std::make_shared<ReuseConvAlgo>(pattern, mode, seed);
     algo->fit(sample_default_x, geom);
+    if (audit::enabled()) {
+        // Stamp the audit slot's display name and the fit-time modeled
+        // r_t from one suppressed profiling forward on the fit sample
+        // (suppressed: the profiling run is not observed runtime
+        // behavior, it IS the model).
+        audit::setName(algo.get(), layer.name());
+        audit::Suppress suppress;
+        algo->multiply(sample_default_x, layer.weightMatrix(), geom,
+                       nullptr);
+        audit::setModeled(algo.get(),
+                          algo->lastStats().redundancyRatio());
+    }
     layer.setAlgo(algo);
     return algo;
 }

@@ -8,6 +8,7 @@
 #include "common/profiler.h"
 #include "guard.h"
 #include "lsh/learned_hash.h"
+#include "reuse_audit.h"
 
 namespace genreuse {
 
@@ -55,6 +56,8 @@ ReuseDense::fitReuse(const Tensor &sample, size_t segment_len,
     }
     segmentLen_ = segment_len;
     reuseEnabled_ = true;
+    if (audit::enabled())
+        audit::setName(this, name());
 }
 
 Tensor
@@ -118,6 +121,7 @@ ReuseDense::forward(const Tensor &x, bool training)
                          static_cast<double>(lastStats_.totalVectors),
                          0.0,
                          static_cast<uint32_t>(lastStats_.totalCentroids));
+    audit::recordForward(this, lastStats_);
     return y;
 }
 

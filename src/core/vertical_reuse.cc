@@ -9,6 +9,7 @@
 #include "common/simd.h"
 #include "guard.h"
 #include "lsh/clustering.h"
+#include "reuse_audit.h"
 #include "lsh/learned_hash.h"
 #include "stream_context.h"
 #include "tensor/gemm.h"
@@ -232,6 +233,7 @@ verticalReuseMultiplyInto(const Tensor &x, const Tensor &w,
                          static_cast<double>(local.totalVectors), 0.0,
                          static_cast<uint32_t>(local.totalCentroids),
                          /*a8=*/0);
+    audit::recordKernel(audit::Kernel::Vertical, local);
     if (stats)
         *stats += local;
 }

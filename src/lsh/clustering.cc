@@ -13,6 +13,7 @@
 #include "common/profiler.h"
 #include "common/rng.h"
 #include "common/simd.h"
+#include "core/reuse_audit.h"
 
 namespace genreuse {
 
@@ -266,6 +267,8 @@ clusterSignaturesInto(const StridedItems &items, const uint64_t *sigs,
     items_seen.add(result.numItems());
     clusters_made.add(result.numClusters());
     redundancy.set(result.redundancyRatio());
+    audit::recordClustering(result.numItems(), result.numClusters(),
+                            result.sizes.data());
     if (eventlog::enabled())
         eventlog::record(eventlog::Type::Cluster, 0,
                          result.redundancyRatio(),

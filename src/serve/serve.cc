@@ -567,7 +567,8 @@ ServeEngine::updateHealthLocked()
     Health desired = Health::Healthy;
     if (shutdown_)
         desired = Health::Draining;
-    else if (overloadLevel_ > 0 || failingStreams_ > 0)
+    else if (overloadLevel_ > 0 || failingStreams_ > 0 ||
+             externalDegraded_)
         desired = Health::Degraded;
     if (desired == health_)
         return;
@@ -576,6 +577,16 @@ ServeEngine::updateHealthLocked()
     eventlog::record(eventlog::Type::Health, 0, 0.0, 0.0, 0.0,
                      static_cast<uint32_t>(overloadLevel_),
                      static_cast<uint8_t>(health_));
+}
+
+void
+ServeEngine::setExternalDegraded(bool degraded)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (externalDegraded_ == degraded)
+        return;
+    externalDegraded_ = degraded;
+    updateHealthLocked();
 }
 
 void

@@ -306,6 +306,15 @@ class ServeEngine
     /** Current readiness (also in stats()). */
     Health health() const;
 
+    /**
+     * External degradation input to the health state machine: while
+     * set, health is Degraded even with no overload or failing
+     * streams. The SLO monitor (serve/slo.h) raises it on a sustained
+     * fast burn and clears it when the alert resolves; any external
+     * supervisor can use it the same way. Idempotent.
+     */
+    void setExternalDegraded(bool degraded);
+
     /** Schema-versioned JSON (genreuse.health/1): health, overload
      *  level, engine counters and per-stream strike/quarantine state —
      *  the artifact genreuse_inspect renders. */
@@ -378,6 +387,7 @@ class ServeEngine
     size_t failingStreams_ = 0; //!< workers with strikes > 0 or parked
     size_t overStreak_ = 0;     //!< consecutive over-delay dequeues
     int overloadLevel_ = 0;
+    bool externalDegraded_ = false; //!< setExternalDegraded (SLO burn)
     Health health_ = Health::Healthy;
     bool shutdown_ = false;
 

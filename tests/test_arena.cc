@@ -22,8 +22,10 @@
 #include "common/rng.h"
 #include "common/rtrace.h"
 #include "common/telemetry.h"
+#include "core/canary.h"
 #include "core/guard.h"
 #include "core/fc_reuse.h"
+#include "core/reuse_audit.h"
 #include "core/reuse_conv.h"
 #include "core/reuse_pattern.h"
 #include "lsh/lsh.h"
@@ -461,6 +463,49 @@ TEST(ZeroAlloc, SteadyStateForwardWithTracingAndTelemetryArmed)
     rtrace::setEnabled(false);
     rtrace::reset();
     telemetry::stop();
+}
+
+TEST(ZeroAlloc, SteadyStateGuardedForwardWithAuditAndCanaryArmed)
+{
+    // The PR-10 bar: the reuse-efficacy audit records into pre-grown
+    // slots and the rate-1.0 canary's exact-row recompute runs on the
+    // arena, so arming BOTH must not add heap traffic to the
+    // steady-state guarded forward.
+    ConvGeometry geom = smallGeom();
+    Rng rng(11);
+    Tensor x = test::redundantRows(256, 75, 8, rng);
+    Tensor w = Tensor::randomNormal({75, 16}, rng);
+
+    GuardConfig cfg;
+    cfg.marginFactor = 1e9;
+    GuardedReuseConvAlgo algo(ReusePattern::conventional(geom, 4), cfg,
+                              HashMode::Random, 7);
+    algo.fit(x, geom);
+
+    audit::setEnabled(true);
+    canary::setRate(1.0);
+
+    Tensor y;
+    // Warm-up: grows the audit/canary registry slots and resolves the
+    // metrics handles in addition to the usual arena/scratch sizing.
+    for (int i = 0; i < 4; ++i)
+        algo.multiplyInto(x, w, geom, nullptr, y);
+    ASSERT_EQ(algo.lastRung(), GuardRung::FullReuse);
+    ASSERT_EQ(canary::totalSamples(), 4u);
+
+    const uint64_t before = heapAllocCount();
+    algo.multiplyInto(x, w, geom, nullptr, y);
+    const uint64_t allocs = heapAllocCount() - before;
+    EXPECT_EQ(allocs, 0u)
+        << "steady-state forward with audit+canary armed hit the heap "
+        << allocs << " time(s)";
+    EXPECT_EQ(canary::totalSamples(), 5u);
+    EXPECT_EQ(canary::totalBreaches(), 0u);
+
+    canary::setRate(0.0);
+    canary::reset();
+    audit::setEnabled(false);
+    audit::reset();
 }
 
 TEST(ZeroAlloc, SteadyStateFcReuseForward)

@@ -20,6 +20,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/overload.h"
+#include "core/canary.h"
 #include "core/guard.h"
 #include "core/reuse_conv.h"
 #include "core/stream_context.h"
@@ -196,8 +197,9 @@ class GuardedConvStream : public InferenceStream
 {
   public:
     GuardedConvStream(const Tensor &sample, const ConvGeometry &geom,
-                      const Tensor &w, double margin = 1e9)
-        : geom_(geom), w_(w)
+                      const Tensor &w, double margin = 1e9,
+                      int delay_ms = 0)
+        : geom_(geom), w_(w), delayMs_(delay_ms)
     {
         GuardConfig cfg;
         cfg.marginFactor = margin;
@@ -210,6 +212,8 @@ class GuardedConvStream : public InferenceStream
     Tensor
     infer(const Tensor &input, StreamContext &ctx) override
     {
+        if (delayMs_ > 0)
+            sleepMs(delayMs_);
         Tensor y;
         guard_->multiplyInto(ctx, input, w_, geom_, nullptr, y);
         return y;
@@ -224,6 +228,7 @@ class GuardedConvStream : public InferenceStream
   private:
     ConvGeometry geom_;
     Tensor w_;
+    int delayMs_ = 0;
     std::unique_ptr<GuardedReuseConvAlgo> guard_;
 };
 
@@ -762,6 +767,53 @@ TEST(ChaosSoak, MultiEventScheduleFaultsTwoStreamsOthersBitIdentical)
               on_panic_stream / defaults.quarantineStrikes);
     EXPECT_EQ(st.respawns, st.quarantines);
     EXPECT_EQ(st.completed, 40u);
+}
+
+/**
+ * Canary-at-overload chaos test: push a guarded engine to overload
+ * level 2 — where the controller sheds guard verification entirely —
+ * and confirm the rate-1.0 accuracy canary keeps sampling every
+ * accepted forward. The canary is the only accuracy signal left up
+ * there and is exempt from shedding by design.
+ */
+TEST(ChaosSoak, CanaryKeepsSamplingWhenOverloadShedsVerification)
+{
+    faultpoint::disarm();
+    canary::reset();
+    canary::setRate(1.0);
+    ConvFixture f;
+    Tensor sample = f.sampleX();
+    ConvGeometry geom = f.conv.lastGeometry();
+    Tensor w = f.conv.weightMatrix();
+
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 32;
+    cfg.overloadQueueDelayNs = 1'000'000; // 1 ms
+    cfg.overloadWindow = 2;
+    ServeEngine engine(cfg, [&](uint32_t) {
+        return std::make_unique<GuardedConvStream>(
+            sample, geom, w, /*margin=*/1e9, /*delay_ms=*/5);
+    });
+
+    // 12 queued requests on a 5 ms worker: queue delay is far over the
+    // 1 ms threshold, so the controller walks to level 2 while the
+    // backlog drains — most forwards are accepted unverified.
+    for (int i = 0; i < 12; ++i)
+        ASSERT_TRUE(engine.trySubmit(sample, nullptr));
+    engine.drain();
+
+    ServeStats st = engine.stats();
+    EXPECT_EQ(st.overloadLevel, overload::kMaxLevel);
+    // Rate 1.0 samples literally every accepted forward — verified or
+    // not — and the in-distribution input breaches nothing.
+    EXPECT_EQ(canary::totalSamples(), 12u);
+    EXPECT_EQ(canary::totalBreaches(), 0u);
+
+    engine.shutdown();
+    EXPECT_EQ(overload::level(), 0);
+    canary::setRate(0.0);
+    canary::reset();
 }
 
 TEST(LoadGen, PercentilesInterpolate)
